@@ -1,0 +1,43 @@
+"""Ablation B — HL backbone locality (ε) and core-size cutoff.
+
+TF-label is HL at ε = 1 (the paper's §2.4 identification); comparing the
+two isolates what the ε = 2 backbone buys.  The core-size sweep checks
+the paper's practical advice that stopping the decomposition early (a
+larger core labeled directly) trades construction time against label
+size only mildly.
+"""
+
+import pytest
+
+from repro.core.hierarchical import HierarchicalLabeling
+
+from conftest import graph_for
+
+DATASETS = ["agrocyc", "arxiv"]
+
+
+@pytest.mark.parametrize("eps", [1, 2])
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_hl_eps_ablation(benchmark, dataset, eps):
+    graph = graph_for(dataset)
+    index = benchmark.pedantic(
+        lambda: HierarchicalLabeling(graph, eps=eps), rounds=2, iterations=1
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["eps"] = eps
+    benchmark.extra_info["label_size_ints"] = index.index_size_ints()
+    benchmark.extra_info["levels"] = index.hierarchy.level_sizes()
+
+
+@pytest.mark.parametrize("core_limit", [16, 64, 256])
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_hl_core_limit_ablation(benchmark, dataset, core_limit):
+    graph = graph_for(dataset)
+    index = benchmark.pedantic(
+        lambda: HierarchicalLabeling(graph, core_limit=core_limit),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["core_limit"] = core_limit
+    benchmark.extra_info["label_size_ints"] = index.index_size_ints()

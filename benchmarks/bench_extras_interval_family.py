@@ -1,0 +1,55 @@
+"""Ablation D — the interval-compression family tree.
+
+The paper's §2.1 sketches a lineage: chain compression (1990) → tree
+cover (1989 intervals) → dual labeling (2006) → PathTree (2008) → the
+3-hop contour view (2009).  All six are implemented here on one engine
+each; this benchmark lines them up against INT on two structurally
+opposite datasets, quantifying what each structural refinement buys in
+index size and query time.
+"""
+
+import pytest
+
+from repro.core.base import get_method
+
+from conftest import graph_for, workload_for
+
+FAMILY = ["CH", "TREE", "INT", "PT", "3HOP", "DUAL"]
+DATASETS = ["agrocyc", "arxiv"]
+
+_cache = {}
+
+
+def _index(dataset, method):
+    key = (dataset, method)
+    if key not in _cache:
+        try:
+            _cache[key] = get_method(method)(graph_for(dataset))
+        except MemoryError as err:
+            _cache[key] = err
+    result = _cache[key]
+    if isinstance(result, MemoryError):
+        pytest.skip(f"{method} on {dataset}: budget")
+    return result
+
+
+@pytest.mark.parametrize("method", FAMILY)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_interval_family_queries(benchmark, dataset, method):
+    index = _index(dataset, method)
+    workload = workload_for(dataset, "equal")
+
+    answers = benchmark(index.query_batch, workload.pairs)
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["index_size_ints"] = index.index_size_ints()
+    assert sum(answers) == workload.positives
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_interval_family_all_agree(dataset):
+    """The whole family answers one workload identically."""
+    workload = workload_for(dataset, "equal")
+    counts = {m: _index(dataset, m).count_reachable(workload.pairs) for m in FAMILY}
+    assert len(set(counts.values())) == 1, counts

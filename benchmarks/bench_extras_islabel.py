@@ -1,0 +1,38 @@
+"""Ablation E — IS-Label vs the reachability oracles.
+
+§6.1 of the paper: "We also downloaded and tested IS-labeling ...
+However, its query performance is at least 2 to 3 orders magnitude
+slower than the reachability methods; we omit reporting its results."
+This benchmark reports them: DL and ISL on the same workloads.
+"""
+
+import pytest
+
+from repro.core.base import get_method
+
+from conftest import graph_for, workload_for
+
+DATASETS = ["kegg", "agrocyc"]
+
+_cache = {}
+
+
+def _index(dataset, method):
+    key = (dataset, method)
+    if key not in _cache:
+        _cache[key] = get_method(method)(graph_for(dataset))
+    return _cache[key]
+
+
+@pytest.mark.parametrize("method", ["DL", "PL", "ISL"])
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_islabel_vs_oracles(benchmark, dataset, method):
+    index = _index(dataset, method)
+    workload = workload_for(dataset, "equal")
+
+    answers = benchmark(index.query_batch, workload.pairs)
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["index_size_ints"] = index.index_size_ints()
+    assert sum(answers) == workload.positives

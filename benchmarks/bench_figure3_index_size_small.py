@@ -1,0 +1,38 @@
+"""Figure 3 — index size (number of stored integers), small graphs.
+
+pytest-benchmark measures time, so the timed body is construction; the
+figure's actual metric — ``index_size_ints`` — is attached as extra
+info per cell.  Paper shape criteria: PWAH-8/INT smallest; DL smaller
+than 2HOP (the headline surprise) and smaller than HL; TF largest of
+the oracles.
+"""
+
+import pytest
+
+from repro.bench.experiments import PAPER_METHODS
+from repro.core.base import get_method
+
+from conftest import build_params, graph_for
+
+DATASETS = ["kegg", "agrocyc", "arxiv"]
+
+
+@pytest.mark.parametrize("method", PAPER_METHODS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_index_size_small(benchmark, dataset, method):
+    graph = graph_for(dataset)
+    params = build_params(method, "figure3")
+    factory = get_method(method)
+
+    def build():
+        try:
+            return factory(graph, **params)
+        except MemoryError:
+            pytest.skip(f"{method} on {dataset}: DNF (budget)")
+
+    index = benchmark.pedantic(build, rounds=2, iterations=1)
+    size = index.index_size_ints()
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["index_size_ints"] = size
+    assert size >= 0

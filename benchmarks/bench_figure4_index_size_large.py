@@ -1,0 +1,37 @@
+"""Figure 4 — index size (number of stored integers), large graphs.
+
+Paper shape criteria: on the graphs they can index, PWAH-8 and INT stay
+smallest; DL's labels are smaller than HL's and close to (or better
+than) 2HOP's; everything label-based beats GRAIL's fixed 5-interval
+cost and K-Reach where those run.
+"""
+
+import pytest
+
+from repro.bench.experiments import PAPER_METHODS
+from repro.core.base import get_method
+
+from conftest import build_params, graph_for
+
+DATASETS = ["citeseer", "uniprotenc_22m", "wiki"]
+
+
+@pytest.mark.parametrize("method", PAPER_METHODS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_index_size_large(benchmark, dataset, method):
+    graph = graph_for(dataset)
+    params = build_params(method, "figure4")
+    factory = get_method(method)
+
+    def build():
+        try:
+            return factory(graph, **params)
+        except MemoryError:
+            pytest.skip(f"{method} on {dataset}: DNF (budget)")
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    size = index.index_size_ints()
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["index_size_ints"] = size
+    assert size >= 0

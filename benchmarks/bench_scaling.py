@@ -1,0 +1,46 @@
+"""Scaling sweep — the "scalable" in the paper's title.
+
+Construction time and index size for DL, HL, INT and GRAIL across a
+4× range of citation-DAG sizes (the family whose closures explode).
+The paper's claim to verify: the oracle construction grows near-
+linearly while closure-based methods inherit closure growth.  Each
+cell's size is attached as extra info so one benchmark JSON captures
+both curves.
+"""
+
+import pytest
+
+from repro.core.base import get_method
+from repro.graph.generators import citation_dag
+
+SIZES = [1000, 2000, 4000, 8000]
+METHODS = ["DL", "HL", "INT", "GL"]
+
+_graphs = {}
+
+
+def _graph(n):
+    if n not in _graphs:
+        _graphs[n] = citation_dag(n, out_per_vertex=3, seed=17)
+    return _graphs[n]
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("n", SIZES)
+def test_scaling_construction(benchmark, n, method):
+    graph = _graph(n)
+    factory = get_method(method)
+
+    index = benchmark.pedantic(lambda: factory(graph), rounds=2, iterations=1)
+
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["m"] = graph.m
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["index_size_ints"] = index.index_size_ints()
+
+
+def test_dl_scales_subquadratically():
+    """Quadrupling n must not square DL's label size (near-linear growth)."""
+    small = get_method("DL")(_graph(2000)).index_size_ints()
+    large = get_method("DL")(_graph(8000)).index_size_ints()
+    assert large < 16 * small  # 4x n -> well below 16x (quadratic) growth

@@ -1,0 +1,33 @@
+"""Table 2 — query time, *equal* workload (≈50% positive), small graphs.
+
+Paper shape criteria: PT fastest; DL within ~2× of PT and faster than
+INT/PWAH-8; HL comparable to 2HOP; GRAIL and PL an order of magnitude
+slower.  Each benchmark times one (dataset, method) cell over a shared
+1000-query batch.
+"""
+
+import pytest
+
+from repro.bench.experiments import PAPER_METHODS
+
+from conftest import QUERY_BATCH, index_for, workload_for
+
+DATASETS = ["kegg", "agrocyc", "xmark", "arxiv"]
+
+
+@pytest.mark.parametrize("method", PAPER_METHODS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_query_equal_small(benchmark, dataset, method):
+    index = index_for(dataset, method, "table2")
+    workload = workload_for(dataset, "equal")
+    pairs = workload.pairs
+
+    answers = benchmark(index.query_batch, pairs)
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["batch"] = QUERY_BATCH
+    benchmark.extra_info["positive_answers"] = sum(answers)
+    # Cross-method validation: every method answers the same workload
+    # with the same positive count.
+    assert sum(answers) == workload.positives

@@ -1,0 +1,29 @@
+"""Table 3 — query time, *random* workload, small graphs.
+
+Random pairs are mostly negative on sparse DAGs, so oracle queries must
+scan whole labels before answering "no" — the paper observes slightly
+slower oracle times here than on the equal load (Table 2 vs 3).
+"""
+
+import pytest
+
+from repro.bench.experiments import PAPER_METHODS
+
+from conftest import QUERY_BATCH, index_for, workload_for
+
+DATASETS = ["kegg", "agrocyc", "arxiv"]
+
+
+@pytest.mark.parametrize("method", PAPER_METHODS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_query_random_small(benchmark, dataset, method):
+    index = index_for(dataset, method, "table3")
+    pairs = workload_for(dataset, "random").pairs
+
+    answers = benchmark(index.query_batch, pairs)
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["batch"] = QUERY_BATCH
+    benchmark.extra_info["positive_answers"] = sum(answers)
+    assert len(answers) == len(pairs)

@@ -1,0 +1,34 @@
+"""Table 4 — index construction time, small graphs.
+
+Paper shape criteria: K-Reach and 2HOP slowest; INT and PWAH-8 fastest;
+DL ≈ 20× faster than 2HOP and comparable to INT/PWAH-8; HL ≈ 5× faster
+than 2HOP.  Construction is timed end to end (the index constructor).
+"""
+
+import pytest
+
+from repro.bench.experiments import PAPER_METHODS
+from repro.core.base import get_method
+
+from conftest import build_params, graph_for
+
+DATASETS = ["kegg", "agrocyc", "xmark", "arxiv"]
+
+
+@pytest.mark.parametrize("method", PAPER_METHODS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_construction_small(benchmark, dataset, method):
+    graph = graph_for(dataset)
+    params = build_params(method, "table4")
+    factory = get_method(method)
+
+    def build():
+        try:
+            return factory(graph, **params)
+        except MemoryError:
+            pytest.skip(f"{method} on {dataset}: DNF (budget) — '—' in the paper")
+
+    index = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["index_size_ints"] = index.index_size_ints()

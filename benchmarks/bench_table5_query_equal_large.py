@@ -1,0 +1,30 @@
+"""Table 5 — query time, equal workload, large graphs.
+
+This is where the reachability oracle wins in the paper: TC compression
+gets slower (bigger closures to scan) or fails outright, online search
+crawls, while HL/DL answer from short labels.  Methods whose scaled
+budget trips are skipped — the paper reports "—" on those cells
+(K-Reach on all of them, PT/2HOP on most).
+"""
+
+import pytest
+
+from repro.bench.experiments import PAPER_METHODS
+
+from conftest import QUERY_BATCH, index_for, workload_for
+
+DATASETS = ["citeseer", "uniprotenc_22m", "wiki"]
+
+
+@pytest.mark.parametrize("method", PAPER_METHODS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_query_equal_large(benchmark, dataset, method):
+    index = index_for(dataset, method, "table5")
+    workload = workload_for(dataset, "equal")
+
+    answers = benchmark(index.query_batch, workload.pairs)
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["batch"] = QUERY_BATCH
+    assert sum(answers) == workload.positives

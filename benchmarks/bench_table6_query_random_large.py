@@ -1,0 +1,23 @@
+"""Table 6 — query time, random workload, large graphs."""
+
+import pytest
+
+from repro.bench.experiments import PAPER_METHODS
+
+from conftest import QUERY_BATCH, index_for, workload_for
+
+DATASETS = ["citeseer", "mapped_100K", "wiki"]
+
+
+@pytest.mark.parametrize("method", PAPER_METHODS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_query_random_large(benchmark, dataset, method):
+    index = index_for(dataset, method, "table6")
+    pairs = workload_for(dataset, "random").pairs
+
+    answers = benchmark(index.query_batch, pairs)
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["batch"] = QUERY_BATCH
+    assert len(answers) == len(pairs)

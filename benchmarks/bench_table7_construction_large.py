@@ -1,0 +1,34 @@
+"""Table 7 — index construction time, large graphs.
+
+Paper shape criteria: DL is comparable to (or faster than) PWAH-8/INT
+and an order of magnitude faster than 2HOP where 2HOP runs at all;
+HL completes on nearly all graphs; K-Reach/PT mostly DNF.
+"""
+
+import pytest
+
+from repro.bench.experiments import PAPER_METHODS
+from repro.core.base import get_method
+
+from conftest import build_params, graph_for
+
+DATASETS = ["citeseer", "uniprotenc_22m", "wiki"]
+
+
+@pytest.mark.parametrize("method", PAPER_METHODS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_construction_large(benchmark, dataset, method):
+    graph = graph_for(dataset)
+    params = build_params(method, "table7")
+    factory = get_method(method)
+
+    def build():
+        try:
+            return factory(graph, **params)
+        except MemoryError:
+            pytest.skip(f"{method} on {dataset}: DNF (budget) — '—' in the paper")
+
+    index = benchmark.pedantic(build, rounds=2, iterations=1)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["index_size_ints"] = index.index_size_ints()

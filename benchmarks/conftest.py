@@ -1,0 +1,73 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``bench_*`` file regenerates one paper artifact (see DESIGN.md §4).
+Graphs, workloads and built indices are cached per session so that a
+parametrised sweep pays each construction exactly once; methods whose
+scaled resource budget trips (the paper's "—" entries) are skipped with
+an explanatory message rather than failed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import get_experiment
+from repro.core.base import get_method
+from repro.datasets.catalog import load
+from repro.datasets.workloads import equal_workload, random_workload
+
+#: Query batch size for benchmark workloads (the paper uses 100k; we use
+#: a smaller batch and report per-batch times).
+QUERY_BATCH = 1000
+
+_graphs = {}
+_workloads = {}
+_indices = {}
+
+
+def graph_for(name: str):
+    if name not in _graphs:
+        _graphs[name] = load(name)
+    return _graphs[name]
+
+
+def workload_for(name: str, kind: str):
+    key = (name, kind)
+    if key not in _workloads:
+        g = graph_for(name)
+        if kind == "equal":
+            _workloads[key] = equal_workload(g, QUERY_BATCH, seed=7)
+        else:
+            _workloads[key] = random_workload(g, QUERY_BATCH, seed=8)
+    return _workloads[key]
+
+
+def index_for(dataset: str, method: str, exp_id: str):
+    """Build (once) the index for a (dataset, method) cell of an experiment.
+
+    Returns the index, or skips the test when the method's budget trips —
+    mirroring the "—" cells of the paper's tables.
+    """
+    key = (dataset, method, exp_id)
+    if key not in _indices:
+        exp = get_experiment(exp_id)
+        budget = exp.budgets.get(method)
+        params = budget.params if budget else {}
+        try:
+            _indices[key] = get_method(method)(graph_for(dataset), **params)
+        except MemoryError as err:
+            _indices[key] = err
+    result = _indices[key]
+    if isinstance(result, MemoryError):
+        pytest.skip(f"{method} on {dataset}: DNF (budget) — paper reports '—' here")
+    return result
+
+
+def build_params(method: str, exp_id: str):
+    exp = get_experiment(exp_id)
+    budget = exp.budgets.get(method)
+    return budget.params if budget else {}

@@ -1,0 +1,53 @@
+"""Head-to-head comparison of every method on one dataset.
+
+A compact, self-contained version of the paper's Tables 2/4 and
+Figure 3 on a single dataset stand-in: builds each method, measures
+construction time, index size and query time on a shared equal
+workload, and prints one row per method.
+
+Run:  python examples/benchmark_comparison.py [dataset]
+"""
+
+import sys
+import time
+
+from repro.bench.experiments import PAPER_METHODS, get_experiment
+from repro.core.base import get_method
+from repro.datasets.catalog import load
+from repro.datasets.workloads import equal_workload
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "arxiv"
+    exp = get_experiment("table2")
+    graph = load(dataset)
+    print(f"dataset {dataset}: |V|={graph.n:,} |E|={graph.m:,}")
+    workload = equal_workload(graph, 5000, seed=7)
+    print(f"workload: {len(workload):,} queries, {workload.positives:,} positive\n")
+
+    header = f"{'method':<8}{'build (ms)':>12}{'index (k ints)':>16}{'queries (ms)':>14}"
+    print(header)
+    print("-" * len(header))
+    for method in PAPER_METHODS + ["BFS"]:
+        budget = exp.budgets.get(method)
+        params = budget.params if budget else {}
+        t0 = time.perf_counter()
+        try:
+            index = get_method(method)(graph, **params)
+        except MemoryError:
+            print(f"{method:<8}{'—':>12}{'—':>16}{'—':>14}")
+            continue
+        build_ms = (time.perf_counter() - t0) * 1000
+        pairs = workload.pairs if method != "BFS" else workload.pairs[:500]
+        t0 = time.perf_counter()
+        answers = index.query_batch(pairs)
+        query_ms = (time.perf_counter() - t0) * 1000
+        if method == "BFS":
+            query_ms *= len(workload.pairs) / len(pairs)  # extrapolate
+        size_k = index.index_size_ints() / 1000
+        print(f"{method:<8}{build_ms:>12.1f}{size_k:>16.1f}{query_ms:>14.1f}")
+        del answers
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+setuptools develop-mode code path on minimal offline environments.
+"""
+
+from setuptools import setup
+
+setup()

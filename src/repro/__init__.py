@@ -1,0 +1,57 @@
+"""repro — reachability oracles from "Simple, Fast, and Scalable
+Reachability Oracle" (Jin & Wang, VLDB 2013), with every baseline the
+paper evaluates against.
+
+Quick start
+-----------
+>>> from repro import DiGraph, Reachability
+>>> g = DiGraph(5)
+>>> for u, v in [(0, 1), (1, 2), (2, 3), (1, 4)]:
+...     _ = g.add_edge(u, v)
+>>> oracle = Reachability(g)          # Distribution-Labeling by default
+>>> oracle.query(0, 3)
+True
+>>> oracle.query(4, 2)
+False
+
+Main entry points
+-----------------
+* :class:`Reachability` — facade for arbitrary digraphs (condenses SCCs).
+* :class:`DistributionLabeling` / :class:`HierarchicalLabeling` — the
+  paper's two labeling algorithms, operating on DAGs.
+* :func:`get_method` — registry of all indices by paper abbreviation
+  (``DL``, ``HL``, ``PT``, ``INT``, ``PW8``, ``KR``, ``GL``, ``GL*``,
+  ``PT*``, ``2HOP``, ``TF``, ``PL``, ``BFS``, ``DFS``, ``CH``).
+* :mod:`repro.bench` / ``python -m repro.cli`` — regenerate the paper's
+  tables and figures on synthetic stand-in datasets.
+"""
+
+from .graph.digraph import DiGraph
+from .graph.scc import condense
+from .core.base import ReachabilityIndex, get_method, method_registry
+from .core.distribution import DistributionLabeling
+from .core.dynamic import DynamicDL
+from .core.hierarchical import HierarchicalLabeling
+from .facade import Reachability
+from .serialization import load_labels, save_labels
+
+# Importing these modules registers every baseline in the method registry.
+from . import baselines as _baselines  # noqa: F401
+from .scarab import framework as _scarab  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiGraph",
+    "condense",
+    "ReachabilityIndex",
+    "get_method",
+    "method_registry",
+    "DistributionLabeling",
+    "DynamicDL",
+    "HierarchicalLabeling",
+    "Reachability",
+    "save_labels",
+    "load_labels",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Baselines from the paper's evaluation (§6.1) plus related-work extras."""
+
+from .online import OnlineBFS, OnlineDFS
+from .grail import Grail
+from .intervals import IntervalSet
+from .interval import NuutilaInterval
+from .pathtree import PathTree
+from .pwah import Pwah8, PwahBitVector
+from .kreach import KReach
+from .twohop import TwoHop
+from .tflabel import TFLabel
+from .pruned_landmark import PrunedLandmark
+from .chain import ChainCompression
+from .treecover import TreeCover
+from .dual import DualLabeling
+from .threehop import ThreeHop
+from .islabel import ISLabel
+
+__all__ = [
+    "OnlineBFS",
+    "OnlineDFS",
+    "Grail",
+    "IntervalSet",
+    "NuutilaInterval",
+    "PathTree",
+    "Pwah8",
+    "PwahBitVector",
+    "KReach",
+    "TwoHop",
+    "TFLabel",
+    "PrunedLandmark",
+    "ChainCompression",
+    "TreeCover",
+    "DualLabeling",
+    "ThreeHop",
+    "ISLabel",
+]

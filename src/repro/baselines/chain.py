@@ -1,0 +1,90 @@
+"""Chain compression (Jagadish 1990) — the classic TC compression.
+
+Listed in the paper's related work (§2.1) as the earliest transitive
+closure compression family: decompose the DAG into chains; a vertex's
+closure intersected with one chain is always a *suffix* of the chain, so
+``TC(u)`` compresses to at most one integer per chain ("the first
+position of each chain that u reaches").
+
+Included as a substrate/ablation baseline (abbreviation ``CH``): it is
+the conceptual ancestor of PathTree and a useful lower bound on what
+chain-aware numbering buys.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph.digraph import DiGraph
+from ..graph.topo import topological_order
+from ..core.base import ReachabilityIndex, register_method
+from .pathtree import greedy_path_decomposition
+
+__all__ = ["ChainCompression"]
+
+
+@register_method
+class ChainCompression(ReachabilityIndex):
+    """Chain-cover compressed transitive closure (abbreviation ``CH``).
+
+    For each vertex ``u``, ``first[u]`` is a sorted list of
+    ``(chain_id, min_position)`` pairs: the earliest vertex of each chain
+    reachable from ``u``.  Query: look up ``chain(v)`` in ``first[u]``
+    and compare positions.
+    """
+
+    short_name = "CH"
+    full_name = "Chain compression"
+
+    def _build(self, graph: DiGraph) -> None:
+        order = topological_order(graph)
+        if order is None:
+            raise ValueError("chain compression requires a DAG; condense first")
+        chains = greedy_path_decomposition(graph, order)
+        n = graph.n
+        chain_of = [0] * n
+        pos_of = [0] * n
+        for cid, chain in enumerate(chains):
+            for i, v in enumerate(chain):
+                chain_of[v] = cid
+                pos_of[v] = i
+        self._chain_of = chain_of
+        self._pos_of = pos_of
+        self._n_chains = len(chains)
+
+        # first[u]: dict chain -> min reachable position, built in
+        # reverse topological order, then frozen into sorted pair lists.
+        firsts: List[dict] = [None] * n  # type: ignore[list-item]
+        for u in reversed(order):
+            acc = {chain_of[u]: pos_of[u]}
+            for w in graph.out(u):
+                for cid, p in firsts[w].items():
+                    cur = acc.get(cid)
+                    if cur is None or p < cur:
+                        acc[cid] = p
+            firsts[u] = acc
+        self._first_keys: List[List[int]] = []
+        self._first_vals: List[List[int]] = []
+        for u in range(n):
+            items = sorted(firsts[u].items())
+            self._first_keys.append([k for k, _ in items])
+            self._first_vals.append([p for _, p in items])
+
+    def query(self, u: int, v: int) -> bool:
+        from bisect import bisect_left
+
+        cid = self._chain_of[v]
+        keys = self._first_keys[u]
+        i = bisect_left(keys, cid)
+        if i == len(keys) or keys[i] != cid:
+            return False
+        return self._first_vals[u][i] <= self._pos_of[v]
+
+    def index_size_ints(self) -> int:
+        entries = sum(len(k) for k in self._first_keys)
+        return 2 * entries + 2 * self.graph.n  # pairs + (chain, pos) per vertex
+
+    def stats(self):
+        base = super().stats()
+        base.update({"chains": self._n_chains})
+        return base

@@ -1,0 +1,144 @@
+"""GRAIL — scalable online search with random interval labels.
+
+Yildirim, Chaoji & Zaki (PVLDB 2010), the paper's representative of the
+fast-online-search family (§2.1).  Each of ``k`` rounds performs a random
+post-order DFS over the DAG; vertex ``v`` receives the interval
+``[low_i(v), post_i(v)]`` where ``post_i`` is its post-order number and
+``low_i`` the minimum post-order in its reachable subtree.  If ``u``
+reaches ``v`` then ``L_i(v) ⊆ L_i(u)`` in every round — so any violated
+containment proves non-reachability in O(k).  Containment in all rounds
+is *necessary but not sufficient*; GRAIL then falls back to a DFS that
+expands only children whose intervals still contain ``v``'s.
+
+The paper runs GRAIL with 5 traversals (§6.1); we default to the same.
+
+Construction is light (k DFS passes), the index is ``2kn`` integers, and
+query time degrades on large dense graphs — exactly the trade-off Tables
+2-7 show.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..graph.digraph import DiGraph
+from ..graph.topo import topological_levels
+from ..core.base import ReachabilityIndex, register_method
+
+__all__ = ["Grail"]
+
+
+@register_method
+class Grail(ReachabilityIndex):
+    """GRAIL index (abbreviation ``GL``).
+
+    Parameters
+    ----------
+    graph:
+        The DAG to index.
+    k:
+        Number of random interval labelings (paper setting: 5).
+    seed:
+        Seed for the random traversal orders.
+    """
+
+    short_name = "GL"
+    full_name = "GRAIL"
+
+    def _build(self, graph: DiGraph, k: int = 5, seed: int = 0) -> None:
+        self.k = k
+        n = graph.n
+        self._out = graph.out_adj
+        self._levels = topological_levels(graph)
+        rng = random.Random(seed)
+        # lows[i][v], posts[i][v] per labeling round i.
+        self._lows: List[List[int]] = []
+        self._posts: List[List[int]] = []
+        roots = graph.sources()
+        for _ in range(k):
+            low, post = self._random_interval_labeling(graph, roots, rng)
+            self._lows.append(low)
+            self._posts.append(post)
+        self._visited = bytearray(n)
+
+    def _random_interval_labeling(self, graph: DiGraph, roots, rng):
+        """One random post-order DFS pass over the whole DAG.
+
+        ``post[v]`` is the post-order number; ``low[v]`` is the minimum
+        post-order number over everything reachable from ``v`` (itself
+        included).  In a DAG every out-neighbour is finished when ``v``
+        exits, so ``low`` is a simple min over neighbours at exit time.
+        """
+        n = graph.n
+        low = [0] * n
+        post = [0] * n
+        state = bytearray(n)  # 0 unvisited / 1 discovered / 2 finished
+        counter = 0
+        out = graph.out_adj
+        root_order = list(roots)
+        rng.shuffle(root_order)
+        for root in root_order:
+            if state[root]:
+                continue
+            stack = [(root, False)]
+            while stack:
+                v, exiting = stack.pop()
+                if exiting:
+                    low_v = counter
+                    for w in out[v]:
+                        if low[w] < low_v:
+                            low_v = low[w]
+                    post[v] = counter
+                    low[v] = low_v
+                    counter += 1
+                    state[v] = 2
+                    continue
+                if state[v]:
+                    continue
+                state[v] = 1
+                stack.append((v, True))
+                children = [w for w in out[v] if not state[w]]
+                rng.shuffle(children)
+                for w in children:
+                    stack.append((w, False))
+        return low, post
+
+    # ------------------------------------------------------------------
+    def _contained(self, u: int, v: int) -> bool:
+        """Necessary condition: v's interval inside u's in all rounds."""
+        for low, post in zip(self._lows, self._posts):
+            if low[v] < low[u] or post[v] > post[u]:
+                return False
+        return True
+
+    def query(self, u: int, v: int) -> bool:
+        if u == v:
+            return True
+        if self._levels[u] >= self._levels[v]:
+            return False
+        if not self._contained(u, v):
+            return False
+        # Pruned DFS: expand only children whose intervals may contain v.
+        out = self._out
+        visited = self._visited
+        stack = [u]
+        visited[u] = 1
+        touched = [u]
+        found = False
+        while stack and not found:
+            x = stack.pop()
+            for w in out[x]:
+                if w == v:
+                    found = True
+                    break
+                if not visited[w] and self._contained(w, v):
+                    visited[w] = 1
+                    touched.append(w)
+                    stack.append(w)
+        for x in touched:
+            visited[x] = 0
+        return found
+
+    def index_size_ints(self) -> int:
+        return 2 * self.k * self.graph.n + self.graph.n  # intervals + levels

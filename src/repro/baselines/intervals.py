@@ -1,0 +1,147 @@
+"""Interval sets: the shared substrate of INT and PathTree.
+
+Both Nuutila's INT and PathTree compress each vertex's transitive closure
+``TC(u)`` into a sorted list of disjoint integer intervals over some
+vertex numbering (§2.1 of the paper: "if TC(u) is {1,2,3,4,8,9,10} it can
+be represented as two intervals [1,4] and [8,10]").  The numbering is the
+whole trick — a good numbering makes closures contiguous — and is what
+distinguishes the two methods; the container below is numbering-agnostic.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["IntervalSet"]
+
+
+class IntervalSet:
+    """Sorted disjoint closed intervals ``[a, b]`` over non-negative ints.
+
+    Stored as two parallel lists (starts, ends) to keep membership tests
+    a single ``bisect`` plus one comparison.
+
+    Examples
+    --------
+    >>> s = IntervalSet.from_sorted_ints([1, 2, 3, 4, 8, 9, 10])
+    >>> list(s.intervals())
+    [(1, 4), (8, 10)]
+    >>> 4 in s, 7 in s
+    (True, False)
+    """
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self, starts: List[int] = None, ends: List[int] = None) -> None:
+        self.starts: List[int] = starts if starts is not None else []
+        self.ends: List[int] = ends if ends is not None else []
+        if len(self.starts) != len(self.ends):
+            raise ValueError("starts/ends length mismatch")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sorted_ints(cls, values: Sequence[int]) -> "IntervalSet":
+        """Build from a strictly increasing sequence of ints."""
+        starts: List[int] = []
+        ends: List[int] = []
+        for v in values:
+            if ends and v == ends[-1] + 1:
+                ends[-1] = v
+            elif ends and v <= ends[-1]:
+                raise ValueError("input not strictly increasing")
+            else:
+                starts.append(v)
+                ends.append(v)
+        return cls(starts, ends)
+
+    @classmethod
+    def union_merge(cls, sets: Iterable["IntervalSet"]) -> "IntervalSet":
+        """Union of several interval sets.
+
+        This is the inner operation of interval-TC propagation: a
+        vertex's closure is the union of its own singleton with the
+        closures of its out-neighbours.
+        """
+        events: List[Tuple[int, int]] = []
+        for s in sets:
+            events.extend(zip(s.starts, s.ends))
+        if not events:
+            return cls()
+        events.sort()
+        starts: List[int] = []
+        ends: List[int] = []
+        cur_s, cur_e = events[0]
+        for a, b in events[1:]:
+            if a <= cur_e + 1:
+                if b > cur_e:
+                    cur_e = b
+            else:
+                starts.append(cur_s)
+                ends.append(cur_e)
+                cur_s, cur_e = a, b
+        starts.append(cur_s)
+        ends.append(cur_e)
+        return cls(starts, ends)
+
+    # ------------------------------------------------------------------
+    def add_point(self, v: int) -> None:
+        """Insert a single value (used to seed a closure with the vertex).
+
+        Optimised for the common propagation case where ``v`` is adjacent
+        to or inside an existing boundary interval; falls back to a
+        general insert otherwise.
+        """
+        i = bisect_right(self.starts, v)
+        if i > 0 and self.ends[i - 1] >= v:
+            return  # already covered
+        touches_left = i > 0 and self.ends[i - 1] == v - 1
+        touches_right = i < len(self.starts) and self.starts[i] == v + 1
+        if touches_left and touches_right:
+            self.ends[i - 1] = self.ends[i]
+            del self.starts[i]
+            del self.ends[i]
+        elif touches_left:
+            self.ends[i - 1] = v
+        elif touches_right:
+            self.starts[i] = v
+        else:
+            self.starts.insert(i, v)
+            self.ends.insert(i, v)
+
+    def __contains__(self, v: int) -> bool:
+        i = bisect_right(self.starts, v)
+        return i > 0 and self.ends[i - 1] >= v
+
+    def intervals(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(start, end)`` pairs."""
+        return zip(self.starts, self.ends)
+
+    def __len__(self) -> int:
+        """Number of intervals."""
+        return len(self.starts)
+
+    def cardinality(self) -> int:
+        """Number of integers covered."""
+        return sum(e - s + 1 for s, e in zip(self.starts, self.ends))
+
+    def to_sorted_ints(self) -> List[int]:
+        """Expand back into the covered integers (tests / small sets only)."""
+        out: List[int] = []
+        for s, e in zip(self.starts, self.ends):
+            out.extend(range(s, e + 1))
+        return out
+
+    def storage_ints(self) -> int:
+        """Integers needed to store this set (two per interval)."""
+        return 2 * len(self.starts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self.starts == other.starts and self.ends == other.ends
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"[{s},{e}]" for s, e in list(self.intervals())[:4])
+        more = "…" if len(self) > 4 else ""
+        return f"IntervalSet({body}{more})"

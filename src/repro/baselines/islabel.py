@@ -1,0 +1,228 @@
+"""IS-Label — independent-set based distance labeling (Fu et al., 2013).
+
+The paper's §6.1 mentions testing IS-Label and omitting its numbers:
+"its query performance is at least 2 to 3 orders magnitude slower than
+the reachability methods".  We implement it so that claim is checkable
+rather than taken on faith.
+
+Construction builds a vertex hierarchy by repeatedly *removing an
+independent set* of low-degree vertices; each removed vertex is patched
+around with weighted shortcut edges (``w(u,v) + w(v,x)``), so shortest
+distances among the survivors are preserved.  Labels are then assigned
+top-down: the small core gets exact all-pairs distances, and every
+removed vertex inherits ``(hop, distance)`` entries from its (strictly
+higher-level) neighbours at removal time:
+
+    ``Lout(v) = {(v, 0)} ∪ { (h, w(v,x) + d) : x ∈ out(v), (h,d) ∈ Lout(x) }``
+
+Every shortest path factors as an up-then-down path through the
+hierarchy, so ``dist(s, t) = min over common hops of d_out + d_in`` is
+exact; reachability is its finiteness.  Queries carry the same
+distance-merging overhead as Pruned Landmark but with the heavier
+labels the folding produces — the slowness the paper observed.
+
+Registered as ``ISL``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.digraph import DiGraph
+from ..graph.topo import topological_order
+from ..core.base import ReachabilityIndex, register_method
+
+__all__ = ["ISLabel"]
+
+_INF = float("inf")
+
+
+@register_method
+class ISLabel(ReachabilityIndex):
+    """IS-Label distance labeling (abbreviation ``ISL``).
+
+    Parameters
+    ----------
+    graph:
+        The DAG to index (unit edge weights).
+    core_limit:
+        Stop folding once at most this many vertices remain; the core
+        is labeled with exact all-pairs distances.
+    max_storage_ints:
+        Budget on total label entries (two ints each).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import path_dag
+    >>> isl = ISLabel(path_dag(5))
+    >>> isl.query(0, 4), isl.distance(0, 4)
+    (True, 4)
+    """
+
+    short_name = "ISL"
+    full_name = "IS-Label (independent-set folding)"
+
+    def _build(
+        self,
+        graph: DiGraph,
+        core_limit: int = 32,
+        max_storage_ints: int = 60_000_000,
+    ) -> None:
+        if topological_order(graph) is None:
+            raise ValueError("IS-Label requires a DAG; condense first")
+        n = graph.n
+
+        # Working weighted graph: out_w[v] = {x: w}, in_w mirrors it.
+        out_w: List[Dict[int, int]] = [dict() for _ in range(n)]
+        in_w: List[Dict[int, int]] = [dict() for _ in range(n)]
+        for u, v in graph.edges():
+            out_w[u][v] = 1
+            in_w[v][u] = 1
+
+        alive = set(range(n))
+        removal_out: List[Optional[List[Tuple[int, int]]]] = [None] * n
+        removal_in: List[Optional[List[Tuple[int, int]]]] = [None] * n
+        fold_order: List[int] = []
+
+        while len(alive) > core_limit:
+            selected = self._independent_set(alive, out_w, in_w)
+            if not selected:
+                break
+            for v in selected:
+                removal_out[v] = list(out_w[v].items())
+                removal_in[v] = list(in_w[v].items())
+                fold_order.append(v)
+                # Patch shortcuts around v, keeping minimal weights.
+                for u, wu in in_w[v].items():
+                    del out_w[u][v]
+                    for x, wx in out_w[v].items():
+                        if u == x:
+                            continue
+                        w = wu + wx
+                        cur = out_w[u].get(x)
+                        if cur is None or w < cur:
+                            out_w[u][x] = w
+                            in_w[x][u] = w
+                for x in out_w[v]:
+                    del in_w[x][v]
+                out_w[v] = {}
+                in_w[v] = {}
+                alive.remove(v)
+
+        # Core labels: exact all-pairs via per-source Dijkstra.
+        lout_h: List[List[int]] = [[] for _ in range(n)]
+        lout_d: List[List[int]] = [[] for _ in range(n)]
+        lin_h: List[List[int]] = [[] for _ in range(n)]
+        lin_d: List[List[int]] = [[] for _ in range(n)]
+        core = sorted(alive)
+        for s in core:
+            dist = self._dijkstra(s, out_w)
+            for t in sorted(dist):
+                lout_h[s].append(t)
+                lout_d[s].append(dist[t])
+                # lin lists stay sorted because s ascends across the loop.
+                lin_h[t].append(s)
+                lin_d[t].append(dist[t])
+
+        stored = sum(len(x) for x in lout_h) + sum(len(x) for x in lin_h)
+
+        # Removed vertices: inherit from removal-time neighbours,
+        # processed in reverse fold order (highest level first).
+        for v in reversed(fold_order):
+            acc_out: Dict[int, int] = {v: 0}
+            for x, w in removal_out[v]:
+                hs, ds = lout_h[x], lout_d[x]
+                for h, d in zip(hs, ds):
+                    total = w + d
+                    cur = acc_out.get(h)
+                    if cur is None or total < cur:
+                        acc_out[h] = total
+            items = sorted(acc_out.items())
+            lout_h[v] = [h for h, _ in items]
+            lout_d[v] = [d for _, d in items]
+
+            acc_in: Dict[int, int] = {v: 0}
+            for u, w in removal_in[v]:
+                hs, ds = lin_h[u], lin_d[u]
+                for h, d in zip(hs, ds):
+                    total = w + d
+                    cur = acc_in.get(h)
+                    if cur is None or total < cur:
+                        acc_in[h] = total
+            items = sorted(acc_in.items())
+            lin_h[v] = [h for h, _ in items]
+            lin_d[v] = [d for _, d in items]
+
+            stored += len(lout_h[v]) + len(lin_h[v])
+            if 2 * stored > max_storage_ints:
+                raise MemoryError(
+                    f"IS-Label storage exceeded {max_storage_ints} ints"
+                )
+
+        self._lout_h, self._lout_d = lout_h, lout_d
+        self._lin_h, self._lin_d = lin_h, lin_d
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _independent_set(alive, out_w, in_w) -> List[int]:
+        """Greedy independent set, lowest total degree first."""
+        order = sorted(alive, key=lambda v: (len(out_w[v]) + len(in_w[v]), v))
+        blocked = set()
+        selected: List[int] = []
+        for v in order:
+            if v in blocked:
+                continue
+            selected.append(v)
+            blocked.add(v)
+            blocked.update(out_w[v])
+            blocked.update(in_w[v])
+        return selected
+
+    @staticmethod
+    def _dijkstra(source: int, out_w) -> Dict[int, int]:
+        dist = {source: 0}
+        heap = [(0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, _INF):
+                continue
+            for x, w in out_w[u].items():
+                nd = d + w
+                if nd < dist.get(x, _INF):
+                    dist[x] = nd
+                    heapq.heappush(heap, (nd, x))
+        return dist
+
+    # ------------------------------------------------------------------
+    def distance(self, u: int, v: int) -> Optional[int]:
+        """Exact hop-count distance, or ``None`` if unreachable."""
+        if u == v:
+            return 0
+        best = _INF
+        hs_u, ds_u = self._lout_h[u], self._lout_d[u]
+        hs_v, ds_v = self._lin_h[v], self._lin_d[v]
+        i = j = 0
+        nu, nv = len(hs_u), len(hs_v)
+        while i < nu and j < nv:
+            a, b = hs_u[i], hs_v[j]
+            if a == b:
+                total = ds_u[i] + ds_v[j]
+                if total < best:
+                    best = total
+                i += 1
+                j += 1
+            elif a < b:
+                i += 1
+            else:
+                j += 1
+        return None if best is _INF else int(best)
+
+    def query(self, u: int, v: int) -> bool:
+        return self.distance(u, v) is not None
+
+    def index_size_ints(self) -> int:
+        ints = 0
+        for arrs in (self._lout_h, self._lout_d, self._lin_h, self._lin_d):
+            ints += sum(len(a) for a in arrs)
+        return ints

@@ -1,0 +1,154 @@
+"""K-Reach — vertex-cover based reachability (basic k = ∞ case).
+
+Cheng, Shang, Cheng, Wang & Yu (PVLDB 2012).  For basic reachability the
+index is: a vertex cover ``S`` of the DAG, plus the materialised
+transitive closure *restricted to cover vertices*.  Because every edge
+has an endpoint in ``S``, no two non-cover vertices are adjacent, so any
+path decomposes into cover-to-cover segments of length ≤ 2; four query
+cases (by cover membership of the endpoints) each reduce to O(deg) probes
+of the cover closure.
+
+The defining weakness reproduced here: the cover of a large graph is
+large, and materialising its pairwise closure is quadratic in the cover
+size — K-Reach fails on most large graphs (Tables 5-7 report "—"), which
+our budget guards reproduce.  As the paper notes, K-Reach is "a
+reachability backbone with ε = 1" whose backbone index is a full TC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..graph.digraph import DiGraph
+from ..graph.topo import topological_order
+from ..core.base import ReachabilityIndex, register_method
+from ..core.order import degree_product_order
+
+__all__ = ["KReach"]
+
+
+@register_method
+class KReach(ReachabilityIndex):
+    """K-Reach index for basic reachability (abbreviation ``KR``).
+
+    Parameters
+    ----------
+    graph:
+        The DAG to index.
+    max_cover_closure_bits:
+        Safety budget on the ``|S|²`` closure bit matrix used during
+        construction.
+    max_cover_tc_entries:
+        Budget on the number of materialised cover-to-cover reachable
+        pairs — the index size that makes K-Reach fail on large graphs
+        (the "—" entries of Tables 5-7).
+    """
+
+    short_name = "KR"
+    full_name = "K-Reach (vertex cover)"
+
+    def _build(
+        self,
+        graph: DiGraph,
+        max_cover_closure_bits: int = 600_000_000,
+        max_cover_tc_entries: int = 200_000_000,
+    ) -> None:
+        order = topological_order(graph)
+        if order is None:
+            raise ValueError("K-Reach requires a DAG; condense first")
+
+        cover = self._greedy_vertex_cover(graph)
+        if len(cover) * len(cover) > max_cover_closure_bits:
+            raise MemoryError(
+                f"K-Reach cover closure would need {len(cover)**2} bits "
+                f"(budget {max_cover_closure_bits}); graph too large"
+            )
+        self._in_cover = bytearray(graph.n)
+        for v in cover:
+            self._in_cover[v] = 1
+        self._cover_index: Dict[int, int] = {v: i for i, v in enumerate(cover)}
+        self._cover = cover
+
+        # Cover graph: cover pairs joined by an edge or a 2-path through
+        # a non-cover middle vertex (no other path shapes exist).
+        cg = DiGraph(len(cover))
+        ci = self._cover_index
+        for u, v in graph.edges():
+            if self._in_cover[u] and self._in_cover[v]:
+                if not cg.has_edge(ci[u], ci[v]):
+                    cg.add_edge(ci[u], ci[v])
+        for x in graph.vertices():
+            if self._in_cover[x]:
+                continue
+            for u in graph.inn(x):
+                for v in graph.out(x):
+                    # u, v are in the cover by the vertex-cover property.
+                    if u != v and not cg.has_edge(ci[u], ci[v]):
+                        cg.add_edge(ci[u], ci[v])
+        cg.freeze()
+
+        # Materialise the cover-to-cover closure as bitsets.
+        cg_order = topological_order(cg)
+        assert cg_order is not None, "cover graph of a DAG must be acyclic"
+        tc = [0] * cg.n
+        entries = 0
+        for a in reversed(cg_order):
+            bits = 1 << a
+            for b in cg.out(a):
+                bits |= tc[b]
+            tc[a] = bits
+            entries += bits.bit_count()
+            if entries > max_cover_tc_entries:
+                raise MemoryError(
+                    f"K-Reach cover closure exceeded {max_cover_tc_entries} "
+                    "entries; index too large for this graph"
+                )
+        self._cover_tc = tc
+        self._tc_entries = entries
+
+    @staticmethod
+    def _greedy_vertex_cover(graph: DiGraph) -> List[int]:
+        """Greedy cover in degree order (standard K-Reach construction)."""
+        in_cover = bytearray(graph.n)
+        for v in degree_product_order(graph, 0):
+            if in_cover[v]:
+                continue
+            if any(not in_cover[u] for u in graph.inn(v)) or any(
+                not in_cover[w] for w in graph.out(v)
+            ):
+                in_cover[v] = 1
+        return [v for v in graph.vertices() if in_cover[v]]
+
+    # ------------------------------------------------------------------
+    def _cover_reach(self, a: int, b: int) -> bool:
+        """Closure probe between cover vertices (original ids)."""
+        ia = self._cover_index[a]
+        ib = self._cover_index[b]
+        return bool((self._cover_tc[ia] >> ib) & 1)
+
+    def query(self, u: int, v: int) -> bool:
+        if u == v:
+            return True
+        cu = self._in_cover[u]
+        cv = self._in_cover[v]
+        if cu and cv:
+            return self._cover_reach(u, v)
+        if cu:
+            # v's in-neighbours are all cover vertices.
+            return any(self._cover_reach(u, w) for w in self.graph.inn(v))
+        if cv:
+            return any(self._cover_reach(w, v) for w in self.graph.out(u))
+        # Neither endpoint in the cover: endpoints' neighbours all are.
+        out_u = self.graph.out(u)
+        in_v = self.graph.inn(v)
+        return any(self._cover_reach(w, x) for w in out_u for x in in_v)
+
+    def index_size_ints(self) -> int:
+        # Closure entries (one int each, adjacency-list accounting as in
+        # the paper's Figure 3/4 metric) + cover membership map.
+        return self._tc_entries + self.graph.n
+
+    def stats(self) -> Dict[str, object]:
+        base = super().stats()
+        base.update({"cover_size": len(self._cover), "cover_tc_entries": self._tc_entries})
+        return base

@@ -1,0 +1,110 @@
+"""Online-search reachability (plain BFS/DFS).
+
+One end of the paper's spectrum (§2.1): no index at all, answer each
+query by searching.  Serves three roles here:
+
+* ground truth for every correctness test,
+* the "no precomputation" reference point in benchmarks,
+* the inner engine that GRAIL accelerates with interval pruning.
+"""
+
+from __future__ import annotations
+
+from ..graph.digraph import DiGraph
+from ..graph.topo import topological_levels
+from ..core.base import ReachabilityIndex, register_method
+
+__all__ = ["OnlineBFS", "OnlineDFS"]
+
+
+@register_method
+class OnlineBFS(ReachabilityIndex):
+    """Index-free BFS reachability (abbreviation ``BFS``).
+
+    A topological-level filter is kept (one int per vertex — essentially
+    free) because every serious online-search implementation short-cuts
+    impossible queries this way.
+    """
+
+    short_name = "BFS"
+    full_name = "Online BFS"
+
+    def _build(self, graph: DiGraph) -> None:
+        self._levels = topological_levels(graph)
+        self._out = graph.out_adj
+        self._visited = bytearray(graph.n)
+
+    def query(self, u: int, v: int) -> bool:
+        if u == v:
+            return True
+        levels = self._levels
+        if levels[u] >= levels[v]:
+            return False
+        out = self._out
+        visited = self._visited
+        target_level = levels[v]
+        frontier = [u]
+        visited[u] = 1
+        touched = [u]
+        found = False
+        qi = 0
+        while qi < len(frontier) and not found:
+            x = frontier[qi]
+            qi += 1
+            for w in out[x]:
+                if w == v:
+                    found = True
+                    break
+                if not visited[w] and levels[w] < target_level:
+                    visited[w] = 1
+                    touched.append(w)
+                    frontier.append(w)
+        for x in touched:
+            visited[x] = 0
+        return found
+
+    def index_size_ints(self) -> int:
+        return len(self._levels)
+
+
+@register_method
+class OnlineDFS(ReachabilityIndex):
+    """Index-free iterative DFS reachability (abbreviation ``DFS``)."""
+
+    short_name = "DFS"
+    full_name = "Online DFS"
+
+    def _build(self, graph: DiGraph) -> None:
+        self._levels = topological_levels(graph)
+        self._out = graph.out_adj
+        self._visited = bytearray(graph.n)
+
+    def query(self, u: int, v: int) -> bool:
+        if u == v:
+            return True
+        levels = self._levels
+        if levels[u] >= levels[v]:
+            return False
+        out = self._out
+        visited = self._visited
+        target_level = levels[v]
+        stack = [u]
+        visited[u] = 1
+        touched = [u]
+        found = False
+        while stack and not found:
+            x = stack.pop()
+            for w in out[x]:
+                if w == v:
+                    found = True
+                    break
+                if not visited[w] and levels[w] < target_level:
+                    visited[w] = 1
+                    touched.append(w)
+                    stack.append(w)
+        for x in touched:
+            visited[x] = 0
+        return found
+
+    def index_size_ints(self) -> int:
+        return len(self._levels)

@@ -1,0 +1,202 @@
+"""PathTree (PT) — path-decomposition-driven TC compression.
+
+Jin, Xiang, Ruan & Wang (SIGMOD 2008 / TODS 2011): decompose the DAG
+into vertex-disjoint paths, organise the paths into a tree (the
+*path-tree*), and number vertices so that both within-path suffixes and
+path-subtree regions are contiguous; each vertex's transitive closure
+then compresses into very few intervals, and queries are a constant-time
+same-path comparison or an interval lookup.
+
+Reproduction scope: we implement the load-bearing pipeline —
+
+1. greedy minimal path decomposition along the topological order,
+2. a maximum-weight branching over the (acyclified) path graph, weighted
+   by cross-edge counts, giving the path-tree,
+3. pre-order numbering over the path-tree with consecutive within-path
+   positions,
+4. interval-list closures over that numbering (reverse-topological
+   union-merge), with an O(1) same-path fast path at query time.
+
+The original paper adds further per-vertex tree coordinates to elide
+more intervals; those engineering refinements change constants, not the
+evaluation signature the reproduction targets (fastest small-graph
+queries; index size blows up on large dense graphs — Tables 2-7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.digraph import DiGraph
+from ..graph.topo import topological_order
+from ..core.base import ReachabilityIndex, register_method
+from .intervals import IntervalSet
+
+__all__ = ["PathTree", "greedy_path_decomposition"]
+
+
+def greedy_path_decomposition(graph: DiGraph, order: Optional[List[int]] = None) -> List[List[int]]:
+    """Split the DAG into vertex-disjoint paths.
+
+    Walk the topological order; every unassigned vertex starts a path,
+    which is extended greedily through unassigned out-neighbours
+    (preferring the neighbour with the fewest unassigned in-edges, a
+    cheap heuristic that keeps later paths long).
+    """
+    if order is None:
+        order = topological_order(graph)
+        if order is None:
+            raise ValueError("path decomposition requires a DAG")
+    n = graph.n
+    assigned = bytearray(n)
+    paths: List[List[int]] = []
+    for v in order:
+        if assigned[v]:
+            continue
+        path = [v]
+        assigned[v] = 1
+        cur = v
+        while True:
+            best = None
+            best_key = None
+            for w in graph.out(cur):
+                if assigned[w]:
+                    continue
+                free_in = sum(1 for x in graph.inn(w) if not assigned[x])
+                key = (free_in, w)
+                if best is None or key < best_key:
+                    best, best_key = w, key
+            if best is None:
+                break
+            path.append(best)
+            assigned[best] = 1
+            cur = best
+        paths.append(path)
+    return paths
+
+
+def _build_path_tree(graph: DiGraph, paths: List[List[int]], path_of: List[int]):
+    """Maximum-weight branching over the path graph.
+
+    Path nodes are ordered by the topological position of their first
+    vertex; a path may only choose a parent with a smaller position,
+    which acyclifies the (possibly cyclic) path graph.  Each path then
+    keeps its heaviest allowed in-edge — a maximum branching, i.e. the
+    path-tree (a forest in general).
+    """
+    first_pos: Dict[int, int] = {}
+    order = topological_order(graph)
+    pos = [0] * graph.n
+    for i, v in enumerate(order):
+        pos[v] = i
+    for pid, path in enumerate(paths):
+        first_pos[pid] = pos[path[0]]
+
+    weight: Dict[Tuple[int, int], int] = {}
+    for u, v in graph.edges():
+        pu, pv = path_of[u], path_of[v]
+        if pu != pv and first_pos[pu] < first_pos[pv]:
+            weight[(pu, pv)] = weight.get((pu, pv), 0) + 1
+
+    parent = [-1] * len(paths)
+    best_w = [0] * len(paths)
+    for (pu, pv), w in weight.items():
+        if w > best_w[pv] or (w == best_w[pv] and parent[pv] > pu >= 0):
+            parent[pv] = pu
+            best_w[pv] = w
+    children: List[List[int]] = [[] for _ in paths]
+    roots: List[int] = []
+    for pid, par in enumerate(parent):
+        if par < 0:
+            roots.append(pid)
+        else:
+            children[par].append(pid)
+    return roots, children
+
+
+@register_method
+class PathTree(ReachabilityIndex):
+    """PathTree reachability index (abbreviation ``PT``).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import path_dag
+    >>> pt = PathTree(path_dag(5))
+    >>> pt.query(0, 4), pt.query(4, 2)
+    (True, False)
+    """
+
+    short_name = "PT"
+    full_name = "PathTree"
+
+    def _build(self, graph: DiGraph, max_storage_ints: int = 80_000_000) -> None:
+        order = topological_order(graph)
+        if order is None:
+            raise ValueError("PathTree requires a DAG; condense first")
+        paths = greedy_path_decomposition(graph, order)
+        n = graph.n
+        path_of = [0] * n
+        pos_in_path = [0] * n
+        for pid, path in enumerate(paths):
+            for i, v in enumerate(path):
+                path_of[v] = pid
+                pos_in_path[v] = i
+        self._path_of = path_of
+        self._pos_in_path = pos_in_path
+        self._n_paths = len(paths)
+
+        roots, children = _build_path_tree(graph, paths, path_of)
+
+        # Pre-order numbering over the path-tree; vertices of a path get
+        # consecutive numbers in chain order, so a within-path suffix is
+        # a single interval.
+        number = [0] * n
+        counter = 0
+        for root in roots:
+            stack = [root]
+            while stack:
+                pid = stack.pop()
+                for v in paths[pid]:
+                    number[v] = counter
+                    counter += 1
+                # Reverse to preserve child order under LIFO popping.
+                stack.extend(reversed(children[pid]))
+        self._number = number
+
+        # Interval closures over the path-tree numbering.
+        closures: List[IntervalSet] = [None] * n  # type: ignore[list-item]
+        stored = 0
+        for u in reversed(order):
+            succ = [closures[w] for w in graph.out(u)]
+            merged = IntervalSet.union_merge(succ) if succ else IntervalSet()
+            merged.add_point(number[u])
+            closures[u] = merged
+            stored += merged.storage_ints()
+            if stored > max_storage_ints:
+                raise MemoryError(
+                    f"PathTree interval storage exceeded {max_storage_ints} ints; "
+                    "closure does not compress on this graph"
+                )
+        self._closures = closures
+
+    def query(self, u: int, v: int) -> bool:
+        # O(1) fast path: same path => position comparison decides.
+        if self._path_of[u] == self._path_of[v]:
+            return self._pos_in_path[u] <= self._pos_in_path[v]
+        return self._number[v] in self._closures[u]
+
+    def index_size_ints(self) -> int:
+        # Interval endpoints + numbering + (path id, position) per vertex.
+        return sum(c.storage_ints() for c in self._closures) + 3 * self.graph.n
+
+    def stats(self):
+        base = super().stats()
+        base.update(
+            {
+                "paths": self._n_paths,
+                "avg_intervals": round(
+                    sum(len(c) for c in self._closures) / max(1, self.graph.n), 2
+                ),
+            }
+        )
+        return base

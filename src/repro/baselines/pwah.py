@@ -1,0 +1,312 @@
+"""PWAH-8 — word-aligned-hybrid compressed bit-vector closures.
+
+van Schaik & de Moor (SIGMOD 2011) store each vertex's transitive
+closure as a compressed bit vector.  PWAH-8 splits every 64-bit word
+into 8 partitions of 7 payload bits plus an 8-bit flag field; each
+partition is either a **literal** (7 raw closure bits) or a **fill**
+(one bit of fill value + a 6-bit run length counted in 7-bit blocks).
+Long homogeneous stretches of the closure — which a good vertex
+numbering produces — collapse into single fill partitions.
+
+Queries decompress on the fly: a membership probe scans the word stream
+accumulating block offsets until it covers the probed position.  That
+scan is why PWAH-8's queries lag the oracles on large graphs (Tables
+5-6) even though its index is among the smallest (Figures 3-4).
+
+:class:`PwahBitVector` is the self-contained codec (round-trip tested,
+including property tests); :class:`Pwah8` is the reachability index
+built on it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from ..graph.digraph import DiGraph
+from ..graph.topo import topological_order
+from ..core.base import ReachabilityIndex, register_method
+from .interval import postorder_numbering
+
+__all__ = ["PwahBitVector", "Pwah8"]
+
+_BLOCK_BITS = 7
+_PARTITIONS = 8
+_MAX_RUN = 63  # 6-bit run length, in blocks
+_LITERAL_MASK = (1 << _BLOCK_BITS) - 1
+
+
+def _emit_fill(partitions: List[int], flags: List[int], value: int, run: int) -> None:
+    """Append fill partitions covering ``run`` blocks of ``value`` bits.
+
+    Coalesces with a trailing fill of the same value, so emitting fills
+    block by block produces the same stream as emitting one long run.
+    """
+    while run > 0:
+        if (
+            partitions
+            and flags[-1] == 1
+            and (partitions[-1] >> 6) == value
+            and (partitions[-1] & _MAX_RUN) < _MAX_RUN
+        ):
+            space = _MAX_RUN - (partitions[-1] & _MAX_RUN)
+            take = min(space, run)
+            partitions[-1] += take
+            run -= take
+            continue
+        chunk = min(run, _MAX_RUN)
+        partitions.append((value << 6) | chunk)
+        flags.append(1)
+        run -= chunk
+
+
+def _emit_literal(partitions: List[int], flags: List[int], bits: int) -> None:
+    """Append one literal partition (degenerating to a fill if uniform)."""
+    if bits == _LITERAL_MASK:
+        _emit_fill(partitions, flags, 1, 1)
+    elif bits == 0:
+        _emit_fill(partitions, flags, 0, 1)
+    else:
+        partitions.append(bits)
+        flags.append(0)
+
+
+def _pack_words(partitions: List[int], flags: List[int]) -> List[int]:
+    """Pack partitions into 64-bit words: top byte holds the 8 flag bits,
+    payloads occupy 7-bit slots starting at the least significant end."""
+    words: List[int] = []
+    for base in range(0, len(partitions), _PARTITIONS):
+        word = 0
+        flag_byte = 0
+        for j in range(_PARTITIONS):
+            k = base + j
+            if k >= len(partitions):
+                break
+            word |= partitions[k] << (j * _BLOCK_BITS)
+            flag_byte |= flags[k] << j
+        word |= flag_byte << 56
+        words.append(word)
+    return words
+
+
+class PwahBitVector:
+    """A PWAH-8 compressed, immutable bit vector.
+
+    Build with :meth:`encode`; probe with :meth:`contains`; expand with
+    :meth:`decode`.  Words are stored as Python ints (one per 64-bit
+    word-equivalent) in ``self.words``.
+    """
+
+    __slots__ = ("words", "universe")
+
+    def __init__(self, words: List[int], universe: int) -> None:
+        self.words = words
+        self.universe = universe
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def encode(cls, sorted_positions: Sequence[int], universe: int) -> "PwahBitVector":
+        """Compress a strictly-increasing position sequence.
+
+        Positions must lie in ``[0, universe)``.  Trailing zero blocks
+        are not emitted (probes past the stream return False).
+        """
+        for i in range(1, len(sorted_positions)):
+            if sorted_positions[i - 1] >= sorted_positions[i]:
+                raise ValueError("positions must be strictly increasing")
+        if sorted_positions and (
+            sorted_positions[0] < 0 or sorted_positions[-1] >= universe
+        ):
+            raise ValueError("position out of universe range")
+
+        # Group positions into 7-bit literal blocks.
+        blocks: List[int] = []  # parallel arrays: block index -> literal bits
+        block_ids: List[int] = []
+        for p in sorted_positions:
+            b, off = divmod(p, _BLOCK_BITS)
+            if block_ids and block_ids[-1] == b:
+                blocks[-1] |= 1 << off
+            else:
+                block_ids.append(b)
+                blocks.append(1 << off)
+
+        partitions: List[int] = []
+        flags: List[int] = []
+        prev_block = -1
+        for bid, bits in zip(block_ids, blocks):
+            gap = bid - prev_block - 1
+            if gap > 0:
+                _emit_fill(partitions, flags, 0, gap)
+            _emit_literal(partitions, flags, bits)
+            prev_block = bid
+        return cls(_pack_words(partitions, flags), universe)
+
+    @classmethod
+    def encode_bitset(cls, bits: int, universe: int) -> "PwahBitVector":
+        """Compress a big-int bitset (vectorised via numpy).
+
+        Equivalent to ``encode(bit_positions(bits), universe)`` but runs
+        the block extraction and run detection in C — this is what makes
+        PWAH construction feasible on dense closures.
+        """
+        import numpy as np
+
+        if bits < 0:
+            raise ValueError("bitset must be non-negative")
+        if bits >> universe:
+            raise ValueError("bitset has positions beyond the universe")
+        if bits == 0 or universe == 0:
+            return cls([], universe)
+        nblocks = (universe + _BLOCK_BITS - 1) // _BLOCK_BITS
+        nbytes = (universe + 7) // 8
+        raw = np.frombuffer(bits.to_bytes(nbytes, "little"), dtype=np.uint8)
+        bitarr = np.unpackbits(raw, bitorder="little")[:universe]
+        pad = nblocks * _BLOCK_BITS - universe
+        if pad:
+            bitarr = np.concatenate([bitarr, np.zeros(pad, dtype=np.uint8)])
+        weights = (1 << np.arange(_BLOCK_BITS, dtype=np.int64))
+        payloads = bitarr.reshape(nblocks, _BLOCK_BITS) @ weights
+        nz = np.nonzero(payloads)[0]
+        if len(nz) == 0:
+            return cls([], universe)
+        payloads = payloads[: int(nz[-1]) + 1]
+        # Run-length segmentation over equal consecutive payloads.
+        change = np.nonzero(np.diff(payloads))[0]
+        starts = np.concatenate([[0], change + 1])
+        ends = np.concatenate([change, [len(payloads) - 1]])
+        partitions: List[int] = []
+        flags: List[int] = []
+        for s, e in zip(starts, ends):
+            val = int(payloads[s])
+            run = int(e - s + 1)
+            if val == 0:
+                _emit_fill(partitions, flags, 0, run)
+            elif val == _LITERAL_MASK:
+                _emit_fill(partitions, flags, 1, run)
+            else:
+                for _ in range(run):
+                    partitions.append(val)
+                    flags.append(0)
+        return cls(_pack_words(partitions, flags), universe)
+
+    # ------------------------------------------------------------------
+    def _partitions(self) -> Iterator[tuple]:
+        """Yield ``(is_fill, payload)`` for every partition in order."""
+        for word in self.words:
+            flag_byte = word >> 56
+            for j in range(_PARTITIONS):
+                payload = (word >> (j * _BLOCK_BITS)) & _LITERAL_MASK
+                is_fill = (flag_byte >> j) & 1
+                if not is_fill and payload == 0:
+                    # The encoder never emits a literal-zero partition
+                    # (zero blocks become fills), so this is end-of-stream
+                    # padding in the last word.
+                    return
+                yield is_fill, payload
+
+    def contains(self, pos: int) -> bool:
+        """Whether bit ``pos`` is set."""
+        if pos < 0 or pos >= self.universe:
+            return False
+        target_block, off = divmod(pos, _BLOCK_BITS)
+        block = 0
+        for is_fill, payload in self._partitions():
+            if is_fill:
+                value = payload >> 6
+                run = payload & _MAX_RUN
+                if block + run > target_block:
+                    return bool(value)
+                block += run
+            else:
+                if block == target_block:
+                    return bool((payload >> off) & 1)
+                block += 1
+            if block > target_block:
+                return False
+        return False  # past the encoded stream: implicit zeros
+
+    def decode(self) -> List[int]:
+        """Expand back to the sorted position list."""
+        out: List[int] = []
+        block = 0
+        for is_fill, payload in self._partitions():
+            if is_fill:
+                value = payload >> 6
+                run = payload & _MAX_RUN
+                if value:
+                    start = block * _BLOCK_BITS
+                    out.extend(range(start, start + run * _BLOCK_BITS))
+                block += run
+            else:
+                base = block * _BLOCK_BITS
+                bits = payload
+                while bits:
+                    low = bits & -bits
+                    out.append(base + low.bit_length() - 1)
+                    bits ^= low
+                block += 1
+        return [p for p in out if p < self.universe]
+
+    def word_count(self) -> int:
+        """Number of 64-bit words in the compressed stream."""
+        return len(self.words)
+
+    def __repr__(self) -> str:
+        return f"PwahBitVector(words={len(self.words)}, universe={self.universe})"
+
+
+@register_method
+class Pwah8(ReachabilityIndex):
+    """PWAH-8 compressed transitive closure (abbreviation ``PW8``).
+
+    Closures are computed once as big-int bitsets in a reverse
+    topological sweep (re-coordinatised by a DFS post-order numbering so
+    descendant sets form long fills), then each vertex's bitset is
+    compressed to a :class:`PwahBitVector` and the bitsets are dropped.
+    """
+
+    short_name = "PW8"
+    full_name = "PWAH-8 bit-vector TC"
+
+    def _build(self, graph: DiGraph) -> None:
+        order = topological_order(graph)
+        if order is None:
+            raise ValueError("PWAH-8 requires a DAG; condense first")
+        number = postorder_numbering(graph)
+        self._number = number
+        n = graph.n
+        bits: List[int] = [0] * n
+        vectors: List[PwahBitVector] = [None] * n  # type: ignore[list-item]
+        # Reverse topological sweep; big-int closures are transient.
+        remaining_uses = [graph.in_degree(u) for u in range(n)]
+        for u in reversed(order):
+            acc = 1 << number[u]
+            for w in graph.out(u):
+                acc |= bits[w]
+                remaining_uses[w] -= 1
+                if remaining_uses[w] == 0:
+                    bits[w] = 0  # free memory once no parent still needs it
+            bits[u] = acc
+            vectors[u] = PwahBitVector.encode_bitset(acc, n)
+        self._vectors = vectors
+
+    def query(self, u: int, v: int) -> bool:
+        return self._vectors[u].contains(self._number[v])
+
+    def index_size_ints(self) -> int:
+        # One 64-bit word counted as one stored integer, plus numbering.
+        return sum(vec.word_count() for vec in self._vectors) + self.graph.n
+
+
+def _bit_positions(bits: int) -> List[int]:
+    """Sorted positions of set bits in a big-int bitset."""
+    out: List[int] = []
+    base = 0
+    while bits:
+        chunk = bits & 0xFFFFFFFFFFFFFFFF
+        while chunk:
+            low = chunk & -chunk
+            out.append(base + low.bit_length() - 1)
+            chunk ^= low
+        bits >>= 64
+        base += 64
+    return out

@@ -1,0 +1,128 @@
+"""Agrawal's tree cover — the original interval labeling (SIGMOD 1989).
+
+Cited throughout the paper (§2.1) as the root of the interval
+compression family and the method PathTree generalises.  The idea:
+
+1. pick a spanning forest of the DAG (we use the *optimal tree cover*
+   heuristic of choosing, for every vertex, the parent whose subtree
+   assignment maximises interval sharing — approximated here by the
+   highest-closure in-neighbour, which is the standard practical pick);
+2. a post-order traversal gives every vertex an interval
+   ``[low, post]`` covering exactly its tree descendants — one O(1)
+   containment test handles all tree reachability;
+3. non-tree reachability is folded in by a reverse-topological sweep
+   that unions, for every vertex, the interval lists of its out-
+   neighbours — descendants already covered by the tree interval
+   compress away.
+
+Registered as ``TREE``.  Included both as a baseline ablation (how much
+of PathTree's win is the path decomposition vs plain tree intervals?)
+and as the simplest member of the interval family for teaching and
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph.digraph import DiGraph
+from ..graph.topo import topological_order
+from ..core.base import ReachabilityIndex, register_method
+from .intervals import IntervalSet
+
+__all__ = ["TreeCover"]
+
+
+@register_method
+class TreeCover(ReachabilityIndex):
+    """Tree-cover interval index (abbreviation ``TREE``).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import path_dag
+    >>> tc = TreeCover(path_dag(5))
+    >>> tc.query(0, 4), tc.query(4, 1)
+    (True, False)
+    """
+
+    short_name = "TREE"
+    full_name = "Agrawal tree cover"
+
+    def _build(self, graph: DiGraph, max_storage_ints: int = 80_000_000) -> None:
+        order = topological_order(graph)
+        if order is None:
+            raise ValueError("tree cover requires a DAG; condense first")
+        n = graph.n
+
+        # 1. Spanning forest: each vertex keeps one tree parent — the
+        # in-neighbour with the largest (estimated) descendant count,
+        # so big subtrees share intervals.  Descendant counts come from
+        # a cheap reverse-topological accumulation (upper bound).
+        weight = [1] * n
+        for u in reversed(order):
+            for w in graph.out(u):
+                weight[u] += weight[w]
+        parent = [-1] * n
+        for v in range(n):
+            best = -1
+            for u in graph.inn(v):
+                if best < 0 or weight[u] > weight[best] or (
+                    weight[u] == weight[best] and u < best
+                ):
+                    best = u
+            parent[v] = best
+        children: List[List[int]] = [[] for _ in range(n)]
+        roots: List[int] = []
+        for v in range(n):
+            if parent[v] < 0:
+                roots.append(v)
+            else:
+                children[parent[v]].append(v)
+
+        # 2. Post-order numbering over the forest: a vertex's tree
+        # descendants occupy [low, post].
+        post = [0] * n
+        low = [0] * n
+        counter = 0
+        for root in roots:
+            stack = [(root, False)]
+            while stack:
+                v, exiting = stack.pop()
+                if exiting:
+                    lo = counter
+                    for c in children[v]:
+                        if low[c] < lo:
+                            lo = low[c]
+                    low[v] = lo
+                    post[v] = counter
+                    counter += 1
+                    continue
+                stack.append((v, True))
+                for c in reversed(children[v]):
+                    stack.append((c, False))
+        self._low = low
+        self._post = post
+
+        # 3. Non-tree closure intervals over the post numbering.
+        closures: List[IntervalSet] = [None] * n  # type: ignore[list-item]
+        stored = 0
+        for u in reversed(order):
+            succ = [closures[w] for w in graph.out(u)]
+            merged = IntervalSet.union_merge(succ) if succ else IntervalSet()
+            merged.add_point(post[u])
+            closures[u] = merged
+            stored += merged.storage_ints()
+            if stored > max_storage_ints:
+                raise MemoryError(
+                    f"tree-cover interval storage exceeded {max_storage_ints} ints"
+                )
+        self._closures = closures
+
+    def query(self, u: int, v: int) -> bool:
+        # O(1) tree fast path: v inside u's subtree interval.
+        if self._low[u] <= self._post[v] <= self._post[u]:
+            return True
+        return self._post[v] in self._closures[u]
+
+    def index_size_ints(self) -> int:
+        return sum(c.storage_ints() for c in self._closures) + 2 * self.graph.n

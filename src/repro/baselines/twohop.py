@@ -1,0 +1,167 @@
+"""2HOP — Cohen et al.'s set-cover based 2-hop labeling.
+
+The original reachability oracle (SIAM J. Comput. 2003) and the paper's
+representative of the construction cost problem (§2.2): it materialises
+the full transitive closure, then greedily selects hops by
+cost-effectiveness until every reachable pair is covered.
+
+Following the heuristic line the paper's own 2HOP baseline adopts
+([29] HOPI, [20] 3-hop), candidate sets are taken *whole-hop*: selecting
+hop ``w`` covers every still-uncovered pair (a, d) with ``a -> w -> d``,
+at cost ``|A'| + |D'|`` (the label entries written), rather than solving
+a densest-subgraph problem per candidate.  Selection uses lazy greedy
+(CELF): coverage benefits only shrink as pairs get covered, so stale
+priority-queue entries are re-evaluated on pop.
+
+Everything the paper says about 2HOP is visible in this implementation:
+construction is dominated by TC materialisation plus repeated coverage
+counting (our Table 4/7 benchmarks show the gap to DL), and memory is
+O(n²/64) bits — the ``max_tc_bits`` budget converts that into the "—"
+entries of the large-graph tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from ..graph.digraph import DiGraph
+from ..graph.topo import topological_order
+from ..graph.closure import reverse_transitive_closure_bits, transitive_closure_bits
+from ..core.base import ReachabilityIndex, register_method
+from ..core.labels import LabelSet
+
+__all__ = ["TwoHop"]
+
+
+@register_method
+class TwoHop(ReachabilityIndex):
+    """Set-cover based 2-hop labeling (abbreviation ``2HOP``).
+
+    Parameters
+    ----------
+    graph:
+        The DAG to index.
+    max_tc_bits:
+        Budget on ``n²`` before refusing to materialise the closure
+        (reproduces the paper's DNF behaviour on large graphs).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import path_dag
+    >>> th = TwoHop(path_dag(4))
+    >>> th.query(0, 3), th.query(2, 1)
+    (True, False)
+    """
+
+    short_name = "2HOP"
+    full_name = "2-hop set-cover labeling"
+
+    def _build(
+        self,
+        graph: DiGraph,
+        max_tc_bits: int = 400_000_000,
+        max_tc_pairs: int = 50_000_000,
+    ) -> None:
+        n = graph.n
+        if n * n > max_tc_bits:
+            raise MemoryError(
+                f"2HOP transitive closure needs {n * n} bits "
+                f"(budget {max_tc_bits}); graph too large"
+            )
+        order = topological_order(graph)
+        if order is None:
+            raise ValueError("2HOP requires a DAG; condense first")
+
+        tc = transitive_closure_bits(graph, order)  # reflexive
+        total_pairs = sum(b.bit_count() for b in tc) - n
+        if total_pairs > max_tc_pairs:
+            raise MemoryError(
+                f"2HOP set-cover ground set has {total_pairs} pairs "
+                f"(budget {max_tc_pairs}); covering would not terminate "
+                "in reasonable time"
+            )
+        rtc = reverse_transitive_closure_bits(graph, order)
+        self_bit = [1 << v for v in range(n)]
+
+        # uncovered[a]: strict descendants of a not yet covered by a hop.
+        uncovered: List[int] = [tc[a] & ~self_bit[a] for a in range(n)]
+        remaining = sum(b.bit_count() for b in uncovered)
+
+        labels = LabelSet(n)
+
+        def benefit(w: int) -> int:
+            """Pairs newly covered if w were selected now."""
+            desc_w = tc[w]
+            anc = rtc[w]
+            total = 0
+            a_bits = anc
+            while a_bits:
+                low = a_bits & -a_bits
+                a = low.bit_length() - 1
+                a_bits ^= low
+                u = uncovered[a]
+                if u:
+                    total += (u & desc_w).bit_count()
+            return total
+
+        # CELF lazy greedy: (-stale_benefit, vertex).
+        heap = [(-benefit(w), w) for w in range(n)]
+        heapq.heapify(heap)
+
+        while remaining > 0:
+            neg_b, w = heapq.heappop(heap)
+            fresh = benefit(w)
+            if fresh == 0:
+                continue
+            if heap and fresh < -heap[0][0]:
+                heapq.heappush(heap, (-fresh, w))
+                continue
+            # Select w: label contributing ancestors and the union of
+            # their newly covered descendants.
+            desc_w = tc[w]
+            anc = rtc[w]
+            newly_covered_union = 0
+            a_bits = anc
+            while a_bits:
+                low = a_bits & -a_bits
+                a = low.bit_length() - 1
+                a_bits ^= low
+                newly = uncovered[a] & desc_w
+                if newly:
+                    labels.lout[a].append(w)
+                    newly_covered_union |= newly
+                    uncovered[a] &= ~newly
+                    remaining -= newly.bit_count()
+            d_bits = newly_covered_union
+            while d_bits:
+                low = d_bits & -d_bits
+                d = low.bit_length() - 1
+                d_bits ^= low
+                labels.lin[d].append(w)
+
+        # Hops were appended in selection order; sort for merge queries.
+        for lab in labels.lout:
+            lab.sort()
+        for lab in labels.lin:
+            lab.sort()
+        labels.seal()
+        self.labels = labels
+
+    def query(self, u: int, v: int) -> bool:
+        if u == v:
+            return True
+        return self.labels.query(u, v)
+
+    def index_size_ints(self) -> int:
+        return self.labels.size_ints()
+
+    def stats(self) -> Dict[str, object]:
+        base = super().stats()
+        base.update(
+            {
+                "max_label_len": self.labels.max_label_len(),
+                "avg_label_len": round(self.labels.average_label_len(), 2),
+            }
+        )
+        return base

@@ -1,0 +1,16 @@
+"""Benchmark harness and per-table experiment specs."""
+
+from .harness import BuildBudget, MethodRun, RunResult, render_table, run_dataset
+from .experiments import EXPERIMENTS, PAPER_METHODS, Experiment, get_experiment
+
+__all__ = [
+    "BuildBudget",
+    "MethodRun",
+    "RunResult",
+    "render_table",
+    "run_dataset",
+    "EXPERIMENTS",
+    "PAPER_METHODS",
+    "Experiment",
+    "get_experiment",
+]

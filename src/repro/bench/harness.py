@@ -1,0 +1,209 @@
+"""Benchmark harness: build indices, time workloads, render paper tables.
+
+The harness mirrors the paper's reporting discipline:
+
+* **query time** — total wall time for a fixed workload batch (the paper
+  reports ms per 100 000 queries; we report ms per batch and print the
+  batch size in the table header),
+* **construction time** — wall time of the index constructor,
+* **index size** — the method's ``index_size_ints()`` (number of stored
+  integers, the metric of Figures 3-4),
+* **"—" (DNF)** — a method that exceeds its memory/size budget raises
+  ``MemoryError`` during construction, or overruns the per-build time
+  budget; both render as "—" exactly like the failed runs in Tables 5-7.
+
+Workloads are generated once per dataset and shared by all methods, so
+every method answers the same queries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.digraph import DiGraph
+from ..core.base import get_method
+from ..datasets.catalog import load
+from ..datasets.workloads import Workload, equal_workload, random_workload
+
+__all__ = ["RunResult", "MethodRun", "run_dataset", "render_table", "BuildBudget"]
+
+
+@dataclass
+class BuildBudget:
+    """Per-method resource limits that produce the paper's "—" entries."""
+
+    time_s: float = 120.0
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Outcome of building and querying one method on one dataset."""
+
+    dataset: str
+    method: str
+    status: str  # "ok" | "dnf-memory" | "dnf-time" | "error"
+    build_s: Optional[float] = None
+    index_size_ints: Optional[int] = None
+    query_ms: Dict[str, float] = field(default_factory=dict)
+    correct_positive_rate: Optional[float] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class MethodRun:
+    """Build + measure one method on one prepared graph."""
+
+    def __init__(self, method: str, budget: Optional[BuildBudget] = None) -> None:
+        self.method = method
+        self.budget = budget or BuildBudget()
+
+    def execute(
+        self,
+        dataset: str,
+        graph: DiGraph,
+        workloads: Sequence[Workload],
+        query_repeats: int = 3,
+    ) -> RunResult:
+        factory = get_method(self.method)
+        t0 = time.perf_counter()
+        try:
+            index = factory(graph, **self.budget.params)
+        except MemoryError as exc:
+            return RunResult(dataset, self.method, "dnf-memory", error=str(exc))
+        except Exception as exc:  # defensive: report, don't crash the sweep
+            return RunResult(dataset, self.method, "error", error=repr(exc))
+        build_s = time.perf_counter() - t0
+        if build_s > self.budget.time_s:
+            return RunResult(
+                dataset,
+                self.method,
+                "dnf-time",
+                build_s=build_s,
+                error=f"build took {build_s:.1f}s > budget {self.budget.time_s}s",
+            )
+        result = RunResult(
+            dataset,
+            self.method,
+            "ok",
+            build_s=build_s,
+            index_size_ints=index.index_size_ints(),
+        )
+        for wl in workloads:
+            if not len(wl):
+                result.query_ms[wl.name] = 0.0
+                continue
+            best = None
+            answers = None
+            for _ in range(max(1, query_repeats)):
+                t0 = time.perf_counter()
+                answers = index.query_batch(wl.pairs)
+                elapsed = (time.perf_counter() - t0) * 1000.0
+                if best is None or elapsed < best:
+                    best = elapsed
+            result.query_ms[wl.name] = best
+            if wl.positives is not None and answers is not None:
+                got = sum(answers)
+                result.correct_positive_rate = got / max(1, len(wl))
+        return result
+
+
+def prepare_workloads(
+    graph: DiGraph, kinds: Sequence[str], queries: int, seed: int = 7
+) -> List[Workload]:
+    """Generate the requested workloads once for a dataset."""
+    out: List[Workload] = []
+    for kind in kinds:
+        if kind == "equal":
+            out.append(equal_workload(graph, queries, seed=seed))
+        elif kind == "random":
+            out.append(random_workload(graph, queries, seed=seed + 1))
+        else:
+            raise ValueError(f"unknown workload kind {kind!r}")
+    return out
+
+
+def run_dataset(
+    dataset: str,
+    methods: Sequence[str],
+    workload_kinds: Sequence[str] = ("equal",),
+    queries: int = 10_000,
+    budgets: Optional[Dict[str, BuildBudget]] = None,
+    query_repeats: int = 3,
+    graph: Optional[DiGraph] = None,
+) -> List[RunResult]:
+    """Run every method on one dataset, sharing workloads."""
+    if graph is None:
+        graph = load(dataset)
+    workloads = prepare_workloads(graph, workload_kinds, queries)
+    budgets = budgets or {}
+    results: List[RunResult] = []
+    for method in methods:
+        runner = MethodRun(method, budgets.get(method))
+        results.append(runner.execute(dataset, graph, workloads, query_repeats))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fmt_cell(value: Optional[float], status: str, digits: int = 1) -> str:
+    if status != "ok" or value is None:
+        return "—"
+    if value >= 10_000:
+        return f"{value:,.0f}"
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    results: List[RunResult],
+    metric: str,
+    workload: str = "equal",
+    title: str = "",
+) -> str:
+    """Render results as a fixed-width text table (datasets × methods).
+
+    ``metric`` is one of ``query`` (ms/batch), ``construction`` (ms) or
+    ``index_size`` (thousands of stored integers).
+    """
+    datasets: List[str] = []
+    methods: List[str] = []
+    for r in results:
+        if r.dataset not in datasets:
+            datasets.append(r.dataset)
+        if r.method not in methods:
+            methods.append(r.method)
+    cell: Dict[Tuple[str, str], str] = {}
+    for r in results:
+        if metric == "query":
+            value = r.query_ms.get(workload)
+        elif metric == "construction":
+            value = None if r.build_s is None or not r.ok else r.build_s * 1000.0
+        elif metric == "index_size":
+            value = None if r.index_size_ints is None else r.index_size_ints / 1000.0
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        cell[(r.dataset, r.method)] = _fmt_cell(value, r.status)
+
+    width0 = max([len("Dataset")] + [len(d) for d in datasets]) + 2
+    widths = [max(len(m), 8) + 2 for m in methods]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = "Dataset".ljust(width0) + "".join(
+        m.rjust(w) for m, w in zip(methods, widths)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for d in datasets:
+        row = d.ljust(width0) + "".join(
+            cell.get((d, m), "—").rjust(w) for m, w in zip(methods, widths)
+        )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Markdown report generation for experiment results.
+
+`render_table` (text) serves the terminal; this module turns the same
+:class:`~repro.bench.harness.RunResult` lists into Markdown tables and
+a paper-vs-measured summary block, which is how EXPERIMENTS.md stays
+regenerable instead of hand-maintained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .harness import RunResult
+
+__all__ = ["markdown_table", "completion_pattern", "speedup_summary"]
+
+
+def _fmt(value: Optional[float], status: str, digits: int = 1) -> str:
+    if status != "ok" or value is None:
+        return "—"
+    if value >= 10_000:
+        return f"{value:,.0f}"
+    return f"{value:.{digits}f}"
+
+
+def markdown_table(
+    results: List[RunResult], metric: str, workload: str = "equal"
+) -> str:
+    """Render results as a GitHub-flavoured Markdown table."""
+    datasets: List[str] = []
+    methods: List[str] = []
+    for r in results:
+        if r.dataset not in datasets:
+            datasets.append(r.dataset)
+        if r.method not in methods:
+            methods.append(r.method)
+    cell: Dict[Tuple[str, str], str] = {}
+    for r in results:
+        if metric == "query":
+            value = r.query_ms.get(workload)
+        elif metric == "construction":
+            value = None if r.build_s is None or not r.ok else r.build_s * 1000.0
+        elif metric == "index_size":
+            value = None if r.index_size_ints is None else r.index_size_ints / 1000.0
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        cell[(r.dataset, r.method)] = _fmt(value, r.status)
+
+    lines = ["| Dataset | " + " | ".join(methods) + " |"]
+    lines.append("|" + "---|" * (len(methods) + 1))
+    for d in datasets:
+        row = [d] + [cell.get((d, m), "—") for m in methods]
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def completion_pattern(results: List[RunResult], method: str) -> Dict[str, bool]:
+    """``{dataset: completed?}`` for one method — the DNF fingerprint."""
+    return {r.dataset: r.ok for r in results if r.method == method}
+
+
+def speedup_summary(
+    results: List[RunResult],
+    baseline: str,
+    target: str,
+    metric: str = "construction",
+    workload: str = "equal",
+) -> Optional[float]:
+    """Geometric-mean speedup of ``target`` over ``baseline``.
+
+    Only datasets where both methods completed contribute.  Returns
+    ``None`` when there is no common completed dataset.
+    """
+    def value_of(r: RunResult) -> Optional[float]:
+        if not r.ok:
+            return None
+        if metric == "construction":
+            return r.build_s
+        if metric == "query":
+            return r.query_ms.get(workload)
+        if metric == "index_size":
+            return float(r.index_size_ints or 0)
+        raise ValueError(f"unknown metric {metric!r}")
+
+    by_key: Dict[Tuple[str, str], Optional[float]] = {
+        (r.dataset, r.method): value_of(r) for r in results
+    }
+    ratios: List[float] = []
+    for (dataset, method), value in by_key.items():
+        if method != baseline or value is None or value <= 0:
+            continue
+        other = by_key.get((dataset, target))
+        if other is not None and other > 0:
+            ratios.append(value / other)
+    if not ratios:
+        return None
+    product = 1.0
+    for r in ratios:
+        product *= r
+    return product ** (1.0 / len(ratios))

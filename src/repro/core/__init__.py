@@ -1,0 +1,37 @@
+"""Core contribution: label containers, backbone hierarchy, HL and DL."""
+
+from .base import ReachabilityIndex, get_method, method_registry
+from .labels import LabelSet, intersects, sorted_intersect, gallop_intersect
+from .order import degree_product_order, get_order
+from .backbone import (
+    BackboneLevel,
+    Hierarchy,
+    build_backbone_level,
+    extract_cover,
+    hierarchical_decomposition,
+)
+from .distribution import DistributionLabeling, distribution_labels
+from .dynamic import DynamicDL
+from .hierarchical import HierarchicalLabeling, hierarchical_labels
+
+__all__ = [
+    "ReachabilityIndex",
+    "get_method",
+    "method_registry",
+    "LabelSet",
+    "intersects",
+    "sorted_intersect",
+    "gallop_intersect",
+    "degree_product_order",
+    "get_order",
+    "BackboneLevel",
+    "Hierarchy",
+    "build_backbone_level",
+    "extract_cover",
+    "hierarchical_decomposition",
+    "DistributionLabeling",
+    "distribution_labels",
+    "DynamicDL",
+    "HierarchicalLabeling",
+    "hierarchical_labels",
+]

@@ -1,0 +1,378 @@
+"""One-side reachability backbone (SCARAB FastCover) and DAG hierarchy.
+
+Definition 1 of the paper (imported from SCARAB [23]): given a DAG ``G``
+and locality threshold ``ε``, a one-side reachability backbone
+``G* = (V*, E*)`` satisfies
+
+1. for every pair ``(u, v)`` with ``d(u, v) = ε`` there is ``v* ∈ V*``
+   with ``d(u, v*) ≤ ε`` and ``d(v*, v) ≤ ε``;
+2. ``E*`` links backbone pairs with ``d(u*, v*) ≤ ε + 1`` (with a
+   domination rule that drops ``(u*, v*)`` when an intermediate backbone
+   vertex ``x`` has ``d(u*, x) ≤ ε`` and ``d(x, v*) ≤ ε``).
+
+Key consequences (Lemma 1): reachability between backbone vertices is
+preserved in ``G*``, and every non-local reachable pair routes through a
+backbone entry/exit within ``ε``.
+
+Cover construction
+------------------
+* ``ε = 2``: every length-2 path ``u -> x -> w`` must have one of
+  ``{u, x, w}`` in ``V*`` (any of the three satisfies condition 1).  We
+  run a single **midpoint pass** in descending rank order: ``x`` joins
+  ``V*`` if it still has an in-neighbour and an out-neighbour outside
+  ``V*``.  If ``x`` is skipped, every 2-path through ``x`` is already
+  endpoint-covered, and stays covered because ``V*`` only grows.
+* ``ε = 1``: condition 1 degenerates to a **vertex cover** (Example 4.1
+  of the paper); we take the greedy cover in rank order.  This is also
+  how the TF-label special case builds its folding hierarchy.
+
+The recursive application of the extraction yields the *hierarchical DAG
+decomposition* of Definition 2 (:func:`hierarchical_decomposition`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Set
+
+from ..graph.digraph import DiGraph
+from .order import degree_product_order
+
+__all__ = [
+    "extract_cover",
+    "BackboneLevel",
+    "build_backbone_level",
+    "Hierarchy",
+    "hierarchical_decomposition",
+]
+
+OrderFn = Callable[[DiGraph, int], List[int]]
+
+
+# ----------------------------------------------------------------------
+# Cover extraction (condition 1)
+# ----------------------------------------------------------------------
+def extract_cover(graph: DiGraph, eps: int, order: Sequence[int]) -> List[int]:
+    """Select the backbone vertex set ``V*`` for locality ``eps``.
+
+    Parameters
+    ----------
+    graph:
+        The DAG ``Gi`` being decomposed.
+    eps:
+        Locality threshold, 1 or 2 (the paper evaluates ε=2; ε=1 is the
+        TF-label special case).
+    order:
+        Vertex processing order, most important first.
+
+    Returns
+    -------
+    list[int]
+        Backbone vertices, sorted by vertex id.
+    """
+    if eps == 2:
+        return _midpoint_two_path_cover(graph, order)
+    if eps == 1:
+        return _greedy_vertex_cover(graph, order)
+    raise ValueError(f"eps must be 1 or 2, got {eps}")
+
+
+def _midpoint_two_path_cover(graph: DiGraph, order: Sequence[int]) -> List[int]:
+    """Hit every directed 2-path; see module docstring for the argument."""
+    in_cover = bytearray(graph.n)
+    for x in order:
+        if not graph.inn(x) or not graph.out(x):
+            continue
+        has_free_in = any(not in_cover[u] for u in graph.inn(x))
+        if not has_free_in:
+            continue
+        has_free_out = any(not in_cover[w] for w in graph.out(x))
+        if has_free_out:
+            in_cover[x] = 1
+    return [v for v in graph.vertices() if in_cover[v]]
+
+
+def _greedy_vertex_cover(graph: DiGraph, order: Sequence[int]) -> List[int]:
+    """Greedy vertex cover: keep high-rank endpoints of uncovered edges."""
+    in_cover = bytearray(graph.n)
+    for v in order:
+        if in_cover[v]:
+            continue
+        # v joins the cover if any incident edge is still uncovered.
+        uncovered = any(not in_cover[u] for u in graph.inn(v)) or any(
+            not in_cover[w] for w in graph.out(v)
+        )
+        if uncovered:
+            in_cover[v] = 1
+    # The pass above is over-eager (it covers each edge from both sides);
+    # thin it: drop v if all its neighbours are themselves in the cover.
+    # Process in *reverse* rank so low-importance vertices are dropped first.
+    for v in reversed(order):
+        if not in_cover[v]:
+            continue
+        if all(in_cover[u] for u in graph.inn(v)) and all(
+            in_cover[w] for w in graph.out(v)
+        ):
+            in_cover[v] = 0
+            # Removing v is only safe if every incident edge keeps a
+            # covered endpoint, which the condition above guarantees.
+    return [v for v in graph.vertices() if in_cover[v]]
+
+
+# ----------------------------------------------------------------------
+# Bounded traversals used by backbone-edge building and B-sets
+# ----------------------------------------------------------------------
+def _bounded_bfs(adj: Sequence[Sequence[int]], source: int, depth: int) -> Dict[int, int]:
+    """``{vertex: dist}`` for all vertices within ``depth`` of ``source``."""
+    dist = {source: 0}
+    frontier = [source]
+    d = 0
+    while frontier and d < depth:
+        d += 1
+        nxt: List[int] = []
+        for u in frontier:
+            for w in adj[u]:
+                if w not in dist:
+                    dist[w] = d
+                    nxt.append(w)
+        frontier = nxt
+    return dist
+
+
+class BackboneLevel:
+    """One step ``Gi -> Gi+1`` of the hierarchical decomposition.
+
+    Attributes
+    ----------
+    graph:
+        ``Gi`` (in its own vertex coordinates).
+    backbone_vertices:
+        Sorted ``Gi`` ids forming ``Vi+1``.
+    backbone_graph:
+        ``Gi+1`` in compact coordinates ``0..|Vi+1|-1``.
+    to_backbone / from_backbone:
+        Coordinate maps between ``Gi`` ids and ``Gi+1`` ids.
+    bout / bin_:
+        For every ``Gi`` vertex, its (domination-pruned) backbone vertex
+        sets ``Bεout(v|Gi)`` / ``Bεin(v|Gi)`` of Formulas 1-2, as ``Gi``
+        ids.  Used directly by Hierarchical-Labeling.
+    """
+
+    __slots__ = (
+        "graph",
+        "eps",
+        "backbone_vertices",
+        "backbone_graph",
+        "to_backbone",
+        "from_backbone",
+        "bout",
+        "bin_",
+    )
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        eps: int,
+        backbone_vertices: List[int],
+        backbone_graph: DiGraph,
+        to_backbone: Dict[int, int],
+        from_backbone: List[int],
+        bout: List[List[int]],
+        bin_: List[List[int]],
+    ) -> None:
+        self.graph = graph
+        self.eps = eps
+        self.backbone_vertices = backbone_vertices
+        self.backbone_graph = backbone_graph
+        self.to_backbone = to_backbone
+        self.from_backbone = from_backbone
+        self.bout = bout
+        self.bin_ = bin_
+
+    def __repr__(self) -> str:
+        return (
+            f"BackboneLevel(|Vi|={self.graph.n}, |Vi+1|={len(self.backbone_vertices)}, "
+            f"|Ei+1|={self.backbone_graph.m})"
+        )
+
+
+def build_backbone_level(
+    graph: DiGraph,
+    eps: int = 2,
+    order_fn: OrderFn = degree_product_order,
+    seed: int = 0,
+) -> BackboneLevel:
+    """Extract one backbone level from ``graph`` (= ``Gi``)."""
+    order = order_fn(graph, seed)
+    backbone = extract_cover(graph, eps, order)
+    in_backbone = bytearray(graph.n)
+    for v in backbone:
+        in_backbone[v] = 1
+
+    out_adj = graph.out_adj
+    in_adj = graph.in_adj
+
+    # within_out[b] / within_in[b]: backbone vertices at distance 1..eps
+    # of backbone vertex b, used for both edge domination and B-set
+    # domination checks.
+    within_out: Dict[int, Set[int]] = {}
+    within_in: Dict[int, Set[int]] = {}
+    for b in backbone:
+        dist = _bounded_bfs(out_adj, b, eps)
+        within_out[b] = {x for x in dist if in_backbone[x] and x != b}
+        rdist = _bounded_bfs(in_adj, b, eps)
+        within_in[b] = {x for x in rdist if in_backbone[x] and x != b}
+
+    # --- backbone edges: pairs within eps+1, minus dominated ones -----
+    to_backbone = {v: i for i, v in enumerate(backbone)}
+    bg = DiGraph(len(backbone))
+    for b in backbone:
+        reach = _bounded_bfs(out_adj, b, eps + 1)
+        wout_b = within_out[b]
+        for x, d in reach.items():
+            if d == 0 or not in_backbone[x]:
+                continue
+            # Domination: skip (b, x) if some backbone y sits within eps
+            # of both b (forward) and x (backward).
+            win_x = within_in[x]
+            dominated = False
+            if wout_b and win_x:
+                smaller, larger = (
+                    (wout_b, win_x) if len(wout_b) < len(win_x) else (win_x, wout_b)
+                )
+                for y in smaller:
+                    if y != b and y != x and y in larger:
+                        dominated = True
+                        break
+            if not dominated:
+                bg.add_edge(to_backbone[b], to_backbone[x])
+    bg.freeze()
+
+    # --- B-sets (Formulas 1-2) for every Gi vertex ---------------------
+    bout: List[List[int]] = [[] for _ in range(graph.n)]
+    bin_: List[List[int]] = [[] for _ in range(graph.n)]
+    for v in graph.vertices():
+        if in_backbone[v]:
+            # Backbone vertices are labeled at a higher level; their
+            # B-sets are never consulted.
+            continue
+        bout[v] = _pruned_candidates(out_adj, v, eps, in_backbone, within_out)
+        bin_[v] = _pruned_candidates(in_adj, v, eps, in_backbone, within_in)
+
+    return BackboneLevel(
+        graph=graph,
+        eps=eps,
+        backbone_vertices=backbone,
+        backbone_graph=bg,
+        to_backbone=to_backbone,
+        from_backbone=list(backbone),
+        bout=bout,
+        bin_=bin_,
+    )
+
+
+def _pruned_candidates(
+    adj: Sequence[Sequence[int]],
+    v: int,
+    eps: int,
+    in_backbone: bytearray,
+    within: Dict[int, Set[int]],
+) -> List[int]:
+    """Backbone vertices within ``eps`` of ``v``, minus dominated ones.
+
+    ``u`` is dominated when another candidate ``x`` reaches ``u`` within
+    ``eps`` (``u ∈ within[x]``): any labeling need served by ``u`` is then
+    served by ``x`` (Formulas 1-2 of the paper).
+    """
+    dist = _bounded_bfs(adj, v, eps)
+    candidates = [x for x in dist if in_backbone[x]]
+    if len(candidates) <= 1:
+        return sorted(candidates)
+    cand_set = set(candidates)
+    kept = []
+    for u in candidates:
+        dominated = False
+        for x in candidates:
+            if x != u and u in within[x] and x in cand_set:
+                dominated = True
+                break
+        if not dominated:
+            kept.append(u)
+    return sorted(kept)
+
+
+# ----------------------------------------------------------------------
+# Recursive decomposition (Definition 2)
+# ----------------------------------------------------------------------
+class Hierarchy:
+    """Hierarchical DAG decomposition ``V0 ⊃ V1 ⊃ … ⊃ Vh``.
+
+    ``levels[i]`` describes the step ``Gi -> Gi+1``; ``core_graph`` is
+    ``Gh`` in its own compact coordinates.  ``orig_of_core[j]`` maps core
+    vertex ``j`` back to a ``G0`` vertex id, and each level keeps its own
+    ``orig_of`` map, so labels can always be expressed in original ids.
+    """
+
+    __slots__ = ("levels", "core_graph", "orig_of_level", "orig_of_core", "eps")
+
+    def __init__(
+        self,
+        levels: List[BackboneLevel],
+        core_graph: DiGraph,
+        orig_of_level: List[List[int]],
+        orig_of_core: List[int],
+        eps: int,
+    ) -> None:
+        self.levels = levels
+        self.core_graph = core_graph
+        self.orig_of_level = orig_of_level
+        self.orig_of_core = orig_of_core
+        self.eps = eps
+
+    @property
+    def height(self) -> int:
+        """Number of extraction steps (``h`` in the paper)."""
+        return len(self.levels)
+
+    def level_sizes(self) -> List[int]:
+        """``[|V0|, |V1|, …, |Vh|]``."""
+        sizes = [lvl.graph.n for lvl in self.levels]
+        sizes.append(self.core_graph.n)
+        return sizes
+
+    def __repr__(self) -> str:
+        return f"Hierarchy(levels={self.level_sizes()}, eps={self.eps})"
+
+
+def hierarchical_decomposition(
+    graph: DiGraph,
+    eps: int = 2,
+    core_limit: int = 64,
+    max_levels: int = 16,
+    order_fn: OrderFn = degree_product_order,
+    seed: int = 0,
+) -> Hierarchy:
+    """Recursively extract backbones until the core is small.
+
+    Stops when the next level would not shrink, when ``core_limit`` is
+    reached, or after ``max_levels`` (the paper notes 5-6 levels suffice
+    at ε=2 and suggests bounding ``h``).
+    """
+    levels: List[BackboneLevel] = []
+    orig_of_level: List[List[int]] = []
+    g = graph
+    orig_of = list(range(graph.n))
+    while g.n > core_limit and len(levels) < max_levels:
+        level = build_backbone_level(g, eps=eps, order_fn=order_fn, seed=seed)
+        if len(level.backbone_vertices) >= g.n:
+            break  # no shrink: stop rather than loop forever
+        levels.append(level)
+        orig_of_level.append(orig_of)
+        orig_of = [orig_of[v] for v in level.from_backbone]
+        g = level.backbone_graph
+    return Hierarchy(
+        levels=levels,
+        core_graph=g,
+        orig_of_level=orig_of_level,
+        orig_of_core=orig_of,
+        eps=eps,
+    )

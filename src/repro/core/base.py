@@ -1,0 +1,117 @@
+"""Common interface for every reachability index in the library.
+
+Each method of §6 — the two oracles, the transitive-closure compressors,
+the online-search index, and the SCARAB wrappers — implements
+:class:`ReachabilityIndex`.  The benchmark harness, the facade and the
+tests talk only to this interface, so methods are interchangeable.
+
+A tiny registry maps the method abbreviations used in the paper's tables
+(``DL``, ``HL``, ``PT``, ``INT``, ``PW8``, ``KR``, ``GL``, ``GL*``,
+``PT*``, ``2HOP``, ``TF``, ``PL``, ``BFS``) to their classes so the CLI
+and experiment specs can name methods the same way the paper does.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Iterable, List, Tuple, Type
+
+from ..graph.digraph import DiGraph
+
+__all__ = ["ReachabilityIndex", "register_method", "method_registry", "get_method"]
+
+
+class ReachabilityIndex(abc.ABC):
+    """Abstract base class for DAG reachability indices.
+
+    Subclasses implement :meth:`_build` and :meth:`query`; the base class
+    provides batch querying, statistics, and the index-size metric used
+    throughout the paper's figures (number of integers stored).
+
+    The constructor signature convention is ``__init__(graph, **params)``
+    and construction happens eagerly inside ``__init__`` via
+    :meth:`_build`, so ``time(Method(graph))`` measures construction
+    time exactly.
+    """
+
+    #: Paper abbreviation (e.g. ``"DL"``); set by subclasses.
+    short_name: str = "?"
+    #: Human-readable name; set by subclasses.
+    full_name: str = "?"
+
+    def __init__(self, graph: DiGraph, **params) -> None:
+        if not graph.frozen:
+            graph = graph.copy().freeze()
+        self.graph = graph
+        self.params = params
+        self._build(graph, **params)
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _build(self, graph: DiGraph, **params) -> None:
+        """Construct the index for ``graph`` (a DAG)."""
+
+    @abc.abstractmethod
+    def query(self, u: int, v: int) -> bool:
+        """Whether ``u`` reaches ``v`` (reflexively: ``query(u, u)`` is True)."""
+
+    @abc.abstractmethod
+    def index_size_ints(self) -> int:
+        """Number of integers the index stores (paper's Figures 3-4 metric)."""
+
+    # ------------------------------------------------------------------
+    def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[bool]:
+        """Answer many queries; the benchmark harness times this loop."""
+        q = self.query
+        return [q(u, v) for (u, v) in pairs]
+
+    def count_reachable(self, pairs: Iterable[Tuple[int, int]]) -> int:
+        """Number of positive answers in a workload (cheap sanity check)."""
+        q = self.query
+        return sum(1 for (u, v) in pairs if q(u, v))
+
+    def stats(self) -> Dict[str, object]:
+        """Index statistics for reports; subclasses may extend."""
+        return {
+            "method": self.short_name,
+            "n": self.graph.n,
+            "m": self.graph.m,
+            "index_size_ints": self.index_size_ints(),
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.graph.n}, m={self.graph.m})"
+
+
+_REGISTRY: Dict[str, Callable[..., ReachabilityIndex]] = {}
+
+
+def register_method(cls: Type[ReachabilityIndex]) -> Type[ReachabilityIndex]:
+    """Class decorator: register under the class's ``short_name``."""
+    key = cls.short_name.upper()
+    if key in _REGISTRY:
+        raise ValueError(f"duplicate method abbreviation {key!r}")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def register_factory(name: str, factory: Callable[..., ReachabilityIndex]) -> None:
+    """Register a non-class factory (used for SCARAB-wrapped variants)."""
+    key = name.upper()
+    if key in _REGISTRY:
+        raise ValueError(f"duplicate method abbreviation {key!r}")
+    _REGISTRY[key] = factory
+
+
+def method_registry() -> Dict[str, Callable[..., ReachabilityIndex]]:
+    """A copy of the abbreviation -> factory map."""
+    return dict(_REGISTRY)
+
+
+def get_method(name: str) -> Callable[..., ReachabilityIndex]:
+    """Look up a method factory by paper abbreviation (case-insensitive)."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown method {name!r}; known: {known}") from None

@@ -1,0 +1,200 @@
+"""Distribution-Labeling (DL) — Algorithm 2 of the paper (§5).
+
+The algorithm replaces the recursive hierarchy with a total order: rank
+all vertices (default: the degree product ``(|Nout|+1)(|Nin|+1)``,
+descending) and *distribute* each vertex ``vi`` as a hop, from the
+highest rank down:
+
+* a **pruned reverse BFS** from ``vi`` adds ``vi`` to ``Lout(u)`` of every
+  visited ancestor ``u`` — unless ``Lout(u) ∩ Lin(vi) ≠ ∅`` already, in
+  which case ``u`` is neither labeled nor expanded (a higher-ranked hop
+  already covers the pair, Theorem 2's ``TC⁻¹(X)`` exclusion);
+* a **pruned forward BFS** symmetrically adds ``vi`` to ``Lin(w)`` of
+  descendants.
+
+Properties proved in the paper and property-tested here:
+
+* **Completeness** (Theorem 3): ``u -> v  iff  Lout(u) ∩ Lin(v) ≠ ∅``.
+* **Non-redundancy** (Theorem 4): removing any hop from any label breaks
+  completeness — DL labelings are minimal in this per-entry sense, which
+  is why §6 finds them *smaller than the set-cover optimised 2HOP*.
+
+Implementation notes
+--------------------
+* Hops are stored as **rank indices** (0 = highest rank).  Because hops
+  are distributed in rank order, every label list is automatically
+  sorted, so no per-label sort pass is needed.  Queries probe the
+  ``Lin`` list against a sealed frozenset mirror of ``Lout`` (see
+  :meth:`repro.core.labels.LabelSet.seal` for why that beats a pure
+  sorted-merge *in CPython*, inverting the paper's C++-centric advice).
+* The per-hop prune test ``Lout(u) ∩ Lin(vi)`` is evaluated against a
+  set snapshot of ``Lin(vi)`` (which cannot change during the reverse
+  BFS), so each test costs ``O(|Lout(u)|)`` set probes.
+* Worst-case construction is ``O(n (n + m) L)`` as in the paper; the
+  pruning makes it near-linear on the benchmark families.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.digraph import DiGraph
+from .base import ReachabilityIndex, register_method
+from .labels import LabelSet, first_common_hop
+from .order import get_order
+
+__all__ = ["DistributionLabeling", "distribution_labels"]
+
+
+def distribution_labels(
+    graph: DiGraph, order: List[int]
+) -> Tuple[LabelSet, List[int]]:
+    """Run Algorithm 2 over ``graph`` using the given total ``order``.
+
+    Parameters
+    ----------
+    graph:
+        A DAG.
+    order:
+        All vertices, most important first; ``order[i]`` becomes hop ``i``.
+
+    Returns
+    -------
+    (labels, rank):
+        ``labels`` holds ``Lout/Lin`` in *rank space* (hop ``i`` means
+        vertex ``order[i]``) indexed by original vertex id; ``rank[v]``
+        is ``v``'s position in the order.
+    """
+    n = graph.n
+    if len(order) != n or len(set(order)) != n:
+        raise ValueError("order must be a permutation of the vertices")
+    rank = [0] * n
+    for i, v in enumerate(order):
+        rank[v] = i
+
+    labels = LabelSet(n)
+    lout = labels.lout
+    lin = labels.lin
+    out_adj = graph.out_adj
+    in_adj = graph.in_adj
+    visited = bytearray(n)
+
+    for hop, vi in enumerate(order):
+        # ---- reverse BFS: distribute `hop` into Lout of ancestors -----
+        lin_vi = set(lin[vi])
+        frontier = [vi]
+        visited[vi] = 1
+        touched = [vi]
+        qi = 0
+        while qi < len(frontier):
+            u = frontier[qi]
+            qi += 1
+            lab = lout[u]
+            pruned = False
+            if lin_vi:
+                for h in lab:
+                    if h in lin_vi:
+                        pruned = True
+                        break
+            if pruned:
+                continue
+            lab.append(hop)
+            for w in in_adj[u]:
+                if not visited[w]:
+                    visited[w] = 1
+                    touched.append(w)
+                    frontier.append(w)
+        for u in touched:
+            visited[u] = 0
+
+        # ---- forward BFS: distribute `hop` into Lin of descendants ----
+        lout_vi = set(lout[vi])
+        frontier = [vi]
+        visited[vi] = 1
+        touched = [vi]
+        qi = 0
+        while qi < len(frontier):
+            w = frontier[qi]
+            qi += 1
+            lab = lin[w]
+            pruned = False
+            if lout_vi:
+                for h in lab:
+                    if h in lout_vi:
+                        # `hop` itself certifies vi -> w, it must not
+                        # prune: only *higher* hops (< hop) do.
+                        if h != hop:
+                            pruned = True
+                            break
+            if pruned:
+                continue
+            lab.append(hop)
+            for x in out_adj[w]:
+                if not visited[x]:
+                    visited[x] = 1
+                    touched.append(x)
+                    frontier.append(x)
+        for w in touched:
+            visited[w] = 0
+
+    return labels, rank
+
+
+@register_method
+class DistributionLabeling(ReachabilityIndex):
+    """Distribution-Labeling reachability oracle (paper §5, ``DL``).
+
+    Parameters
+    ----------
+    graph:
+        The DAG to index.
+    order:
+        Rank strategy name (see :mod:`repro.core.order`); default is the
+        paper's ``degree_product``.
+    seed:
+        Seed for randomised orders (ignored by deterministic ones).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import path_dag
+    >>> dl = DistributionLabeling(path_dag(5))
+    >>> dl.query(0, 4), dl.query(4, 0)
+    (True, False)
+    """
+
+    short_name = "DL"
+    full_name = "Distribution-Labeling"
+
+    def _build(self, graph: DiGraph, order: str = "degree_product", seed: int = 0) -> None:
+        order_list = get_order(order)(graph, seed)
+        self.labels, self.rank = distribution_labels(graph, order_list)
+        self.labels.seal()
+        self.order_list = order_list
+
+    def query(self, u: int, v: int) -> bool:
+        """``u`` reaches ``v`` iff their labels share a hop (Theorem 3)."""
+        return self.labels.query(u, v)
+
+    def witness(self, u: int, v: int) -> Optional[int]:
+        """The highest-ranked hop vertex certifying ``u -> v`` (or None).
+
+        Returned in *original* vertex ids; useful for explanations
+        ("u reaches v through hub h").
+        """
+        hop = first_common_hop(self.labels.lout[u], self.labels.lin[v])
+        if hop is None:
+            return None
+        return self.order_list[hop]
+
+    def index_size_ints(self) -> int:
+        return self.labels.size_ints()
+
+    def stats(self) -> Dict[str, object]:
+        base = super().stats()
+        base.update(
+            {
+                "max_label_len": self.labels.max_label_len(),
+                "avg_label_len": round(self.labels.average_label_len(), 2),
+            }
+        )
+        return base

@@ -1,0 +1,216 @@
+"""Incremental edge insertion for the DL oracle (paper §7 future work).
+
+The paper closes with "In the future, we will investigate the labeling
+on dynamic graphs".  This module implements the incremental half of
+that program on top of Distribution-Labeling, using a label-flooding
+update whose completeness argument is three lines long:
+
+    Inserting ``u -> v`` (acyclic, not previously reachable) creates
+    exactly the pairs ``(x, y)`` with ``x -> u`` and ``v -> y`` in the
+    old graph.  Old labels already certify ``x -> u`` with some hop
+    ``h ∈ Lout(x) ∩ Lin(u)``.  Therefore unioning ``Lin(u) ∪ {u}``
+    into ``Lin(y)`` for every ``y ∈ desc(v)`` covers every new pair:
+    ``h ∈ Lout(x)`` held before, and ``h ∈ Lin(y)`` holds after.
+
+Soundness is equally direct: every hop added to ``Lin(y)`` reaches
+``u`` (it was in ``Lin(u)``), hence reaches ``y`` through the new edge.
+
+The trade-off versus a rebuild is the one the paper would expect:
+updates are cheap (one forward BFS from ``v`` plus sorted merges) but
+the labeling loses Theorem 4's non-redundancy — labels grow
+monotonically over a long insert stream.  :meth:`DynamicDL.rebuild`
+restores the minimal static labeling; the ``auto_rebuild_factor``
+parameter does so automatically once the index has bloated past a
+configurable factor of its last rebuilt size.
+
+Deletions are *not* supported (decremental reachability is strictly
+harder and the paper does not sketch it); ``remove_edge`` raises
+``NotImplementedError`` to make the boundary explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..graph.digraph import DiGraph
+from .distribution import DistributionLabeling
+
+__all__ = ["DynamicDL"]
+
+
+def _merge_into(target: List[int], extra: List[int]) -> List[int]:
+    """Sorted union of two sorted int lists (returns a new list)."""
+    out: List[int] = []
+    i = j = 0
+    ni, nj = len(target), len(extra)
+    while i < ni and j < nj:
+        a, b = target[i], extra[j]
+        if a == b:
+            out.append(a)
+            i += 1
+            j += 1
+        elif a < b:
+            out.append(a)
+            i += 1
+        else:
+            out.append(b)
+            j += 1
+    out.extend(target[i:])
+    out.extend(extra[j:])
+    return out
+
+
+class DynamicDL:
+    """A Distribution-Labeling oracle that accepts edge insertions.
+
+    Parameters
+    ----------
+    graph:
+        Initial DAG; copied, so the caller's graph is never mutated.
+    order:
+        Rank strategy for (re)builds, as in
+        :class:`~repro.core.distribution.DistributionLabeling`.
+    auto_rebuild_factor:
+        When the label size exceeds this multiple of the size at the
+        last rebuild, the oracle rebuilds itself (0 disables).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import path_dag
+    >>> dyn = DynamicDL(path_dag(4))
+    >>> dyn.query(3, 0)
+    False
+    >>> dyn.insert_edge(3, 0)
+    Traceback (most recent call last):
+        ...
+    ValueError: inserting 3->0 would create a cycle
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        order: str = "degree_product",
+        auto_rebuild_factor: float = 4.0,
+    ) -> None:
+        self._graph = graph.copy()
+        self._order = order
+        self.auto_rebuild_factor = auto_rebuild_factor
+        self._inserts_since_rebuild = 0
+        self._rebuild_from_graph()
+
+    # ------------------------------------------------------------------
+    def _rebuild_from_graph(self) -> None:
+        frozen = self._graph.copy().freeze()
+        dl = DistributionLabeling(frozen, order=self._order)
+        self._labels = dl.labels
+        self._rank = dl.rank
+        self._order_list = dl.order_list
+        self._base_size = max(1, dl.index_size_ints())
+        self._inserts_since_rebuild = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._graph.n
+
+    @property
+    def m(self) -> int:
+        """Current number of edges (including inserted ones)."""
+        return self._graph.m
+
+    def query(self, u: int, v: int) -> bool:
+        """Whether ``u`` currently reaches ``v``."""
+        if u == v:
+            return True
+        # Edge inserts only mutate Lin lists; the sealed Lout mirror
+        # built at (re)build time stays valid throughout.
+        return self._labels.query(u, v)
+
+    def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[bool]:
+        """Vectorised :meth:`query`."""
+        return [self.query(u, v) for u, v in pairs]
+
+    def index_size_ints(self) -> int:
+        """Current label size in stored integers."""
+        return self._labels.size_ints()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Insert edge ``u -> v``; returns True if reachability changed.
+
+        Raises
+        ------
+        ValueError
+            If the edge would create a cycle (``v`` already reaches
+            ``u``) or is a self-loop.
+        """
+        if u == v:
+            raise ValueError("self-loops are not allowed in a DAG oracle")
+        if self.query(v, u):
+            raise ValueError(f"inserting {u}->{v} would create a cycle")
+        already_reachable = self.query(u, v)
+        self._graph.add_edge(u, v)
+        if already_reachable:
+            # The edge adds no new reachable pairs; labels stay valid.
+            return False
+
+        # Flood Lin(u) ∪ {u} into every descendant of v.
+        addition = _merge_into(self._labels.lin[u], [self._rank[u]])
+        lin = self._labels.lin
+        out_adj = self._graph.out_adj
+        seen = {v}
+        frontier = [v]
+        qi = 0
+        while qi < len(frontier):
+            w = frontier[qi]
+            qi += 1
+            lin[w] = _merge_into(lin[w], addition)
+            for x in out_adj[w]:
+                if x not in seen:
+                    seen.add(x)
+                    frontier.append(x)
+
+        self._inserts_since_rebuild += 1
+        if (
+            self.auto_rebuild_factor
+            and self.index_size_ints() > self.auto_rebuild_factor * self._base_size
+        ):
+            self.rebuild()
+        return True
+
+    def insert_edges(self, edges: Iterable[Tuple[int, int]]) -> int:
+        """Insert many edges; returns how many changed reachability."""
+        return sum(1 for u, v in edges if self.insert_edge(u, v))
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Decremental updates are out of scope (paper future work)."""
+        raise NotImplementedError(
+            "decremental reachability is not supported; rebuild on a new graph"
+        )
+
+    def rebuild(self) -> None:
+        """Recompute the minimal static DL labeling for the current graph."""
+        self._rebuild_from_graph()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Current oracle statistics."""
+        return {
+            "method": "DynamicDL",
+            "n": self._graph.n,
+            "m": self._graph.m,
+            "index_size_ints": self.index_size_ints(),
+            "inserts_since_rebuild": self._inserts_since_rebuild,
+            "size_at_last_rebuild": self._base_size,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicDL(n={self._graph.n}, m={self._graph.m}, "
+            f"ints={self.index_size_ints()})"
+        )

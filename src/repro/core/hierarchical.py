@@ -1,0 +1,181 @@
+"""Hierarchical-Labeling (HL) — Algorithm 1 of the paper (§4).
+
+HL labels vertices level by level over the hierarchical DAG decomposition
+(:func:`repro.core.backbone.hierarchical_decomposition`):
+
+1. **Core graph** ``Gh``: the decomposition stops once ``|Vh|`` is small
+   (the paper: "practically, the decomposition can be stopped when the
+   vertex set Vh is small enough ... instead of making its diameter less
+   than or equal to ε", in which case an existing labeling algorithm is
+   applied).  We label the core with Distribution-Labeling, which is
+   complete for any core, then translate the hops to original ids.
+2. **Level i = h-1 … 0** (Formulas 4-5): each vertex ``v ∈ Vi \\ Vi+1``
+   receives::
+
+       Lout(v) = N^{⌈ε/2⌉}out(v|Gi)  ∪  ⋃ { Lout(u) : u ∈ Bεout(v|Gi) }
+       Lin(v)  = N^{⌈ε/2⌉}in(v|Gi)   ∪  ⋃ { Lin(u)  : u ∈ Bεin(v|Gi) }
+
+   i.e. its ⌈ε/2⌉-step neighbourhood *within the level graph* plus the
+   already-computed labels of its backbone vertex set.  For the default
+   ε = 2 the neighbourhood is just the vertex and its direct neighbours
+   in ``Gi``.
+
+Completeness is Theorem 1 of the paper; the labeling is generally *not*
+non-redundant (the paper's own counter-example), which is why DL tends to
+produce smaller labels — our Figure 3/4 benchmarks reproduce that gap.
+
+The TF-label baseline (:mod:`repro.baselines.tflabel`) reuses this class
+with ``eps=1``, the special case the paper identifies with [11].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..graph.digraph import DiGraph
+from .backbone import Hierarchy, hierarchical_decomposition
+from .base import ReachabilityIndex, register_method
+from .distribution import distribution_labels
+from .labels import LabelSet, first_common_hop
+from .order import get_order
+
+__all__ = ["HierarchicalLabeling", "hierarchical_labels"]
+
+
+def hierarchical_labels(hierarchy: Hierarchy, order_name: str = "degree_product", seed: int = 0) -> LabelSet:
+    """Compute HL labels (in original vertex ids) for a decomposition."""
+    if not hierarchy.levels:
+        # Degenerate: the whole graph is the core.
+        return _core_labels(hierarchy, order_name, seed)
+
+    n0 = hierarchy.levels[0].graph.n
+    labels = LabelSet(n0)
+
+    core = _core_labels(hierarchy, order_name, seed)
+    for j, orig in enumerate(hierarchy.orig_of_core):
+        labels.lout[orig] = core.lout[j]
+        labels.lin[orig] = core.lin[j]
+
+    # Level-wise labeling, higher levels first (Algorithm 1, lines 4-10).
+    for level_idx in range(hierarchy.height - 1, -1, -1):
+        level = hierarchy.levels[level_idx]
+        orig_of = hierarchy.orig_of_level[level_idx]
+        gi = level.graph
+        in_backbone = set(level.backbone_vertices)
+        for v in gi.vertices():
+            if v in in_backbone:
+                continue  # labeled at its own (higher) level
+            orig_v = orig_of[v]
+            labels.lout[orig_v] = _fold(
+                gi.out(v), v, level.bout[v], orig_of, labels.lout
+            )
+            labels.lin[orig_v] = _fold(
+                gi.inn(v), v, level.bin_[v], orig_of, labels.lin
+            )
+    return labels
+
+
+def _fold(
+    neighbours, v: int, bset: List[int], orig_of: List[int], side: List[List[int]]
+) -> List[int]:
+    """Formula 4/5 for one vertex: neighbourhood ∪ backbone labels."""
+    merged = {orig_of[v]}
+    for w in neighbours:
+        merged.add(orig_of[w])
+    for u in bset:
+        merged.update(side[orig_of[u]])
+    return sorted(merged)
+
+
+def _core_labels(hierarchy: Hierarchy, order_name: str, seed: int) -> LabelSet:
+    """Label the core graph with DL, hops translated to original ids."""
+    core_graph = hierarchy.core_graph
+    order_fn = get_order(order_name)
+    order_list = order_fn(core_graph, seed)
+    core_rank_labels, _rank = distribution_labels(core_graph, order_list)
+    orig_of_core = hierarchy.orig_of_core
+    translated = LabelSet(core_graph.n)
+    for j in range(core_graph.n):
+        translated.lout[j] = sorted(
+            orig_of_core[order_list[h]] for h in core_rank_labels.lout[j]
+        )
+        translated.lin[j] = sorted(
+            orig_of_core[order_list[h]] for h in core_rank_labels.lin[j]
+        )
+    return translated
+
+
+@register_method
+class HierarchicalLabeling(ReachabilityIndex):
+    """Hierarchical-Labeling reachability oracle (paper §4, ``HL``).
+
+    Parameters
+    ----------
+    graph:
+        The DAG to index.
+    eps:
+        Locality threshold of the backbone hierarchy (paper default 2).
+    core_limit:
+        Stop decomposing once the level graph has at most this many
+        vertices; the core is labeled directly.
+    max_levels:
+        Upper bound on the number of decomposition steps (the paper
+        suggests bounding ``h``; level counts of 5-6 are typical at ε=2).
+    order:
+        Rank strategy used for backbone selection and core labeling.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import path_dag
+    >>> hl = HierarchicalLabeling(path_dag(6))
+    >>> hl.query(0, 5), hl.query(3, 1)
+    (True, False)
+    """
+
+    short_name = "HL"
+    full_name = "Hierarchical-Labeling"
+
+    def _build(
+        self,
+        graph: DiGraph,
+        eps: int = 2,
+        core_limit: int = 64,
+        max_levels: int = 16,
+        order: str = "degree_product",
+        seed: int = 0,
+    ) -> None:
+        order_fn = get_order(order)
+        self.hierarchy = hierarchical_decomposition(
+            graph,
+            eps=eps,
+            core_limit=core_limit,
+            max_levels=max_levels,
+            order_fn=order_fn,
+            seed=seed,
+        )
+        self.labels = hierarchical_labels(self.hierarchy, order_name=order, seed=seed)
+        self.labels.seal()
+
+    def query(self, u: int, v: int) -> bool:
+        """``u`` reaches ``v`` iff their labels share a hop (Theorem 1)."""
+        return self.labels.query(u, v)
+
+    def witness(self, u: int, v: int) -> Optional[int]:
+        """A hop (original vertex id) certifying ``u -> v``, or ``None``."""
+        return first_common_hop(self.labels.lout[u], self.labels.lin[v])
+
+    def index_size_ints(self) -> int:
+        return self.labels.size_ints()
+
+    def stats(self) -> Dict[str, object]:
+        base = super().stats()
+        base.update(
+            {
+                "levels": self.hierarchy.level_sizes(),
+                "height": self.hierarchy.height,
+                "core_size": self.hierarchy.core_graph.n,
+                "max_label_len": self.labels.max_label_len(),
+                "avg_label_len": round(self.labels.average_label_len(), 2),
+            }
+        )
+        return base

@@ -1,0 +1,16 @@
+"""Dataset stand-ins for the paper's Table 1 and query workloads."""
+
+from .catalog import DATASETS, LARGE_SUITE, SMALL_SUITE, Dataset, dataset_names, load
+from .workloads import Workload, equal_workload, random_workload
+
+__all__ = [
+    "DATASETS",
+    "LARGE_SUITE",
+    "SMALL_SUITE",
+    "Dataset",
+    "dataset_names",
+    "load",
+    "Workload",
+    "equal_workload",
+    "random_workload",
+]

@@ -1,0 +1,32 @@
+"""Graph substrate: containers, condensation, traversal, closure, generators."""
+
+from .digraph import DiGraph
+from .scc import Condensation, condense, strongly_connected_components
+from .topo import is_dag, longest_path_length, topological_levels, topological_order
+from .traversal import bfs_reachable, bfs_reaches, bfs_within
+from .closure import (
+    closure_pairs_count,
+    reverse_transitive_closure_bits,
+    transitive_closure_bits,
+)
+from .io import parse_edge_list, read_edge_list, write_edge_list
+
+__all__ = [
+    "DiGraph",
+    "Condensation",
+    "condense",
+    "strongly_connected_components",
+    "is_dag",
+    "longest_path_length",
+    "topological_levels",
+    "topological_order",
+    "bfs_reachable",
+    "bfs_reaches",
+    "bfs_within",
+    "closure_pairs_count",
+    "reverse_transitive_closure_bits",
+    "transitive_closure_bits",
+    "parse_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+]

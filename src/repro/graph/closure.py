@@ -1,0 +1,146 @@
+"""Reference transitive closure (TC) computation.
+
+The paper's central argument is that materialising the transitive closure
+is what makes classic 2-hop construction unscalable.  We still need TC in
+three places:
+
+1. ground truth for correctness tests,
+2. the 2HOP set-cover baseline (which *by definition* materialises TC),
+3. positive-pair sampling for the "equal" query workload of §6.1.
+
+TC is represented as one Python big integer per vertex used as a bitset:
+bit ``v`` of ``tc[u]`` is 1 iff ``u`` reaches ``v`` (reflexively,
+``u`` reaches ``u``).  Big-int OR is implemented in C inside CPython, so
+this is by far the fastest portable representation; it is also the
+memory hog the paper complains about, which is exactly the point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .digraph import DiGraph
+from .topo import topological_order
+
+__all__ = [
+    "transitive_closure_bits",
+    "reverse_transitive_closure_bits",
+    "tc_size",
+    "closure_pairs_count",
+    "bitset_to_list",
+    "sample_reachable_pair",
+]
+
+
+def transitive_closure_bits(graph: DiGraph, order: Optional[List[int]] = None) -> List[int]:
+    """Compute reflexive TC bitsets bottom-up in reverse topological order.
+
+    ``tc[u] = {u} ∪ tc[w1] ∪ tc[w2] ∪ ...`` over out-neighbours ``wi``.
+
+    Parameters
+    ----------
+    graph:
+        A DAG.
+    order:
+        Optional precomputed topological order (saves recomputation when
+        the caller already has one).
+
+    Raises
+    ------
+    ValueError
+        If the graph is not a DAG.
+    """
+    if order is None:
+        order = topological_order(graph)
+        if order is None:
+            raise ValueError("transitive closure requires a DAG; condense first")
+    tc = [0] * graph.n
+    for u in reversed(order):
+        bits = 1 << u
+        for w in graph.out(u):
+            bits |= tc[w]
+        tc[u] = bits
+    return tc
+
+
+def reverse_transitive_closure_bits(
+    graph: DiGraph, order: Optional[List[int]] = None
+) -> List[int]:
+    """Reflexive *reverse* TC: bit ``v`` of ``rtc[u]`` iff ``v`` reaches ``u``."""
+    if order is None:
+        order = topological_order(graph)
+        if order is None:
+            raise ValueError("transitive closure requires a DAG; condense first")
+    rtc = [0] * graph.n
+    for u in order:
+        bits = 1 << u
+        for w in graph.inn(u):
+            bits |= rtc[w]
+        rtc[u] = bits
+    return rtc
+
+
+def tc_size(tc: List[int]) -> int:
+    """Total number of (u, v) pairs in the closure, including reflexive pairs."""
+    return sum(bits.bit_count() for bits in tc)
+
+
+def closure_pairs_count(graph: DiGraph) -> int:
+    """Number of *distinct-vertex* reachable pairs ``u -> v`` (u != v)."""
+    tc = transitive_closure_bits(graph)
+    return tc_size(tc) - graph.n
+
+
+def bitset_to_list(bits: int) -> List[int]:
+    """Decode a bitset into a sorted list of vertex ids."""
+    out: List[int] = []
+    v = 0
+    while bits:
+        chunk = bits & 0xFFFFFFFFFFFFFFFF
+        while chunk:
+            low = chunk & -chunk
+            out.append(v + low.bit_length() - 1)
+            chunk ^= low
+        bits >>= 64
+        v += 64
+    return out
+
+
+def sample_reachable_pair(
+    tc: List[int], rng, n: int, max_tries: int = 64
+) -> Optional[Tuple[int, int]]:
+    """Sample a positive (reachable, u != v) pair using the TC bitsets.
+
+    Picks a random source biased by nothing (uniform over vertices), then a
+    uniform random member of its closure.  Returns ``None`` if ``max_tries``
+    sources in a row had empty non-reflexive closures.
+    """
+    for _ in range(max_tries):
+        u = rng.randrange(n)
+        bits = tc[u] & ~(1 << u)
+        count = bits.bit_count()
+        if count == 0:
+            continue
+        k = rng.randrange(count)
+        # Select the k-th set bit.
+        v = _kth_set_bit(bits, k)
+        return (u, v)
+    return None
+
+
+def _kth_set_bit(bits: int, k: int) -> int:
+    """Index of the k-th (0-based) set bit of ``bits``."""
+    idx = 0
+    while True:
+        chunk = bits & 0xFFFFFFFFFFFFFFFF
+        c = chunk.bit_count()
+        if k < c:
+            while True:
+                low = chunk & -chunk
+                if k == 0:
+                    return idx + low.bit_length() - 1
+                chunk ^= low
+                k -= 1
+        k -= c
+        bits >>= 64
+        idx += 64

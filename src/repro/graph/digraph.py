@@ -1,0 +1,244 @@
+"""Directed-graph container used throughout the library.
+
+The container is deliberately simple: vertices are the integers
+``0 .. n-1`` and edges live in per-vertex adjacency lists.  Every
+reachability index in this package consumes a :class:`DiGraph` (usually a
+DAG produced by :func:`repro.graph.scc.condense`).
+
+Design notes
+------------
+* Adjacency lists are plain Python lists of ints.  This is the fastest
+  portable representation for the pure-Python BFS/DFS inner loops that
+  dominate index construction.
+* Both forward (``out_adj``) and reverse (``in_adj``) adjacency are kept,
+  because every labeling algorithm in the paper performs traversals in
+  both directions.
+* The class is mutable while building and is typically "frozen" by sorting
+  adjacency lists (:meth:`DiGraph.freeze`), which gives deterministic
+  iteration order for reproducible experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+Edge = Tuple[int, int]
+
+__all__ = ["DiGraph", "Edge"]
+
+
+class DiGraph:
+    """A directed graph over vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.  Vertices are implicit; there is no notion of
+        vertex insertion or deletion (matching the static-index setting of
+        the paper).
+
+    Examples
+    --------
+    >>> g = DiGraph(3)
+    >>> g.add_edge(0, 1)
+    True
+    >>> g.add_edge(1, 2)
+    True
+    >>> sorted(g.edges())
+    [(0, 1), (1, 2)]
+    >>> g.out_degree(0), g.in_degree(2)
+    (1, 1)
+    """
+
+    __slots__ = ("_n", "_m", "_out", "_in", "_edge_set", "_frozen")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"vertex count must be non-negative, got {n}")
+        self._n = n
+        self._m = 0
+        self._out: List[List[int]] = [[] for _ in range(n)]
+        self._in: List[List[int]] = [[] for _ in range(n)]
+        self._edge_set = set()
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Edge]) -> "DiGraph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Duplicate edges are silently ignored; self-loops are rejected with
+        ``ValueError`` (a DAG index never needs them — condense the graph
+        first if the input has cycles or self-loops).
+        """
+        g = cls(n)
+        for u, v in edges:
+            g.add_edge(u, v)
+        g.freeze()
+        return g
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add edge ``u -> v``.  Returns ``True`` if the edge was new."""
+        if self._frozen:
+            raise RuntimeError("graph is frozen; copy() it to modify")
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loop {u}->{v} not allowed; condense cyclic input first")
+        if (u, v) in self._edge_set:
+            return False
+        self._edge_set.add((u, v))
+        self._out[u].append(v)
+        self._in[v].append(u)
+        self._m += 1
+        return True
+
+    def freeze(self) -> "DiGraph":
+        """Sort adjacency lists and mark the graph immutable.
+
+        Freezing makes traversal order deterministic, which in turn makes
+        every index build and every experiment in this repository
+        reproducible bit-for-bit.
+        """
+        if not self._frozen:
+            for adj in self._out:
+                adj.sort()
+            for adj in self._in:
+                adj.sort()
+            self._frozen = True
+        return self
+
+    def copy(self) -> "DiGraph":
+        """Return a mutable deep copy."""
+        g = DiGraph(self._n)
+        g._m = self._m
+        g._out = [list(a) for a in self._out]
+        g._in = [list(a) for a in self._in]
+        g._edge_set = set(self._edge_set)
+        return g
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has been called."""
+        return self._frozen
+
+    def vertices(self) -> range:
+        """Iterate all vertex ids."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield all edges as ``(u, v)`` pairs."""
+        for u in range(self._n):
+            for v in self._out[u]:
+                yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``u -> v`` exists."""
+        return (u, v) in self._edge_set
+
+    def out(self, u: int) -> Sequence[int]:
+        """Out-neighbours of ``u`` (do not mutate)."""
+        return self._out[u]
+
+    def inn(self, u: int) -> Sequence[int]:
+        """In-neighbours of ``u`` (do not mutate)."""
+        return self._in[u]
+
+    @property
+    def out_adj(self) -> List[List[int]]:
+        """The full forward adjacency structure (treat as read-only)."""
+        return self._out
+
+    @property
+    def in_adj(self) -> List[List[int]]:
+        """The full reverse adjacency structure (treat as read-only)."""
+        return self._in
+
+    def out_degree(self, u: int) -> int:
+        """Number of out-neighbours of ``u``."""
+        return len(self._out[u])
+
+    def in_degree(self, u: int) -> int:
+        """Number of in-neighbours of ``u``."""
+        return len(self._in[u])
+
+    def sources(self) -> List[int]:
+        """Vertices with no incoming edges."""
+        return [u for u in range(self._n) if not self._in[u]]
+
+    def sinks(self) -> List[int]:
+        """Vertices with no outgoing edges."""
+        return [u for u in range(self._n) if not self._out[u]]
+
+    def reverse(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped."""
+        g = DiGraph(self._n)
+        g._m = self._m
+        g._out = [list(a) for a in self._in]
+        g._in = [list(a) for a in self._out]
+        g._edge_set = {(v, u) for (u, v) in self._edge_set}
+        if self._frozen:
+            g._frozen = True
+        return g
+
+    def induced_subgraph(self, keep: Sequence[int]) -> Tuple["DiGraph", List[int]]:
+        """Subgraph induced by ``keep``.
+
+        Returns ``(subgraph, mapping)`` where ``mapping[i]`` is the
+        original id of subgraph vertex ``i``.  Edges between kept vertices
+        are preserved.
+        """
+        keep_sorted = sorted(set(keep))
+        index = {v: i for i, v in enumerate(keep_sorted)}
+        sub = DiGraph(len(keep_sorted))
+        for v in keep_sorted:
+            vi = index[v]
+            for w in self._out[v]:
+                wi = index.get(w)
+                if wi is not None:
+                    sub.add_edge(vi, wi)
+        sub.freeze()
+        return sub, keep_sorted
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._edge_set
+
+    def __repr__(self) -> str:
+        state = "frozen" if self._frozen else "mutable"
+        return f"DiGraph(n={self._n}, m={self._m}, {state})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return self._n == other._n and self._edge_set == other._edge_set
+
+    def __hash__(self):  # pragma: no cover - graphs are not hashable
+        raise TypeError("DiGraph is unhashable")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < self._n:
+            raise IndexError(f"vertex {u} out of range [0, {self._n})")

@@ -1,0 +1,71 @@
+"""Graphviz DOT export for small graphs.
+
+A debugging/teaching utility: render a DAG, optionally highlighting the
+backbone hierarchy levels of Hierarchical-Labeling, so the Figure-1
+structure of the paper can be visualised for any input.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Optional, Sequence
+
+from .digraph import DiGraph
+
+__all__ = ["to_dot"]
+
+_LEVEL_COLORS = [
+    "#dddddd", "#b3cde3", "#8c96c6", "#8856a7", "#810f7c", "#4d004b",
+]
+
+
+def to_dot(
+    graph: DiGraph,
+    name: str = "G",
+    vertex_labels: Optional[Mapping[int, str]] = None,
+    levels: Optional[Sequence[int]] = None,
+    highlight_edges: Optional[Sequence] = None,
+) -> str:
+    """Render a DAG in Graphviz DOT format.
+
+    Parameters
+    ----------
+    graph:
+        The graph to render.
+    name:
+        DOT graph name.
+    vertex_labels:
+        Optional display labels (defaults to vertex ids).
+    levels:
+        Optional per-vertex hierarchy level (e.g. from a
+        Hierarchical-Labeling decomposition); vertices are filled with a
+        darker colour per level, the Figure-1 look.
+    highlight_edges:
+        Edges to draw bold/red (e.g. backbone edges).
+
+    Examples
+    --------
+    >>> g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+    >>> "0 -> 1" in to_dot(g)
+    True
+    """
+    highlight = set(map(tuple, highlight_edges or []))
+    buf = io.StringIO()
+    buf.write(f"digraph {name} {{\n")
+    buf.write("  rankdir=TB;\n  node [shape=circle, fontsize=10];\n")
+    for v in graph.vertices():
+        label = str(vertex_labels.get(v, v)) if vertex_labels else str(v)
+        attrs = [f'label="{label}"']
+        if levels is not None:
+            color = _LEVEL_COLORS[min(levels[v], len(_LEVEL_COLORS) - 1)]
+            attrs.append(f'style=filled, fillcolor="{color}"')
+            if levels[v] >= 2:
+                attrs.append('fontcolor="white"')
+        buf.write(f"  {v} [{', '.join(attrs)}];\n")
+    for u, v in graph.edges():
+        if (u, v) in highlight:
+            buf.write(f"  {u} -> {v} [color=red, penwidth=2];\n")
+        else:
+            buf.write(f"  {u} -> {v};\n")
+    buf.write("}\n")
+    return buf.getvalue()

@@ -1,0 +1,282 @@
+"""Synthetic graph generators.
+
+The paper evaluates on 27 real graphs (Table 1) spanning four structural
+families.  The raw files are not redistributable and multi-million-vertex
+builds are out of reach for pure Python, so the dataset catalog
+(:mod:`repro.datasets.catalog`) instantiates a named stand-in for every
+dataset from the generators below.  Each generator reproduces the
+structural property that drives index behaviour in its family:
+
+* ``sparse_dag`` — m ≈ n, shallow, tree-like.  Matches the metabolic /
+  pathway networks (agrocyc, anthra, ecoo, hpycyc, human, kegg, mtbrv,
+  vchocyc, amaze, xmark, nasa, reactome): interval/tree compression
+  shines here.
+* ``citation_dag`` — preferential attachment citing earlier vertices,
+  heavy-tailed in-degree, deep.  Matches arxiv, citeseer, citeseerx,
+  cit-Patents: transitive closures blow up, which is what kills
+  PT/K-Reach/2HOP at scale.
+* ``powerlaw_digraph`` — directed scale-free graph *with cycles*;
+  condensation yields the bow-tie-like DAGs of web/social graphs
+  (web, wiki, lj, email, p2p).
+* ``chain_forest_dag`` — very long sparse chains with occasional merges,
+  like the uniprot RDF graphs (uniprotenc_*, go_uniprot): enormous but
+  almost tree-shaped, the case where online search and oracles scale and
+  TC compression dies on index size.
+* ``random_dag`` — uniform Erdős–Rényi-style DAG, used by property tests
+  and ablations.
+* ``layered_dag`` — fixed-width layers, controls depth exactly; used in
+  backbone/hierarchy tests.
+
+All generators take an explicit ``seed`` and are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .digraph import DiGraph
+
+__all__ = [
+    "random_dag",
+    "sparse_dag",
+    "citation_dag",
+    "powerlaw_digraph",
+    "chain_forest_dag",
+    "ontology_dag",
+    "layered_dag",
+    "path_dag",
+    "complete_bipartite_dag",
+    "star_dag",
+]
+
+
+def _dedup_add(g: DiGraph, u: int, v: int) -> bool:
+    if u == v:
+        return False
+    return g.add_edge(u, v)
+
+
+def random_dag(n: int, m: int, seed: int = 0) -> DiGraph:
+    """Uniform random DAG: ``m`` distinct edges respecting a random order.
+
+    A random permutation fixes a topological order; edges are sampled
+    uniformly from pairs (earlier -> later).  If ``m`` exceeds the number
+    of available pairs it is clamped.
+    """
+    rng = random.Random(seed)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    g = DiGraph(n)
+    max_m = n * (n - 1) // 2
+    m = min(m, max_m)
+    attempts = 0
+    limit = 40 * m + 100
+    while g.m < m and attempts < limit:
+        attempts += 1
+        i = rng.randrange(n)
+        j = rng.randrange(n)
+        if i == j:
+            continue
+        if i > j:
+            i, j = j, i
+        _dedup_add(g, perm[i], perm[j])
+    # Dense fallback: enumerate remaining pairs if rejection sampling stalls.
+    if g.m < m:
+        pairs = [
+            (perm[i], perm[j])
+            for i in range(n)
+            for j in range(i + 1, n)
+            if not g.has_edge(perm[i], perm[j])
+        ]
+        rng.shuffle(pairs)
+        for u, v in pairs:
+            if g.m >= m:
+                break
+            g.add_edge(u, v)
+    return g.freeze()
+
+
+def sparse_dag(n: int, extra_edge_ratio: float = 0.08, seed: int = 0) -> DiGraph:
+    """Tree-like sparse DAG with m ≈ n·(1+ratio).
+
+    Built as a random forest (every non-root picks a random earlier parent
+    with a bias towards recent vertices, yielding moderate depth) plus a
+    small fraction of extra forward edges ("metabolic shortcut" edges).
+    """
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    for v in range(1, n):
+        # ~2% of vertices start new roots (disconnected components, like
+        # the many small pathways in the biological datasets).
+        if rng.random() < 0.02:
+            continue
+        lo = max(0, v - 50) if rng.random() < 0.7 else 0
+        parent = rng.randrange(lo, v)
+        _dedup_add(g, parent, v)
+    extra = int(n * extra_edge_ratio)
+    for _ in range(extra):
+        v = rng.randrange(1, n)
+        u = rng.randrange(0, v)
+        _dedup_add(g, u, v)
+    return g.freeze()
+
+
+def citation_dag(n: int, out_per_vertex: float = 4, seed: int = 0, min_cites: int = 1) -> DiGraph:
+    """Preferential-attachment citation DAG.
+
+    Vertex ``v`` "cites" ~``out_per_vertex`` earlier vertices on average,
+    chosen preferentially by in-degree (rich get richer), giving the
+    heavy-tailed in-degree of citation networks.  Edges point from the
+    *citing* (newer) vertex to the cited (older) one, so the DAG is deep
+    along citation chains.  ``min_cites=0`` allows citation-less vertices
+    (sparse bibliographies like citeseer).
+    """
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    # The target pool holds one entry per vertex plus one per received
+    # citation: sampling from it is preferential attachment.
+    pool: List[int] = [0] if n > 0 else []
+    for v in range(1, n):
+        cites = min(v, max(min_cites, int(rng.gauss(out_per_vertex, out_per_vertex / 2 + 0.5))))
+        chosen = set()
+        for _ in range(cites * 3):
+            if len(chosen) >= cites:
+                break
+            u = pool[rng.randrange(len(pool))] if rng.random() < 0.8 else rng.randrange(v)
+            if u != v:
+                chosen.add(u)
+        for u in chosen:
+            if _dedup_add(g, v, u):
+                pool.append(u)
+        pool.append(v)
+    return g.freeze()
+
+
+def powerlaw_digraph(n: int, m: int, seed: int = 0) -> DiGraph:
+    """Directed scale-free graph, cycles allowed.
+
+    Both endpoints are sampled preferentially (by total degree), so hubs
+    emerge and mutual links create sizable SCCs — condensation produces
+    the bow-tie DAGs typical of web/social graphs.  Self-loops are
+    skipped (``DiGraph`` rejects them).
+    """
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    pool: List[int] = list(range(min(n, 8)))
+    attempts = 0
+    while g.m < m and attempts < 30 * m + 100:
+        attempts += 1
+        u = pool[rng.randrange(len(pool))] if rng.random() < 0.7 else rng.randrange(n)
+        v = pool[rng.randrange(len(pool))] if rng.random() < 0.7 else rng.randrange(n)
+        if u == v:
+            continue
+        if _dedup_add(g, u, v):
+            pool.append(u)
+            pool.append(v)
+    return g.freeze()
+
+
+def chain_forest_dag(n: int, chain_len: int = 200, merge_ratio: float = 0.02, seed: int = 0) -> DiGraph:
+    """Long chains with sparse cross-merges (uniprot-like).
+
+    Vertices are grouped into chains of ~``chain_len``; consecutive chain
+    members are linked, and a small fraction of vertices additionally link
+    into a random earlier chain, creating the occasional merge points of
+    RDF/provenance graphs.
+    """
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    chain_start = 0
+    starts = []
+    while chain_start < n:
+        starts.append(chain_start)
+        length = max(2, int(rng.gauss(chain_len, chain_len / 4)))
+        end = min(n, chain_start + length)
+        for v in range(chain_start + 1, end):
+            g.add_edge(v - 1, v)
+        chain_start = end
+    merges = int(n * merge_ratio)
+    for _ in range(merges):
+        v = rng.randrange(1, n)
+        u = rng.randrange(0, v)
+        _dedup_add(g, u, v)
+    return g.freeze()
+
+
+def ontology_dag(n: int, extra_parent_ratio: float = 0.15, roots: int = 1, seed: int = 0) -> DiGraph:
+    """Ontology / taxonomy-style DAG (go_uniprot, uniprotenc stand-in).
+
+    Edges point **child -> parent** (is-a direction), so each vertex's
+    closure is its small ancestor set — the structural reason the uniprot
+    family compresses so well in the paper despite its enormous size.
+    ``extra_parent_ratio`` adds multi-parent edges (GO terms commonly
+    have several parents); ``extra_parent_ratio=0`` yields a pure forest
+    like the uniprotenc graphs (where |E| = |V| - c).
+    """
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    roots = max(1, min(roots, n))
+    for v in range(roots, n):
+        # Prefer recent vertices as parents: deepens the taxonomy.
+        lo = max(0, v - 200) if rng.random() < 0.6 else 0
+        parent = rng.randrange(lo, v)
+        _dedup_add(g, v, parent)
+    extra = int(n * extra_parent_ratio)
+    for _ in range(extra):
+        v = rng.randrange(roots, n)
+        parent = rng.randrange(0, v)
+        _dedup_add(g, v, parent)
+    return g.freeze()
+
+
+def layered_dag(layers: int, width: int, edges_per_vertex: int = 2, seed: int = 0) -> DiGraph:
+    """DAG of ``layers`` layers of ``width`` vertices.
+
+    Every vertex links to ``edges_per_vertex`` random vertices of the next
+    layer, so depth is exactly ``layers - 1``.  Useful for exercising the
+    hierarchical decomposition with a controlled diameter.
+    """
+    rng = random.Random(seed)
+    n = layers * width
+    g = DiGraph(n)
+    for layer in range(layers - 1):
+        base = layer * width
+        nxt = base + width
+        for i in range(width):
+            u = base + i
+            for _ in range(edges_per_vertex):
+                _dedup_add(g, u, nxt + rng.randrange(width))
+    return g.freeze()
+
+
+def path_dag(n: int) -> DiGraph:
+    """A single directed path ``0 -> 1 -> ... -> n-1``."""
+    g = DiGraph(n)
+    for v in range(1, n):
+        g.add_edge(v - 1, v)
+    return g.freeze()
+
+
+def complete_bipartite_dag(a: int, b: int) -> DiGraph:
+    """All edges from the first ``a`` vertices to the next ``b``.
+
+    The classic worst case for transitive-closure size relative to edges,
+    and the classic best case for a single-hop 2-hop labeling.
+    """
+    g = DiGraph(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g.freeze()
+
+
+def star_dag(n: int, out: bool = True) -> DiGraph:
+    """Star: vertex 0 points at everyone (``out=True``) or vice versa."""
+    g = DiGraph(n)
+    for v in range(1, n):
+        if out:
+            g.add_edge(0, v)
+        else:
+            g.add_edge(v, 0)
+    return g.freeze()

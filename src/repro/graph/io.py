@@ -1,0 +1,87 @@
+"""Edge-list I/O.
+
+The reachability literature (and the datasets of Table 1) uses a trivial
+text format: an optional header line ``n m`` followed by one ``u v`` pair
+per line.  We read and write that format, plus a variant with ``#``
+comments, so users can feed their own graphs to the oracles.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from .digraph import DiGraph
+
+__all__ = ["read_edge_list", "write_edge_list", "parse_edge_list"]
+
+PathLike = Union[str, Path]
+
+
+def parse_edge_list(text: str) -> DiGraph:
+    """Parse an edge list from a string.
+
+    Accepts an optional first non-comment line ``n m``.  The first line
+    is treated as a header only when it is consistent with one: its
+    second value equals the number of following edge lines *and* its
+    first value is at least ``max vertex id + 1`` of those edges.
+    Otherwise the line is the first edge.  Vertices may be any
+    non-negative ints; the vertex count is ``max id + 1`` unless a header
+    gives a larger ``n``.  Lines starting with ``#`` or ``%`` are ignored.
+    """
+    header_n = None
+    lines = [
+        ln.strip()
+        for ln in text.splitlines()
+        if ln.strip() and not ln.lstrip().startswith(("#", "%"))
+    ]
+
+    def parse_edges(edge_lines):
+        parsed: List[Tuple[int, int]] = []
+        for ln in edge_lines:
+            parts = ln.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {ln!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u < 0 or v < 0:
+                raise ValueError(f"negative vertex id in line: {ln!r}")
+            parsed.append((u, v))
+        return parsed
+
+    edges: List[Tuple[int, int]] = []
+    if lines:
+        first = lines[0].split()
+        if len(first) == 2 and int(first[1]) == len(lines) - 1:
+            a = int(first[0])
+            candidate = parse_edges(lines[1:])
+            max_id = max((max(u, v) for u, v in candidate), default=-1)
+            if a >= max_id + 1:
+                header_n = a
+                edges = candidate
+    if header_n is None:
+        edges = parse_edges(lines)
+    max_id = max((max(u, v) for u, v in edges), default=-1)
+    n = max(header_n or 0, max_id + 1)
+    g = DiGraph(n)
+    for u, v in edges:
+        if u != v:  # drop self-loops on ingest; they never affect DAG reachability
+            g.add_edge(u, v)
+    return g.freeze()
+
+
+def read_edge_list(path: PathLike) -> DiGraph:
+    """Read a graph from an edge-list file (see :func:`parse_edge_list`)."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_edge_list(f.read())
+
+
+def write_edge_list(graph: DiGraph, path: PathLike, header: bool = True) -> None:
+    """Write a graph as an edge list, optionally with an ``n m`` header."""
+    buf = io.StringIO()
+    if header:
+        buf.write(f"{graph.n} {graph.m}\n")
+    for u, v in graph.edges():
+        buf.write(f"{u} {v}\n")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(buf.getvalue())

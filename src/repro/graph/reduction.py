@@ -1,0 +1,74 @@
+"""Transitive reduction of a DAG.
+
+Definition 1 of the paper notes that backbone edges "can be simplified
+as a transitive reduction (the minimal edge set preserving the
+reachability)" but that computing it exactly "is as expensive as
+transitive closure" — which is why the backbone uses the cheaper
+domination rule instead.  We provide the exact algorithm anyway: it is
+a useful preprocessing step for small graphs (smaller inputs make every
+index smaller) and it lets tests quantify exactly what the cheap rule
+leaves on the table.
+
+The algorithm is the classic closure-based one: edge ``(u, v)`` is
+redundant iff some other out-neighbour ``w`` of ``u`` reaches ``v``.
+With bitset closures this is one AND per edge; total cost is the cost
+of the closure itself, O(n·m/64) words.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .digraph import DiGraph
+from .closure import transitive_closure_bits
+from .topo import topological_order
+
+__all__ = ["transitive_reduction", "redundant_edges", "is_transitively_reduced"]
+
+
+def redundant_edges(graph: DiGraph) -> List[Tuple[int, int]]:
+    """Edges whose removal preserves reachability.
+
+    An edge ``(u, v)`` is redundant iff another out-neighbour of ``u``
+    reaches ``v``.  In a DAG (no parallel edges, no self-loops) removing
+    all such edges at once is safe and yields the unique transitive
+    reduction.
+    """
+    order = topological_order(graph)
+    if order is None:
+        raise ValueError("transitive reduction requires a DAG; condense first")
+    tc = transitive_closure_bits(graph, order)
+    redundant: List[Tuple[int, int]] = []
+    for u in graph.vertices():
+        out = graph.out(u)
+        if len(out) < 2:
+            continue
+        for v in out:
+            bit = 1 << v
+            for w in out:
+                if w != v and tc[w] & bit:
+                    redundant.append((u, v))
+                    break
+    return redundant
+
+
+def transitive_reduction(graph: DiGraph) -> DiGraph:
+    """The unique minimal subgraph with the same reachability.
+
+    Examples
+    --------
+    >>> g = DiGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    >>> sorted(transitive_reduction(g).edges())
+    [(0, 1), (1, 2)]
+    """
+    drop = set(redundant_edges(graph))
+    reduced = DiGraph(graph.n)
+    for u, v in graph.edges():
+        if (u, v) not in drop:
+            reduced.add_edge(u, v)
+    return reduced.freeze()
+
+
+def is_transitively_reduced(graph: DiGraph) -> bool:
+    """Whether the DAG contains no redundant edge."""
+    return not redundant_edges(graph)

@@ -1,0 +1,161 @@
+"""Strongly connected components and DAG condensation.
+
+Reachability indices operate on DAGs.  Real inputs (web graphs, social
+networks, email graphs — see Table 1 of the paper) contain cycles, so the
+standard preprocessing step, which every method in the paper shares, is to
+coalesce each strongly connected component (SCC) into a single vertex.
+Two vertices in the same SCC trivially reach each other; across SCCs the
+reachability question transfers unchanged to the condensation.
+
+This module provides an **iterative** Tarjan SCC algorithm (no recursion,
+so graphs with million-length chains do not hit Python's recursion limit)
+and :func:`condense`, which produces the condensation DAG plus the
+vertex-to-component mapping used by :class:`repro.facade.Reachability`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .digraph import DiGraph
+
+__all__ = ["strongly_connected_components", "condense", "Condensation"]
+
+
+def strongly_connected_components(out_adj: List[List[int]], n: int) -> List[int]:
+    """Tarjan's algorithm, iteratively.
+
+    Parameters
+    ----------
+    out_adj:
+        Forward adjacency lists.
+    n:
+        Number of vertices.
+
+    Returns
+    -------
+    list[int]
+        ``comp[v]`` is the component id of ``v``.  Component ids are
+        assigned in *reverse topological order of the condensation*:
+        component 0 is a sink component, and if component ``a`` reaches
+        component ``b`` in the condensation then ``a > b``.  (This is the
+        natural order Tarjan emits and is convenient for bottom-up TC
+        computation.)
+    """
+    UNVISITED = -1
+    index_counter = 0
+    scc_counter = 0
+    index = [UNVISITED] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    comp = [UNVISITED] * n
+    stack: List[int] = []
+
+    # Explicit DFS work stack of (vertex, next-child-pointer) frames.
+    for root in range(n):
+        if index[root] != UNVISITED:
+            continue
+        work = [(root, 0)]
+        while work:
+            v, child_ptr = work.pop()
+            if child_ptr == 0:
+                index[v] = index_counter
+                lowlink[v] = index_counter
+                index_counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            recurse = False
+            adj = out_adj[v]
+            for ci in range(child_ptr, len(adj)):
+                w = adj[ci]
+                if index[w] == UNVISITED:
+                    # Pause v, descend into w.
+                    work.append((v, ci + 1))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if on_stack[w] and index[w] < lowlink[v]:
+                    lowlink[v] = index[w]
+            if recurse:
+                continue
+            # v is finished: maybe it is an SCC root.
+            if lowlink[v] == index[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp[w] = scc_counter
+                    if w == v:
+                        break
+                scc_counter += 1
+            # Propagate lowlink to the parent frame, if any.
+            if work:
+                parent = work[-1][0]
+                if lowlink[v] < lowlink[parent]:
+                    lowlink[parent] = lowlink[v]
+    return comp
+
+
+class Condensation:
+    """Result of condensing a digraph.
+
+    Attributes
+    ----------
+    dag:
+        The condensation :class:`DiGraph` (guaranteed acyclic).
+    comp:
+        ``comp[v]`` maps original vertex ``v`` to its DAG vertex.
+    members:
+        ``members[c]`` lists the original vertices inside DAG vertex ``c``.
+    """
+
+    __slots__ = ("dag", "comp", "members")
+
+    def __init__(self, dag: DiGraph, comp: List[int], members: List[List[int]]) -> None:
+        self.dag = dag
+        self.comp = comp
+        self.members = members
+
+    @property
+    def n_components(self) -> int:
+        """Number of SCCs (vertices of the condensation)."""
+        return self.dag.n
+
+    def component_of(self, v: int) -> int:
+        """DAG vertex containing original vertex ``v``."""
+        return self.comp[v]
+
+    def __repr__(self) -> str:
+        return f"Condensation(components={self.dag.n}, dag_edges={self.dag.m})"
+
+
+def condense(graph: DiGraph) -> Condensation:
+    """Coalesce SCCs of ``graph`` into a DAG.
+
+    Self-loops and intra-component edges disappear; parallel inter-
+    component edges are deduplicated by :class:`DiGraph` itself.
+
+    Examples
+    --------
+    >>> g = DiGraph(4)
+    >>> for u, v in [(0, 1), (1, 0), (1, 2), (2, 3)]:
+    ...     _ = g.add_edge(u, v)
+    >>> c = condense(g)
+    >>> c.n_components
+    3
+    >>> c.comp[0] == c.comp[1]
+    True
+    """
+    comp = strongly_connected_components(graph.out_adj, graph.n)
+    n_comp = (max(comp) + 1) if comp else 0
+    dag = DiGraph(n_comp)
+    for u in graph.vertices():
+        cu = comp[u]
+        for v in graph.out(u):
+            cv = comp[v]
+            if cu != cv and not dag.has_edge(cu, cv):
+                dag.add_edge(cu, cv)
+    dag.freeze()
+    members: List[List[int]] = [[] for _ in range(n_comp)]
+    for v, c in enumerate(comp):
+        members[c].append(v)
+    return Condensation(dag, comp, members)

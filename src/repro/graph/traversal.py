@@ -1,0 +1,118 @@
+"""Graph traversal primitives shared by every index builder.
+
+All labeling algorithms in the paper are built from four traversal
+shapes: unbounded BFS/DFS (online search baseline, ground truth),
+depth-bounded BFS (FastCover backbone extraction, SCARAB local entry/exit
+collection), and pruned BFS (Distribution-Labeling).  The unbounded and
+bounded variants live here; pruned BFS is fused into its algorithm for
+speed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "bfs_reachable",
+    "bfs_reaches",
+    "bfs_within",
+    "neighborhood_within",
+    "collect_targets_within",
+]
+
+
+def bfs_reachable(out_adj: Sequence[Sequence[int]], source: int) -> List[int]:
+    """All vertices reachable from ``source`` (including ``source``).
+
+    Returned in BFS discovery order.
+    """
+    seen = {source}
+    order = [source]
+    queue = deque((source,))
+    while queue:
+        u = queue.popleft()
+        for w in out_adj[u]:
+            if w not in seen:
+                seen.add(w)
+                order.append(w)
+                queue.append(w)
+    return order
+
+
+def bfs_reaches(out_adj: Sequence[Sequence[int]], source: int, target: int) -> bool:
+    """Whether ``source`` reaches ``target`` (early-exit BFS)."""
+    if source == target:
+        return True
+    seen = {source}
+    queue = deque((source,))
+    while queue:
+        u = queue.popleft()
+        for w in out_adj[u]:
+            if w == target:
+                return True
+            if w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return False
+
+
+def bfs_within(out_adj: Sequence[Sequence[int]], source: int, depth: int) -> Dict[int, int]:
+    """Vertices within ``depth`` hops of ``source``.
+
+    Returns ``{vertex: distance}`` including ``source`` at distance 0.
+    This is the ε-step BFS of SCARAB's FastCover and of the SCARAB query
+    procedure (collecting local entries/exits).
+    """
+    dist = {source: 0}
+    frontier = [source]
+    d = 0
+    while frontier and d < depth:
+        d += 1
+        nxt: List[int] = []
+        for u in frontier:
+            for w in out_adj[u]:
+                if w not in dist:
+                    dist[w] = d
+                    nxt.append(w)
+        frontier = nxt
+    return dist
+
+
+def neighborhood_within(
+    out_adj: Sequence[Sequence[int]], source: int, depth: int
+) -> List[int]:
+    """Sorted list of vertices within ``depth`` hops of ``source``."""
+    return sorted(bfs_within(out_adj, source, depth))
+
+
+def collect_targets_within(
+    out_adj: Sequence[Sequence[int]],
+    source: int,
+    depth: int,
+    is_target,
+) -> Dict[int, int]:
+    """Targets (per predicate) within ``depth`` hops, with distances.
+
+    Used to collect backbone entries/exits: ``is_target`` is typically a
+    membership test against the backbone vertex set.  The source itself is
+    included when it satisfies the predicate.
+    """
+    found: Dict[int, int] = {}
+    if is_target(source):
+        found[source] = 0
+    dist = {source: 0}
+    frontier = [source]
+    d = 0
+    while frontier and d < depth:
+        d += 1
+        nxt: List[int] = []
+        for u in frontier:
+            for w in out_adj[u]:
+                if w not in dist:
+                    dist[w] = d
+                    nxt.append(w)
+                    if is_target(w):
+                        found[w] = d
+        frontier = nxt
+    return found

@@ -1,0 +1,5 @@
+"""SCARAB backbone framework and the GRAIL*/PT* wrapped variants."""
+
+from .framework import Scarab, ScarabGrail, ScarabPathTree
+
+__all__ = ["Scarab", "ScarabGrail", "ScarabPathTree"]

@@ -1,0 +1,90 @@
+"""Persistence for built label oracles.
+
+Index construction is the expensive step (that is the paper's whole
+subject), so a production deployment builds once and serves many query
+processes.  This module saves and restores the label-based oracles
+(DL, HL, TF) as a single JSON document: graph shape, method parameters,
+and the label arrays.
+
+Non-label indices (interval/bitvector closures) rebuild quickly relative
+to their size on disk and are deliberately not serialised.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .core.distribution import DistributionLabeling
+from .core.hierarchical import HierarchicalLabeling
+from .core.labels import LabelSet
+
+__all__ = ["save_labels", "load_labels", "FrozenOracle"]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+class FrozenOracle:
+    """A deserialised label oracle: queries only, no graph attached."""
+
+    def __init__(self, labels: LabelSet, method: str, rank_space: bool) -> None:
+        self.labels = labels
+        self.method = method
+        self.rank_space = rank_space
+
+    def query(self, u: int, v: int) -> bool:
+        """Whether ``u`` reaches ``v`` per the stored labels."""
+        return self.labels.query(u, v)
+
+    def index_size_ints(self) -> int:
+        """Stored-integer count of the labels."""
+        return self.labels.size_ints()
+
+    def __repr__(self) -> str:
+        return f"FrozenOracle(method={self.method}, n={self.labels.n})"
+
+
+def save_labels(index, path: PathLike) -> None:
+    """Serialise a DL/HL/TF oracle's labels to ``path`` (JSON).
+
+    Raises
+    ------
+    TypeError
+        If the index is not a label-based oracle.
+    """
+    if not isinstance(index, (DistributionLabeling, HierarchicalLabeling)):
+        raise TypeError(
+            f"only label oracles are serialisable, got {type(index).__name__}"
+        )
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "method": index.short_name,
+        "n": index.graph.n,
+        "m": index.graph.m,
+        "labels": index.labels.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+
+
+def load_labels(path: PathLike) -> FrozenOracle:
+    """Restore a :class:`FrozenOracle` saved by :func:`save_labels`.
+
+    Query semantics match the original index exactly: DL labels live in
+    rank space and HL labels in vertex-id space, but both query by label
+    intersection on the ids as stored, so no translation is needed.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    version = doc.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported label file version: {version!r}")
+    labels = LabelSet.from_dict(doc["labels"])
+    labels.seal()
+    if not labels.check_sorted():
+        raise ValueError("corrupt label file: labels are not sorted")
+    method = str(doc.get("method", "?"))
+    return FrozenOracle(labels, method, rank_space=(method == "DL"))

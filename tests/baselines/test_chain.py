@@ -1,0 +1,40 @@
+"""Tests for chain compression."""
+
+import pytest
+
+from repro.baselines.chain import ChainCompression
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_dag, random_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(ChainCompression(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_dags(self, seed):
+        g = random_dag(30, 70, seed=seed)
+        assert_matches_truth(ChainCompression(g), g)
+
+
+class TestStructure:
+    def test_single_chain_one_entry_per_vertex(self):
+        g = path_dag(20)
+        ch = ChainCompression(g)
+        assert ch.stats()["chains"] == 1
+        # Each vertex records exactly one (chain, pos) entry.
+        assert all(len(k) == 1 for k in ch._first_keys)
+
+    def test_cycle_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            ChainCompression(g)
+
+    def test_index_size_accounting(self):
+        g = path_dag(5)
+        ch = ChainCompression(g)
+        # 5 single entries (2 ints each) + (chain,pos) per vertex.
+        assert ch.index_size_ints() == 2 * 5 + 2 * 5

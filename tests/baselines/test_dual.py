@@ -1,0 +1,77 @@
+"""Tests for Dual Labeling."""
+
+import pytest
+
+from repro.baselines.dual import DualLabeling
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_dag, random_dag, sparse_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(DualLabeling(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dags(self, seed):
+        g = random_dag(35, 90, seed=seed)
+        assert_matches_truth(DualLabeling(g), g)
+
+
+class TestStructure:
+    def test_forest_has_zero_links(self):
+        g = sparse_dag(120, 0.0, seed=1)
+        dual = DualLabeling(g)
+        assert dual.stats()["links"] == 0
+        # Pure-tree index: just the intervals.
+        assert dual.index_size_ints() == 2 * g.n
+
+    def test_link_count_matches_nontree_edges(self):
+        g = random_dag(50, 120, seed=2)
+        dual = DualLabeling(g)
+        tree_edges = sum(1 for v in range(g.n) if g.in_degree(v) > 0)
+        assert dual.stats()["links"] == g.m - tree_edges
+
+    def test_link_budget_trips(self):
+        g = random_dag(60, 400, seed=3)
+        with pytest.raises(MemoryError):
+            DualLabeling(g, max_links=5)
+
+    def test_path_graph_tree_only(self):
+        dual = DualLabeling(path_dag(25))
+        assert dual.stats()["links"] == 0
+        assert dual.query(0, 24)
+        assert not dual.query(10, 3)
+
+    def test_cycle_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            DualLabeling(g)
+
+    def test_registered(self):
+        from repro.core.base import get_method
+
+        assert get_method("DUAL") is DualLabeling
+
+    def test_diamond_produces_one_link(self):
+        # 0->{1,2}->3: vertex 3 keeps one tree parent, the other edge
+        # becomes a link; queries must route through it.
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        dual = DualLabeling(g)
+        assert dual.stats()["links"] == 1
+        assert dual.query(0, 3) and dual.query(2, 3) and dual.query(1, 3)
+        assert not dual.query(1, 2)
+
+    def test_link_chain_transitivity(self):
+        # Three chains joined by two links that must compose.
+        g = DiGraph.from_edges(
+            9,
+            [(0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8),
+             (2, 4), (5, 7)],  # cross edges; (2,4) and (5,7) may be links
+        )
+        dual = DualLabeling(g)
+        assert dual.query(0, 8)
+        assert dual.query(2, 6) is False
+        assert dual.query(3, 8)

@@ -1,0 +1,59 @@
+"""Tests for GRAIL."""
+
+import pytest
+
+from repro.baselines.grail import Grail
+from repro.graph.closure import transitive_closure_bits
+from repro.graph.generators import path_dag, random_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(Grail(graph), graph)
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_any_k_is_correct(self, k):
+        g = random_dag(35, 85, seed=2)
+        assert_matches_truth(Grail(g, k=k), g)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_seeds(self, seed):
+        g = random_dag(30, 70, seed=7)
+        assert_matches_truth(Grail(g, seed=seed), g)
+
+
+class TestIntervals:
+    def test_containment_necessary_condition(self):
+        """u reaches v => v's interval nested in u's in every round."""
+        g = random_dag(40, 100, seed=3)
+        gl = Grail(g, k=3)
+        tc = transitive_closure_bits(g)
+        for u in range(g.n):
+            for v in range(g.n):
+                if (tc[u] >> v) & 1:
+                    assert gl._contained(u, v)
+
+    def test_interval_is_own_post_bounds(self):
+        g = path_dag(6)
+        gl = Grail(g, k=1)
+        low, post = gl._lows[0], gl._posts[0]
+        for v in range(6):
+            assert low[v] <= post[v]
+
+    def test_index_size_scales_with_k(self):
+        g = random_dag(30, 60, seed=4)
+        assert Grail(g, k=4).index_size_ints() > Grail(g, k=2).index_size_ints()
+
+
+class TestPruning:
+    def test_interval_filter_rejects_most_negatives_on_tree(self):
+        """On a forest the interval test alone decides every query,
+        so negative queries must not expand any DFS nodes (we can only
+        observe correctness + speed indirectly: exactness)."""
+        from repro.graph.generators import sparse_dag
+
+        g = sparse_dag(60, 0.0, seed=5)
+        assert_matches_truth(Grail(g), g)

@@ -1,0 +1,59 @@
+"""Tests for Nuutila INT."""
+
+import pytest
+
+from repro.baselines.interval import NuutilaInterval, postorder_numbering
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_dag, random_dag, sparse_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestNumbering:
+    def test_is_permutation(self):
+        g = random_dag(50, 120, seed=1)
+        nums = postorder_numbering(g)
+        assert sorted(nums) == list(range(50))
+
+    def test_descendants_numbered_lower(self):
+        # Post-order property: along any edge, child finished first.
+        g = random_dag(40, 90, seed=2)
+        nums = postorder_numbering(g)
+        for u, v in g.edges():
+            assert nums[v] < nums[u]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(NuutilaInterval(graph), graph)
+
+    def test_cycle_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            NuutilaInterval(g)
+
+
+class TestCompression:
+    def test_path_is_single_interval_per_vertex(self):
+        g = path_dag(50)
+        idx = NuutilaInterval(g)
+        for v in range(g.n):
+            assert len(idx.intervals_of(v)) == 1
+
+    def test_tree_compresses_well(self):
+        g = sparse_dag(300, 0.0, seed=3)
+        idx = NuutilaInterval(g)
+        avg = sum(len(idx.intervals_of(v)) for v in range(g.n)) / g.n
+        assert avg < 3.0
+
+    def test_storage_budget_trips(self):
+        g = random_dag(200, 2000, seed=4)
+        with pytest.raises(MemoryError):
+            NuutilaInterval(g, max_storage_ints=50)
+
+    def test_index_size_counts_endpoints_and_numbering(self):
+        g = path_dag(10)
+        idx = NuutilaInterval(g)
+        # one interval (2 ints) per vertex + numbering
+        assert idx.index_size_ints() == 2 * 10 + 10

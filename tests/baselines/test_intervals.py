@@ -1,0 +1,118 @@
+"""Tests for the IntervalSet substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.intervals import IntervalSet
+
+sorted_ints = st.lists(st.integers(0, 300), max_size=60).map(
+    lambda xs: sorted(set(xs))
+)
+
+
+class TestFromSortedInts:
+    def test_paper_example(self):
+        s = IntervalSet.from_sorted_ints([1, 2, 3, 4, 8, 9, 10])
+        assert list(s.intervals()) == [(1, 4), (8, 10)]
+
+    def test_singletons(self):
+        s = IntervalSet.from_sorted_ints([0, 2, 4])
+        assert list(s.intervals()) == [(0, 0), (2, 2), (4, 4)]
+
+    def test_empty(self):
+        s = IntervalSet.from_sorted_ints([])
+        assert len(s) == 0
+        assert 0 not in s
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            IntervalSet.from_sorted_ints([3, 1])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            IntervalSet.from_sorted_ints([1, 1])
+
+    @given(sorted_ints)
+    @settings(max_examples=200)
+    def test_roundtrip(self, xs):
+        assert IntervalSet.from_sorted_ints(xs).to_sorted_ints() == xs
+
+
+class TestMembership:
+    @given(sorted_ints, st.integers(0, 300))
+    @settings(max_examples=200)
+    def test_contains_matches_set(self, xs, probe):
+        s = IntervalSet.from_sorted_ints(xs)
+        assert (probe in s) == (probe in set(xs))
+
+    def test_boundaries(self):
+        s = IntervalSet.from_sorted_ints([5, 6, 7])
+        assert 5 in s and 7 in s
+        assert 4 not in s and 8 not in s
+
+
+class TestUnionMerge:
+    @given(st.lists(sorted_ints, max_size=5))
+    @settings(max_examples=150)
+    def test_matches_set_union(self, lists):
+        sets = [IntervalSet.from_sorted_ints(xs) for xs in lists]
+        merged = IntervalSet.union_merge(sets)
+        expected = sorted(set().union(*map(set, lists))) if lists else []
+        assert merged.to_sorted_ints() == expected
+
+    def test_adjacent_intervals_coalesce(self):
+        a = IntervalSet.from_sorted_ints([1, 2])
+        b = IntervalSet.from_sorted_ints([3, 4])
+        assert list(IntervalSet.union_merge([a, b]).intervals()) == [(1, 4)]
+
+    def test_empty_inputs(self):
+        assert IntervalSet.union_merge([]).to_sorted_ints() == []
+
+
+class TestAddPoint:
+    @given(sorted_ints, st.integers(0, 300))
+    @settings(max_examples=200)
+    def test_matches_set_insert(self, xs, v):
+        s = IntervalSet.from_sorted_ints(xs)
+        s.add_point(v)
+        assert s.to_sorted_ints() == sorted(set(xs) | {v})
+
+    def test_bridges_two_intervals(self):
+        s = IntervalSet.from_sorted_ints([1, 3])
+        s.add_point(2)
+        assert list(s.intervals()) == [(1, 3)]
+
+    def test_extends_left_and_right(self):
+        s = IntervalSet.from_sorted_ints([5])
+        s.add_point(4)
+        s.add_point(6)
+        assert list(s.intervals()) == [(4, 6)]
+
+    def test_noop_when_covered(self):
+        s = IntervalSet.from_sorted_ints([1, 2, 3])
+        s.add_point(2)
+        assert list(s.intervals()) == [(1, 3)]
+
+
+class TestAccounting:
+    def test_cardinality(self):
+        s = IntervalSet.from_sorted_ints([1, 2, 3, 7])
+        assert s.cardinality() == 4
+
+    def test_storage_ints(self):
+        s = IntervalSet.from_sorted_ints([1, 2, 3, 7])
+        assert s.storage_ints() == 4  # two intervals
+
+    def test_equality(self):
+        a = IntervalSet.from_sorted_ints([1, 2])
+        b = IntervalSet.from_sorted_ints([1, 2])
+        assert a == b
+
+    def test_repr_truncates(self):
+        s = IntervalSet.from_sorted_ints([0, 2, 4, 6, 8, 10])
+        assert "…" in repr(s)
+
+    def test_mismatched_init_raises(self):
+        with pytest.raises(ValueError):
+            IntervalSet([1], [])

@@ -1,0 +1,83 @@
+"""Tests for IS-Label."""
+
+import pytest
+
+from repro.baselines.islabel import ISLabel
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import layered_dag, path_dag, random_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+from .test_pruned_landmark import bfs_distance
+
+
+class TestReachability:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(ISLabel(graph), graph)
+
+    @pytest.mark.parametrize("core_limit", [1, 4, 16, 1000])
+    def test_any_core_limit(self, core_limit):
+        g = random_dag(35, 85, seed=2)
+        assert_matches_truth(ISLabel(g, core_limit=core_limit), g)
+
+
+class TestDistances:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_distances(self, seed):
+        g = random_dag(28, 64, seed=seed)
+        isl = ISLabel(g, core_limit=5)
+        for u in range(g.n):
+            for v in range(g.n):
+                assert isl.distance(u, v) == bfs_distance(g, u, v)
+
+    def test_path(self):
+        isl = ISLabel(path_dag(14), core_limit=3)
+        for u in range(14):
+            for v in range(u, 14):
+                assert isl.distance(u, v) == v - u
+
+    def test_layered(self):
+        g = layered_dag(5, 4, 2, seed=3)
+        isl = ISLabel(g, core_limit=4)
+        for u in range(0, g.n, 2):
+            for v in range(0, g.n, 3):
+                assert isl.distance(u, v) == bfs_distance(g, u, v)
+
+    def test_unreachable_none(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        isl = ISLabel(g.freeze())
+        assert isl.distance(1, 2) is None
+        assert isl.distance(0, 0) == 0
+
+
+class TestStructure:
+    def test_cycle_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            ISLabel(g)
+
+    def test_storage_budget_trips(self):
+        g = random_dag(120, 700, seed=4)
+        with pytest.raises(MemoryError):
+            ISLabel(g, max_storage_ints=40)
+
+    def test_registered(self):
+        from repro.core.base import get_method
+
+        assert get_method("ISL") is ISLabel
+
+    def test_labels_sorted(self):
+        g = random_dag(40, 90, seed=5)
+        isl = ISLabel(g, core_limit=6)
+        for arrs in (isl._lout_h, isl._lin_h):
+            for hs in arrs:
+                assert hs == sorted(hs)
+
+    def test_queries_slower_than_dl_labels_bigger(self):
+        """The §6.1 claim in miniature: ISL labels dwarf DL's."""
+        from repro.core.distribution import DistributionLabeling
+
+        g = random_dag(300, 900, seed=6)
+        isl = ISLabel(g, core_limit=16)
+        dl = DistributionLabeling(g)
+        assert isl.index_size_ints() > 2 * dl.index_size_ints()

@@ -1,0 +1,58 @@
+"""Tests for K-Reach."""
+
+import pytest
+
+from repro.baselines.kreach import KReach
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(KReach(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dags(self, seed):
+        g = random_dag(35, 85, seed=seed)
+        assert_matches_truth(KReach(g), g)
+
+
+class TestCoverStructure:
+    def test_cover_is_vertex_cover(self):
+        g = random_dag(50, 120, seed=2)
+        kr = KReach(g)
+        cover = set(kr._cover)
+        for u, v in g.edges():
+            assert u in cover or v in cover
+
+    def test_noncover_vertices_have_cover_neighbours(self):
+        g = random_dag(40, 100, seed=3)
+        kr = KReach(g)
+        cover = set(kr._cover)
+        for v in range(g.n):
+            if v in cover:
+                continue
+            assert all(u in cover for u in g.inn(v))
+            assert all(w in cover for w in g.out(v))
+
+    def test_stats(self):
+        g = random_dag(30, 70, seed=4)
+        stats = KReach(g).stats()
+        assert 0 < stats["cover_size"] <= g.n
+        assert stats["cover_tc_entries"] >= stats["cover_size"]
+
+
+class TestBudget:
+    def test_budget_trips_like_paper_dnf(self):
+        g = random_dag(100, 300, seed=5)
+        with pytest.raises(MemoryError):
+            KReach(g, max_cover_closure_bits=16)
+
+    def test_edgeless_graph(self):
+        g = DiGraph(4)
+        kr = KReach(g.freeze())
+        assert kr.query(0, 0)
+        assert not kr.query(0, 1)

@@ -1,0 +1,34 @@
+"""Tests for the online-search baselines (BFS/DFS)."""
+
+import pytest
+
+from repro.baselines.online import OnlineBFS, OnlineDFS
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+@pytest.mark.parametrize("cls", [OnlineBFS, OnlineDFS])
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, cls, graph):
+        assert_matches_truth(cls(graph), graph)
+
+    def test_reflexive(self, cls):
+        g = random_dag(10, 20, seed=1)
+        idx = cls(g)
+        for v in range(10):
+            assert idx.query(v, v)
+
+    def test_visited_scratch_resets_between_queries(self, cls):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (0, 3)])
+        idx = cls(g)
+        assert idx.query(0, 2)
+        assert idx.query(0, 2)  # same answer on reuse
+        assert not idx.query(3, 2)
+        assert idx.query(0, 3)
+
+    def test_index_size_is_levels_only(self, cls):
+        g = random_dag(25, 50, seed=2)
+        assert cls(g).index_size_ints() == 25

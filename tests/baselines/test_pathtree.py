@@ -1,0 +1,75 @@
+"""Tests for PathTree."""
+
+import pytest
+
+from repro.baselines.pathtree import PathTree, greedy_path_decomposition
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_dag, random_dag, sparse_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestPathDecomposition:
+    def test_paths_partition_vertices(self):
+        g = random_dag(60, 150, seed=1)
+        paths = greedy_path_decomposition(g)
+        seen = sorted(v for p in paths for v in p)
+        assert seen == list(range(60))
+
+    def test_paths_follow_edges(self):
+        g = random_dag(50, 120, seed=2)
+        for p in greedy_path_decomposition(g):
+            for a, b in zip(p, p[1:]):
+                assert g.has_edge(a, b)
+
+    def test_single_path_graph_one_path(self):
+        paths = greedy_path_decomposition(path_dag(10))
+        assert len(paths) == 1
+        assert paths[0] == list(range(10))
+
+    def test_edgeless_graph_singleton_paths(self):
+        g = DiGraph(5)
+        paths = greedy_path_decomposition(g.freeze())
+        assert len(paths) == 5
+
+    def test_cycle_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            greedy_path_decomposition(g)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(PathTree(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dags(self, seed):
+        g = random_dag(40, 95, seed=seed)
+        assert_matches_truth(PathTree(g), g)
+
+
+class TestStructure:
+    def test_same_path_fast_path(self):
+        g = path_dag(30)
+        pt = PathTree(g)
+        # Whole graph is one path: every query is the O(1) comparison.
+        assert pt._n_paths == 1
+        assert pt.query(0, 29) and not pt.query(29, 0)
+
+    def test_stats_fields(self):
+        g = sparse_dag(80, 0.1, seed=3)
+        stats = PathTree(g).stats()
+        assert stats["paths"] >= 1
+        assert stats["avg_intervals"] >= 0
+
+    def test_storage_budget_trips(self):
+        g = random_dag(200, 2000, seed=4)
+        with pytest.raises(MemoryError):
+            PathTree(g, max_storage_ints=50)
+
+    def test_tree_numbering_compresses(self):
+        # On a forest, PathTree should store few intervals per vertex.
+        g = sparse_dag(300, 0.0, seed=5)
+        pt = PathTree(g)
+        assert pt.stats()["avg_intervals"] < 3.0

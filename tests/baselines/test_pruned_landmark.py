@@ -1,0 +1,113 @@
+"""Tests for Pruned Landmark labeling (reachability + exact distances)."""
+
+import pytest
+
+from repro.baselines.pruned_landmark import PrunedLandmark
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import layered_dag, path_dag, random_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+def bfs_distance(graph, u, v):
+    if u == v:
+        return 0
+    from collections import deque
+
+    dist = {u: 0}
+    q = deque([u])
+    while q:
+        x = q.popleft()
+        for w in graph.out(x):
+            if w not in dist:
+                dist[w] = dist[x] + 1
+                if w == v:
+                    return dist[w]
+                q.append(w)
+    return None
+
+
+class TestReachability:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(PrunedLandmark(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_dags(self, seed):
+        g = random_dag(30, 70, seed=seed)
+        assert_matches_truth(PrunedLandmark(g), g)
+
+
+class TestDistances:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_distances_random(self, seed):
+        g = random_dag(25, 60, seed=seed)
+        pl = PrunedLandmark(g)
+        for u in range(g.n):
+            for v in range(g.n):
+                assert pl.distance(u, v) == bfs_distance(g, u, v)
+
+    def test_path_distances(self):
+        g = path_dag(12)
+        pl = PrunedLandmark(g)
+        for u in range(12):
+            for v in range(u, 12):
+                assert pl.distance(u, v) == v - u
+
+    def test_layered_distances(self):
+        g = layered_dag(5, 4, 2, seed=1)
+        pl = PrunedLandmark(g)
+        for u in range(0, g.n, 3):
+            for v in range(0, g.n, 2):
+                assert pl.distance(u, v) == bfs_distance(g, u, v)
+
+    def test_unreachable_distance_none(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        pl = PrunedLandmark(g)
+        assert pl.distance(1, 2) is None
+        assert pl.distance(2, 0) is None
+
+    def test_self_distance_zero(self):
+        pl = PrunedLandmark(path_dag(3))
+        assert pl.distance(1, 1) == 0
+
+
+class TestKReachQueries:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_k_reach_matches_bfs_distance(self, seed):
+        g = random_dag(25, 55, seed=seed)
+        pl = PrunedLandmark(g)
+        for u in range(0, g.n, 2):
+            for v in range(0, g.n, 3):
+                d = bfs_distance(g, u, v)
+                for k in (0, 1, 2, 5):
+                    expected = d is not None and d <= k
+                    assert pl.k_reach(u, v, k) == expected
+
+    def test_k_reach_on_path(self):
+        pl = PrunedLandmark(path_dag(8))
+        assert pl.k_reach(0, 4, 4)
+        assert not pl.k_reach(0, 4, 3)
+        assert pl.k_reach(3, 3, 0)
+
+    def test_k_infinity_equals_reachability(self):
+        g = random_dag(20, 45, seed=9)
+        pl = PrunedLandmark(g)
+        for u in range(g.n):
+            for v in range(g.n):
+                assert pl.k_reach(u, v, g.n) == pl.query(u, v)
+
+
+class TestLabels:
+    def test_index_size_counts_hops_and_distances(self):
+        g = path_dag(6)
+        pl = PrunedLandmark(g)
+        assert pl.index_size_ints() > 0
+        # Every vertex labels itself in both directions: >= 4n ints.
+        assert pl.index_size_ints() >= 4 * g.n
+
+    def test_hop_lists_sorted(self):
+        g = random_dag(30, 70, seed=5)
+        pl = PrunedLandmark(g)
+        for hs in pl._lout_h + pl._lin_h:
+            assert hs == sorted(hs)

@@ -1,0 +1,120 @@
+"""Tests for the PWAH-8 codec and index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pwah import Pwah8, PwahBitVector
+from repro.graph.generators import path_dag, random_dag
+
+from ..conftest import assert_matches_truth
+
+positions = st.lists(st.integers(0, 600), max_size=80).map(
+    lambda xs: sorted(set(xs))
+)
+
+
+class TestCodecRoundtrip:
+    @given(positions)
+    @settings(max_examples=200)
+    def test_encode_decode_identity(self, xs):
+        vec = PwahBitVector.encode(xs, 601)
+        assert vec.decode() == xs
+
+    @given(positions, st.integers(0, 600))
+    @settings(max_examples=200)
+    def test_contains_matches_set(self, xs, probe):
+        vec = PwahBitVector.encode(xs, 601)
+        assert vec.contains(probe) == (probe in set(xs))
+
+    def test_empty(self):
+        vec = PwahBitVector.encode([], 100)
+        assert vec.decode() == []
+        assert not vec.contains(0)
+
+    def test_out_of_universe_probe(self):
+        vec = PwahBitVector.encode([5], 10)
+        assert not vec.contains(10)
+        assert not vec.contains(-1)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            PwahBitVector.encode([3, 1], 10)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PwahBitVector.encode([10], 10)
+
+
+class TestCodecCompression:
+    def test_long_one_fill_is_compact(self):
+        # 560 consecutive positions = 80 full blocks -> a couple of words.
+        vec = PwahBitVector.encode(list(range(560)), 1000)
+        assert vec.word_count() <= 2
+
+    def test_long_zero_gap_is_compact(self):
+        vec = PwahBitVector.encode([0, 999], 1000)
+        assert vec.word_count() <= 2
+
+    def test_scattered_literals_cost_more(self):
+        dense_gap = PwahBitVector.encode(list(range(0, 700, 14)), 1000)
+        contiguous = PwahBitVector.encode(list(range(50)), 1000)
+        assert contiguous.word_count() < dense_gap.word_count()
+
+    def test_very_long_run_multiple_fill_partitions(self):
+        # > 63 blocks forces chained fill partitions; still correct.
+        n = 7 * 64 * 3
+        vec = PwahBitVector.encode(list(range(n)), n + 10)
+        assert vec.decode() == list(range(n))
+
+
+class TestBitsetEncoder:
+    @given(positions)
+    @settings(max_examples=150)
+    def test_matches_position_encoder(self, xs):
+        bits = 0
+        for p in xs:
+            bits |= 1 << p
+        a = PwahBitVector.encode(xs, 601)
+        b = PwahBitVector.encode_bitset(bits, 601)
+        assert a.words == b.words
+        assert b.decode() == xs
+
+    def test_zero_bitset(self):
+        assert PwahBitVector.encode_bitset(0, 50).decode() == []
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            PwahBitVector.encode_bitset(1 << 10, 10)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PwahBitVector.encode_bitset(-1, 10)
+
+
+class TestPwah8Index:
+    def test_correct_on_random_dag(self):
+        g = random_dag(40, 100, seed=1)
+        assert_matches_truth(Pwah8(g), g)
+
+    def test_correct_on_path(self):
+        g = path_dag(20)
+        assert_matches_truth(Pwah8(g), g)
+
+    def test_index_size_positive(self):
+        g = random_dag(30, 60, seed=2)
+        assert Pwah8(g).index_size_ints() > 0
+
+    def test_cycle_rejected(self):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            Pwah8(g)
+
+    def test_compresses_path_closures(self):
+        # Path closures are contiguous suffixes: tiny PWAH streams.
+        g = path_dag(700)
+        idx = Pwah8(g)
+        words = idx.index_size_ints() - g.n
+        assert words < 3 * g.n

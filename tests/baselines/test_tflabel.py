@@ -1,0 +1,36 @@
+"""Tests for the TF-label baseline (HL with ε = 1)."""
+
+import pytest
+
+from repro.baselines.tflabel import TFLabel
+from repro.graph.generators import random_dag, sparse_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(TFLabel(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_dags(self, seed):
+        g = random_dag(30, 70, seed=seed)
+        assert_matches_truth(TFLabel(g), g)
+
+
+class TestSpecialCaseOfHL:
+    def test_uses_eps1_hierarchy(self):
+        g = random_dag(80, 200, seed=2)
+        tf = TFLabel(g, core_limit=8)
+        assert tf.hierarchy.eps == 1
+
+    def test_short_name(self):
+        g = sparse_dag(30, 0.1, seed=3)
+        assert TFLabel(g).short_name == "TF"
+
+    def test_eps_override_is_ignored(self):
+        # The TF identity is eps=1; a caller cannot change it.
+        g = random_dag(40, 90, seed=4)
+        tf = TFLabel(g, eps=2)
+        assert tf.hierarchy.eps == 1

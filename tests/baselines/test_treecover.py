@@ -1,0 +1,53 @@
+"""Tests for the Agrawal tree-cover baseline."""
+
+import pytest
+
+from repro.baselines.treecover import TreeCover
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_dag, random_dag, sparse_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(TreeCover(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dags(self, seed):
+        g = random_dag(35, 85, seed=seed)
+        assert_matches_truth(TreeCover(g), g)
+
+
+class TestStructure:
+    def test_tree_interval_covers_subtree(self):
+        g = sparse_dag(80, 0.0, seed=2)  # a forest: tree == graph
+        tc = TreeCover(g)
+        # On a forest, the O(1) interval test alone must decide
+        # positives: every reachable pair is a tree-descendant pair.
+        from repro.graph.closure import transitive_closure_bits
+
+        closure = transitive_closure_bits(g)
+        for u in range(g.n):
+            for v in range(g.n):
+                if (closure[u] >> v) & 1:
+                    assert tc._low[u] <= tc._post[v] <= tc._post[u]
+
+    def test_registered(self):
+        from repro.core.base import get_method
+
+        assert get_method("TREE") is TreeCover
+
+    def test_storage_budget_trips(self):
+        g = random_dag(200, 2000, seed=3)
+        with pytest.raises(MemoryError):
+            TreeCover(g, max_storage_ints=50)
+
+    def test_cycle_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            TreeCover(g)
+
+    def test_index_size_positive(self):
+        assert TreeCover(path_dag(10)).index_size_ints() > 0

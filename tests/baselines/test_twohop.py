@@ -1,0 +1,68 @@
+"""Tests for the 2HOP set-cover baseline."""
+
+import pytest
+
+from repro.baselines.twohop import TwoHop
+from repro.graph.closure import transitive_closure_bits
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import complete_bipartite_dag, random_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth(self, graph):
+        assert_matches_truth(TwoHop(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dags(self, seed):
+        g = random_dag(30, 70, seed=seed)
+        assert_matches_truth(TwoHop(g), g)
+
+
+class TestLabels:
+    def test_labels_sorted(self):
+        g = random_dag(40, 90, seed=2)
+        assert TwoHop(g).labels.check_sorted()
+
+    def test_hops_sound(self):
+        g = random_dag(30, 70, seed=3)
+        th = TwoHop(g)
+        tc = transitive_closure_bits(g)
+        for u in range(g.n):
+            for h in th.labels.lout[u]:
+                assert (tc[u] >> h) & 1
+            for h in th.labels.lin[u]:
+                assert (tc[h] >> u) & 1
+
+    def test_bipartite_greedy_near_floor(self):
+        # K(8,8): every hop covers at most 8 pairs, so >= 8 hops and
+        # about 8 + 64 label entries are unavoidable; greedy should not
+        # exceed that floor by much.
+        g = complete_bipartite_dag(8, 8)
+        th = TwoHop(g)
+        assert th.index_size_ints() <= 8 + 64 + g.n
+
+
+class TestBudgets:
+    def test_tc_bits_budget(self):
+        g = random_dag(100, 200, seed=4)
+        with pytest.raises(MemoryError):
+            TwoHop(g, max_tc_bits=100)
+
+    def test_tc_pairs_budget(self):
+        g = random_dag(60, 400, seed=5)
+        with pytest.raises(MemoryError):
+            TwoHop(g, max_tc_pairs=10)
+
+    def test_empty_graph(self):
+        th = TwoHop(DiGraph(0))
+        assert th.index_size_ints() == 0
+
+    def test_edgeless_graph_no_labels(self):
+        g = DiGraph(5).freeze()
+        th = TwoHop(g)
+        assert th.index_size_ints() == 0
+        assert th.query(2, 2)
+        assert not th.query(0, 1)

@@ -1,0 +1,49 @@
+"""Budget specs must stay consistent with method signatures.
+
+A budget whose parameter name drifts away from the method's keyword
+would silently stop producing DNFs (TypeError would surface as an
+"error" row instead of the intended "—"); this test pins the contract.
+"""
+
+import inspect
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.core.base import get_method
+
+
+def _build_params(method_name):
+    factory = get_method(method_name)
+    build = getattr(factory, "_build", None)
+    if build is None:  # plain factory function (GL*, PT*)
+        return set(inspect.signature(factory).parameters) - {"graph"}
+    return set(inspect.signature(build).parameters) - {"self", "graph", "params"}
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS))
+def test_budget_params_match_method_signatures(exp_id):
+    exp = EXPERIMENTS[exp_id]
+    for method, budget in exp.budgets.items():
+        accepted = _build_params(method)
+        for param in budget.params:
+            assert param in accepted, (
+                f"{exp_id}: budget for {method} names unknown param {param!r}; "
+                f"accepted: {sorted(accepted)}"
+            )
+
+
+def test_budgets_actually_trip_where_intended():
+    """Spot-check the two signature DNF patterns of the reproduction."""
+    from repro.datasets.catalog import load
+
+    table2 = EXPERIMENTS["table2"]
+    with pytest.raises(MemoryError):
+        get_method("KR")(load("arxiv"), **table2.budgets["KR"].params)
+
+    table5 = EXPERIMENTS["table5"]
+    with pytest.raises(MemoryError):
+        get_method("PT")(load("wiki"), **table5.budgets["PT"].params)
+    # ... while the paper-completing cells still pass.
+    get_method("PT")(load("mapped_100K"), **table5.budgets["PT"].params)
+    get_method("KR")(load("human"), **table2.budgets["KR"].params)

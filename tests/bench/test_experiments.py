@@ -1,0 +1,69 @@
+"""Tests for experiment specs."""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, PAPER_METHODS, get_experiment
+from repro.core.base import method_registry
+from repro.datasets.catalog import DATASETS
+
+
+class TestSpecs:
+    def test_every_paper_artifact_has_a_spec(self):
+        for exp_id in ("table1", "table2", "table3", "table4", "table5",
+                       "table6", "table7", "figure3", "figure4"):
+            assert exp_id in EXPERIMENTS
+
+    def test_paper_method_columns_match_paper_order(self):
+        assert PAPER_METHODS == [
+            "GL", "GL*", "PT", "PT*", "KR", "PW8", "INT", "2HOP",
+            "PL", "TF", "HL", "DL",
+        ]
+
+    def test_all_methods_resolvable(self):
+        registry = method_registry()
+        for m in PAPER_METHODS:
+            assert m in registry
+
+    def test_all_datasets_resolvable(self):
+        for exp in EXPERIMENTS.values():
+            for d in exp.datasets:
+                assert d in DATASETS
+
+    def test_small_tables_use_small_suite(self):
+        exp = get_experiment("table2")
+        assert all(DATASETS[d].suite == "small" for d in exp.datasets)
+
+    def test_large_tables_use_large_suite(self):
+        exp = get_experiment("table5")
+        assert all(DATASETS[d].suite == "large" for d in exp.datasets)
+
+    def test_workload_kinds(self):
+        assert get_experiment("table2").workloads == ["equal"]
+        assert get_experiment("table3").workloads == ["random"]
+
+    def test_metrics(self):
+        assert get_experiment("table4").metric == "construction"
+        assert get_experiment("figure3").metric == "index_size"
+
+    def test_large_budgets_constrain_known_failures(self):
+        exp = get_experiment("table5")
+        assert "KR" in exp.budgets
+        assert "2HOP" in exp.budgets
+        assert "PT" in exp.budgets
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("table99")
+
+
+class TestSmokeRun:
+    def test_tiny_end_to_end_run(self):
+        """Run a miniature Table-2 cell set end to end."""
+        from repro.bench.harness import run_dataset
+
+        results = run_dataset(
+            "kegg", ["DL", "HL", "GL"], workload_kinds=["equal"], queries=40,
+        )
+        assert all(r.ok for r in results)
+        rates = {r.correct_positive_rate for r in results}
+        assert len(rates) == 1  # all methods agree on the workload

@@ -1,0 +1,62 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.bench.harness import RunResult
+from repro.bench.report import completion_pattern, markdown_table, speedup_summary
+
+
+def _results():
+    return [
+        RunResult("d1", "DL", "ok", build_s=0.10, index_size_ints=1000,
+                  query_ms={"equal": 2.0}),
+        RunResult("d1", "2HOP", "ok", build_s=2.00, index_size_ints=900,
+                  query_ms={"equal": 3.0}),
+        RunResult("d1", "KR", "dnf-memory"),
+        RunResult("d2", "DL", "ok", build_s=0.20, index_size_ints=5000,
+                  query_ms={"equal": 4.0}),
+        RunResult("d2", "2HOP", "dnf-memory"),
+        RunResult("d2", "KR", "dnf-memory"),
+    ]
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        md = markdown_table(_results(), "query")
+        lines = md.splitlines()
+        assert lines[0] == "| Dataset | DL | 2HOP | KR |"
+        assert lines[1].count("---") == 4
+        assert "| d1 | 2.0 | 3.0 | — |" in md
+        assert "| d2 | 4.0 | — | — |" in md
+
+    def test_construction_metric(self):
+        md = markdown_table(_results(), "construction")
+        assert "100.0" in md and "2000.0" in md
+
+    def test_index_size_metric(self):
+        md = markdown_table(_results(), "index_size")
+        assert "1.0" in md and "5.0" in md
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            markdown_table(_results(), "nope")
+
+
+class TestCompletionPattern:
+    def test_pattern(self):
+        assert completion_pattern(_results(), "2HOP") == {"d1": True, "d2": False}
+        assert completion_pattern(_results(), "KR") == {"d1": False, "d2": False}
+
+
+class TestSpeedup:
+    def test_construction_speedup(self):
+        # Only d1 has both: 2.0s / 0.1s = 20x.
+        s = speedup_summary(_results(), baseline="2HOP", target="DL")
+        assert s == pytest.approx(20.0)
+
+    def test_query_speedup(self):
+        s = speedup_summary(_results(), baseline="2HOP", target="DL", metric="query")
+        assert s == pytest.approx(1.5)
+
+    def test_none_when_no_overlap(self):
+        assert speedup_summary(_results(), baseline="KR", target="DL") is None

@@ -1,0 +1,119 @@
+"""Shared fixtures and helpers for the test suite.
+
+The central helper is :func:`assert_matches_truth`, which compares an
+index's answers against the bitset transitive closure on *all* vertex
+pairs — the strongest possible correctness check, used by every oracle
+and baseline test on small graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.closure import transitive_closure_bits
+from repro.graph import generators as gen
+from repro.graph.scc import condense
+
+
+def truth_matrix(graph: DiGraph) -> List[List[bool]]:
+    """Reflexive reachability matrix from the bitset closure."""
+    tc = transitive_closure_bits(graph)
+    n = graph.n
+    return [[bool((tc[u] >> v) & 1) for v in range(n)] for u in range(n)]
+
+
+def assert_matches_truth(index, graph: DiGraph) -> None:
+    """Exhaustively compare ``index.query`` with the transitive closure."""
+    expected = truth_matrix(graph)
+    for u in range(graph.n):
+        for v in range(graph.n):
+            got = index.query(u, v)
+            assert got == expected[u][v], (
+                f"{type(index).__name__} wrong at ({u},{v}): "
+                f"got {got}, expected {expected[u][v]}"
+            )
+
+
+def sample_pairs(graph: DiGraph, count: int, seed: int = 0):
+    """Deterministic random pairs for spot checks on larger graphs."""
+    rng = random.Random(seed)
+    n = graph.n
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Canonical graph fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def diamond() -> DiGraph:
+    """0 -> {1, 2} -> 3 (the smallest multi-path DAG)."""
+    return DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def chain10() -> DiGraph:
+    return gen.path_dag(10)
+
+
+@pytest.fixture
+def small_random_dag() -> DiGraph:
+    return gen.random_dag(40, 90, seed=11)
+
+
+@pytest.fixture
+def sparse60() -> DiGraph:
+    return gen.sparse_dag(60, 0.1, seed=5)
+
+
+@pytest.fixture
+def citation50() -> DiGraph:
+    return gen.citation_dag(50, 3, seed=5)
+
+
+@pytest.fixture
+def condensed_powerlaw() -> DiGraph:
+    return condense(gen.powerlaw_digraph(80, 220, seed=9)).dag
+
+
+def family_cases() -> List[DiGraph]:
+    """A representative graph per family, small enough for exhaustive checks."""
+    return [
+        gen.random_dag(30, 70, seed=1),
+        gen.random_dag(20, 19, seed=2),
+        gen.sparse_dag(45, 0.1, seed=3),
+        gen.citation_dag(35, 3, seed=4),
+        gen.chain_forest_dag(40, 9, 0.06, seed=5),
+        gen.ontology_dag(40, 0.25, seed=6),
+        gen.layered_dag(4, 6, 2, seed=7),
+        gen.path_dag(18),
+        gen.complete_bipartite_dag(4, 5),
+        gen.star_dag(12, out=True),
+        gen.star_dag(12, out=False),
+        condense(gen.powerlaw_digraph(60, 150, seed=8)).dag,
+        gen.random_dag(1, 0, seed=0),
+        gen.random_dag(2, 1, seed=0),
+        gen.random_dag(6, 0, seed=0),  # edgeless
+    ]
+
+
+FAMILY_IDS = [
+    "random-dense",
+    "random-sparse",
+    "sparse-metabolic",
+    "citation",
+    "chain-forest",
+    "ontology",
+    "layered",
+    "path",
+    "bipartite",
+    "star-out",
+    "star-in",
+    "powerlaw-condensed",
+    "single-vertex",
+    "two-vertices",
+    "edgeless",
+]

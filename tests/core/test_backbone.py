@@ -1,0 +1,203 @@
+"""Tests for the one-side reachability backbone and hierarchy.
+
+These check the paper's Definition 1 / Lemma 1 invariants directly:
+cover condition, reachability preservation on the backbone graph, and
+the non-local routing property that Hierarchical-Labeling relies on.
+"""
+
+import pytest
+
+from repro.core.backbone import (
+    build_backbone_level,
+    extract_cover,
+    hierarchical_decomposition,
+)
+from repro.core.order import degree_product_order
+from repro.graph.closure import transitive_closure_bits
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    citation_dag,
+    layered_dag,
+    path_dag,
+    random_dag,
+    sparse_dag,
+)
+from repro.graph.topo import is_dag
+from repro.graph.traversal import bfs_within
+
+
+GRAPHS = [
+    random_dag(40, 100, seed=1),
+    random_dag(30, 35, seed=2),
+    sparse_dag(50, 0.1, seed=3),
+    citation_dag(45, 3, seed=4),
+    layered_dag(5, 7, 2, seed=5),
+    path_dag(25),
+]
+
+
+def _check_two_path_cover(graph, cover):
+    """Every u -> x -> w must have one of {u, x, w} in the cover."""
+    in_cover = set(cover)
+    for x in graph.vertices():
+        if x in in_cover:
+            continue
+        for u in graph.inn(x):
+            if u in in_cover:
+                continue
+            for w in graph.out(x):
+                assert w in in_cover, f"2-path {u}->{x}->{w} uncovered"
+
+
+def _check_vertex_cover(graph, cover):
+    in_cover = set(cover)
+    for u, v in graph.edges():
+        assert u in in_cover or v in in_cover, f"edge {u}->{v} uncovered"
+
+
+class TestCoverExtraction:
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_eps2_cover_hits_all_two_paths(self, graph):
+        order = degree_product_order(graph)
+        cover = extract_cover(graph, 2, order)
+        _check_two_path_cover(graph, cover)
+
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_eps1_cover_hits_all_edges(self, graph):
+        order = degree_product_order(graph)
+        cover = extract_cover(graph, 1, order)
+        _check_vertex_cover(graph, cover)
+
+    def test_eps2_cover_shrinks(self):
+        g = random_dag(100, 250, seed=6)
+        cover = extract_cover(g, 2, degree_product_order(g))
+        assert len(cover) < g.n
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            extract_cover(path_dag(3), 3, [0, 1, 2])
+
+    def test_edgeless_cover_empty(self):
+        g = DiGraph(5)
+        assert extract_cover(g, 2, list(range(5))) == []
+
+
+class TestBackboneLevel:
+    @pytest.mark.parametrize("eps", [1, 2])
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_backbone_graph_is_dag(self, graph, eps):
+        level = build_backbone_level(graph, eps=eps)
+        assert is_dag(level.backbone_graph)
+
+    @pytest.mark.parametrize("eps", [1, 2])
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_lemma1_reachability_preserved(self, graph, eps):
+        """u, v in V*: u reaches v in G iff u reaches v in G*."""
+        level = build_backbone_level(graph, eps=eps)
+        tc = transitive_closure_bits(graph)
+        btc = transitive_closure_bits(level.backbone_graph)
+        for bu in level.backbone_vertices:
+            for bv in level.backbone_vertices:
+                in_g = bool((tc[bu] >> bv) & 1)
+                in_b = bool(
+                    (btc[level.to_backbone[bu]] >> level.to_backbone[bv]) & 1
+                )
+                assert in_g == in_b, f"Lemma 1 violated for ({bu},{bv})"
+
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_backbone_edges_join_close_pairs(self, graph):
+        """E* only links pairs with d(u*, v*) <= eps + 1 in Gi."""
+        eps = 2
+        level = build_backbone_level(graph, eps=eps)
+        for bu, bv in level.backbone_graph.edges():
+            u = level.from_backbone[bu]
+            v = level.from_backbone[bv]
+            dist = bfs_within(graph.out_adj, u, eps + 1)
+            assert v in dist and 1 <= dist[v] <= eps + 1
+
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_non_local_pairs_route_through_backbone(self, graph):
+        """For reachable pairs with d > eps, an entry->exit pair exists."""
+        eps = 2
+        level = build_backbone_level(graph, eps=eps)
+        backbone = set(level.backbone_vertices)
+        tc = transitive_closure_bits(graph)
+        btc = transitive_closure_bits(level.backbone_graph)
+        for u in graph.vertices():
+            fwd = bfs_within(graph.out_adj, u, eps)
+            entries = [x for x in fwd if x in backbone]
+            for v in graph.vertices():
+                if u == v or not ((tc[u] >> v) & 1):
+                    continue
+                if v in fwd:
+                    continue  # local pair
+                bwd = bfs_within(graph.in_adj, v, eps)
+                exits = [x for x in bwd if x in backbone]
+                assert entries and exits, f"no entry/exit for non-local ({u},{v})"
+                ok = any(
+                    (btc[level.to_backbone[e]] >> level.to_backbone[x]) & 1
+                    for e in entries
+                    for x in exits
+                )
+                assert ok, f"no backbone route for non-local pair ({u},{v})"
+
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_bsets_are_backbone_members_within_eps(self, graph):
+        eps = 2
+        level = build_backbone_level(graph, eps=eps)
+        backbone = set(level.backbone_vertices)
+        for v in graph.vertices():
+            if v in backbone:
+                assert level.bout[v] == [] and level.bin_[v] == []
+                continue
+            fwd = bfs_within(graph.out_adj, v, eps)
+            for u in level.bout[v]:
+                assert u in backbone
+                assert u in fwd
+            bwd = bfs_within(graph.in_adj, v, eps)
+            for u in level.bin_[v]:
+                assert u in backbone
+                assert u in bwd
+
+
+class TestHierarchy:
+    def test_levels_strictly_shrink(self):
+        g = random_dag(200, 500, seed=7)
+        h = hierarchical_decomposition(g, core_limit=10)
+        sizes = h.level_sizes()
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_core_limit_respected_or_no_shrink(self):
+        g = random_dag(150, 400, seed=8)
+        h = hierarchical_decomposition(g, core_limit=30)
+        # Either the core got small enough, or extraction stalled.
+        assert h.core_graph.n <= 30 or h.height == 0 or (
+            h.levels[-1].backbone_graph.n == h.core_graph.n
+        )
+
+    def test_max_levels_bound(self):
+        g = random_dag(300, 700, seed=9)
+        h = hierarchical_decomposition(g, core_limit=1, max_levels=2)
+        assert h.height <= 2
+
+    def test_orig_mapping_chains(self):
+        g = random_dag(120, 300, seed=10)
+        h = hierarchical_decomposition(g, core_limit=20)
+        if h.height:
+            # Core vertices map to level-(h-1) backbone members.
+            lvl = h.levels[-1]
+            parent_orig = h.orig_of_level[-1]
+            expect = [parent_orig[v] for v in lvl.from_backbone]
+            assert h.orig_of_core == expect
+
+    def test_tiny_graph_all_core(self):
+        g = path_dag(5)
+        h = hierarchical_decomposition(g, core_limit=64)
+        assert h.height == 0
+        assert h.core_graph.n == 5
+        assert h.orig_of_core == [0, 1, 2, 3, 4]
+
+    def test_repr(self):
+        g = random_dag(100, 250, seed=11)
+        h = hierarchical_decomposition(g, core_limit=16)
+        assert "levels=" in repr(h)

@@ -1,0 +1,69 @@
+"""Tests for the index base class and the method registry."""
+
+import pytest
+
+from repro.core.base import ReachabilityIndex, get_method, method_registry
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_dag, random_dag
+
+
+EXPECTED_METHODS = {
+    "DL", "HL", "TF", "PT", "PT*", "INT", "PW8", "KR", "2HOP",
+    "PL", "GL", "GL*", "BFS", "DFS", "CH", "TREE", "DUAL", "3HOP", "ISL",
+}
+
+
+class TestRegistry:
+    def test_all_paper_methods_registered(self):
+        assert EXPECTED_METHODS <= set(method_registry())
+
+    def test_lookup_case_insensitive(self):
+        assert get_method("dl") is get_method("DL")
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError, match="unknown method"):
+            get_method("nope")
+
+    def test_registry_returns_copy(self):
+        reg = method_registry()
+        reg.clear()
+        assert method_registry()  # original untouched
+
+
+class TestBaseBehaviour:
+    def test_unfrozen_graph_is_frozen_copy(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1)
+        idx = get_method("BFS")(g)
+        assert idx.graph.frozen
+        # Original stays mutable.
+        g.add_edge(1, 2)
+
+    def test_query_batch_matches_query(self):
+        g = random_dag(30, 70, seed=1)
+        idx = get_method("DL")(g)
+        pairs = [(u, v) for u in range(0, 30, 4) for v in range(0, 30, 5)]
+        assert idx.query_batch(pairs) == [idx.query(u, v) for u, v in pairs]
+
+    def test_count_reachable(self):
+        g = path_dag(4)
+        idx = get_method("DL")(g)
+        pairs = [(0, 3), (3, 0), (1, 2)]
+        assert idx.count_reachable(pairs) == 2
+
+    def test_stats_common_fields(self):
+        g = path_dag(5)
+        for name in ("DL", "HL", "GL", "INT"):
+            stats = get_method(name)(g).stats()
+            assert stats["n"] == 5
+            assert stats["m"] == 4
+            assert stats["index_size_ints"] >= 0
+
+    def test_repr(self):
+        g = path_dag(3)
+        assert "n=3" in repr(get_method("DL")(g))
+
+    def test_params_recorded(self):
+        g = path_dag(3)
+        idx = get_method("DL")(g, order="degree_sum")
+        assert idx.params == {"order": "degree_sum"}

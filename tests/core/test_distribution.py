@@ -1,0 +1,162 @@
+"""Tests for Distribution-Labeling (Algorithm 2).
+
+Covers the paper's Theorem 3 (completeness, exhaustively on small
+graphs), Theorem 4 (non-redundancy: removing any hop breaks some pair),
+and the implementation invariants (sorted rank-space labels, self-hops).
+"""
+
+import pytest
+
+from repro.core.distribution import DistributionLabeling, distribution_labels
+from repro.core.labels import intersects
+from repro.core.order import degree_product_order
+from repro.graph.closure import transitive_closure_bits
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    citation_dag,
+    complete_bipartite_dag,
+    path_dag,
+    random_dag,
+    sparse_dag,
+    star_dag,
+)
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth_exhaustively(self, graph):
+        assert_matches_truth(DistributionLabeling(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_dags(self, seed):
+        g = random_dag(35, 80, seed=seed)
+        assert_matches_truth(DistributionLabeling(g), g)
+
+    @pytest.mark.parametrize("order", ["degree_product", "degree_sum", "random", "topo_center"])
+    def test_complete_under_any_order(self, order):
+        g = random_dag(30, 70, seed=3)
+        assert_matches_truth(DistributionLabeling(g, order=order), g)
+
+    def test_reflexive_queries(self):
+        g = random_dag(20, 40, seed=1)
+        dl = DistributionLabeling(g)
+        for v in range(20):
+            assert dl.query(v, v)
+
+
+class TestNonRedundancy:
+    """Theorem 4: no hop can be removed without losing completeness."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_hop_is_load_bearing(self, seed):
+        g = random_dag(16, 30, seed=seed)
+        dl = DistributionLabeling(g)
+        labels = dl.labels
+        tc = transitive_closure_bits(g)
+
+        def complete() -> bool:
+            # Cov(v) in the paper includes reflexive pairs, so the
+            # label intersection itself (not the query shortcut) must
+            # certify u -> u too; self-hops are load-bearing for that.
+            for u in range(g.n):
+                for v in range(g.n):
+                    reach = bool((tc[u] >> v) & 1)
+                    if intersects(labels.lout[u], labels.lin[v]) != reach:
+                        return False
+            return True
+
+        assert complete()
+        for side in (labels.lout, labels.lin):
+            for v in range(g.n):
+                for i in range(len(side[v])):
+                    removed = side[v].pop(i)
+                    try:
+                        assert not complete(), (
+                            f"hop {removed} in label of vertex {v} is redundant"
+                        )
+                    finally:
+                        side[v].insert(i, removed)
+
+
+class TestLabelInvariants:
+    def test_labels_sorted_rank_space(self):
+        g = citation_dag(60, 3, seed=2)
+        dl = DistributionLabeling(g)
+        assert dl.labels.check_sorted()
+
+    def test_every_vertex_labels_itself(self):
+        g = random_dag(30, 60, seed=4)
+        dl = DistributionLabeling(g)
+        for v in range(g.n):
+            r = dl.rank[v]
+            assert r in dl.labels.lout[v]
+            assert r in dl.labels.lin[v]
+
+    def test_hop_membership_is_sound(self):
+        """hop h in Lout(u) implies u actually reaches order[h]."""
+        g = random_dag(25, 55, seed=5)
+        dl = DistributionLabeling(g)
+        tc = transitive_closure_bits(g)
+        for u in range(g.n):
+            for h in dl.labels.lout[u]:
+                hop_vertex = dl.order_list[h]
+                assert (tc[u] >> hop_vertex) & 1
+            for h in dl.labels.lin[u]:
+                hop_vertex = dl.order_list[h]
+                assert (tc[hop_vertex] >> u) & 1
+
+    def test_order_must_be_permutation(self):
+        g = path_dag(4)
+        with pytest.raises(ValueError):
+            distribution_labels(g, [0, 1, 2, 2])
+        with pytest.raises(ValueError):
+            distribution_labels(g, [0, 1])
+
+
+class TestWitness:
+    def test_witness_is_real_intermediate(self):
+        g = random_dag(30, 70, seed=6)
+        dl = DistributionLabeling(g)
+        tc = transitive_closure_bits(g)
+        for u in range(0, 30, 3):
+            for v in range(0, 30, 4):
+                w = dl.witness(u, v)
+                if (tc[u] >> v) & 1:
+                    assert w is not None
+                    assert (tc[u] >> w) & 1 and (tc[w] >> v) & 1
+                else:
+                    assert w is None
+
+
+class TestShapes:
+    def test_bipartite_labels_near_optimal(self):
+        # K(a,b) has no middle vertex, so any hop covers at most
+        # max(a, b) pairs; the information-theoretic floor is about
+        # a*b label entries plus self-hops.  DL should land on it.
+        g = complete_bipartite_dag(10, 10)
+        dl = DistributionLabeling(g)
+        assert dl.index_size_ints() <= 10 * 10 + 2 * g.n
+
+    def test_star_centre_is_top_hop(self):
+        g = star_dag(12, out=True)
+        dl = DistributionLabeling(g)
+        assert dl.order_list[0] == 0
+
+    def test_path_labels_subquadratic(self):
+        n = 256
+        dl = DistributionLabeling(path_dag(n))
+        assert dl.index_size_ints() < n * 24  # far below n²/2 closure pairs
+
+    def test_empty_and_single(self):
+        assert DistributionLabeling(DiGraph(0)).index_size_ints() == 0
+        dl = DistributionLabeling(DiGraph(1))
+        assert dl.query(0, 0)
+
+    def test_stats_fields(self):
+        g = sparse_dag(40, 0.1, seed=7)
+        stats = DistributionLabeling(g).stats()
+        assert stats["method"] == "DL"
+        assert stats["index_size_ints"] > 0
+        assert "max_label_len" in stats and "avg_label_len" in stats

@@ -1,0 +1,158 @@
+"""Tests for DynamicDL — incremental edge insertion (paper future work)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicDL, _merge_into
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_dag, random_dag
+from repro.graph.traversal import bfs_reaches
+
+
+def assert_matches_bfs(dyn: DynamicDL, graph: DiGraph) -> None:
+    for u in range(graph.n):
+        for v in range(graph.n):
+            expected = bfs_reaches(graph.out_adj, u, v)
+            assert dyn.query(u, v) == expected, f"wrong at ({u},{v})"
+
+
+def random_insert_sequence(n, base_m, inserts, seed):
+    """A base DAG plus a stream of acyclic, novel insertions."""
+    rng = random.Random(seed)
+    base = random_dag(n, base_m, seed=seed)
+    shadow = base.copy()
+    stream = []
+    tries = 0
+    while len(stream) < inserts and tries < inserts * 60:
+        tries += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v or shadow.has_edge(u, v):
+            continue
+        if bfs_reaches(shadow.out_adj, v, u):
+            continue  # would create a cycle
+        shadow.add_edge(u, v)
+        stream.append((u, v))
+    return base, stream, shadow
+
+
+class TestMergeInto:
+    def test_merge(self):
+        assert _merge_into([1, 3, 5], [2, 3, 6]) == [1, 2, 3, 5, 6]
+
+    def test_empty_sides(self):
+        assert _merge_into([], [1]) == [1]
+        assert _merge_into([1], []) == [1]
+
+
+class TestInsertions:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stays_correct_through_insert_stream(self, seed):
+        base, stream, _ = random_insert_sequence(22, 30, 15, seed)
+        dyn = DynamicDL(base, auto_rebuild_factor=0)
+        shadow = base.copy()
+        assert_matches_bfs(dyn, shadow)
+        for u, v in stream:
+            dyn.insert_edge(u, v)
+            shadow.add_edge(u, v)
+            assert_matches_bfs(dyn, shadow)
+
+    def test_insert_returns_whether_reachability_changed(self):
+        g = path_dag(4)
+        dyn = DynamicDL(g)
+        assert dyn.insert_edge(0, 3) is False  # already reachable
+        assert dyn.query(0, 3)
+
+    def test_new_edge_connects_components(self):
+        g = DiGraph.from_edges(4, [(0, 1), (2, 3)])
+        dyn = DynamicDL(g)
+        assert not dyn.query(0, 3)
+        assert dyn.insert_edge(1, 2) is True
+        assert dyn.query(0, 3)
+        assert dyn.query(0, 2)
+        assert not dyn.query(3, 0)
+
+    def test_cycle_rejected(self):
+        dyn = DynamicDL(path_dag(3))
+        with pytest.raises(ValueError, match="cycle"):
+            dyn.insert_edge(2, 0)
+
+    def test_self_loop_rejected(self):
+        dyn = DynamicDL(path_dag(3))
+        with pytest.raises(ValueError):
+            dyn.insert_edge(1, 1)
+
+    def test_caller_graph_not_mutated(self):
+        g = path_dag(4)
+        dyn = DynamicDL(g)
+        # g is frozen; DynamicDL works on a copy.
+        dyn.insert_edge(0, 2)
+        assert not g.has_edge(0, 2)
+        assert dyn.m == 4
+
+    def test_insert_edges_counts_changes(self):
+        g = DiGraph.from_edges(5, [(0, 1), (1, 2)])
+        dyn = DynamicDL(g)
+        changed = dyn.insert_edges([(0, 2), (2, 3), (3, 4)])
+        assert changed == 2  # (0,2) was already reachable
+
+
+class TestRebuild:
+    def test_rebuild_restores_minimal_size(self):
+        base, stream, shadow = random_insert_sequence(24, 26, 18, seed=3)
+        dyn = DynamicDL(base, auto_rebuild_factor=0)
+        for u, v in stream:
+            dyn.insert_edge(u, v)
+        bloated = dyn.index_size_ints()
+        dyn.rebuild()
+        assert dyn.index_size_ints() <= bloated
+        assert_matches_bfs(dyn, shadow)
+
+    def test_auto_rebuild_triggers(self):
+        base, stream, shadow = random_insert_sequence(30, 20, 25, seed=5)
+        dyn = DynamicDL(base, auto_rebuild_factor=1.01)
+        for u, v in stream:
+            dyn.insert_edge(u, v)
+        # With an aggressive factor, at least one rebuild must have fired.
+        assert dyn.stats()["inserts_since_rebuild"] < len(stream)
+        assert_matches_bfs(dyn, shadow)
+
+    def test_remove_edge_not_supported(self):
+        dyn = DynamicDL(path_dag(3))
+        with pytest.raises(NotImplementedError):
+            dyn.remove_edge(0, 1)
+
+
+class TestAccessors:
+    def test_counts_and_repr(self):
+        dyn = DynamicDL(path_dag(4))
+        assert dyn.n == 4
+        assert dyn.m == 3
+        assert "DynamicDL" in repr(dyn)
+        assert dyn.stats()["method"] == "DynamicDL"
+
+    def test_query_batch(self):
+        dyn = DynamicDL(path_dag(5))
+        pairs = [(0, 4), (4, 0), (2, 2)]
+        assert dyn.query_batch(pairs) == [True, False, True]
+
+
+@st.composite
+def insert_scenarios(draw):
+    n = draw(st.integers(4, 16))
+    seed = draw(st.integers(0, 10_000))
+    base_m = draw(st.integers(0, 2 * n))
+    inserts = draw(st.integers(1, 10))
+    return random_insert_sequence(n, base_m, inserts, seed)
+
+
+@given(insert_scenarios())
+@settings(max_examples=30, deadline=None)
+def test_property_insert_stream_correct(scenario):
+    base, stream, shadow = scenario
+    dyn = DynamicDL(base, auto_rebuild_factor=0)
+    for u, v in stream:
+        dyn.insert_edge(u, v)
+    assert_matches_bfs(dyn, shadow)

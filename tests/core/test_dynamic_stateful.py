@@ -1,0 +1,66 @@
+"""Stateful property test for DynamicDL.
+
+Hypothesis drives an arbitrary interleaving of edge insertions and
+queries against a shadow graph; every query must match BFS truth and
+every rejected insertion must actually have been cycle-creating.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core.dynamic import DynamicDL
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.traversal import bfs_reaches
+
+
+class DynamicOracleMachine(RuleBasedStateMachine):
+    @initialize(
+        n=st.integers(3, 14),
+        m=st.integers(0, 20),
+        seed=st.integers(0, 1000),
+    )
+    def setup(self, n, m, seed):
+        self.shadow = random_dag(n, m, seed=seed).copy()
+        self.oracle = DynamicDL(self.shadow, auto_rebuild_factor=0)
+        self.n = n
+
+    @rule(u=st.integers(0, 13), v=st.integers(0, 13))
+    def insert(self, u, v):
+        u %= self.n
+        v %= self.n
+        if u == v or self.shadow.has_edge(u, v):
+            return
+        creates_cycle = bfs_reaches(self.shadow.out_adj, v, u)
+        if creates_cycle:
+            try:
+                self.oracle.insert_edge(u, v)
+                raise AssertionError("cycle-creating insert was accepted")
+            except ValueError:
+                return
+        self.oracle.insert_edge(u, v)
+        self.shadow.add_edge(u, v)
+
+    @rule()
+    def rebuild(self):
+        self.oracle.rebuild()
+
+    @rule(u=st.integers(0, 13), v=st.integers(0, 13))
+    def query(self, u, v):
+        u %= self.n
+        v %= self.n
+        assert self.oracle.query(u, v) == bfs_reaches(self.shadow.out_adj, u, v)
+
+    @invariant()
+    def edge_counts_agree(self):
+        if hasattr(self, "shadow"):
+            assert self.oracle.m == self.shadow.m
+
+
+TestDynamicOracleStateful = DynamicOracleMachine.TestCase
+TestDynamicOracleStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,58 @@
+"""Tests for Cohen k-min closure-size estimation."""
+
+import pytest
+
+from repro.core.estimation import estimate_closure_sizes, estimate_tc_pairs
+from repro.graph.digraph import DiGraph
+from repro.graph.closure import closure_pairs_count, transitive_closure_bits
+from repro.graph.generators import citation_dag, path_dag, random_dag
+
+
+class TestClosureSizes:
+    def test_exact_when_sets_smaller_than_k(self):
+        g = path_dag(10)
+        est = estimate_closure_sizes(g, k=32)
+        # Every closure has at most 10 members < k: estimates are exact.
+        for v in range(10):
+            assert est[v] == 10 - v
+
+    def test_cycle_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            estimate_closure_sizes(g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_estimates_within_tolerance(self, seed):
+        g = citation_dag(600, 4, seed=seed)
+        k = 48
+        est = estimate_closure_sizes(g, k=k, seed=seed)
+        tc = transitive_closure_bits(g)
+        big = [(v, tc[v].bit_count()) for v in range(g.n) if tc[v].bit_count() > k]
+        assert big, "test graph too shallow to exercise estimation"
+        rel_errors = [abs(est[v] - true) / true for v, true in big]
+        avg_rel = sum(rel_errors) / len(rel_errors)
+        assert avg_rel < 0.30  # 1/sqrt(62) ≈ 0.13; generous bound
+
+    def test_deterministic_per_seed(self):
+        g = random_dag(60, 150, seed=1)
+        assert estimate_closure_sizes(g, seed=5) == estimate_closure_sizes(g, seed=5)
+
+
+class TestTotalPairs:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_total_estimate_tracks_truth(self, seed):
+        g = citation_dag(300, 3, seed=seed)
+        est, hint = estimate_tc_pairs(g, k=64, seed=seed)
+        truth = closure_pairs_count(g)
+        assert hint is not None
+        assert abs(est - truth) / max(1, truth) < 0.3
+
+    def test_small_k_no_hint(self):
+        g = path_dag(5)
+        _, hint = estimate_tc_pairs(g, k=2)
+        assert hint is None
+
+    def test_edgeless_graph_zero_pairs(self):
+        g = DiGraph(10).freeze()
+        est, _ = estimate_tc_pairs(g)
+        assert est == 0.0

@@ -1,0 +1,120 @@
+"""Tests for Hierarchical-Labeling (Algorithm 1) — Theorem 1 and the
+running-example structure of the paper's Figure 1."""
+
+import pytest
+
+from repro.core.hierarchical import HierarchicalLabeling
+from repro.graph.closure import transitive_closure_bits
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import citation_dag, path_dag, random_dag, sparse_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_matches_truth_exhaustively(self, graph):
+        assert_matches_truth(HierarchicalLabeling(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_dags(self, seed):
+        g = random_dag(35, 80, seed=seed)
+        assert_matches_truth(HierarchicalLabeling(g), g)
+
+    @pytest.mark.parametrize("core_limit", [1, 4, 16, 1000])
+    def test_complete_for_any_core_limit(self, core_limit):
+        g = random_dag(60, 150, seed=3)
+        hl = HierarchicalLabeling(g, core_limit=core_limit)
+        assert_matches_truth(hl, g)
+
+    @pytest.mark.parametrize("eps", [1, 2])
+    def test_complete_for_both_eps(self, eps):
+        g = sparse_dag(50, 0.1, seed=4)
+        assert_matches_truth(HierarchicalLabeling(g, eps=eps), g)
+
+    def test_complete_with_level_cap(self):
+        g = random_dag(80, 200, seed=5)
+        assert_matches_truth(HierarchicalLabeling(g, max_levels=1, core_limit=4), g)
+
+
+class TestLabelStructure:
+    def test_labels_sorted(self):
+        g = citation_dag(70, 3, seed=2)
+        hl = HierarchicalLabeling(g)
+        assert hl.labels.check_sorted()
+
+    def test_every_vertex_labels_itself(self):
+        g = random_dag(40, 90, seed=6)
+        hl = HierarchicalLabeling(g, core_limit=8)
+        for v in range(g.n):
+            assert v in hl.labels.lout[v]
+            assert v in hl.labels.lin[v]
+
+    def test_hops_are_sound(self):
+        """h in Lout(u) means u really reaches h (hops are vertex ids)."""
+        g = random_dag(30, 70, seed=7)
+        hl = HierarchicalLabeling(g, core_limit=8)
+        tc = transitive_closure_bits(g)
+        for u in range(g.n):
+            for h in hl.labels.lout[u]:
+                assert (tc[u] >> h) & 1
+            for h in hl.labels.lin[u]:
+                assert (tc[h] >> u) & 1
+
+    def test_lower_level_vertices_record_higher_hops(self):
+        """Level-i labels only use level-i neighbourhood + backbone labels,
+        so every non-self hop of a level-0 vertex is a higher-or-equal
+        structure member, never an arbitrary unrelated vertex (soundness
+        is checked above; here we check labels are not reflexive-only)."""
+        g = random_dag(80, 220, seed=8)
+        hl = HierarchicalLabeling(g, core_limit=8)
+        multi = sum(1 for v in range(g.n) if len(hl.labels.lout[v]) > 1)
+        assert multi > 0
+
+    def test_witness(self):
+        g = random_dag(30, 60, seed=9)
+        hl = HierarchicalLabeling(g)
+        tc = transitive_closure_bits(g)
+        for u in range(0, 30, 3):
+            for v in range(0, 30, 5):
+                w = hl.witness(u, v)
+                if (tc[u] >> v) & 1:
+                    assert w is not None and (tc[u] >> w) & 1 and (tc[w] >> v) & 1
+
+
+class TestHierarchyStats:
+    def test_stats_fields(self):
+        g = random_dag(120, 320, seed=10)
+        stats = HierarchicalLabeling(g, core_limit=16).stats()
+        assert stats["method"] == "HL"
+        assert stats["height"] >= 1
+        assert stats["levels"][0] == 120
+        assert stats["core_size"] == stats["levels"][-1]
+
+    def test_degenerate_all_core(self):
+        g = path_dag(6)
+        hl = HierarchicalLabeling(g, core_limit=64)
+        assert hl.hierarchy.height == 0
+        assert_matches_truth(hl, g)
+
+    def test_empty_graph(self):
+        hl = HierarchicalLabeling(DiGraph(0))
+        assert hl.index_size_ints() == 0
+
+
+class TestPaperFigure1Shape:
+    """A layered graph in the spirit of Figure 1: decomposition shrinks
+    level by level and every level graph stays a DAG."""
+
+    def test_decomposition_shape(self):
+        from repro.graph.generators import layered_dag
+        from repro.graph.topo import is_dag
+
+        g = layered_dag(6, 10, 2, seed=1)
+        hl = HierarchicalLabeling(g, core_limit=8)
+        sizes = hl.hierarchy.level_sizes()
+        assert sizes[0] == g.n
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+        for level in hl.hierarchy.levels:
+            assert is_dag(level.backbone_graph)
+        assert_matches_truth(hl, g)

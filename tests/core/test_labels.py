@@ -1,0 +1,207 @@
+"""Tests for label containers and intersection kernels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import (
+    LabelSet,
+    first_common_hop,
+    gallop_intersect,
+    intersects,
+    merge_sorted_unique,
+    sorted_intersect,
+)
+
+sorted_lists = st.lists(st.integers(0, 200), max_size=40).map(
+    lambda xs: sorted(set(xs))
+)
+
+
+class TestSortedIntersect:
+    def test_disjoint(self):
+        assert not sorted_intersect([1, 3, 5], [2, 4, 6])
+
+    def test_common_element(self):
+        assert sorted_intersect([1, 3, 5], [5, 9])
+
+    def test_empty(self):
+        assert not sorted_intersect([], [1, 2])
+        assert not sorted_intersect([1], [])
+
+    def test_identical(self):
+        assert sorted_intersect([7], [7])
+
+    @given(sorted_lists, sorted_lists)
+    @settings(max_examples=200)
+    def test_matches_set_semantics(self, a, b):
+        assert sorted_intersect(a, b) == bool(set(a) & set(b))
+
+
+class TestGallopIntersect:
+    def test_small_into_big(self):
+        big = list(range(0, 1000, 2))
+        assert gallop_intersect([501, 502], big)
+        assert not gallop_intersect([501, 503], big)
+
+    def test_empty_small(self):
+        assert not gallop_intersect([], [1, 2, 3])
+
+    @given(sorted_lists, sorted_lists)
+    @settings(max_examples=200)
+    def test_matches_set_semantics(self, a, b):
+        assert gallop_intersect(a, b) == bool(set(a) & set(b))
+
+
+class TestAdaptiveIntersects:
+    @given(sorted_lists, sorted_lists)
+    @settings(max_examples=200)
+    def test_matches_set_semantics(self, a, b):
+        assert intersects(a, b) == bool(set(a) & set(b))
+
+    def test_range_rejection_path(self):
+        assert not intersects([1, 2, 3], [10, 11])
+        assert not intersects([10, 11], [1, 2, 3])
+
+    def test_skewed_sizes_use_gallop(self):
+        small = [999]
+        big = list(range(1000))
+        assert intersects(small, big)
+
+
+class TestFirstCommonHop:
+    def test_returns_smallest(self):
+        assert first_common_hop([1, 4, 9], [2, 4, 9]) == 4
+
+    def test_none_when_disjoint(self):
+        assert first_common_hop([1, 2], [3, 4]) is None
+
+    @given(sorted_lists, sorted_lists)
+    @settings(max_examples=200)
+    def test_matches_min_of_intersection(self, a, b):
+        common = set(a) & set(b)
+        expected = min(common) if common else None
+        assert first_common_hop(a, b) == expected
+
+
+class TestLabelSet:
+    def test_query_uses_intersection(self):
+        ls = LabelSet(2)
+        ls.lout[0] = [1, 5]
+        ls.lin[1] = [5, 9]
+        assert ls.query(0, 1)
+        assert not ls.query(1, 0)
+
+    def test_witness(self):
+        ls = LabelSet(2)
+        ls.lout[0] = [3, 7]
+        ls.lin[1] = [7]
+        assert ls.witness(0, 1) == 7
+        assert ls.witness(1, 0) is None
+
+    def test_size_ints(self):
+        ls = LabelSet(2)
+        ls.lout[0] = [1, 2]
+        ls.lin[1] = [3]
+        assert ls.size_ints() == 3
+
+    def test_max_and_average(self):
+        ls = LabelSet(2)
+        ls.lout[0] = [1, 2, 3]
+        ls.lin[0] = [1]
+        assert ls.max_label_len() == 3
+        assert ls.average_label_len() == 2.0
+
+    def test_check_sorted_detects_violation(self):
+        ls = LabelSet(1)
+        ls.lout[0] = [2, 1]
+        assert not ls.check_sorted()
+
+    def test_check_sorted_rejects_duplicates(self):
+        ls = LabelSet(1)
+        ls.lout[0] = [1, 1]
+        assert not ls.check_sorted()
+
+    def test_roundtrip_dict(self):
+        ls = LabelSet(2)
+        ls.lout[0] = [1]
+        ls.lin[1] = [0, 1]
+        restored = LabelSet.from_dict(ls.to_dict())
+        assert restored.lout == ls.lout
+        assert restored.lin == ls.lin
+
+    def test_from_dict_validates_length(self):
+        with pytest.raises(ValueError):
+            LabelSet.from_dict({"n": 3, "lout": [[]], "lin": [[]]})
+
+    def test_empty_average(self):
+        assert LabelSet(0).average_label_len() == 0.0
+
+    def test_repr(self):
+        assert "ints=0" in repr(LabelSet(3))
+
+
+class TestSeal:
+    def test_sealed_query_matches_merge_query(self):
+        from repro.core.distribution import DistributionLabeling
+        from repro.graph.generators import random_dag
+
+        g = random_dag(40, 90, seed=3)
+        dl = DistributionLabeling(g)
+        labels = dl.labels
+        assert labels.lout_sets is not None
+        for u in range(g.n):
+            for v in range(g.n):
+                expected = intersects(labels.lout[u], labels.lin[v])
+                assert labels.query(u, v) == expected
+
+    def test_unsealed_query_uses_merge(self):
+        ls = LabelSet(2)
+        ls.lout[0] = [1, 5]
+        ls.lin[1] = [5]
+        assert ls.lout_sets is None
+        assert ls.query(0, 1)
+
+    def test_seal_returns_self_and_mirrors_lout(self):
+        ls = LabelSet(2)
+        ls.lout[0] = [1, 2]
+        assert ls.seal() is ls
+        assert ls.lout_sets[0] == frozenset({1, 2})
+
+    def test_reseal_after_mutation(self):
+        ls = LabelSet(1)
+        ls.lout[0] = [1]
+        ls.seal()
+        ls.lout[0].append(2)
+        ls.seal()
+        assert 2 in ls.lout_sets[0]
+
+    def test_lin_mutation_stays_consistent_without_reseal(self):
+        # The dynamic oracle relies on this: inserting into Lin lists
+        # does not invalidate the sealed Lout mirror.
+        ls = LabelSet(2)
+        ls.lout[0] = [3]
+        ls.seal()
+        assert not ls.query(0, 1)
+        ls.lin[1] = [3]
+        assert ls.query(0, 1)
+
+    def test_to_dict_excludes_seal(self):
+        ls = LabelSet(1)
+        ls.lout[0] = [1]
+        ls.seal()
+        assert set(ls.to_dict().keys()) == {"n", "lout", "lin"}
+
+
+class TestMergeSortedUnique:
+    def test_merges_and_dedups(self):
+        assert merge_sorted_unique([[1, 3], [2, 3], [0]]) == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert merge_sorted_unique([]) == []
+
+    @given(st.lists(sorted_lists, max_size=5))
+    @settings(max_examples=100)
+    def test_matches_set_union(self, lists):
+        expected = sorted(set().union(*map(set, lists))) if lists else []
+        assert merge_sorted_unique(lists) == expected

@@ -1,0 +1,95 @@
+"""Tests for vertex ranking strategies."""
+
+import pytest
+
+from repro.core.order import (
+    degree_product_order,
+    degree_sum_order,
+    get_order,
+    random_order,
+    topo_center_order,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_dag, random_dag, star_dag
+
+
+class TestDegreeProduct:
+    def test_is_permutation(self):
+        g = random_dag(50, 120, seed=1)
+        order = degree_product_order(g)
+        assert sorted(order) == list(range(50))
+
+    def test_hub_ranks_first(self):
+        # Middle of a path through a hub: hub has in=out=3.
+        g = DiGraph(7)
+        for v in (1, 2, 3):
+            g.add_edge(v, 0)
+        for v in (4, 5, 6):
+            g.add_edge(0, v)
+        g.freeze()
+        assert degree_product_order(g)[0] == 0
+
+    def test_rank_value_descending(self):
+        g = random_dag(40, 100, seed=2)
+        order = degree_product_order(g)
+        ranks = [
+            (g.out_degree(v) + 1) * (g.in_degree(v) + 1) for v in order
+        ]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_deterministic(self):
+        g = random_dag(30, 60, seed=3)
+        assert degree_product_order(g) == degree_product_order(g)
+
+    def test_source_ranks_above_isolated(self):
+        # A source with out-degree 1 has rank 2; isolated vertex rank 1.
+        g = DiGraph.from_edges(3, [(0, 1)])
+        order = degree_product_order(g)
+        assert order.index(0) < order.index(2)
+
+
+class TestDegreeSum:
+    def test_is_permutation(self):
+        g = random_dag(30, 70, seed=4)
+        assert sorted(degree_sum_order(g)) == list(range(30))
+
+    def test_star_center_first(self):
+        assert degree_sum_order(star_dag(10))[0] == 0
+
+
+class TestRandomOrder:
+    def test_is_permutation(self):
+        g = random_dag(30, 60, seed=5)
+        assert sorted(random_order(g, seed=1)) == list(range(30))
+
+    def test_seed_dependence(self):
+        g = random_dag(30, 60, seed=5)
+        assert random_order(g, seed=1) != random_order(g, seed=2)
+
+    def test_seed_determinism(self):
+        g = random_dag(30, 60, seed=5)
+        assert random_order(g, seed=3) == random_order(g, seed=3)
+
+
+class TestTopoCenter:
+    def test_is_permutation(self):
+        g = path_dag(9)
+        assert sorted(topo_center_order(g)) == list(range(9))
+
+    def test_path_center_first(self):
+        order = topo_center_order(path_dag(9))
+        assert order[0] == 4
+
+    def test_cycle_raises(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            topo_center_order(g)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_order("degree_product") is degree_product_order
+
+    def test_unknown_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="degree_product"):
+            get_order("nope")

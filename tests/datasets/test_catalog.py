@@ -1,0 +1,76 @@
+"""Tests for the dataset catalog."""
+
+import pytest
+
+from repro.datasets.catalog import (
+    DATASETS,
+    LARGE_SUITE,
+    SMALL_SUITE,
+    dataset_names,
+    load,
+)
+from repro.graph.topo import is_dag
+
+
+class TestCatalogShape:
+    def test_all_paper_datasets_present(self):
+        assert len(SMALL_SUITE) == 14
+        assert len(LARGE_SUITE) == 13
+
+    def test_expected_names(self):
+        for name in ("agrocyc", "arxiv", "p2p", "reactome", "citeseer",
+                     "cit-Patents", "uniprotenc_150m", "wiki"):
+            assert name in DATASETS
+
+    def test_suites_partition(self):
+        assert set(SMALL_SUITE) | set(LARGE_SUITE) == set(DATASETS)
+        assert not set(SMALL_SUITE) & set(LARGE_SUITE)
+
+    def test_dataset_names_filter(self):
+        assert dataset_names("small") == SMALL_SUITE
+        assert dataset_names("large") == LARGE_SUITE
+        assert set(dataset_names()) == set(DATASETS)
+
+    def test_paper_sizes_recorded(self):
+        d = DATASETS["cit-Patents"]
+        assert d.paper_n == 3_774_768
+        assert d.paper_m == 16_518_947
+
+
+class TestStandins:
+    @pytest.mark.parametrize("name", SMALL_SUITE)
+    def test_small_standins_are_dags(self, name):
+        g = load(name)
+        assert is_dag(g)
+        assert 0 < g.n <= 6000
+
+    def test_large_standins_larger_than_small(self):
+        small_max = max(load(n).n for n in SMALL_SUITE)
+        large_min = min(load(n).n for n in LARGE_SUITE)
+        assert large_min > small_max * 0.8  # suites are scale-separated
+
+    def test_load_memoised(self):
+        assert load("kegg") is load("kegg")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("nope")
+
+    def test_size_ordering_tracks_paper_within_small_suite(self):
+        # The biggest small dataset in the paper (p2p) is also the
+        # biggest stand-in; the smallest (reactome) the smallest.
+        sizes = {name: load(name).n for name in SMALL_SUITE}
+        assert max(sizes, key=sizes.get) == "p2p"
+        assert min(sizes, key=sizes.get) == "reactome"
+
+    def test_family_structure_metabolic_sparse(self):
+        g = load("agrocyc")
+        assert g.m / g.n < 1.5
+
+    def test_family_structure_citation_dense(self):
+        g = load("cit-Patents")
+        assert g.m / g.n > 2.5
+
+    def test_uniprot_family_is_forest(self):
+        g = load("uniprotenc_22m")
+        assert g.m <= g.n

@@ -1,0 +1,102 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.baselines.online import OnlineBFS
+from repro.datasets.workloads import Workload, equal_workload, random_workload
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import citation_dag, random_dag
+
+
+class TestRandomWorkload:
+    def test_count_and_bounds(self):
+        g = random_dag(50, 120, seed=1)
+        wl = random_workload(g, 200, seed=2)
+        assert len(wl) == 200
+        assert all(0 <= u < 50 and 0 <= v < 50 for u, v in wl)
+
+    def test_deterministic(self):
+        g = random_dag(30, 60, seed=1)
+        assert random_workload(g, 50, seed=3).pairs == random_workload(g, 50, seed=3).pairs
+
+    def test_empty_graph(self):
+        wl = random_workload(DiGraph(0), 10)
+        assert len(wl) == 0
+
+
+class TestEqualWorkload:
+    def test_positive_fraction_close_to_half(self):
+        g = citation_dag(300, 3, seed=1)
+        wl = equal_workload(g, 400, seed=2)
+        assert 0.35 <= wl.positives / len(wl) <= 0.65
+
+    def test_positives_are_reachable_negatives_not(self):
+        g = random_dag(80, 220, seed=3)
+        wl = equal_workload(g, 200, seed=4)
+        truth = OnlineBFS(g)
+        positive_count = sum(1 for u, v in wl if truth.query(u, v))
+        assert positive_count == wl.positives
+
+    def test_bfs_sampling_path_used_for_large(self):
+        g = citation_dag(500, 3, seed=5)
+        wl = equal_workload(g, 100, seed=6, exact_tc_threshold=10)
+        truth = OnlineBFS(g)
+        positives = sum(1 for u, v in wl if truth.query(u, v))
+        assert positives == wl.positives
+        assert positives > 0
+
+    def test_deterministic(self):
+        g = random_dag(60, 150, seed=7)
+        a = equal_workload(g, 100, seed=8)
+        b = equal_workload(g, 100, seed=8)
+        assert a.pairs == b.pairs
+
+    def test_oracle_reuse(self):
+        from repro.core.distribution import DistributionLabeling
+
+        g = random_dag(40, 90, seed=9)
+        dl = DistributionLabeling(g)
+        wl = equal_workload(g, 60, seed=10, oracle=dl)
+        assert len(wl) > 0
+
+    def test_empty_graph(self):
+        wl = equal_workload(DiGraph(0), 10)
+        assert len(wl) == 0
+
+    def test_edgeless_graph_no_positives(self):
+        g = DiGraph(20).freeze()
+        wl = equal_workload(g, 40, seed=11)
+        assert wl.positives == 0
+        assert len(wl) > 0  # negatives still generated
+
+
+class TestBfsPositiveSampler:
+    def test_cap_limits_exploration(self):
+        from repro.datasets.workloads import _bfs_positive_sample
+
+        g = citation_dag(400, 3, seed=1)
+        rng = __import__("random").Random(2)
+        positives = _bfs_positive_sample(g, 50, rng, cap=5)
+        truth = OnlineBFS(g)
+        assert len(positives) == 50
+        for u, v in positives:
+            assert truth.query(u, v)
+            assert u != v
+
+    def test_gives_up_gracefully_on_edgeless(self):
+        from repro.datasets.workloads import _bfs_positive_sample
+
+        g = DiGraph(10).freeze()
+        rng = __import__("random").Random(3)
+        assert _bfs_positive_sample(g, 5, rng) == []
+
+
+class TestWorkloadContainer:
+    def test_iteration_and_repr(self):
+        wl = Workload("x", [(0, 1)], positives=1)
+        assert list(wl) == [(0, 1)]
+        assert "x" in repr(wl)
+
+    def test_unknown_positive_metadata(self):
+        wl = Workload("y", [(0, 1)])
+        assert "positives=?" in repr(wl)

@@ -1,0 +1,93 @@
+"""Tests for the reference transitive closure."""
+
+import random
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.closure import (
+    bitset_to_list,
+    closure_pairs_count,
+    reverse_transitive_closure_bits,
+    sample_reachable_pair,
+    tc_size,
+    transitive_closure_bits,
+)
+from repro.graph.generators import complete_bipartite_dag, path_dag, random_dag
+
+
+class TestForwardClosure:
+    def test_path(self):
+        tc = transitive_closure_bits(path_dag(4))
+        assert bitset_to_list(tc[0]) == [0, 1, 2, 3]
+        assert bitset_to_list(tc[3]) == [3]
+
+    def test_reflexive(self):
+        tc = transitive_closure_bits(DiGraph(3))
+        for v in range(3):
+            assert tc[v] == 1 << v
+
+    def test_cycle_raises(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            transitive_closure_bits(g)
+
+    def test_agrees_with_bfs(self):
+        from repro.graph.traversal import bfs_reachable
+
+        g = random_dag(35, 80, seed=1)
+        tc = transitive_closure_bits(g)
+        for u in range(35):
+            assert bitset_to_list(tc[u]) == sorted(bfs_reachable(g.out_adj, u))
+
+
+class TestReverseClosure:
+    def test_reverse_is_transpose(self):
+        g = random_dag(30, 70, seed=2)
+        tc = transitive_closure_bits(g)
+        rtc = reverse_transitive_closure_bits(g)
+        for u in range(30):
+            for v in range(30):
+                assert ((tc[u] >> v) & 1) == ((rtc[v] >> u) & 1)
+
+
+class TestSizes:
+    def test_tc_size_includes_reflexive(self):
+        assert tc_size(transitive_closure_bits(path_dag(3))) == 3 + 2 + 1
+
+    def test_closure_pairs_count_strict(self):
+        assert closure_pairs_count(path_dag(4)) == 3 + 2 + 1
+
+    def test_bipartite_counts(self):
+        # Each of the 3 sources reaches the 4 sinks.
+        assert closure_pairs_count(complete_bipartite_dag(3, 4)) == 12
+
+
+class TestBitsetToList:
+    def test_empty(self):
+        assert bitset_to_list(0) == []
+
+    def test_multiword(self):
+        positions = [0, 63, 64, 127, 128, 300]
+        bits = 0
+        for p in positions:
+            bits |= 1 << p
+        assert bitset_to_list(bits) == positions
+
+
+class TestSampling:
+    def test_samples_are_reachable(self):
+        g = random_dag(40, 120, seed=3)
+        tc = transitive_closure_bits(g)
+        rng = random.Random(0)
+        for _ in range(50):
+            pair = sample_reachable_pair(tc, rng, g.n)
+            assert pair is not None
+            u, v = pair
+            assert u != v
+            assert (tc[u] >> v) & 1
+
+    def test_edgeless_graph_returns_none(self):
+        g = DiGraph(5)
+        tc = transitive_closure_bits(g)
+        assert sample_reachable_pair(tc, random.Random(0), 5) is None

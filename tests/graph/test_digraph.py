@@ -1,0 +1,160 @@
+"""Tests for the DiGraph container."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph(0)
+        assert g.n == 0
+        assert g.m == 0
+        assert list(g.edges()) == []
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph(-1)
+
+    def test_add_edge_returns_true_when_new(self):
+        g = DiGraph(3)
+        assert g.add_edge(0, 1) is True
+
+    def test_duplicate_edge_ignored(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1)
+        assert g.add_edge(0, 1) is False
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        g = DiGraph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_vertex_rejected(self):
+        g = DiGraph(3)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 3)
+        with pytest.raises(IndexError):
+            g.add_edge(-1, 0)
+
+    def test_from_edges(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (0, 1)])
+        assert g.m == 2
+        assert g.frozen
+
+    def test_edge_count_tracks_additions(self):
+        g = DiGraph(5)
+        for i in range(4):
+            g.add_edge(i, i + 1)
+        assert g.m == 4
+
+
+class TestAdjacency:
+    def test_out_and_in_neighbours(self):
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 2)])
+        assert list(g.out(0)) == [1, 2]
+        assert list(g.inn(2)) == [0, 1]
+
+    def test_degrees(self):
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 2)])
+        assert g.out_degree(0) == 2
+        assert g.in_degree(2) == 2
+        assert g.out_degree(3) == 0
+
+    def test_has_edge(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_contains_dunder(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        assert (0, 1) in g
+        assert (1, 2) not in g
+
+    def test_sources_and_sinks(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (3, 2)])
+        assert g.sources() == [0, 3]
+        assert g.sinks() == [2]
+
+    def test_edges_iteration_sorted_after_freeze(self):
+        g = DiGraph(3)
+        g.add_edge(0, 2)
+        g.add_edge(0, 1)
+        g.freeze()
+        assert list(g.edges()) == [(0, 1), (0, 2)]
+
+
+class TestFreezeAndCopy:
+    def test_freeze_sorts_adjacency(self):
+        g = DiGraph(4)
+        g.add_edge(0, 3)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        g.freeze()
+        assert list(g.out(0)) == [1, 2, 3]
+
+    def test_frozen_graph_rejects_mutation(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        with pytest.raises(RuntimeError):
+            g.add_edge(1, 2)
+
+    def test_copy_is_mutable_and_independent(self):
+        g = DiGraph.from_edges(3, [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert h.m == 2
+        assert g.m == 1
+
+    def test_freeze_idempotent(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1)
+        assert g.freeze() is g
+        assert g.freeze() is g
+
+
+class TestTransforms:
+    def test_reverse(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        r = g.reverse()
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert not r.has_edge(0, 1)
+        assert r.m == g.m
+
+    def test_reverse_preserves_frozen_state(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        assert g.reverse().frozen
+
+    def test_induced_subgraph(self):
+        g = DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub, mapping = g.induced_subgraph([1, 2, 3])
+        assert sub.n == 3
+        assert mapping == [1, 2, 3]
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 2)
+        assert sub.m == 2
+
+    def test_induced_subgraph_drops_external_edges(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        sub, _ = g.induced_subgraph([0, 3])
+        assert sub.m == 0
+
+
+class TestDunders:
+    def test_len(self):
+        assert len(DiGraph(7)) == 7
+
+    def test_repr_mentions_sizes(self):
+        r = repr(DiGraph.from_edges(3, [(0, 1)]))
+        assert "n=3" in r and "m=1" in r
+
+    def test_equality(self):
+        a = DiGraph.from_edges(3, [(0, 1)])
+        b = DiGraph.from_edges(3, [(0, 1)])
+        c = DiGraph.from_edges(3, [(0, 2)])
+        assert a == b
+        assert a != c
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(DiGraph(1))

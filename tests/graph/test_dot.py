@@ -1,0 +1,39 @@
+"""Tests for the DOT exporter."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.dot import to_dot
+from repro.graph.generators import path_dag
+
+
+class TestDot:
+    def test_contains_all_edges_and_vertices(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        dot = to_dot(g)
+        assert dot.startswith("digraph G {")
+        assert "0 -> 1;" in dot and "1 -> 2;" in dot
+        assert "2 [" in dot
+
+    def test_custom_labels(self):
+        g = path_dag(2)
+        dot = to_dot(g, vertex_labels={0: "src", 1: "dst"})
+        assert 'label="src"' in dot and 'label="dst"' in dot
+
+    def test_levels_colouring(self):
+        g = path_dag(3)
+        dot = to_dot(g, levels=[0, 1, 2])
+        assert "fillcolor" in dot
+        assert "fontcolor" in dot  # level >= 2 switches font colour
+
+    def test_highlight_edges(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        dot = to_dot(g, highlight_edges=[(1, 2)])
+        assert "1 -> 2 [color=red" in dot
+        assert "0 -> 1;" in dot
+
+    def test_custom_name(self):
+        assert to_dot(path_dag(1), name="Backbone").startswith("digraph Backbone")
+
+    def test_deep_levels_clamped(self):
+        g = path_dag(9)
+        dot = to_dot(g, levels=list(range(9)))  # more levels than colours
+        assert dot.count("fillcolor") == 9

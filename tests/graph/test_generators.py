@@ -1,0 +1,144 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.topo import is_dag, longest_path_length, topological_levels
+
+
+class TestRandomDag:
+    def test_is_dag(self):
+        assert is_dag(gen.random_dag(100, 300, seed=1))
+
+    def test_edge_count(self):
+        g = gen.random_dag(60, 150, seed=2)
+        assert g.m == 150
+
+    def test_edge_count_clamped_to_max(self):
+        g = gen.random_dag(5, 100, seed=3)
+        assert g.m == 10  # 5*4/2
+
+    def test_deterministic(self):
+        a = gen.random_dag(40, 90, seed=7)
+        b = gen.random_dag(40, 90, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gen.random_dag(40, 90, seed=1)
+        b = gen.random_dag(40, 90, seed=2)
+        assert a != b
+
+    def test_dense_fallback_fills_exactly(self):
+        # Request nearly complete graph; rejection sampling must fall back.
+        g = gen.random_dag(8, 27, seed=4)
+        assert g.m == 27
+
+
+class TestSparseDag:
+    def test_is_dag_and_sparse(self):
+        g = gen.sparse_dag(300, 0.08, seed=1)
+        assert is_dag(g)
+        assert g.m <= int(300 * 1.2)
+
+    def test_mostly_connected_forest(self):
+        g = gen.sparse_dag(200, 0.0, seed=2)
+        roots = sum(1 for v in range(g.n) if g.in_degree(v) == 0)
+        assert roots < g.n * 0.15
+
+
+class TestCitationDag:
+    def test_is_dag(self):
+        assert is_dag(gen.citation_dag(200, 4, seed=1))
+
+    def test_density_tracks_parameter(self):
+        g = gen.citation_dag(400, 4, seed=2)
+        assert 2.0 <= g.m / g.n <= 6.5
+
+    def test_edges_point_to_older(self):
+        g = gen.citation_dag(100, 3, seed=3)
+        for u, v in g.edges():
+            assert v < u  # newer cites older
+
+    def test_heavy_tail_in_degree(self):
+        g = gen.citation_dag(500, 4, seed=4)
+        max_in = max(g.in_degree(v) for v in range(g.n))
+        avg_in = g.m / g.n
+        assert max_in > 4 * avg_in
+
+    def test_min_cites_zero_allows_leaves(self):
+        g = gen.citation_dag(300, 0.5, seed=5, min_cites=0)
+        assert any(g.out_degree(v) == 0 for v in range(1, g.n))
+
+
+class TestPowerlaw:
+    def test_may_contain_cycles(self):
+        # Not guaranteed per seed, but this seed produces cycles.
+        g = gen.powerlaw_digraph(200, 600, seed=1)
+        assert not is_dag(g)
+
+    def test_edge_target_met(self):
+        g = gen.powerlaw_digraph(150, 400, seed=2)
+        assert g.m >= 350  # allows a small shortfall from attempt cap
+
+
+class TestChainForest:
+    def test_is_dag(self):
+        assert is_dag(gen.chain_forest_dag(300, 40, 0.02, seed=1))
+
+    def test_long_chains_exist(self):
+        g = gen.chain_forest_dag(400, 60, 0.0, seed=2)
+        assert longest_path_length(g) >= 30
+
+
+class TestOntology:
+    def test_is_dag(self):
+        assert is_dag(gen.ontology_dag(200, 0.2, seed=1))
+
+    def test_pure_forest_when_no_extras(self):
+        g = gen.ontology_dag(300, 0.0, roots=3, seed=2)
+        assert g.m == 300 - 3
+        # child -> parent: every non-root has out-degree exactly 1
+        assert all(g.out_degree(v) == 1 for v in range(3, g.n))
+
+    def test_ancestor_sets_small(self):
+        from repro.graph.closure import tc_size, transitive_closure_bits
+
+        g = gen.ontology_dag(300, 0.0, seed=3)
+        avg_closure = tc_size(transitive_closure_bits(g)) / g.n
+        assert avg_closure < 40  # tree depth scale, not n scale
+
+
+class TestLayered:
+    def test_depth_equals_layers(self):
+        g = gen.layered_dag(5, 8, 2, seed=1)
+        assert longest_path_length(g) == 4
+
+    def test_levels_match_layers(self):
+        g = gen.layered_dag(4, 6, 3, seed=2)
+        levels = topological_levels(g)
+        for v in range(g.n):
+            assert levels[v] <= v // 6
+
+
+class TestFixedShapes:
+    def test_path(self):
+        g = gen.path_dag(5)
+        assert g.m == 4
+        assert longest_path_length(g) == 4
+
+    def test_bipartite(self):
+        g = gen.complete_bipartite_dag(3, 4)
+        assert g.n == 7
+        assert g.m == 12
+
+    def test_star_out(self):
+        g = gen.star_dag(6, out=True)
+        assert g.out_degree(0) == 5
+
+    def test_star_in(self):
+        g = gen.star_dag(6, out=False)
+        assert g.in_degree(0) == 5
+
+    def test_single_vertex_path(self):
+        g = gen.path_dag(1)
+        assert g.n == 1 and g.m == 0

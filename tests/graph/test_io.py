@@ -1,0 +1,77 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.io import parse_edge_list, read_edge_list, write_edge_list
+from repro.graph.generators import random_dag
+
+
+class TestParse:
+    def test_basic(self):
+        g = parse_edge_list("0 1\n1 2\n")
+        assert g.n == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_header_detected(self):
+        g = parse_edge_list("10 2\n0 1\n1 2\n")
+        assert g.n == 10
+        assert g.m == 2
+
+    def test_two_column_first_line_not_header(self):
+        # "5 6" cannot be a header (there are 2 further lines, not 6),
+        # so it is an edge.
+        g = parse_edge_list("5 6\n0 1\n1 2\n")
+        assert g.has_edge(5, 6)
+        assert g.n == 7
+
+    def test_comments_ignored(self):
+        g = parse_edge_list("# a comment\n% another\n0 1\n")
+        assert g.m == 1
+
+    def test_blank_lines_ignored(self):
+        g = parse_edge_list("\n0 1\n\n1 2\n\n")
+        assert g.m == 2
+
+    def test_self_loops_dropped(self):
+        g = parse_edge_list("0 0\n0 1\n")
+        assert g.m == 1
+
+    def test_duplicate_edges_deduplicated(self):
+        g = parse_edge_list("0 1\n0 1\n")
+        assert g.m == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_edge_list("0 1\nbroken\n".replace("broken", "7"))
+
+    def test_negative_id_raises(self):
+        with pytest.raises(ValueError):
+            parse_edge_list("0 1\n-1 2\n")
+
+    def test_empty_input(self):
+        g = parse_edge_list("")
+        assert g.n == 0 and g.m == 0
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, tmp_path):
+        g = random_dag(40, 90, seed=1)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert h == g
+
+    def test_write_without_header(self, tmp_path):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header=False)
+        text = path.read_text()
+        assert text.splitlines()[0] == "0 1"
+        assert read_edge_list(path) == g
+
+    def test_header_written(self, tmp_path):
+        g = DiGraph.from_edges(4, [(0, 3)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert path.read_text().splitlines()[0] == "4 1"

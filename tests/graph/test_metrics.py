@@ -1,0 +1,64 @@
+"""Tests for graph metrics."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.metrics import compute_metrics, reachability_density
+from repro.graph.generators import (
+    complete_bipartite_dag,
+    path_dag,
+    random_dag,
+    star_dag,
+)
+
+
+class TestReachabilityDensity:
+    def test_exact_on_path(self):
+        value, exact = reachability_density(path_dag(4))
+        assert exact
+        assert value == (4 + 3 + 2 + 1) / 4
+
+    def test_estimate_on_large_graph(self):
+        g = random_dag(6000, 12000, seed=1)
+        est, exact = reachability_density(g, exact_threshold=100, samples=300, seed=2)
+        assert not exact
+        truth, _ = reachability_density(g, exact_threshold=10_000)
+        assert abs(est - truth) / truth < 0.5  # sampled, coarse bound
+
+    def test_empty(self):
+        assert reachability_density(DiGraph(0)) == (0.0, True)
+
+
+class TestComputeMetrics:
+    def test_path(self):
+        m = compute_metrics(path_dag(5))
+        assert m.n == 5 and m.m == 4
+        assert m.sources == 1 and m.sinks == 1
+        assert m.depth == 4
+        assert m.isolated == 0
+
+    def test_star(self):
+        m = compute_metrics(star_dag(9, out=True))
+        assert m.max_out_degree == 8
+        assert m.sinks == 8
+
+    def test_isolated_counted(self):
+        g = DiGraph(4)
+        g.add_edge(0, 1)
+        m = compute_metrics(g.freeze())
+        assert m.isolated == 2
+
+    def test_bipartite_closure(self):
+        m = compute_metrics(complete_bipartite_dag(3, 3))
+        # sources: 1 (self) + 3 sinks reached; sinks: just themselves.
+        assert m.avg_closure == (3 * 4 + 3 * 1) / 6
+
+    def test_cycle_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            compute_metrics(g)
+
+    def test_as_dict_roundtrip_fields(self):
+        d = compute_metrics(path_dag(3)).as_dict()
+        for key in ("n", "m", "density", "depth", "avg_closure", "closure_exact"):
+            assert key in d

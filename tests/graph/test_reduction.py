@@ -1,0 +1,63 @@
+"""Tests for transitive reduction."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.closure import transitive_closure_bits
+from repro.graph.reduction import (
+    is_transitively_reduced,
+    redundant_edges,
+    transitive_reduction,
+)
+from repro.graph.generators import path_dag, random_dag, sparse_dag
+
+
+class TestReduction:
+    def test_triangle_shortcut_removed(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        r = transitive_reduction(g)
+        assert sorted(r.edges()) == [(0, 1), (1, 2)]
+
+    def test_path_already_reduced(self):
+        g = path_dag(6)
+        assert is_transitively_reduced(g)
+        assert transitive_reduction(g) == g
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_preserves_reachability(self, seed):
+        g = random_dag(30, 120, seed=seed)
+        r = transitive_reduction(g)
+        assert transitive_closure_bits(g) == transitive_closure_bits(r)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_result_is_minimal(self, seed):
+        """Removing any further edge must change reachability."""
+        g = random_dag(18, 50, seed=seed)
+        r = transitive_reduction(g)
+        assert is_transitively_reduced(r)
+        base = transitive_closure_bits(r)
+        for u, v in list(r.edges()):
+            h = DiGraph(r.n)
+            for a, b in r.edges():
+                if (a, b) != (u, v):
+                    h.add_edge(a, b)
+            assert transitive_closure_bits(h.freeze()) != base
+
+    def test_redundant_edges_listed(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)])
+        assert set(redundant_edges(g)) == {(0, 3), (0, 2)}
+
+    def test_cycle_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            transitive_reduction(g)
+
+    def test_shrinks_dense_random_dag(self):
+        g = random_dag(40, 300, seed=7)
+        r = transitive_reduction(g)
+        assert r.m < g.m
+
+    def test_sparse_forest_nearly_untouched(self):
+        g = sparse_dag(100, 0.0, seed=8)
+        r = transitive_reduction(g)
+        assert r.m == g.m  # a forest has no redundant edges

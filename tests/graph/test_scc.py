@@ -1,0 +1,121 @@
+"""Tests for SCC detection and condensation."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condense, strongly_connected_components
+from repro.graph.topo import is_dag
+from repro.graph.generators import powerlaw_digraph, path_dag
+
+
+def scc_sets(graph):
+    comp = strongly_connected_components(graph.out_adj, graph.n)
+    groups = {}
+    for v, c in enumerate(comp):
+        groups.setdefault(c, set()).add(v)
+    return set(frozenset(s) for s in groups.values())
+
+
+class TestTarjan:
+    def test_single_cycle(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert scc_sets(g) == {frozenset({0, 1, 2})}
+
+    def test_two_cycles_bridge(self):
+        g = DiGraph.from_edges(6, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3), (4, 5)])
+        assert frozenset({0, 1}) in scc_sets(g)
+        assert frozenset({3, 4}) in scc_sets(g)
+
+    def test_dag_has_singleton_components(self):
+        g = path_dag(5)
+        assert scc_sets(g) == {frozenset({v}) for v in range(5)}
+
+    def test_empty_graph(self):
+        assert strongly_connected_components([], 0) == []
+
+    def test_isolated_vertices(self):
+        g = DiGraph(3)
+        comp = strongly_connected_components(g.out_adj, 3)
+        assert len(set(comp)) == 3
+
+    def test_component_ids_reverse_topological(self):
+        # Tarjan emits sink components first: comp id of a predecessor
+        # must be greater than the comp id of its (distinct) successor.
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        comp = strongly_connected_components(g.out_adj, 4)
+        assert comp[0] > comp[1] > comp[2] > comp[3]
+
+    def test_long_chain_no_recursion_error(self):
+        # Iterative implementation must survive deep structures.
+        n = 50_000
+        g = path_dag(n)
+        comp = strongly_connected_components(g.out_adj, n)
+        assert len(set(comp)) == n
+
+    def test_mutual_pair(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        comp = strongly_connected_components(g.out_adj, 2)
+        assert comp[0] == comp[1]
+
+
+class TestCondense:
+    def test_condensation_is_dag(self):
+        g = powerlaw_digraph(120, 400, seed=3)
+        c = condense(g)
+        assert is_dag(c.dag)
+
+    def test_members_partition_vertices(self):
+        g = powerlaw_digraph(80, 250, seed=5)
+        c = condense(g)
+        seen = sorted(v for members in c.members for v in members)
+        assert seen == list(range(g.n))
+
+    def test_comp_and_members_consistent(self):
+        g = powerlaw_digraph(60, 180, seed=7)
+        c = condense(g)
+        for v in range(g.n):
+            assert v in c.members[c.comp[v]]
+
+    def test_intra_component_edges_dropped(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 0), (1, 2)])
+        c = condense(g)
+        assert c.dag.n == 2
+        assert c.dag.m == 1
+
+    def test_parallel_component_edges_deduplicated(self):
+        # Two original edges between the same pair of SCCs -> one DAG edge.
+        g = DiGraph.from_edges(4, [(0, 1), (1, 0), (0, 2), (1, 2), (2, 3)])
+        c = condense(g)
+        assert c.dag.m == 2  # SCC{0,1} -> 2 -> 3
+
+    def test_reachability_preserved_across_condensation(self):
+        g = powerlaw_digraph(50, 160, seed=11)
+        c = condense(g)
+        from repro.graph.traversal import bfs_reaches
+
+        for u in range(0, g.n, 7):
+            for v in range(0, g.n, 5):
+                orig = bfs_reaches(g.out_adj, u, v)
+                cond = c.comp[u] == c.comp[v] or bfs_reaches(
+                    c.dag.out_adj, c.comp[u], c.comp[v]
+                )
+                assert orig == cond
+
+    def test_condense_of_dag_is_isomorphic_size(self):
+        g = path_dag(6)
+        c = condense(g)
+        assert c.dag.n == 6
+        assert c.dag.m == 5
+
+    def test_component_of_helper(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        c = condense(g)
+        assert c.component_of(0) == c.component_of(1)
+
+    def test_repr(self):
+        c = condense(path_dag(3))
+        assert "components=3" in repr(c)
+
+    def test_empty(self):
+        c = condense(DiGraph(0))
+        assert c.n_components == 0

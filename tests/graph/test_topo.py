@@ -1,0 +1,94 @@
+"""Tests for topological utilities."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.topo import (
+    is_dag,
+    longest_path_length,
+    topological_levels,
+    topological_order,
+)
+from repro.graph.generators import layered_dag, path_dag, random_dag
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        g = random_dag(50, 120, seed=3)
+        order = topological_order(g)
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_cycle_returns_none(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert topological_order(g) is None
+
+    def test_covers_all_vertices(self):
+        g = random_dag(30, 60, seed=4)
+        assert sorted(topological_order(g)) == list(range(30))
+
+    def test_empty_graph(self):
+        assert topological_order(DiGraph(0)) == []
+
+    def test_edgeless_graph_id_order(self):
+        assert topological_order(DiGraph(4)) == [0, 1, 2, 3]
+
+    def test_deterministic(self):
+        g = random_dag(40, 100, seed=5)
+        assert topological_order(g) == topological_order(g)
+
+
+class TestIsDag:
+    def test_dag(self):
+        assert is_dag(path_dag(5))
+
+    def test_cycle(self):
+        assert not is_dag(DiGraph.from_edges(2, [(0, 1), (1, 0)]))
+
+    def test_empty(self):
+        assert is_dag(DiGraph(0))
+
+
+class TestLevels:
+    def test_path_levels_increase(self):
+        levels = topological_levels(path_dag(6))
+        assert levels == [0, 1, 2, 3, 4, 5]
+
+    def test_levels_are_longest_paths(self):
+        # 0->1->3 and 0->2, 2 has level 1 but 3 has level 2.
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert topological_levels(g) == [0, 1, 1, 2]
+
+    def test_reachability_implies_level_increase(self):
+        from repro.graph.traversal import bfs_reaches
+
+        g = random_dag(40, 100, seed=6)
+        levels = topological_levels(g)
+        for u in range(0, 40, 3):
+            for v in range(0, 40, 5):
+                if u != v and bfs_reaches(g.out_adj, u, v):
+                    assert levels[u] < levels[v]
+
+    def test_cycle_raises(self):
+        g = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            topological_levels(g)
+
+    def test_layered_dag_levels_match_layers(self):
+        g = layered_dag(4, 3, 2, seed=0)
+        levels = topological_levels(g)
+        for v in range(g.n):
+            # Every vertex's level can be at most its layer index.
+            assert levels[v] <= v // 3
+
+
+class TestLongestPath:
+    def test_path(self):
+        assert longest_path_length(path_dag(7)) == 6
+
+    def test_empty(self):
+        assert longest_path_length(DiGraph(0)) == 0
+
+    def test_edgeless(self):
+        assert longest_path_length(DiGraph(5)) == 0

@@ -1,0 +1,87 @@
+"""Tests for traversal primitives."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import (
+    bfs_reachable,
+    bfs_reaches,
+    bfs_within,
+    collect_targets_within,
+    neighborhood_within,
+)
+from repro.graph.generators import path_dag, random_dag, star_dag
+
+
+class TestBfsReachable:
+    def test_path(self):
+        g = path_dag(5)
+        assert bfs_reachable(g.out_adj, 0) == [0, 1, 2, 3, 4]
+
+    def test_includes_source_only_when_isolated(self):
+        g = DiGraph(3)
+        assert bfs_reachable(g.out_adj, 1) == [1]
+
+    def test_star(self):
+        g = star_dag(5, out=True)
+        assert set(bfs_reachable(g.out_adj, 0)) == {0, 1, 2, 3, 4}
+        assert bfs_reachable(g.out_adj, 2) == [2]
+
+    def test_matches_closure(self):
+        from repro.graph.closure import bitset_to_list, transitive_closure_bits
+
+        g = random_dag(30, 70, seed=2)
+        tc = transitive_closure_bits(g)
+        for u in range(30):
+            assert sorted(bfs_reachable(g.out_adj, u)) == bitset_to_list(tc[u])
+
+
+class TestBfsReaches:
+    def test_reflexive(self):
+        g = path_dag(3)
+        assert bfs_reaches(g.out_adj, 1, 1)
+
+    def test_forward_only(self):
+        g = path_dag(4)
+        assert bfs_reaches(g.out_adj, 0, 3)
+        assert not bfs_reaches(g.out_adj, 3, 0)
+
+    def test_disconnected(self):
+        g = DiGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert not bfs_reaches(g.out_adj, 0, 3)
+
+
+class TestBoundedBfs:
+    def test_depth_zero(self):
+        g = path_dag(4)
+        assert bfs_within(g.out_adj, 0, 0) == {0: 0}
+
+    def test_depth_limits(self):
+        g = path_dag(6)
+        assert bfs_within(g.out_adj, 0, 2) == {0: 0, 1: 1, 2: 2}
+
+    def test_distances_are_shortest(self):
+        # 0->2 direct and 0->1->2: distance to 2 must be 1.
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert bfs_within(g.out_adj, 0, 3)[2] == 1
+
+    def test_neighborhood_within_sorted(self):
+        g = random_dag(25, 60, seed=3)
+        nb = neighborhood_within(g.out_adj, 0, 2)
+        assert nb == sorted(nb)
+        assert 0 in nb
+
+    def test_reverse_direction_via_in_adj(self):
+        g = path_dag(5)
+        assert bfs_within(g.in_adj, 4, 2) == {4: 0, 3: 1, 2: 2}
+
+
+class TestCollectTargets:
+    def test_collects_only_targets(self):
+        g = path_dag(6)
+        targets = {2, 4}
+        found = collect_targets_within(g.out_adj, 0, 4, lambda v: v in targets)
+        assert found == {2: 2, 4: 4}
+
+    def test_source_included_when_target(self):
+        g = path_dag(3)
+        found = collect_targets_within(g.out_adj, 1, 1, lambda v: True)
+        assert found[1] == 0

@@ -1,0 +1,62 @@
+"""Tests for the SCARAB framework and GL*/PT* variants."""
+
+import pytest
+
+from repro.baselines.grail import Grail
+from repro.baselines.pathtree import PathTree
+from repro.core.distribution import DistributionLabeling
+from repro.scarab.framework import Scarab, ScarabGrail, ScarabPathTree
+from repro.graph.generators import random_dag
+
+from ..conftest import assert_matches_truth, family_cases, FAMILY_IDS
+
+
+class TestScarabCorrectness:
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_scarab_grail_matches_truth(self, graph):
+        assert_matches_truth(ScarabGrail(graph), graph)
+
+    @pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+    def test_scarab_pathtree_matches_truth(self, graph):
+        assert_matches_truth(ScarabPathTree(graph), graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_scarab_with_dl_inner(self, seed):
+        g = random_dag(35, 85, seed=seed)
+        idx = Scarab(g, inner_factory=lambda bg: DistributionLabeling(bg))
+        assert_matches_truth(idx, g)
+
+    @pytest.mark.parametrize("eps", [1, 2])
+    def test_both_eps_values(self, eps):
+        g = random_dag(40, 100, seed=5)
+        idx = Scarab(g, inner_factory=lambda bg: Grail(bg), eps=eps)
+        assert_matches_truth(idx, g)
+
+
+class TestScarabStructure:
+    def test_requires_inner_factory(self):
+        g = random_dag(10, 20, seed=1)
+        with pytest.raises(ValueError):
+            Scarab(g)
+
+    def test_backbone_smaller_than_graph(self):
+        g = random_dag(150, 400, seed=2)
+        idx = ScarabGrail(g)
+        assert len(idx.level.backbone_vertices) < g.n
+
+    def test_inner_index_on_backbone_only(self):
+        g = random_dag(120, 300, seed=3)
+        idx = ScarabPathTree(g)
+        assert isinstance(idx.inner, PathTree)
+        assert idx.inner.graph.n == len(idx.level.backbone_vertices)
+
+    def test_short_names(self):
+        g = random_dag(30, 60, seed=4)
+        assert ScarabGrail(g).short_name == "GL*"
+        assert ScarabPathTree(g).short_name == "PT*"
+
+    def test_stats_include_backbone_info(self):
+        g = random_dag(60, 150, seed=5)
+        stats = ScarabGrail(g).stats()
+        assert "backbone_vertices" in stats
+        assert stats["inner"] == "GL"

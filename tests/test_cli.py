@@ -1,0 +1,72 @@
+"""Tests for the CLI (run in-process with tiny workloads)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "figure4" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "agrocyc" in out and "cit-Patents" in out
+
+    def test_tiny_table2_subset(self, capsys):
+        rc = main([
+            "table2", "--datasets", "kegg", "--queries", "40", "--repeats", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kegg" in out
+        assert "DL" in out
+
+    def test_figure3_subset(self, capsys):
+        rc = main(["figure3", "--datasets", "reactome", "--repeats", "1"])
+        assert rc == 0
+        assert "reactome" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--datasets", "nope"])
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["table99"])
+
+    def test_stats_subset(self, capsys):
+        assert main(["stats", "--datasets", "kegg,reactome"]) == 0
+        out = capsys.readouterr().out
+        assert "kegg" in out and "reactome" in out
+        assert "avgTC" in out
+
+    def test_verify_subset(self, capsys):
+        assert main(["verify", "--datasets", "kegg", "--queries", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "kegg/DL: ok" in out
+        assert "FAIL" not in out
+
+    def test_export_subset(self, capsys, tmp_path):
+        out = str(tmp_path / "ds")
+        assert main(["export", "--datasets", "reactome", "--out", out]) == 0
+        from repro.graph.io import read_edge_list
+        from repro.datasets.catalog import load
+
+        g = read_edge_list(tmp_path / "ds" / "reactome.txt")
+        assert g == load("reactome")
+
+    def test_ablation_rank_subset(self, capsys):
+        assert main(["ablation-rank", "--datasets", "kegg"]) == 0
+        out = capsys.readouterr().out
+        assert "degree_product" in out
+
+    def test_ablation_labelstore_subset(self, capsys):
+        assert main([
+            "ablation-labelstore", "--datasets", "kegg", "--queries", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid" in out

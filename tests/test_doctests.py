@@ -1,0 +1,44 @@
+"""Run the doctests embedded in public docstrings.
+
+The examples in docstrings are part of the documentation deliverable;
+this keeps them executable and honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.baselines.interval
+import repro.baselines.intervals
+import repro.baselines.pathtree
+import repro.baselines.pruned_landmark
+import repro.baselines.twohop
+import repro.core.distribution
+import repro.core.dynamic
+import repro.core.hierarchical
+import repro.facade
+import repro.graph.digraph
+import repro.graph.scc
+
+MODULES = [
+    repro,
+    repro.facade,
+    repro.graph.digraph,
+    repro.graph.scc,
+    repro.core.distribution,
+    repro.core.dynamic,
+    repro.core.hierarchical,
+    repro.baselines.interval,
+    repro.baselines.intervals,
+    repro.baselines.pathtree,
+    repro.baselines.pruned_landmark,
+    repro.baselines.twohop,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tested = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert failures == 0
+    assert tested > 0, f"{module.__name__} has no doctests — example rot?"

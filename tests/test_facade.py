@@ -1,0 +1,118 @@
+"""Tests for the Reachability facade over cyclic digraphs."""
+
+import pytest
+
+from repro import Reachability
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import powerlaw_digraph
+from repro.graph.traversal import bfs_reaches
+
+
+def assert_facade_matches_bfs(r, graph):
+    for u in range(graph.n):
+        for v in range(graph.n):
+            assert r.query(u, v) == bfs_reaches(graph.out_adj, u, v)
+
+
+class TestCyclicGraphs:
+    @pytest.mark.parametrize("method", ["DL", "HL", "PT", "INT", "GL", "PW8"])
+    def test_matches_bfs_on_cyclic(self, method):
+        g = powerlaw_digraph(60, 170, seed=1)
+        r = Reachability(g, method=method)
+        assert_facade_matches_bfs(r, g)
+
+    def test_same_scc_pairs_true(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        r = Reachability(g)
+        for u in range(3):
+            for v in range(3):
+                assert r.query(u, v)
+
+    def test_same_scc_helper(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3)])
+        r = Reachability(g)
+        assert r.same_scc(0, 1)
+        assert not r.same_scc(1, 2)
+
+    def test_query_batch(self):
+        g = powerlaw_digraph(40, 110, seed=2)
+        r = Reachability(g)
+        pairs = [(u, v) for u in range(0, 40, 5) for v in range(0, 40, 7)]
+        assert r.query_batch(pairs) == [r.query(u, v) for u, v in pairs]
+
+
+class TestMethodsAndParams:
+    def test_callable_method(self):
+        from repro.core.distribution import DistributionLabeling
+
+        g = powerlaw_digraph(30, 80, seed=3)
+        r = Reachability(g, method=DistributionLabeling)
+        assert_facade_matches_bfs(r, g)
+
+    def test_params_forwarded(self):
+        g = powerlaw_digraph(30, 80, seed=4)
+        r = Reachability(g, method="DL", order="degree_sum")
+        assert r.index.params == {"order": "degree_sum"}
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            Reachability(DiGraph(1), method="nope")
+
+
+class TestPathCertificates:
+    def test_path_is_real(self):
+        g = powerlaw_digraph(60, 170, seed=5)
+        r = Reachability(g)
+        found = 0
+        for u in range(0, g.n, 3):
+            for v in range(0, g.n, 4):
+                p = r.path(u, v)
+                if p is None:
+                    assert not r.query(u, v)
+                    continue
+                found += 1
+                assert p[0] == u and p[-1] == v
+                for a, b in zip(p, p[1:]):
+                    assert g.has_edge(a, b)
+        assert found > 0
+
+    def test_reflexive_path(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        assert Reachability(g).path(1, 1) == [1]
+
+    def test_unreachable_returns_none(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        assert Reachability(g).path(1, 0) is None
+
+    def test_path_through_scc(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3)])
+        p = Reachability(g).path(0, 3)
+        assert p[0] == 0 and p[-1] == 3
+        for a, b in zip(p, p[1:]):
+            assert g.has_edge(a, b)
+
+
+class TestAnalytics:
+    def test_reachable_count_from(self):
+        g = DiGraph.from_edges(5, [(0, 1), (1, 0), (1, 2), (3, 4)])
+        r = Reachability(g)
+        assert r.reachable_count_from(0) == 3  # {0,1} SCC + 2
+        assert r.reachable_count_from(3) == 2
+        assert r.reachable_count_from(2) == 1
+
+    def test_stats(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 0), (1, 2)])
+        stats = Reachability(g).stats()
+        assert stats["original_n"] == 3
+        assert stats["dag_n"] == 2
+        assert stats["index"]["method"] == "DL"
+
+    def test_repr(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        assert "method=DL" in repr(Reachability(g))
+
+    def test_dag_input_passthrough(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        r = Reachability(g)
+        assert r.condensation.dag.n == 4
+        assert_facade_matches_bfs(r, g)

@@ -1,0 +1,89 @@
+"""Integration tests across modules: catalog datasets through the full
+pipeline (generation → condensation → indexing → workloads → queries).
+
+These run on the real benchmark stand-ins (thousands of vertices), with
+sampled verification against online BFS — the scale tier between the
+exhaustive unit tests and the benchmarks.
+"""
+
+import pytest
+
+from repro.baselines.online import OnlineBFS
+from repro.core.base import get_method
+from repro.datasets.catalog import load
+from repro.datasets.workloads import equal_workload, random_workload
+
+from .conftest import sample_pairs
+
+SMALL_DATASETS = ["kegg", "agrocyc", "xmark", "arxiv"]
+FAST_METHODS = ["DL", "HL", "TF", "PT", "INT", "PW8", "GL", "PL", "CH", "GL*", "TREE", "DUAL", "3HOP"]
+
+
+@pytest.mark.parametrize("dataset", SMALL_DATASETS)
+@pytest.mark.parametrize("method", FAST_METHODS)
+def test_method_on_catalog_dataset_sampled(dataset, method):
+    graph = load(dataset)
+    index = get_method(method)(graph)
+    truth = OnlineBFS(graph)
+    pairs = sample_pairs(graph, 300, seed=13)
+    assert index.query_batch(pairs) == truth.query_batch(pairs)
+
+
+@pytest.mark.parametrize("dataset", ["citeseer", "uniprotenc_22m", "wiki"])
+def test_oracles_agree_on_large_standins(dataset):
+    graph = load(dataset)
+    dl = get_method("DL")(graph)
+    hl = get_method("HL")(graph)
+    pairs = sample_pairs(graph, 400, seed=17)
+    answers_dl = dl.query_batch(pairs)
+    assert answers_dl == hl.query_batch(pairs)
+    truth = OnlineBFS(graph)
+    spot = pairs[:80]
+    assert answers_dl[:80] == truth.query_batch(spot)
+
+
+@pytest.mark.parametrize("dataset", ["kegg", "arxiv"])
+def test_workloads_consistent_across_methods(dataset):
+    graph = load(dataset)
+    wl_equal = equal_workload(graph, 300, seed=3)
+    wl_random = random_workload(graph, 300, seed=4)
+    counts = set()
+    for method in ("DL", "HL", "INT", "PW8"):
+        index = get_method(method)(graph)
+        counts.add(
+            (index.count_reachable(wl_equal.pairs), index.count_reachable(wl_random.pairs))
+        )
+    assert len(counts) == 1
+    equal_count = next(iter(counts))[0]
+    assert equal_count == wl_equal.positives
+
+
+def test_full_pipeline_facade_on_cyclic_standin():
+    """Regenerate a cyclic raw graph, run it through the facade, verify."""
+    from repro.graph.generators import powerlaw_digraph
+    from repro.graph.traversal import bfs_reaches
+    from repro import Reachability
+
+    raw = powerlaw_digraph(2000, 5200, seed=21)
+    oracle = Reachability(raw, method="DL")
+    import random
+
+    rng = random.Random(9)
+    for _ in range(400):
+        u = rng.randrange(raw.n)
+        v = rng.randrange(raw.n)
+        assert oracle.query(u, v) == bfs_reaches(raw.out_adj, u, v)
+
+
+def test_serialized_oracle_serves_catalog_dataset(tmp_path):
+    from repro.core.distribution import DistributionLabeling
+    from repro.serialization import load_labels, save_labels
+
+    graph = load("kegg")
+    dl = DistributionLabeling(graph)
+    path = tmp_path / "kegg.json"
+    save_labels(dl, path)
+    frozen = load_labels(path)
+    pairs = sample_pairs(graph, 500, seed=23)
+    assert frozen.query(pairs[0][0], pairs[0][1]) == dl.query(*pairs[0])
+    assert [frozen.query(u, v) for u, v in pairs] == dl.query_batch(pairs)

@@ -1,0 +1,102 @@
+"""Cross-validation of the graph substrate against networkx.
+
+Our own BFS serves as ground truth everywhere else; these tests close
+the loop by validating the substrate itself (SCC, condensation,
+topological machinery, closure, transitive reduction) against an
+independent, widely-trusted implementation.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.graph.closure import bitset_to_list, transitive_closure_bits
+from repro.graph.digraph import DiGraph
+from repro.graph.reduction import transitive_reduction
+from repro.graph.scc import condense, strongly_connected_components
+from repro.graph.topo import topological_levels, topological_order
+from repro.graph.generators import powerlaw_digraph, random_dag
+
+
+def to_nx(graph: DiGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.edges())
+    return g
+
+
+SEEDS = range(5)
+
+
+class TestSccAgainstNetworkx:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_scc_partitions_match(self, seed):
+        g = powerlaw_digraph(120, 380, seed=seed)
+        comp = strongly_connected_components(g.out_adj, g.n)
+        ours = {}
+        for v, c in enumerate(comp):
+            ours.setdefault(c, set()).add(v)
+        theirs = {frozenset(s) for s in nx.strongly_connected_components(to_nx(g))}
+        assert {frozenset(s) for s in ours.values()} == theirs
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_condensation_sizes_match(self, seed):
+        g = powerlaw_digraph(100, 320, seed=seed)
+        c = condense(g)
+        nxc = nx.condensation(to_nx(g))
+        assert c.dag.n == nxc.number_of_nodes()
+        assert c.dag.m == nxc.number_of_edges()
+
+
+class TestTopologyAgainstNetworkx:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_topological_order_valid_per_networkx(self, seed):
+        g = random_dag(80, 200, seed=seed)
+        order = topological_order(g)
+        # networkx validates orderings via lexicographical checks; we
+        # simply verify edge direction against its DAG view.
+        pos = {v: i for i, v in enumerate(order)}
+        for u, v in to_nx(g).edges():
+            assert pos[u] < pos[v]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_levels_match_longest_paths(self, seed):
+        g = random_dag(60, 150, seed=seed)
+        levels = topological_levels(g)
+        nxg = to_nx(g)
+        for v in range(g.n):
+            preds = list(nxg.predecessors(v))
+            expected = 0 if not preds else 1 + max(levels[p] for p in preds)
+            assert levels[v] == expected
+
+
+class TestClosureAgainstNetworkx:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_descendants_match(self, seed):
+        g = random_dag(60, 150, seed=seed)
+        tc = transitive_closure_bits(g)
+        nxg = to_nx(g)
+        for v in range(g.n):
+            ours = set(bitset_to_list(tc[v]))
+            theirs = nx.descendants(nxg, v) | {v}
+            assert ours == theirs
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transitive_reduction_matches(self, seed):
+        g = random_dag(40, 160, seed=seed)
+        ours = set(transitive_reduction(g).edges())
+        theirs = set(nx.transitive_reduction(to_nx(g)).edges())
+        assert ours == theirs
+
+
+class TestOraclesAgainstNetworkx:
+    @pytest.mark.parametrize("method", ["DL", "HL", "DUAL", "TREE"])
+    def test_oracle_matches_networkx_reachability(self, method):
+        from repro.core.base import get_method
+
+        g = random_dag(45, 110, seed=9)
+        idx = get_method(method)(g)
+        nxg = to_nx(g)
+        reach = {v: nx.descendants(nxg, v) | {v} for v in range(g.n)}
+        for u in range(g.n):
+            for v in range(g.n):
+                assert idx.query(u, v) == (v in reach[u])

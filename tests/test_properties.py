@@ -1,0 +1,134 @@
+"""Hypothesis property tests over randomly generated DAGs.
+
+The DAG strategy draws a vertex count and an arbitrary pair set, then
+orients every pair along a drawn permutation — every DAG shape on up to
+~24 vertices is reachable.  Oracles are compared against the bitset
+closure on all pairs; structural invariants (sorted labels, hierarchy
+shrinkage, non-redundancy) are asserted alongside.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import get_method
+from repro.core.distribution import DistributionLabeling
+from repro.core.hierarchical import HierarchicalLabeling
+from repro.graph.closure import transitive_closure_bits
+from repro.graph.digraph import DiGraph
+
+from .conftest import assert_matches_truth
+
+
+@st.composite
+def dags(draw, max_n=24, max_m=60):
+    n = draw(st.integers(1, max_n))
+    perm = draw(st.permutations(range(n)))
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=max_m,
+        )
+    )
+    g = DiGraph(n)
+    pos = {v: i for i, v in enumerate(perm)}
+    for a, b in pairs:
+        if a == b:
+            continue
+        u, v = (a, b) if pos[a] < pos[b] else (b, a)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g.freeze()
+
+
+ORACLES = ["DL", "HL", "TF", "PT", "INT", "PW8", "KR", "2HOP", "PL", "GL", "GL*", "CH", "TREE", "DUAL", "3HOP"]
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_dl_complete_on_arbitrary_dags(g):
+    assert_matches_truth(DistributionLabeling(g), g)
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_hl_complete_on_arbitrary_dags(g):
+    assert_matches_truth(HierarchicalLabeling(g), g)
+
+
+@given(dags(max_n=16, max_m=36), st.sampled_from(ORACLES))
+@settings(max_examples=60, deadline=None)
+def test_any_oracle_complete(g, method):
+    assert_matches_truth(get_method(method)(g), g)
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_dl_labels_sorted_and_self_labeled(g):
+    dl = DistributionLabeling(g)
+    assert dl.labels.check_sorted()
+    for v in range(g.n):
+        assert dl.rank[v] in dl.labels.lout[v]
+        assert dl.rank[v] in dl.labels.lin[v]
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_dl_hops_sound(g):
+    dl = DistributionLabeling(g)
+    tc = transitive_closure_bits(g)
+    for u in range(g.n):
+        for h in dl.labels.lout[u]:
+            assert (tc[u] >> dl.order_list[h]) & 1
+        for h in dl.labels.lin[u]:
+            assert (tc[dl.order_list[h]] >> u) & 1
+
+
+@given(dags(max_n=12, max_m=26))
+@settings(max_examples=25, deadline=None)
+def test_dl_non_redundant(g):
+    """Theorem 4, property-tested: every stored hop covers some pair."""
+    from repro.core.labels import intersects
+
+    dl = DistributionLabeling(g)
+    labels = dl.labels
+    tc = transitive_closure_bits(g)
+
+    def complete():
+        # Reflexive pairs included: Cov(v) covers (v, v), so the
+        # self-hop in each label is load-bearing too.
+        for u in range(g.n):
+            for v in range(g.n):
+                reach = bool((tc[u] >> v) & 1)
+                if intersects(labels.lout[u], labels.lin[v]) != reach:
+                    return False
+        return True
+
+    assert complete()
+    for side in (labels.lout, labels.lin):
+        for v in range(g.n):
+            for i in range(len(side[v])):
+                removed = side[v].pop(i)
+                broke = not complete()
+                side[v].insert(i, removed)
+                assert broke
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_hierarchy_levels_shrink(g):
+    hl = HierarchicalLabeling(g, core_limit=4)
+    sizes = hl.hierarchy.level_sizes()
+    assert sizes[0] == g.n
+    assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_facade_equals_dag_oracle_on_dags(g):
+    from repro import Reachability
+
+    r = Reachability(g, method="DL")
+    dl = DistributionLabeling(g)
+    for u in range(g.n):
+        for v in range(g.n):
+            assert r.query(u, v) == dl.query(u, v)

@@ -1,0 +1,72 @@
+"""Tests for label oracle serialization."""
+
+import json
+
+import pytest
+
+from repro.core.distribution import DistributionLabeling
+from repro.core.hierarchical import HierarchicalLabeling
+from repro.baselines.tflabel import TFLabel
+from repro.baselines.grail import Grail
+from repro.serialization import FrozenOracle, load_labels, save_labels
+from repro.graph.generators import random_dag
+
+
+@pytest.mark.parametrize("cls", [DistributionLabeling, HierarchicalLabeling, TFLabel])
+class TestRoundTrip:
+    def test_queries_preserved(self, cls, tmp_path):
+        g = random_dag(40, 100, seed=1)
+        idx = cls(g)
+        path = tmp_path / "labels.json"
+        save_labels(idx, path)
+        frozen = load_labels(path)
+        for u in range(g.n):
+            for v in range(g.n):
+                assert frozen.query(u, v) == idx.query(u, v)
+
+    def test_size_preserved(self, cls, tmp_path):
+        g = random_dag(30, 70, seed=2)
+        idx = cls(g)
+        path = tmp_path / "labels.json"
+        save_labels(idx, path)
+        assert load_labels(path).index_size_ints() == idx.index_size_ints()
+
+
+class TestValidation:
+    def test_non_label_index_rejected(self, tmp_path):
+        g = random_dag(20, 40, seed=3)
+        with pytest.raises(TypeError):
+            save_labels(Grail(g), tmp_path / "x.json")
+
+    def test_bad_version_rejected(self, tmp_path):
+        g = random_dag(10, 20, seed=4)
+        path = tmp_path / "labels.json"
+        save_labels(DistributionLabeling(g), path)
+        doc = json.loads(path.read_text())
+        doc["format_version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="version"):
+            load_labels(path)
+
+    def test_unsorted_labels_rejected(self, tmp_path):
+        g = random_dag(10, 20, seed=5)
+        path = tmp_path / "labels.json"
+        save_labels(DistributionLabeling(g), path)
+        doc = json.loads(path.read_text())
+        # Corrupt one label.
+        for labels in doc["labels"]["lout"]:
+            if len(labels) >= 2:
+                labels[0], labels[1] = labels[1], labels[0]
+                break
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="sorted"):
+            load_labels(path)
+
+    def test_method_recorded(self, tmp_path):
+        g = random_dag(10, 20, seed=6)
+        path = tmp_path / "labels.json"
+        save_labels(DistributionLabeling(g), path)
+        frozen = load_labels(path)
+        assert frozen.method == "DL"
+        assert frozen.rank_space
+        assert "FrozenOracle" in repr(frozen)
