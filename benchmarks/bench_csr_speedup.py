@@ -1,0 +1,153 @@
+"""Construction + batched-query speedup bench for the flat-layout core.
+
+Measures, per graph family, through the public API only (so the same
+script runs unchanged against the seed code):
+
+* DL construction time (full ``DistributionLabeling(graph)`` ctor),
+* batched query time over 20k random and 20k equal (positive) pairs.
+
+Workflow for the committed before/after artifacts::
+
+    # in a worktree of the seed commit
+    PYTHONPATH=<seed>/src python benchmarks/bench_csr_speedup.py \
+        --out benchmarks/BENCH_csr_speedup_before.json
+    # on the optimised tree
+    PYTHONPATH=src python benchmarks/bench_csr_speedup.py \
+        --out benchmarks/BENCH_csr_speedup_after.json \
+        --baseline benchmarks/BENCH_csr_speedup_before.json
+
+With ``--baseline`` the artifact embeds per-family speedup ratios.
+``--smoke`` shrinks everything for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.core.base import get_method
+from repro.graph.closure import sample_reachable_pair, transitive_closure_bits
+from repro.graph.generators import citation_dag, layered_dag, random_dag, sparse_dag
+
+QUERY_BATCH = 20000
+
+FAMILIES = {
+    "citation-4000": lambda: citation_dag(4000, out_per_vertex=3, seed=17),
+    "citation-8000": lambda: citation_dag(8000, out_per_vertex=3, seed=17),
+    "citation-dense-2000": lambda: citation_dag(2000, out_per_vertex=16, seed=17),
+    "citation-dense-3000": lambda: citation_dag(3000, out_per_vertex=12, seed=17),
+    "random-3000": lambda: random_dag(3000, 9000, seed=11),
+    "random-dense-1500": lambda: random_dag(1500, 30000, seed=3),
+    "random-dense-2000": lambda: random_dag(2000, 60000, seed=3),
+    "sparse-2500": lambda: sparse_dag(2500, 0.004, seed=5),
+    "layered-deep-2000": lambda: layered_dag(40, 50, 4, seed=7),
+}
+
+SMOKE_FAMILIES = {
+    "citation-600": lambda: citation_dag(600, out_per_vertex=3, seed=17),
+    "random-dense-400": lambda: random_dag(400, 3000, seed=3),
+}
+
+
+def best_of(fn, repeats: int):
+    best = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def measure_family(name, make_graph, batch: int, repeats: int):
+    graph = make_graph()
+    factory = get_method("DL")
+
+    build_s, index = best_of(lambda: factory(graph), repeats)
+
+    rng = random.Random(7)
+    n = graph.n
+    random_pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(batch)]
+    tc = transitive_closure_bits(graph)
+    equal_pairs = []
+    while len(equal_pairs) < batch:
+        pair = sample_reachable_pair(tc, rng, n)
+        if pair is None:
+            break
+        equal_pairs.append(pair)
+
+    row = {
+        "n": n,
+        "m": graph.m,
+        "dl_build_s": build_s,
+        "dl_index_ints": index.index_size_ints(),
+    }
+    for kind, pairs in (("random", random_pairs), ("equal", equal_pairs)):
+        if not pairs:
+            continue
+        batch_s, answers = best_of(lambda: index.query_batch(pairs), max(repeats, 3))
+        row[f"query_{kind}_ms"] = batch_s * 1e3
+        row[f"query_{kind}_positive"] = sum(answers)
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="before-JSON to embed speedup ratios against",
+    )
+    args = parser.parse_args()
+    families = SMOKE_FAMILIES if args.smoke else FAMILIES
+    batch = 1000 if args.smoke else QUERY_BATCH
+    repeats = 1 if args.smoke else 3
+
+    doc = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "query_batch": batch,
+        "families": {},
+    }
+    for name, make_graph in families.items():
+        t0 = time.perf_counter()
+        doc["families"][name] = measure_family(name, make_graph, batch, repeats)
+        row = doc["families"][name]
+        print(
+            f"{name}: build={row['dl_build_s'] * 1e3:.1f}ms "
+            f"random={row.get('query_random_ms', 0):.2f}ms "
+            f"equal={row.get('query_equal_ms', 0):.2f}ms "
+            f"({time.perf_counter() - t0:.1f}s)"
+        )
+
+    if args.baseline is not None:
+        before = json.loads(args.baseline.read_text())["families"]
+        for name, row in doc["families"].items():
+            base = before.get(name)
+            if not base:
+                continue
+            speedups = {"build": base["dl_build_s"] / row["dl_build_s"]}
+            for kind in ("random", "equal"):
+                key = f"query_{kind}_ms"
+                if key in base and key in row:
+                    speedups[f"query_{kind}"] = base[key] / row[key]
+            row["speedup_vs_baseline"] = {k: round(v, 2) for k, v in speedups.items()}
+            print(f"{name}: speedups {row['speedup_vs_baseline']}")
+
+    out = args.out or Path(__file__).parent / "BENCH_csr_speedup.json"
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,263 @@
+"""Microbenchmarks for the hot kernels behind the CSR/arena layout.
+
+Standalone script (no pytest-benchmark dependency) so CI can smoke-run
+it; emits ``BENCH_kernels.json`` next to this file by default.  The
+artifact records, per kernel, the measured winner — these numbers are
+what the constants in the library are tuned against:
+
+* ``intersect``: sorted-merge vs gallop vs frozenset probe across length
+  skews -> ``repro.core.labels._GALLOP_RATIO`` (the skew ratio where
+  galloping starts winning).
+* ``bfs``: full BFS sweeps over list-of-lists adjacency vs ``array('l')``
+  CSR slices -> documents why the interpreter hot loops consume the
+  list view of :class:`repro.graph.csr.CSRView` while C-heavy kernels
+  (bigint closure) index the flat arrays.
+* ``seal_threshold``: batched-query time as a function of the hybrid
+  seal threshold -> ``repro.core.labels._SEAL_SET_MIN``.
+* ``query_paths``: per-pair cost of the three sealed query layouts
+  (merge / hybrid sets / bigint masks).
+* ``dl_cores``: the two construction strategies (bigint prune masks vs
+  frozenset snapshots) on a mid-size graph.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.core.distribution import _distribute_bits, _distribute_sets
+from repro.core.labels import (
+    LabelSet,
+    gallop_intersect,
+    sorted_intersect,
+)
+from repro.core.order import get_order
+from repro.graph.generators import citation_dag, random_dag
+
+
+#: Repeats per measurement (set to 1 by --smoke).
+_REPEATS = 5
+
+
+def best_of(fn, repeats: int = 0) -> float:
+    best = None
+    for _ in range(repeats or _REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+# ----------------------------------------------------------------------
+def bench_intersect(scale: int):
+    """Crossover of merge vs gallop vs set-probe across skew ratios."""
+    rng = random.Random(0)
+    small_len = 8
+    results = []
+    for ratio in (1, 2, 4, 8, 16, 32, 64, 128):
+        big_len = small_len * ratio
+        universe = big_len * 4
+        cases = []
+        for _ in range(200 * scale):
+            small = sorted(rng.sample(range(universe), small_len))
+            big = sorted(rng.sample(range(universe), big_len))
+            cases.append((small, big, frozenset(big)))
+
+        merge_s = best_of(lambda: [sorted_intersect(s, b) for s, b, _ in cases])
+        gallop_s = best_of(lambda: [gallop_intersect(s, b) for s, b, _ in cases])
+        probe_s = best_of(lambda: [not fs.isdisjoint(s) for s, _, fs in cases])
+        results.append(
+            {
+                "ratio": ratio,
+                "merge_us": merge_s / len(cases) * 1e6,
+                "gallop_us": gallop_s / len(cases) * 1e6,
+                "set_probe_us": probe_s / len(cases) * 1e6,
+            }
+        )
+    crossover = next(
+        (r["ratio"] for r in results if r["gallop_us"] < r["merge_us"]), None
+    )
+    return {"cases": results, "gallop_beats_merge_at_ratio": crossover}
+
+
+# ----------------------------------------------------------------------
+def bench_bfs(scale: int):
+    """Full-graph BFS: list-of-lists vs array('l') CSR slices."""
+    g = citation_dag(2000 * scale, out_per_vertex=3, seed=17)
+    csr = g.csr()
+    out_lists = csr.out_lists()
+    offs, tgts = csr.out_offsets, csr.out_targets
+    n = g.n
+
+    def bfs_lists():
+        vis = bytearray(n)
+        total = 0
+        for src in range(0, n, 50):
+            if vis[src]:
+                continue
+            frontier = [src]
+            vis[src] = 1
+            for u in frontier:
+                total += 1
+                for w in out_lists[u]:
+                    if not vis[w]:
+                        vis[w] = 1
+                        frontier.append(w)
+        return total
+
+    def bfs_csr_slices():
+        vis = bytearray(n)
+        total = 0
+        for src in range(0, n, 50):
+            if vis[src]:
+                continue
+            frontier = [src]
+            vis[src] = 1
+            for u in frontier:
+                total += 1
+                for w in tgts[offs[u] : offs[u + 1]]:
+                    if not vis[w]:
+                        vis[w] = 1
+                        frontier.append(w)
+        return total
+
+    assert bfs_lists() == bfs_csr_slices()
+    lists_s = best_of(bfs_lists)
+    csr_s = best_of(bfs_csr_slices)
+    return {
+        "n": n,
+        "m": g.m,
+        "list_bfs_ms": lists_s * 1e3,
+        "csr_slice_bfs_ms": csr_s * 1e3,
+        "winner": "list" if lists_s <= csr_s else "csr-slice",
+    }
+
+
+# ----------------------------------------------------------------------
+def _dl_labels(graph):
+    order = get_order("degree_product")(graph, 0)
+    labels = LabelSet(graph.n)
+    masks = _distribute_bits(labels, order, graph.out_adj, graph.in_adj)
+    return labels, masks
+
+
+def bench_seal_threshold(scale: int):
+    """query_batch time vs the hybrid seal threshold ``set_min``."""
+    g = citation_dag(2000 * scale, out_per_vertex=3, seed=17)
+    labels, _ = _dl_labels(g)
+    rng = random.Random(7)
+    pairs = [(rng.randrange(g.n), rng.randrange(g.n)) for _ in range(10000 * scale)]
+    sweep = []
+    for set_min in (0, 1, 2, 3, 4, 8, 16):
+        labels.seal(set_min=set_min)
+        batch_s = best_of(lambda: labels.query_batch(pairs))
+        mirrors = sum(1 for s in labels.lout_sets if s is not None)
+        sweep.append(
+            {
+                "set_min": set_min,
+                "batch_ms": batch_s * 1e3,
+                "set_mirrors": mirrors,
+            }
+        )
+    best = min(sweep, key=lambda r: r["batch_ms"])
+    return {"sweep": sweep, "best_set_min": best["set_min"]}
+
+
+# ----------------------------------------------------------------------
+def bench_query_paths(scale: int):
+    """Per-pair cost of merge vs hybrid-set vs bigint-mask layouts."""
+    g = citation_dag(2000 * scale, out_per_vertex=3, seed=17)
+    labels, masks = _dl_labels(g)
+    rng = random.Random(7)
+    pairs = [(rng.randrange(g.n), rng.randrange(g.n)) for _ in range(10000 * scale)]
+
+    merge_s = best_of(lambda: labels.query_batch(pairs))  # unsealed
+    labels.seal()
+    hybrid_s = best_of(lambda: labels.query_batch(pairs))
+    labels.attach_masks(*masks)
+    masks_s = best_of(lambda: labels.query_batch(pairs))
+    return {
+        "pairs": len(pairs),
+        "merge_ms": merge_s * 1e3,
+        "hybrid_ms": hybrid_s * 1e3,
+        "masks_ms": masks_s * 1e3,
+    }
+
+
+# ----------------------------------------------------------------------
+def bench_dl_cores(scale: int):
+    """Bigint-mask core vs frozenset-snapshot core, identical output."""
+    g = random_dag(1500 * scale, 9000 * scale, seed=11)
+    order = get_order("degree_product")(g, 0)
+
+    def run_bits():
+        labels = LabelSet(g.n)
+        _distribute_bits(labels, order, g.out_adj, g.in_adj)
+        return labels
+
+    def run_sets():
+        labels = LabelSet(g.n)
+        _distribute_sets(labels, order, g.out_adj, g.in_adj)
+        return labels
+
+    a, b = run_bits(), run_sets()
+    assert a.lout == b.lout and a.lin == b.lin
+    bits_s = best_of(run_bits)
+    sets_s = best_of(run_sets)
+    return {
+        "n": g.n,
+        "m": g.m,
+        "bits_core_ms": bits_s * 1e3,
+        "sets_core_ms": sets_s * 1e3,
+        "winner": "bits" if bits_s <= sets_s else "sets",
+    }
+
+
+# ----------------------------------------------------------------------
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_kernels.json",
+        help="artifact path",
+    )
+    args = parser.parse_args()
+    scale = 1
+    if args.smoke:
+        global _REPEATS
+        _REPEATS = 1
+
+    doc = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "kernels": {},
+    }
+    for name, fn in (
+        ("intersect", bench_intersect),
+        ("bfs", bench_bfs),
+        ("seal_threshold", bench_seal_threshold),
+        ("query_paths", bench_query_paths),
+        ("dl_cores", bench_dl_cores),
+    ):
+        t0 = time.perf_counter()
+        doc["kernels"][name] = fn(scale)
+        print(f"{name}: done in {time.perf_counter() - t0:.1f}s")
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,15 +6,31 @@ The paper's claim to verify: the oracle construction grows near-
 linearly while closure-based methods inherit closure growth.  Each
 cell's size is attached as extra info so one benchmark JSON captures
 both curves.
+
+A second sweep runs DL alone across the dense families from
+``bench_csr_speedup.py`` (random-dense / citation-dense), where the
+flat-layout core's reduction-traversal and bigint pruning matter most —
+this is the construction trajectory the BENCH_csr_speedup artifacts
+track release over release.
 """
 
 import pytest
 
 from repro.core.base import get_method
-from repro.graph.generators import citation_dag
+from repro.graph.generators import citation_dag, random_dag
 
 SIZES = [1000, 2000, 4000, 8000]
 METHODS = ["DL", "HL", "INT", "GL"]
+
+#: (family, n) -> graph factory for the DL-focused dense sweep.
+DENSE_FAMILIES = {
+    ("random-dense", 1000): lambda: random_dag(1000, 20000, seed=3),
+    ("random-dense", 1500): lambda: random_dag(1500, 30000, seed=3),
+    ("random-dense", 2000): lambda: random_dag(2000, 60000, seed=3),
+    ("citation-dense", 1000): lambda: citation_dag(1000, out_per_vertex=16, seed=17),
+    ("citation-dense", 2000): lambda: citation_dag(2000, out_per_vertex=16, seed=17),
+    ("citation-dense", 3000): lambda: citation_dag(3000, out_per_vertex=12, seed=17),
+}
 
 _graphs = {}
 
@@ -23,6 +39,12 @@ def _graph(n):
     if n not in _graphs:
         _graphs[n] = citation_dag(n, out_per_vertex=3, seed=17)
     return _graphs[n]
+
+
+def _dense_graph(key):
+    if key not in _graphs:
+        _graphs[key] = DENSE_FAMILIES[key]()
+    return _graphs[key]
 
 
 @pytest.mark.parametrize("method", METHODS)
@@ -36,6 +58,20 @@ def test_scaling_construction(benchmark, n, method):
     benchmark.extra_info["n"] = n
     benchmark.extra_info["m"] = graph.m
     benchmark.extra_info["method"] = method
+    benchmark.extra_info["index_size_ints"] = index.index_size_ints()
+
+
+@pytest.mark.parametrize("family,n", sorted(DENSE_FAMILIES))
+def test_scaling_construction_dense(benchmark, family, n):
+    graph = _dense_graph((family, n))
+    factory = get_method("DL")
+
+    index = benchmark.pedantic(lambda: factory(graph), rounds=2, iterations=1)
+
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["m"] = graph.m
+    benchmark.extra_info["method"] = "DL"
     benchmark.extra_info["index_size_ints"] = index.index_size_ints()
 
 

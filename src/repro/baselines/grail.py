@@ -60,7 +60,12 @@ class Grail(ReachabilityIndex):
             low, post = self._random_interval_labeling(graph, roots, rng)
             self._lows.append(low)
             self._posts.append(post)
-        self._visited = bytearray(n)
+        # Rounds zipped once so queries iterate (low, post) pairs without
+        # rebuilding the zip per containment test.
+        self._ivals = list(zip(self._lows, self._posts))
+        # Stamped visited marks for the fallback DFS (no reset pass).
+        self._vis = [-1] * n
+        self._stamp = -1
 
     def _random_interval_labeling(self, graph: DiGraph, roots, rng):
         """One random post-order DFS pass over the whole DAG.
@@ -106,8 +111,14 @@ class Grail(ReachabilityIndex):
 
     # ------------------------------------------------------------------
     def _contained(self, u: int, v: int) -> bool:
-        """Necessary condition: v's interval inside u's in all rounds."""
-        for low, post in zip(self._lows, self._posts):
+        """Necessary condition: v's interval inside u's in all rounds.
+
+        Reference implementation of the containment test; :meth:`query`
+        inlines the same comparisons (a per-child method call dominated
+        its DFS loop), and tests exercise this method as the spec the
+        inlined copies must match.
+        """
+        for low, post in self._ivals:
             if low[v] < low[u] or post[v] > post[u]:
                 return False
         return True
@@ -117,28 +128,33 @@ class Grail(ReachabilityIndex):
             return True
         if self._levels[u] >= self._levels[v]:
             return False
-        if not self._contained(u, v):
-            return False
+        ivals = self._ivals
+        for low, post in ivals:
+            if low[v] < low[u] or post[v] > post[u]:
+                return False
         # Pruned DFS: expand only children whose intervals may contain v.
+        # Containment is inlined — a per-child method call dominated this
+        # loop — and visited marks are stamped instead of reset.
         out = self._out
-        visited = self._visited
+        vis = self._vis
+        self._stamp += 1
+        stamp = self._stamp
         stack = [u]
-        visited[u] = 1
-        touched = [u]
-        found = False
-        while stack and not found:
+        push = stack.append
+        vis[u] = stamp
+        while stack:
             x = stack.pop()
             for w in out[x]:
                 if w == v:
-                    found = True
-                    break
-                if not visited[w] and self._contained(w, v):
-                    visited[w] = 1
-                    touched.append(w)
-                    stack.append(w)
-        for x in touched:
-            visited[x] = 0
-        return found
+                    return True
+                if vis[w] != stamp:
+                    vis[w] = stamp
+                    for low, post in ivals:
+                        if low[v] < low[w] or post[v] > post[w]:
+                            break
+                    else:
+                        push(w)
+        return False
 
     def index_size_ints(self) -> int:
         return 2 * self.k * self.graph.n + self.graph.n  # intervals + levels

@@ -56,52 +56,48 @@ class PrunedLandmark(ReachabilityIndex):
         lin_d: List[List[int]] = [[] for _ in range(n)]
         out_adj = graph.out_adj
         in_adj = graph.in_adj
-        seen = bytearray(n)
+        # Stamped visited marks: bumping the stamp retires a sweep's
+        # marks in O(1), so there is no per-sweep reset pass.
+        vis = [-1] * n
+        stamp = -1
+        pruned = self._pruned
 
         for hop, vi in enumerate(order_list):
             # Forward BFS from vi: cover pairs (vi, w) via Lin(w).
             snapshot = dict(zip(lout_h[vi], lout_d[vi]))
             snapshot[hop] = 0
+            stamp += 1
             frontier: List[Tuple[int, int]] = [(vi, 0)]
-            seen[vi] = 1
-            touched = [vi]
-            qi = 0
-            while qi < len(frontier):
-                w, d = frontier[qi]
-                qi += 1
-                if self._pruned(snapshot, lin_h[w], lin_d[w], d):
+            fap = frontier.append
+            vis[vi] = stamp
+            for w, d in frontier:
+                if pruned(snapshot, lin_h[w], lin_d[w], d):
                     continue
                 lin_h[w].append(hop)
                 lin_d[w].append(d)
+                d1 = d + 1
                 for x in out_adj[w]:
-                    if not seen[x]:
-                        seen[x] = 1
-                        touched.append(x)
-                        frontier.append((x, d + 1))
-            for w in touched:
-                seen[w] = 0
+                    if vis[x] != stamp:
+                        vis[x] = stamp
+                        fap((x, d1))
 
             # Backward BFS from vi: cover pairs (u, vi) via Lout(u).
             snapshot = dict(zip(lin_h[vi], lin_d[vi]))
             snapshot[hop] = 0
+            stamp += 1
             frontier = [(vi, 0)]
-            seen[vi] = 1
-            touched = [vi]
-            qi = 0
-            while qi < len(frontier):
-                u, d = frontier[qi]
-                qi += 1
-                if self._pruned(snapshot, lout_h[u], lout_d[u], d):
+            fap = frontier.append
+            vis[vi] = stamp
+            for u, d in frontier:
+                if pruned(snapshot, lout_h[u], lout_d[u], d):
                     continue
                 lout_h[u].append(hop)
                 lout_d[u].append(d)
+                d1 = d + 1
                 for x in in_adj[u]:
-                    if not seen[x]:
-                        seen[x] = 1
-                        touched.append(x)
-                        frontier.append((x, d + 1))
-            for u in touched:
-                seen[u] = 0
+                    if vis[x] != stamp:
+                        vis[x] = stamp
+                        fap((x, d1))
 
         self._lout_h, self._lout_d = lout_h, lout_d
         self._lin_h, self._lin_d = lin_h, lin_d

@@ -180,7 +180,7 @@ def _experiments() -> Dict[str, Experiment]:
         ),
         Experiment(
             exp_id="ablation-labelstore",
-            title="Ablation: label storage (sorted-vector / hybrid / hash-sets)",
+            title="Ablation: label storage (sorted-vector / hybrid / masks / hash-sets)",
             datasets=["agrocyc", "arxiv", "kegg"],
             methods=["DL"],
             metric="query",

@@ -129,11 +129,12 @@ def _bounded_bfs(adj: Sequence[Sequence[int]], source: int, depth: int) -> Dict[
     while frontier and d < depth:
         d += 1
         nxt: List[int] = []
+        nap = nxt.append
         for u in frontier:
             for w in adj[u]:
                 if w not in dist:
                     dist[w] = d
-                    nxt.append(w)
+                    nap(w)
         frontier = nxt
     return dist
 

@@ -21,24 +21,49 @@ Properties proved in the paper and property-tested here:
 
 Implementation notes
 --------------------
+The inner loops below are the hottest code in the library and are shaped
+by measurements recorded in ``benchmarks/BENCH_kernels.json``:
+
 * Hops are stored as **rank indices** (0 = highest rank).  Because hops
   are distributed in rank order, every label list is automatically
-  sorted, so no per-label sort pass is needed.  Queries probe the
-  ``Lin`` list against a sealed frozenset mirror of ``Lout`` (see
-  :meth:`repro.core.labels.LabelSet.seal` for why that beats a pure
-  sorted-merge *in CPython*, inverting the paper's C++-centric advice).
-* The per-hop prune test ``Lout(u) ∩ Lin(vi)`` is evaluated against a
-  set snapshot of ``Lin(vi)`` (which cannot change during the reverse
-  BFS), so each test costs ``O(|Lout(u)|)`` set probes.
+  sorted, so no per-label sort pass is needed.
+* The **forward sweep runs first**.  At that point ``Lout(vi)`` does not
+  yet contain the self-hop, and the sweep only mutates ``Lin`` lists, so
+  the prune set is a stable snapshot with no copy and no ``h != hop``
+  exclusion.  The reverse sweep then prunes against ``Lin(vi) ∖ {hop}``
+  (one mask op); the fresh self-hop cannot occur in any ``Lout(u)``, so
+  no per-test exclusion is needed there either.  The labeling produced
+  is identical to the classic reverse-first formulation.
+* For ``n ≤ _BITS_LIMIT`` each vertex carries a **bigint label mask**
+  and the prune test ``Lout(u) ∩ Lin(vi)`` is a single C-level ``&``;
+  beyond that the masks' length would grow with ``n`` and per-hop
+  frozenset snapshots with ``isdisjoint`` take over.  The masks double
+  as the sealed query accelerator (:meth:`LabelSet.attach_masks`), so
+  DL's seal is nearly free.
+* BFS uses a **stamped visited array** (no per-sweep reset pass) and
+  grows the frontier list while iterating it (CPython's list iterator
+  picks up appends), which removes all queue-index bookkeeping.
+* On **dense inputs** the sweeps traverse the transitive reduction
+  (:func:`repro.graph.reduction.reduced_adjacency`): reachability — and,
+  with it, the resulting labeling — is unchanged, but the per-sweep edge
+  scans shrink by the redundancy factor.  The decision is staged
+  cheapest-first (see :func:`_reduce_census`): a density check, a
+  topological-span pre-filter that rejects level-structured graphs,
+  and a closure-free 2-hop redundancy census — the transitive closure
+  is computed only after acceptance and is handed straight to the
+  reduction.
 * Worst-case construction is ``O(n (n + m) L)`` as in the paper; the
   pruning makes it near-linear on the benchmark families.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..graph.digraph import DiGraph
+from ..graph.reduction import reduced_adjacency
+from ..graph.closure import transitive_closure_bits
+from ..graph.topo import topological_order
 from .base import ReachabilityIndex, register_method
 from .labels import LabelSet, first_common_hop
 from .order import get_order
@@ -46,8 +71,147 @@ from .order import get_order
 __all__ = ["DistributionLabeling", "distribution_labels"]
 
 
+#: Use bigint prune masks (and attach them as the query accelerator) for
+#: graphs up to this many vertices; larger graphs fall back to per-hop
+#: frozenset prune tests whose cost does not grow with n.
+_BITS_LIMIT = 1 << 15
+
+#: Below this edge density the graph is forest-like, labels are tiny, and
+#: maintaining per-vertex bigints costs more than the frozenset
+#: snapshots they replace (measured in BENCH_csr_speedup.json on the
+#: sparse family) — the sets core takes over.
+_BITS_MIN_DENSITY = 2.0
+
+#: Consider traversing the transitive reduction only when the graph has
+#: at least this many edges per vertex ...
+_REDUCE_MIN_DENSITY = 8.0
+#: ... and the 2-hop redundancy census over sampled multi-out-degree
+#: vertices finds at least this fraction of their edges shadowed by a
+#: shortcut (a *lower bound* on true redundancy, hence the low bar;
+#: level-structured graphs measure exactly 0.0 here and are never
+#: reduced, while the redundant dense families measure 0.13+).
+_REDUCE_MIN_REDUNDANCY = 0.1
+#: Number of vertices the redundancy census samples.
+_REDUCE_SAMPLE = 128
+
+#: The span pre-filter looks at this many edges.  An edge between
+#: adjacent topological levels can never be redundant, so a graph whose
+#: sampled edges all span one level (layered/level-structured inputs)
+#: is rejected before the closure is ever computed.
+_REDUCE_SPAN_SAMPLE = 2500
+#: Minimum fraction of sampled edges spanning >= 2 levels to proceed.
+_REDUCE_MIN_SPAN_FRAC = 0.2
+
+
+def _span_prefilter(graph: DiGraph, order: List[int]) -> bool:
+    """O(n + m) guard that rejects level-structured graphs cheaply.
+
+    ``order`` is a topological order the caller already computed; the
+    longest-path levels are derived from it here instead of calling
+    :func:`topological_levels` (which would redo the topological sort).
+    """
+    levels = [0] * graph.n
+    out_adj = graph.out_adj
+    for u in order:
+        lu = levels[u] + 1
+        for w in out_adj[u]:
+            if lu > levels[w]:
+                levels[w] = lu
+    spanning = 0
+    censused = 0
+    for u in range(graph.n):
+        lu = levels[u] + 1
+        for w in out_adj[u]:
+            if levels[w] > lu:
+                spanning += 1
+        censused += len(out_adj[u])
+        if censused >= _REDUCE_SPAN_SAMPLE:
+            break
+    return censused > 0 and spanning >= _REDUCE_MIN_SPAN_FRAC * censused
+
+
+#: Per-sampled-vertex cap on neighbours examined by the 2-hop census
+#: (bounds its cost at O(sample · cap²) O(1) edge-set probes).
+_REDUCE_CENSUS_NEIGHBOURS = 16
+
+
+def _sampled_redundancy(graph: DiGraph) -> float:
+    """Closure-free lower bound on the redundant-edge fraction.
+
+    Samples up to ``_REDUCE_SAMPLE`` vertices with out-degree >= 2
+    (strided across the vertex range) and counts out-edges ``(u, w)``
+    shadowed by a length-2 path ``u -> w' -> w`` through another
+    out-neighbour — each test is one O(1) edge-set probe.  Longer-range
+    redundancy is invisible here, which only makes the predictor
+    conservative; graphs dense enough to profit from
+    reduction-traversal show plenty of 2-hop shortcuts.
+    """
+    n = graph.n
+    censused = 0
+    redundant = 0
+    sampled = 0
+    stride = max(1, n // _REDUCE_SAMPLE)
+    out_adj = graph.out_adj
+    for u in range(0, n, stride):
+        nbrs = out_adj[u][:_REDUCE_CENSUS_NEIGHBOURS]
+        if len(nbrs) < 2:
+            continue
+        sampled += 1
+        censused += len(nbrs)
+        for w in nbrs:
+            for w2 in nbrs:
+                if w2 != w and (w2, w) in graph:
+                    redundant += 1
+                    break
+        if sampled >= _REDUCE_SAMPLE:
+            break
+    if censused == 0:
+        return 0.0
+    return redundant / censused
+
+
+def _reduce_census(graph: DiGraph) -> Optional[List[int]]:
+    """The reduce-predictor decision chain; a topological order on
+    accept, ``None`` on reject.
+
+    Ordered cheapest-first: density check, one topological sort (shared
+    by every later stage), the O(n + sample) span pre-filter, and the
+    closure-free 2-hop redundancy census.  A rejected graph — sparse,
+    oversized, cyclic, level-structured, or simply not redundant —
+    never pays the closure's O(n·m/64) bigint cost.
+    """
+    n, m = graph.n, graph.m
+    if n == 0 or n > _BITS_LIMIT or m / n < _REDUCE_MIN_DENSITY:
+        return None
+    order = topological_order(graph)
+    if order is None:
+        # Cyclic input: nothing to reduce; the sweeps handle it the
+        # same way the classic formulation did.
+        return None
+    if not _span_prefilter(graph, order):
+        return None
+    if _sampled_redundancy(graph) < _REDUCE_MIN_REDUNDANCY:
+        return None
+    return order
+
+
+def _should_reduce(graph: DiGraph) -> bool:
+    """Whether reduction-traversal will pay off (exposed for tests)."""
+    return _reduce_census(graph) is not None
+
+
+def _prepare_reduction(graph: DiGraph):
+    """``(order, tc)`` for the auto-reduce path, or ``None`` when
+    :func:`_reduce_census` rejects the graph.  The closure is computed
+    only after acceptance, and is handed on to the reduction."""
+    order = _reduce_census(graph)
+    if order is None:
+        return None
+    return order, transitive_closure_bits(graph, order)
+
+
 def distribution_labels(
-    graph: DiGraph, order: List[int]
+    graph: DiGraph, order: List[int], reduce: Optional[bool] = None
 ) -> Tuple[LabelSet, List[int]]:
     """Run Algorithm 2 over ``graph`` using the given total ``order``.
 
@@ -57,13 +221,19 @@ def distribution_labels(
         A DAG.
     order:
         All vertices, most important first; ``order[i]`` becomes hop ``i``.
+    reduce:
+        Traverse the transitive reduction instead of the full edge set
+        (the labeling is unchanged).  ``None`` (default) decides
+        automatically via :func:`_should_reduce`.
 
     Returns
     -------
     (labels, rank):
         ``labels`` holds ``Lout/Lin`` in *rank space* (hop ``i`` means
         vertex ``order[i]``) indexed by original vertex id; ``rank[v]``
-        is ``v``'s position in the order.
+        is ``v``'s position in the order.  On the bigint path the labels
+        arrive already mask-sealed (``attach_masks``); on the large-n
+        sets path they are returned unsealed.
     """
     n = graph.n
     if len(order) != n or len(set(order)) != n:
@@ -72,72 +242,141 @@ def distribution_labels(
     for i, v in enumerate(order):
         rank[v] = i
 
+    out_adj, in_adj = graph.out_adj, graph.in_adj
+    if reduce is None:
+        prepared = _prepare_reduction(graph)
+        if prepared is not None:
+            # Reuse the predictor's topological order and closure.
+            out_adj, in_adj = reduced_adjacency(graph, *prepared)
+    elif reduce:
+        out_adj, in_adj = reduced_adjacency(graph)
+
     labels = LabelSet(n)
-    lout = labels.lout
-    lin = labels.lin
-    out_adj = graph.out_adj
-    in_adj = graph.in_adj
-    visited = bytearray(n)
-
-    for hop, vi in enumerate(order):
-        # ---- reverse BFS: distribute `hop` into Lout of ancestors -----
-        lin_vi = set(lin[vi])
-        frontier = [vi]
-        visited[vi] = 1
-        touched = [vi]
-        qi = 0
-        while qi < len(frontier):
-            u = frontier[qi]
-            qi += 1
-            lab = lout[u]
-            pruned = False
-            if lin_vi:
-                for h in lab:
-                    if h in lin_vi:
-                        pruned = True
-                        break
-            if pruned:
-                continue
-            lab.append(hop)
-            for w in in_adj[u]:
-                if not visited[w]:
-                    visited[w] = 1
-                    touched.append(w)
-                    frontier.append(w)
-        for u in touched:
-            visited[u] = 0
-
-        # ---- forward BFS: distribute `hop` into Lin of descendants ----
-        lout_vi = set(lout[vi])
-        frontier = [vi]
-        visited[vi] = 1
-        touched = [vi]
-        qi = 0
-        while qi < len(frontier):
-            w = frontier[qi]
-            qi += 1
-            lab = lin[w]
-            pruned = False
-            if lout_vi:
-                for h in lab:
-                    if h in lout_vi:
-                        # `hop` itself certifies vi -> w, it must not
-                        # prune: only *higher* hops (< hop) do.
-                        if h != hop:
-                            pruned = True
-                            break
-            if pruned:
-                continue
-            lab.append(hop)
-            for x in out_adj[w]:
-                if not visited[x]:
-                    visited[x] = 1
-                    touched.append(x)
-                    frontier.append(x)
-        for w in touched:
-            visited[w] = 0
-
+    if 0 < n <= _BITS_LIMIT and graph.m / n >= _BITS_MIN_DENSITY:
+        out_masks, in_masks = _distribute_bits(labels, order, out_adj, in_adj)
+        # The pruning bitsets double as the sealed-query masks:
+        # attach_masks seals the labels around them for free.
+        labels.attach_masks(out_masks, in_masks)
+    else:
+        _distribute_sets(labels, order, out_adj, in_adj)
     return labels, rank
+
+
+def _distribute_bits(labels, order, out_adj, in_adj):
+    """Sweep loop with bigint prune masks; returns ``(out_masks, in_masks)``."""
+    n = labels.n
+    lout, lin = labels.lout, labels.lin
+    obits = [0] * n
+    ibits = [0] * n
+    vis = [-1] * n
+    stamp = -1
+    for hop, vi in enumerate(order):
+        bit = 1 << hop
+        # ---- forward sweep: distribute `hop` into Lin of descendants --
+        pb = obits[vi]
+        stamp += 1
+        frontier = [vi]
+        fap = frontier.append
+        vis[vi] = stamp
+        if pb:
+            for w in frontier:
+                if pb & ibits[w]:
+                    continue
+                lin[w].append(hop)
+                ibits[w] |= bit
+                for x in out_adj[w]:
+                    if vis[x] != stamp:
+                        vis[x] = stamp
+                        fap(x)
+        else:
+            for w in frontier:
+                lin[w].append(hop)
+                ibits[w] |= bit
+                for x in out_adj[w]:
+                    if vis[x] != stamp:
+                        vis[x] = stamp
+                        fap(x)
+        # ---- reverse sweep: distribute `hop` into Lout of ancestors ---
+        pb = ibits[vi] & ~bit
+        stamp += 1
+        frontier = [vi]
+        fap = frontier.append
+        vis[vi] = stamp
+        if pb:
+            for u in frontier:
+                if pb & obits[u]:
+                    continue
+                lout[u].append(hop)
+                obits[u] |= bit
+                for w in in_adj[u]:
+                    if vis[w] != stamp:
+                        vis[w] = stamp
+                        fap(w)
+        else:
+            for u in frontier:
+                lout[u].append(hop)
+                obits[u] |= bit
+                for w in in_adj[u]:
+                    if vis[w] != stamp:
+                        vis[w] = stamp
+                        fap(w)
+    return obits, ibits
+
+
+def _distribute_sets(labels, order, out_adj, in_adj):
+    """Sweep loop with per-hop frozenset prune snapshots (large n)."""
+    n = labels.n
+    lout, lin = labels.lout, labels.lin
+    vis = [-1] * n
+    stamp = -1
+    for hop, vi in enumerate(order):
+        # ---- forward sweep (Lout(vi) is a stable snapshot here) -------
+        pset = frozenset(lout[vi])
+        stamp += 1
+        frontier = [vi]
+        fap = frontier.append
+        vis[vi] = stamp
+        if pset:
+            disjoint = pset.isdisjoint
+            for w in frontier:
+                lab = lin[w]
+                if disjoint(lab):
+                    lab.append(hop)
+                    for x in out_adj[w]:
+                        if vis[x] != stamp:
+                            vis[x] = stamp
+                            fap(x)
+        else:
+            for w in frontier:
+                lin[w].append(hop)
+                for x in out_adj[w]:
+                    if vis[x] != stamp:
+                        vis[x] = stamp
+                        fap(x)
+        # ---- reverse sweep (drop the fresh self-hop from the snapshot)
+        pset = set(lin[vi])
+        pset.discard(hop)
+        stamp += 1
+        frontier = [vi]
+        fap = frontier.append
+        vis[vi] = stamp
+        if pset:
+            disjoint = pset.isdisjoint
+            for u in frontier:
+                lab = lout[u]
+                if disjoint(lab):
+                    lab.append(hop)
+                    for w in in_adj[u]:
+                        if vis[w] != stamp:
+                            vis[w] = stamp
+                            fap(w)
+        else:
+            for u in frontier:
+                lout[u].append(hop)
+                for w in in_adj[u]:
+                    if vis[w] != stamp:
+                        vis[w] = stamp
+                        fap(w)
 
 
 @register_method
@@ -153,6 +392,10 @@ class DistributionLabeling(ReachabilityIndex):
         paper's ``degree_product``.
     seed:
         Seed for randomised orders (ignored by deterministic ones).
+    reduce:
+        Traverse the transitive reduction during construction
+        (``None`` = auto).  Purely a construction-speed knob; the
+        resulting labeling is identical.
 
     Examples
     --------
@@ -165,15 +408,28 @@ class DistributionLabeling(ReachabilityIndex):
     short_name = "DL"
     full_name = "Distribution-Labeling"
 
-    def _build(self, graph: DiGraph, order: str = "degree_product", seed: int = 0) -> None:
+    def _build(
+        self,
+        graph: DiGraph,
+        order: str = "degree_product",
+        seed: int = 0,
+        reduce: Optional[bool] = None,
+    ) -> None:
         order_list = get_order(order)(graph, seed)
-        self.labels, self.rank = distribution_labels(graph, order_list)
-        self.labels.seal()
+        self.labels, self.rank = distribution_labels(graph, order_list, reduce=reduce)
+        if not self.labels.sealed:
+            # The bigint core arrives mask-sealed via attach_masks; the
+            # large-n sets core leaves sealing (hybrid mirrors) to us.
+            self.labels.seal()
         self.order_list = order_list
 
     def query(self, u: int, v: int) -> bool:
         """``u`` reaches ``v`` iff their labels share a hop (Theorem 3)."""
         return self.labels.query(u, v)
+
+    def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[bool]:
+        """Single-pass batch fast path over the sealed labels."""
+        return self.labels.query_batch(pairs)
 
     def witness(self, u: int, v: int) -> Optional[int]:
         """The highest-ranked hop vertex certifying ``u -> v`` (or None).

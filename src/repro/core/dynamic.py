@@ -161,7 +161,11 @@ class DynamicDL:
 
         # Flood Lin(u) ∪ {u} into every descendant of v.
         addition = _merge_into(self._labels.lin[u], [self._rank[u]])
-        lin = self._labels.lin
+        add_mask = 0
+        for h in addition:
+            add_mask |= 1 << h
+        labels = self._labels
+        lin = labels.lin
         out_adj = self._graph.out_adj
         seen = {v}
         frontier = [v]
@@ -170,6 +174,8 @@ class DynamicDL:
             w = frontier[qi]
             qi += 1
             lin[w] = _merge_into(lin[w], addition)
+            # Keep the sealed bigint mask coherent with the merged list.
+            labels.or_in_mask(w, add_mask)
             for x in out_adj[w]:
                 if x not in seen:
                     seen.add(x)

@@ -78,10 +78,13 @@ def hierarchical_labels(hierarchy: Hierarchy, order_name: str = "degree_product"
 def _fold(
     neighbours, v: int, bset: List[int], orig_of: List[int], side: List[List[int]]
 ) -> List[int]:
-    """Formula 4/5 for one vertex: neighbourhood ∪ backbone labels."""
+    """Formula 4/5 for one vertex: neighbourhood ∪ backbone labels.
+
+    The unions run through C-level ``set.update`` / ``map`` so the fold
+    cost is dominated by the label sizes, not interpreter dispatch.
+    """
     merged = {orig_of[v]}
-    for w in neighbours:
-        merged.add(orig_of[w])
+    merged.update(map(orig_of.__getitem__, neighbours))
     for u in bset:
         merged.update(side[orig_of[u]])
     return sorted(merged)
@@ -154,11 +157,17 @@ class HierarchicalLabeling(ReachabilityIndex):
             seed=seed,
         )
         self.labels = hierarchical_labels(self.hierarchy, order_name=order, seed=seed)
-        self.labels.seal()
+        # HL is static after _build, so freezing Lin behind bigint masks
+        # is safe and makes sealed queries a single AND on small graphs.
+        self.labels.seal(build_masks=True)
 
     def query(self, u: int, v: int) -> bool:
         """``u`` reaches ``v`` iff their labels share a hop (Theorem 1)."""
         return self.labels.query(u, v)
+
+    def query_batch(self, pairs):
+        """Single-pass batch fast path over the sealed labels."""
+        return self.labels.query_batch(pairs)
 
     def witness(self, u: int, v: int) -> Optional[int]:
         """A hop (original vertex id) certifying ``u -> v``, or ``None``."""

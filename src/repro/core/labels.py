@@ -4,9 +4,9 @@
 algorithms: earlier hop-labeling implementations stored ``Lout/Lin`` as
 hash sets and paid for it at query time; storing them as **sorted
 vectors** and intersecting by merge eliminates the gap to interval-based
-indices.  We follow that advice: labels are sorted Python lists of ints,
-and the empty-intersection test below is the single hottest function in
-the library.
+indices.  We follow that advice for the canonical representation: labels
+are sorted Python lists of ints, and the empty-intersection test below is
+the single hottest function in the library.
 
 Three kernels are provided:
 
@@ -18,13 +18,17 @@ Three kernels are provided:
 
 A :class:`LabelSet` bundles the per-vertex ``Lout``/``Lin`` lists with
 size accounting and (de)serialisation, shared by HL, DL, TF-label and
-2HOP.
+2HOP.  :meth:`LabelSet.seal` compiles the canonical lists into faster
+query-side structures (an arena layout, hybrid set mirrors, and optional
+bigint masks); see the method docstring for the exact strategy.
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence
+from itertools import accumulate
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "sorted_intersect",
@@ -69,8 +73,11 @@ def gallop_intersect(small: Sequence[int], big: Sequence[int]) -> bool:
 
 
 # When the longer list is at least this many times the shorter, galloping
-# beats the linear merge (empirically on CPython).
-_GALLOP_RATIO = 16
+# beats the linear merge.  Tuned by ``benchmarks/bench_kernels.py`` on
+# CPython 3.11: bisect_left runs in C while the merge loop is interpreted,
+# so the measured crossover sits at a 2x skew, far below the 16x a
+# C-centric intuition would guess (see BENCH_kernels.json).
+_GALLOP_RATIO = 2
 
 
 def intersects(a: Sequence[int], b: Sequence[int]) -> bool:
@@ -107,6 +114,24 @@ def first_common_hop(a: Sequence[int], b: Sequence[int]) -> Optional[int]:
     return None
 
 
+#: Labels with at most this many hops skip the frozenset mirror at seal
+#: time and are merge-scanned straight out of the arena.  The
+#: ``benchmarks/bench_kernels.py`` sweep (BENCH_kernels.json) records
+#: its fastest batch time at threshold 0 (mirror everything), with
+#: threshold 1 a few percent behind and higher thresholds clearly
+#: slower; 1 is the deliberate default trade — empty and singleton
+#: labels answer in one C-level ``in`` probe anyway, so their mirrors
+#: buy almost nothing for the ~120 bytes and seal-time hash pass each
+#: costs.
+_SEAL_SET_MIN = 1
+
+#: Largest vertex/hop-id space for which :meth:`LabelSet.seal` will build
+#: bigint label masks when asked (one n-bit int per vertex per side, so
+#: worst-case ~n²/8 bytes per side; 2**15 caps that at ~128 MiB and in
+#: practice masks only span each label's largest hop id).
+_MASK_LIMIT = 1 << 15
+
+
 class LabelSet:
     """Per-vertex ``Lout``/``Lin`` hop labels for ``n`` vertices.
 
@@ -114,43 +139,280 @@ class LabelSet:
     (DL stores rank indices, HL stores vertex ids); the owner is
     responsible for translating queries.  Lists must be kept sorted; the
     :meth:`check_sorted` helper is used by tests.
+
+    Representation layers
+    ---------------------
+    * **Canonical**: ``lout`` / ``lin`` sorted lists.  Construction
+      appends to them, serialisation stores them, witnesses scan them.
+    * **Arena** (:meth:`arena`, cached lazily after :meth:`seal`): each
+      side flattened into one ``array('l')`` of hops plus an ``n+1``
+      offsets array — the compact layout small labels are merge-scanned
+      from.
+    * **Hybrid set mirrors** (built by :meth:`seal`): ``lout_sets[u]`` is
+      a frozenset for labels longer than ``_SEAL_SET_MIN`` and ``None``
+      for tiny ones, which stay on the merge-scan path.
+    * **Bigint masks** (optional): one int per vertex per side with bit
+      ``h`` set iff hop ``h`` is in the label, making a query a single
+      C-level ``&``.  Construction can attach masks it already maintains
+      (:meth:`attach_masks` — DL gets them for free), or :meth:`seal`
+      can build them on request.  Masks freeze the ``lin`` lists: a
+      caller that mutates ``lin`` afterwards must keep them in sync via
+      :meth:`or_in_mask` (the dynamic oracle does) or drop them with
+      :meth:`drop_masks`.
     """
 
-    __slots__ = ("n", "lout", "lin", "lout_sets")
+    __slots__ = (
+        "n",
+        "lout",
+        "lin",
+        "lout_sets",
+        "_out_hops",
+        "_out_offs",
+        "_in_hops",
+        "_in_offs",
+        "_out_masks",
+        "_in_masks",
+    )
 
     def __init__(self, n: int) -> None:
         self.n = n
         self.lout: List[List[int]] = [[] for _ in range(n)]
         self.lin: List[List[int]] = [[] for _ in range(n)]
-        #: Optional frozenset mirror of ``lout`` built by :meth:`seal`.
+        #: Hybrid frozenset mirror of ``lout`` built by :meth:`seal`
+        #: (``None`` entries mark tiny labels on the merge-scan path).
         self.lout_sets = None
+        self._out_hops = None
+        self._out_offs = None
+        self._in_hops = None
+        self._in_offs = None
+        self._out_masks = None
+        self._in_masks = None
 
-    def seal(self) -> "LabelSet":
-        """Build a frozenset mirror of ``Lout`` for fast queries.
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+    def seal(self, set_min: Optional[int] = None, build_masks: bool = False) -> "LabelSet":
+        """Compile the canonical lists into fast query structures.
 
         The paper's advice — sorted vectors over hash sets — is about
         C++ cache behaviour; in CPython the constant factors invert
-        because ``frozenset.isdisjoint`` runs in C while a merge loop
-        runs in the interpreter (our ablation-labelstore experiment
-        measures ~3-5×).  We keep the sorted lists canonical (they are
-        what construction merges, serialisation stores and witnesses
-        scan) and mirror only the out side, probing the in-list against
-        it.  Call again after mutating ``lout``.
+        because ``frozenset.isdisjoint`` and bigint ``&`` run in C while
+        a merge loop runs in the interpreter (the ablation-labelstore
+        experiment and ``bench_kernels.py`` both measure it).  ``seal``
+        therefore builds, in order of preference at query time:
+
+        1. **masks** — if already attached by construction, or if
+           ``build_masks=True`` and every hop id fits under
+           ``_MASK_LIMIT``.  One bigint ``&`` per query.
+        2. **hybrid mirrors + arena** — frozensets for labels longer
+           than ``set_min`` (default ``_SEAL_SET_MIN``), an arena
+           merge-scan for the tiny rest.
+
+        Call again after mutating ``lout``: a re-seal **drops** any
+        attached masks (they would be stale snapshots of the old
+        labels) and rebuilds the hybrid mirrors from the current lists;
+        constructions that maintain masks re-attach them afterwards.
+        ``lin`` lists stay live on the hybrid path (the dynamic oracle
+        relies on that); they are snapshot by masks, which the mutator
+        must then maintain via :meth:`or_in_mask`.
         """
-        self.lout_sets = [frozenset(x) for x in self.lout]
+        if set_min is None:
+            set_min = _SEAL_SET_MIN
+        # Invalidate any previous arena; it is rebuilt lazily on first
+        # use (flattening costs ~0.1 µs per stored int, which the mask
+        # fast path never needs to pay).  Attached masks are dropped for
+        # the same staleness reason.
+        self._out_hops = self._out_offs = None
+        self._in_hops = self._in_offs = None
+        self._out_masks = self._in_masks = None
+        if build_masks and self._fits_masks():
+            self._build_masks()
+        if self._out_masks is not None:
+            # Masks answer every query; frozenset mirrors would be dead
+            # weight, so the hybrid layer stays empty (but sealed).
+            self.lout_sets = [None] * self.n
+        else:
+            # Hybrid set mirror of the out side.
+            self.lout_sets = [
+                frozenset(lab) if len(lab) > set_min else None for lab in self.lout
+            ]
         return self
 
+    def _out_arena(self):
+        """``(out_hops, out_offs)``, built lazily — queries only ever
+        scan the out side, so the in side is not flattened here."""
+        if self._out_hops is None:
+            out_hops = array("l")
+            ext = out_hops.extend
+            for lab in self.lout:
+                ext(lab)
+            self._out_hops = out_hops
+            self._out_offs = array("l", accumulate(map(len, self.lout), initial=0))
+        return self._out_hops, self._out_offs
+
+    def arena(self):
+        """The flat label arena: ``(out_hops, out_offs, in_hops, in_offs)``.
+
+        Each side is one ``array('l')`` of concatenated hops plus an
+        ``n+1`` offsets array (``hops[offs[u]:offs[u+1]]`` is ``u``'s
+        label).  Built per side on first request and cached until the
+        next :meth:`seal`; offsets come from a C-level prefix sum.
+        """
+        self._out_arena()
+        if self._in_hops is None:
+            in_hops = array("l")
+            ext = in_hops.extend
+            for lab in self.lin:
+                ext(lab)
+            self._in_hops = in_hops
+            self._in_offs = array("l", accumulate(map(len, self.lin), initial=0))
+        return self._out_hops, self._out_offs, self._in_hops, self._in_offs
+
+    def _fits_masks(self) -> bool:
+        if self.n > _MASK_LIMIT:
+            return False
+        # Labels are sorted, so each list's last element is its maximum.
+        top = max((lab[-1] for lab in self.lout if lab), default=0)
+        top = max(top, max((lab[-1] for lab in self.lin if lab), default=0))
+        return top < _MASK_LIMIT
+
+    def _build_masks(self) -> None:
+        out_masks = [0] * self.n
+        in_masks = [0] * self.n
+        for u, lab in enumerate(self.lout):
+            b = 0
+            for h in lab:
+                b |= 1 << h
+            out_masks[u] = b
+        for u, lab in enumerate(self.lin):
+            b = 0
+            for h in lab:
+                b |= 1 << h
+            in_masks[u] = b
+        self._out_masks = out_masks
+        self._in_masks = in_masks
+
+    def attach_masks(self, out_masks: List[int], in_masks: List[int]) -> "LabelSet":
+        """Seal around bigint label masks a construction already maintains.
+
+        ``out_masks[u]`` must have bit ``h`` set iff ``h in lout[u]``
+        (likewise for the in side) — Distribution-Labeling's pruning
+        bitsets satisfy this by construction, so its seal costs nothing
+        extra.  This *is* a seal: the hybrid mirror layer is left empty
+        (masks answer every query) and any cached arena is invalidated.
+        A later plain :meth:`seal` drops the masks again (they would be
+        stale after label mutations); incremental mutators instead keep
+        them coherent via :meth:`or_in_mask`.
+        """
+        if len(out_masks) != self.n or len(in_masks) != self.n:
+            raise ValueError("mask arrays do not match vertex count")
+        self._out_hops = self._out_offs = None
+        self._in_hops = self._in_offs = None
+        self._out_masks = out_masks
+        self._in_masks = in_masks
+        self.lout_sets = [None] * self.n
+        return self
+
+    def or_in_mask(self, v: int, mask: int) -> None:
+        """OR extra hop bits into ``v``'s in-side mask (if masks exist).
+
+        The incremental oracle calls this after merging hops into
+        ``lin[v]`` so the mask fast path stays coherent.
+        """
+        if self._in_masks is not None:
+            self._in_masks[v] |= mask
+
+    def drop_masks(self) -> None:
+        """Discard mask acceleration and re-seal onto the hybrid path.
+
+        Without the re-seal the mirror layer would still be empty (a
+        mask-backed seal never builds it) and every query would degrade
+        to a linear arena scan.
+        """
+        self._out_masks = None
+        self._in_masks = None
+        if self.sealed:
+            self.seal()
+
+    @property
+    def sealed(self) -> bool:
+        """Whether :meth:`seal` has been called since construction."""
+        return self.lout_sets is not None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def query(self, u: int, v: int) -> bool:
         """Whether ``Lout(u) ∩ Lin(v) ≠ ∅``."""
+        masks = self._out_masks
+        if masks is not None:
+            return masks[u] & self._in_masks[v] != 0
         sets = self.lout_sets
         if sets is not None:
-            return not sets[u].isdisjoint(self.lin[v])
+            s = sets[u]
+            lv = self.lin[v]
+            if s is not None:
+                return not s.isdisjoint(lv)
+            _, offs = self._out_arena()
+            a, b = offs[u], offs[u + 1]
+            if a == b:
+                return False
+            hops = self._out_hops
+            if b == a + 1:  # the common tiny case: a singleton label
+                return hops[a] in lv
+            for i in range(a, b):
+                if hops[i] in lv:
+                    return True
+            return False
         return intersects(self.lout[u], self.lin[v])
+
+    def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[bool]:
+        """Answer a whole workload in one pass with locals bound once.
+
+        This is the hot path of the benchmark harness: a single
+        comprehension (masks) or a single loop (hybrid) instead of three
+        levels of per-pair method dispatch.
+        """
+        masks = self._out_masks
+        if masks is not None:
+            in_masks = self._in_masks
+            return [masks[u] & in_masks[v] != 0 for u, v in pairs]
+        sets = self.lout_sets
+        lin = self.lin
+        if sets is not None:
+            hops, offs = self._out_arena()
+            out: List[bool] = []
+            append = out.append
+            for u, v in pairs:
+                s = sets[u]
+                if s is not None:
+                    append(not s.isdisjoint(lin[v]))
+                    continue
+                a = offs[u]
+                b = offs[u + 1]
+                if a == b:
+                    append(False)
+                elif b == a + 1:  # singleton label: one C membership probe
+                    append(hops[a] in lin[v])
+                else:
+                    lv = lin[v]
+                    hit = False
+                    for i in range(a, b):
+                        if hops[i] in lv:
+                            hit = True
+                            break
+                    append(hit)
+            return out
+        lout = self.lout
+        return [intersects(lout[u], lin[v]) for u, v in pairs]
 
     def witness(self, u: int, v: int) -> Optional[int]:
         """A common hop certifying ``u -> v``, or ``None``."""
         return first_common_hop(self.lout[u], self.lin[v])
 
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
     def size_ints(self) -> int:
         """Total number of integers stored — the paper's index-size metric."""
         return sum(len(x) for x in self.lout) + sum(len(x) for x in self.lin)
@@ -176,6 +438,9 @@ class LabelSet:
                         return False
         return True
 
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation (used by :mod:`repro.serialization`)."""
         return {"n": self.n, "lout": self.lout, "lin": self.lin}

@@ -42,11 +42,19 @@ def degree_product_order(graph: DiGraph, seed: int = 0) -> List[int]:
     The +1 terms count the vertex itself as a trivial endpoint, so a pure
     source or sink still ranks above an isolated vertex.  Ties are broken
     by a deterministic hash (see :func:`_mix`).
-    """
-    def key(v: int):
-        return (-(graph.out_degree(v) + 1) * (graph.in_degree(v) + 1), _mix(v), v)
 
-    return sorted(graph.vertices(), key=key)
+    Keys are materialised as tuples and sorted without a key callable —
+    one comprehension plus a C-level tuple sort instead of 2n method
+    calls through a Python key function.
+    """
+    out_adj = graph.out_adj
+    in_adj = graph.in_adj
+    keyed = [
+        (-(len(out_adj[v]) + 1) * (len(in_adj[v]) + 1), _mix(v), v)
+        for v in range(graph.n)
+    ]
+    keyed.sort()
+    return [k[2] for k in keyed]
 
 
 def degree_sum_order(graph: DiGraph, seed: int = 0) -> List[int]:

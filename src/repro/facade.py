@@ -72,14 +72,16 @@ class Reachability:
         return self.index.query(cu, cv)
 
     def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[bool]:
-        """Vectorised :meth:`query` over many pairs."""
+        """Vectorised :meth:`query` over many pairs.
+
+        Translates the whole workload into condensation space in one
+        comprehension and hands it to the index's batch fast path.  No
+        same-SCC special case is needed: ``query(c, c)`` is reflexively
+        True for every index, per the :class:`ReachabilityIndex`
+        contract.
+        """
         comp = self.condensation.comp
-        q = self.index.query
-        out: List[bool] = []
-        for u, v in pairs:
-            cu, cv = comp[u], comp[v]
-            out.append(True if cu == cv else q(cu, cv))
-        return out
+        return self.index.query_batch([(comp[u], comp[v]) for u, v in pairs])
 
     def same_scc(self, u: int, v: int) -> bool:
         """Whether ``u`` and ``v`` are strongly connected."""

@@ -55,9 +55,14 @@ def transitive_closure_bits(graph: DiGraph, order: Optional[List[int]] = None) -
         if order is None:
             raise ValueError("transitive closure requires a DAG; condense first")
     tc = [0] * graph.n
+    # List adjacency, bound once: indexing array('l') CSR slices boxes
+    # every element and measures ~45% slower here (see the bfs entry in
+    # benchmarks/BENCH_kernels.json), so this kernel stays on the list
+    # view of the layout.
+    out_adj = graph.out_adj
     for u in reversed(order):
         bits = 1 << u
-        for w in graph.out(u):
+        for w in out_adj[u]:
             bits |= tc[w]
         tc[u] = bits
     return tc
@@ -72,9 +77,10 @@ def reverse_transitive_closure_bits(
         if order is None:
             raise ValueError("transitive closure requires a DAG; condense first")
     rtc = [0] * graph.n
+    in_adj = graph.in_adj
     for u in order:
         bits = 1 << u
-        for w in graph.inn(u):
+        for w in in_adj[u]:
             bits |= rtc[w]
         rtc[u] = bits
     return rtc

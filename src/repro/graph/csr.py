@@ -1,0 +1,158 @@
+"""Flat-array (CSR) adjacency view of a frozen :class:`DiGraph`.
+
+The list-of-lists adjacency in :mod:`repro.graph.digraph` is the right
+*mutable* representation, but a frozen graph is better served by the
+compressed-sparse-row layout every fast graph engine uses: one flat
+``targets`` array plus an ``offsets`` array with ``n + 1`` entries, so
+vertex ``u``'s neighbours are ``targets[offsets[u]:offsets[u+1]]``.
+
+Both directions are materialised because every labeling algorithm in the
+paper traverses forwards and backwards.  The arrays are ``array('l')``:
+compact (8 bytes per edge endpoint instead of a PyObject pointer + boxed
+int), contiguous, and zero-copy convertible to NumPy via
+:meth:`CSRView.as_numpy` for vectorised backends.
+
+A note on CPython performance, measured in ``benchmarks/bench_kernels.py``
+(``BENCH_kernels.json``): *iterating* an ``array('l')`` slice is slower
+than iterating a plain list, because every element access must box the
+integer, while list iteration reuses existing objects — enough that even
+bigint-heavy kernels like the closure in :mod:`repro.graph.closure`
+measure faster on lists.  The flat arrays are therefore the canonical
+interchange/storage layout (compact, deterministic, NumPy-bridgeable),
+and :meth:`CSRView.out_lists` / :meth:`CSRView.in_lists` hand the hot
+interpreter loops the list-view (shared with the owning graph when
+available) they actually consume.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Sequence
+
+__all__ = ["CSRView", "build_csr_arrays"]
+
+
+def build_csr_arrays(adj: Sequence[Sequence[int]]):
+    """Flatten list-of-lists adjacency into ``(offsets, targets)`` arrays."""
+    offsets = array("l", [0])
+    targets = array("l")
+    total = 0
+    for nbrs in adj:
+        targets.extend(nbrs)
+        total += len(nbrs)
+        offsets.append(total)
+    return offsets, targets
+
+
+class CSRView:
+    """Immutable CSR snapshot of a graph's adjacency (both directions).
+
+    Built by :meth:`repro.graph.digraph.DiGraph.csr` after ``freeze()``;
+    neighbour runs inherit the frozen graph's sorted order, so the view
+    is deterministic and round-trips the adjacency exactly.
+
+    Examples
+    --------
+    >>> from repro.graph.digraph import DiGraph
+    >>> g = DiGraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+    >>> csr = g.csr()
+    >>> list(csr.out(0)), list(csr.inn(2))
+    ([1, 2], [0, 1])
+    >>> csr.n, csr.m
+    (3, 3)
+    """
+
+    __slots__ = ("n", "m", "out_offsets", "out_targets", "in_offsets", "in_targets", "_graph")
+
+    def __init__(
+        self,
+        out_adj: Sequence[Sequence[int]],
+        in_adj: Sequence[Sequence[int]],
+        graph=None,
+    ) -> None:
+        self.n = len(out_adj)
+        self.out_offsets, self.out_targets = build_csr_arrays(out_adj)
+        self.in_offsets, self.in_targets = build_csr_arrays(in_adj)
+        self.m = len(self.out_targets)
+        self._graph = graph
+
+    # ------------------------------------------------------------------
+    # Per-vertex access
+    # ------------------------------------------------------------------
+    def out(self, u: int) -> array:
+        """Out-neighbours of ``u`` as a flat-array slice."""
+        return self.out_targets[self.out_offsets[u] : self.out_offsets[u + 1]]
+
+    def inn(self, u: int) -> array:
+        """In-neighbours of ``u`` as a flat-array slice."""
+        return self.in_targets[self.in_offsets[u] : self.in_offsets[u + 1]]
+
+    def out_degree(self, u: int) -> int:
+        return self.out_offsets[u + 1] - self.out_offsets[u]
+
+    def in_degree(self, u: int) -> int:
+        return self.in_offsets[u + 1] - self.in_offsets[u]
+
+    # ------------------------------------------------------------------
+    # Bulk views
+    # ------------------------------------------------------------------
+    def out_lists(self) -> List[List[int]]:
+        """List-of-lists view of the forward adjacency.
+
+        Shares the owning graph's lists when available (zero cost);
+        otherwise materialises them from the flat arrays.
+        """
+        if self._graph is not None:
+            return self._graph.out_adj
+        return self._materialise(self.out_offsets, self.out_targets)
+
+    def in_lists(self) -> List[List[int]]:
+        """List-of-lists view of the reverse adjacency."""
+        if self._graph is not None:
+            return self._graph.in_adj
+        return self._materialise(self.in_offsets, self.in_targets)
+
+    @staticmethod
+    def _materialise(offsets: array, targets: array) -> List[List[int]]:
+        lst = targets.tolist()
+        return [lst[offsets[u] : offsets[u + 1]] for u in range(len(offsets) - 1)]
+
+    def edges(self):
+        """Yield all ``(u, v)`` pairs in CSR order."""
+        offs = self.out_offsets
+        tgts = self.out_targets
+        for u in range(self.n):
+            for i in range(offs[u], offs[u + 1]):
+                yield (u, tgts[i])
+
+    # ------------------------------------------------------------------
+    # NumPy bridge (optional dependency, already in the toolchain)
+    # ------------------------------------------------------------------
+    def as_numpy(self):
+        """The four arrays as zero-copy NumPy views.
+
+        Returns ``(out_offsets, out_targets, in_offsets, in_targets)``.
+        The dtype follows the platform's ``array('l')`` item size (4
+        bytes on LLP64 Windows, 8 elsewhere) so the buffers are never
+        misinterpreted.  Raises ``ImportError`` when NumPy is
+        unavailable.
+        """
+        import numpy as np
+
+        dtype = np.dtype(f"i{self.out_offsets.itemsize}")
+        return (
+            np.frombuffer(self.out_offsets, dtype=dtype),
+            np.frombuffer(self.out_targets, dtype=dtype),
+            np.frombuffer(self.in_offsets, dtype=dtype),
+            np.frombuffer(self.in_targets, dtype=dtype),
+        )
+
+    def size_bytes(self) -> int:
+        """Memory footprint of the four flat arrays."""
+        return sum(
+            a.itemsize * len(a)
+            for a in (self.out_offsets, self.out_targets, self.in_offsets, self.in_targets)
+        )
+
+    def __repr__(self) -> str:
+        return f"CSRView(n={self.n}, m={self.m}, bytes={self.size_bytes()})"

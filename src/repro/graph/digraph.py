@@ -50,7 +50,7 @@ class DiGraph:
     (1, 1)
     """
 
-    __slots__ = ("_n", "_m", "_out", "_in", "_edge_set", "_frozen")
+    __slots__ = ("_n", "_m", "_out", "_in", "_edge_set", "_frozen", "_csr")
 
     def __init__(self, n: int) -> None:
         if n < 0:
@@ -61,6 +61,7 @@ class DiGraph:
         self._in: List[List[int]] = [[] for _ in range(n)]
         self._edge_set = set()
         self._frozen = False
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -109,6 +110,22 @@ class DiGraph:
                 adj.sort()
             self._frozen = True
         return self
+
+    def csr(self):
+        """Cached flat-array (CSR) view of the adjacency.
+
+        The view is built lazily on first request and cached; it is only
+        available on a frozen graph, because freezing fixes the neighbour
+        order the flat arrays snapshot.  See
+        :class:`repro.graph.csr.CSRView` for the layout.
+        """
+        if not self._frozen:
+            raise RuntimeError("csr() requires a frozen graph; call freeze() first")
+        if self._csr is None:
+            from .csr import CSRView
+
+            self._csr = CSRView(self._out, self._in, graph=self)
+        return self._csr
 
     def copy(self) -> "DiGraph":
         """Return a mutable deep copy."""

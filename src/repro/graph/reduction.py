@@ -17,13 +17,77 @@ of the closure itself, O(n·m/64) words.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from .digraph import DiGraph
 from .closure import transitive_closure_bits
 from .topo import topological_order
 
-__all__ = ["transitive_reduction", "redundant_edges", "is_transitively_reduced"]
+__all__ = [
+    "transitive_reduction",
+    "reduced_adjacency",
+    "redundant_edges",
+    "is_transitively_reduced",
+]
+
+
+def reduced_adjacency(
+    graph: DiGraph,
+    order: Optional[List[int]] = None,
+    tc: Optional[List[int]] = None,
+    with_in: bool = True,
+) -> Tuple[List[List[int]], Optional[List[List[int]]]]:
+    """``(out_adj, in_adj)`` of the transitive reduction, without copying
+    the graph container.
+
+    This is the construction-time fast path used by Distribution-Labeling
+    on dense inputs: traversing the reduction instead of the full edge set
+    visits the same closure with far fewer edge scans.  Per vertex the
+    out-neighbours are processed in topological order with an accumulated
+    closure bitset, so edge ``(u, v)`` is dropped exactly when an earlier
+    (kept or dropped) neighbour already reaches ``v`` — O(deg) bigint ORs
+    per vertex instead of the O(deg²) pairwise tests of
+    :func:`redundant_edges`.
+
+    Neighbour lists come out sorted by vertex id, matching a frozen
+    graph's iteration order.  ``order`` (a topological order) and ``tc``
+    (the closure bitsets) can be passed in when the caller already has
+    them, which Distribution-Labeling's reduce-predictor does.
+    ``with_in=False`` skips building the reverse adjacency (returned as
+    ``None``) for callers like :func:`redundant_edges` that only read
+    the forward side.
+    """
+    if order is None:
+        order = topological_order(graph)
+        if order is None:
+            raise ValueError("transitive reduction requires a DAG; condense first")
+    if tc is None:
+        tc = transitive_closure_bits(graph, order)
+    pos = [0] * graph.n
+    for i, v in enumerate(order):
+        pos[v] = i
+    out_red: List[List[int]] = [None] * graph.n  # type: ignore[list-item]
+    in_red: Optional[List[List[int]]] = (
+        [[] for _ in range(graph.n)] if with_in else None
+    )
+    pos_key = pos.__getitem__
+    for u in graph.vertices():
+        nbrs = graph.out(u)
+        if len(nbrs) < 2:
+            kept = list(nbrs)
+        else:
+            kept = []
+            acc = 0
+            for w in sorted(nbrs, key=pos_key):
+                if not (acc >> w) & 1:
+                    kept.append(w)
+                    acc |= tc[w]
+            kept.sort()
+        out_red[u] = kept
+        if in_red is not None:
+            for w in kept:
+                in_red[w].append(u)
+    return out_red, in_red
 
 
 def redundant_edges(graph: DiGraph) -> List[Tuple[int, int]]:
@@ -34,21 +98,16 @@ def redundant_edges(graph: DiGraph) -> List[Tuple[int, int]]:
     all such edges at once is safe and yields the unique transitive
     reduction.
     """
-    order = topological_order(graph)
-    if order is None:
-        raise ValueError("transitive reduction requires a DAG; condense first")
-    tc = transitive_closure_bits(graph, order)
+    out_red, _ = reduced_adjacency(graph, with_in=False)
     redundant: List[Tuple[int, int]] = []
     for u in graph.vertices():
-        out = graph.out(u)
-        if len(out) < 2:
+        kept = out_red[u]
+        if len(kept) == len(graph.out(u)):
             continue
-        for v in out:
-            bit = 1 << v
-            for w in out:
-                if w != v and tc[w] & bit:
-                    redundant.append((u, v))
-                    break
+        kept_set = set(kept)
+        for v in graph.out(u):
+            if v not in kept_set:
+                redundant.append((u, v))
     return redundant
 
 

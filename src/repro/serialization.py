@@ -39,6 +39,10 @@ class FrozenOracle:
         """Whether ``u`` reaches ``v`` per the stored labels."""
         return self.labels.query(u, v)
 
+    def query_batch(self, pairs):
+        """Single-pass batch queries over the sealed labels."""
+        return self.labels.query_batch(pairs)
+
     def index_size_ints(self) -> int:
         """Stored-integer count of the labels."""
         return self.labels.size_ints()
@@ -83,8 +87,16 @@ def load_labels(path: PathLike) -> FrozenOracle:
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported label file version: {version!r}")
     labels = LabelSet.from_dict(doc["labels"])
-    labels.seal()
+    # Validate before sealing: seal trusts sorted, non-negative hops
+    # (mask building shifts by them), so a corrupt file must be
+    # rejected first.
     if not labels.check_sorted():
         raise ValueError("corrupt label file: labels are not sorted")
+    if any(
+        lab and lab[0] < 0 for side in (labels.lout, labels.lin) for lab in side
+    ):
+        raise ValueError("corrupt label file: negative hop id")
+    # A frozen oracle never mutates its labels, so masks are safe.
+    labels.seal(build_masks=True)
     method = str(doc.get("method", "?"))
     return FrozenOracle(labels, method, rank_space=(method == "DL"))

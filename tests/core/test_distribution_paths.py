@@ -1,0 +1,82 @@
+"""Equivalence tests for the Distribution-Labeling construction paths.
+
+The optimised core has three interchangeable execution strategies —
+bigint prune masks, frozenset prune snapshots, and (on dense inputs)
+traversal of the transitive reduction.  All of them must produce the
+*identical* labeling: the layout work is behavior-invisible by design.
+"""
+
+import pytest
+
+from repro.core.distribution import (
+    DistributionLabeling,
+    _distribute_bits,
+    _distribute_sets,
+    _should_reduce,
+    distribution_labels,
+)
+from repro.core.labels import LabelSet
+from repro.core.order import get_order
+from repro.graph import generators as gen
+from repro.graph.reduction import reduced_adjacency
+
+from ..conftest import family_cases, FAMILY_IDS
+
+
+@pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+def test_bits_and_sets_cores_agree(graph):
+    order = get_order("degree_product")(graph, 0)
+    a = LabelSet(graph.n)
+    _distribute_bits(a, order, graph.out_adj, graph.in_adj)
+    b = LabelSet(graph.n)
+    _distribute_sets(b, order, graph.out_adj, graph.in_adj)
+    assert a.lout == b.lout
+    assert a.lin == b.lin
+
+
+@pytest.mark.parametrize("graph", family_cases(), ids=FAMILY_IDS)
+def test_reduction_traversal_preserves_labels(graph):
+    order = get_order("degree_product")(graph, 0)
+    plain, _ = distribution_labels(graph, order, reduce=False)
+    reduced, _ = distribution_labels(graph, order, reduce=True)
+    assert plain.lout == reduced.lout
+    assert plain.lin == reduced.lin
+
+
+def test_reduced_adjacency_matches_reduction_module():
+    from repro.graph.reduction import transitive_reduction
+
+    g = gen.random_dag(40, 250, seed=5)
+    out_red, in_red = reduced_adjacency(g)
+    tr = transitive_reduction(g)
+    assert out_red == tr.out_adj
+    assert in_red == tr.in_adj
+
+
+def test_should_reduce_rejects_sparse_and_level_graphs():
+    assert not _should_reduce(gen.path_dag(50))
+    # Layered graphs only have adjacent-level edges: nothing to reduce.
+    assert not _should_reduce(gen.layered_dag(6, 30, 10, seed=1))
+
+
+def test_should_reduce_accepts_dense_random():
+    assert _should_reduce(gen.random_dag(300, 6000, seed=2))
+
+
+def test_dl_reduce_param_is_behavior_invisible():
+    g = gen.random_dag(80, 1200, seed=9)
+    dl_plain = DistributionLabeling(g, reduce=False)
+    dl_red = DistributionLabeling(g, reduce=True)
+    assert dl_plain.labels.lout == dl_red.labels.lout
+    assert dl_plain.labels.lin == dl_red.labels.lin
+    assert dl_plain.index_size_ints() == dl_red.index_size_ints()
+
+
+def test_dl_labels_sorted_and_masks_attached():
+    g = gen.random_dag(60, 200, seed=4)
+    dl = DistributionLabeling(g)
+    assert dl.labels.check_sorted()
+    # Small graphs ride the bigint core, whose bitsets double as masks.
+    assert dl.labels._out_masks is not None
+    pairs = [(u, v) for u in range(0, 60, 7) for v in range(0, 60, 5)]
+    assert dl.query_batch(pairs) == [dl.query(u, v) for u, v in pairs]

@@ -162,19 +162,34 @@ class TestSeal:
         assert ls.lout_sets is None
         assert ls.query(0, 1)
 
-    def test_seal_returns_self_and_mirrors_lout(self):
+    def test_seal_returns_self_and_mirrors_large_lout(self):
         ls = LabelSet(2)
-        ls.lout[0] = [1, 2]
+        ls.lout[0] = [1, 2, 3, 4]  # above the hybrid set threshold
         assert ls.seal() is ls
-        assert ls.lout_sets[0] == frozenset({1, 2})
+        assert ls.lout_sets[0] == frozenset({1, 2, 3, 4})
+
+    def test_seal_keeps_tiny_lout_on_merge_scan_path(self):
+        ls = LabelSet(2)
+        ls.lout[0] = [5]  # at or below the hybrid threshold: no mirror
+        ls.lin[1] = [5, 9]
+        ls.seal()
+        assert ls.lout_sets[0] is None
+        assert ls.query(0, 1)
+        assert not ls.query(1, 0)
+
+    def test_seal_set_min_zero_mirrors_everything(self):
+        ls = LabelSet(1)
+        ls.lout[0] = [7]
+        ls.seal(set_min=0)
+        assert ls.lout_sets[0] == frozenset({7})
 
     def test_reseal_after_mutation(self):
         ls = LabelSet(1)
-        ls.lout[0] = [1]
+        ls.lout[0] = [1, 2, 3]
         ls.seal()
-        ls.lout[0].append(2)
+        ls.lout[0].append(4)
         ls.seal()
-        assert 2 in ls.lout_sets[0]
+        assert 4 in ls.lout_sets[0]
 
     def test_lin_mutation_stays_consistent_without_reseal(self):
         # The dynamic oracle relies on this: inserting into Lin lists

@@ -1,0 +1,166 @@
+"""Randomized agreement tests for the sealed label layouts.
+
+The arena/hybrid/mask structures built by :meth:`LabelSet.seal` are pure
+accelerators: every query path must agree with the canonical unsealed
+merge (``intersects`` on the sorted lists) on arbitrary label sets.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import LabelSet, intersects
+
+sorted_label = st.lists(st.integers(0, 120), max_size=12).map(
+    lambda xs: sorted(set(xs))
+)
+
+
+def _random_labelset(n: int, seed: int, max_hop: int = 200, max_len: int = 9) -> LabelSet:
+    rng = random.Random(seed)
+    ls = LabelSet(n)
+    for u in range(n):
+        ls.lout[u] = sorted(rng.sample(range(max_hop), rng.randrange(max_len)))
+        ls.lin[u] = sorted(rng.sample(range(max_hop), rng.randrange(max_len)))
+    return ls
+
+
+def _truth(ls: LabelSet):
+    return [
+        [intersects(ls.lout[u], ls.lin[v]) for v in range(ls.n)]
+        for u in range(ls.n)
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("set_min", [0, 1, 2, 4, 100])
+def test_sealed_query_matches_unsealed(seed, set_min):
+    ls = _random_labelset(25, seed)
+    expected = _truth(ls)
+    ls.seal(set_min=set_min)
+    for u in range(ls.n):
+        for v in range(ls.n):
+            assert ls.query(u, v) == expected[u][v], (u, v, set_min)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("kwargs", [dict(), dict(set_min=0), dict(set_min=100), dict(build_masks=True)])
+def test_query_batch_matches_query(seed, kwargs):
+    ls = _random_labelset(30, seed)
+    ls.seal(**kwargs)
+    rng = random.Random(seed + 99)
+    pairs = [(rng.randrange(ls.n), rng.randrange(ls.n)) for _ in range(300)]
+    assert ls.query_batch(pairs) == [ls.query(u, v) for u, v in pairs]
+
+
+def test_unsealed_query_batch_uses_merge_path():
+    ls = _random_labelset(20, seed=7)
+    pairs = [(u, v) for u in range(20) for v in range(20)]
+    expected = [intersects(ls.lout[u], ls.lin[v]) for u, v in pairs]
+    assert ls.lout_sets is None
+    assert ls.query_batch(pairs) == expected
+
+
+def test_mask_path_matches_hybrid_path():
+    ls = _random_labelset(40, seed=11)
+    ls.seal()
+    hybrid = _truth(ls)
+    ls2 = _random_labelset(40, seed=11)
+    ls2.seal(build_masks=True)
+    assert ls2._out_masks is not None
+    for u in range(40):
+        for v in range(40):
+            assert ls2.query(u, v) == hybrid[u][v]
+
+
+def test_attach_masks_validates_length():
+    ls = LabelSet(3)
+    with pytest.raises(ValueError):
+        ls.attach_masks([0], [0])
+
+
+def test_or_in_mask_keeps_masks_coherent():
+    ls = LabelSet(2)
+    ls.lout[0] = [4]
+    ls.seal(build_masks=True)
+    assert not ls.query(0, 1)
+    # Simulate an incremental Lin update: list + mask together.
+    ls.lin[1] = [4]
+    ls.or_in_mask(1, 1 << 4)
+    assert ls.query(0, 1)
+
+
+def test_drop_masks_reverts_to_live_lin():
+    ls = LabelSet(2)
+    ls.lout[0] = [3]
+    ls.seal(build_masks=True)
+    ls.drop_masks()
+    ls.lin[1] = [3]  # live-lin contract holds again
+    assert ls.query(0, 1)
+
+
+def test_sealed_property():
+    ls = LabelSet(1)
+    assert not ls.sealed
+    ls.seal()
+    assert ls.sealed
+
+
+def test_masks_skipped_when_hops_exceed_limit():
+    from repro.core import labels as labels_mod
+
+    ls = LabelSet(2)
+    ls.lout[0] = [labels_mod._MASK_LIMIT + 5]
+    ls.lin[1] = [labels_mod._MASK_LIMIT + 5]
+    ls.seal(build_masks=True)
+    assert ls._out_masks is None  # hop id too large for a mask bit
+    assert ls.query(0, 1)
+
+
+@given(st.lists(sorted_label, min_size=2, max_size=6), st.lists(sorted_label, min_size=2, max_size=6))
+@settings(max_examples=60)
+def test_hypothesis_seal_agreement(louts, lins):
+    n = min(len(louts), len(lins))
+    ls = LabelSet(n)
+    for u in range(n):
+        ls.lout[u] = louts[u]
+        ls.lin[u] = lins[u]
+    expected = _truth(ls)
+    ls.seal(build_masks=True)
+    got = [[ls.query(u, v) for v in range(n)] for u in range(n)]
+    assert got == expected
+
+
+def test_reseal_after_lout_mutation_drops_stale_masks():
+    """Regression: a re-seal must never answer from pre-mutation masks."""
+    from repro.core.distribution import DistributionLabeling
+    from repro.graph.generators import random_dag
+
+    dl = DistributionLabeling(random_dag(30, 70, seed=6))
+    labels = dl.labels
+    assert labels._out_masks is not None  # mask-sealed by construction
+    # Give vertex 0 a hop certifying reachability to everything with
+    # that hop in Lin, then re-seal per the documented contract.
+    target = next(v for v in range(labels.n) if labels.lin[v] and v != 0)
+    hop = labels.lin[target][0]
+    if hop not in labels.lout[0]:
+        labels.lout[0] = sorted(labels.lout[0] + [hop])
+    labels.seal()
+    assert labels._out_masks is None  # stale masks dropped
+    assert labels.query(0, target)  # answered from the fresh lists
+
+
+def test_drop_masks_restores_set_mirrors():
+    from repro.core.distribution import DistributionLabeling
+    from repro.graph.generators import random_dag
+
+    dl = DistributionLabeling(random_dag(40, 120, seed=8))
+    labels = dl.labels
+    truth = _truth(labels)
+    labels.drop_masks()
+    # Large labels must be back on the frozenset mirror, not arena scans.
+    assert any(s is not None for s in labels.lout_sets)
+    got = [[labels.query(u, v) for v in range(labels.n)] for u in range(labels.n)]
+    assert got == truth

@@ -1,0 +1,89 @@
+"""Tests for the flat-array (CSR) adjacency view."""
+
+import pytest
+
+from repro.graph.csr import CSRView, build_csr_arrays
+from repro.graph.digraph import DiGraph
+from repro.graph import generators as gen
+
+
+def _roundtrip_ok(graph: DiGraph) -> None:
+    csr = graph.csr()
+    assert csr.n == graph.n
+    assert csr.m == graph.m
+    for u in range(graph.n):
+        assert list(csr.out(u)) == list(graph.out(u))
+        assert list(csr.inn(u)) == list(graph.inn(u))
+        assert csr.out_degree(u) == graph.out_degree(u)
+        assert csr.in_degree(u) == graph.in_degree(u)
+    assert list(csr.edges()) == list(graph.edges())
+
+
+class TestRoundTrip:
+    def test_small_fixed_graph(self):
+        g = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        _roundtrip_ok(g)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_dags(self, seed):
+        _roundtrip_ok(gen.random_dag(60, 180, seed=seed))
+
+    def test_edgeless_and_empty(self):
+        _roundtrip_ok(DiGraph(0).freeze())
+        _roundtrip_ok(DiGraph(5).freeze())
+
+    def test_out_lists_shares_graph_adjacency(self):
+        g = gen.random_dag(30, 80, seed=3)
+        csr = g.csr()
+        assert csr.out_lists() is g.out_adj
+        assert csr.in_lists() is g.in_adj
+
+    def test_materialised_lists_match_without_graph(self):
+        g = gen.random_dag(30, 80, seed=4)
+        csr = CSRView(g.out_adj, g.in_adj)  # detached view
+        assert csr.out_lists() == g.out_adj
+        assert csr.in_lists() == g.in_adj
+
+
+class TestDeterminism:
+    def test_freeze_sorts_then_csr_snapshots(self):
+        # Insertion order must not leak into the CSR view.
+        g1 = DiGraph(3)
+        g1.add_edge(0, 2)
+        g1.add_edge(0, 1)
+        g1.freeze()
+        g2 = DiGraph(3)
+        g2.add_edge(0, 1)
+        g2.add_edge(0, 2)
+        g2.freeze()
+        assert g1.csr().out_targets == g2.csr().out_targets
+        assert g1.csr().out_offsets == g2.csr().out_offsets
+
+    def test_view_is_cached(self):
+        g = gen.path_dag(5)
+        assert g.csr() is g.csr()
+
+    def test_requires_frozen(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1)
+        with pytest.raises(RuntimeError):
+            g.csr()
+
+
+class TestArrays:
+    def test_build_csr_arrays_shapes(self):
+        offs, tgts = build_csr_arrays([[1, 2], [], [0]])
+        assert list(offs) == [0, 2, 2, 3]
+        assert list(tgts) == [1, 2, 0]
+
+    def test_size_bytes_positive(self):
+        g = gen.random_dag(20, 40, seed=5)
+        assert g.csr().size_bytes() > 0
+
+    def test_as_numpy_zero_copy(self):
+        np = pytest.importorskip("numpy")
+        g = gen.random_dag(25, 60, seed=6)
+        oo, ot, io, it = g.csr().as_numpy()
+        assert oo.dtype == np.int64
+        assert list(ot) == list(g.csr().out_targets)
+        assert oo[-1] == g.m and io[-1] == g.m

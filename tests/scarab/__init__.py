@@ -1,0 +1,1 @@
+"""Test package marker enabling relative imports of tests.conftest."""

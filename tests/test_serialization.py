@@ -70,3 +70,38 @@ class TestValidation:
         assert frozen.method == "DL"
         assert frozen.rank_space
         assert "FrozenOracle" in repr(frozen)
+
+
+class TestResealOnLoad:
+    """Round-trips must rebuild the sealed query structures exactly."""
+
+    def test_loaded_oracle_is_sealed_with_masks(self, tmp_path):
+        g = random_dag(40, 110, seed=8)
+        dl = DistributionLabeling(g)
+        path = tmp_path / "labels.json"
+        save_labels(dl, path)
+        frozen = load_labels(path)
+        assert frozen.labels.sealed
+        # Small hop spaces get the bigint-mask fast path back on load.
+        assert frozen.labels._out_masks is not None
+
+    def test_loaded_query_batch_matches_original(self, tmp_path):
+        g = random_dag(35, 90, seed=9)
+        dl = DistributionLabeling(g)
+        path = tmp_path / "labels.json"
+        save_labels(dl, path)
+        frozen = load_labels(path)
+        pairs = [(u, v) for u in range(g.n) for v in range(g.n)]
+        assert frozen.query_batch(pairs) == dl.query_batch(pairs)
+
+    def test_loaded_arena_matches_lists(self, tmp_path):
+        g = random_dag(30, 70, seed=10)
+        dl = DistributionLabeling(g)
+        path = tmp_path / "labels.json"
+        save_labels(dl, path)
+        labels = load_labels(path).labels
+        out_hops, out_offs, in_hops, in_offs = labels.arena()
+        flat = [h for lab in labels.lout for h in lab]
+        assert list(out_hops) == flat
+        assert out_offs[-1] == len(flat)
+        assert in_offs[-1] == len(in_hops)
