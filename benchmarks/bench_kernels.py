@@ -18,6 +18,13 @@ what the constants in the library are tuned against:
   (merge / hybrid sets / bigint masks).
 * ``dl_cores``: the two construction strategies (bigint prune masks vs
   frozenset snapshots) on a mid-size graph.
+* ``engine_vs_masks``: batched queries through the bigint-mask scalar
+  loop vs the vectorized engine across sizes -> the PR 2 role split
+  (masks serve single queries and small batches; batches above
+  ``BatchQueryEngine.MIN_BATCH`` route to the engine).
+* ``backend_crossover``: scalar vs numpy construction across sizes ->
+  ``repro.kernels.AUTO_MIN_N`` and
+  ``repro.core.distribution._NUMPY_AUTO_DENSITY``.
 
 Usage::
 
@@ -224,6 +231,85 @@ def bench_dl_cores(scale: int):
 
 
 # ----------------------------------------------------------------------
+def bench_engine_vs_masks(scale: int):
+    """Batched queries: bigint-mask scalar loop vs the vectorized engine.
+
+    Drives the PR 2 retune of the mask thresholds in
+    ``repro.core.labels``: bigint masks stay the *single-query* and
+    small-batch accelerator (one C-level AND beats any vectorized
+    dispatch for one pair), while batches above
+    ``BatchQueryEngine.MIN_BATCH`` route to the engine, whose lead grows
+    with n because the per-pair AND cost is proportional to the mask
+    word count (~n/64) and the engine's certificates are O(1) per pair.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy-less smoke runs
+        return {"skipped": "numpy unavailable"}
+    from repro.core.distribution import DistributionLabeling
+    from repro.kernels.batchquery import BatchQueryEngine
+
+    smoke = _REPEATS == 1
+    sweep = []
+    sizes = (1024, 4096) if smoke else (2048, 4096, 8192, 16384)
+    for n in sizes:
+        g = citation_dag(n, out_per_vertex=3, seed=17)
+        idx = DistributionLabeling(g)
+        labels = idx.labels
+        if labels._out_masks is None:
+            continue
+        rng = random.Random(7)
+        pairs = [
+            (rng.randrange(n), rng.randrange(n))
+            for _ in range(2000 if smoke else 20000)
+        ]
+        arr = np.array(pairs, dtype=np.int64)
+        scalar_s = best_of(lambda: labels.query_batch(pairs))
+        engine = BatchQueryEngine(np, labels, g)
+        assert engine.query_batch(arr) == labels.query_batch(pairs)
+        engine_s = best_of(lambda: engine.query_batch(arr))
+        sweep.append(
+            {
+                "n": n,
+                "mask_scalar_ms": scalar_s * 1e3,
+                "engine_ms": engine_s * 1e3,
+                "engine_speedup": round(scalar_s / engine_s, 2),
+            }
+        )
+    return {"sweep": sweep}
+
+
+# ----------------------------------------------------------------------
+def bench_backend_crossover(scale: int):
+    """Construction: scalar vs numpy backends across sizes.
+
+    Documents ``repro.kernels.AUTO_MIN_N`` (the "auto" dispatch floor)
+    and ``repro.core.distribution._NUMPY_AUTO_DENSITY`` (numpy DL only
+    pays on dense graphs, where frontiers are wide).
+    """
+    from repro.baselines.grail import Grail
+    from repro.core.distribution import DistributionLabeling
+
+    out = {}
+    sizes = (256, 1024) if _REPEATS == 1 else (256, 1024, 4096)
+    for n in sizes:
+        g_sparse = citation_dag(n, out_per_vertex=3, seed=17)
+        g_dense = random_dag(n, 8 * n, seed=3)
+        row = {}
+        for tag, g in (("sparse", g_sparse), ("dense", g_dense)):
+            py = best_of(lambda: DistributionLabeling(g, backend="python"))
+            np_ = best_of(lambda: DistributionLabeling(g, backend="numpy"))
+            row[f"dl_{tag}_python_ms"] = py * 1e3
+            row[f"dl_{tag}_numpy_ms"] = np_ * 1e3
+        py = best_of(lambda: Grail(g_sparse, backend="python"))
+        np_ = best_of(lambda: Grail(g_sparse, backend="numpy"))
+        row["grail_python_ms"] = py * 1e3
+        row["grail_numpy_ms"] = np_ * 1e3
+        out[str(n)] = row
+    return out
+
+
+# ----------------------------------------------------------------------
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
@@ -251,6 +337,8 @@ def main() -> None:
         ("seal_threshold", bench_seal_threshold),
         ("query_paths", bench_query_paths),
         ("dl_cores", bench_dl_cores),
+        ("engine_vs_masks", bench_engine_vs_masks),
+        ("backend_crossover", bench_backend_crossover),
     ):
         t0 = time.perf_counter()
         doc["kernels"][name] = fn(scale)

@@ -1,29 +1,37 @@
 """GRAIL — scalable online search with random interval labels.
 
 Yildirim, Chaoji & Zaki (PVLDB 2010), the paper's representative of the
-fast-online-search family (§2.1).  Each of ``k`` rounds performs a random
-post-order DFS over the DAG; vertex ``v`` receives the interval
-``[low_i(v), post_i(v)]`` where ``post_i`` is its post-order number and
-``low_i`` the minimum post-order in its reachable subtree.  If ``u``
-reaches ``v`` then ``L_i(v) ⊆ L_i(u)`` in every round — so any violated
-containment proves non-reachability in O(k).  Containment in all rounds
-is *necessary but not sufficient*; GRAIL then falls back to a DFS that
-expands only children whose intervals still contain ``v``'s.
+fast-online-search family (§2.1).  Each of ``k`` rounds labels vertex
+``v`` with the interval ``[low_i(v), post_i(v)]`` where ``post_i`` is a
+randomized post-order number and ``low_i`` the minimum post-order over
+everything reachable from ``v``.  If ``u`` reaches ``v`` then
+``L_i(v) ⊆ L_i(u)`` in every round — so any violated containment proves
+non-reachability in O(k).  Containment in all rounds is *necessary but
+not sufficient*; GRAIL then falls back to a DFS that expands only
+children whose intervals still contain ``v``'s.
+
+The original builds each round with a randomized post-order DFS; this
+implementation draws the post-orders by **sorting on (height, random
+key)** instead (:mod:`repro.kernels.grail`), which provides the same
+two properties the guarantees rest on — ``post[v] < post[u]`` for every
+edge and ``low`` a reachable-set minimum — while turning the per-round
+cost into one sort, identical across the scalar and numpy backends and
+vectorizable in the latter.  The random key per round plays the DFS's
+shuffled-children role, keeping the ``k`` rounds independent filters.
 
 The paper runs GRAIL with 5 traversals (§6.1); we default to the same.
 
-Construction is light (k DFS passes), the index is ``2kn`` integers, and
-query time degrades on large dense graphs — exactly the trade-off Tables
-2-7 show.
+Construction is light (k sorting passes), the index is ``2kn``
+integers, and query time degrades on large dense graphs — exactly the
+trade-off Tables 2-7 show.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional
 
 from ..graph.digraph import DiGraph
-from ..graph.topo import topological_levels
 from ..core.base import ReachabilityIndex, register_method
 
 __all__ = ["Grail"]
@@ -40,74 +48,64 @@ class Grail(ReachabilityIndex):
     k:
         Number of random interval labelings (paper setting: 5).
     seed:
-        Seed for the random traversal orders.
+        Seed for the random interval rounds.
+    backend:
+        ``"python"`` / ``"numpy"`` / ``"auto"`` (``None`` defers to
+        ``REPRO_BACKEND``).  Both backends draw the same random keys
+        and produce bit-identical intervals.
     """
 
     short_name = "GL"
     full_name = "GRAIL"
 
-    def _build(self, graph: DiGraph, k: int = 5, seed: int = 0) -> None:
+    def _build(
+        self,
+        graph: DiGraph,
+        k: int = 5,
+        seed: int = 0,
+        backend: Optional[str] = None,
+    ) -> None:
+        from ..kernels import numpy_or_none, resolve_backend
+        from ..kernels.grail import (
+            compute_heights,
+            interval_round_python,
+            interval_rounds_numpy,
+        )
+
         self.k = k
         n = graph.n
         self._out = graph.out_adj
-        self._levels = topological_levels(graph)
         rng = random.Random(seed)
         # lows[i][v], posts[i][v] per labeling round i.
         self._lows: List[List[int]] = []
         self._posts: List[List[int]] = []
-        roots = graph.sources()
-        for _ in range(k):
-            low, post = self._random_interval_labeling(graph, roots, rng)
-            self._lows.append(low)
-            self._posts.append(post)
+        if resolve_backend(backend, n) == "numpy":
+            np = numpy_or_none()
+            from ..kernels.frontier import HeightLevels, compute_heights_numpy
+
+            csr_np = graph.csr().as_numpy()
+            height_arr = compute_heights_numpy(np, csr_np)
+            levels = HeightLevels(height_arr)
+            for low, post in interval_rounds_numpy(np, csr_np, levels, rng, k):
+                self._lows.append(low)
+                self._posts.append(post)
+            height = height_arr.tolist()
+        else:
+            height = compute_heights(graph)
+            for _ in range(k):
+                low, post = interval_round_python(graph, height, rng)
+                self._lows.append(low)
+                self._posts.append(post)
+        # Height filter: u -> v forces height(u) > height(v), replacing
+        # the former topological-levels pre-check (same exactness, and
+        # the heights are already computed for the interval rounds).
+        self._heights = height
         # Rounds zipped once so queries iterate (low, post) pairs without
         # rebuilding the zip per containment test.
         self._ivals = list(zip(self._lows, self._posts))
         # Stamped visited marks for the fallback DFS (no reset pass).
         self._vis = [-1] * n
         self._stamp = -1
-
-    def _random_interval_labeling(self, graph: DiGraph, roots, rng):
-        """One random post-order DFS pass over the whole DAG.
-
-        ``post[v]`` is the post-order number; ``low[v]`` is the minimum
-        post-order number over everything reachable from ``v`` (itself
-        included).  In a DAG every out-neighbour is finished when ``v``
-        exits, so ``low`` is a simple min over neighbours at exit time.
-        """
-        n = graph.n
-        low = [0] * n
-        post = [0] * n
-        state = bytearray(n)  # 0 unvisited / 1 discovered / 2 finished
-        counter = 0
-        out = graph.out_adj
-        root_order = list(roots)
-        rng.shuffle(root_order)
-        for root in root_order:
-            if state[root]:
-                continue
-            stack = [(root, False)]
-            while stack:
-                v, exiting = stack.pop()
-                if exiting:
-                    low_v = counter
-                    for w in out[v]:
-                        if low[w] < low_v:
-                            low_v = low[w]
-                    post[v] = counter
-                    low[v] = low_v
-                    counter += 1
-                    state[v] = 2
-                    continue
-                if state[v]:
-                    continue
-                state[v] = 1
-                stack.append((v, True))
-                children = [w for w in out[v] if not state[w]]
-                rng.shuffle(children)
-                for w in children:
-                    stack.append((w, False))
-        return low, post
 
     # ------------------------------------------------------------------
     def _contained(self, u: int, v: int) -> bool:
@@ -126,7 +124,7 @@ class Grail(ReachabilityIndex):
     def query(self, u: int, v: int) -> bool:
         if u == v:
             return True
-        if self._levels[u] >= self._levels[v]:
+        if self._heights[u] <= self._heights[v]:
             return False
         ivals = self._ivals
         for low, post in ivals:
@@ -157,4 +155,4 @@ class Grail(ReachabilityIndex):
         return False
 
     def index_size_ints(self) -> int:
-        return 2 * self.k * self.graph.n + self.graph.n  # intervals + levels
+        return 2 * self.k * self.graph.n + self.graph.n  # intervals + heights

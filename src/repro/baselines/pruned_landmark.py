@@ -33,6 +33,10 @@ class PrunedLandmark(ReachabilityIndex):
     Labels are parallel lists ``hops`` / ``dists`` per direction, sorted
     by hop rank (construction order guarantees it).
 
+    ``backend="numpy"`` runs the sweeps frontier-at-a-time over padded
+    2-D label tables (:mod:`repro.kernels.pl`); the ``(hop, dist)``
+    labels are bit-identical to the scalar sweeps.
+
     Examples
     --------
     >>> from repro.graph.generators import path_dag
@@ -44,10 +48,28 @@ class PrunedLandmark(ReachabilityIndex):
     short_name = "PL"
     full_name = "Pruned Landmark labeling"
 
-    def _build(self, graph: DiGraph, order: str = "degree_product", seed: int = 0) -> None:
+    def _build(
+        self,
+        graph: DiGraph,
+        order: str = "degree_product",
+        seed: int = 0,
+        backend: Optional[str] = None,
+    ) -> None:
+        from ..kernels import numpy_or_none, resolve_backend
+
         n = graph.n
         order_list = get_order(order)(graph, seed)
         self.order_list = order_list
+
+        if resolve_backend(backend, n) == "numpy" and n:
+            from ..kernels.pl import pruned_landmark_numpy
+
+            lout_h, lout_d, lin_h, lin_d = pruned_landmark_numpy(
+                numpy_or_none(), graph, order_list
+            )
+            self._lout_h, self._lout_d = lout_h, lout_d
+            self._lin_h, self._lin_d = lin_h, lin_d
+            return
 
         # label_out[u]: (hops, dists) such that u reaches hop at dist.
         lout_h: List[List[int]] = [[] for _ in range(n)]

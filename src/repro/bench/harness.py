@@ -128,6 +128,13 @@ def prepare_workloads(
     return out
 
 
+#: Methods whose constructors accept the kernel ``backend=`` knob (and,
+#: for DL, ``workers=``); the harness only injects the overrides here so
+#: the remaining baselines keep their exact signatures.
+BACKEND_METHODS = frozenset({"DL", "HL", "GL", "PL"})
+WORKER_METHODS = frozenset({"DL"})
+
+
 def run_dataset(
     dataset: str,
     methods: Sequence[str],
@@ -136,15 +143,35 @@ def run_dataset(
     budgets: Optional[Dict[str, BuildBudget]] = None,
     query_repeats: int = 3,
     graph: Optional[DiGraph] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> List[RunResult]:
-    """Run every method on one dataset, sharing workloads."""
+    """Run every method on one dataset, sharing workloads.
+
+    ``backend`` / ``workers`` are forwarded to the kernel-aware methods
+    (:data:`BACKEND_METHODS` / :data:`WORKER_METHODS`); labels and
+    answers are backend-invariant, so overriding them changes timings
+    only.
+    """
     if graph is None:
         graph = load(dataset)
     workloads = prepare_workloads(graph, workload_kinds, queries)
     budgets = budgets or {}
     results: List[RunResult] = []
     for method in methods:
-        runner = MethodRun(method, budgets.get(method))
+        budget = budgets.get(method)
+        key = method.upper()
+        extra: Dict[str, object] = {}
+        if backend is not None and key in BACKEND_METHODS:
+            extra["backend"] = backend
+        if workers is not None and key in WORKER_METHODS:
+            extra["workers"] = workers
+        if extra:
+            budget = BuildBudget(
+                time_s=budget.time_s if budget else BuildBudget().time_s,
+                params={**(budget.params if budget else {}), **extra},
+            )
+        runner = MethodRun(method, budget)
         results.append(runner.execute(dataset, graph, workloads, query_repeats))
     return results
 

@@ -41,7 +41,14 @@ def _print_table1() -> None:
         print(f"{name:<18}{suite:<8}{pn:>12,}{pm:>12,}{sn:>13,}{sm:>13,}")
 
 
-def _run_standard(exp_id: str, datasets: Optional[List[str]], queries: Optional[int], repeats: int) -> None:
+def _run_standard(
+    exp_id: str,
+    datasets: Optional[List[str]],
+    queries: Optional[int],
+    repeats: int,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> None:
     exp = get_experiment(exp_id)
     ds = datasets or exp.datasets
     q = queries or exp.queries
@@ -56,6 +63,8 @@ def _run_standard(exp_id: str, datasets: Optional[List[str]], queries: Optional[
             queries=q,
             budgets=exp.budgets,
             query_repeats=repeats,
+            backend=backend,
+            workers=workers,
         )
         all_results.extend(results)
         print(
@@ -244,6 +253,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--queries", type=int, default=None, help="workload batch size")
     parser.add_argument("--repeats", type=int, default=3, help="query timing repeats")
     parser.add_argument("--out", default="exported_datasets", help="output dir for 'export'")
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default=None,
+        help="kernel backend for DL/HL/GL/PL (default: REPRO_BACKEND or auto); "
+        "labels and answers are identical across backends",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard DL construction over N forked processes "
+        "(default: REPRO_WORKERS or 1); labels are identical for any N",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -273,7 +296,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.experiment == "ablation-labelstore":
         _run_ablation_labelstore(datasets, args.queries or 10_000)
     else:
-        _run_standard(args.experiment, datasets, args.queries, args.repeats)
+        _run_standard(
+            args.experiment,
+            datasets,
+            args.queries,
+            args.repeats,
+            backend=args.backend,
+            workers=args.workers,
+        )
     return 0
 
 

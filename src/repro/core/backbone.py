@@ -32,7 +32,7 @@ decomposition* of Definition 2 (:func:`hierarchical_decomposition`).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..graph.digraph import DiGraph
 from .order import degree_product_order
@@ -201,8 +201,22 @@ def build_backbone_level(
     eps: int = 2,
     order_fn: OrderFn = degree_product_order,
     seed: int = 0,
+    backend: str = "python",
 ) -> BackboneLevel:
-    """Extract one backbone level from ``graph`` (= ``Gi``)."""
+    """Extract one backbone level from ``graph`` (= ``Gi``).
+
+    ``backend="numpy"`` routes to the batched kernels in
+    :mod:`repro.kernels.backbone` (bit-identical output: same cover,
+    same backbone edges, same B-sets); the caller is responsible for
+    resolving availability (see :func:`repro.kernels.resolve_backend`).
+    """
+    if backend == "numpy":
+        from ..kernels import numpy_or_none
+        from ..kernels.backbone import build_backbone_level_numpy
+
+        return build_backbone_level_numpy(
+            numpy_or_none(), graph, eps, order_fn, seed
+        )
     order = order_fn(graph, seed)
     backbone = extract_cover(graph, eps, order)
     in_backbone = bytearray(graph.n)
@@ -351,19 +365,33 @@ def hierarchical_decomposition(
     max_levels: int = 16,
     order_fn: OrderFn = degree_product_order,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> Hierarchy:
     """Recursively extract backbones until the core is small.
 
     Stops when the next level would not shrink, when ``core_limit`` is
     reached, or after ``max_levels`` (the paper notes 5-6 levels suffice
     at ε=2 and suggests bounding ``h``).
+
+    ``backend`` selects the level-builder per level: under ``"auto"``
+    big levels run the batched numpy kernels and the shrinking tail
+    levels fall back to the scalar builder (identical output either
+    way, so the crossover is purely a speed decision).
     """
+    from ..kernels import resolve_backend
+
     levels: List[BackboneLevel] = []
     orig_of_level: List[List[int]] = []
     g = graph
     orig_of = list(range(graph.n))
     while g.n > core_limit and len(levels) < max_levels:
-        level = build_backbone_level(g, eps=eps, order_fn=order_fn, seed=seed)
+        level = build_backbone_level(
+            g,
+            eps=eps,
+            order_fn=order_fn,
+            seed=seed,
+            backend=resolve_backend(backend, g.n),
+        )
         if len(level.backbone_vertices) >= g.n:
             break  # no shrink: stop rather than loop forever
         levels.append(level)

@@ -210,8 +210,22 @@ def _prepare_reduction(graph: DiGraph):
     return order, transitive_closure_bits(graph, order)
 
 
+#: DL's numpy construction kernel is only taken when the caller forces
+#: ``backend="numpy"``: the ``backend_crossover`` sweep in
+#: ``benchmarks/bench_kernels.py`` measures the scalar bigint sweeps
+#: ahead at every size and density tried (2n sweeps × per-level array
+#: dispatch overhead never amortizes against CPython loops that are
+#: already C-heavy), so ``"auto"`` always picks the scalar core here.
+#: The kernel still earns its keep as the bit-identical substrate the
+#: forced-backend CI axis and the equivalence suite exercise.
+
+
 def distribution_labels(
-    graph: DiGraph, order: List[int], reduce: Optional[bool] = None
+    graph: DiGraph,
+    order: List[int],
+    reduce: Optional[bool] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[LabelSet, List[int]]:
     """Run Algorithm 2 over ``graph`` using the given total ``order``.
 
@@ -225,6 +239,21 @@ def distribution_labels(
         Traverse the transitive reduction instead of the full edge set
         (the labeling is unchanged).  ``None`` (default) decides
         automatically via :func:`_should_reduce`.
+    backend:
+        ``"python"`` / ``"numpy"`` / ``"auto"`` (``None`` defers to
+        ``REPRO_BACKEND``, then ``"auto"``).  ``"numpy"`` forces the
+        frontier-at-a-time kernel with chunked ``uint64`` prune bitsets
+        (:mod:`repro.kernels.distribute`); ``"auto"`` keeps the scalar
+        core, which the ``backend_crossover`` sweep measures faster for
+        DL at every size (queries are a different story — see
+        :mod:`repro.kernels.batchquery`).
+    workers:
+        Shard the construction over this many forked worker processes
+        (:mod:`repro.kernels.sharded`); ``None`` defers to
+        ``REPRO_WORKERS`` (default 1 = in-process).
+
+    Every backend/worker combination produces the same labeling — the
+    canonical one — bit for bit; the knobs are purely about speed.
 
     Returns
     -------
@@ -235,6 +264,13 @@ def distribution_labels(
         arrive already mask-sealed (``attach_masks``); on the large-n
         sets path they are returned unsealed.
     """
+    from ..kernels import (
+        default_workers,
+        numpy_or_none,
+        requested_backend,
+        resolve_backend,
+    )
+
     n = graph.n
     if len(order) != n or len(set(order)) != n:
         raise ValueError("order must be a permutation of the vertices")
@@ -251,8 +287,35 @@ def distribution_labels(
     elif reduce:
         out_adj, in_adj = reduced_adjacency(graph)
 
+    if workers is None:
+        workers = default_workers()
+    use_bits = 0 < n <= _BITS_LIMIT and graph.m / n >= _BITS_MIN_DENSITY
+
     labels = LabelSet(n)
-    if 0 < n <= _BITS_LIMIT and graph.m / n >= _BITS_MIN_DENSITY:
+    if workers > 1 and n:
+        from ..kernels.sharded import distribute_labels_sharded
+
+        distribute_labels_sharded(labels, order, out_adj, in_adj, workers)
+        if use_bits:
+            # Same sealed state the bigint path reaches via attach_masks.
+            labels.seal(build_masks=True)
+        return labels, rank
+
+    if requested_backend(backend) == "numpy" and resolve_backend(backend, n) == "numpy":
+        from ..kernels.distribute import distribute_labels_numpy, fits_numpy_masks
+
+        if fits_numpy_masks(n):
+            csr_np = (
+                graph.csr().as_numpy() if out_adj is graph.out_adj else None
+            )
+            out_masks, in_masks = distribute_labels_numpy(
+                numpy_or_none(), labels, order, out_adj, in_adj, csr_np
+            )
+            if use_bits:
+                labels.attach_masks(out_masks, in_masks)
+            return labels, rank
+
+    if use_bits:
         out_masks, in_masks = _distribute_bits(labels, order, out_adj, in_adj)
         # The pruning bitsets double as the sealed-query masks:
         # attach_masks seals the labels around them for free.
@@ -396,6 +459,12 @@ class DistributionLabeling(ReachabilityIndex):
         Traverse the transitive reduction during construction
         (``None`` = auto).  Purely a construction-speed knob; the
         resulting labeling is identical.
+    backend:
+        Construction backend (see :func:`distribution_labels`); also a
+        speed knob, the labeling is identical.
+    workers:
+        Shard the construction over forked worker processes; identical
+        labels for any count.
 
     Examples
     --------
@@ -414,9 +483,13 @@ class DistributionLabeling(ReachabilityIndex):
         order: str = "degree_product",
         seed: int = 0,
         reduce: Optional[bool] = None,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> None:
         order_list = get_order(order)(graph, seed)
-        self.labels, self.rank = distribution_labels(graph, order_list, reduce=reduce)
+        self.labels, self.rank = distribution_labels(
+            graph, order_list, reduce=reduce, backend=backend, workers=workers
+        )
         if not self.labels.sealed:
             # The bigint core arrives mask-sealed via attach_masks; the
             # large-n sets core leaves sealing (hybrid mirrors) to us.
@@ -428,8 +501,11 @@ class DistributionLabeling(ReachabilityIndex):
         return self.labels.query(u, v)
 
     def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[bool]:
-        """Single-pass batch fast path over the sealed labels."""
-        return self.labels.query_batch(pairs)
+        """Batch fast path: the vectorized engine for large
+        arena-layout batches, the single-pass scalar loop otherwise."""
+        from ..kernels.batchquery import engine_query_batch
+
+        return engine_query_batch(self, self.labels, self.graph, pairs)
 
     def witness(self, u: int, v: int) -> Optional[int]:
         """The highest-ranked hop vertex certifying ``u -> v`` (or None).

@@ -42,29 +42,56 @@ from .order import get_order
 __all__ = ["HierarchicalLabeling", "hierarchical_labels"]
 
 
-def hierarchical_labels(hierarchy: Hierarchy, order_name: str = "degree_product", seed: int = 0) -> LabelSet:
-    """Compute HL labels (in original vertex ids) for a decomposition."""
+def hierarchical_labels(
+    hierarchy: Hierarchy,
+    order_name: str = "degree_product",
+    seed: int = 0,
+    backend: Optional[str] = None,
+) -> LabelSet:
+    """Compute HL labels (in original vertex ids) for a decomposition.
+
+    ``backend`` is forwarded to the core Distribution-Labeling run and
+    selects the level-fold implementation (scalar ``set.update`` vs the
+    batched unique-union kernel in :mod:`repro.kernels.hl` — identical
+    labels either way).
+    """
+    from ..kernels import numpy_or_none, resolve_backend
+
     if not hierarchy.levels:
         # Degenerate: the whole graph is the core.
-        return _core_labels(hierarchy, order_name, seed)
+        return _core_labels(hierarchy, order_name, seed, backend)
 
     n0 = hierarchy.levels[0].graph.n
     labels = LabelSet(n0)
 
-    core = _core_labels(hierarchy, order_name, seed)
+    core = _core_labels(hierarchy, order_name, seed, backend)
     for j, orig in enumerate(hierarchy.orig_of_core):
         labels.lout[orig] = core.lout[j]
         labels.lin[orig] = core.lin[j]
 
     # Level-wise labeling, higher levels first (Algorithm 1, lines 4-10).
+    np = numpy_or_none()
     for level_idx in range(hierarchy.height - 1, -1, -1):
         level = hierarchy.levels[level_idx]
         orig_of = hierarchy.orig_of_level[level_idx]
         gi = level.graph
         in_backbone = set(level.backbone_vertices)
-        for v in gi.vertices():
-            if v in in_backbone:
-                continue  # labeled at its own (higher) level
+        plain = [v for v in gi.vertices() if v not in in_backbone]
+        if np is not None and resolve_backend(backend, gi.n) == "numpy":
+            from ..kernels.hl import fold_level_numpy
+
+            folded_out = fold_level_numpy(
+                np, plain, gi.out_adj, level.bout, orig_of, labels.lout, n0
+            )
+            folded_in = fold_level_numpy(
+                np, plain, gi.in_adj, level.bin_, orig_of, labels.lin, n0
+            )
+            for v, lo, li in zip(plain, folded_out, folded_in):
+                orig_v = orig_of[v]
+                labels.lout[orig_v] = lo
+                labels.lin[orig_v] = li
+            continue
+        for v in plain:
             orig_v = orig_of[v]
             labels.lout[orig_v] = _fold(
                 gi.out(v), v, level.bout[v], orig_of, labels.lout
@@ -90,12 +117,16 @@ def _fold(
     return sorted(merged)
 
 
-def _core_labels(hierarchy: Hierarchy, order_name: str, seed: int) -> LabelSet:
+def _core_labels(
+    hierarchy: Hierarchy, order_name: str, seed: int, backend: Optional[str] = None
+) -> LabelSet:
     """Label the core graph with DL, hops translated to original ids."""
     core_graph = hierarchy.core_graph
     order_fn = get_order(order_name)
     order_list = order_fn(core_graph, seed)
-    core_rank_labels, _rank = distribution_labels(core_graph, order_list)
+    core_rank_labels, _rank = distribution_labels(
+        core_graph, order_list, backend=backend
+    )
     orig_of_core = hierarchy.orig_of_core
     translated = LabelSet(core_graph.n)
     for j in range(core_graph.n):
@@ -126,6 +157,11 @@ class HierarchicalLabeling(ReachabilityIndex):
         suggests bounding ``h``; level counts of 5-6 are typical at ε=2).
     order:
         Rank strategy used for backbone selection and core labeling.
+    backend:
+        ``"python"`` / ``"numpy"`` / ``"auto"`` (``None`` defers to
+        ``REPRO_BACKEND``).  The numpy backend batches the backbone
+        decomposition (:mod:`repro.kernels.backbone`); labels are
+        bit-identical either way.
 
     Examples
     --------
@@ -146,6 +182,7 @@ class HierarchicalLabeling(ReachabilityIndex):
         max_levels: int = 16,
         order: str = "degree_product",
         seed: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         order_fn = get_order(order)
         self.hierarchy = hierarchical_decomposition(
@@ -155,8 +192,11 @@ class HierarchicalLabeling(ReachabilityIndex):
             max_levels=max_levels,
             order_fn=order_fn,
             seed=seed,
+            backend=backend,
         )
-        self.labels = hierarchical_labels(self.hierarchy, order_name=order, seed=seed)
+        self.labels = hierarchical_labels(
+            self.hierarchy, order_name=order, seed=seed, backend=backend
+        )
         # HL is static after _build, so freezing Lin behind bigint masks
         # is safe and makes sealed queries a single AND on small graphs.
         self.labels.seal(build_masks=True)
@@ -166,8 +206,11 @@ class HierarchicalLabeling(ReachabilityIndex):
         return self.labels.query(u, v)
 
     def query_batch(self, pairs):
-        """Single-pass batch fast path over the sealed labels."""
-        return self.labels.query_batch(pairs)
+        """Batch fast path: the vectorized engine for large
+        arena-layout batches, the single-pass scalar loop otherwise."""
+        from ..kernels.batchquery import engine_query_batch
+
+        return engine_query_batch(self, self.labels, self.graph, pairs)
 
     def witness(self, u: int, v: int) -> Optional[int]:
         """A hop (original vertex id) certifying ``u -> v``, or ``None``."""

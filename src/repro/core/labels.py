@@ -115,20 +115,28 @@ def first_common_hop(a: Sequence[int], b: Sequence[int]) -> Optional[int]:
 
 
 #: Labels with at most this many hops skip the frozenset mirror at seal
-#: time and are merge-scanned straight out of the arena.  The
-#: ``benchmarks/bench_kernels.py`` sweep (BENCH_kernels.json) records
-#: its fastest batch time at threshold 0 (mirror everything), with
-#: threshold 1 a few percent behind and higher thresholds clearly
-#: slower; 1 is the deliberate default trade — empty and singleton
-#: labels answer in one C-level ``in`` probe anyway, so their mirrors
-#: buy almost nothing for the ~120 bytes and seal-time hash pass each
-#: costs.
+#: time and are merge-scanned straight out of the arena.  Re-measured
+#: for PR 2 (the ``seal_threshold`` sweep in
+#: ``benchmarks/bench_kernels.py``, BENCH_kernels.json) after the
+#: vectorized engine took over large batches: the hybrid path now only
+#: serves single queries and sub-``MIN_BATCH`` workloads, and the sweep
+#: still bottoms out at thresholds 0-1.  1 remains the deliberate
+#: trade — empty and singleton labels answer in one C-level ``in``
+#: probe anyway, so their mirrors buy almost nothing for the ~120 bytes
+#: and seal-time hash pass each costs.
 _SEAL_SET_MIN = 1
 
 #: Largest vertex/hop-id space for which :meth:`LabelSet.seal` will build
 #: bigint label masks when asked (one n-bit int per vertex per side, so
 #: worst-case ~n²/8 bytes per side; 2**15 caps that at ~128 MiB and in
-#: practice masks only span each label's largest hop id).
+#: practice masks only span each label's largest hop id).  PR 2
+#: narrowed the masks' role: batches of
+#: ``repro.kernels.batchquery.BatchQueryEngine.MIN_BATCH`` pairs or
+#: more route to the chunked-bitset engine instead (the
+#: ``engine_vs_masks`` sweep measures the bigint AND loop losing from
+#: n≈4096 because its per-pair cost grows with the ~n/64 mask words),
+#: so this limit is tuned for the single-query path alone — where one
+#: C-level AND still beats every alternative — and stays at 2**15.
 _MASK_LIMIT = 1 << 15
 
 
@@ -172,6 +180,7 @@ class LabelSet:
         "_in_offs",
         "_out_masks",
         "_in_masks",
+        "_generation",
     )
 
     def __init__(self, n: int) -> None:
@@ -187,6 +196,7 @@ class LabelSet:
         self._in_offs = None
         self._out_masks = None
         self._in_masks = None
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # Sealing
@@ -225,6 +235,7 @@ class LabelSet:
         self._out_hops = self._out_offs = None
         self._in_hops = self._in_offs = None
         self._out_masks = self._in_masks = None
+        self._generation += 1
         if build_masks and self._fits_masks():
             self._build_masks()
         if self._out_masks is not None:
@@ -311,16 +322,22 @@ class LabelSet:
         self._out_masks = out_masks
         self._in_masks = in_masks
         self.lout_sets = [None] * self.n
+        self._generation += 1
         return self
 
     def or_in_mask(self, v: int, mask: int) -> None:
         """OR extra hop bits into ``v``'s in-side mask (if masks exist).
 
         The incremental oracle calls this after merging hops into
-        ``lin[v]`` so the mask fast path stays coherent.
+        ``lin[v]`` so the mask fast path stays coherent.  Any cached
+        in-side arena (and, through the generation bump, any batch
+        engine snapshot) is invalidated: both were built from the
+        pre-merge ``lin`` lists.
         """
         if self._in_masks is not None:
             self._in_masks[v] |= mask
+        self._in_hops = self._in_offs = None
+        self._generation += 1
 
     def drop_masks(self) -> None:
         """Discard mask acceleration and re-seal onto the hybrid path.
@@ -331,6 +348,7 @@ class LabelSet:
         """
         self._out_masks = None
         self._in_masks = None
+        self._generation += 1
         if self.sealed:
             self.seal()
 
@@ -338,6 +356,17 @@ class LabelSet:
     def sealed(self) -> bool:
         """Whether :meth:`seal` has been called since construction."""
         return self.lout_sets is not None
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter for snapshot-based accelerators.
+
+        Bumped by :meth:`seal`, :meth:`attach_masks`, :meth:`drop_masks`
+        and :meth:`or_in_mask`; the vectorized batch engine
+        (:mod:`repro.kernels.batchquery`) compares it to detect that its
+        arena snapshot went stale.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------
     # Queries
@@ -372,7 +401,16 @@ class LabelSet:
         This is the hot path of the benchmark harness: a single
         comprehension (masks) or a single loop (hybrid) instead of three
         levels of per-pair method dispatch.
+
+        Accepts any iterable of pairs, including a NumPy ``(P, 2)``
+        array (normalised up front — iterating array rows through the
+        scalar loops would box every element twice).  The oracles route
+        large arena-layout batches to the vectorized engine in
+        :mod:`repro.kernels.batchquery` instead of this method.
         """
+        if not isinstance(pairs, (list, tuple)):
+            to_list = getattr(pairs, "tolist", None)
+            pairs = to_list() if to_list is not None else list(pairs)
         masks = self._out_masks
         if masks is not None:
             in_masks = self._in_masks

@@ -44,7 +44,11 @@ class Reachability:
         condensation DAG.  Defaults to Distribution-Labeling, the
         paper's recommended all-round method.
     **params:
-        Forwarded to the index constructor.
+        Forwarded to the index constructor.  The kernel-aware methods
+        (``DL``, ``HL``, ``GL``, ``PL``) accept
+        ``backend={"auto", "python", "numpy"}`` and ``DL`` additionally
+        ``workers=N`` for multi-core sharded construction; results are
+        bit-identical across backends and worker counts.
     """
 
     def __init__(
@@ -57,6 +61,7 @@ class Reachability:
         self.condensation: Condensation = condense(graph)
         factory = get_method(method) if isinstance(method, str) else method
         self.index: ReachabilityIndex = factory(self.condensation.dag, **params)
+        self._comp_arr = None  # lazy int64 mirror of condensation.comp
 
     # ------------------------------------------------------------------
     def query(self, u: int, v: int) -> bool:
@@ -74,13 +79,21 @@ class Reachability:
     def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[bool]:
         """Vectorised :meth:`query` over many pairs.
 
-        Translates the whole workload into condensation space in one
-        comprehension and hands it to the index's batch fast path.  No
-        same-SCC special case is needed: ``query(c, c)`` is reflexively
-        True for every index, per the :class:`ReachabilityIndex`
-        contract.
+        Translates the whole workload into condensation space and hands
+        it to the index's batch fast path.  A NumPy ``(P, 2)`` array is
+        translated by one gather and stays an array, so it reaches the
+        vectorized engine without a Python round trip.  No same-SCC
+        special case is needed: ``query(c, c)`` is reflexively True for
+        every index, per the :class:`ReachabilityIndex` contract.
         """
         comp = self.condensation.comp
+        from .kernels import numpy_or_none
+
+        np = numpy_or_none()
+        if np is not None and isinstance(pairs, np.ndarray):
+            if self._comp_arr is None:
+                self._comp_arr = np.asarray(comp, dtype=np.int64)
+            return self.index.query_batch(self._comp_arr[pairs])
         return self.index.query_batch([(comp[u], comp[v]) for u, v in pairs])
 
     def same_scc(self, u: int, v: int) -> bool:

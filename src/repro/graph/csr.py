@@ -62,7 +62,16 @@ class CSRView:
     (3, 3)
     """
 
-    __slots__ = ("n", "m", "out_offsets", "out_targets", "in_offsets", "in_targets", "_graph")
+    __slots__ = (
+        "n",
+        "m",
+        "out_offsets",
+        "out_targets",
+        "in_offsets",
+        "in_targets",
+        "_graph",
+        "_np_views",
+    )
 
     def __init__(
         self,
@@ -75,6 +84,7 @@ class CSRView:
         self.in_offsets, self.in_targets = build_csr_arrays(in_adj)
         self.m = len(self.out_targets)
         self._graph = graph
+        self._np_views = None
 
     # ------------------------------------------------------------------
     # Per-vertex access
@@ -129,23 +139,35 @@ class CSRView:
     # NumPy bridge (optional dependency, already in the toolchain)
     # ------------------------------------------------------------------
     def as_numpy(self):
-        """The four arrays as zero-copy NumPy views.
+        """The four arrays as zero-copy NumPy views, built once.
 
         Returns ``(out_offsets, out_targets, in_offsets, in_targets)``.
-        The dtype follows the platform's ``array('l')`` item size (4
-        bytes on LLP64 Windows, 8 elsewhere) so the buffers are never
-        misinterpreted.  Raises ``ImportError`` when NumPy is
-        unavailable.
+        The views are cached on the ``CSRView`` — the kernel backends
+        call this on every build/query-engine construction — and marked
+        **read-only**: they alias the ``array('l')`` buffers of an
+        immutable snapshot, so writing through them would silently
+        corrupt the graph for every later consumer.  The dtype follows
+        the platform's ``array('l')`` item size (4 bytes on LLP64
+        Windows, 8 elsewhere) so the buffers are never misinterpreted.
+        Raises ``ImportError`` when NumPy is unavailable.
         """
-        import numpy as np
+        if self._np_views is None:
+            import numpy as np
 
-        dtype = np.dtype(f"i{self.out_offsets.itemsize}")
-        return (
-            np.frombuffer(self.out_offsets, dtype=dtype),
-            np.frombuffer(self.out_targets, dtype=dtype),
-            np.frombuffer(self.in_offsets, dtype=dtype),
-            np.frombuffer(self.in_targets, dtype=dtype),
-        )
+            dtype = np.dtype(f"i{self.out_offsets.itemsize}")
+            views = tuple(
+                np.frombuffer(buf, dtype=dtype)
+                for buf in (
+                    self.out_offsets,
+                    self.out_targets,
+                    self.in_offsets,
+                    self.in_targets,
+                )
+            )
+            for view in views:
+                view.flags.writeable = False
+            self._np_views = views
+        return self._np_views
 
     def size_bytes(self) -> int:
         """Memory footprint of the four flat arrays."""

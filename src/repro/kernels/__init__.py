@@ -1,0 +1,138 @@
+"""Vectorized NumPy kernel backend for the hot paths.
+
+The scalar implementations in :mod:`repro.core` and
+:mod:`repro.baselines` are the canonical reference: portable, dependency
+free, and — thanks to the PR 1 flat-layout work — already tuned to what
+CPython executes well.  This package adds a second execution backend
+that runs the same algorithms as NumPy array programs over
+:meth:`repro.graph.csr.CSRView.as_numpy`:
+
+* :mod:`repro.kernels.frontier` — frontier-at-a-time (level-synchronous)
+  BFS primitives: segmented CSR gathers, stamped visited arrays,
+  multi-source bounded sweeps.
+* :mod:`repro.kernels.distribute` — Distribution-Labeling construction
+  with chunked ``uint64`` prune bitsets.
+* :mod:`repro.kernels.backbone` / :mod:`repro.kernels.hl` — the SCARAB
+  backbone decomposition and the HL label folds.
+* :mod:`repro.kernels.grail` — GRAIL interval labelings via sorting
+  instead of per-vertex DFS.
+* :mod:`repro.kernels.pl` — Pruned-Landmark sweeps over padded 2-D
+  label tables.
+* :mod:`repro.kernels.batchquery` — the staged batch query engine
+  (reflexivity / height / interval / chunked-bitset / residual probe).
+* :mod:`repro.kernels.sharded` — multi-core sharded DL construction via
+  ``multiprocessing`` with a batch-synchronous cleaning pass.
+
+Every kernel is **bit-identical** to its scalar twin: same labels, same
+query answers, same witnesses (property-tested in
+``tests/kernels/``).  NumPy stays an *optional* dependency — when it is
+missing every entry point falls back to the scalar path.
+
+Backend selection
+-----------------
+Constructors accept ``backend={"auto", "python", "numpy"}``:
+
+* ``"python"`` — always the scalar path.
+* ``"numpy"`` — force the vectorized path; falls back to scalar (with a
+  ``RuntimeWarning``) when NumPy is not importable.
+* ``"auto"`` (default) — the vectorized path when NumPy is available
+  *and* the input is large enough for array dispatch overhead to pay
+  (per-algorithm thresholds below, measured in
+  ``benchmarks/bench_kernels.py``).
+
+The environment variable ``REPRO_BACKEND`` overrides the default for
+the whole process (CI uses it to run the entire suite under the numpy
+backend), and ``REPRO_WORKERS`` supplies a default shard count for
+constructions that support ``workers=N``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+__all__ = [
+    "numpy_or_none",
+    "have_numpy",
+    "requested_backend",
+    "resolve_backend",
+    "default_workers",
+    "AUTO_MIN_N",
+]
+
+#: "auto" picks the numpy backend only at or above this vertex count —
+#: below it, per-call array dispatch overhead outweighs the vectorized
+#: inner loops (measured in benchmarks/bench_kernels.py, the
+#: "backend crossover" sweep: scalar wins clearly at n=256, the paths
+#: cross between n=512 and n=2048 depending on density).
+AUTO_MIN_N = 1024
+
+_BACKENDS = ("auto", "python", "numpy")
+
+
+def numpy_or_none():
+    """The :mod:`numpy` module, or ``None`` when unavailable.
+
+    Central import point so tests can shim NumPy away in one place.
+    """
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised via import shim
+        return None
+    return numpy
+
+
+def have_numpy() -> bool:
+    """Whether the vectorized backend can run at all."""
+    return numpy_or_none() is not None
+
+
+def requested_backend(backend: Optional[str]) -> str:
+    """The caller's request after the ``REPRO_BACKEND`` default: one of
+    ``"auto"``, ``"python"``, ``"numpy"`` (not yet availability-resolved).
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND") or "auto"
+    backend = backend.lower()
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    return backend
+
+
+def resolve_backend(
+    backend: Optional[str],
+    n: int = 0,
+    auto_min_n: int = AUTO_MIN_N,
+) -> str:
+    """Resolve a ``backend`` parameter to ``"python"`` or ``"numpy"``.
+
+    ``None`` defers to the ``REPRO_BACKEND`` environment variable and
+    then to ``"auto"``.  ``"numpy"`` degrades to ``"python"`` with a
+    warning when NumPy is missing — a forced backend should never turn
+    a working build into a crash.
+    """
+    backend = requested_backend(backend)
+    if backend == "python":
+        return "python"
+    if numpy_or_none() is None:
+        if backend == "numpy":
+            warnings.warn(
+                "backend='numpy' requested but NumPy is not importable; "
+                "falling back to the scalar backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "python"
+    if backend == "numpy":
+        return "numpy"
+    return "numpy" if n >= auto_min_n else "python"
+
+
+def default_workers() -> int:
+    """Shard count from ``REPRO_WORKERS`` (default 1 = serial)."""
+    raw = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1

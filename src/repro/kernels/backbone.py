@@ -1,0 +1,252 @@
+"""Vectorized SCARAB backbone-level construction.
+
+:func:`repro.core.backbone.build_backbone_level` spends its time in one
+``_bounded_bfs`` per backbone vertex (the ``within`` sets and the
+candidate edges) and per ordinary vertex (the B-sets), plus pairwise
+domination probes through Python sets.  This module computes the same
+objects with batched kernels:
+
+* all bounded neighbourhoods at once via
+  :func:`repro.kernels.frontier.multi_source_within`;
+* the ``within`` relations stored as CSR runs plus one sorted composite
+  key array (``member * B + element``), so every domination question
+  becomes a vectorized membership probe via ``np.searchsorted``;
+* edge domination ("does a third backbone vertex sit within ε of both
+  endpoints?") expands each candidate edge by its tail's ``within-out``
+  run and probes the head's ``within-in`` keys;
+* B-set domination expands each vertex's candidate set against itself
+  (``|cand|²`` pairs, candidate sets are tiny) and probes the same
+  ``within`` keys — exactly the scalar double loop, flattened.
+
+The cover extraction itself stays scalar: it is a cheap *sequential*
+greedy pass whose output depends on processing order, and bit-identical
+levels are the contract.  Everything downstream (backbone graph, B-sets)
+is equal as sets/sorted lists to the scalar builder's output, so HL
+labels cannot differ between backends.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["build_backbone_level_numpy"]
+
+
+def _csr_from_pairs(np, src, dst, n_src: int):
+    """CSR runs (offsets into ``dst``) for pairs sorted by ``src``."""
+    counts = np.bincount(src, minlength=n_src)
+    offsets = np.zeros(n_src + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+def _probe(np, keys, queries):
+    """Membership of each query in the sorted composite-key array."""
+    if not len(keys):
+        return np.zeros(len(queries), dtype=bool)
+    pos = np.searchsorted(keys, queries)
+    pos[pos == len(keys)] = 0
+    return keys[pos] == queries
+
+
+#: Expansion budget (elements) per domination block; bounds transient
+#: memory on dense graphs where Σ|within|·|candidates| can reach 10⁸.
+_EXPAND_BUDGET = 1 << 22
+
+
+def _owner_blocks(np, weights, budget: int = _EXPAND_BUDGET):
+    """Contiguous owner ranges whose total expansion fits ``budget``."""
+    total = int(weights.sum())
+    if total <= budget:
+        yield 0, len(weights)
+        return
+    csum = np.cumsum(weights)
+    start = 0
+    while start < len(weights):
+        base = int(csum[start - 1]) if start else 0
+        end = int(np.searchsorted(csum, base + budget, side="right"))
+        end = max(end, start + 1)
+        yield start, end
+        start = end
+
+
+def _digraph_from_edge_arrays(np, DiGraph, n: int, tails, heads):
+    """A frozen :class:`DiGraph` filled from unique, (tail, head)-sorted
+    edge arrays in bulk — the per-edge ``add_edge`` loop costs more than
+    the whole vectorized level on dense hierarchies."""
+    g = DiGraph(n)
+    tail_list = tails.tolist()
+    head_list = heads.tolist()
+    out_bounds = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(tails, minlength=n), out=out_bounds[1:])
+    out_bounds = out_bounds.tolist()
+    by_head = np.lexsort((tails, heads))
+    in_tails = tails[by_head].tolist()
+    in_bounds = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(heads, minlength=n), out=in_bounds[1:])
+    in_bounds = in_bounds.tolist()
+    g._out = [head_list[out_bounds[v] : out_bounds[v + 1]] for v in range(n)]
+    g._in = [in_tails[in_bounds[v] : in_bounds[v + 1]] for v in range(n)]
+    g._edge_set = set(zip(tail_list, head_list))
+    g._m = len(tail_list)
+    g._frozen = True
+    return g
+
+
+def build_backbone_level_numpy(np, graph, eps: int, order_fn, seed: int):
+    """Numpy twin of :func:`repro.core.backbone.build_backbone_level`."""
+    from ..core.backbone import BackboneLevel, extract_cover
+    from ..graph.digraph import DiGraph
+    from .frontier import multi_source_within, segment_starts
+
+    n = graph.n
+    order = order_fn(graph, seed)
+    backbone = extract_cover(graph, eps, order)
+    in_backbone = np.zeros(n, dtype=bool)
+    backbone_arr = np.asarray(backbone, dtype=np.int64)
+    in_backbone[backbone_arr] = True
+    B = len(backbone)
+    to_backbone = {v: i for i, v in enumerate(backbone)}
+    bidx_of = np.full(n, -1, dtype=np.int64)
+    bidx_of[backbone_arr] = np.arange(B, dtype=np.int64)
+
+    out_offsets, out_targets, in_offsets, in_targets = graph.csr().as_numpy()
+
+    # ---- one forward sweep to eps+1 yields both the within-eps sets
+    # ---- and the backbone-edge candidates (via the level tags) -------
+    fsrc, fvert, flev = multi_source_within(
+        out_offsets, out_targets, backbone_arr, eps + 1, n, levels=True
+    )
+    if len(fvert):
+        keep = in_backbone[fvert]
+        fsrc, fvert, flev = fsrc[keep], fvert[keep], flev[keep]
+
+    def as_within(src, vert):
+        w_offsets = _csr_from_pairs(np, src, vert, B)
+        keys = src * n + vert  # sorted: pairs arrive sorted by (src, vert)
+        return w_offsets, vert, keys
+
+    wsel = flev <= eps
+    wout_offs, wout_vals, wout_keys = as_within(fsrc[wsel], fvert[wsel])
+
+    isrc, ivert = multi_source_within(in_offsets, in_targets, backbone_arr, eps, n)
+    if len(ivert):
+        keep = in_backbone[ivert]
+        isrc, ivert = isrc[keep], ivert[keep]
+    win_offs, win_vals, win_keys = as_within(isrc, ivert)
+
+    # ---- backbone edges: the eps+1 candidates minus dominated ones ---
+    def probe_maker(keys):
+        """Membership probe: hash set when keys pack into int32."""
+        if n <= 46340 and len(keys):
+            from .frontier import hashset_build, hashset_contains
+
+            table = hashset_build(np, keys.astype(np.int32))
+            return lambda q: hashset_contains(np, table, q.astype(np.int32))
+        return lambda q: _probe(np, keys, q)
+
+    esrc, evert = fsrc, fvert
+    if len(esrc):
+        head_b = bidx_of[evert]
+        tails = backbone_arr[esrc]
+        # Edge (b, x) is dominated iff a third backbone vertex sits in
+        # within_out[b] ∩ within_in[x].  Expand the smaller of the two
+        # runs per edge and probe the other side's composite keys.
+        out_lens = wout_offs[esrc + 1] - wout_offs[esrc]
+        in_lens = win_offs[head_b + 1] - win_offs[head_b]
+        dominated = np.zeros(len(esrc), dtype=bool)
+        expand_out = out_lens <= in_lens
+        jobs = (
+            (expand_out, wout_offs, wout_vals, esrc, probe_maker(win_keys), head_b),
+            (~expand_out, win_offs, win_vals, head_b, probe_maker(wout_keys), esrc),
+        )
+        for sel, w_offs, w_vals, expand_idx, probe_fn, probe_idx in jobs:
+            edges = np.nonzero(sel)[0]
+            if not len(edges):
+                continue
+            eidx = expand_idx[edges]
+            lens = w_offs[eidx + 1] - w_offs[eidx]
+            for lo, hi in _owner_blocks(np, lens):
+                blens = lens[lo:hi]
+                starts, total = segment_starts(blens)
+                if not total:
+                    continue
+                ramp = np.arange(total, dtype=np.int64) - np.repeat(starts, blens)
+                y = w_vals[np.repeat(w_offs[eidx[lo:hi]], blens) + ramp]
+                pair = edges[lo + np.repeat(np.arange(hi - lo, dtype=np.int64), blens)]
+                ok = (y != tails[pair]) & (y != evert[pair])
+                hits = np.zeros(total, dtype=bool)
+                if ok.any():
+                    hits[ok] = probe_fn(probe_idx[pair[ok]] * n + y[ok])
+                dominated[pair[hits]] = True
+        edge_tail = esrc[~dominated]
+        edge_head = head_b[~dominated]
+    else:
+        edge_tail = edge_head = np.zeros(0, dtype=np.int64)
+
+    bg = _digraph_from_edge_arrays(np, DiGraph, B, edge_tail, edge_head)
+
+    # ---- B-sets (Formulas 1-2) for every non-backbone vertex ---------
+    plain = np.nonzero(~in_backbone)[0]
+
+    def b_sets(offsets, targets, w_offs, w_vals) -> List[List[int]]:
+        sets: List[List[int]] = [[] for _ in range(n)]
+        if not len(plain):
+            return sets
+        src, vert = multi_source_within(offsets, targets, plain, eps, n)
+        if len(vert):
+            keep = in_backbone[vert]
+            src, vert = src[keep], vert[keep]
+        if not len(src):
+            return sets
+        cand_offs = _csr_from_pairs(np, src, vert, len(plain))
+        # Candidate u of vertex v is dominated iff
+        # u ∈ ∪ { within[x] : x ∈ cand(v) } (x = u contributes nothing:
+        # within[u] never contains u).  Expanding that union costs
+        # Σ|cand|·|within| — the |cand|² pairwise formulation blows up
+        # on hub-adjacent vertices whose candidate sets reach the
+        # thousands.  Per owner block: expand, sort the composite keys,
+        # probe each candidate against its own vertex's union.
+        cand_b = bidx_of[vert]
+        ylens = w_offs[cand_b + 1] - w_offs[cand_b]
+        weights = np.zeros(len(plain), dtype=np.int64)
+        np.add.at(weights, src, ylens)
+        keep_mask = np.ones(len(vert), dtype=bool)
+        for lo, hi in _owner_blocks(np, weights):
+            # Flat candidate range covered by owners [lo, hi).
+            flo, fhi = int(cand_offs[lo]), int(cand_offs[hi])
+            if flo == fhi:
+                continue
+            blens = ylens[flo:fhi]
+            starts, total = segment_starts(blens)
+            if not total:
+                continue
+            ramp = np.arange(total, dtype=np.int64) - np.repeat(starts, blens)
+            y = w_vals[np.repeat(w_offs[cand_b[flo:fhi]], blens) + ramp]
+            owner = np.repeat(src[flo:fhi], blens)
+            union_keys = np.sort(owner * n + y)
+            queries = src[flo:fhi] * n + vert[flo:fhi]
+            keep_mask[flo:fhi] = ~_probe(np, union_keys, queries)
+        kept_src = src[keep_mask]
+        kept_vert = vert[keep_mask].tolist()
+        bounds = _csr_from_pairs(np, kept_src, None, len(plain)).tolist()
+        plain_list = plain.tolist()
+        for i, v in enumerate(plain_list):
+            lo, hi = bounds[i], bounds[i + 1]
+            if lo != hi:
+                sets[v] = kept_vert[lo:hi]  # already sorted by vertex id
+        return sets
+
+    bout = b_sets(out_offsets, out_targets, wout_offs, wout_vals)
+    bin_ = b_sets(in_offsets, in_targets, win_offs, win_vals)
+
+    return BackboneLevel(
+        graph=graph,
+        eps=eps,
+        backbone_vertices=backbone,
+        backbone_graph=bg,
+        to_backbone=to_backbone,
+        from_backbone=list(backbone),
+        bout=bout,
+        bin_=bin_,
+    )

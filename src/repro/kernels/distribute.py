@@ -1,0 +1,146 @@
+"""Distribution-Labeling construction as a NumPy array program.
+
+Runs Algorithm 2's 2n pruned sweeps frontier-at-a-time: the per-vertex
+prune test ``Lout(u) ∩ Lin(vi) ≠ ∅`` becomes one chunked ``uint64``
+bitset AND over the whole frontier, expansion is a segmented CSR
+gather, and visited marks are a stamped array — the vectorized twin of
+``repro.core.distribution._distribute_bits``.
+
+Label lists are not appended one vertex at a time; each sweep logs
+``(hop, vertices)`` and the per-vertex sorted lists are assembled at
+the end with one stable sort (hops are distributed in ascending order,
+so stability alone yields sorted labels).  The chunked bitsets are
+converted to the bigint masks :meth:`LabelSet.attach_masks` expects, so
+a numpy-built oracle seals exactly like a scalar-built one.
+
+The chunked bitsets are dense ``(n, capacity)`` arrays grown on demand;
+worst case that is ``n²/32`` bytes, so :func:`fits_numpy_masks` gates
+the kernel (the caller falls back to the scalar path beyond the
+budget).  Output is bit-identical to the scalar sweeps: both compute
+the *canonical* labeling — hop ``i`` lands in ``Lin(w)`` iff
+``order[i]`` reaches ``w`` and no higher-ranked vertex sits on any
+``order[i] -> w`` path — so the backend choice can never change labels.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import List, Sequence, Tuple
+
+__all__ = ["fits_numpy_masks", "distribute_labels_numpy", "lists_to_csr"]
+
+#: Upper bound on the chunked prune-bitset footprint (both sides
+#: together).  128 MiB covers every mask-path graph (n <= 32768 needs
+#: at most 2 * n * n/8 = 256 MiB only when labels actually reach the
+#: highest hops; the budget is checked against *worst case* up front so
+#: the kernel never degrades mid-build).
+_MAX_BITSET_BYTES = 128 << 20
+
+
+def fits_numpy_masks(n: int) -> bool:
+    """Whether the worst-case chunked bitsets fit the memory budget."""
+    chunks = (n + 63) >> 6
+    return 2 * n * chunks * 8 <= _MAX_BITSET_BYTES
+
+
+def lists_to_csr(np, adj: Sequence[Sequence[int]]):
+    """Flatten list-of-lists adjacency into int64 ``(offsets, targets)``."""
+    n = len(adj)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.fromiter(map(len, adj), dtype=np.int64, count=n), out=offsets[1:])
+    total = int(offsets[-1])
+    targets = np.fromiter(chain.from_iterable(adj), dtype=np.int64, count=total)
+    return offsets, targets
+
+
+def _assemble(np, n: int, log: List[Tuple[int, "object"]]) -> List[List[int]]:
+    """Per-vertex sorted label lists from the ``(hop, vertices)`` log."""
+    if not log:
+        return [[] for _ in range(n)]
+    verts = np.concatenate([arr for _, arr in log])
+    hops = np.concatenate(
+        [np.full(len(arr), hop, dtype=np.int64) for hop, arr in log]
+    )
+    order = np.argsort(verts, kind="stable")
+    sorted_hops = hops[order].tolist()
+    counts = np.bincount(verts, minlength=n)
+    bounds = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    bounds = bounds.tolist()
+    return [sorted_hops[bounds[v] : bounds[v + 1]] for v in range(n)]
+
+
+def _masks_from_chunks(np, bits) -> List[int]:
+    """Chunked ``uint64`` rows as the bigints ``attach_masks`` expects."""
+    rows, chunks = bits.shape
+    raw = np.ascontiguousarray(bits.astype("<u8")).tobytes()
+    width = chunks * 8
+    return [
+        int.from_bytes(raw[i * width : (i + 1) * width], "little")
+        for i in range(rows)
+    ]
+
+
+def distribute_labels_numpy(np, labels, order, out_adj, in_adj, csr_np=None):
+    """Vectorized Algorithm 2; fills ``labels`` and returns the bigint
+    ``(out_masks, in_masks)`` mirrors of the chunked prune bitsets.
+
+    ``csr_np`` may pass pre-built ``(out_offsets, out_targets,
+    in_offsets, in_targets)`` arrays (the cached
+    :meth:`CSRView.as_numpy` when the adjacency is the graph's own);
+    otherwise the lists are flattened here (reduction-traversal hands
+    in reduced lists).
+    """
+    from .frontier import Stamped, segmented_gather
+
+    n = labels.n
+    if csr_np is not None:
+        out_offsets, out_targets, in_offsets, in_targets = csr_np
+    else:
+        out_offsets, out_targets = lists_to_csr(np, out_adj)
+        in_offsets, in_targets = lists_to_csr(np, in_adj)
+
+    cap = 1
+    obits = np.zeros((n, cap), dtype=np.uint64)
+    ibits = np.zeros((n, cap), dtype=np.uint64)
+    visited = Stamped(n)
+    log_in: List[Tuple[int, "object"]] = []
+    log_out: List[Tuple[int, "object"]] = []
+    order_arr = np.asarray(order, dtype=np.int64)
+
+    def sweep(vi, hop, chunk, bit, prune_row, bits, offsets, targets, log):
+        """One pruned BFS; labels (into ``bits``/``log``) the unpruned."""
+        visited.next_sweep()
+        frontier = np.array([vi], dtype=np.int64)
+        visited.marks[frontier] = visited.stamp
+        pruning = bool(prune_row.any())
+        while len(frontier):
+            if pruning:
+                keep = ~((bits[frontier] & prune_row).any(axis=1))
+                frontier = frontier[keep]
+                if not len(frontier):
+                    break
+            log.append((hop, frontier))
+            bits[frontier, chunk] |= bit
+            _, nxt = segmented_gather(offsets, targets, frontier)
+            frontier = visited.unseen(nxt) if len(nxt) else nxt
+
+    for hop, vi in enumerate(order_arr.tolist()):
+        chunk = hop >> 6
+        if chunk >= cap:
+            grow = max(cap * 2, chunk + 1)
+            obits = np.hstack([obits, np.zeros((n, grow - cap), dtype=np.uint64)])
+            ibits = np.hstack([ibits, np.zeros((n, grow - cap), dtype=np.uint64)])
+            cap = grow
+        bit = np.uint64(1 << (hop & 63))
+        # Forward sweep first: Lout(vi) has no self-hop yet, so the
+        # prune row is a stable snapshot (same ordering trick as the
+        # scalar sweeps).
+        sweep(vi, hop, chunk, bit, obits[vi], ibits, out_offsets, out_targets, log_in)
+        prune_row = ibits[vi].copy()
+        prune_row[chunk] &= ~bit  # drop the fresh self-hop
+        sweep(vi, hop, chunk, bit, prune_row, obits, in_offsets, in_targets, log_out)
+
+    labels.lin = _assemble(np, n, log_in)
+    labels.lout = _assemble(np, n, log_out)
+    return _masks_from_chunks(np, obits), _masks_from_chunks(np, ibits)

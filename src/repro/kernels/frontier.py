@@ -1,0 +1,287 @@
+"""Frontier-at-a-time BFS primitives over NumPy CSR arrays.
+
+The scalar sweeps walk one vertex at a time; the kernels here advance a
+whole frontier per step:
+
+* :func:`segmented_gather` — the core CSR expansion: concatenate the
+  adjacency runs of many sources in one shot (``np.repeat`` for the
+  per-source offsets plus a ramp for the within-run positions).
+* :func:`Stamped` — a reusable visited array where "clearing" is a
+  stamp bump, mirroring the scalar stamped-visited idiom.
+* :func:`bfs_levels` — level-synchronous single-source BFS with an
+  optional per-level keep mask (the pruned sweeps pass one).
+* :func:`multi_source_within` — bounded-depth multi-source BFS that
+  returns the ``(source, vertex)`` reach pairs, used by the backbone
+  kernels where the scalar code runs one ``_bounded_bfs`` per vertex.
+* :class:`HeightLevels` — vertices grouped by longest-path-to-sink
+  height, for reverse-level sweeps (GRAIL ``low`` values, the query
+  engine's level filter).  Heights themselves come from
+  :func:`repro.kernels.grail.compute_heights`, which is shared with the
+  scalar backend and therefore pure Python.
+
+Everything in this module assumes ``int64`` offsets/targets as produced
+by :meth:`repro.graph.csr.CSRView.as_numpy` on 64-bit platforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "segmented_gather",
+    "segment_starts",
+    "Stamped",
+    "bfs_levels",
+    "multi_source_within",
+    "compute_heights_numpy",
+    "hashset_build",
+    "hashset_slot",
+    "hashset_contains",
+    "HASHSET_GROWTH",
+    "HeightLevels",
+]
+
+
+def segment_starts(lengths):
+    """Exclusive prefix sum of ``lengths`` (= start of each segment)."""
+    csum = np.cumsum(lengths)
+    return csum - lengths, int(csum[-1]) if len(lengths) else 0
+
+
+def segmented_gather(offsets, targets, sources):
+    """Concatenated adjacency of ``sources``.
+
+    Returns ``(seg, values)`` where ``values`` is the concatenation of
+    ``targets[offsets[s]:offsets[s+1]]`` for each ``s`` in order and
+    ``seg[i]`` is the index *into sources* owning ``values[i]``.
+    """
+    lens = offsets[sources + 1] - offsets[sources]
+    starts, total = segment_starts(lens)
+    if not total:
+        empty = np.empty(0, dtype=targets.dtype)
+        return empty, empty
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(starts, lens)
+    values = targets[np.repeat(offsets[sources], lens) + ramp]
+    seg = np.repeat(np.arange(len(sources), dtype=np.int64), lens)
+    return seg, values
+
+
+class Stamped:
+    """Visited marks retired in O(1) by bumping a stamp."""
+
+    __slots__ = ("marks", "stamp")
+
+    def __init__(self, n: int) -> None:
+        self.marks = np.full(n, -1, dtype=np.int64)
+        self.stamp = -1
+
+    def next_sweep(self) -> int:
+        self.stamp += 1
+        return self.stamp
+
+    def unseen(self, vertices):
+        """Deduplicated vertices not yet seen this sweep; marks them."""
+        cand = vertices[self.marks[vertices] != self.stamp]
+        if len(cand) > 1:
+            cand = np.unique(cand)
+        self.marks[cand] = self.stamp
+        return cand
+
+
+def bfs_levels(offsets, targets, source: int, visited: Stamped, keep_fn=None):
+    """Level-synchronous BFS from ``source``.
+
+    Yields one array of newly discovered vertices per level (the source
+    itself first).  ``keep_fn(frontier) -> bool mask`` filters which
+    frontier vertices are *expanded* (the pruned sweeps label exactly
+    the kept vertices); pruned vertices still count as visited, matching
+    the scalar sweeps.
+    """
+    visited.next_sweep()
+    frontier = np.array([source], dtype=np.int64)
+    visited.marks[frontier] = visited.stamp
+    while len(frontier):
+        if keep_fn is not None:
+            frontier = frontier[keep_fn(frontier)]
+            if not len(frontier):
+                return
+        yield frontier
+        _, nxt = segmented_gather(offsets, targets, frontier)
+        frontier = visited.unseen(nxt) if len(nxt) else nxt
+
+
+#: Per-level raw-path budget for :func:`multi_source_within`.  Below it
+#: duplicate paths are carried along and deduplicated once at the end
+#: (no per-level sort at all); above it the level is compacted so a
+#: hub-heavy expansion cannot run away quadratically.
+_RAW_LEVEL_BUDGET = 1 << 22
+
+
+def multi_source_within(offsets, targets, sources, depth: int, n: int, levels=False):
+    """All ``(source-index, vertex)`` pairs within ``depth`` steps.
+
+    The scalar twin runs one ``_bounded_bfs`` per source; this expands
+    every source's frontier together.  For the small depths the
+    backbone kernels use (ε ≤ 3) it is cheaper to enumerate raw *paths*
+    — duplicates included — and sort once at the end than to
+    deduplicate every level; a level whose raw frontier outgrows
+    ``_RAW_LEVEL_BUDGET`` is compacted in place, which bounds the
+    worst case without changing the result.  The source itself
+    (distance 0) is *not* reported, matching the ``x != b`` / ``d == 0``
+    exclusions at every scalar call site.
+
+    Returns ``(src_idx, vertex)`` arrays sorted by ``(src_idx, vertex)``;
+    with ``levels=True`` a third array carries each pair's BFS level
+    (1-based, the minimum over all paths).
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    empty = np.empty(0, dtype=np.int64)
+    if not len(sources):
+        return (empty, empty, empty) if levels else (empty, empty)
+    raw_keys = []
+    seg = np.arange(len(sources), dtype=np.int64)
+    frontier = sources
+    for level in range(1, depth + 1):
+        if not len(frontier):
+            break
+        gseg, values = segmented_gather(offsets, targets, frontier)
+        if not len(values):
+            break
+        seg = seg[gseg]
+        frontier = values
+        raw_keys.append((seg * n + frontier) * (depth + 1) + level)
+        if len(frontier) > _RAW_LEVEL_BUDGET and level < depth:
+            keys = np.unique(seg * n + frontier)
+            seg = keys // n
+            frontier = keys % n
+    if not raw_keys:
+        return (empty, empty, empty) if levels else (empty, empty)
+    keys = np.sort(np.concatenate(raw_keys)) if len(raw_keys) > 1 else np.sort(raw_keys[0])
+    pairs = keys // (depth + 1)
+    # First occurrence per pair carries the minimum level.
+    first = np.ones(len(pairs), dtype=bool)
+    first[1:] = pairs[1:] != pairs[:-1]
+    pairs = pairs[first]
+    # Drop distance-0 self pairs re-reached around a cycle (DAG inputs
+    # never produce them, but the contract excludes the source anyway).
+    src = pairs // n
+    vert = pairs % n
+    not_self = vert != sources[src]
+    if not not_self.all():
+        first_keys = keys[first][not_self]
+        src, vert = src[not_self], vert[not_self]
+    else:
+        first_keys = keys[first]
+    if levels:
+        return src, vert, first_keys % (depth + 1)
+    return src, vert
+
+
+def compute_heights_numpy(np, csr_np):
+    """Longest-path-to-sink heights by vectorized sink peeling.
+
+    Bit-identical to :func:`repro.kernels.grail.compute_heights`
+    (heights are a pure function of the graph): a vertex's height is
+    the peel round in which its last out-neighbour finished.  Raises
+    ``ValueError`` on cyclic input, like the scalar twin.
+    """
+    out_offsets, _, in_offsets, in_targets = csr_np
+    n = len(out_offsets) - 1
+    deg = (out_offsets[1:] - out_offsets[:-1]).copy()
+    height = np.zeros(n, dtype=np.int64)
+    current = np.nonzero(deg == 0)[0]
+    done = len(current)
+    level = 0
+    while len(current):
+        height[current] = level
+        level += 1
+        _, preds = segmented_gather(in_offsets, in_targets, current)
+        if not len(preds):
+            break
+        upd, counts = np.unique(preds, return_counts=True)
+        deg[upd] -= counts
+        current = upd[deg[upd] == 0]
+        done += len(current)
+    if done != n:
+        raise ValueError("interval labeling requires a DAG")
+    return height
+
+
+# ----------------------------------------------------------------------
+# Open-addressing int32 membership set (shared by the batch query
+# engine's residual probes and the backbone domination probes).
+# ----------------------------------------------------------------------
+#: Slots = next power of two of this multiple of the key count.  2.0
+#: bounds the load factor at 0.5 whatever the count (a smaller growth
+#: can land just under a power of two and leave load ~0.75, where
+#: linear-probe chains — and the scatter-insert rounds — blow up).
+HASHSET_GROWTH = 2.0
+
+
+def hashset_build(np, keys):
+    """``(table, bits)`` for int32 ``keys`` (non-negative, unique).
+
+    Linear probing with ``-1`` as the empty sentinel.  Insertion runs
+    scatter rounds: conflicting writers land on one slot, read-back
+    keeps the survivor, losers advance one slot — a handful of passes
+    at this load factor, no sort.
+    """
+    count = len(keys)
+    bits = max(int(count * HASHSET_GROWTH) - 1, 63).bit_length()
+    size = 1 << bits
+    table = np.full(size, -1, dtype=np.int32)
+    slot = hashset_slot(np, keys, bits)
+    pending = np.arange(count, dtype=np.int64)
+    while len(pending):
+        s = slot[pending]
+        vacant = table[s] == -1
+        cand = pending[vacant]
+        if len(cand):
+            table[slot[cand]] = keys[cand]
+        placed = table[slot[pending]] == keys[pending]
+        pending = pending[~placed]
+        if len(pending):
+            slot[pending] = (slot[pending] + 1) & (size - 1)
+    return table, bits
+
+
+def hashset_slot(np, keys, bits: int):
+    """Fibonacci-multiply slot hash into ``2**bits`` buckets."""
+    h = keys.astype(np.uint32) * np.uint32(2654435761)
+    return (h >> np.uint32(32 - bits)).astype(np.int64)
+
+
+def hashset_contains(np, table_bits, keys):
+    """Vectorized membership probes (resolve on hit or empty slot)."""
+    table, bits = table_bits
+    slot = hashset_slot(np, keys, bits)
+    found = np.zeros(len(keys), dtype=bool)
+    active = np.arange(len(keys), dtype=np.int64)
+    mask = len(table) - 1
+    while len(active):
+        got = table[slot[active]]
+        hit = got == keys[active]
+        found[active[hit]] = True
+        cont = ~hit & (got != -1)
+        active = active[cont]
+        if len(active):
+            slot[active] = (slot[active] + 1) & mask
+    return found
+
+
+class HeightLevels:
+    """Vertices grouped by height, for reverse-level sweeps."""
+
+    __slots__ = ("height", "by_height", "bounds", "max_height")
+
+    def __init__(self, height) -> None:
+        self.height = height
+        self.by_height = np.argsort(height, kind="stable")
+        self.max_height = int(height[self.by_height[-1]]) if len(height) else 0
+        self.bounds = np.searchsorted(
+            height[self.by_height], np.arange(self.max_height + 2)
+        )
+
+    def level(self, h: int):
+        """Vertices whose height is exactly ``h``."""
+        return self.by_height[self.bounds[h] : self.bounds[h + 1]]

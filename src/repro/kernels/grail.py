@@ -1,0 +1,136 @@
+"""GRAIL interval labelings by sorting, in scalar and vectorized form.
+
+The original GRAIL builds each round's ``[low, post]`` intervals with a
+randomized post-order DFS.  A DFS is inherently sequential, so PR 2
+replaces the *ordering* with an equivalent sortable scheme shared by
+both backends:
+
+* ``height(v)`` — longest path from ``v`` to a sink.  Every edge
+  ``u -> w`` has ``height[u] > height[w]``, so ranking vertices by
+  ``(height asc, random key)`` yields a reverse topological order:
+  ``post[w] < post[u]`` for every edge, exactly the property a DAG DFS
+  post-order provides.
+* ``low(v) = min(post over everything reachable from v, v included)``,
+  computed by one reverse-level sweep (out-neighbours always have
+  smaller height, hence are finalised first).
+
+The GRAIL guarantees only need those two properties — containment
+(``low[u] <= low[v] and post[v] <= post[u]``) remains *necessary* for
+``u -> v``, queries stay exact via the pruned DFS fallback — while the
+construction becomes one sort per round instead of an interpreted DFS.
+The random key per vertex plays the role of the DFS's shuffled child
+order: rounds differ, so containment in all ``k`` rounds stays a sharp
+filter.
+
+Both backends draw the same ``random.Random`` floats and break ties the
+same way (stable sort on equal ``(height, key)``), so the intervals are
+bit-identical across backends — property-tested in
+``tests/kernels/test_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..graph.topo import topological_order
+
+__all__ = [
+    "compute_heights",
+    "round_keys",
+    "interval_round_python",
+    "interval_rounds_numpy",
+]
+
+
+def compute_heights(graph) -> List[int]:
+    """Longest-path-to-sink height per vertex (pure Python, shared).
+
+    Raises ``ValueError`` on cyclic input — every caller indexes DAGs.
+    """
+    order = topological_order(graph)
+    if order is None:
+        raise ValueError("interval labeling requires a DAG")
+    height = [0] * graph.n
+    out_adj = graph.out_adj
+    for u in reversed(order):
+        h = -1
+        for w in out_adj[u]:
+            if height[w] > h:
+                h = height[w]
+        height[u] = h + 1
+    return height
+
+
+def round_keys(rng: random.Random, n: int) -> List[float]:
+    """The per-round random keys, one draw per vertex in id order.
+
+    A single definition keeps the scalar and numpy backends on the same
+    random stream.
+    """
+    rand = rng.random
+    return [rand() for _ in range(n)]
+
+
+def interval_round_python(
+    graph, height: Sequence[int], rng: random.Random
+) -> Tuple[List[int], List[int]]:
+    """One interval round on the scalar backend: ``(low, post)`` lists."""
+    n = graph.n
+    key = round_keys(rng, n)
+    perm = sorted(range(n), key=lambda v: (height[v], key[v]))
+    post = [0] * n
+    for i, v in enumerate(perm):
+        post[v] = i
+    low = list(post)
+    out_adj = graph.out_adj
+    # perm is ordered by ascending height: every out-neighbour of v is
+    # final when v is processed.
+    for v in perm:
+        lv = low[v]
+        for w in out_adj[v]:
+            if low[w] < lv:
+                lv = low[w]
+        low[v] = lv
+    return low, post
+
+
+def interval_rounds_numpy(
+    np, csr_np, levels, rng: random.Random, k: int
+) -> List[Tuple[List[int], List[int]]]:
+    """``k`` interval rounds on the numpy backend; bit-identical output.
+
+    ``csr_np`` is the tuple from :meth:`CSRView.as_numpy`; ``levels`` a
+    :class:`repro.kernels.frontier.HeightLevels` over the same heights
+    the scalar rounds use.  All ``k`` rounds run through one reverse
+    level sweep (the segmented gather indices are shared, and the
+    ``low`` minima reduce over an ``(n, k)`` matrix), so the per-round
+    cost is one ``lexsort`` plus a k-th of the sweep.
+    """
+    from .frontier import segment_starts
+
+    out_offsets, out_targets, _, _ = csr_np
+    n = len(out_offsets) - 1
+    height = levels.height
+    post2d = np.empty((n, k), dtype=np.int64)
+    for r in range(k):
+        key = np.array(round_keys(rng, n))
+        perm = np.lexsort((key, height))
+        post2d[perm, r] = np.arange(n, dtype=np.int64)
+    low2d = post2d.copy()
+    deg = out_offsets[1:] - out_offsets[:-1]
+    for h in range(1, levels.max_height + 1):
+        vertices = levels.level(h)
+        dv = deg[vertices]
+        vertices = vertices[dv > 0]
+        dv = dv[dv > 0]
+        if not len(vertices):
+            continue
+        starts, total = segment_starts(dv)
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(starts, dv)
+        nbrs = out_targets[np.repeat(out_offsets[vertices], dv) + ramp]
+        mins = np.minimum.reduceat(low2d[nbrs], starts, axis=0)
+        low2d[vertices] = np.minimum(low2d[vertices], mins)
+    return [
+        (low2d[:, r].tolist(), post2d[:, r].tolist()) for r in range(k)
+    ]

@@ -1,0 +1,83 @@
+"""Vectorized Hierarchical-Labeling level folds (Formulas 4-5).
+
+The scalar ``_fold`` unions, per vertex, its mapped ε/2-neighbourhood
+with the labels of its backbone vertex set through ``set.update`` and a
+sort.  This kernel batches one whole level and side: every vertex's
+pieces (self id, mapped neighbours, backbone labels) are concatenated
+into one array with per-vertex segment ids, and a single
+``np.unique`` over composite keys ``segment * n0 + value`` produces all
+the sorted, deduplicated labels at once — exactly
+``sorted(set(union))`` per vertex, bit for bit.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import List, Sequence
+
+__all__ = ["fold_level_numpy"]
+
+
+def fold_level_numpy(
+    np,
+    vertices: Sequence[int],
+    adj: Sequence[Sequence[int]],
+    bsets: Sequence[List[int]],
+    orig_of: Sequence[int],
+    side: Sequence[List[int]],
+    n0: int,
+) -> List[List[int]]:
+    """Folded labels for ``vertices`` of one level graph, one side.
+
+    ``adj`` is the level graph's adjacency for that side, ``bsets`` the
+    matching B-sets, ``side`` the global label lists being folded from
+    (already final for every backbone vertex), ``n0`` the original
+    vertex count.  Returns one sorted label list per vertex, in order.
+    """
+    orig_arr = np.asarray(orig_of, dtype=np.int64)
+    counts = []
+    pieces_small: List[int] = []  # self + neighbour ids, interleaved
+    label_lists: List[List[int]] = []
+    label_counts = []
+    for v in vertices:
+        nbrs = adj[v]
+        pieces_small.append(orig_of[v])
+        pieces_small.extend(nbrs)
+        total = 0
+        for u in bsets[v]:
+            lab = side[orig_of[u]]
+            label_lists.append(lab)
+            total += len(lab)
+        counts.append(1 + len(nbrs))
+        label_counts.append(total)
+
+    counts = np.asarray(counts, dtype=np.int64)
+    label_counts = np.asarray(label_counts, dtype=np.int64)
+    small = np.fromiter(pieces_small, dtype=np.int64, count=int(counts.sum()))
+    # Neighbour entries still carry level-graph ids; map them (the
+    # leading self entry per segment is already an original id, mapping
+    # it again would corrupt it, so map before interleaving instead).
+    # To keep one pass, `small` interleaves raw ids: selfs were pushed
+    # as original ids, neighbours as level ids — rebuild the map mask.
+    bounds = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    is_self = np.zeros(len(small), dtype=bool)
+    is_self[bounds[:-1]] = True
+    small[~is_self] = orig_arr[small[~is_self]]
+
+    lab_total = int(label_counts.sum())
+    labels_flat = np.fromiter(
+        chain.from_iterable(label_lists), dtype=np.int64, count=lab_total
+    )
+
+    seg_small = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    seg_labels = np.repeat(np.arange(len(counts), dtype=np.int64), label_counts)
+    keys = np.concatenate(
+        [seg_small * n0 + small, seg_labels * n0 + labels_flat]
+    )
+    keys = np.unique(keys)
+    cut = np.searchsorted(
+        keys, np.arange(len(counts) + 1, dtype=np.int64) * n0
+    ).tolist()
+    vals = (keys % n0).tolist()
+    return [vals[cut[i] : cut[i + 1]] for i in range(len(counts))]

@@ -1,0 +1,122 @@
+"""Pruned-Landmark construction over padded 2-D label tables.
+
+The scalar PL sweeps carry ``(hop, dist)`` pairs through Python lists
+and test the distance-pruning condition one label entry at a time.
+Here labels live in ``(n, capacity)`` int64 tables (hops and distances
+in parallel, with a per-vertex count; capacity doubles on demand), so a
+whole BFS level is prune-tested with one gather + compare:
+
+* the landmark's label snapshot becomes a dense ``dist_via[hop]`` array
+  (∞-filled, sparse-reset after the sweep);
+* for a frontier at distance ``d``, vertex ``w`` is pruned iff
+  ``min(dist_via[h] + d_h for (h, d_h) in label(w)) <= d`` — a masked
+  2-D reduction over the frontier's label rows;
+* expansion and visited marks use the shared frontier primitives.
+
+Level-synchronous BFS discovers each vertex at the same distance as the
+scalar FIFO sweep, and appends happen once per (vertex, landmark) in
+ascending landmark order — the resulting ``(hops, dists)`` lists are
+bit-identical to the scalar construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["pruned_landmark_numpy"]
+
+_INF = 1 << 40
+
+
+class _LabelTable:
+    """Parallel (hops, dists) rows with per-vertex counts."""
+
+    def __init__(self, np, n: int, cap: int = 4) -> None:
+        self.np = np
+        self.hops = np.zeros((n, cap), dtype=np.int64)
+        self.dists = np.full((n, cap), _INF, dtype=np.int64)
+        self.count = np.zeros(n, dtype=np.int64)
+
+    def append(self, vertices, hop: int, dist) -> None:
+        np = self.np
+        cap = self.hops.shape[1]
+        if int(self.count[vertices].max(initial=0)) >= cap:
+            pad_h = np.zeros_like(self.hops)
+            pad_d = np.full_like(self.dists, _INF)
+            self.hops = np.hstack([self.hops, pad_h])
+            self.dists = np.hstack([self.dists, pad_d])
+            cap *= 2
+        flat = vertices * cap + self.count[vertices]
+        self.hops.reshape(-1)[flat] = hop
+        self.dists.reshape(-1)[flat] = dist
+        self.count[vertices] += 1
+
+    def min_via(self, dist_via, vertices):
+        """``min(dist_via[h] + d_h)`` over each vertex's label row."""
+        rows_h = self.hops[vertices]
+        rows_d = self.dists[vertices]
+        # Padding rows carry dist _INF, so they can never win the min.
+        return (dist_via[rows_h] + rows_d).min(axis=1)
+
+    def to_lists(self, n: int):
+        hops_out: List[List[int]] = []
+        dists_out: List[List[int]] = []
+        counts = self.count.tolist()
+        hop_rows = self.hops.tolist()
+        dist_rows = self.dists.tolist()
+        for v in range(n):
+            c = counts[v]
+            hops_out.append(hop_rows[v][:c])
+            dists_out.append(dist_rows[v][:c])
+        return hops_out, dists_out
+
+
+def pruned_landmark_numpy(np, graph, order_list):
+    """Vectorized PL sweeps; returns ``(lout_h, lout_d, lin_h, lin_d)``."""
+    from .frontier import Stamped, segmented_gather
+
+    n = graph.n
+    out_offsets, out_targets, in_offsets, in_targets = graph.csr().as_numpy()
+    lin = _LabelTable(np, n)
+    lout = _LabelTable(np, n)
+    visited = Stamped(n)
+    dist_via = np.full(n, _INF, dtype=np.int64)
+
+    def sweep(vi, hop, snap_table, write_table, offsets, targets):
+        # Dense snapshot of the landmark's own (committed) label.
+        snap_c = int(snap_table.count[vi])
+        snap_h = snap_table.hops[vi, :snap_c]
+        snap_d = snap_table.dists[vi, :snap_c]
+        dist_via[snap_h] = snap_d
+        dist_via[hop] = 0
+        visited.next_sweep()
+        frontier = np.array([vi], dtype=np.int64)
+        visited.marks[frontier] = visited.stamp
+        d = 0
+        while len(frontier):
+            kept = frontier[write_table.min_via(dist_via, frontier) > d]
+            if len(kept):
+                write_table.append(kept, hop, d)
+                _, nxt = segmented_gather(offsets, targets, kept)
+                frontier = visited.unseen(nxt) if len(nxt) else nxt
+            else:
+                frontier = kept
+            d += 1
+        # Sparse reset of the snapshot.
+        dist_via[snap_h] = _INF
+        dist_via[hop] = _INF
+
+    for hop, vi in enumerate(order_list):
+        # Forward BFS covers (vi, w) via Lin(w); the snapshot is
+        # Lout(vi) (plus the implicit self entry at distance 0).
+        sweep(vi, hop, lout, lin, out_offsets, out_targets)
+        # Backward BFS covers (u, vi) via Lout(u).  The scalar twin
+        # snapshots Lin(vi) *before* the forward sweep could touch it;
+        # the forward sweep appends (hop, 0) to Lin(vi), which the
+        # dense snapshot overrides with dist_via[hop] = 0 anyway, so
+        # the committed-or-not distinction cannot change the snapshot.
+        sweep(vi, hop, lin, lout, in_offsets, in_targets)
+
+    lout_h, lout_d = lout.to_lists(n)
+    lin_h, lin_d = lin.to_lists(n)
+    return lout_h, lout_d, lin_h, lin_d

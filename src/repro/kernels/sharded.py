@@ -1,0 +1,267 @@
+"""Multi-core sharded Distribution-Labeling construction.
+
+Algorithm 2 looks sequential — hop ``i``'s pruned sweeps consult the
+labels of every higher-ranked hop — but the labeling it produces is the
+*canonical* one: hop ``i`` lands in ``Lin(w)`` iff ``vi`` reaches ``w``
+and no higher-ranked vertex lies on any ``vi -> w`` path.  That
+characterization admits a batch-synchronous parallelization (the
+local-sweep / global-clean scheme of the parallel pruned-landmark
+literature):
+
+1. Split the rank order into contiguous **batches**.  All hops before
+   the current batch are *committed* — their labels are final.
+2. **Workers** run each batch hop's two pruned sweeps against the
+   committed labels only, producing *tentative* sets
+   ``F_i = {w : vi -> w, no committed hop covers (vi, w)}`` (forward)
+   and ``R_i`` (reverse).  Hops are dealt to workers in contiguous
+   slices of the order.
+3. The coordinator **cleans** intra-batch redundancy: entry ``(i, w)``
+   survives iff no batch hop ``j < i`` has ``vj ∈ F_i`` and ``w ∈ F_j``.
+   For pairs uncovered by committed hops, ``vj ∈ F_i ⇔ vi -> vj`` and
+   ``w ∈ F_j ⇔ vj -> w`` (coverage of either sub-pair would imply
+   coverage of ``(i, w)``), so this test is exactly "some higher-ranked
+   batch hop lies between" — the canonical condition.  The cleaned
+   entries are committed, broadcast, and applied by every worker.
+
+The result is **bit-identical to the serial construction** for any
+batch size and worker count (property-tested in ``tests/kernels/``).
+Workers are forked processes (the graph is inherited copy-on-write, so
+nothing large is pickled); per batch the IPC is just the tentative and
+cleaned label entries.  On platforms without ``fork`` the builder falls
+back to in-process execution of the same batch pipeline (still
+bit-identical, no parallelism) with a ``RuntimeWarning``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["distribute_labels_sharded", "SHARD_BATCH"]
+
+#: Hops per synchronization round.  Larger batches amortize IPC and
+#: cleaning overhead; the cleaning pass is exact for any size.
+SHARD_BATCH = 256
+
+
+def _tentative_sweep(
+    start: int,
+    prune: frozenset,
+    side_labels: List[List[int]],
+    adj: Sequence[Sequence[int]],
+    vis: List[int],
+    stamp: int,
+) -> List[int]:
+    """One pruned BFS against committed labels; returns the kept set."""
+    kept: List[int] = []
+    kap = kept.append
+    frontier = [start]
+    fap = frontier.append
+    vis[start] = stamp
+    if prune:
+        disjoint = prune.isdisjoint
+        for w in frontier:
+            if not disjoint(side_labels[w]):
+                continue
+            kap(w)
+            for x in adj[w]:
+                if vis[x] != stamp:
+                    vis[x] = stamp
+                    fap(x)
+    else:
+        for w in frontier:
+            kap(w)
+            for x in adj[w]:
+                if vis[x] != stamp:
+                    vis[x] = stamp
+                    fap(x)
+    return kept
+
+
+class _BatchState:
+    """Committed label state + the per-batch tentative machinery.
+
+    Used identically by the coordinator (for cleaning/committing) and
+    by each worker (for pruned tentative sweeps), so both sides apply
+    commits through the same code path.
+    """
+
+    def __init__(self, n: int, out_adj, in_adj) -> None:
+        self.n = n
+        self.out_adj = out_adj
+        self.in_adj = in_adj
+        self.lout: List[List[int]] = [[] for _ in range(n)]
+        self.lin: List[List[int]] = [[] for _ in range(n)]
+        self.vis = [-1] * n
+        self.stamp = -1
+
+    def tentative(self, work: List[Tuple[int, int]]):
+        """Tentative ``(hop, F, R)`` triples for a slice of batch hops."""
+        out = []
+        for hop, vi in work:
+            self.stamp += 1
+            fwd = _tentative_sweep(
+                vi, frozenset(self.lout[vi]), self.lin, self.out_adj, self.vis, self.stamp
+            )
+            self.stamp += 1
+            rev = _tentative_sweep(
+                vi, frozenset(self.lin[vi]), self.lout, self.in_adj, self.vis, self.stamp
+            )
+            out.append((hop, fwd, rev))
+        return out
+
+    def commit(self, cleaned: List[Tuple[int, List[int], List[int]]]) -> None:
+        """Apply cleaned batch entries (hops arrive in ascending order)."""
+        lin, lout = self.lin, self.lout
+        for hop, fwd, rev in cleaned:
+            for w in fwd:
+                lin[w].append(hop)
+            for u in rev:
+                lout[u].append(hop)
+
+
+def _clean_side(
+    batch_vertices: List[int], tentative: List[List[int]]
+) -> List[List[int]]:
+    """Drop intra-batch-covered entries from one side's tentative sets.
+
+    ``tentative[i]`` is hop ``i``'s kept set (ascending batch position);
+    entry ``w`` of set ``i`` is dropped iff some ``j < i`` has
+    ``batch_vertices[j] ∈ tentative[i]`` and ``w ∈ tentative[j]``.
+    Membership masks are per-vertex bigints over batch positions.
+    """
+    seen_bits: Dict[int, int] = {}
+    cleaned: List[List[int]] = []
+    for i, kept in enumerate(tentative):
+        kept_set = set(kept)
+        jmask = 0
+        for j in range(i):
+            if batch_vertices[j] in kept_set:
+                jmask |= 1 << j
+        if jmask:
+            get = seen_bits.get
+            cleaned.append([w for w in kept if not (get(w, 0) & jmask)])
+        else:
+            cleaned.append(list(kept))
+        bit = 1 << i
+        for w in kept:
+            seen_bits[w] = seen_bits.get(w, 0) | bit
+    return cleaned
+
+
+def _clean_batch(work, replies):
+    """Cleaned ``(hop, F, R)`` triples for one whole batch."""
+    replies = sorted(replies)  # ascending hop
+    batch_vertices = [vi for _, vi in work]
+    fwd_clean = _clean_side(batch_vertices, [f for _, f, _ in replies])
+    rev_clean = _clean_side(batch_vertices, [r for _, _, r in replies])
+    return [
+        (hop, fwd_clean[i], rev_clean[i])
+        for i, (hop, _, _) in enumerate(replies)
+    ]
+
+
+def _worker_main(conn, n, out_adj, in_adj):  # pragma: no cover - subprocess
+    state = _BatchState(n, out_adj, in_adj)
+    while True:
+        msg = conn.recv()
+        kind = msg[0]
+        if kind == "work":
+            conn.send(state.tentative(msg[1]))
+        elif kind == "commit":
+            state.commit(msg[1])
+        else:
+            conn.close()
+            return
+
+
+def _chunk_evenly(items, pieces: int):
+    """Split ``items`` into up to ``pieces`` contiguous non-empty runs."""
+    out = []
+    total = len(items)
+    pieces = max(1, min(pieces, total))
+    base, extra = divmod(total, pieces)
+    pos = 0
+    for i in range(pieces):
+        size = base + (1 if i < extra else 0)
+        out.append(items[pos : pos + size])
+        pos += size
+    return out
+
+
+def distribute_labels_sharded(
+    labels,
+    order: List[int],
+    out_adj,
+    in_adj,
+    workers: int,
+    batch_size: int = SHARD_BATCH,
+) -> None:
+    """Fill ``labels`` with the canonical DL labeling using ``workers``
+    forked shard processes (bit-identical to the serial sweeps)."""
+    import multiprocessing as mp
+
+    n = labels.n
+    hops = list(enumerate(order))
+    coordinator = _BatchState(n, out_adj, in_adj)
+
+    procs = []
+    conns = []
+    if workers > 1 and n:
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = None
+            warnings.warn(
+                "sharded construction needs the 'fork' start method; "
+                "running the batch pipeline in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if ctx is not None:
+            for _ in range(workers):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child, n, out_adj, in_adj),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                procs.append(proc)
+                conns.append(parent)
+
+    try:
+        for start in range(0, len(hops), max(1, batch_size)):
+            batch = hops[start : start + max(1, batch_size)]
+            if conns:
+                slices = _chunk_evenly(batch, len(conns))
+                active = conns[: len(slices)]
+                for conn, piece in zip(active, slices):
+                    conn.send(("work", piece))
+                replies = []
+                for conn in active:
+                    replies.extend(conn.recv())
+            else:
+                replies = coordinator.tentative(batch)
+                # In-process tentative sweeps must not see their own
+                # uncommitted output, so tentative() never mutates
+                # state; commit() below applies the cleaned entries.
+            cleaned = _clean_batch(batch, replies)
+            coordinator.commit(cleaned)
+            for conn in conns:
+                conn.send(("commit", cleaned))
+    finally:
+        for conn in conns:
+            try:
+                conn.send(("stop",))
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+
+    labels.lout = coordinator.lout
+    labels.lin = coordinator.lin

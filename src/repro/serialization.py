@@ -40,8 +40,15 @@ class FrozenOracle:
         return self.labels.query(u, v)
 
     def query_batch(self, pairs):
-        """Single-pass batch queries over the sealed labels."""
-        return self.labels.query_batch(pairs)
+        """Batch queries over the sealed labels.
+
+        Large batches on the arena layout route through the vectorized
+        engine (label-only stages — a frozen oracle carries no graph,
+        so the height/interval filters are skipped).
+        """
+        from .kernels.batchquery import engine_query_batch
+
+        return engine_query_batch(self, self.labels, None, pairs)
 
     def index_size_ints(self) -> int:
         """Stored-integer count of the labels."""

@@ -1,0 +1,73 @@
+"""Graceful degradation when NumPy is absent.
+
+All kernel entry points funnel their NumPy access through
+:func:`repro.kernels.numpy_or_none`, so shimming that single import
+point simulates a NumPy-free interpreter for the backend-selection
+logic (the modules that bound the name at import time are patched
+alongside).
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import pytest
+
+import repro.kernels as kernels
+import repro.kernels.batchquery as batchquery
+from repro.baselines.grail import Grail
+from repro.baselines.pruned_landmark import PrunedLandmark
+from repro.core.distribution import DistributionLabeling
+from repro.core.hierarchical import HierarchicalLabeling
+from repro.graph.generators import random_dag
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    monkeypatch.setattr(kernels, "numpy_or_none", lambda: None)
+    monkeypatch.setattr(batchquery, "numpy_or_none", lambda: None)
+
+
+def test_resolve_backend_degrades_with_warning(no_numpy):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert kernels.resolve_backend("numpy", 10_000) == "python"
+    assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+    # "auto" degrades silently.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert kernels.resolve_backend("auto", 10_000) == "python"
+    assert not caught
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [DistributionLabeling, HierarchicalLabeling, Grail, PrunedLandmark],
+    ids=["DL", "HL", "GL", "PL"],
+)
+def test_forced_numpy_backend_still_builds_correctly(no_numpy, factory):
+    graph = random_dag(40, 120, seed=3)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        idx = factory(graph, backend="numpy")
+        reference = factory(graph, backend="python")
+    rng = random.Random(1)
+    pairs = [(rng.randrange(40), rng.randrange(40)) for _ in range(300)]
+    assert [idx.query(u, v) for u, v in pairs] == [
+        reference.query(u, v) for u, v in pairs
+    ]
+
+
+def test_batch_queries_fall_back_to_scalar(no_numpy):
+    graph = random_dag(60, 100, seed=5)
+    idx = DistributionLabeling(graph)
+    rng = random.Random(2)
+    pairs = [(rng.randrange(60), rng.randrange(60)) for _ in range(6000)]
+    assert idx.query_batch(pairs) == idx.labels.query_batch(pairs)
+    assert getattr(idx, "_batch_engine", None) is None
+
+
+def test_backend_validation():
+    with pytest.raises(ValueError):
+        kernels.resolve_backend("fortran")

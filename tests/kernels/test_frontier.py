@@ -1,0 +1,142 @@
+"""Unit tests for the shared frontier primitives and CSR numpy caching."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.graph.generators import citation_dag, random_dag
+from repro.kernels.frontier import (
+    HeightLevels,
+    Stamped,
+    compute_heights_numpy,
+    hashset_build,
+    hashset_contains,
+    multi_source_within,
+    segmented_gather,
+)
+from repro.kernels.grail import compute_heights
+
+
+class TestCsrNumpyCache:
+    def test_cached_and_read_only(self):
+        g = random_dag(30, 80, seed=1)
+        csr = g.csr()
+        views = csr.as_numpy()
+        assert csr.as_numpy() is views  # cached, not rebuilt per call
+        for arr in views:
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+    def test_round_trip_matches_adjacency(self):
+        g = random_dag(25, 70, seed=2)
+        oo, ot, io_, it_ = g.csr().as_numpy()
+        for u in range(g.n):
+            assert list(ot[oo[u] : oo[u + 1]]) == g.out_adj[u]
+            assert list(it_[io_[u] : io_[u + 1]]) == g.in_adj[u]
+
+
+class TestSegmentedGather:
+    def test_matches_list_concatenation(self):
+        g = random_dag(40, 150, seed=3)
+        oo, ot, _, _ = g.csr().as_numpy()
+        sources = np.array([5, 0, 17, 5], dtype=np.int64)
+        seg, values = segmented_gather(oo, ot, sources)
+        expected = []
+        expected_seg = []
+        for i, s in enumerate(sources.tolist()):
+            expected.extend(g.out_adj[s])
+            expected_seg.extend([i] * len(g.out_adj[s]))
+        assert values.tolist() == expected
+        assert seg.tolist() == expected_seg
+
+    def test_empty_sources(self):
+        g = random_dag(10, 20, seed=4)
+        oo, ot, _, _ = g.csr().as_numpy()
+        seg, values = segmented_gather(oo, ot, np.empty(0, dtype=np.int64))
+        assert len(seg) == 0 and len(values) == 0
+
+
+class TestMultiSourceWithin:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_matches_per_source_bfs(self, seed, depth):
+        from repro.core.backbone import _bounded_bfs
+
+        g = random_dag(50, 200, seed=seed)
+        oo, ot, _, _ = g.csr().as_numpy()
+        rng = random.Random(seed)
+        sources = sorted(rng.sample(range(g.n), 12))
+        src, vert = multi_source_within(
+            oo, ot, np.array(sources, dtype=np.int64), depth, g.n
+        )
+        got = {}
+        for s, v in zip(src.tolist(), vert.tolist()):
+            got.setdefault(s, set()).add(v)
+        for i, s in enumerate(sources):
+            expected = set(_bounded_bfs(g.out_adj, s, depth)) - {s}
+            assert got.get(i, set()) == expected
+
+    def test_levels_are_bfs_distances(self):
+        from repro.core.backbone import _bounded_bfs
+
+        g = citation_dag(60, out_per_vertex=3, seed=7)
+        oo, ot, _, _ = g.csr().as_numpy()
+        sources = np.array([40, 55], dtype=np.int64)
+        src, vert, lev = multi_source_within(oo, ot, sources, 3, g.n, levels=True)
+        for s_idx, v, l in zip(src.tolist(), vert.tolist(), lev.tolist()):
+            dist = _bounded_bfs(g.out_adj, int(sources[s_idx]), 3)
+            assert dist[v] == l
+
+
+class TestHeights:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scalar(self, seed):
+        g = random_dag(60, 200, seed=seed)
+        heights = compute_heights_numpy(np, g.csr().as_numpy())
+        assert heights.tolist() == compute_heights(g)
+
+    def test_levels_grouping(self):
+        g = random_dag(40, 120, seed=2)
+        h = compute_heights_numpy(np, g.csr().as_numpy())
+        levels = HeightLevels(h)
+        seen = []
+        for lvl in range(levels.max_height + 1):
+            vs = levels.level(lvl)
+            assert (h[vs] == lvl).all()
+            seen.extend(vs.tolist())
+        assert sorted(seen) == list(range(g.n))
+
+
+class TestHashset:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_membership_exact(self, seed):
+        rng = random.Random(seed)
+        universe = rng.randrange(100, 1 << 20)
+        keys = np.array(
+            sorted(rng.sample(range(universe), rng.randrange(1, 4000))),
+            dtype=np.int32,
+        )
+        table = hashset_build(np, keys)
+        queries = np.array(
+            [rng.randrange(universe) for _ in range(5000)], dtype=np.int32
+        )
+        got = hashset_contains(np, table, queries)
+        member = set(keys.tolist())
+        assert got.tolist() == [q in member for q in queries.tolist()]
+
+
+class TestStamped:
+    def test_dedup_across_levels(self):
+        vis = Stamped(10)
+        vis.next_sweep()
+        first = vis.unseen(np.array([3, 3, 5], dtype=np.int64))
+        assert first.tolist() == [3, 5]
+        again = vis.unseen(np.array([5, 7], dtype=np.int64))
+        assert again.tolist() == [7]
+        vis.next_sweep()  # O(1) reset
+        assert vis.unseen(np.array([5], dtype=np.int64)).tolist() == [5]
