@@ -1,0 +1,224 @@
+"""Artifact persistence bench: on-disk size, cold load, first query.
+
+Measures, per graph family, what the build → compile → serve split
+actually buys over the v1 JSON label dump:
+
+* **save** — wall time and on-disk bytes for the v1 JSON path
+  (``save_labels``) and both v2 binary profiles of the same built DL
+  oracle: ``mmap`` (raw sections, zero-copy shared serving, all engine
+  certificates) and ``compact`` (deflated sections, interval
+  certificates dropped — answers identical, smallest file).
+* **cold load** — wall time of the load call in a *fresh Python
+  subprocess* (imports excluded: the child times only the call).  The
+  JSON path parses and re-seals every label; the binary path parses a
+  small header and memory-maps the arrays.
+* **first-query latency** — one scalar query immediately after the
+  load, in the same child: the artifact's lazily-faulted mmap pages vs
+  the JSON path's already-materialised lists.
+* **serve batch** — a 20k-pair random workload through the loaded
+  oracle (the engine path on the artifact's mmapped arena).
+* **pipeline** — the facade's full-pipeline artifact
+  (``Reachability.save`` / ``load``), which the JSON path cannot
+  express at all (no condensation); absolute numbers only.
+
+The committed ``BENCH_artifacts.json`` at the repo root records the
+full-size run; ``--smoke`` shrinks everything for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.distribution import DistributionLabeling
+from repro.facade import Reachability
+from repro.graph.generators import citation_dag, random_dag, sparse_dag
+from repro.serialization import load_artifact, load_labels, save_artifact, save_labels
+
+QUERY_BATCH = 20_000
+
+FAMILIES = {
+    # The acceptance families: 40000-node graphs where labels are big
+    # enough that persistence speed and size genuinely matter.
+    "citation-40000": lambda: citation_dag(40000, out_per_vertex=3, seed=17),
+    "random-40000": lambda: random_dag(40000, 120000, seed=11),
+    "sparse-30000": lambda: sparse_dag(30000, 0.00005, seed=5),
+}
+
+SMOKE_FAMILIES = {
+    "citation-1200": lambda: citation_dag(1200, out_per_vertex=3, seed=17),
+    "sparse-1500": lambda: sparse_dag(1500, 0.001, seed=5),
+}
+
+_CHILD_CODE = r"""
+import json, sys, time
+fmt, path, n, batch = sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+import random
+from repro.serialization import load_artifact, load_labels
+from repro.kernels import numpy_or_none
+
+numpy_or_none()  # interpreter warm-up: both formats serve post-import
+
+t0 = time.perf_counter()
+if fmt == "json":
+    oracle = load_labels(path)
+else:
+    oracle = load_artifact(path)
+load_s = time.perf_counter() - t0
+
+rng = random.Random(23)
+pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(batch)]
+
+t0 = time.perf_counter()
+first = oracle.query(*pairs[0])
+first_s = time.perf_counter() - t0
+
+t0 = time.perf_counter()
+answers = oracle.query_batch(pairs)
+batch_s = time.perf_counter() - t0
+
+print(json.dumps({
+    "load_s": load_s,
+    "first_query_us": first_s * 1e6,
+    "batch_ms": batch_s * 1e3,
+    "positives": sum(answers),
+}))
+"""
+
+
+def cold_serve(fmt: str, path: str, n: int, batch: int) -> dict:
+    """Load + first query + batch in a fresh interpreter; parsed JSON."""
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_CODE, fmt, path, str(n), str(batch)],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def measure_family(name, make_graph, batch: int, tmpdir: Path) -> dict:
+    graph = make_graph()
+    row = {"n": graph.n, "m": graph.m}
+
+    build_s, index = timed(lambda: DistributionLabeling(graph))
+    row["dl_build_s"] = build_s
+    row["dl_index_ints"] = index.index_size_ints()
+
+    json_path = str(tmpdir / f"{name}.labels.json")
+    mmap_path = str(tmpdir / f"{name}.rpro")
+    compact_path = str(tmpdir / f"{name}.compact.rpro")
+
+    save_s, _ = timed(lambda: save_labels(index, json_path))
+    row["json_save_s"] = save_s
+    row["json_bytes"] = Path(json_path).stat().st_size
+    save_s, nbytes = timed(lambda: save_artifact(index, mmap_path))
+    row["mmap_save_s"] = save_s
+    row["mmap_bytes"] = nbytes
+    save_s, nbytes = timed(
+        lambda: save_artifact(index, compact_path, profile="compact")
+    )
+    row["compact_save_s"] = save_s
+    row["compact_bytes"] = nbytes
+
+    jc = cold_serve("json", json_path, graph.n, batch)
+    mc = cold_serve("artifact", mmap_path, graph.n, batch)
+    cc = cold_serve("artifact", compact_path, graph.n, batch)
+    assert jc["positives"] == mc["positives"] == cc["positives"], (
+        "formats disagree on answers"
+    )
+    for prefix, cold in (("json", jc), ("mmap", mc), ("compact", cc)):
+        for key, val in cold.items():
+            row[f"{prefix}_{key}"] = val
+
+    for profile in ("mmap", "compact"):
+        row[f"size_ratio_json_over_{profile}"] = round(
+            row["json_bytes"] / max(1, row[f"{profile}_bytes"]), 2
+        )
+        row[f"load_ratio_json_over_{profile}"] = round(
+            row["json_load_s"] / max(1e-9, row[f"{profile}_load_s"]), 2
+        )
+        row[f"first_query_ratio_json_over_{profile}"] = round(
+            row["json_first_query_us"]
+            / max(1e-3, row[f"{profile}_first_query_us"]),
+            2,
+        )
+
+    # Facade pipeline (condensation + index) — v2-only capability.
+    pipe_path = str(tmpdir / f"{name}.pipe.rpro")
+    reach = Reachability(graph, "DL")
+    save_s, nbytes = timed(lambda: reach.save(pipe_path))
+    row["pipeline_save_s"] = save_s
+    row["pipeline_bytes"] = nbytes
+    load_s, served = timed(lambda: Reachability.load(pipe_path))
+    row["pipeline_load_s"] = load_s
+    rng = random.Random(29)
+    pairs = [(rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(batch)]
+    batch_s, answers = timed(lambda: served.query_batch(pairs))
+    row["pipeline_batch_ms"] = batch_s * 1e3
+    row["pipeline_positives"] = sum(answers)
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args()
+
+    families = SMOKE_FAMILIES if args.smoke else FAMILIES
+    batch = 2000 if args.smoke else QUERY_BATCH
+
+    doc = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "query_batch": batch,
+        "note": (
+            "cold loads run in fresh subprocesses and time only the load "
+            "call; size/load/first-query ratios are JSON over the mmap "
+            "and compact artifact profiles (higher = artifact wins); "
+            "answers are bit-identical across all three formats"
+        ),
+        "families": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, make_graph in families.items():
+            print(f"[bench_artifacts] {name} ...", file=sys.stderr, flush=True)
+            row = measure_family(name, make_graph, batch, Path(tmp))
+            doc["families"][name] = row
+            print(
+                f"  json {row['json_bytes']:,} B / load {row['json_load_s']:.3f}s"
+                f" | mmap {row['mmap_bytes']:,} B / {row['mmap_load_s']:.4f}s"
+                f" (size x{row['size_ratio_json_over_mmap']},"
+                f" load x{row['load_ratio_json_over_mmap']})"
+                f" | compact {row['compact_bytes']:,} B / "
+                f"{row['compact_load_s']:.4f}s"
+                f" (size x{row['size_ratio_json_over_compact']},"
+                f" load x{row['load_ratio_json_over_compact']})",
+                file=sys.stderr,
+            )
+
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        args.out.write_text(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

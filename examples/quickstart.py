@@ -39,11 +39,23 @@ def main() -> None:
     hop = oracle.index.witness(dag_u, dag_v)
     print(f"\nwitness hop (condensation ids) for 0->5: {hop}")
 
-    # Build once, serve anywhere: persist the labels and reload them.
+    # Build once, serve anywhere: the full pipeline (condensation
+    # included) persists as a binary, memory-mappable artifact, and a
+    # serving process answers original-graph queries with no graph in
+    # memory.
+    artifact = "/tmp/quickstart_oracle.rpro"
+    oracle.save(artifact)
+    served = Reachability.load(artifact)
+    print(f"\nreloaded pipeline from {artifact}: {served}")
+    print("served query 0 -> 5:", served.query(0, 5))
+    print("served same-SCC 1 -> 0:", served.query(1, 0))
+
+    # The older v1 JSON format still round-trips the bare labels of the
+    # condensation index (no SCC map — condensation ids only).
     path = "/tmp/quickstart_labels.json"
     save_labels(oracle.index, path)
     frozen = load_labels(path)
-    print(f"\nreloaded oracle from {path}: {frozen}")
+    print(f"\nreloaded v1 labels from {path}: {frozen}")
     print("frozen query (condensation ids):", frozen.query(dag_u, dag_v))
 
 

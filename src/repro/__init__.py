@@ -29,11 +29,12 @@ Main entry points
 from .graph.digraph import DiGraph
 from .graph.scc import condense
 from .core.base import ReachabilityIndex, get_method, method_registry
+from .core.compiled import CompiledOracle
 from .core.distribution import DistributionLabeling
 from .core.dynamic import DynamicDL
 from .core.hierarchical import HierarchicalLabeling
 from .facade import Reachability
-from .serialization import load_labels, save_labels
+from .serialization import load_artifact, load_labels, save_artifact, save_labels
 
 # Importing these modules registers every baseline in the method registry.
 from . import baselines as _baselines  # noqa: F401
@@ -51,7 +52,10 @@ __all__ = [
     "DynamicDL",
     "HierarchicalLabeling",
     "Reachability",
+    "CompiledOracle",
     "save_labels",
     "load_labels",
+    "save_artifact",
+    "load_artifact",
     "__version__",
 ]

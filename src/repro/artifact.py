@@ -1,0 +1,339 @@
+"""Binary artifact container: header JSON + raw little-endian arrays.
+
+The serve half of the build → compile → serve lifecycle needs an
+on-disk format that (a) restores a compiled oracle without touching the
+Python object graph that built it, and (b) lets N serving processes
+share one physical copy of the big arrays.  Both rule out the v1 JSON
+label dump, so compiled oracles persist through this container instead:
+
+* 8-byte magic ``RPROART2`` and a little-endian ``uint64`` header
+  length,
+* a UTF-8 JSON header — format version, oracle kind, free-form ``meta``,
+  and a section table (name → dtype, element count, byte offset),
+* the raw array sections, each 64-byte aligned, values little-endian.
+
+Sections are written with the smallest unsigned dtype the values fit
+(``<u1``/``<u2``/``<u4``; signed and 8-byte variants are available for
+callers that pin a dtype — offsets pin ``<i8`` so the batch engine can
+use them without an upcast copy).
+
+Loading defaults to **memory-mapping**: with NumPy the sections come
+back as zero-copy ``ndarray`` views over one shared ``mmap``, so every
+serving process maps the same page-cache copy; without NumPy the same
+mapping is exposed through ``memoryview.cast`` (indexing, slicing and
+``bisect`` all work, which is all the scalar query paths need).
+``mmap=False`` reads plain ``array`` copies instead — the fallback for
+big-endian hosts and for callers that want to close the file.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap as _mmap
+import struct
+import sys
+import zlib
+from array import array
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "Artifact",
+    "write_artifact",
+    "read_artifact",
+    "read_artifact_header",
+    "pack_section",
+]
+
+MAGIC = b"RPROART2"
+FORMAT_VERSION = 2
+
+_ALIGN = 64
+
+#: dtype tag -> (itemsize, preferred array typecode)
+_DTYPES: Dict[str, Tuple[int, str]] = {
+    "<u1": (1, "B"),
+    "<u2": (2, "H"),
+    "<u4": (4, "I"),
+    "<u8": (8, "Q"),
+    "<i4": (4, "i"),
+    "<i8": (8, "q"),
+}
+
+_LITTLE = sys.byteorder == "little"
+
+PathLike = Union[str, Path]
+
+
+def _typecode_for(dtype: str) -> str:
+    """An ``array`` typecode with the dtype's exact itemsize.
+
+    The preferred codes match CPython's sizes on every mainstream
+    platform; the scan is a safety net for exotic C type widths.
+    """
+    itemsize, preferred = _DTYPES[dtype]
+    if array(preferred).itemsize == itemsize:
+        return preferred
+    for code in "BHILQbhilq":
+        if array(code).itemsize == itemsize:
+            return code
+    raise ValueError(f"no array typecode with itemsize {itemsize}")
+
+
+def _min_uint_dtype(max_value: int) -> str:
+    if max_value < 1 << 8:
+        return "<u1"
+    if max_value < 1 << 16:
+        return "<u2"
+    if max_value < 1 << 32:
+        return "<u4"
+    return "<u8"
+
+
+def pack_section(data, dtype: Optional[str] = None) -> Tuple[str, bytes]:
+    """Encode an int sequence as ``(dtype, little-endian bytes)``.
+
+    ``dtype=None`` scans the values and picks the smallest unsigned
+    dtype that fits (``<i8`` when negatives occur) — the size lever that
+    makes binary artifacts beat the JSON path on disk.
+    """
+    from .kernels import numpy_or_none
+
+    np = numpy_or_none()
+    if np is not None and isinstance(data, np.ndarray):
+        arr = data.reshape(-1)
+        if dtype is None:
+            if len(arr) == 0:
+                dtype = "<u1"
+            else:
+                lo = int(arr.min())
+                hi = int(arr.max())
+                dtype = "<i8" if lo < 0 else _min_uint_dtype(hi)
+        return dtype, np.ascontiguousarray(arr, dtype=np.dtype(dtype)).tobytes()
+
+    seq = data if isinstance(data, (list, tuple, array)) else list(data)
+    if dtype is None:
+        if len(seq) == 0:
+            dtype = "<u1"
+        else:
+            lo = min(seq)
+            hi = max(seq)
+            dtype = "<i8" if lo < 0 else _min_uint_dtype(int(hi))
+    buf = array(_typecode_for(dtype), seq)
+    if not _LITTLE:
+        buf.byteswap()
+    return dtype, buf.tobytes()
+
+
+def write_artifact(
+    path: PathLike,
+    kind: str,
+    meta: Dict[str, object],
+    sections: Dict[str, Tuple[str, bytes]],
+    compress: bool = False,
+) -> int:
+    """Write one artifact file; returns the byte size written.
+
+    ``sections`` maps name -> ``(dtype, payload_bytes)`` as produced by
+    :func:`pack_section`.  Section order follows dict order, each
+    payload 64-byte aligned so mmapped arrays stay alignment-friendly.
+
+    ``compress=True`` deflates every section (the *compact* profile):
+    smallest on disk, but loading inflates into private memory, so the
+    multi-process page-cache sharing of the raw profile is lost.
+    """
+    table: Dict[str, Dict[str, object]] = {}
+    # Lay sections out before writing: the header must know offsets,
+    # and the header's own length shifts them, so fix the header first
+    # by serialising with a placeholder pass.
+    order: list = []
+    for name, (dtype, payload) in sections.items():
+        if dtype not in _DTYPES:
+            raise ValueError(f"unsupported section dtype {dtype!r}")
+        itemsize = _DTYPES[dtype][0]
+        if len(payload) % itemsize:
+            raise ValueError(f"section {name!r} payload not a multiple of itemsize")
+        count = len(payload) // itemsize
+        if compress:
+            payload = zlib.compress(payload, 6)
+            order.append((name, dtype, payload, count, "zlib"))
+        else:
+            order.append((name, dtype, payload, count, "raw"))
+
+    def render_header(tbl) -> bytes:
+        doc = {
+            "format_version": FORMAT_VERSION,
+            "kind": kind,
+            "meta": meta,
+            "sections": tbl,
+        }
+        return json.dumps(doc, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+    # Two-pass: offsets depend on header size, header size depends on
+    # offsets' digits.  Iterate until stable (converges in <= 3 rounds).
+    header = render_header({})
+    for _ in range(8):
+        base = len(MAGIC) + 8 + len(header)
+        base += (-base) % _ALIGN
+        off = base
+        table = {}
+        for name, dtype, payload, count, enc in order:
+            off += (-off) % _ALIGN
+            spec = {
+                "dtype": dtype,
+                "count": count,
+                "offset": off,
+            }
+            if enc != "raw":
+                spec["enc"] = enc
+                spec["stored_bytes"] = len(payload)
+            table[name] = spec
+            off += len(payload)
+        new_header = render_header(table)
+        if len(new_header) == len(header):
+            header = new_header
+            break
+        header = new_header
+    else:  # pragma: no cover - layout always stabilises
+        raise RuntimeError("artifact header layout did not stabilise")
+
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(struct.pack("<Q", len(header)))
+        f.write(header)
+        pos = len(MAGIC) + 8 + len(header)
+        for name, dtype, payload, count, enc in order:
+            pad = (-pos) % _ALIGN
+            f.write(b"\x00" * pad)
+            pos += pad
+            assert pos == table[name]["offset"]
+            f.write(payload)
+            pos += len(payload)
+        return pos
+
+
+class Artifact:
+    """A parsed artifact: ``kind``, ``meta``, and lazily-decoded sections.
+
+    Holds the backing ``mmap`` (when mapped) alive for as long as any
+    returned array is referenced.
+    """
+
+    def __init__(self, path: PathLike, kind: str, meta: Dict[str, object],
+                 table: Dict[str, Dict[str, object]], buffer, mapped: bool) -> None:
+        self.path = str(path)
+        self.kind = kind
+        self.meta = meta
+        self._table = table
+        self._buffer = buffer  # mmap object, or raw bytes in copy mode
+        self.mapped = mapped
+        self._cache: Dict[str, object] = {}
+
+    def section_names(self) -> Iterable[str]:
+        return self._table.keys()
+
+    def has_section(self, name: str) -> bool:
+        return name in self._table
+
+    def section(self, name: str):
+        """The named section as a flat int array (zero-copy when mapped).
+
+        Returns an ``ndarray`` when NumPy is importable, otherwise a
+        ``memoryview`` cast (mapped) or ``array`` copy.
+        """
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        try:
+            spec = self._table[name]
+        except KeyError:
+            known = ", ".join(sorted(self._table))
+            raise KeyError(f"artifact has no section {name!r}; known: {known}") from None
+        dtype = spec["dtype"]
+        itemsize = _DTYPES[dtype][0]
+        off = spec["offset"]
+        enc = spec.get("enc", "raw")
+        if enc == "zlib":
+            # Compact profile: inflate into private memory (no sharing).
+            raw = zlib.decompress(
+                memoryview(self._buffer)[off : off + spec["stored_bytes"]]
+            )
+            buffer, boff = raw, 0
+        elif enc == "raw":
+            buffer, boff = self._buffer, off
+        else:
+            raise ValueError(f"unsupported section encoding {enc!r}")
+        nbytes = spec["count"] * itemsize
+        from .kernels import numpy_or_none
+
+        np = numpy_or_none()
+        if np is not None:
+            arr = np.frombuffer(buffer, dtype=np.dtype(dtype), count=spec["count"], offset=boff)
+            if not _LITTLE:  # pragma: no cover - big-endian hosts
+                arr = arr.byteswap().view(arr.dtype.newbyteorder())
+            self._cache[name] = arr
+            return arr
+        view = memoryview(buffer)[boff : boff + nbytes]
+        if _LITTLE:
+            arr = view.cast(_typecode_for(dtype))
+        else:  # pragma: no cover - big-endian hosts
+            copy = array(_typecode_for(dtype))
+            copy.frombytes(view.tobytes())
+            copy.byteswap()
+            arr = copy
+        self._cache[name] = arr
+        return arr
+
+    def __repr__(self) -> str:
+        return f"Artifact(kind={self.kind!r}, sections={len(self._table)}, mapped={self.mapped})"
+
+
+def _parse_header(head: bytes):
+    if head[: len(MAGIC)] != MAGIC:
+        raise ValueError("not a repro artifact (bad magic)")
+    (hlen,) = struct.unpack_from("<Q", head, len(MAGIC))
+    start = len(MAGIC) + 8
+    doc = json.loads(head[start : start + hlen].decode("utf-8"))
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported artifact version: {version!r}")
+    return doc
+
+
+def read_artifact_header(path: PathLike) -> Dict[str, object]:
+    """Parse just the JSON header (kind/meta/section table) of ``path``."""
+    with open(path, "rb") as f:
+        head = f.read(len(MAGIC) + 8)
+        if len(head) < len(MAGIC) + 8 or head[: len(MAGIC)] != MAGIC:
+            raise ValueError("not a repro artifact (bad magic)")
+        (hlen,) = struct.unpack_from("<Q", head, len(MAGIC))
+        return _parse_header(head + f.read(hlen))
+
+
+def read_artifact(path: PathLike, mmap: bool = True) -> Artifact:
+    """Open an artifact; ``mmap=True`` (default) maps the file read-only.
+
+    The mapping is what makes multi-process serving cheap: every process
+    that loads the same artifact shares the one page-cache copy of the
+    arrays.  ``mmap=False`` reads the file into private memory instead.
+    """
+    f = open(path, "rb")
+    try:
+        if mmap and _LITTLE:
+            try:
+                mapped = _mmap.mmap(f.fileno(), 0, access=_mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                mapped = None
+            if mapped is not None:
+                if len(mapped) < len(MAGIC) + 8 or mapped[: len(MAGIC)] != MAGIC:
+                    raise ValueError("not a repro artifact (bad magic)")
+                (hlen,) = struct.unpack_from("<Q", mapped, len(MAGIC))
+                doc = _parse_header(mapped[: len(MAGIC) + 8 + hlen])
+                return Artifact(path, doc["kind"], doc["meta"], doc["sections"], mapped, True)
+        raw = f.read()
+    finally:
+        f.close()
+    doc = _parse_header(raw)
+    return Artifact(path, doc["kind"], doc["meta"], doc["sections"], raw, False)

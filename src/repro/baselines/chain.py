@@ -70,6 +70,12 @@ class ChainCompression(ReachabilityIndex):
             self._first_keys.append([k for k, _ in items])
             self._first_vals.append([p for _, p in items])
 
+    def compile(self):
+        """Chain-arena artifact ((chain, min-position) pair tables)."""
+        from ..core.compiled import CompiledChains
+
+        return CompiledChains.from_index(self)
+
     def query(self, u: int, v: int) -> bool:
         from bisect import bisect_left
 

@@ -154,5 +154,13 @@ class Grail(ReachabilityIndex):
                         push(w)
         return False
 
+    def compile(self):
+        """Interval tables + forward-CSR snapshot (the pruned-DFS
+        fallback is part of GRAIL's exactness, so the flat adjacency
+        arrays travel with the artifact)."""
+        from ..core.compiled import CompiledGrail
+
+        return CompiledGrail.from_index(self)
+
     def index_size_ints(self) -> int:
         return 2 * self.k * self.graph.n + self.graph.n  # intervals + heights

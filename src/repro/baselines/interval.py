@@ -95,6 +95,12 @@ class NuutilaInterval(ReachabilityIndex):
                 )
         self._closures = closures
 
+    def compile(self):
+        """Interval-closure artifact over the postorder numbering."""
+        from ..core.compiled import CompiledIntervalClosure
+
+        return CompiledIntervalClosure.from_index(self)
+
     def query(self, u: int, v: int) -> bool:
         return self._number[v] in self._closures[u]
 

@@ -221,6 +221,12 @@ class ISLabel(ReachabilityIndex):
     def query(self, u: int, v: int) -> bool:
         return self.distance(u, v) is not None
 
+    def compile(self):
+        """Graph-free (hop, distance) arena artifact (same layout as PL)."""
+        from ..core.compiled import CompiledHopDist
+
+        return CompiledHopDist.from_index(self)
+
     def index_size_ints(self) -> int:
         ints = 0
         for arrs in (self._lout_h, self._lout_d, self._lin_h, self._lin_d):

@@ -34,6 +34,12 @@ class OnlineBFS(ReachabilityIndex):
         self._out = graph.out_adj
         self._visited = bytearray(graph.n)
 
+    def compile(self):
+        """Levels + forward-CSR artifact (level-pruned BFS at serve time)."""
+        from ..core.compiled import CompiledOnline
+
+        return CompiledOnline.from_index(self)
+
     def query(self, u: int, v: int) -> bool:
         if u == v:
             return True
@@ -78,6 +84,12 @@ class OnlineDFS(ReachabilityIndex):
         self._levels = topological_levels(graph)
         self._out = graph.out_adj
         self._visited = bytearray(graph.n)
+
+    def compile(self):
+        """Levels + forward-CSR artifact (level-pruned BFS at serve time)."""
+        from ..core.compiled import CompiledOnline
+
+        return CompiledOnline.from_index(self)
 
     def query(self, u: int, v: int) -> bool:
         if u == v:

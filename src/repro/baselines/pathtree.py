@@ -179,6 +179,12 @@ class PathTree(ReachabilityIndex):
                 )
         self._closures = closures
 
+    def compile(self):
+        """Interval-closure artifact with the same-path fast path."""
+        from ..core.compiled import CompiledIntervalClosure
+
+        return CompiledIntervalClosure.from_index(self)
+
     def query(self, u: int, v: int) -> bool:
         # O(1) fast path: same path => position comparison decides.
         if self._path_of[u] == self._path_of[v]:

@@ -162,6 +162,13 @@ class PrunedLandmark(ReachabilityIndex):
         # the distance-comparison overhead the paper measures for PL.
         return self.distance(u, v) is not None
 
+    def compile(self):
+        """Graph-free (hop, distance) arena artifact; ``distance`` and
+        ``k_reach`` survive compilation."""
+        from ..core.compiled import CompiledHopDist
+
+        return CompiledHopDist.from_index(self)
+
     def k_reach(self, u: int, v: int, k: int) -> bool:
         """Whether ``u`` reaches ``v`` within ``k`` steps.
 

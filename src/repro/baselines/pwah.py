@@ -289,6 +289,12 @@ class Pwah8(ReachabilityIndex):
             vectors[u] = PwahBitVector.encode_bitset(acc, n)
         self._vectors = vectors
 
+    def compile(self):
+        """PWAH-8 word-arena artifact."""
+        from ..core.compiled import CompiledPwah
+
+        return CompiledPwah.from_index(self)
+
     def query(self, u: int, v: int) -> bool:
         return self._vectors[u].contains(self._number[v])
 

@@ -118,6 +118,12 @@ class TreeCover(ReachabilityIndex):
                 )
         self._closures = closures
 
+    def compile(self):
+        """Interval-closure artifact with the subtree fast path."""
+        from ..core.compiled import CompiledIntervalClosure
+
+        return CompiledIntervalClosure.from_index(self)
+
     def query(self, u: int, v: int) -> bool:
         # O(1) tree fast path: v inside u's subtree interval.
         if self._low[u] <= self._post[v] <= self._post[u]:

@@ -153,6 +153,13 @@ class TwoHop(ReachabilityIndex):
             return True
         return self.labels.query(u, v)
 
+    def compile(self):
+        """Label artifact; 2HOP labels omit self-hops, so the compiled
+        oracle keeps the explicit reflexive short-circuit."""
+        from ..core.compiled import CompiledLabelOracle
+
+        return CompiledLabelOracle.from_index(self, reflexive=True)
+
     def index_size_ints(self) -> int:
         return self.labels.size_ints()
 

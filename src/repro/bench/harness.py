@@ -50,6 +50,12 @@ class RunResult:
     query_ms: Dict[str, float] = field(default_factory=dict)
     correct_positive_rate: Optional[float] = None
     error: str = ""
+    #: Artifact-serve measurements (``through_artifact`` runs only):
+    #: on-disk bytes, cold-load wall time, and the loaded oracle's
+    #: reported size (must equal ``index_size_ints`` for label kinds).
+    artifact_bytes: Optional[int] = None
+    load_s: Optional[float] = None
+    loaded_size_ints: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -57,11 +63,25 @@ class RunResult:
 
 
 class MethodRun:
-    """Build + measure one method on one prepared graph."""
+    """Build + measure one method on one prepared graph.
 
-    def __init__(self, method: str, budget: Optional[BuildBudget] = None) -> None:
+    ``through_artifact=True`` switches the *query* half to the serve
+    lifecycle: the built index is compiled, saved to a temporary binary
+    artifact, loaded back (memory-mapped), and the workloads are
+    answered by the loaded oracle — measuring what a serving process
+    actually pays.  ``artifact_bytes`` / ``load_s`` /
+    ``loaded_size_ints`` land on the :class:`RunResult`.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        budget: Optional[BuildBudget] = None,
+        through_artifact: bool = False,
+    ) -> None:
         self.method = method
         self.budget = budget or BuildBudget()
+        self.through_artifact = through_artifact
 
     def execute(
         self,
@@ -94,6 +114,27 @@ class MethodRun:
             build_s=build_s,
             index_size_ints=index.index_size_ints(),
         )
+        artifact_path = None
+        if self.through_artifact:
+            try:
+                index, artifact_path = self._serve_through_artifact(index, result)
+            except MemoryError as exc:
+                return RunResult(dataset, self.method, "dnf-memory", error=str(exc))
+            except Exception as exc:
+                return RunResult(dataset, self.method, "error", error=repr(exc))
+        try:
+            return self._measure_queries(index, result, workloads, query_repeats)
+        finally:
+            if artifact_path is not None:
+                self._cleanup_artifact(artifact_path)
+
+    def _measure_queries(
+        self,
+        index,
+        result: RunResult,
+        workloads: Sequence[Workload],
+        query_repeats: int,
+    ) -> RunResult:
         for wl in workloads:
             if not len(wl):
                 result.query_ms[wl.name] = 0.0
@@ -111,6 +152,41 @@ class MethodRun:
                 got = sum(answers)
                 result.correct_positive_rate = got / max(1, len(wl))
         return result
+
+    @staticmethod
+    def _serve_through_artifact(index, result: RunResult):
+        """Round the built index through a temporary binary artifact.
+
+        The temp file must outlive the query measurements: the loaded
+        oracle memory-maps it, so it is cleaned up only after the
+        workloads finish (see :meth:`execute`).
+        """
+        import os
+        import tempfile
+
+        from ..serialization import load_artifact, save_artifact
+
+        fd, path = tempfile.mkstemp(suffix=".rpro")
+        os.close(fd)
+        try:
+            result.artifact_bytes = save_artifact(index, path)
+            t0 = time.perf_counter()
+            loaded = load_artifact(path)
+            result.load_s = time.perf_counter() - t0
+            result.loaded_size_ints = loaded.index_size_ints()
+            return loaded, path
+        except BaseException:
+            os.unlink(path)
+            raise
+
+    @staticmethod
+    def _cleanup_artifact(path: str) -> None:
+        import os
+
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - e.g. Windows keeps mapped
+            pass  # files locked; the temp dir reaper collects it
 
 
 def prepare_workloads(
@@ -145,13 +221,15 @@ def run_dataset(
     graph: Optional[DiGraph] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    through_artifact: bool = False,
 ) -> List[RunResult]:
     """Run every method on one dataset, sharing workloads.
 
     ``backend`` / ``workers`` are forwarded to the kernel-aware methods
     (:data:`BACKEND_METHODS` / :data:`WORKER_METHODS`); labels and
     answers are backend-invariant, so overriding them changes timings
-    only.
+    only.  ``through_artifact`` reroutes the query measurements through
+    a saved-and-reloaded binary artifact (the serve lifecycle).
     """
     if graph is None:
         graph = load(dataset)
@@ -171,7 +249,7 @@ def run_dataset(
                 time_s=budget.time_s if budget else BuildBudget().time_s,
                 params={**(budget.params if budget else {}), **extra},
             )
-        runner = MethodRun(method, budget)
+        runner = MethodRun(method, budget, through_artifact=through_artifact)
         results.append(runner.execute(dataset, graph, workloads, query_repeats))
     return results
 

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any paper table or figure.
+"""Command-line entry point: paper tables/figures and artifact serving.
 
 Usage::
 
@@ -9,8 +9,17 @@ Usage::
     python -m repro.cli list                    # available experiments
     python -m repro.cli ablation-rank           # design-choice ablation
 
-Output is a text table shaped like the paper's (datasets × methods,
-"—" for methods that exceeded their budget).
+    # build → compile → serve through binary artifacts:
+    python -m repro.cli build --dataset kegg --method DL --out kegg.rpro
+    python -m repro.cli query --artifact kegg.rpro --random 10000
+
+``build`` runs the full pipeline (SCC condensation + index) and writes
+a compiled artifact; ``query`` serves a workload from the artifact in a
+fresh process — no graph, arrays memory-mapped — which is exactly the
+production split the lifecycle is designed around.
+
+Output of the table experiments is a text table shaped like the
+paper's (datasets × methods, "—" for methods over budget).
 """
 
 from __future__ import annotations
@@ -242,7 +251,140 @@ def _run_export(datasets: Optional[List[str]], out_dir: str) -> None:
         print(f"wrote {path} ({g.n} vertices, {g.m} edges)")
 
 
+def _run_build(argv: List[str]) -> int:
+    """``build``: graph -> pipeline -> compiled artifact on disk."""
+    from .facade import Reachability
+    from .graph.io import read_edge_list
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench build",
+        description="Build a reachability pipeline and save it as a "
+        "binary artifact (the build half of build → compile → serve).",
+    )
+    src = parser.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", help="stand-in dataset name (see 'table1')")
+    src.add_argument("--edges", help="edge-list file (header: n m; one 'u v' per line)")
+    parser.add_argument("--method", default="DL", help="paper abbreviation (default DL)")
+    parser.add_argument("--out", required=True, help="artifact output path")
+    parser.add_argument(
+        "--backend", choices=["auto", "python", "numpy"], default=None,
+        help="kernel backend for the build (DL/HL/GL/PL)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="shard DL construction over N forked processes",
+    )
+    parser.add_argument(
+        "--compact", action="store_true",
+        help="deflated artifact (smallest file; serving loads a private "
+        "copy instead of sharing one mmap)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.dataset:
+        if args.dataset not in DATASETS:
+            parser.error(f"unknown dataset {args.dataset!r}")
+        graph = load(args.dataset)
+        source = args.dataset
+    else:
+        graph = read_edge_list(args.edges)
+        source = args.edges
+
+    from .bench.harness import BACKEND_METHODS, WORKER_METHODS
+
+    key = args.method.upper()
+    params = {}
+    if args.backend is not None and key in BACKEND_METHODS:
+        params["backend"] = args.backend
+    if args.workers is not None and key in WORKER_METHODS:
+        params["workers"] = args.workers
+
+    t0 = time.perf_counter()
+    reach = Reachability(graph, args.method, **params)
+    build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    nbytes = reach.save(args.out, profile="compact" if args.compact else "mmap")
+    save_s = time.perf_counter() - t0
+    stats = reach.stats()
+    print(f"built {args.method} on {source}: n={graph.n:,} m={graph.m:,} "
+          f"dag_n={stats['dag_n']:,} in {build_s:.2f}s")
+    print(f"wrote {args.out}: {nbytes:,} bytes "
+          f"({stats['index']['index_size_ints']:,} stored ints) in {save_s:.3f}s")
+    return 0
+
+
+def _run_query(argv: List[str]) -> int:
+    """``query``: serve a workload from an artifact, no graph in memory."""
+    import random as _random
+
+    from .serialization import load_artifact
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench query",
+        description="Answer a reachability workload from a saved "
+        "artifact (the serve half of build → compile → serve).",
+    )
+    parser.add_argument("--artifact", required=True, help="artifact path from 'build'")
+    parser.add_argument("--pairs", help="file of 'u v' query pairs (one per line)")
+    parser.add_argument("--random", type=int, default=None, metavar="N",
+                        help="generate N uniform random pairs instead")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3, help="batch timing repeats")
+    parser.add_argument("--no-mmap", action="store_true",
+                        help="read a private copy instead of memory-mapping")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    oracle = load_artifact(args.artifact, mmap=not args.no_mmap)
+    load_ms = (time.perf_counter() - t0) * 1000.0
+
+    stats = oracle.stats()
+    n = stats.get("original_n") or stats.get("n") or 0
+    if args.pairs:
+        pairs = []
+        with open(args.pairs, "r", encoding="utf-8") as f:
+            for line in f:
+                parts = line.split()
+                if len(parts) >= 2:
+                    pairs.append((int(parts[0]), int(parts[1])))
+    else:
+        count = args.random or 10_000
+        rng = _random.Random(args.seed)
+        pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+    if not pairs:
+        parser.error("empty workload")
+
+    t0 = time.perf_counter()
+    first = oracle.query(*pairs[0])
+    first_us = (time.perf_counter() - t0) * 1e6
+
+    best = None
+    answers = None
+    for _ in range(max(1, args.repeats)):
+        t0 = time.perf_counter()
+        answers = oracle.query_batch(pairs)
+        elapsed = (time.perf_counter() - t0) * 1000.0
+        if best is None or elapsed < best:
+            best = elapsed
+
+    method = stats.get("method") or stats.get("index", {}).get("method")
+    print(f"loaded {args.artifact} ({method}) in {load_ms:.2f} ms "
+          f"(mmap={'no' if args.no_mmap else 'yes'})")
+    print(f"first query: {first_us:.1f} µs (-> {first})")
+    print(f"{len(pairs):,} queries in {best:.2f} ms "
+          f"({sum(answers):,} reachable)")
+    print(f"stats: {stats}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # Artifact subcommands take their own option sets; route them before
+    # the experiment parser sees the arguments.
+    if argv and argv[0] == "build":
+        return _run_build(argv[1:])
+    if argv and argv[0] == "query":
+        return _run_query(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate tables/figures from 'Simple, Fast, and "
@@ -275,6 +417,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{'stats':<22}Structural metrics of the dataset stand-ins")
         print(f"{'verify':<22}Cross-check every method against BFS (sampled)")
         print(f"{'export':<22}Write stand-in datasets as edge-list files")
+        print(f"{'build':<22}Build a pipeline and save a binary artifact")
+        print(f"{'query':<22}Serve a workload from a saved artifact")
         return 0
 
     datasets = args.datasets.split(",") if args.datasets else None

@@ -28,10 +28,20 @@ class ReachabilityIndex(abc.ABC):
     provides batch querying, statistics, and the index-size metric used
     throughout the paper's figures (number of integers stored).
 
-    The constructor signature convention is ``__init__(graph, **params)``
-    and construction happens eagerly inside ``__init__`` via
-    :meth:`_build`, so ``time(Method(graph))`` measures construction
-    time exactly.
+    Lifecycle: build → compile → serve
+    ----------------------------------
+    A live index is the **build** phase: it keeps the graph and whatever
+    scaffolding construction needed, so it can answer queries, report
+    stats, and (for the dynamic variants) absorb updates.  For
+    production serving — build once, serve from many processes — call
+    :meth:`compile` to produce a :class:`repro.core.compiled.CompiledOracle`:
+    a graph-free, query-only object holding nothing but flat arrays,
+    which :func:`repro.serialization.save_artifact` persists as a
+    binary, memory-mappable artifact.  The eager-construction
+    ``__init__(graph, **params)`` convention is the compatibility shim
+    for every existing call site (and keeps ``time(Method(graph))``
+    measuring construction exactly); ``compile()`` is the hand-off out
+    of it.
     """
 
     #: Paper abbreviation (e.g. ``"DL"``); set by subclasses.
@@ -60,6 +70,22 @@ class ReachabilityIndex(abc.ABC):
         """Number of integers the index stores (paper's Figures 3-4 metric)."""
 
     # ------------------------------------------------------------------
+    def compile(self):
+        """Compile to a graph-free :class:`~repro.core.compiled.CompiledOracle`.
+
+        The default falls back to the packed-closure artifact
+        (:class:`repro.core.compiled.CompiledClosure`) — exact for any
+        index but quadratic in ``n``, so methods whose query state has
+        a compact flat-array form override this with a native kind
+        (DL/HL/TF/2HOP → label arenas, GL → interval tables, PL/ISL →
+        hop-distance arenas, PT/INT/TREE → interval closures, CH →
+        chain arenas, PW8 → word arenas, BFS/DFS → CSR snapshots,
+        GL*/PT* → ε-BFS arrays + nested inner).
+        """
+        from .compiled import CompiledClosure
+
+        return CompiledClosure.from_index(self)
+
     def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[bool]:
         """Answer many queries; the benchmark harness times this loop."""
         q = self.query

@@ -1,0 +1,1162 @@
+"""Graph-free compiled serve artifacts — the "serve" of build→compile→serve.
+
+Construction (the expensive step the paper is about) and serving are
+different lifecycles: a build holds the full :class:`DiGraph` plus
+whatever scaffolding the algorithm needed, while a serving process only
+needs the *query-side* state.  :meth:`ReachabilityIndex.compile` maps
+every built index onto one of the :class:`CompiledOracle` classes in
+this module: query-only objects holding nothing but flat integer arrays
+(label arenas, interval tables, CSR snapshots, closure bitsets) plus
+scalar metadata — no ``DiGraph``, no per-vertex Python containers.
+
+Each class declares an artifact ``kind`` and implements the
+``to_payload`` / ``from_payload`` pair used by
+:mod:`repro.serialization` to persist it through the binary container
+in :mod:`repro.artifact`.  Loaded oracles serve straight off the
+(usually memory-mapped) arrays, so N serving processes share one
+physical copy.
+
+Native kinds
+------------
+* ``labels`` — DL / HL / TF / 2HOP (hop-label arenas, plus the engine's
+  height/interval certificates baked in at compile time).
+* ``grail`` — GL (interval rounds + heights + a forward-CSR snapshot
+  for the pruned-DFS fallback, GRAIL's exactness requirement).
+* ``hopdist`` — PL / ISL ((hop, distance) arenas; ``distance`` and
+  ``k_reach`` survive compilation).
+* ``intervals`` — INT / TREE / PT (interval-compressed closures over a
+  numbering, with the tree / same-path O(1) fast paths).
+* ``chains`` — CH (chain ids/positions + first-reachable pair arenas).
+* ``pwah`` — PW8 (PWAH-8 word arenas).
+* ``online`` — BFS / DFS (topological levels + forward CSR; the
+  compiled form answers by level-pruned BFS either way — the two live
+  classes differ only in traversal order, never in answers).
+* ``scarab`` — GL* / PT* (ε-BFS arrays + backbone translation + a
+  nested compiled inner oracle).
+* ``closure`` — the generic fallback any other exact index inherits
+  from :class:`ReachabilityIndex`: packed reachability bitset rows.
+  O(n²/64) words, so only for moderate DAGs — methods with compact
+  query state override ``compile`` with a native kind instead.
+"""
+
+from __future__ import annotations
+
+import abc
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from ..artifact import pack_section
+
+__all__ = [
+    "CompiledOracle",
+    "CompiledLabelOracle",
+    "CompiledGrail",
+    "CompiledHopDist",
+    "CompiledIntervalClosure",
+    "CompiledChains",
+    "CompiledPwah",
+    "CompiledOnline",
+    "CompiledScarab",
+    "CompiledClosure",
+    "register_compiled",
+    "compiled_kind",
+    "compiled_kinds",
+]
+
+
+_KINDS: Dict[str, Type["CompiledOracle"]] = {}
+
+
+def register_compiled(cls: Type["CompiledOracle"]) -> Type["CompiledOracle"]:
+    """Class decorator: register an artifact kind for deserialisation."""
+    key = cls.kind
+    if key in _KINDS:
+        raise ValueError(f"duplicate compiled kind {key!r}")
+    _KINDS[key] = cls
+    return cls
+
+
+def compiled_kind(kind: str) -> Type["CompiledOracle"]:
+    """Look up a compiled-oracle class by artifact kind."""
+    try:
+        return _KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_KINDS))
+        raise KeyError(f"unknown artifact kind {kind!r}; known: {known}") from None
+
+
+def compiled_kinds() -> Dict[str, Type["CompiledOracle"]]:
+    """A copy of the kind -> class map."""
+    return dict(_KINDS)
+
+
+class CompiledOracle(abc.ABC):
+    """Base class for graph-free, query-only serve artifacts.
+
+    The query contract matches :class:`ReachabilityIndex` —
+    ``query(u, u)`` is reflexively True, batch answers equal the live
+    index's bit for bit — but there is no graph, no builder state, and
+    no mutation: a compiled oracle is immutable by construction.
+    """
+
+    #: Artifact kind tag (one per on-disk layout); set by subclasses.
+    kind: str = "?"
+
+    def __init__(self, short_name: str, n: int, params: Optional[dict] = None) -> None:
+        self.short_name = short_name
+        self.n = n
+        # Construction params travel to the artifact header for
+        # provenance; only JSON scalars survive (factory callables and
+        # the like are build-phase objects, not serve state).
+        self.params = {
+            k: v
+            for k, v in (params or {}).items()
+            if isinstance(v, (bool, int, float, str)) or v is None
+        }
+
+    # -- queries -------------------------------------------------------
+    @abc.abstractmethod
+    def query(self, u: int, v: int) -> bool:
+        """Whether ``u`` reaches ``v`` (reflexive)."""
+
+    def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[bool]:
+        """Answer many queries (subclasses override with fast paths)."""
+        q = self.query
+        return [q(u, v) for (u, v) in pairs]
+
+    def count_reachable(self, pairs: Iterable[Tuple[int, int]]) -> int:
+        """Number of positive answers in a workload."""
+        q = self.query
+        return sum(1 for (u, v) in pairs if q(u, v))
+
+    # -- metrics -------------------------------------------------------
+    @abc.abstractmethod
+    def index_size_ints(self) -> int:
+        """Stored-integer count (the paper's Figures 3-4 metric)."""
+
+    def stats(self) -> Dict[str, object]:
+        """Serve-side statistics; keys mirror the live oracles' where
+        they exist so the harness can report loaded artifacts."""
+        return {
+            "method": self.short_name,
+            "kind": self.kind,
+            "n": self.n,
+            "index_size_ints": self.index_size_ints(),
+            "compiled": True,
+        }
+
+    # -- persistence ---------------------------------------------------
+    @abc.abstractmethod
+    def to_payload(self) -> Tuple[dict, Dict[str, Tuple[str, bytes]]]:
+        """``(meta, sections)`` for :mod:`repro.serialization`."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_payload(cls, meta: dict, sections) -> "CompiledOracle":
+        """Rebuild from a parsed artifact; ``sections(name)`` returns
+        the named flat array (zero-copy when memory-mapped)."""
+
+    def _base_meta(self) -> dict:
+        return {"method": self.short_name, "n": self.n, "params": self.params}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(method={self.short_name}, n={self.n})"
+
+
+def _interval_member(starts, ends, a: int, b: int, x: int) -> bool:
+    """Whether ``x`` falls in the interval run ``starts/ends[a:b]``."""
+    i = bisect_right(starts, x, a, b) - 1
+    return i >= a and ends[i] >= x
+
+
+def _csr_sections(csr, prefix: str) -> Dict[str, Tuple[str, bytes]]:
+    """Pack one direction of a CSR view (``offsets``/``targets``)."""
+    offs, tgts = csr
+    return {
+        f"{prefix}_offs": pack_section(offs),
+        f"{prefix}_tgts": pack_section(tgts),
+    }
+
+
+# ======================================================================
+# labels — DL / HL / TF / 2HOP
+# ======================================================================
+@register_compiled
+class CompiledLabelOracle(CompiledOracle):
+    """Hop-label oracle compiled to its arena plus engine certificates.
+
+    Queries answer by label intersection exactly like the live oracle;
+    batches ride the staged vectorized engine
+    (:mod:`repro.kernels.batchquery`), whose graph-backed stages run on
+    the height/interval certificate arrays baked in at compile time.
+    ``reflexive`` marks labelings (2HOP) whose live query short-circuits
+    ``u == v`` before the label test.
+    """
+
+    kind = "labels"
+
+    def __init__(
+        self,
+        labels,
+        method: str,
+        *,
+        rank_space: bool = False,
+        reflexive: bool = False,
+        height=None,
+        rounds=(),
+        hop_vertex=None,
+        params: Optional[dict] = None,
+    ) -> None:
+        super().__init__(method, labels.n, params)
+        self.labels = labels
+        self.method = method
+        self.rank_space = rank_space
+        self.reflexive = reflexive
+        self.height = height
+        self.rounds = list(rounds)
+        #: rank-space labelings (DL): hop id -> original vertex id, so
+        #: witnesses keep naming real vertices after the graph is gone.
+        self.hop_vertex = hop_vertex
+
+    @classmethod
+    def from_index(cls, index, *, rank_space: bool = False, reflexive: bool = False):
+        """Compile a live label oracle (graph present) to serve form."""
+        from ..kernels.batchquery import compile_graph_aux
+
+        height, rounds = compile_graph_aux(index.graph)
+        return cls(
+            index.labels,
+            index.short_name,
+            rank_space=rank_space,
+            reflexive=reflexive,
+            height=height,
+            rounds=rounds,
+            hop_vertex=getattr(index, "order_list", None) if rank_space else None,
+            params=getattr(index, "params", None),
+        )
+
+    # -- queries -------------------------------------------------------
+    def query(self, u: int, v: int) -> bool:
+        if self.reflexive and u == v:
+            return True
+        return self.labels.query(u, v)
+
+    def query_batch(self, pairs) -> List[bool]:
+        from ..kernels.batchquery import engine_query_batch
+
+        if not hasattr(pairs, "__len__"):
+            pairs = list(pairs)
+        res = engine_query_batch(
+            self, self.labels, None, pairs, aux=(self.height, self.rounds)
+        )
+        if self.reflexive:
+            for i, (u, v) in enumerate(pairs):
+                if u == v:
+                    res[i] = True
+        return res
+
+    def witness(self, u: int, v: int) -> Optional[int]:
+        """A common hop certifying ``u -> v``, in original vertex ids.
+
+        Mirrors the live oracles: vertex-id labelings (HL/TF/2HOP)
+        return the hop as stored; rank-space labelings (DL) translate
+        through the persisted ``hop_vertex`` map.  Raises when that map
+        was stripped (v1-migrated oracles never had it; the compact
+        profile drops it) — rank ids are indistinguishable from vertex
+        ids, so returning them raw would silently name the wrong hub.
+        """
+        hop = self.labels.witness(u, v)
+        if hop is None or not self.rank_space:
+            return hop
+        if self.hop_vertex is None:
+            raise RuntimeError(
+                "this compiled oracle stores rank-space hops without a "
+                "hop -> vertex map (v1-migrated or compact artifact); "
+                "witnesses in original ids need a full-profile compile"
+            )
+        return int(self.hop_vertex[hop])
+
+    # -- metrics -------------------------------------------------------
+    def index_size_ints(self) -> int:
+        return self.labels.size_ints()
+
+    def stats(self) -> Dict[str, object]:
+        base = super().stats()
+        base.update(
+            {
+                "max_label_len": self.labels.max_label_len(),
+                "avg_label_len": round(self.labels.average_label_len(), 2),
+            }
+        )
+        return base
+
+    # -- persistence ---------------------------------------------------
+    def to_payload(self):
+        oh, oo, ih, io_ = self.labels.arena()
+        meta = self._base_meta()
+        meta.update(
+            {
+                "rank_space": self.rank_space,
+                "reflexive": self.reflexive,
+                "rounds": len(self.rounds),
+            }
+        )
+        sections = {
+            "out_hops": pack_section(oh),
+            # Offsets pin <i8 so the batch engine adopts the mmap
+            # without an upcast copy (hops stay minimal-width; the
+            # engine gathers from any int dtype in place).
+            "out_offs": pack_section(oo, "<i8"),
+            "in_hops": pack_section(ih),
+            "in_offs": pack_section(io_, "<i8"),
+        }
+        if self.height is not None:
+            sections["height"] = pack_section(self.height)
+        if self.hop_vertex is not None:
+            sections["hop_vertex"] = pack_section(self.hop_vertex)
+        for i, (low, post) in enumerate(self.rounds):
+            sections[f"iv_low_{i}"] = pack_section(low)
+            sections[f"iv_post_{i}"] = pack_section(post)
+        return meta, sections
+
+    @classmethod
+    def from_payload(cls, meta, sections):
+        from .labels import LabelSet
+
+        n = int(meta["n"])
+        labels = LabelSet.from_arena(
+            n,
+            sections("out_hops"),
+            sections("out_offs"),
+            sections("in_hops"),
+            sections("in_offs"),
+        )
+        height = sections("height") if _has(sections, "height") else None
+        hop_vertex = sections("hop_vertex") if _has(sections, "hop_vertex") else None
+        rounds = [
+            (sections(f"iv_low_{i}"), sections(f"iv_post_{i}"))
+            for i in range(int(meta.get("rounds", 0)))
+        ]
+        return cls(
+            labels,
+            str(meta["method"]),
+            rank_space=bool(meta.get("rank_space", False)),
+            reflexive=bool(meta.get("reflexive", False)),
+            height=height,
+            rounds=rounds,
+            hop_vertex=hop_vertex,
+            params=meta.get("params"),
+        )
+
+
+def _has(sections, name: str) -> bool:
+    try:
+        sections(name)
+    except KeyError:
+        return False
+    return True
+
+
+# ======================================================================
+# grail — GL
+# ======================================================================
+@register_compiled
+class CompiledGrail(CompiledOracle):
+    """GRAIL compiled to flat interval tables + a forward-CSR snapshot.
+
+    GRAIL's containment test is necessary-but-not-sufficient, so the
+    exactness-preserving pruned DFS fallback must survive compilation —
+    the forward CSR arrays are part of the artifact (flat arrays, not a
+    ``DiGraph``).  The stamped visited scratch is rebuilt per process.
+    """
+
+    kind = "grail"
+
+    def __init__(self, n, k, lows, posts, heights, out_offs, out_tgts, params=None) -> None:
+        super().__init__("GL", n, params)
+        self.k = k
+        self._ivals = list(zip(lows, posts))
+        self._heights = heights
+        self._offs = out_offs
+        self._tgts = out_tgts
+        self._vis = [-1] * n
+        self._stamp = -1
+
+    @classmethod
+    def from_index(cls, index):
+        offs, tgts = _forward_csr(index.graph)
+        return cls(
+            index.graph.n,
+            index.k,
+            list(index._lows),
+            list(index._posts),
+            index._heights,
+            offs,
+            tgts,
+            params=getattr(index, "params", None),
+        )
+
+    def query(self, u: int, v: int) -> bool:
+        if u == v:
+            return True
+        heights = self._heights
+        if heights[u] <= heights[v]:
+            return False
+        ivals = self._ivals
+        for low, post in ivals:
+            if low[v] < low[u] or post[v] > post[u]:
+                return False
+        # Pruned DFS over the CSR snapshot (mirrors Grail.query).
+        offs = self._offs
+        tgts = self._tgts
+        vis = self._vis
+        self._stamp += 1
+        stamp = self._stamp
+        stack = [u]
+        push = stack.append
+        vis[u] = stamp
+        while stack:
+            x = stack.pop()
+            for j in range(offs[x], offs[x + 1]):
+                w = tgts[j]
+                if w == v:
+                    return True
+                if vis[w] != stamp:
+                    vis[w] = stamp
+                    for low, post in ivals:
+                        if low[v] < low[w] or post[v] > post[w]:
+                            break
+                    else:
+                        push(int(w))
+        return False
+
+    def index_size_ints(self) -> int:
+        return 2 * self.k * self.n + self.n  # intervals + heights
+
+    def to_payload(self):
+        meta = self._base_meta()
+        meta["k"] = self.k
+        sections = {"heights": pack_section(self._heights)}
+        for i, (low, post) in enumerate(self._ivals):
+            sections[f"low_{i}"] = pack_section(low)
+            sections[f"post_{i}"] = pack_section(post)
+        sections.update(_csr_sections((self._offs, self._tgts), "out"))
+        return meta, sections
+
+    @classmethod
+    def from_payload(cls, meta, sections):
+        k = int(meta["k"])
+        return cls(
+            int(meta["n"]),
+            k,
+            [sections(f"low_{i}") for i in range(k)],
+            [sections(f"post_{i}") for i in range(k)],
+            sections("heights"),
+            sections("out_offs"),
+            sections("out_tgts"),
+            params=meta.get("params"),
+        )
+
+
+def _forward_csr(graph):
+    """``(offsets, targets)`` snapshot of a graph's forward adjacency."""
+    csr = graph.csr() if graph.frozen else None
+    if csr is not None:
+        return csr.out_offsets, csr.out_targets
+    from ..graph.csr import build_csr_arrays
+
+    return build_csr_arrays(graph.out_adj)
+
+
+def _both_csr(graph):
+    """Forward and reverse CSR snapshots."""
+    if graph.frozen:
+        csr = graph.csr()
+        return (csr.out_offsets, csr.out_targets), (csr.in_offsets, csr.in_targets)
+    from ..graph.csr import build_csr_arrays
+
+    return build_csr_arrays(graph.out_adj), build_csr_arrays(graph.in_adj)
+
+
+# ======================================================================
+# hopdist — PL / ISL
+# ======================================================================
+@register_compiled
+class CompiledHopDist(CompiledOracle):
+    """(hop, distance) labelings compiled to parallel arenas.
+
+    Serves Pruned-Landmark and IS-label: both answer reachability
+    through the same sorted-merge distance scan, which this class runs
+    over arena slices.  ``distance`` and ``k_reach`` stay available —
+    the distance-oracle bonus survives compilation.
+    """
+
+    kind = "hopdist"
+
+    def __init__(self, short_name, n, out_h, out_d, out_offs, in_h, in_d, in_offs, params=None) -> None:
+        super().__init__(short_name, n, params)
+        self._out_h = out_h
+        self._out_d = out_d
+        self._out_offs = out_offs
+        self._in_h = in_h
+        self._in_d = in_d
+        self._in_offs = in_offs
+
+    @classmethod
+    def from_index(cls, index):
+        out_h, out_offs = _flatten(index._lout_h)
+        out_d, _ = _flatten(index._lout_d)
+        in_h, in_offs = _flatten(index._lin_h)
+        in_d, _ = _flatten(index._lin_d)
+        return cls(
+            index.short_name,
+            len(index._lout_h),
+            out_h,
+            out_d,
+            out_offs,
+            in_h,
+            in_d,
+            in_offs,
+            params=getattr(index, "params", None),
+        )
+
+    def distance(self, u: int, v: int) -> Optional[int]:
+        """Exact hop-count distance, or ``None`` (mirrors the live scan)."""
+        if u == v:
+            return 0
+        best = None
+        hs, ds = self._out_h, self._out_d
+        i = self._out_offs[u]
+        ni = self._out_offs[u + 1]
+        js, jd = self._in_h, self._in_d
+        j = self._in_offs[v]
+        nj = self._in_offs[v + 1]
+        while i < ni and j < nj:
+            a = hs[i]
+            b = js[j]
+            if a == b:
+                total = ds[i] + jd[j]
+                if best is None or total < best:
+                    best = total
+                i += 1
+                j += 1
+            elif a < b:
+                i += 1
+            else:
+                j += 1
+        return None if best is None else int(best)
+
+    def query(self, u: int, v: int) -> bool:
+        return self.distance(u, v) is not None
+
+    def k_reach(self, u: int, v: int, k: int) -> bool:
+        """Whether ``u`` reaches ``v`` within ``k`` steps."""
+        d = self.distance(u, v)
+        return d is not None and d <= k
+
+    def index_size_ints(self) -> int:
+        return 2 * (len(self._out_h) + len(self._in_h))
+
+    def to_payload(self):
+        meta = self._base_meta()
+        return meta, {
+            "out_h": pack_section(self._out_h),
+            "out_d": pack_section(self._out_d),
+            "out_offs": pack_section(self._out_offs, "<i8"),
+            "in_h": pack_section(self._in_h),
+            "in_d": pack_section(self._in_d),
+            "in_offs": pack_section(self._in_offs, "<i8"),
+        }
+
+    @classmethod
+    def from_payload(cls, meta, sections):
+        return cls(
+            str(meta["method"]),
+            int(meta["n"]),
+            sections("out_h"),
+            sections("out_d"),
+            sections("out_offs"),
+            sections("in_h"),
+            sections("in_d"),
+            sections("in_offs"),
+            params=meta.get("params"),
+        )
+
+
+def _flatten(lists):
+    """``(values, offsets)`` arena from a list of per-vertex lists."""
+    from array import array
+    from itertools import accumulate
+
+    values = array("l")
+    for lst in lists:
+        values.extend(lst)
+    offsets = array("l", accumulate(map(len, lists), initial=0))
+    return values, offsets
+
+
+# ======================================================================
+# intervals — INT / TREE / PT
+# ======================================================================
+@register_compiled
+class CompiledIntervalClosure(CompiledOracle):
+    """Interval-compressed closures over a numbering, with fast paths.
+
+    One layout serves the three interval-closure indices; ``variant``
+    selects the live query shape being mirrored:
+
+    * ``INT`` — membership of ``number[v]`` in ``u``'s interval run.
+    * ``TREE`` — the O(1) subtree-interval test first
+      (``low[u] <= post[v] <= post[u]``), then membership.
+    * ``PT`` — the O(1) same-path positional test first, then
+      membership of the path-tree preorder number.
+    """
+
+    kind = "intervals"
+
+    def __init__(self, short_name, variant, n, number, starts, ends, offs,
+                 low=None, path_of=None, pos_of=None, extra_ints=0, params=None) -> None:
+        super().__init__(short_name, n, params)
+        self.variant = variant
+        self._number = number
+        self._starts = starts
+        self._ends = ends
+        self._offs = offs
+        self._low = low
+        self._path_of = path_of
+        self._pos_of = pos_of
+        self._extra_ints = extra_ints
+
+    @classmethod
+    def from_index(cls, index):
+        starts, ends, offs = _flatten_intervals(index._closures)
+        params = getattr(index, "params", None)
+        name = index.short_name
+        if name == "PT":
+            return cls(
+                name, "PT", index.graph.n, index._number, starts, ends, offs,
+                path_of=index._path_of, pos_of=index._pos_in_path,
+                extra_ints=3 * index.graph.n, params=params,
+            )
+        if name == "TREE":
+            return cls(
+                name, "TREE", index.graph.n, index._post, starts, ends, offs,
+                low=index._low, extra_ints=2 * index.graph.n, params=params,
+            )
+        return cls(
+            name, "INT", index.graph.n, index._number, starts, ends, offs,
+            extra_ints=index.graph.n, params=params,
+        )
+
+    def query(self, u: int, v: int) -> bool:
+        if self.variant == "PT":
+            if self._path_of[u] == self._path_of[v]:
+                return self._pos_of[u] <= self._pos_of[v]
+        elif self.variant == "TREE":
+            if self._low[u] <= self._number[v] <= self._number[u]:
+                return True
+        x = self._number[v]
+        return _interval_member(
+            self._starts, self._ends, self._offs[u], self._offs[u + 1], x
+        )
+
+    def index_size_ints(self) -> int:
+        # Two endpoints per interval + the numbering arrays, mirroring
+        # each live index's accounting.
+        return 2 * len(self._starts) + self._extra_ints
+
+    def to_payload(self):
+        meta = self._base_meta()
+        meta["variant"] = self.variant
+        meta["extra_ints"] = self._extra_ints
+        sections = {
+            "number": pack_section(self._number),
+            "starts": pack_section(self._starts),
+            "ends": pack_section(self._ends),
+            "offs": pack_section(self._offs, "<i8"),
+        }
+        if self._low is not None:
+            sections["low"] = pack_section(self._low)
+        if self._path_of is not None:
+            sections["path_of"] = pack_section(self._path_of)
+            sections["pos_of"] = pack_section(self._pos_of)
+        return meta, sections
+
+    @classmethod
+    def from_payload(cls, meta, sections):
+        variant = str(meta["variant"])
+        return cls(
+            str(meta["method"]),
+            variant,
+            int(meta["n"]),
+            sections("number"),
+            sections("starts"),
+            sections("ends"),
+            sections("offs"),
+            low=sections("low") if variant == "TREE" else None,
+            path_of=sections("path_of") if variant == "PT" else None,
+            pos_of=sections("pos_of") if variant == "PT" else None,
+            extra_ints=int(meta.get("extra_ints", 0)),
+            params=meta.get("params"),
+        )
+
+
+def _flatten_intervals(closures):
+    """Flatten per-vertex :class:`IntervalSet` objects into arenas."""
+    from array import array
+
+    starts = array("l")
+    ends = array("l")
+    offs = array("l", [0])
+    total = 0
+    for c in closures:
+        starts.extend(c.starts)
+        ends.extend(c.ends)
+        total += len(c.starts)
+        offs.append(total)
+    return starts, ends, offs
+
+
+# ======================================================================
+# chains — CH
+# ======================================================================
+@register_compiled
+class CompiledChains(CompiledOracle):
+    """Chain compression compiled to pair arenas.
+
+    ``first_keys/first_vals[offs[u]:offs[u+1]]`` is ``u``'s sorted
+    (chain, min-position) table; the query bisects it exactly like the
+    live index.
+    """
+
+    kind = "chains"
+
+    def __init__(self, n, n_chains, chain_of, pos_of, keys, vals, offs, params=None) -> None:
+        super().__init__("CH", n, params)
+        self.n_chains = n_chains
+        self._chain_of = chain_of
+        self._pos_of = pos_of
+        self._keys = keys
+        self._vals = vals
+        self._offs = offs
+
+    @classmethod
+    def from_index(cls, index):
+        keys, offs = _flatten(index._first_keys)
+        vals, _ = _flatten(index._first_vals)
+        return cls(
+            index.graph.n,
+            index._n_chains,
+            index._chain_of,
+            index._pos_of,
+            keys,
+            vals,
+            offs,
+            params=getattr(index, "params", None),
+        )
+
+    def query(self, u: int, v: int) -> bool:
+        cid = self._chain_of[v]
+        a = self._offs[u]
+        b = self._offs[u + 1]
+        i = bisect_left(self._keys, cid, a, b)
+        if i == b or self._keys[i] != cid:
+            return False
+        return self._vals[i] <= self._pos_of[v]
+
+    def index_size_ints(self) -> int:
+        return 2 * len(self._keys) + 2 * self.n
+
+    def to_payload(self):
+        meta = self._base_meta()
+        meta["n_chains"] = self.n_chains
+        return meta, {
+            "chain_of": pack_section(self._chain_of),
+            "pos_of": pack_section(self._pos_of),
+            "keys": pack_section(self._keys),
+            "vals": pack_section(self._vals),
+            "offs": pack_section(self._offs, "<i8"),
+        }
+
+    @classmethod
+    def from_payload(cls, meta, sections):
+        return cls(
+            int(meta["n"]),
+            int(meta["n_chains"]),
+            sections("chain_of"),
+            sections("pos_of"),
+            sections("keys"),
+            sections("vals"),
+            sections("offs"),
+            params=meta.get("params"),
+        )
+
+
+# ======================================================================
+# pwah — PW8
+# ======================================================================
+@register_compiled
+class CompiledPwah(CompiledOracle):
+    """PWAH-8 closure vectors compiled to one 64-bit word arena.
+
+    A query wraps ``u``'s word slice in a :class:`PwahBitVector` view —
+    the class stores references, so the wrap is zero-copy — and probes
+    ``number[v]`` through the exact decoder the live index uses.
+    """
+
+    kind = "pwah"
+
+    def __init__(self, n, number, words, offs, universe, params=None) -> None:
+        super().__init__("PW8", n, params)
+        self._number = number
+        self._words = words
+        self._offs = offs
+        self.universe = universe
+
+    @classmethod
+    def from_index(cls, index):
+        from array import array
+        words = array("Q")
+        offs = array("l", [0])
+        total = 0
+        universe = index.graph.n
+        for vec in index._vectors:
+            words.extend(vec.words)
+            total += len(vec.words)
+            offs.append(total)
+            universe = vec.universe
+        return cls(
+            index.graph.n, index._number, words, offs, universe,
+            params=getattr(index, "params", None),
+        )
+
+    def query(self, u: int, v: int) -> bool:
+        from ..baselines.pwah import PwahBitVector
+
+        a = self._offs[u]
+        b = self._offs[u + 1]
+        vec = PwahBitVector(self._words[a:b], self.universe)
+        return vec.contains(int(self._number[v]))
+
+    def index_size_ints(self) -> int:
+        return len(self._words) + self.n
+
+    def to_payload(self):
+        meta = self._base_meta()
+        meta["universe"] = self.universe
+        return meta, {
+            "number": pack_section(self._number),
+            "words": pack_section(self._words, "<u8"),
+            "offs": pack_section(self._offs, "<i8"),
+        }
+
+    @classmethod
+    def from_payload(cls, meta, sections):
+        return cls(
+            int(meta["n"]),
+            sections("number"),
+            sections("words"),
+            sections("offs"),
+            int(meta["universe"]),
+            params=meta.get("params"),
+        )
+
+
+# ======================================================================
+# online — BFS / DFS
+# ======================================================================
+@register_compiled
+class CompiledOnline(CompiledOracle):
+    """Index-free online search compiled to levels + forward CSR.
+
+    The live BFS and DFS classes differ only in frontier discipline;
+    answers are identical, so one compiled form (level-pruned BFS over
+    the CSR snapshot) serves both, with ``short_name`` recording which
+    it came from.
+    """
+
+    kind = "online"
+
+    def __init__(self, short_name, n, levels, out_offs, out_tgts, params=None) -> None:
+        super().__init__(short_name, n, params)
+        self._levels = levels
+        self._offs = out_offs
+        self._tgts = out_tgts
+        self._visited = bytearray(n)
+
+    @classmethod
+    def from_index(cls, index):
+        offs, tgts = _forward_csr(index.graph)
+        return cls(
+            index.short_name, index.graph.n, index._levels, offs, tgts,
+            params=getattr(index, "params", None),
+        )
+
+    def query(self, u: int, v: int) -> bool:
+        if u == v:
+            return True
+        levels = self._levels
+        if levels[u] >= levels[v]:
+            return False
+        offs = self._offs
+        tgts = self._tgts
+        visited = self._visited
+        target_level = levels[v]
+        frontier = [u]
+        visited[u] = 1
+        touched = [u]
+        found = False
+        qi = 0
+        while qi < len(frontier) and not found:
+            x = frontier[qi]
+            qi += 1
+            for j in range(offs[x], offs[x + 1]):
+                w = tgts[j]
+                if w == v:
+                    found = True
+                    break
+                if not visited[w] and levels[w] < target_level:
+                    visited[w] = 1
+                    w = int(w)
+                    touched.append(w)
+                    frontier.append(w)
+        for x in touched:
+            visited[x] = 0
+        return found
+
+    def index_size_ints(self) -> int:
+        return len(self._levels)
+
+    def to_payload(self):
+        meta = self._base_meta()
+        sections = {"levels": pack_section(self._levels)}
+        sections.update(_csr_sections((self._offs, self._tgts), "out"))
+        return meta, sections
+
+    @classmethod
+    def from_payload(cls, meta, sections):
+        return cls(
+            str(meta["method"]),
+            int(meta["n"]),
+            sections("levels"),
+            sections("out_offs"),
+            sections("out_tgts"),
+            params=meta.get("params"),
+        )
+
+
+# ======================================================================
+# scarab — GL* / PT*
+# ======================================================================
+@register_compiled
+class CompiledScarab(CompiledOracle):
+    """SCARAB wrapper compiled to ε-BFS arrays + a nested inner oracle.
+
+    The local check and entry/exit collection run over CSR snapshots of
+    both directions; the backbone index is whatever compiled oracle the
+    inner method produced, nested inside the same artifact under an
+    ``inner/`` section prefix.
+    """
+
+    kind = "scarab"
+
+    def __init__(self, short_name, n, eps, in_backbone, to_backbone,
+                 out_csr, in_csr, inner: CompiledOracle, params=None) -> None:
+        super().__init__(short_name, n, params)
+        self.eps = eps
+        self._in_backbone = in_backbone
+        self._to_backbone = to_backbone
+        self._out_offs, self._out_tgts = out_csr
+        self._in_offs, self._in_tgts = in_csr
+        self.inner = inner
+
+    @classmethod
+    def from_index(cls, index):
+        out_csr, in_csr = _both_csr(index.graph)
+        # The live wrapper keeps ``to_backbone`` as a dict over backbone
+        # vertices; the artifact stores it dense (0 for non-backbone —
+        # never consulted, entries/exits are backbone vertices only).
+        to_b = index._to_backbone
+        to_backbone = [to_b.get(v, 0) for v in range(index.graph.n)]
+        return cls(
+            index.short_name,
+            index.graph.n,
+            index.eps,
+            index._in_backbone,
+            to_backbone,
+            out_csr,
+            in_csr,
+            index.inner.compile(),
+            params=getattr(index, "params", None),
+        )
+
+    # -- queries -------------------------------------------------------
+    def _local_and_entries(self, offs, tgts, source: int, target: int):
+        """ε-BFS over one CSR direction (mirrors the live wrapper)."""
+        eps = self.eps
+        in_backbone = self._in_backbone
+        dist = {source: 0}
+        frontier = [source]
+        entries: List[int] = []
+        if in_backbone[source]:
+            entries.append(source)
+        d = 0
+        while frontier and d < eps:
+            d += 1
+            nxt = []
+            for u in frontier:
+                for j in range(offs[u], offs[u + 1]):
+                    w = int(tgts[j])
+                    if w == target:
+                        return True, entries
+                    if w not in dist:
+                        dist[w] = d
+                        nxt.append(w)
+                        if in_backbone[w]:
+                            entries.append(w)
+            frontier = nxt
+        return False, entries
+
+    def query(self, u: int, v: int) -> bool:
+        if u == v:
+            return True
+        hit, entries = self._local_and_entries(self._out_offs, self._out_tgts, u, v)
+        if hit:
+            return True
+        if not entries:
+            return False
+        _, exits = self._local_and_entries(self._in_offs, self._in_tgts, v, u)
+        if not exits:
+            return False
+        to_b = self._to_backbone
+        inner_q = self.inner.query
+        for e in entries:
+            be = to_b[e]
+            for x in exits:
+                if inner_q(be, to_b[x]):
+                    return True
+        return False
+
+    def index_size_ints(self) -> int:
+        return self.inner.index_size_ints() + 2 * self.n
+
+    def stats(self) -> Dict[str, object]:
+        base = super().stats()
+        base["inner"] = self.inner.stats()
+        return base
+
+    # -- persistence ---------------------------------------------------
+    def to_payload(self):
+        meta = self._base_meta()
+        inner_meta, inner_sections = self.inner.to_payload()
+        meta.update(
+            {
+                "eps": self.eps,
+                "inner": {"kind": self.inner.kind, "meta": inner_meta},
+            }
+        )
+        sections = {
+            "in_backbone": pack_section(self._in_backbone, "<u1"),
+            "to_backbone": pack_section(self._to_backbone),
+        }
+        sections.update(_csr_sections((self._out_offs, self._out_tgts), "out"))
+        sections.update(_csr_sections((self._in_offs, self._in_tgts), "in"))
+        for name, packed in inner_sections.items():
+            sections[f"inner/{name}"] = packed
+        return meta, sections
+
+    @classmethod
+    def from_payload(cls, meta, sections):
+        inner_doc = meta["inner"]
+        inner_cls = compiled_kind(str(inner_doc["kind"]))
+        inner = inner_cls.from_payload(
+            inner_doc["meta"], lambda name: sections(f"inner/{name}")
+        )
+        return cls(
+            str(meta["method"]),
+            int(meta["n"]),
+            int(meta["eps"]),
+            sections("in_backbone"),
+            sections("to_backbone"),
+            (sections("out_offs"), sections("out_tgts")),
+            (sections("in_offs"), sections("in_tgts")),
+            inner,
+            params=meta.get("params"),
+        )
+
+
+# ======================================================================
+# closure — generic fallback
+# ======================================================================
+@register_compiled
+class CompiledClosure(CompiledOracle):
+    """Packed reachability bitset rows — the generic compile fallback.
+
+    Any exact index compiles to the DAG's reflexive transitive closure,
+    one 64-bit-word row per vertex: O(1) queries, O(n²/64) words.  That
+    footprint is the honest price of methods whose query state has no
+    compact flat-array form (k-reach covers, dual labeling, 3-hop
+    chain-cover maps…); methods with one override ``compile`` with a
+    native kind.  ``max_closure_n`` guards against accidentally
+    compiling a huge DAG into a quadratic artifact.
+    """
+
+    kind = "closure"
+
+    #: Refuse the quadratic fallback above this vertex count (2^15 rows
+    #: of 2^15 bits = 128 MiB — already generous for a fallback).
+    MAX_CLOSURE_N = 1 << 15
+
+    def __init__(self, short_name, n, words_per_row, bits, params=None) -> None:
+        super().__init__(short_name, n, params)
+        self.words_per_row = words_per_row
+        self._bits = bits
+
+    @classmethod
+    def from_index(cls, index, max_closure_n: Optional[int] = None):
+        from array import array
+
+        from ..graph.closure import transitive_closure_bits
+
+        graph = index.graph
+        limit = cls.MAX_CLOSURE_N if max_closure_n is None else max_closure_n
+        if graph.n > limit:
+            raise MemoryError(
+                f"{type(index).__name__} compiles through the generic closure "
+                f"fallback, quadratic in n; refusing n={graph.n} > {limit}"
+            )
+        n = graph.n
+        w = max(1, (n + 63) >> 6)
+        tc = transitive_closure_bits(graph)
+        # Shift each row's bigint out in 64-bit chunks.
+        bits = array("Q")
+        mask = (1 << 64) - 1
+        for row in tc:
+            for _ in range(w):
+                bits.append(row & mask)
+                row >>= 64
+        return cls(index.short_name, n, w, bits, params=getattr(index, "params", None))
+
+    def query(self, u: int, v: int) -> bool:
+        if u == v:
+            return True
+        word = self._bits[u * self.words_per_row + (v >> 6)]
+        return bool((word >> (v & 63)) & 1)
+
+    def index_size_ints(self) -> int:
+        return len(self._bits)
+
+    def to_payload(self):
+        meta = self._base_meta()
+        meta["words_per_row"] = self.words_per_row
+        return meta, {"bits": pack_section(self._bits, "<u8")}
+
+    @classmethod
+    def from_payload(cls, meta, sections):
+        return cls(
+            str(meta["method"]),
+            int(meta["n"]),
+            int(meta["words_per_row"]),
+            sections("bits"),
+            params=meta.get("params"),
+        )

@@ -507,6 +507,12 @@ class DistributionLabeling(ReachabilityIndex):
 
         return engine_query_batch(self, self.labels, self.graph, pairs)
 
+    def compile(self):
+        """Graph-free label artifact (hops stay in rank space)."""
+        from .compiled import CompiledLabelOracle
+
+        return CompiledLabelOracle.from_index(self, rank_space=True)
+
     def witness(self, u: int, v: int) -> Optional[int]:
         """The highest-ranked hop vertex certifying ``u -> v`` (or None).
 

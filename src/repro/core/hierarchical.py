@@ -212,6 +212,12 @@ class HierarchicalLabeling(ReachabilityIndex):
 
         return engine_query_batch(self, self.labels, self.graph, pairs)
 
+    def compile(self):
+        """Graph-free label artifact (hops in original vertex ids)."""
+        from .compiled import CompiledLabelOracle
+
+        return CompiledLabelOracle.from_index(self)
+
     def witness(self, u: int, v: int) -> Optional[int]:
         """A hop (original vertex id) certifying ``u -> v``, or ``None``."""
         return first_common_hop(self.labels.lout[u], self.labels.lin[v])

@@ -171,8 +171,8 @@ class LabelSet:
 
     __slots__ = (
         "n",
-        "lout",
-        "lin",
+        "_lout",
+        "_lin",
         "lout_sets",
         "_out_hops",
         "_out_offs",
@@ -181,12 +181,13 @@ class LabelSet:
         "_out_masks",
         "_in_masks",
         "_generation",
+        "_arena_backed",
     )
 
     def __init__(self, n: int) -> None:
         self.n = n
-        self.lout: List[List[int]] = [[] for _ in range(n)]
-        self.lin: List[List[int]] = [[] for _ in range(n)]
+        self._lout: Optional[List[List[int]]] = [[] for _ in range(n)]
+        self._lin: Optional[List[List[int]]] = [[] for _ in range(n)]
         #: Hybrid frozenset mirror of ``lout`` built by :meth:`seal`
         #: (``None`` entries mark tiny labels on the merge-scan path).
         self.lout_sets = None
@@ -197,6 +198,77 @@ class LabelSet:
         self._out_masks = None
         self._in_masks = None
         self._generation = 0
+        self._arena_backed = False
+
+    # ------------------------------------------------------------------
+    # Arena-backed construction (the serve path)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arena(cls, n: int, out_hops, out_offs, in_hops, in_offs) -> "LabelSet":
+        """A :class:`LabelSet` served directly off flat arena arrays.
+
+        This is how deserialised artifacts come back: the four arrays
+        (typically zero-copy views over one read-only ``mmap``) *are*
+        the labels — no per-vertex Python lists are materialised on
+        load.  Queries run straight off the arena (scalar merge-scans;
+        the vectorized batch engine snapshots the same arrays), and the
+        canonical ``lout``/``lin`` lists are rebuilt lazily only if a
+        caller actually touches them (witnesses, re-serialisation to
+        JSON, mutation).  Mutating a lazily-materialised copy requires
+        a :meth:`seal` before querying again, exactly as for built
+        label sets.
+        """
+        if len(out_offs) != n + 1 or len(in_offs) != n + 1:
+            raise ValueError("offsets arrays do not match vertex count")
+        ls = cls.__new__(cls)
+        ls.n = n
+        ls._lout = None
+        ls._lin = None
+        ls.lout_sets = None
+        ls._out_hops = out_hops
+        ls._out_offs = out_offs
+        ls._in_hops = in_hops
+        ls._in_offs = in_offs
+        ls._out_masks = None
+        ls._in_masks = None
+        ls._generation = 0
+        ls._arena_backed = True
+        return ls
+
+    def _materialize(self) -> None:
+        """Rebuild the canonical lists from the arena (both sides)."""
+        oh, oo, ih, io_ = self._out_hops, self._out_offs, self._in_hops, self._in_offs
+        self._lout = [
+            [int(h) for h in oh[oo[u] : oo[u + 1]]] for u in range(self.n)
+        ]
+        self._lin = [
+            [int(h) for h in ih[io_[u] : io_[u + 1]]] for u in range(self.n)
+        ]
+        # The lists are now canonical; queries switch to the list paths
+        # (an unmaterialised arena can never go stale, lists can).
+        self._arena_backed = False
+
+    @property
+    def lout(self) -> List[List[int]]:
+        if self._lout is None:
+            self._materialize()
+        return self._lout
+
+    @lout.setter
+    def lout(self, value: List[List[int]]) -> None:
+        self._lout = value
+        self._arena_backed = False
+
+    @property
+    def lin(self) -> List[List[int]]:
+        if self._lin is None:
+            self._materialize()
+        return self._lin
+
+    @lin.setter
+    def lin(self, value: List[List[int]]) -> None:
+        self._lin = value
+        self._arena_backed = False
 
     # ------------------------------------------------------------------
     # Sealing
@@ -228,6 +300,11 @@ class LabelSet:
         """
         if set_min is None:
             set_min = _SEAL_SET_MIN
+        if self._lout is None:
+            # Arena-backed (deserialised) labels: sealing works on the
+            # canonical lists, so rebuild them before the arena that
+            # produced them is invalidated below.
+            self._materialize()
         # Invalidate any previous arena; it is rebuilt lazily on first
         # use (flattening costs ~0.1 µs per stored int, which the mask
         # fast path never needs to pay).  Attached masks are dropped for
@@ -354,8 +431,14 @@ class LabelSet:
 
     @property
     def sealed(self) -> bool:
-        """Whether :meth:`seal` has been called since construction."""
-        return self.lout_sets is not None
+        """Whether the labels are in a compiled query-ready state.
+
+        True after :meth:`seal` / :meth:`attach_masks`, and for
+        arena-backed label sets straight off :meth:`from_arena` (the
+        arena *is* their sealed layout; materialising the lists drops
+        back to unsealed until the caller re-seals).
+        """
+        return self.lout_sets is not None or self._arena_backed
 
     @property
     def generation(self) -> int:
@@ -371,11 +454,29 @@ class LabelSet:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _arena_query(self, u: int, v: int) -> bool:
+        """Merge-scan ``Lout(u) ∩ Lin(v)`` straight off the arena.
+
+        The scalar query path of arena-backed (mmap-served) labels: two
+        slice views and an adaptive intersection, no per-vertex lists.
+        """
+        oo = self._out_offs
+        a, b = oo[u], oo[u + 1]
+        if a == b:
+            return False
+        io_ = self._in_offs
+        c, d = io_[v], io_[v + 1]
+        if c == d:
+            return False
+        return intersects(self._out_hops[a:b], self._in_hops[c:d])
+
     def query(self, u: int, v: int) -> bool:
         """Whether ``Lout(u) ∩ Lin(v) ≠ ∅``."""
         masks = self._out_masks
         if masks is not None:
             return masks[u] & self._in_masks[v] != 0
+        if self._lout is None:
+            return self._arena_query(u, v)
         sets = self.lout_sets
         if sets is not None:
             s = sets[u]
@@ -415,6 +516,12 @@ class LabelSet:
         if masks is not None:
             in_masks = self._in_masks
             return [masks[u] & in_masks[v] != 0 for u, v in pairs]
+        if self._lout is None:
+            # Arena-backed labels: per-pair merge-scans off the mmap
+            # (the oracles route big batches to the vectorized engine
+            # before reaching this loop).
+            q = self._arena_query
+            return [q(u, v) for u, v in pairs]
         sets = self.lout_sets
         lin = self.lin
         if sets is not None:
@@ -453,10 +560,20 @@ class LabelSet:
     # ------------------------------------------------------------------
     def size_ints(self) -> int:
         """Total number of integers stored — the paper's index-size metric."""
+        if self._lout is None:
+            return len(self._out_hops) + len(self._in_hops)
         return sum(len(x) for x in self.lout) + sum(len(x) for x in self.lin)
 
     def max_label_len(self) -> int:
         """Length of the longest single label (the L in the complexity bounds)."""
+        if self._lout is None:
+            longest = 0
+            for offs in (self._out_offs, self._in_offs):
+                for u in range(self.n):
+                    width = offs[u + 1] - offs[u]
+                    if width > longest:
+                        longest = width
+            return int(longest)
         longest_out = max((len(x) for x in self.lout), default=0)
         longest_in = max((len(x) for x in self.lin), default=0)
         return max(longest_out, longest_in)
@@ -469,6 +586,16 @@ class LabelSet:
 
     def check_sorted(self) -> bool:
         """Whether every label is strictly increasing (test invariant)."""
+        if self._lout is None:
+            for hops, offs in (
+                (self._out_hops, self._out_offs),
+                (self._in_hops, self._in_offs),
+            ):
+                for u in range(self.n):
+                    for i in range(offs[u] + 1, offs[u + 1]):
+                        if hops[i - 1] >= hops[i]:
+                            return False
+            return True
         for labels in (self.lout, self.lin):
             for lab in labels:
                 for i in range(1, len(lab)):

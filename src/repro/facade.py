@@ -31,6 +31,38 @@ from .core.base import ReachabilityIndex, get_method
 __all__ = ["Reachability"]
 
 
+class _ServeCondensation:
+    """Condensation restored from an artifact: the ``comp`` map only.
+
+    Quacks like :class:`~repro.graph.scc.Condensation` for everything
+    query-side (``comp``, ``n_components``, ``component_of``,
+    per-component sizes); the DAG and member lists stay on the build
+    side of the lifecycle.
+    """
+
+    __slots__ = ("comp", "n_components", "_sizes")
+
+    def __init__(self, comp, n_components: int) -> None:
+        self.comp = comp
+        self.n_components = n_components
+        self._sizes = None
+
+    def component_of(self, v: int) -> int:
+        return self.comp[v]
+
+    def component_sizes(self) -> List[int]:
+        """Vertices per component (computed lazily from ``comp``)."""
+        if self._sizes is None:
+            sizes = [0] * self.n_components
+            for c in self.comp:
+                sizes[c] += 1
+            self._sizes = sizes
+        return self._sizes
+
+    def __repr__(self) -> str:
+        return f"_ServeCondensation(components={self.n_components})"
+
+
 class Reachability:
     """Reachability oracle over an arbitrary directed graph.
 
@@ -62,6 +94,68 @@ class Reachability:
         factory = get_method(method) if isinstance(method, str) else method
         self.index: ReachabilityIndex = factory(self.condensation.dag, **params)
         self._comp_arr = None  # lazy int64 mirror of condensation.comp
+        self._serve_meta = None  # artifact header in serve mode
+
+    # ------------------------------------------------------------------
+    # build → compile → serve
+    # ------------------------------------------------------------------
+    def save(self, path, profile: str = "mmap") -> int:
+        """Persist the full pipeline — condensation *and* index — as a
+        binary artifact; returns bytes written.
+
+        Unlike the v1 ``save_labels`` JSON (which stores bare labels
+        and therefore cannot answer original-graph queries), the
+        artifact keeps the SCC ``comp`` map, so :meth:`load` serves the
+        exact original-graph semantics, same-SCC pairs included.
+        ``profile``: ``"mmap"`` (default, zero-copy shared serving) or
+        ``"compact"`` (deflated, smallest file) — see
+        :data:`repro.serialization.PROFILES`.
+        """
+        from .serialization import save_artifact
+
+        return save_artifact(self, path, profile=profile)
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "Reachability":
+        """Serve-mode pipeline from a :meth:`save` artifact.
+
+        With ``mmap=True`` (default) the index arrays are zero-copy
+        views over a shared read-only mapping — N serving processes
+        loading the same artifact share one physical copy.
+        """
+        from .artifact import read_artifact
+
+        return cls.from_artifact(read_artifact(path, mmap=mmap))
+
+    @classmethod
+    def from_artifact(cls, source) -> "Reachability":
+        """A serve-mode facade over a parsed pipeline artifact.
+
+        ``source`` is a path or a :class:`repro.artifact.Artifact` of
+        kind ``"pipeline"``.  The result answers :meth:`query` /
+        :meth:`query_batch` / :meth:`same_scc` /
+        :meth:`reachable_count_from` with **no DiGraph in memory**;
+        graph-walking helpers (:meth:`path`) need the build side and
+        raise.
+        """
+        from .artifact import Artifact, read_artifact
+        from .serialization import PIPELINE_KIND, _oracle_from_artifact
+
+        art = source if isinstance(source, Artifact) else read_artifact(source)
+        if art.kind != PIPELINE_KIND:
+            raise ValueError(
+                f"expected a pipeline artifact, got kind {art.kind!r} — "
+                "use repro.serialization.load_artifact for method artifacts"
+            )
+        self = cls.__new__(cls)
+        self.original = None
+        self.condensation = _ServeCondensation(
+            art.section("comp"), int(art.meta["dag_n"])
+        )
+        self.index = _oracle_from_artifact(art, "inner")
+        self._comp_arr = None
+        self._serve_meta = dict(art.meta)
+        return self
 
     # ------------------------------------------------------------------
     def query(self, u: int, v: int) -> bool:
@@ -115,6 +209,12 @@ class Reachability:
         >>> Reachability(g).path(0, 3)
         [0, 1, 2, 3]
         """
+        if self.original is None:
+            raise RuntimeError(
+                "path() walks the original graph, which a serve-mode "
+                "Reachability (loaded from an artifact) does not hold; "
+                "rebuild from the graph for path explanations"
+            )
         if not self.query(u, v):
             return None
         if u == v:
@@ -146,15 +246,25 @@ class Reachability:
         condensation); cost is one scan over SCC sizes.
         """
         cu = self.condensation.comp[u]
-        members = self.condensation.members
+        sizes = self.condensation.component_sizes()
         total = 0
         for c in range(self.condensation.n_components):
             if c == cu or self.index.query(cu, c):
-                total += len(members[c])
+                total += sizes[c]
         return total
 
     def stats(self) -> Dict[str, object]:
         """Pipeline statistics: original size, DAG size, index stats."""
+        if self.original is None:
+            meta = self._serve_meta or {}
+            return {
+                "original_n": meta.get("original_n"),
+                "original_m": meta.get("original_m"),
+                "dag_n": self.condensation.n_components,
+                "dag_m": meta.get("dag_m"),
+                "serve_mode": True,
+                "index": self.index.stats(),
+            }
         return {
             "original_n": self.original.n,
             "original_m": self.original.m,
@@ -164,6 +274,12 @@ class Reachability:
         }
 
     def __repr__(self) -> str:
+        if self.original is None:
+            meta = self._serve_meta or {}
+            return (
+                f"Reachability(method={self.index.short_name}, serve_mode, "
+                f"n={meta.get('original_n')}, dag_n={self.condensation.n_components})"
+            )
         return (
             f"Reachability(method={self.index.short_name}, "
             f"n={self.original.n}, dag_n={self.condensation.dag.n})"

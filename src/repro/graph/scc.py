@@ -124,6 +124,10 @@ class Condensation:
         """DAG vertex containing original vertex ``v``."""
         return self.comp[v]
 
+    def component_sizes(self) -> List[int]:
+        """Number of original vertices in each component."""
+        return [len(m) for m in self.members]
+
     def __repr__(self) -> str:
         return f"Condensation(components={self.dag.n}, dag_edges={self.dag.m})"
 

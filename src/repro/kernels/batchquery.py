@@ -49,7 +49,7 @@ from typing import List
 
 from . import numpy_or_none
 
-__all__ = ["BatchQueryEngine", "engine_query_batch"]
+__all__ = ["BatchQueryEngine", "engine_query_batch", "compile_graph_aux"]
 
 #: Below this many pairs the fixed cost of array conversion and stage
 #: dispatch outweighs the vectorized inner loops; callers keep the
@@ -125,31 +125,25 @@ class BatchQueryEngine:
 
     MIN_BATCH = _MIN_BATCH
 
-    def __init__(self, np, labels, graph=None) -> None:
+    def __init__(self, np, labels, graph=None, aux=None) -> None:
         self.np = np
         self.labels = labels
         self.generation = labels.generation
         n = labels.n
         self.n = n
         oh, oo, ih, io = labels.arena()
-        # The arena is array('l'): derive the dtype from the platform
-        # item size (4 bytes on LLP64 Windows), as CSRView.as_numpy
-        # does, then normalise offsets to int64.
-        arena_dtype = np.dtype(f"i{oo.itemsize}")
-        self.OO = np.frombuffer(oo, dtype=arena_dtype).astype(np.int64)
-        self.IO = np.frombuffer(io, dtype=arena_dtype).astype(np.int64)
-        # int32 copies of the hop arenas: residual probes are memory
-        # bound, and hop ids always fit (they index vertices/ranks).
-        self.OH = (
-            np.frombuffer(oh, dtype=arena_dtype).astype(np.int32)
-            if len(oh)
-            else np.empty(0, np.int32)
-        )
-        self.IH = (
-            np.frombuffer(ih, dtype=arena_dtype).astype(np.int32)
-            if len(ih)
-            else np.empty(0, np.int32)
-        )
+        # Offsets must be int64 for the index arithmetic below;
+        # ``astype(copy=False)`` keeps artifact-loaded int64 mmaps
+        # zero-copy and upcasts everything else (n+1 entries — tiny).
+        self.OO = self._offsets_np(oo)
+        self.IO = self._offsets_np(io)
+        # Hop arenas: mmap-backed ndarrays are used in place (residual
+        # probes gather from them directly, any int dtype works), while
+        # ``array('l')`` arenas from live builds get the historical
+        # int32 copy — residual probes are memory bound and hop ids
+        # always fit (they index vertices/ranks).
+        self.OH = self._hops_np(oh)
+        self.IH = self._hops_np(ih)
 
         # Per-side empty-label sentinels must never collide across
         # sides: an empty label has to certify *negative* through range
@@ -165,7 +159,15 @@ class BatchQueryEngine:
 
         self.height = None
         self.rounds = []
-        if graph is not None and graph.n == n:
+        if aux is not None:
+            # Precompiled height/interval certificates (artifact serve
+            # path — no graph in memory): adopt the flat arrays as-is.
+            height, rounds = aux
+            if height is not None and len(height) == n:
+                self.height = np.asarray(height)
+            for low, post in rounds or ():
+                self.rounds.append((np.asarray(low), np.asarray(post)))
+        elif graph is not None and graph.n == n:
             try:
                 self._build_graph_aux(graph)
             except ValueError:
@@ -176,6 +178,26 @@ class BatchQueryEngine:
     # ------------------------------------------------------------------
     # Build helpers
     # ------------------------------------------------------------------
+    def _offsets_np(self, offs):
+        np = self.np
+        if isinstance(offs, np.ndarray):
+            return offs.astype(np.int64, copy=False)
+        return np.frombuffer(offs, dtype=np.dtype(f"i{offs.itemsize}")).astype(
+            np.int64
+        )
+
+    def _hops_np(self, hops):
+        np = self.np
+        if isinstance(hops, np.ndarray):
+            return hops
+        if not len(hops):
+            return np.empty(0, np.int32)
+        # The arena is array('l'): derive the dtype from the platform
+        # item size (4 bytes on LLP64 Windows), as CSRView.as_numpy does.
+        return np.frombuffer(hops, dtype=np.dtype(f"i{hops.itemsize}")).astype(
+            np.int32
+        )
+
     def _minmax(self, hops, offs, empty_min: int, empty_max: int):
         """Per-vertex ``[min, max]`` rows with the side's empty sentinels."""
         np = self.np
@@ -473,7 +495,30 @@ class BatchQueryEngine:
         return found
 
 
-def engine_query_batch(holder, labels, graph, pairs):
+def compile_graph_aux(graph):
+    """``(height, rounds)`` engine certificates, computed at compile time.
+
+    The scalar twin of :meth:`BatchQueryEngine._build_graph_aux` (same
+    round count, same ``random.Random`` seed, and the backends'
+    interval rounds are bit-identical), runnable without NumPy — this
+    is what :meth:`ReachabilityIndex.compile` bakes into a label
+    artifact so the engine's height/interval stages survive losing the
+    graph.  Returns ``(None, [])`` for cyclic input.
+    """
+    from .grail import compute_heights, interval_round_python
+
+    try:
+        height = compute_heights(graph)
+    except ValueError:
+        return None, []
+    rng = random.Random(0x9E3779B1)
+    rounds = [
+        interval_round_python(graph, height, rng) for _ in range(_IV_ROUNDS)
+    ]
+    return height, rounds
+
+
+def engine_query_batch(holder, labels, graph, pairs, aux=None):
     """Batch queries through the engine when it applies, scalar otherwise.
 
     ``holder`` caches the engine across batches (any object accepting a
@@ -485,6 +530,11 @@ def engine_query_batch(holder, labels, graph, pairs):
     count; the ``engine_vs_masks`` sweep in
     ``benchmarks/bench_kernels.py`` measures the engine ahead from
     n≈4096 up).
+
+    ``aux`` supplies precompiled ``(height, interval_rounds)``
+    certificates for graph-free serving (compiled artifacts); when
+    given, the graph-backed stages run off those arrays and ``graph``
+    is ignored.
     """
     if not hasattr(pairs, "__len__"):
         pairs = list(pairs)
@@ -498,6 +548,6 @@ def engine_query_batch(holder, labels, graph, pairs):
         return labels.query_batch(pairs)
     engine = getattr(holder, "_batch_engine", None)
     if engine is None or engine.stale(labels):
-        engine = BatchQueryEngine(np, labels, graph)
+        engine = BatchQueryEngine(np, labels, graph, aux=aux)
         holder._batch_engine = engine
     return engine.query_batch(pairs)

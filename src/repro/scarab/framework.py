@@ -120,6 +120,12 @@ class Scarab(ReachabilityIndex):
                     return True
         return False
 
+    def compile(self):
+        """ε-BFS arrays + backbone translation + compiled inner oracle."""
+        from ..core.compiled import CompiledScarab
+
+        return CompiledScarab.from_index(self)
+
     def index_size_ints(self) -> int:
         # Inner index + backbone membership/translation arrays.
         return self.inner.index_size_ints() + 2 * self.graph.n

@@ -1,13 +1,21 @@
-"""Persistence for built label oracles.
+"""Persistence for built oracles: v1 JSON labels and v2 binary artifacts.
 
 Index construction is the expensive step (that is the paper's whole
 subject), so a production deployment builds once and serves many query
-processes.  This module saves and restores the label-based oracles
-(DL, HL, TF) as a single JSON document: graph shape, method parameters,
-and the label arrays.
+processes.  Two formats are supported:
 
-Non-label indices (interval/bitvector closures) rebuild quickly relative
-to their size on disk and are deliberately not serialised.
+* **v2 binary artifacts** (:func:`save_artifact` / :func:`load_artifact`)
+  — the build → compile → serve path.  Any
+  :class:`~repro.core.base.ReachabilityIndex` (compiled on the fly),
+  any :class:`~repro.core.compiled.CompiledOracle`, and the full
+  :class:`~repro.facade.Reachability` pipeline (condensation included)
+  round-trip through the container in :mod:`repro.artifact` with
+  bit-identical query answers.  Loading memory-maps the arrays, so N
+  serving processes share one physical copy.
+* **v1 JSON label dumps** (:func:`save_labels` / :func:`load_labels`)
+  — the original format, kept for back compatibility.  It covers only
+  the DL/HL/TF label oracles and stores no condensation; new code
+  should prefer artifacts.
 """
 
 from __future__ import annotations
@@ -16,56 +24,68 @@ import json
 from pathlib import Path
 from typing import Union
 
+from .artifact import read_artifact, read_artifact_header, write_artifact
+from .core.base import ReachabilityIndex
+from .core.compiled import CompiledLabelOracle, CompiledOracle, compiled_kind
 from .core.distribution import DistributionLabeling
 from .core.hierarchical import HierarchicalLabeling
 from .core.labels import LabelSet
 
-__all__ = ["save_labels", "load_labels", "FrozenOracle"]
+__all__ = [
+    "save_labels",
+    "load_labels",
+    "save_artifact",
+    "load_artifact",
+    "FrozenOracle",
+]
 
 PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
 
+#: Artifact kind used for the facade's full-pipeline artifacts.
+PIPELINE_KIND = "pipeline"
 
-class FrozenOracle:
-    """A deserialised label oracle: queries only, no graph attached."""
+
+class FrozenOracle(CompiledLabelOracle):
+    """A deserialised v1 label oracle: queries only, no graph attached.
+
+    Kept as the :func:`load_labels` return type for back compatibility;
+    it is now a :class:`~repro.core.compiled.CompiledLabelOracle`, so
+    v1 files migrate to v2 artifacts by passing the loaded oracle to
+    :func:`save_artifact` (or calling :meth:`compile`, a no-op alias).
+    """
 
     def __init__(self, labels: LabelSet, method: str, rank_space: bool) -> None:
-        self.labels = labels
-        self.method = method
-        self.rank_space = rank_space
+        super().__init__(labels, method, rank_space=rank_space)
 
-    def query(self, u: int, v: int) -> bool:
-        """Whether ``u`` reaches ``v`` per the stored labels."""
-        return self.labels.query(u, v)
-
-    def query_batch(self, pairs):
-        """Batch queries over the sealed labels.
-
-        Large batches on the arena layout route through the vectorized
-        engine (label-only stages — a frozen oracle carries no graph,
-        so the height/interval filters are skipped).
-        """
-        from .kernels.batchquery import engine_query_batch
-
-        return engine_query_batch(self, self.labels, None, pairs)
-
-    def index_size_ints(self) -> int:
-        """Stored-integer count of the labels."""
-        return self.labels.size_ints()
+    def compile(self) -> CompiledLabelOracle:
+        """This object already is its compiled form."""
+        return self
 
     def __repr__(self) -> str:
         return f"FrozenOracle(method={self.method}, n={self.labels.n})"
 
 
 def save_labels(index, path: PathLike) -> None:
-    """Serialise a DL/HL/TF oracle's labels to ``path`` (JSON).
+    """Serialise a DL/HL/TF oracle's labels to ``path`` (v1 JSON).
 
     Raises
     ------
     TypeError
-        If the index is not a label-based oracle.
+        If the index is not a label-based oracle.  A facade
+        :class:`~repro.facade.Reachability` is rejected by name — its
+        SCC condensation would be silently lost here; use
+        ``Reachability.save(path)``, which persists the full pipeline.
     """
+    from .facade import Reachability
+
+    if isinstance(index, Reachability):
+        raise TypeError(
+            "save_labels received a facade Reachability; its SCC "
+            "condensation does not fit the v1 label format — use "
+            "Reachability.save(path) to persist the full pipeline"
+        )
     if not isinstance(index, (DistributionLabeling, HierarchicalLabeling)):
         raise TypeError(
             f"only label oracles are serialisable, got {type(index).__name__}"
@@ -107,3 +127,151 @@ def load_labels(path: PathLike) -> FrozenOracle:
     labels.seal(build_masks=True)
     method = str(doc.get("method", "?"))
     return FrozenOracle(labels, method, rank_space=(method == "DL"))
+
+
+# ----------------------------------------------------------------------
+# v2 binary artifacts (build → compile → serve)
+# ----------------------------------------------------------------------
+#: Artifact save profiles.  ``mmap`` (default) writes raw little-endian
+#: sections for zero-copy memory-mapped serving — N processes share one
+#: physical copy — and bakes in every engine certificate.  ``compact``
+#: deflates the sections and drops the poorly-compressible accessory
+#: arrays: the interval-round certificates (extra negative filtering
+#: only) and the DL witness-translation map (``witness`` raises, every
+#: ``query`` is unaffected).  The smallest file, at the price of
+#: private-memory loading.  Query answers are bit-identical under
+#: every profile.
+PROFILES = ("mmap", "compact")
+
+
+def save_artifact(obj, path: PathLike, profile: str = "mmap") -> int:
+    """Persist ``obj`` as a v2 binary artifact; returns bytes written.
+
+    Accepts a live :class:`~repro.core.base.ReachabilityIndex`
+    (compiled on the fly via :meth:`~repro.core.base.ReachabilityIndex.compile`),
+    an already-compiled :class:`~repro.core.compiled.CompiledOracle`
+    (including a v1 :class:`FrozenOracle` — the migration path), or a
+    facade :class:`~repro.facade.Reachability`, whose artifact keeps
+    the SCC condensation so original-graph queries survive the trip.
+    See :data:`PROFILES` for the ``profile`` trade-off.
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"profile must be one of {PROFILES}, got {profile!r}")
+    from .facade import Reachability
+
+    if isinstance(obj, Reachability):
+        kind = PIPELINE_KIND
+        meta, sections = _pipeline_payload(obj)
+    else:
+        if isinstance(obj, CompiledOracle):
+            compiled = obj
+        elif isinstance(obj, ReachabilityIndex):
+            compiled = obj.compile()
+        else:
+            raise TypeError(
+                "save_artifact needs a ReachabilityIndex, CompiledOracle or "
+                f"Reachability, got {type(obj).__name__}"
+            )
+        kind = compiled.kind
+        meta, sections = compiled.to_payload()
+    if profile == "compact":
+        meta, sections = _compact_payload(kind, meta, sections)
+    return write_artifact(path, kind, meta, sections, compress=(profile == "compact"))
+
+
+def _compact_payload(kind, meta, sections):
+    """Strip the accessory arrays for the compact profile.
+
+    Applies to label payloads at any nesting depth (top-level, inside a
+    pipeline, inside SCARAB): the ``iv_*`` interval-certificate
+    sections and the ``hop_vertex`` witness map go (both are
+    near-incompressible permutation-like arrays), ``rounds`` drops
+    to 0.  Everything else — labels, heights, CSR snapshots — stays;
+    query answers are never affected.
+    """
+    meta = json.loads(json.dumps(meta))  # deep copy (JSON-shaped by spec)
+
+    def strip(doc_kind, doc_meta):
+        if doc_kind == "labels":
+            doc_meta["rounds"] = 0
+        inner = doc_meta.get("inner")
+        if isinstance(inner, dict) and "kind" in inner:
+            strip(inner["kind"], inner["meta"])
+
+    strip(kind, meta)
+    # Sections are flat (nesting via name prefixes), so one pass removes
+    # every stripped section at any depth.
+    dropped = ("iv_low_", "iv_post_", "hop_vertex")
+    sections = {
+        name: payload
+        for name, payload in sections.items()
+        if not any(tag in name for tag in dropped)
+    }
+    return meta, sections
+
+
+def load_artifact(path: PathLike, mmap: bool = True):
+    """Restore whatever :func:`save_artifact` wrote.
+
+    Returns a :class:`~repro.core.compiled.CompiledOracle` for method
+    artifacts, or a serve-mode :class:`~repro.facade.Reachability` for
+    pipeline artifacts.  With ``mmap=True`` (default) the arrays are
+    zero-copy views over a shared read-only mapping; pass
+    ``mmap=False`` to read a private copy instead.
+    """
+    art = read_artifact(path, mmap=mmap)
+    if art.kind == PIPELINE_KIND:
+        from .facade import Reachability
+
+        return Reachability.from_artifact(art)
+    return _oracle_from_artifact(art)
+
+
+def artifact_info(path: PathLike) -> dict:
+    """Header-only peek: kind, meta and section table of an artifact."""
+    return read_artifact_header(path)
+
+
+def _oracle_from_artifact(art, prefix: str = "") -> CompiledOracle:
+    """Instantiate the compiled oracle stored (possibly nested) in ``art``."""
+    if prefix:
+        meta = art.meta
+        for part in prefix.split("/"):
+            meta = meta[part]
+        kind = str(meta["kind"])
+        meta = meta["meta"]
+        section = lambda name: art.section(f"{prefix}/{name}")  # noqa: E731
+    else:
+        kind = art.kind
+        meta = art.meta
+        section = art.section
+    oracle = compiled_kind(kind).from_payload(meta, section)
+    # Keep the parsed artifact (and through it the mmap) reachable.
+    oracle.artifact = art
+    return oracle
+
+
+def _pipeline_payload(reach):
+    """``(meta, sections)`` for a facade pipeline artifact."""
+    if reach.original is None:
+        raise TypeError(
+            "this Reachability is already serve-mode (loaded from an "
+            "artifact); re-saving is not supported — keep the original "
+            "artifact file instead"
+        )
+    compiled = reach.index.compile()
+    inner_meta, inner_sections = compiled.to_payload()
+    meta = {
+        "original_n": reach.original.n,
+        "original_m": reach.original.m,
+        "dag_n": reach.condensation.dag.n,
+        "dag_m": reach.condensation.dag.m,
+        "method": compiled.short_name,
+        "inner": {"kind": compiled.kind, "meta": inner_meta},
+    }
+    from .artifact import pack_section
+
+    sections = {"comp": pack_section(reach.condensation.comp)}
+    for name, packed in inner_sections.items():
+        sections[f"inner/{name}"] = packed
+    return meta, sections

@@ -111,3 +111,30 @@ class TestRendering:
         # d2 has no KR run: its cell renders as DNF dash.
         lines = [ln for ln in text.splitlines() if ln.startswith("d2")]
         assert "—" in lines[0]
+
+
+class TestThroughArtifact:
+    """The harness can measure the serve lifecycle (artifact round-trip)."""
+
+    def test_queries_served_from_loaded_artifact(self):
+        g = random_dag(60, 150, seed=9)
+        live = run_dataset(
+            "adhoc", ["DL"], queries=300, query_repeats=1, graph=g
+        )[0]
+        served = run_dataset(
+            "adhoc", ["DL"], queries=300, query_repeats=1, graph=g,
+            through_artifact=True,
+        )[0]
+        assert served.status == "ok"
+        assert served.artifact_bytes > 0
+        assert served.load_s >= 0.0
+        # Loaded-artifact size must match the live index's accounting.
+        assert served.loaded_size_ints == live.index_size_ints
+        assert served.index_size_ints == live.index_size_ints
+        # Same workload seed -> same positive count either way.
+        assert served.correct_positive_rate == live.correct_positive_rate
+
+    def test_live_runs_have_no_artifact_fields(self):
+        g = random_dag(40, 90, seed=11)
+        r = run_dataset("adhoc", ["GL"], queries=100, query_repeats=1, graph=g)[0]
+        assert r.artifact_bytes is None and r.load_s is None

@@ -1,0 +1,134 @@
+"""Tests for the build → compile half of the lifecycle.
+
+Every registered method must compile to a graph-free
+:class:`~repro.core.compiled.CompiledOracle` whose answers are
+bit-identical to the live index's.
+"""
+
+import gc
+
+import pytest
+
+from repro.core.base import method_registry
+from repro.core.compiled import (
+    CompiledClosure,
+    CompiledOracle,
+    compiled_kind,
+    compiled_kinds,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    citation_dag,
+    path_dag,
+    random_dag,
+    sparse_dag,
+)
+
+METHODS = sorted(method_registry())
+
+GRAPHS = [
+    ("random", lambda: random_dag(60, 150, seed=3)),
+    ("sparse", lambda: sparse_dag(80, 0.15, seed=5)),
+    ("citation", lambda: citation_dag(70, out_per_vertex=3, seed=7)),
+    ("path", lambda: path_dag(12)),
+]
+
+
+def all_pairs(g):
+    return [(u, v) for u in range(g.n) for v in range(g.n)]
+
+
+def assert_graph_free(obj):
+    """No DiGraph reachable from a compiled oracle (BFS over referents)."""
+    seen = set()
+    frontier = [obj]
+    while frontier:
+        nxt = []
+        for x in frontier:
+            for ref in gc.get_referents(x):
+                if id(ref) in seen or isinstance(ref, (type, type(gc))):
+                    continue
+                seen.add(id(ref))
+                assert not isinstance(ref, DiGraph), (
+                    f"{type(obj).__name__} still references a DiGraph"
+                )
+                if isinstance(ref, (list, tuple, dict)) or hasattr(ref, "__dict__") \
+                        or hasattr(ref, "__slots__"):
+                    nxt.append(ref)
+        frontier = nxt
+        if len(seen) > 200_000:  # pragma: no cover - safety valve
+            break
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("gname,builder", GRAPHS)
+class TestCompileParity:
+    def test_answers_bit_identical(self, method, gname, builder):
+        g = builder()
+        idx = method_registry()[method](g)
+        compiled = idx.compile()
+        pairs = all_pairs(g)
+        want = [idx.query(u, v) for u, v in pairs]
+        assert compiled.query_batch(pairs) == want
+        # Scalar entry point agrees with the batch one.
+        for u, v in pairs[:: max(1, len(pairs) // 64)]:
+            assert compiled.query(u, v) == idx.query(u, v)
+
+    def test_graph_free(self, method, gname, builder):
+        g = builder()
+        compiled = method_registry()[method](g).compile()
+        assert_graph_free(compiled)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_compiled_reports_stats(method):
+    g = random_dag(40, 90, seed=11)
+    idx = method_registry()[method](g)
+    compiled = idx.compile()
+    stats = compiled.stats()
+    assert stats["compiled"] is True
+    assert stats["n"] == g.n
+    assert stats["method"] == idx.short_name
+    assert stats["index_size_ints"] == compiled.index_size_ints()
+    # Native kinds keep the live index's size accounting.
+    if compiled.kind != "closure":
+        assert compiled.index_size_ints() == idx.index_size_ints()
+
+
+class TestClosureFallback:
+    def test_guard_refuses_large_graphs(self):
+        from repro.core.distribution import DistributionLabeling
+
+        g = random_dag(50, 120, seed=1)
+        idx = DistributionLabeling(g)
+        with pytest.raises(MemoryError, match="closure"):
+            CompiledClosure.from_index(idx, max_closure_n=10)
+
+    def test_reflexive(self):
+        from repro.baselines.kreach import KReach
+
+        g = random_dag(30, 60, seed=2)
+        compiled = KReach(g).compile()
+        assert compiled.kind == "closure"
+        for v in range(g.n):
+            assert compiled.query(v, v)
+
+
+class TestRegistry:
+    def test_kinds_registered(self):
+        kinds = compiled_kinds()
+        for kind in ("labels", "grail", "hopdist", "intervals", "chains",
+                     "pwah", "online", "scarab", "closure"):
+            assert kind in kinds
+            assert issubclass(compiled_kind(kind), CompiledOracle)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown artifact kind"):
+            compiled_kind("nope")
+
+    def test_every_method_has_a_kind(self):
+        g = random_dag(25, 50, seed=4)
+        for method, factory in method_registry().items():
+            compiled = factory(g).compile()
+            assert compiled.kind in compiled_kinds()
+            assert compiled.short_name == factory(g).short_name

@@ -1,0 +1,123 @@
+"""mmap-sharing tests: N serving processes over one artifact.
+
+The point of the binary format is that serving processes do not each
+pay for a private copy of the arrays: loading memory-maps the file, so
+the big sections live once in the page cache.  These tests check both
+halves — the loaded arrays really are views over the mapping (no
+copy-in on load), and independent processes loading the same artifact
+answer identically.
+"""
+
+import mmap as _mmap
+import multiprocessing as mp
+import random
+
+import pytest
+
+from repro.core.distribution import DistributionLabeling
+from repro.facade import Reachability
+from repro.graph.generators import citation_dag, powerlaw_digraph
+from repro.kernels import have_numpy
+from repro.serialization import load_artifact, save_artifact
+
+N_PROCS = 4
+
+
+def _backing_buffer(arr):
+    """The ultimate buffer object behind an array view."""
+    if isinstance(arr, memoryview):
+        return arr.obj
+    base = arr
+    while getattr(base, "base", None) is not None:
+        base = base.base
+    return getattr(base, "obj", base)
+
+
+def _workload(n, count, seed):
+    rng = random.Random(seed)
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+def _serve_method(args):
+    path, n, count, seed = args
+    oracle = load_artifact(path)
+    answers = oracle.query_batch(_workload(n, count, seed))
+    labels = oracle.labels
+    mapped = isinstance(_backing_buffer(labels._out_hops), _mmap.mmap)
+    return answers, mapped
+
+
+def _serve_pipeline(args):
+    path, n, count, seed = args
+    served = Reachability.load(path)
+    return served.query_batch(_workload(n, count, seed))
+
+
+class TestNoCopyOnLoad:
+    def test_label_arena_is_mmap_backed(self, tmp_path):
+        g = citation_dag(900, out_per_vertex=3, seed=61)
+        idx = DistributionLabeling(g)
+        path = str(tmp_path / "dl.rpro")
+        save_artifact(idx, path)
+        oracle = load_artifact(path)
+        labels = oracle.labels
+        # No canonical per-vertex lists were materialised on load...
+        assert labels._lout is None and labels._lin is None
+        assert labels.sealed
+        # ...and every arena array is a view over the shared mapping.
+        for arr in (labels._out_hops, labels._out_offs,
+                    labels._in_hops, labels._in_offs):
+            assert isinstance(_backing_buffer(arr), _mmap.mmap)
+
+    @pytest.mark.skipif(not have_numpy(), reason="engine requires numpy")
+    def test_engine_adopts_mmap_arrays_without_copy(self, tmp_path):
+        import numpy as np
+
+        g = citation_dag(1200, out_per_vertex=3, seed=63)
+        idx = DistributionLabeling(g)
+        path = str(tmp_path / "dl.rpro")
+        save_artifact(idx, path)
+        oracle = load_artifact(path)
+        # First sealed batch builds the engine snapshot lazily...
+        oracle.query_batch(_workload(g.n, 5000, seed=65))
+        engine = oracle._batch_engine
+        labels = oracle.labels
+        # ...whose hop arenas and int64 offsets are the mmap arrays
+        # themselves, not copies.
+        assert engine.OH is labels._out_hops
+        assert engine.IH is labels._in_hops
+        assert engine.OO.base is not None or engine.OO is labels._out_offs
+        assert isinstance(_backing_buffer(engine.OH), _mmap.mmap)
+        assert np.shares_memory(engine.OO, labels._out_offs)
+        assert np.shares_memory(engine.IO, labels._in_offs)
+
+
+class TestMultiProcessServing:
+    def test_four_processes_identical_answers(self, tmp_path):
+        g = citation_dag(1000, out_per_vertex=3, seed=67)
+        idx = DistributionLabeling(g)
+        path = str(tmp_path / "dl.rpro")
+        save_artifact(idx, path)
+        expected = [idx.query(u, v) for u, v in _workload(g.n, 5000, seed=69)]
+
+        ctx = mp.get_context("spawn")  # fresh interpreters, nothing inherited
+        jobs = [(path, g.n, 5000, 69)] * N_PROCS
+        with ctx.Pool(N_PROCS) as pool:
+            results = pool.map(_serve_method, jobs)
+        for answers, mapped in results:
+            assert answers == expected
+            assert mapped, "child process served from a copy, not the mmap"
+
+    def test_four_processes_pipeline_artifact(self, tmp_path):
+        g = powerlaw_digraph(700, 2100, seed=71)  # cyclic: SCCs exercised
+        r = Reachability(g, "DL")
+        path = str(tmp_path / "pipe.rpro")
+        r.save(path)
+        expected = r.query_batch(_workload(g.n, 3000, seed=73))
+
+        ctx = mp.get_context("spawn")
+        jobs = [(path, g.n, 3000, 73)] * N_PROCS
+        with ctx.Pool(N_PROCS) as pool:
+            results = pool.map(_serve_pipeline, jobs)
+        for answers in results:
+            assert answers == expected

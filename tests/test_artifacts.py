@@ -1,0 +1,353 @@
+"""Tests for the v2 binary artifact lifecycle (compile → save → load).
+
+Covers: file round-trips for every registered method (bit-identical
+answers, scalar and engine batch paths), the facade pipeline artifact
+(SCC semantics preserved), v1-JSON → v2-binary migration against the
+committed fixtures, format validation, and the serialization
+satellites (``save_labels`` facade rejection, ``FrozenOracle`` parity).
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.artifact import read_artifact_header, write_artifact
+from repro.baselines.tflabel import TFLabel
+from repro.core.base import method_registry
+from repro.core.distribution import DistributionLabeling
+from repro.core.hierarchical import HierarchicalLabeling
+from repro.facade import Reachability
+from repro.graph.generators import citation_dag, powerlaw_digraph, random_dag
+from repro.kernels import have_numpy
+from repro.serialization import (
+    FrozenOracle,
+    load_artifact,
+    load_labels,
+    save_artifact,
+    save_labels,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+METHODS = sorted(method_registry())
+
+
+def seeded_workload(n, count, seed=13):
+    rng = random.Random(seed)
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+@pytest.mark.parametrize("method", METHODS)
+class TestMethodRoundTrip:
+    def test_file_round_trip_bit_identical(self, method, tmp_path):
+        g = random_dag(70, 180, seed=21)
+        idx = method_registry()[method](g)
+        path = tmp_path / "oracle.rpro"
+        nbytes = save_artifact(idx, path)
+        assert nbytes == path.stat().st_size
+        loaded = load_artifact(path)
+        pairs = [(u, v) for u in range(g.n) for v in range(g.n)]
+        want = [idx.query(u, v) for u, v in pairs]
+        assert loaded.query_batch(pairs) == want
+        assert loaded.short_name == idx.short_name
+
+    def test_copy_mode_matches_mmap(self, method, tmp_path):
+        g = random_dag(40, 90, seed=22)
+        idx = method_registry()[method](g)
+        path = tmp_path / "oracle.rpro"
+        save_artifact(idx, path)
+        mapped = load_artifact(path, mmap=True)
+        copied = load_artifact(path, mmap=False)
+        pairs = seeded_workload(g.n, 600)
+        assert mapped.query_batch(pairs) == copied.query_batch(pairs)
+
+
+class TestLiveCompiledThroughFile:
+    def test_compiled_oracle_saves_directly(self, tmp_path):
+        g = random_dag(50, 120, seed=23)
+        compiled = DistributionLabeling(g).compile()
+        path = tmp_path / "dl.rpro"
+        save_artifact(compiled, path)
+        loaded = load_artifact(path)
+        pairs = seeded_workload(g.n, 1000)
+        assert loaded.query_batch(pairs) == compiled.query_batch(pairs)
+
+    def test_engine_batch_path_matches_scalar(self, tmp_path):
+        if not have_numpy():
+            pytest.skip("engine path requires numpy")
+        # Big enough that loaded batches ride the vectorized engine
+        # (>= MIN_BATCH pairs) over the mmapped arena + baked-in
+        # height/interval certificates.
+        g = citation_dag(1500, out_per_vertex=3, seed=29)
+        idx = DistributionLabeling(g)
+        path = tmp_path / "dl.rpro"
+        save_artifact(idx, path)
+        loaded = load_artifact(path)
+        pairs = seeded_workload(g.n, 6000, seed=31)
+        got = loaded.query_batch(pairs)
+        assert got == idx.query_batch(pairs)
+        assert got == [loaded.query(u, v) for u, v in pairs]
+        assert loaded._batch_engine.height is not None
+        assert loaded._batch_engine.rounds
+
+    def test_rejects_unsupported_objects(self, tmp_path):
+        with pytest.raises(TypeError, match="save_artifact"):
+            save_artifact(object(), tmp_path / "x.rpro")
+
+
+class TestFacadePipeline:
+    def test_round_trip_preserves_scc_semantics(self, tmp_path):
+        g = powerlaw_digraph(400, 1200, seed=33)  # cyclic input
+        r = Reachability(g, "DL")
+        path = tmp_path / "pipe.rpro"
+        r.save(path)
+        served = Reachability.load(path)
+        assert served.original is None
+        pairs = seeded_workload(g.n, 3000, seed=35)
+        assert served.query_batch(pairs) == r.query_batch(pairs)
+        for u, v in pairs[:400]:
+            assert served.query(u, v) == r.query(u, v)
+            assert served.same_scc(u, v) == r.same_scc(u, v)
+        # Same-SCC pairs answer True both ways round.
+        comp = r.condensation.comp
+        by_comp = {}
+        for v, c in enumerate(comp):
+            by_comp.setdefault(c, []).append(v)
+        scc = next((vs for vs in by_comp.values() if len(vs) > 1), None)
+        if scc is not None:
+            assert served.query(scc[0], scc[1]) and served.query(scc[1], scc[0])
+
+    def test_reachable_count_and_stats(self, tmp_path):
+        g = powerlaw_digraph(150, 420, seed=37)
+        r = Reachability(g, "GL")
+        path = tmp_path / "pipe.rpro"
+        r.save(path)
+        served = Reachability.load(path)
+        for v in range(0, g.n, 17):
+            assert served.reachable_count_from(v) == r.reachable_count_from(v)
+        stats = served.stats()
+        assert stats["serve_mode"] is True
+        assert stats["original_n"] == g.n
+        assert stats["index"]["method"] == "GL"
+
+    def test_path_requires_build_mode(self, tmp_path):
+        g = random_dag(30, 60, seed=39)
+        r = Reachability(g)
+        r.save(tmp_path / "p.rpro")
+        served = Reachability.load(tmp_path / "p.rpro")
+        with pytest.raises(RuntimeError, match="serve-mode"):
+            served.path(0, 1)
+
+    def test_from_artifact_rejects_method_artifacts(self, tmp_path):
+        g = random_dag(30, 60, seed=41)
+        save_artifact(DistributionLabeling(g), tmp_path / "m.rpro")
+        with pytest.raises(ValueError, match="pipeline"):
+            Reachability.from_artifact(tmp_path / "m.rpro")
+
+    def test_serve_mode_resave_rejected(self, tmp_path):
+        g = random_dag(30, 60, seed=43)
+        Reachability(g).save(tmp_path / "p.rpro")
+        served = Reachability.load(tmp_path / "p.rpro")
+        with pytest.raises(TypeError, match="serve-mode"):
+            served.save(tmp_path / "q.rpro")
+
+
+V1_FIXTURES = {
+    # method -> (class, (n, m, seed)) — must match the committed files.
+    "DL": (DistributionLabeling, (40, 100, 101)),
+    "HL": (HierarchicalLabeling, (45, 110, 102)),
+    "TF": (TFLabel, (38, 95, 103)),
+}
+
+
+@pytest.mark.parametrize("method", sorted(V1_FIXTURES))
+class TestV1Migration:
+    """v1 JSON fixtures → recompile → v2 binary, answers bit-identical."""
+
+    def test_fixture_migrates_bit_identically(self, method, tmp_path):
+        cls, (n, m, seed) = V1_FIXTURES[method]
+        fixture = FIXTURES / f"v1_{method.lower()}_labels.json"
+        frozen = load_labels(fixture)
+        assert frozen.method == method
+        # Recompile the v1 oracle into a v2 binary artifact.
+        path = tmp_path / "migrated.rpro"
+        save_artifact(frozen, path)
+        migrated = load_artifact(path)
+        # Fresh build of the same seeded graph = ground truth.
+        fresh = cls(random_dag(n, m, seed=seed))
+        pairs = [(u, v) for u in range(n) for v in range(n)]
+        want = [fresh.query(u, v) for u, v in pairs]
+        assert frozen.query_batch(pairs) == want
+        assert migrated.query_batch(pairs) == want
+        workload = seeded_workload(n, 5000, seed=47)
+        assert migrated.query_batch(workload) == fresh.query_batch(workload)
+
+    def test_migrated_size_parity(self, method, tmp_path):
+        cls, (n, m, seed) = V1_FIXTURES[method]
+        frozen = load_labels(FIXTURES / f"v1_{method.lower()}_labels.json")
+        path = tmp_path / "migrated.rpro"
+        save_artifact(frozen, path)
+        migrated = load_artifact(path)
+        fresh = cls(random_dag(n, m, seed=seed))
+        assert migrated.index_size_ints() == fresh.index_size_ints()
+        assert frozen.index_size_ints() == fresh.index_size_ints()
+
+
+class TestFormatValidation:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.rpro"
+        path.write_bytes(b"definitely not an artifact")
+        with pytest.raises(ValueError, match="magic"):
+            load_artifact(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "v.rpro"
+        write_artifact(path, "labels", {"n": 0}, {})
+        raw = bytearray(path.read_bytes())
+        patched = raw.replace(b'"format_version":2', b'"format_version":9')
+        path.write_bytes(patched)
+        with pytest.raises(ValueError, match="version"):
+            load_artifact(path)
+
+    def test_header_peek(self, tmp_path):
+        g = random_dag(20, 40, seed=51)
+        save_artifact(DistributionLabeling(g), tmp_path / "a.rpro")
+        doc = read_artifact_header(tmp_path / "a.rpro")
+        assert doc["kind"] == "labels"
+        assert doc["meta"]["method"] == "DL"
+        assert "out_hops" in doc["sections"]
+
+    def test_unknown_section_raises_keyerror(self, tmp_path):
+        g = random_dag(20, 40, seed=53)
+        save_artifact(DistributionLabeling(g), tmp_path / "a.rpro")
+        from repro.artifact import read_artifact
+
+        art = read_artifact(tmp_path / "a.rpro")
+        with pytest.raises(KeyError, match="no section"):
+            art.section("nope")
+
+
+class TestSerializationSatellites:
+    def test_save_labels_rejects_facade_by_name(self, tmp_path):
+        g = random_dag(25, 50, seed=55)
+        r = Reachability(g)
+        with pytest.raises(TypeError, match=r"Reachability\.save"):
+            save_labels(r, tmp_path / "x.json")
+
+    def test_frozen_oracle_stats_parity(self, tmp_path):
+        g = random_dag(40, 100, seed=57)
+        dl = DistributionLabeling(g)
+        save_labels(dl, tmp_path / "labels.json")
+        frozen = load_labels(tmp_path / "labels.json")
+        assert isinstance(frozen, FrozenOracle)
+        stats = frozen.stats()
+        live = dl.stats()
+        assert stats["index_size_ints"] == live["index_size_ints"]
+        assert stats["max_label_len"] == live["max_label_len"]
+        assert stats["avg_label_len"] == live["avg_label_len"]
+        assert stats["method"] == "DL"
+        assert frozen.index_size_ints() == dl.index_size_ints()
+
+    def test_frozen_oracle_is_its_own_compiled_form(self, tmp_path):
+        g = random_dag(30, 70, seed=59)
+        save_labels(DistributionLabeling(g), tmp_path / "labels.json")
+        frozen = load_labels(tmp_path / "labels.json")
+        assert frozen.compile() is frozen
+
+
+class TestCompactProfile:
+    """The deflated profile: smaller file, bit-identical answers."""
+
+    def test_round_trip_parity_and_size(self, tmp_path):
+        g = random_dag(900, 2800, seed=77)
+        idx = DistributionLabeling(g)
+        mmap_path = tmp_path / "m.rpro"
+        compact_path = tmp_path / "c.rpro"
+        save_artifact(idx, mmap_path)
+        save_artifact(idx, compact_path, profile="compact")
+        assert compact_path.stat().st_size < mmap_path.stat().st_size
+        a = load_artifact(mmap_path)
+        b = load_artifact(compact_path)
+        pairs = seeded_workload(g.n, 6000, seed=79)
+        want = idx.query_batch(pairs)
+        assert a.query_batch(pairs) == want
+        assert b.query_batch(pairs) == want
+        # Compact drops the interval certificates, keeps the height one.
+        assert b.rounds == [] and a.rounds
+        assert b.height is not None
+
+    @pytest.mark.parametrize("method", ["GL", "PT*", "2HOP"])
+    def test_compact_covers_other_kinds(self, method, tmp_path):
+        g = random_dag(60, 150, seed=81)
+        idx = method_registry()[method](g)
+        path = tmp_path / "c.rpro"
+        save_artifact(idx, path, profile="compact")
+        loaded = load_artifact(path)
+        pairs = [(u, v) for u in range(g.n) for v in range(g.n)]
+        assert loaded.query_batch(pairs) == [idx.query(u, v) for u, v in pairs]
+
+    def test_compact_pipeline(self, tmp_path):
+        g = powerlaw_digraph(250, 700, seed=83)
+        r = Reachability(g, "DL")
+        r.save(tmp_path / "p.rpro", profile="compact")
+        served = Reachability.load(tmp_path / "p.rpro")
+        pairs = seeded_workload(g.n, 2000, seed=85)
+        assert served.query_batch(pairs) == r.query_batch(pairs)
+
+    def test_unknown_profile_rejected(self, tmp_path):
+        g = random_dag(20, 40, seed=87)
+        with pytest.raises(ValueError, match="profile"):
+            save_artifact(DistributionLabeling(g), tmp_path / "x.rpro",
+                          profile="gzip")
+
+
+class TestWitnessTranslation:
+    """Compiled DL witnesses must name original vertices, like the live
+    oracle — rank ids are indistinguishable from vertex ids, so the
+    artifact carries a hop -> vertex map (mmap profile) or refuses."""
+
+    def test_dl_witness_matches_live_through_file(self, tmp_path):
+        g = random_dag(300, 900, seed=1)
+        idx = DistributionLabeling(g)
+        save_artifact(idx, tmp_path / "dl.rpro")
+        loaded = load_artifact(tmp_path / "dl.rpro")
+        checked = 0
+        for u, v in seeded_workload(g.n, 4000, seed=89):
+            live = idx.witness(u, v)
+            assert loaded.witness(u, v) == live
+            checked += live is not None
+        assert checked > 0
+
+    def test_hl_witness_unchanged(self, tmp_path):
+        g = random_dag(80, 220, seed=2)
+        idx = HierarchicalLabeling(g)
+        save_artifact(idx, tmp_path / "hl.rpro")
+        loaded = load_artifact(tmp_path / "hl.rpro")
+        for u, v in seeded_workload(g.n, 1500, seed=91):
+            assert loaded.witness(u, v) == idx.witness(u, v)
+
+    def test_compact_dl_witness_raises_instead_of_lying(self, tmp_path):
+        g = random_dag(120, 350, seed=3)
+        idx = DistributionLabeling(g)
+        save_artifact(idx, tmp_path / "dl.rpro", profile="compact")
+        loaded = load_artifact(tmp_path / "dl.rpro")
+        u, v = next(
+            (u, v) for u, v in seeded_workload(g.n, 5000, seed=93)
+            if idx.query(u, v) and u != v
+        )
+        with pytest.raises(RuntimeError, match="hop"):
+            loaded.witness(u, v)
+
+    def test_v1_frozen_dl_witness_raises(self, tmp_path):
+        g = random_dag(60, 150, seed=4)
+        idx = DistributionLabeling(g)
+        save_labels(idx, tmp_path / "l.json")
+        frozen = load_labels(tmp_path / "l.json")
+        u, v = next(
+            (u, v) for u, v in seeded_workload(g.n, 5000, seed=95)
+            if idx.query(u, v) and u != v
+        )
+        with pytest.raises(RuntimeError, match="hop"):
+            frozen.witness(u, v)

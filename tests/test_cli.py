@@ -70,3 +70,62 @@ class TestCli:
         ]) == 0
         out = capsys.readouterr().out
         assert "hybrid" in out
+
+
+class TestArtifactSubcommands:
+    """build/query talk through binary artifacts (build → serve split)."""
+
+    def test_build_then_query(self, capsys, tmp_path):
+        art = str(tmp_path / "kegg.rpro")
+        assert main(["build", "--dataset", "kegg", "--method", "DL", "--out", art]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "bytes" in out
+
+        assert main(["query", "--artifact", art, "--random", "500", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "500 queries" in out
+        assert "first query" in out
+
+    def test_query_pairs_file(self, capsys, tmp_path):
+        art = str(tmp_path / "kegg.rpro")
+        assert main(["build", "--dataset", "kegg", "--out", art]) == 0
+        capsys.readouterr()
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 1\n5 9\n3 3\n")
+        assert main(["query", "--artifact", art, "--pairs", str(pairs)]) == 0
+        out = capsys.readouterr().out
+        assert "3 queries" in out
+
+    def test_build_from_edge_list(self, capsys, tmp_path):
+        from repro.datasets.catalog import load
+        from repro.graph.io import write_edge_list
+
+        edges = str(tmp_path / "g.txt")
+        write_edge_list(load("reactome"), edges)
+        art = str(tmp_path / "g.rpro")
+        assert main(["build", "--edges", edges, "--method", "GL", "--out", art]) == 0
+        capsys.readouterr()
+        assert main(["query", "--artifact", art, "--random", "200", "--no-mmap"]) == 0
+        assert "200 queries" in capsys.readouterr().out
+
+    def test_build_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["build", "--dataset", "nope", "--out", str(tmp_path / "x.rpro")])
+
+    def test_query_answers_match_live_pipeline(self, capsys, tmp_path):
+        import random as _random
+
+        from repro.datasets.catalog import load
+        from repro.facade import Reachability
+
+        art = str(tmp_path / "kegg.rpro")
+        assert main(["build", "--dataset", "kegg", "--out", art]) == 0
+        capsys.readouterr()
+        assert main(["query", "--artifact", art, "--random", "400", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        g = load("kegg")
+        r = Reachability(g)
+        rng = _random.Random(7)
+        pairs = [(rng.randrange(g.n), rng.randrange(g.n)) for _ in range(400)]
+        positives = sum(r.query_batch(pairs))
+        assert f"({positives:,} reachable)" in out
