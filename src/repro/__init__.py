@@ -24,6 +24,10 @@ Main entry points
   ``PT*``, ``2HOP``, ``TF``, ``PL``, ``BFS``, ``DFS``, ``CH``).
 * :mod:`repro.bench` / ``python -m repro.cli`` — regenerate the paper's
   tables and figures on synthetic stand-in datasets.
+* :mod:`repro.server` / ``python -m repro.cli serve`` — serve a
+  compiled artifact to concurrent clients: binary wire protocol,
+  micro-batching, sharded result cache, worker processes over one
+  shared mmap.
 """
 
 from .graph.digraph import DiGraph

@@ -5,6 +5,10 @@ The harness mirrors the paper's reporting discipline:
 * **query time** — total wall time for a fixed workload batch (the paper
   reports ms per 100 000 queries; we report ms per batch and print the
   batch size in the table header),
+* **query latency percentiles** — p50/p95/p99 of individually timed
+  queries from the same workload, for every query mode: scalar timings
+  in the direct and ``through_artifact`` modes, client-observed request
+  latencies (plus queries/second) in the ``through_server`` mode,
 * **construction time** — wall time of the index constructor,
 * **index size** — the method's ``index_size_ints()`` (number of stored
   integers, the metric of Figures 3-4),
@@ -50,16 +54,30 @@ class RunResult:
     query_ms: Dict[str, float] = field(default_factory=dict)
     correct_positive_rate: Optional[float] = None
     error: str = ""
+    #: Per-query latency percentiles, workload name ->
+    #: ``{"p50_us", "p95_us", "p99_us"}`` (microseconds).  Every query
+    #: mode fills these: direct and ``through_artifact`` runs time a
+    #: sample of scalar queries; ``through_server`` runs report the
+    #: client-observed request latencies.
+    query_percentiles: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Artifact-serve measurements (``through_artifact`` runs only):
     #: on-disk bytes, cold-load wall time, and the loaded oracle's
     #: reported size (must equal ``index_size_ints`` for label kinds).
     artifact_bytes: Optional[int] = None
     load_s: Optional[float] = None
     loaded_size_ints: Optional[int] = None
+    #: Served-throughput per workload (``through_server`` runs only):
+    #: client-side queries/second against a live TCP server.
+    server_qps: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+#: Scalar queries timed individually per workload for the percentile
+#: report; capped so percentile sampling never dominates a sweep.
+PERCENTILE_SAMPLE = 2000
 
 
 class MethodRun:
@@ -71,6 +89,14 @@ class MethodRun:
     answered by the loaded oracle — measuring what a serving process
     actually pays.  ``artifact_bytes`` / ``load_s`` /
     ``loaded_size_ints`` land on the :class:`RunResult`.
+
+    ``through_server=True`` goes one step further: the artifact is
+    served by a live :class:`~repro.server.service.ReachServer`
+    (micro-batching on, ``server_workers`` answer processes) and the
+    workloads are driven through the TCP client as pipelined
+    single-pair requests.  ``query_ms`` then holds client wall time,
+    ``query_percentiles`` the client-observed request latencies, and
+    ``server_qps`` the measured throughput.
     """
 
     def __init__(
@@ -78,10 +104,16 @@ class MethodRun:
         method: str,
         budget: Optional[BuildBudget] = None,
         through_artifact: bool = False,
+        through_server: bool = False,
+        server_workers: int = 0,
+        server_window_s: float = 0.001,
     ) -> None:
         self.method = method
         self.budget = budget or BuildBudget()
         self.through_artifact = through_artifact
+        self.through_server = through_server
+        self.server_workers = server_workers
+        self.server_window_s = server_window_s
 
     def execute(
         self,
@@ -114,6 +146,11 @@ class MethodRun:
             build_s=build_s,
             index_size_ints=index.index_size_ints(),
         )
+        if self.through_server:
+            try:
+                return self._measure_through_server(index, result, workloads)
+            except Exception as exc:
+                return RunResult(dataset, self.method, "error", error=repr(exc))
         artifact_path = None
         if self.through_artifact:
             try:
@@ -148,10 +185,86 @@ class MethodRun:
                 if best is None or elapsed < best:
                     best = elapsed
             result.query_ms[wl.name] = best
+            result.query_percentiles[wl.name] = self._scalar_percentiles(index, wl)
             if wl.positives is not None and answers is not None:
                 got = sum(answers)
                 result.correct_positive_rate = got / max(1, len(wl))
         return result
+
+    @staticmethod
+    def _scalar_percentiles(index, wl: Workload) -> Dict[str, float]:
+        """p50/p95/p99 of individually-timed scalar queries (µs).
+
+        The batch number above is the throughput metric; this is the
+        latency *shape* an interactive caller sees, sampled from the
+        same workload (capped at :data:`PERCENTILE_SAMPLE` pairs).
+        """
+        from ..stats import percentiles
+
+        sample = wl.pairs[:PERCENTILE_SAMPLE]
+        query = index.query
+        clock = time.perf_counter
+        latencies = []
+        for u, v in sample:
+            t0 = clock()
+            query(u, v)
+            latencies.append(clock() - t0)
+        pct = percentiles(latencies)
+        return {f"{k}_us": v * 1e6 for k, v in pct.items()}
+
+    def _measure_through_server(
+        self, index, result: RunResult, workloads: Sequence[Workload]
+    ) -> RunResult:
+        """Serve the compiled index over TCP; measure from the client.
+
+        The workload is driven as pipelined single-pair requests (the
+        interactive shape micro-batching exists for); answers are
+        checked against the workload's positive-count metadata exactly
+        like the direct modes.
+        """
+        import os
+        import tempfile
+
+        from ..serialization import save_artifact
+        from ..server.client import run_load
+        from ..server.service import serve_artifact
+
+        fd, path = tempfile.mkstemp(suffix=".rpro")
+        os.close(fd)
+        server = None
+        try:
+            result.artifact_bytes = save_artifact(index, path)
+            server = serve_artifact(
+                path,
+                workers=self.server_workers,
+                window_s=self.server_window_s,
+                cache_size=0,  # measure the query path, not the cache
+            )
+            host, port = server.address
+            for wl in workloads:
+                if not len(wl):
+                    result.query_ms[wl.name] = 0.0
+                    continue
+                report = run_load(host, port, wl.pairs)
+                if report.errors:
+                    raise RuntimeError(
+                        f"server load run failed: {report.first_error}"
+                    )
+                result.query_ms[wl.name] = report.wall_s * 1000.0
+                result.server_qps[wl.name] = report.qps
+                result.query_percentiles[wl.name] = {
+                    f"{k}_us": v * 1000.0 for k, v in report.latency_ms.items()
+                }
+                if wl.positives is not None:
+                    result.correct_positive_rate = report.positives / max(1, len(wl))
+            return result
+        finally:
+            if server is not None:
+                server.close()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     @staticmethod
     def _serve_through_artifact(index, result: RunResult):
@@ -222,6 +335,9 @@ def run_dataset(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     through_artifact: bool = False,
+    through_server: bool = False,
+    server_workers: int = 0,
+    server_window_s: float = 0.001,
 ) -> List[RunResult]:
     """Run every method on one dataset, sharing workloads.
 
@@ -229,7 +345,11 @@ def run_dataset(
     (:data:`BACKEND_METHODS` / :data:`WORKER_METHODS`); labels and
     answers are backend-invariant, so overriding them changes timings
     only.  ``through_artifact`` reroutes the query measurements through
-    a saved-and-reloaded binary artifact (the serve lifecycle).
+    a saved-and-reloaded binary artifact (the serve lifecycle);
+    ``through_server`` goes further and drives them through a live TCP
+    server (``server_workers`` answer processes, micro-batching window
+    ``server_window_s``), reporting client-side latency percentiles
+    and queries/second.
     """
     if graph is None:
         graph = load(dataset)
@@ -249,7 +369,14 @@ def run_dataset(
                 time_s=budget.time_s if budget else BuildBudget().time_s,
                 params={**(budget.params if budget else {}), **extra},
             )
-        runner = MethodRun(method, budget, through_artifact=through_artifact)
+        runner = MethodRun(
+            method,
+            budget,
+            through_artifact=through_artifact,
+            through_server=through_server,
+            server_workers=server_workers,
+            server_window_s=server_window_s,
+        )
         results.append(runner.execute(dataset, graph, workloads, query_repeats))
     return results
 

@@ -12,11 +12,17 @@ Usage::
     # build → compile → serve through binary artifacts:
     python -m repro.cli build --dataset kegg --method DL --out kegg.rpro
     python -m repro.cli query --artifact kegg.rpro --random 10000
+    python -m repro.cli query --artifact kegg.rpro --pairs -   # stdin
+    python -m repro.cli serve --artifact kegg.rpro --port 7431 \
+        --workers 4 --batch-window 1.0 --cache-size 65536
 
 ``build`` runs the full pipeline (SCC condensation + index) and writes
 a compiled artifact; ``query`` serves a workload from the artifact in a
 fresh process — no graph, arrays memory-mapped — which is exactly the
-production split the lifecycle is designed around.
+production split the lifecycle is designed around.  ``serve`` keeps
+going: a TCP server (binary wire protocol, optional JSON/HTTP port)
+with a micro-batching front end, a sharded result cache, and an
+optional pool of worker processes that each mmap the same artifact.
 
 Output of the table experiments is a text table shaped like the
 paper's (datasets × methods, "—" for methods over budget).
@@ -313,6 +319,16 @@ def _run_build(argv: List[str]) -> int:
     return 0
 
 
+def _parse_pairs(lines) -> List[tuple]:
+    """``(u, v)`` pairs from an iterable of 'u v' lines (blanks skipped)."""
+    pairs = []
+    for line in lines:
+        parts = line.split()
+        if len(parts) >= 2:
+            pairs.append((int(parts[0]), int(parts[1])))
+    return pairs
+
+
 def _run_query(argv: List[str]) -> int:
     """``query``: serve a workload from an artifact, no graph in memory."""
     import random as _random
@@ -325,7 +341,10 @@ def _run_query(argv: List[str]) -> int:
         "artifact (the serve half of build → compile → serve).",
     )
     parser.add_argument("--artifact", required=True, help="artifact path from 'build'")
-    parser.add_argument("--pairs", help="file of 'u v' query pairs (one per line)")
+    parser.add_argument("--pairs",
+                        help="file of 'u v' query pairs (one per line); "
+                        "'-' reads stdin, so shell pipelines and the load "
+                        "generator can feed this command directly")
     parser.add_argument("--random", type=int, default=None, metavar="N",
                         help="generate N uniform random pairs instead")
     parser.add_argument("--seed", type=int, default=7)
@@ -341,12 +360,11 @@ def _run_query(argv: List[str]) -> int:
     stats = oracle.stats()
     n = stats.get("original_n") or stats.get("n") or 0
     if args.pairs:
-        pairs = []
-        with open(args.pairs, "r", encoding="utf-8") as f:
-            for line in f:
-                parts = line.split()
-                if len(parts) >= 2:
-                    pairs.append((int(parts[0]), int(parts[1])))
+        if args.pairs == "-":
+            pairs = _parse_pairs(sys.stdin)
+        else:
+            with open(args.pairs, "r", encoding="utf-8") as f:
+                pairs = _parse_pairs(f)
     else:
         count = args.random or 10_000
         rng = _random.Random(args.seed)
@@ -377,6 +395,105 @@ def _run_query(argv: List[str]) -> int:
     return 0
 
 
+def _run_serve(argv: List[str]) -> int:
+    """``serve``: a long-running query server over a saved artifact."""
+    from .server.service import HttpFrontend, serve_artifact
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench serve",
+        description="Serve reachability queries from a saved artifact "
+        "over the binary wire protocol (the production half of "
+        "build → compile → serve).",
+    )
+    parser.add_argument("--artifact", required=True, help="artifact path from 'build'")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7431,
+                        help="TCP port for the binary protocol (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="answer processes, each mmap-loading the "
+                        "artifact (0 = answer in-process)")
+    parser.add_argument("--batch-window", type=float, default=1.0, metavar="MS",
+                        help="micro-batching window in milliseconds "
+                        "(0 disables coalescing)")
+    parser.add_argument("--cache-size", type=int, default=65536,
+                        help="LRU result-cache entries (0 disables)")
+    parser.add_argument("--max-batch", type=int, default=65536,
+                        help="pair-count ceiling per dispatched batch")
+    parser.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                        help="also serve the JSON/HTTP fallback on this "
+                        "port (0 = ephemeral)")
+    parser.add_argument("--no-shutdown-op", action="store_true",
+                        help="ignore the protocol's remote-shutdown frame")
+    parser.add_argument("--allow-remote-shutdown", action="store_true",
+                        help="honour the shutdown op even on a "
+                        "non-loopback --host (off by default there: the "
+                        "frame is unauthenticated)")
+    parser.add_argument("--ready-file", default=None, metavar="PATH",
+                        help="write 'host port [http_port]' here once "
+                        "listening (lets scripts wait for startup)")
+    args = parser.parse_args(argv)
+
+    # allow_shutdown=None delegates the loopback-only default to
+    # ReachServer (one policy, not a CLI re-implementation).
+    if args.no_shutdown_op:
+        allow_shutdown = False
+    elif args.allow_remote_shutdown:
+        allow_shutdown = True
+    else:
+        allow_shutdown = None
+
+    server = serve_artifact(
+        args.artifact,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        window_s=args.batch_window / 1000.0,
+        max_batch=args.max_batch,
+        cache_size=args.cache_size,
+        allow_shutdown=allow_shutdown,
+    )
+    if allow_shutdown is None and not server.allow_shutdown:
+        print(
+            f"note: remote shutdown disabled on non-loopback host "
+            f"{args.host!r} (pass --allow-remote-shutdown to enable)",
+            file=sys.stderr,
+        )
+    http = None
+    try:
+        if args.http_port is not None:
+            # /shutdown must stop the whole service, not just the HTTP
+            # frontend — mirror the binary OP_SHUTDOWN semantics.
+            http = HttpFrontend(
+                server.service,
+                host=args.host,
+                port=args.http_port,
+                allow_shutdown=server.allow_shutdown,
+                on_shutdown=server.close,
+            ).start()
+        host, port = server.address
+        print(
+            f"serving {args.artifact} on {host}:{port} "
+            f"(workers={args.workers}, batch_window={args.batch_window:g} ms, "
+            f"cache={args.cache_size:,})",
+            flush=True,
+        )
+        if http is not None:
+            print(f"http fallback on {http.host}:{http.port}", flush=True)
+        if args.ready_file:
+            extra = f" {http.port}" if http is not None else ""
+            with open(args.ready_file, "w", encoding="utf-8") as f:
+                f.write(f"{host} {port}{extra}\n")
+        try:
+            server.wait()
+        except KeyboardInterrupt:
+            print("interrupted; shutting down", file=sys.stderr)
+        return 0
+    finally:
+        if http is not None:
+            http.close()
+        server.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     # Artifact subcommands take their own option sets; route them before
@@ -385,6 +502,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_build(argv[1:])
     if argv and argv[0] == "query":
         return _run_query(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate tables/figures from 'Simple, Fast, and "
@@ -419,6 +538,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{'export':<22}Write stand-in datasets as edge-list files")
         print(f"{'build':<22}Build a pipeline and save a binary artifact")
         print(f"{'query':<22}Serve a workload from a saved artifact")
+        print(f"{'serve':<22}Run a TCP query server over a saved artifact")
         return 0
 
     datasets = args.datasets.split(",") if args.datasets else None

@@ -157,6 +157,133 @@ class Reachability:
         self._serve_meta = dict(art.meta)
         return self
 
+    @property
+    def is_serving(self) -> bool:
+        """Whether this facade is on the serve side of the lifecycle.
+
+        True for a pipeline restored by :meth:`load` /
+        :meth:`from_artifact` — compiled query arrays only, no
+        :class:`DiGraph` — and False for a facade built from a graph.
+        Graph-walking helpers (:meth:`path`) need ``is_serving`` to be
+        False; everything query-shaped works either way.
+        """
+        return self.original is None
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 0,
+        batch_window_s: float = 0.001,
+        cache_size: int = 65536,
+        artifact_path=None,
+        allow_shutdown=None,
+    ):
+        """Start a TCP query server over this pipeline; returns it running.
+
+        The server answers the binary wire protocol of
+        :mod:`repro.server` with exactly this facade's semantics
+        (original-graph ids, same-SCC pairs included).  With
+        ``workers == 0`` queries are answered in-process; with
+        ``workers > 0`` that many processes each memory-map the
+        pipeline artifact — for a build-mode facade one is saved to
+        ``artifact_path`` (or a temp file the server deletes on close),
+        while a serve-mode facade reuses the artifact it was loaded
+        from.  ``batch_window_s`` is the micro-batching window in
+        **seconds** (the CLI's ``--batch-window`` flag is milliseconds);
+        ``cache_size`` the LRU result-cache budget (0 disables).
+
+        >>> from repro.graph.digraph import DiGraph
+        >>> g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        >>> server = Reachability(g).serve()          # ephemeral port
+        >>> from repro.server import ReachClient
+        >>> with ReachClient(*server.address) as client:
+        ...     client.query(0, 3), client.query(3, 0)
+        (True, False)
+        >>> server.close()
+        """
+        from .server.service import QueryService, ReachServer
+
+        cleanup: list = []
+        if workers <= 0:
+            service = QueryService(
+                oracle=self,
+                workers=0,
+                window_s=batch_window_s,
+                cache_size=cache_size,
+            )
+        else:
+            import os
+
+            path = artifact_path
+            if path is None and self.is_serving:
+                art = getattr(self.index, "artifact", None)
+                path = getattr(art, "path", None)
+            if path is None:
+                import tempfile
+
+                fd, path = tempfile.mkstemp(suffix=".rpro", prefix="repro-serve-")
+                os.close(fd)
+                self.save(path)
+                cleanup.append(path)
+            elif self.is_serving:
+                # A serve-mode facade cannot re-save (the build side is
+                # gone); without the file the workers have nothing to map.
+                if not os.path.exists(path):
+                    raise FileNotFoundError(
+                        f"artifact file {path!r} no longer exists and a "
+                        "serve-mode Reachability cannot re-save it; restore "
+                        "the file or rebuild from the graph"
+                    )
+                # And the file must be THIS pipeline, not some other
+                # artifact at a caller-supplied path — the workers would
+                # silently serve the wrong index's answers.
+                from .serialization import artifact_info
+
+                meta = artifact_info(path)["meta"]
+                mine = self._serve_meta or {}
+                identity = ("original_n", "original_m", "dag_n", "dag_m", "method")
+                if any(meta.get(k) != mine.get(k) for k in identity):
+                    raise ValueError(
+                        f"artifact {path!r} does not match this pipeline "
+                        f"(it holds {meta.get('method')} over "
+                        f"n={meta.get('original_n')}, this facade serves "
+                        f"{mine.get('method')} over n={mine.get('original_n')})"
+                    )
+            else:
+                # Build mode with an explicit path: always (re)save, so
+                # the workers serve THIS pipeline — a stale file at the
+                # same path must not win silently.
+                self.save(path)
+            service = QueryService(
+                artifact_path=path,
+                workers=workers,
+                window_s=batch_window_s,
+                cache_size=cache_size,
+            )
+        try:
+            service.start()
+            server = ReachServer(
+                service,
+                host,
+                port,
+                allow_shutdown=allow_shutdown,
+                owns_service=True,
+            )
+            server.cleanup_paths.extend(cleanup)
+            return server.start()
+        except BaseException:
+            service.close()
+            import os
+
+            for path in cleanup:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            raise
+
     # ------------------------------------------------------------------
     def query(self, u: int, v: int) -> bool:
         """Whether original-graph vertex ``u`` reaches ``v``.
@@ -209,11 +336,17 @@ class Reachability:
         >>> Reachability(g).path(0, 3)
         [0, 1, 2, 3]
         """
-        if self.original is None:
+        if self.is_serving:
             raise RuntimeError(
-                "path() walks the original graph, which a serve-mode "
-                "Reachability (loaded from an artifact) does not hold; "
-                "rebuild from the graph for path explanations"
+                "path() needs the original DiGraph, but this Reachability "
+                "is serve-mode (is_serving=True): it was restored by "
+                "Reachability.load()/from_artifact(), and artifacts keep "
+                "only the compiled query arrays — the graph stays on the "
+                "build side of the build -> compile -> serve lifecycle. "
+                "query()/query_batch()/same_scc()/reachable_count_from() "
+                "all work here; for path certificates rebuild with "
+                "Reachability(graph, method) on the build side (and use "
+                ".save(path) there if you want both from one build)"
             )
         if not self.query(u, v):
             return None

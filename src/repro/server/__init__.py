@@ -1,0 +1,46 @@
+"""Concurrent reachability query service over compiled artifacts.
+
+The build → compile → serve lifecycle (PR 3) produces mmap-shareable
+binary artifacts; this package is the process that actually *serves*
+them to concurrent clients:
+
+* :mod:`repro.server.protocol` — the length-prefixed binary wire
+  protocol (one ``u32 length | u8 opcode | u64 request_id`` header per
+  frame, bit-packed answers) plus a stdlib JSON-over-HTTP fallback for
+  curl-style clients.
+* :mod:`repro.server.cache` — a sharded LRU result cache with
+  hit/miss/negative-answer statistics.
+* :mod:`repro.server.batching` — the micro-batching front end:
+  requests arriving within a configurable window (default ~1 ms)
+  coalesce into one batch for the vectorized engine; a lone request
+  falls back to a single scalar query.
+* :mod:`repro.server.service` — :class:`QueryService` (cache →
+  batcher → oracle) with an optional pool of worker processes that
+  each mmap-load the same artifact (one physical copy, per PR 3), and
+  :class:`ReachServer`, the TCP front end.
+* :mod:`repro.server.client` — :class:`ReachClient` plus the
+  open-/closed-loop load generator used by the harness and
+  ``benchmarks/bench_server.py``.
+
+Answers are bit-identical to a direct
+:class:`~repro.core.compiled.CompiledOracle` on the same artifact —
+batching, caching and worker routing change throughput and latency
+only, never a single answer bit.
+"""
+
+from .batching import MicroBatcher
+from .cache import ShardedLRUCache
+from .client import LoadReport, ReachClient, percentiles, run_load
+from .service import QueryService, ReachServer, serve_artifact
+
+__all__ = [
+    "MicroBatcher",
+    "ShardedLRUCache",
+    "ReachClient",
+    "LoadReport",
+    "run_load",
+    "percentiles",
+    "QueryService",
+    "ReachServer",
+    "serve_artifact",
+]

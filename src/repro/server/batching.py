@@ -1,0 +1,306 @@
+"""Micro-batching front end: coalesce concurrent requests into batches.
+
+The PR 2 batch engine is fastest when queries arrive in large ndarray
+batches, and a worker-pool dispatch pays one IPC round trip per task —
+both favour *fewer, bigger* units of work.  Individual clients send
+small requests, so the batcher buys throughput with a tiny latency
+deposit: the first request of a batch waits up to ``window_s``
+(default 1 ms) for company, then everything that accumulated is
+dispatched as one batch.
+
+The dispatch callback receives a :class:`Batch` and may complete it
+asynchronously (the worker-pool path resolves from its result-reader
+thread), so several batches can be in flight across workers at once.
+A batch that coalesced nothing — one request, one pair — is flagged
+``singleton`` so the executor can answer it with a scalar ``query``
+instead of paying array-batch setup: micro-batching under low load
+degrades to exactly the unbatched path plus the window wait.
+
+``window_s=0`` disables coalescing entirely: every request is
+dispatched synchronously from its submitting thread.  That is the
+"batching off" axis of ``benchmarks/bench_server.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["QueryRequest", "Batch", "MicroBatcher"]
+
+Pair = Tuple[int, int]
+
+
+class QueryRequest:
+    """One client request: its pairs and the completion callback."""
+
+    __slots__ = ("pairs", "callback", "answers", "error")
+
+    def __init__(self, pairs: Sequence[Pair], callback) -> None:
+        self.pairs = pairs
+        self.callback = callback
+        self.answers: Optional[List[bool]] = None
+        self.error: Optional[BaseException] = None
+
+    def _complete(self) -> None:
+        if self.callback is not None:
+            self.callback(self)
+
+
+class Batch:
+    """A dispatch unit: one or more requests, pairs concatenated."""
+
+    __slots__ = ("requests", "pairs")
+
+    def __init__(self, requests: List[QueryRequest]) -> None:
+        self.requests = requests
+        if len(requests) == 1:
+            self.pairs = list(requests[0].pairs)
+        else:
+            pairs: List[Pair] = []
+            for req in requests:
+                pairs.extend(req.pairs)
+            self.pairs = pairs
+
+    @property
+    def singleton(self) -> bool:
+        """True when nothing coalesced: one request carrying one pair."""
+        return len(self.requests) == 1 and len(self.pairs) == 1
+
+    def resolve(self, answers: Sequence[bool]) -> None:
+        """Scatter batch answers back to the member requests."""
+        if len(answers) != len(self.pairs):
+            self.fail(
+                RuntimeError(
+                    f"executor returned {len(answers)} answers for "
+                    f"{len(self.pairs)} pairs"
+                )
+            )
+            return
+        offset = 0
+        for req in self.requests:
+            take = len(req.pairs)
+            req.answers = list(answers[offset:offset + take])
+            offset += take
+            req._complete()
+        self._flush_writers()
+
+    def fail(self, error: BaseException) -> None:
+        """Propagate one executor failure to every member request."""
+        for req in self.requests:
+            req.error = error
+            req._complete()
+        self._flush_writers()
+
+    def _flush_writers(self) -> None:
+        """Flush each distinct buffering callback once, after all scatter.
+
+        A callback may expose ``flush_writer`` (see the TCP server's
+        buffered connection writer): completions then only *queue*
+        response bytes, and one flush per (batch, connection) writes
+        them — one syscall instead of one per request, which is a large
+        share of the per-request cost micro-batching amortizes.
+        """
+        flushes = []
+        for req in self.requests:
+            flush = getattr(req.callback, "flush_writer", None)
+            if flush is not None and flush not in flushes:
+                flushes.append(flush)
+        for flush in flushes:
+            flush()
+
+
+class MicroBatcher:
+    """Coalesce requests arriving within a window into one batch.
+
+    Parameters
+    ----------
+    dispatch:
+        ``dispatch(batch)`` — executes (or enqueues) a :class:`Batch`
+        and eventually calls ``batch.resolve(answers)`` or
+        ``batch.fail(error)``.  May complete on another thread.
+    window_s:
+        Coalescing window.  The first request of a batch waits this
+        long for companions; 0 disables coalescing (synchronous
+        pass-through dispatch).
+    max_batch:
+        Pair-count ceiling per dispatched batch.  A full window drains
+        in several batches; a window whose first requests already
+        exceed the cap dispatches without waiting it out.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[Batch], None],
+        window_s: float = 0.001,
+        max_batch: int = 65536,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._dispatch = dispatch
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: List[QueryRequest] = []
+        self._pending_pairs = 0
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        # counters (under _lock)
+        self._submitted = 0
+        self._batches = 0
+        self._batched_pairs = 0
+        self._coalesced_batches = 0
+        self._largest_batch = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "MicroBatcher":
+        """Start the collector thread (no-op when ``window_s == 0``)."""
+        if self.window_s > 0 and self._thread is None:
+            self._thread = threading.Thread(
+                target=self._collect_loop, name="repro-batcher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop collecting; in-flight pending requests are failed."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            leftovers = self._pending
+            self._pending = []
+            self._pending_pairs = 0
+            self._wakeup.notify_all()
+        for req in leftovers:
+            req.error = RuntimeError("batcher closed")
+            req._complete()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- submission ----------------------------------------------------
+    def submit_async(self, pairs: Sequence[Pair], callback) -> QueryRequest:
+        """Queue a request; ``callback(request)`` fires on completion.
+
+        Empty requests complete immediately (no dispatch).  When the
+        window is 0 the request is dispatched synchronously from this
+        thread as its own batch.
+        """
+        req = QueryRequest(pairs, callback)
+        if not pairs:
+            req.answers = []
+            req._complete()
+            return req
+        if self.window_s == 0:
+            with self._lock:
+                if self._closed:
+                    req.error = RuntimeError("batcher closed")
+                    req._complete()
+                    return req
+                self._submitted += 1
+                self._note_batch(1, len(pairs))
+            self._dispatch(Batch([req]))
+            return req
+        with self._lock:
+            if self._closed:
+                req.error = RuntimeError("batcher closed")
+                req._complete()
+                return req
+            self._submitted += 1
+            self._pending.append(req)
+            self._pending_pairs += len(pairs)
+            if len(self._pending) == 1 or self._pending_pairs >= self.max_batch:
+                self._wakeup.notify()
+        return req
+
+    def submit(self, pairs: Sequence[Pair]) -> List[bool]:
+        """Blocking :meth:`submit_async`: wait for and return the answers."""
+        done = threading.Event()
+        req = self.submit_async(pairs, lambda _req: done.set())
+        done.wait()
+        if req.error is not None:
+            raise req.error
+        assert req.answers is not None
+        return req.answers
+
+    # -- collector -----------------------------------------------------
+    def _collect_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._wakeup.wait()
+                if self._closed:
+                    return
+                first_at = time.perf_counter()
+            # Hold the window open for companions (a full cap ends it
+            # early via the submit-side notify), then drain.
+            deadline = first_at + self.window_s
+            with self._lock:
+                while not self._closed and self._pending_pairs < self.max_batch:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.wait(remaining)
+                if self._closed:
+                    return
+            for batch in self._drain():
+                self._dispatch(batch)
+
+    def _drain(self) -> List[Batch]:
+        """Cut the pending queue into ``max_batch``-sized batches."""
+        with self._lock:
+            pending = self._pending
+            self._pending = []
+            self._pending_pairs = 0
+        batches: List[Batch] = []
+        group: List[QueryRequest] = []
+        group_pairs = 0
+        for req in pending:
+            if group and group_pairs + len(req.pairs) > self.max_batch:
+                batches.append(Batch(group))
+                group, group_pairs = [], 0
+            group.append(req)
+            group_pairs += len(req.pairs)
+        if group:
+            batches.append(Batch(group))
+        with self._lock:
+            for batch in batches:
+                self._note_batch(len(batch.requests), len(batch.pairs))
+        return batches
+
+    def _note_batch(self, n_requests: int, n_pairs: int) -> None:
+        # caller holds _lock
+        self._batches += 1
+        self._batched_pairs += n_pairs
+        if n_requests > 1:
+            self._coalesced_batches += 1
+        if n_pairs > self._largest_batch:
+            self._largest_batch = n_pairs
+
+    # -- stats ---------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            batches = self._batches
+            return {
+                "window_ms": self.window_s * 1000.0,
+                "max_batch": self.max_batch,
+                "requests": self._submitted,
+                "batches": batches,
+                "batched_pairs": self._batched_pairs,
+                "coalesced_batches": self._coalesced_batches,
+                "largest_batch": self._largest_batch,
+                "mean_batch_pairs": (
+                    self._batched_pairs / batches if batches else 0.0
+                ),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatcher(window_ms={self.window_s * 1000.0:g}, "
+            f"max_batch={self.max_batch})"
+        )

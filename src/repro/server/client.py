@@ -1,0 +1,410 @@
+"""Client for the reachability service + open/closed-loop load generator.
+
+:class:`ReachClient` is the simple synchronous client: one request in
+flight, answers in call order.  The load generator underneath
+:func:`run_load` is the measuring instrument — per connection it keeps
+``pipeline`` requests in flight (closed loop) or fires on a fixed
+schedule regardless of completions (open loop), records per-request
+latency from the pre-encoded frame's send to its matched response, and
+reassembles every answer in workload order so callers can verify the
+served bits against a direct oracle.
+
+Closed loop measures the server's *capacity* (clients wait for their
+turn); open loop measures *latency under a fixed arrival rate*,
+queueing included — the number a latency SLO actually cares about.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import protocol as proto
+from ..stats import percentiles
+
+__all__ = ["ReachClient", "LoadReport", "run_load", "percentiles"]
+
+Pair = Tuple[int, int]
+
+
+class ReachClient:
+    """Blocking binary-protocol client: one request in flight at a time."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = proto.FrameReader(self._sock)
+        self._next_id = 0
+        self._lock = threading.Lock()
+
+    def _roundtrip(self, op: int, payload: bytes = b"") -> Tuple[int, bytes]:
+        """Send one frame and wait for its (id-matched) response."""
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+            self._sock.sendall(proto.pack_frame(op, request_id, payload))
+            while True:
+                frame = self._reader.read_frame()
+                if frame is None:
+                    raise ConnectionError("server closed the connection")
+                rop, rid, rpayload = frame
+                if rop == proto.OP_ERROR and rid == proto.CONNECTION_ERROR_ID:
+                    raise ConnectionError(
+                        f"server reported a connection-level error: "
+                        f"{rpayload.decode('utf-8', 'replace')}"
+                    )
+                if rid == request_id:
+                    if rop == proto.OP_ERROR:
+                        raise RuntimeError(
+                            f"server error: {rpayload.decode('utf-8', 'replace')}"
+                        )
+                    return rop, rpayload
+                # A stale frame (e.g. reply to an abandoned request):
+                # skip — ids only move forward on this connection.
+
+    # -- public API ----------------------------------------------------
+    def query(self, u: int, v: int) -> bool:
+        """Whether ``u`` reaches ``v``, by asking the server."""
+        return self.query_batch([(u, v)])[0]
+
+    def query_batch(self, pairs: Sequence[Pair]) -> List[bool]:
+        """Answers for many pairs in one request frame."""
+        _, payload = self._roundtrip(proto.OP_QUERY, proto.encode_pairs(pairs))
+        return proto.decode_answers(payload)
+
+    def ping(self) -> float:
+        """Round-trip time of an empty frame, in seconds."""
+        t0 = time.perf_counter()
+        self._roundtrip(proto.OP_PING)
+        return time.perf_counter() - t0
+
+    def stats(self) -> dict:
+        """The server's stats document (service + cache + batcher)."""
+        _, payload = self._roundtrip(proto.OP_STATS)
+        return json.loads(payload.decode("utf-8"))
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop (it acks before going down)."""
+        self._roundtrip(proto.OP_SHUTDOWN)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ReachClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+@dataclass
+class LoadReport:
+    """What a load run measured: throughput, latency shape, answers."""
+
+    mode: str
+    connections: int
+    pipeline: int
+    pairs_per_request: int
+    total_pairs: int
+    total_requests: int
+    wall_s: float
+    qps: float
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    errors: int = 0
+    first_error: str = ""
+    answers: List[bool] = field(default_factory=list)
+
+    @property
+    def positives(self) -> int:
+        return sum(self.answers)
+
+    def summary(self) -> str:
+        lat = self.latency_ms
+        pct = (
+            f"p50={lat.get('p50', 0.0):.2f} p95={lat.get('p95', 0.0):.2f} "
+            f"p99={lat.get('p99', 0.0):.2f} ms"
+        )
+        return (
+            f"{self.mode}-loop: {self.total_pairs:,} pairs in {self.wall_s:.2f}s "
+            f"= {self.qps:,.0f} q/s ({pct}, errors={self.errors})"
+        )
+
+
+class _LoadConnection:
+    """One load connection: a sender, a reader, and its latency log."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        requests: List[Tuple[int, bytes, int]],
+        mode: str,
+        pipeline: int,
+        send_times: Optional[List[float]],
+        timeout: float,
+    ) -> None:
+        # requests: (request_id, prebuilt frame, n_pairs); ids are the
+        # global request indices, so answers reassemble by id.
+        self.requests = requests
+        self.mode = mode
+        self.pipeline = pipeline
+        self.send_times = send_times  # open loop: offsets from the epoch
+        self.latencies: List[float] = []
+        self.answers: Dict[int, List[bool]] = {}
+        self.errors = 0
+        self.first_error = ""
+        self.first_send: Optional[float] = None
+        self.last_recv: Optional[float] = None
+        self._sent_at: Dict[int, float] = {}
+        self._outstanding = threading.Semaphore(pipeline)
+        self._all_done = threading.Event()
+        self._received = 0
+        self._dead = False
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader_thread = threading.Thread(
+            target=self._read_loop, name="repro-load-reader", daemon=True
+        )
+        self._sender_thread = threading.Thread(
+            target=self._send_loop, name="repro-load-sender", daemon=True
+        )
+
+    def start(self, epoch: float) -> None:
+        self._epoch = epoch
+        self._reader_thread.start()
+        self._sender_thread.start()
+
+    def join(self, timeout: float) -> None:
+        self._sender_thread.join(timeout)
+        self._all_done.wait(timeout)
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._reader_thread.join(timeout)
+
+    # -- sender --------------------------------------------------------
+    def _send_loop(self) -> None:
+        try:
+            if self.mode == "closed":
+                self._send_closed()
+            else:
+                self._send_open()
+        except OSError as exc:
+            self.errors += 1
+            self.first_error = self.first_error or f"send failed: {exc!r}"
+            self._all_done.set()
+
+    def _send_closed(self) -> None:
+        # Greedy slot draining: block for one free pipeline slot, then
+        # scoop up every other free slot and write those requests as
+        # one syscall — the client-side mirror of the server's
+        # micro-batched responses, and what keeps a single-host bench
+        # measuring the server instead of client sendall overhead.
+        requests = self.requests
+        i = 0
+        while i < len(requests):
+            self._outstanding.acquire()
+            if self._dead:  # reader died; it released us to exit
+                return
+            group = [requests[i]]
+            i += 1
+            while i < len(requests) and self._outstanding.acquire(blocking=False):
+                group.append(requests[i])
+                i += 1
+            now = time.perf_counter()
+            if self.first_send is None:
+                self.first_send = now
+            for request_id, _frame, _n in group:
+                self._sent_at[request_id] = now
+            if len(group) == 1:
+                self._sock.sendall(group[0][1])
+            else:
+                self._sock.sendall(b"".join(frame for _rid, frame, _n in group))
+
+    def _send_open(self) -> None:
+        # Fire on the schedule, completions ignored.
+        for i, (request_id, frame, _n) in enumerate(self.requests):
+            delay = self._epoch + self.send_times[i] - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            now = time.perf_counter()
+            if self.first_send is None:
+                self.first_send = now
+            self._sent_at[request_id] = now
+            self._sock.sendall(frame)
+
+    # -- reader --------------------------------------------------------
+    def _read_loop(self) -> None:
+        reader = proto.FrameReader(self._sock)
+        want = len(self.requests)
+        try:
+            while self._received < want:
+                frame = reader.read_frame()
+                if frame is None:
+                    raise ConnectionError("server closed during load run")
+                op, request_id, payload = frame
+                if (
+                    op == proto.OP_ERROR
+                    and request_id == proto.CONNECTION_ERROR_ID
+                ):
+                    raise ConnectionError(
+                        f"connection-level server error: "
+                        f"{payload.decode('utf-8', 'replace')}"
+                    )
+                now = time.perf_counter()
+                self.last_recv = now
+                sent = self._sent_at.pop(request_id, None)
+                if sent is not None:
+                    self.latencies.append(now - sent)
+                if op == proto.OP_ANSWERS:
+                    self.answers[request_id] = proto.decode_answers(payload)
+                else:
+                    self.errors += 1
+                    if not self.first_error:
+                        self.first_error = payload.decode("utf-8", "replace")
+                self._received += 1
+                if self.mode == "closed":
+                    self._outstanding.release()
+        except (OSError, ConnectionError, proto.ProtocolError) as exc:
+            self.errors += 1
+            self.first_error = self.first_error or repr(exc)
+        finally:
+            # Unblock a sender parked on the pipeline semaphore (it
+            # would otherwise wait out the whole join timeout) and make
+            # its next sendall fail fast.
+            self._dead = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            for _ in range(self.pipeline):
+                self._outstanding.release()
+            self._all_done.set()
+
+
+def run_load(
+    host: str,
+    port: int,
+    pairs: Sequence[Pair],
+    *,
+    mode: str = "closed",
+    connections: int = 4,
+    pipeline: int = 32,
+    pairs_per_request: int = 1,
+    rate: Optional[float] = None,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Drive a server with a workload; returns throughput + latency.
+
+    Parameters
+    ----------
+    pairs:
+        The workload, answered in order in ``report.answers``.
+    mode:
+        ``"closed"`` — each connection keeps ``pipeline`` requests in
+        flight and sends the next as one completes (capacity probe).
+        ``"open"`` — requests fire on a fixed schedule derived from
+        ``rate`` (required, in requests/second across all
+        connections), whether or not earlier ones finished (latency
+        under load, queueing included).
+    pairs_per_request:
+        How many pairs each request frame carries.  1 (default) is the
+        interactive shape that exercises server-side micro-batching;
+        larger values emulate clients that batch for themselves.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if mode == "open" and (rate is None or rate <= 0):
+        raise ValueError("open-loop mode needs rate=<requests/second>")
+    if not pairs:
+        raise ValueError("empty workload")
+    connections = max(1, min(connections, len(pairs)))
+
+    # Pre-encode every frame so the timed region measures the server,
+    # not the client's struct packing.
+    requests: List[Tuple[int, bytes, int]] = []
+    for request_id, start in enumerate(range(0, len(pairs), pairs_per_request)):
+        chunk = list(pairs[start:start + pairs_per_request])
+        frame = proto.pack_frame(
+            proto.OP_QUERY, request_id, proto.encode_pairs(chunk)
+        )
+        requests.append((request_id, frame, len(chunk)))
+
+    per_conn: List[List[Tuple[int, bytes, int]]] = [[] for _ in range(connections)]
+    for i, req in enumerate(requests):
+        per_conn[i % connections].append(req)
+
+    conns: List[_LoadConnection] = []
+    for reqs in per_conn:
+        # Open loop: schedule by *global* request id so arrivals across
+        # connections interleave uniformly at `rate` — per-connection
+        # i*interval offsets would fire synchronized bursts instead.
+        send_times = (
+            [request_id / rate for request_id, _f, _n in reqs]
+            if mode == "open" else None
+        )
+        conns.append(
+            _LoadConnection(host, port, reqs, mode, pipeline, send_times, timeout)
+        )
+
+    epoch = time.perf_counter() + 0.005  # open-loop schedule t0
+    for conn in conns:
+        conn.start(epoch)
+    for conn in conns:
+        conn.join(timeout)
+
+    latencies: List[float] = []
+    answers_by_id: Dict[int, List[bool]] = {}
+    errors = 0
+    first_error = ""
+    first_send = None
+    last_recv = None
+    for conn in conns:
+        latencies.extend(conn.latencies)
+        answers_by_id.update(conn.answers)
+        errors += conn.errors
+        first_error = first_error or conn.first_error
+        if conn.first_send is not None:
+            first_send = (
+                conn.first_send if first_send is None
+                else min(first_send, conn.first_send)
+            )
+        if conn.last_recv is not None:
+            last_recv = (
+                conn.last_recv if last_recv is None
+                else max(last_recv, conn.last_recv)
+            )
+    # Wall clock spans the first byte sent to the last answer received —
+    # immune to thread start-up stagger on tiny runs.
+    wall = (last_recv - first_send) if first_send and last_recv else 0.0
+
+    answers: List[bool] = []
+    for request_id, _frame, n in requests:
+        answers.extend(answers_by_id.get(request_id, [False] * n))
+
+    pct = percentiles(latencies)
+    return LoadReport(
+        mode=mode,
+        connections=connections,
+        pipeline=pipeline,
+        pairs_per_request=pairs_per_request,
+        total_pairs=len(pairs),
+        total_requests=len(requests),
+        wall_s=wall,
+        qps=len(pairs) / wall if wall > 0 else 0.0,
+        latency_ms={k: v * 1000.0 for k, v in pct.items()},
+        errors=errors,
+        first_error=first_error,
+        answers=answers,
+    )

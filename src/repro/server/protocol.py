@@ -1,0 +1,272 @@
+"""Wire protocol for the reachability service: binary frames + HTTP.
+
+The primary protocol is length-prefixed binary — the cheapest thing a
+Python front end can parse per request, and self-delimiting so one
+``recv`` can carry many pipelined frames:
+
+========  =======  ==================================================
+field     size     meaning
+========  =======  ==================================================
+length    u32 LE   payload byte count (excludes this 13-byte header)
+opcode    u8       one of the ``OP_*`` constants below
+request   u64 LE   client-chosen correlation id, echoed verbatim
+payload   length   opcode-specific body
+========  =======  ==================================================
+
+Payloads:
+
+* ``OP_QUERY``    — ``u32 count`` then ``count`` × (``u32 u``,
+  ``u32 v``) little-endian vertex pairs.
+* ``OP_ANSWERS``  — ``u32 count`` then ``ceil(count / 8)`` bytes of
+  LSB-first answer bits (bit *i* = answer to pair *i*).
+* ``OP_STATS`` / ``OP_STATS_REPLY`` — empty request; UTF-8 JSON reply.
+* ``OP_PING`` / ``OP_PONG`` — empty; liveness and RTT probes.
+* ``OP_SHUTDOWN`` — empty; the server acks with ``OP_PONG`` and stops
+  (used by tests, CI, and the CLI for clean remote shutdown).
+* ``OP_ERROR``    — UTF-8 message; sent instead of the normal reply.
+
+Responses may arrive out of submission order (micro-batching reorders
+freely); the request id is the only correlation contract.
+
+The **JSON/HTTP fallback** (:func:`make_http_handler`) serves the same
+service to stdlib-only or shell clients: ``POST /query`` with
+``{"pairs": [[u, v], ...]}`` returns ``{"answers": [...]}``;
+``GET /stats`` returns the service stats document.  It exists for
+debuggability, not throughput — the binary protocol is the fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "OP_QUERY",
+    "OP_ANSWERS",
+    "OP_STATS",
+    "OP_STATS_REPLY",
+    "OP_PING",
+    "OP_PONG",
+    "OP_SHUTDOWN",
+    "OP_ERROR",
+    "HEADER",
+    "MAX_PAYLOAD",
+    "CONNECTION_ERROR_ID",
+    "pack_frame",
+    "unpack_header",
+    "encode_pairs",
+    "decode_pairs",
+    "encode_answers",
+    "decode_answers",
+    "FrameReader",
+    "ProtocolError",
+    "make_http_handler",
+]
+
+OP_QUERY = 1
+OP_ANSWERS = 2
+OP_STATS = 3
+OP_STATS_REPLY = 4
+OP_PING = 5
+OP_PONG = 6
+OP_SHUTDOWN = 7
+OP_ERROR = 8
+
+_OPS = frozenset(
+    (OP_QUERY, OP_ANSWERS, OP_STATS, OP_STATS_REPLY, OP_PING, OP_PONG,
+     OP_SHUTDOWN, OP_ERROR)
+)
+
+#: Frame header: payload length, opcode, request id.
+HEADER = struct.Struct("<IBQ")
+
+#: Hard per-frame payload cap — large enough for a 4M-pair batch,
+#: small enough that a garbage length prefix fails fast instead of
+#: allocating gigabytes.
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+#: Request id reserved for connection-level ``OP_ERROR`` frames (a
+#: framing error has no request to blame; clients number requests from
+#: 0, so 0 would mis-attribute the error to a real in-flight request).
+CONNECTION_ERROR_ID = (1 << 64) - 1
+
+_COUNT = struct.Struct("<I")
+_PAIR = struct.Struct("<II")
+
+
+class ProtocolError(ValueError):
+    """A malformed frame or payload (bad opcode, length, or body)."""
+
+
+def pack_frame(op: int, request_id: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header + payload as a single bytes object."""
+    if op not in _OPS:
+        raise ProtocolError(f"unknown opcode {op}")
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload of {len(payload)} bytes exceeds cap")
+    return HEADER.pack(len(payload), op, request_id) + payload
+
+
+def unpack_header(buf: bytes, offset: int = 0) -> Tuple[int, int, int]:
+    """``(payload_len, opcode, request_id)`` from a header at ``offset``."""
+    length, op, request_id = HEADER.unpack_from(buf, offset)
+    if op not in _OPS:
+        raise ProtocolError(f"unknown opcode {op}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"frame announces {length} bytes, cap is {MAX_PAYLOAD}")
+    return length, op, request_id
+
+
+def encode_pairs(pairs: Sequence[Tuple[int, int]]) -> bytes:
+    """``OP_QUERY`` payload for a pair workload (u32 vertex ids)."""
+    out = bytearray(_COUNT.pack(len(pairs)))
+    pack = _PAIR.pack
+    try:
+        for u, v in pairs:
+            out += pack(u, v)
+    except struct.error as exc:
+        raise ProtocolError(f"vertex id out of u32 range: {exc}") from None
+    return bytes(out)
+
+
+def decode_pairs(payload: bytes) -> List[Tuple[int, int]]:
+    """Parse an ``OP_QUERY`` payload back into ``(u, v)`` tuples."""
+    if len(payload) < _COUNT.size:
+        raise ProtocolError("query payload shorter than its count field")
+    (count,) = _COUNT.unpack_from(payload, 0)
+    body = memoryview(payload)[_COUNT.size:]
+    if len(body) != count * _PAIR.size:
+        raise ProtocolError(
+            f"query payload announces {count} pairs but carries {len(body)} bytes"
+        )
+    return list(_PAIR.iter_unpack(body))
+
+
+def encode_answers(answers: Sequence[bool]) -> bytes:
+    """``OP_ANSWERS`` payload: count + LSB-first packed answer bits."""
+    count = len(answers)
+    bits = bytearray((count + 7) // 8)
+    for i, a in enumerate(answers):
+        if a:
+            bits[i >> 3] |= 1 << (i & 7)
+    return _COUNT.pack(count) + bytes(bits)
+
+
+def decode_answers(payload: bytes) -> List[bool]:
+    """Parse an ``OP_ANSWERS`` payload back into a bool list."""
+    if len(payload) < _COUNT.size:
+        raise ProtocolError("answers payload shorter than its count field")
+    (count,) = _COUNT.unpack_from(payload, 0)
+    bits = memoryview(payload)[_COUNT.size:]
+    if len(bits) != (count + 7) // 8:
+        raise ProtocolError(
+            f"answers payload announces {count} answers but carries "
+            f"{len(bits)} bit bytes"
+        )
+    return [bool(bits[i >> 3] & (1 << (i & 7))) for i in range(count)]
+
+
+class FrameReader:
+    """Buffered frame parser over a socket (or any ``recv``-alike).
+
+    One ``recv`` may deliver several pipelined frames or a fraction of
+    one; the reader buffers across calls and yields complete frames.
+    ``read_frame`` returns ``None`` on clean EOF and raises
+    :class:`ProtocolError` on garbage.
+    """
+
+    def __init__(self, sock, recv_size: int = 1 << 16) -> None:
+        self._sock = sock
+        self._recv_size = recv_size
+        self._buf = bytearray()
+
+    def read_frame(self) -> Optional[Tuple[int, int, bytes]]:
+        """The next ``(opcode, request_id, payload)``, or ``None`` at EOF."""
+        if not self._fill(HEADER.size):
+            if self._buf:
+                raise ProtocolError("connection closed mid-header")
+            return None
+        length, op, request_id = unpack_header(self._buf)
+        if not self._fill(HEADER.size + length):
+            raise ProtocolError("connection closed mid-frame")
+        payload = bytes(memoryview(self._buf)[HEADER.size:HEADER.size + length])
+        del self._buf[:HEADER.size + length]
+        return op, request_id, payload
+
+    def _fill(self, want: int) -> bool:
+        """Buffer until ``want`` bytes are available; False on EOF first."""
+        while len(self._buf) < want:
+            chunk = self._sock.recv(self._recv_size)
+            if not chunk:
+                return False
+            self._buf += chunk
+        return True
+
+    def pending(self) -> int:
+        """Buffered byte count (diagnostics only)."""
+        return len(self._buf)
+
+
+# ----------------------------------------------------------------------
+# JSON/HTTP fallback
+# ----------------------------------------------------------------------
+def make_http_handler(service, allow_shutdown: bool = True):
+    """An ``http.server`` handler class bound to a query service.
+
+    Routes: ``POST /query`` (JSON pairs in, JSON answers out),
+    ``GET /stats``, ``GET /healthz``, and — when ``allow_shutdown`` —
+    ``POST /shutdown``.  The handler calls the *blocking* service API,
+    so each HTTP connection rides the same cache → batcher → oracle
+    path as a binary client.
+    """
+    from http.server import BaseHTTPRequestHandler
+
+    class ReachHTTPHandler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-reach/2"
+
+        def _send_json(self, doc: dict, status: int = 200) -> None:
+            body = json.dumps(doc).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+            if self.path == "/stats":
+                self._send_json(service.stats())
+            elif self.path == "/healthz":
+                self._send_json({"ok": True})
+            else:
+                self._send_json({"error": f"unknown path {self.path}"}, 404)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+            if self.path == "/shutdown" and allow_shutdown:
+                self._send_json({"ok": True, "shutting_down": True})
+                shutdown = getattr(self.server, "request_shutdown", None)
+                if shutdown is not None:
+                    shutdown()
+                return
+            if self.path != "/query":
+                self._send_json({"error": f"unknown path {self.path}"}, 404)
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                doc = json.loads(self.rfile.read(length) or b"{}")
+                pairs = [(int(u), int(v)) for u, v in doc["pairs"]]
+            except (KeyError, TypeError, ValueError) as exc:
+                self._send_json({"error": f"bad request: {exc!r}"}, 400)
+                return
+            try:
+                answers = service.query_pairs(pairs)
+            except Exception as exc:  # surface, don't kill the thread
+                self._send_json({"error": repr(exc)}, 500)
+                return
+            self._send_json({"count": len(answers), "answers": answers})
+
+        def log_message(self, fmt, *args) -> None:  # quiet by default
+            pass
+
+    return ReachHTTPHandler

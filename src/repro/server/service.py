@@ -1,0 +1,866 @@
+"""The query service: cache → micro-batcher → oracle (or worker pool).
+
+Topology
+--------
+::
+
+    clients ──TCP──▶ ReachServer ──▶ QueryService
+                                        │  cache (sharded LRU)
+                                        │  MicroBatcher (≤ window_s)
+                                        ▼
+                       workers == 0: in-process CompiledOracle
+                       workers  > 0: WorkerPool — N processes, each
+                                     mmap-loading the SAME artifact
+                                     (one physical copy, per PR 3)
+
+Every batch is answered by ``query_batch`` on a compiled oracle (the
+staged vectorized engine underneath), singletons by scalar ``query`` —
+so a served answer is bit-identical to asking the oracle directly.
+
+The worker pool exists for two reasons: CPU parallelism on multicore
+hosts (each worker is a full process, no GIL sharing), and memory
+safety — the artifact's arrays are mapped read-only and shared, so N
+workers cost one physical copy of the index no matter how large it is.
+Task payloads ride the wire codec from :mod:`repro.server.protocol`
+(packed pairs out, packed answer bits back), which keeps the IPC cost
+per *batch* instead of per query — exactly the economics micro-batching
+is there to exploit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket as _socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .batching import Batch, MicroBatcher
+from .cache import ShardedLRUCache
+from . import protocol as proto
+
+__all__ = ["QueryService", "WorkerPool", "ReachServer", "HttpFrontend", "serve_artifact"]
+
+Pair = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+def _worker_main(artifact_path: str, tasks, results) -> None:
+    """Worker process: mmap-load the artifact, answer batches forever.
+
+    Messages in: ``(batch_id, payload)`` with the wire pair encoding,
+    or ``None`` to exit.  Messages out: ``("ready", pid)`` once, then
+    ``("ok", batch_id, payload)`` with packed answer bits or
+    ``("err", batch_id, message)``.
+    """
+    from ..serialization import load_artifact
+
+    oracle = load_artifact(artifact_path, mmap=True)
+    results.put(("ready", os.getpid()))
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        batch_id, payload = task
+        try:
+            pairs = proto.decode_pairs(payload)
+            if len(pairs) == 1:
+                answers = [bool(oracle.query(*pairs[0]))]
+            else:
+                answers = oracle.query_batch(pairs)
+            results.put(("ok", batch_id, proto.encode_answers(answers)))
+        except Exception as exc:  # keep the worker alive; report per batch
+            results.put(("err", batch_id, repr(exc)))
+
+
+class WorkerPool:
+    """N answer processes over one mmap-shared artifact.
+
+    Prefers the ``fork`` start method (instant start, no re-import);
+    falls back to ``spawn`` elsewhere.  The pool is created *before*
+    any server thread starts, so forking is safe.  Dispatch is
+    asynchronous: batches queue to whichever worker frees up first,
+    and a reader thread resolves them, so up to N batches execute
+    concurrently.
+    """
+
+    def __init__(self, artifact_path: str, workers: int, start_timeout: float = 60.0) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        import multiprocessing as mp
+
+        self.artifact_path = str(artifact_path)
+        self.workers = workers
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            ctx = mp.get_context("spawn")
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._lock = threading.Lock()
+        self._pending: Dict[int, Batch] = {}
+        self._next_id = 0
+        self._dispatched = 0
+        self._errors = 0
+        self._closed = False
+        self._reader: Optional[threading.Thread] = None
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(self.artifact_path, self._tasks, self._results),
+                daemon=True,
+                name=f"repro-serve-worker-{i}",
+            )
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        # Block until every worker has its oracle mapped — a server that
+        # accepts traffic before the pool is warm would stall its first
+        # window of batches behind artifact loads.
+        import queue as _queue
+
+        deadline = time.monotonic() + start_timeout
+        ready = 0
+        while ready < workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise RuntimeError(
+                    f"worker pool startup timed out ({ready}/{workers} ready)"
+                )
+            try:
+                # Short slices so a worker that dies loading the
+                # artifact fails the pool immediately instead of
+                # burning the whole start timeout.
+                msg = self._results.get(timeout=min(0.25, remaining))
+            except _queue.Empty:
+                dead = [p for p in self._procs if not p.is_alive()]
+                if not dead:
+                    continue
+                self.close()
+                raise RuntimeError(
+                    f"{len(dead)} worker(s) died loading "
+                    f"{self.artifact_path!r} before reporting ready "
+                    f"({ready}/{workers} ready)"
+                ) from None
+            if msg[0] == "ready":
+                ready += 1
+        self._reader = threading.Thread(
+            target=self._read_results, name="repro-pool-reader", daemon=True
+        )
+        self._reader.start()
+
+    # -- dispatch ------------------------------------------------------
+    def dispatch(self, batch: Batch) -> None:
+        """Queue a batch; the reader thread resolves it on completion."""
+        payload = proto.encode_pairs(batch.pairs)
+        with self._lock:
+            if self._closed:
+                batch.fail(RuntimeError("worker pool closed"))
+                return
+            batch_id = self._next_id
+            self._next_id += 1
+            self._pending[batch_id] = batch
+            self._dispatched += 1
+        self._tasks.put((batch_id, payload))
+
+    def _read_results(self) -> None:
+        while True:
+            msg = self._results.get()
+            if msg is None:
+                return
+            kind, batch_id, payload = msg
+            with self._lock:
+                batch = self._pending.pop(batch_id, None)
+            if batch is None:  # late reply after close; nothing waits
+                continue
+            if kind == "ok":
+                batch.resolve(proto.decode_answers(payload))
+            else:
+                with self._lock:
+                    self._errors += 1
+                batch.fail(RuntimeError(f"worker failed: {payload}"))
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop workers and the reader; fail anything still pending."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for batch in pending:
+            batch.fail(RuntimeError("worker pool closed"))
+        for _ in self._procs:
+            self._tasks.put(None)
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        if self._reader is not None:
+            self._results.put(None)
+            self._reader.join(timeout=timeout)
+        self._tasks.close()
+        self._results.close()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "dispatched_batches": self._dispatched,
+                "in_flight": len(self._pending),
+                "worker_errors": self._errors,
+            }
+
+
+# ----------------------------------------------------------------------
+# Query service
+# ----------------------------------------------------------------------
+def _oracle_bound(oracle) -> int:
+    """The exclusive vertex-id bound the oracle accepts."""
+    original = getattr(oracle, "original", None)
+    if original is not None:  # build-mode facade
+        return original.n
+    condensation = getattr(oracle, "condensation", None)
+    if condensation is not None:  # serve-mode facade: comp maps originals
+        return len(condensation.comp)
+    n = getattr(oracle, "n", None)  # compiled method oracle
+    if isinstance(n, int):
+        return n
+    raise TypeError(f"cannot infer vertex bound of {type(oracle).__name__}")
+
+
+class QueryService:
+    """Cache → batcher → oracle; the answer path shared by all frontends.
+
+    Exactly one of ``artifact_path`` / ``oracle`` picks the answer
+    source.  With ``workers == 0`` the oracle runs in-process (loading
+    the artifact if only a path was given); with ``workers > 0`` the
+    service needs ``artifact_path`` so every worker process can
+    mmap-load the same file.
+
+    ``window_s`` is the micro-batching window (0 disables coalescing),
+    ``cache_size`` the LRU entry budget (0 disables the cache).
+    """
+
+    def __init__(
+        self,
+        artifact_path: Optional[str] = None,
+        oracle=None,
+        *,
+        workers: int = 0,
+        window_s: float = 0.001,
+        max_batch: int = 65536,
+        cache_size: int = 65536,
+        cache_shards: int = 8,
+    ) -> None:
+        if (artifact_path is None) == (oracle is None):
+            raise ValueError("pass exactly one of artifact_path / oracle")
+        if workers > 0 and artifact_path is None:
+            raise ValueError(
+                "worker processes mmap-load the artifact themselves; "
+                "serving a live oracle requires workers=0 (or save it "
+                "to an artifact first)"
+            )
+        self.artifact_path = None if artifact_path is None else str(artifact_path)
+        self.workers = workers
+        self.window_s = window_s
+        self.cache = ShardedLRUCache(cache_size, shards=cache_shards)
+        self._oracle = oracle
+        self._pool: Optional[WorkerPool] = None
+        self._batcher = MicroBatcher(self._route, window_s=window_s, max_batch=max_batch)
+        self._started = False
+        self._closed = False
+        self._started_at: Optional[float] = None
+        self._stat_lock = threading.Lock()
+        self._requests = 0
+        self._pairs_in = 0
+        self._singles = 0
+        self._bound: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "QueryService":
+        if self._started:
+            return self
+        if self.workers > 0:
+            self._pool = WorkerPool(self.artifact_path, self.workers)
+        elif self._oracle is None:
+            from ..serialization import load_artifact
+
+            self._oracle = load_artifact(self.artifact_path, mmap=True)
+        if self._oracle is not None:
+            self._bound = _oracle_bound(self._oracle)
+        else:
+            # Workers own the oracle; read the bound from the header.
+            from ..serialization import artifact_info
+
+            meta = artifact_info(self.artifact_path)["meta"]
+            self._bound = int(meta.get("original_n") or meta.get("n"))
+        self._batcher.start()
+        self._started = True
+        self._started_at = time.monotonic()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the answer path -----------------------------------------------
+    def _route(self, batch: Batch) -> None:
+        """Batcher dispatch target: pool when present, else in-process."""
+        if batch.singleton:
+            with self._stat_lock:
+                self._singles += 1
+        if self._pool is not None:
+            self._pool.dispatch(batch)
+            return
+        try:
+            if batch.singleton:
+                u, v = batch.pairs[0]
+                answers = [bool(self._oracle.query(u, v))]
+            else:
+                answers = self._oracle.query_batch(batch.pairs)
+        except Exception as exc:
+            batch.fail(exc)
+            return
+        batch.resolve(answers)
+
+    def query_pairs_async(
+        self,
+        pairs: Sequence[Pair],
+        callback: Callable[[Optional[List[bool]], Optional[BaseException]], None],
+    ) -> None:
+        """Answer a request without blocking the calling thread.
+
+        ``callback(answers, error)`` fires exactly once — synchronously
+        when the cache covers everything, otherwise from whichever
+        thread resolves the batch.
+        """
+        if not self._started:
+            raise RuntimeError("QueryService.start() has not been called")
+        flush = getattr(callback, "flush_writer", None)
+        bound = self._bound
+        for u, v in pairs:
+            if not (0 <= u < bound and 0 <= v < bound):
+                callback(
+                    None,
+                    ValueError(
+                        f"vertex pair ({u}, {v}) out of range for n={bound}"
+                    ),
+                )
+                if flush is not None:
+                    flush()
+                return
+        with self._stat_lock:
+            self._requests += 1
+            self._pairs_in += len(pairs)
+        cached, missing = self.cache.get_many(pairs)
+        if not missing:
+            callback([bool(a) for a in cached], None)
+            if flush is not None:
+                flush()
+            return
+        missing_pairs = [pairs[i] for i in missing]
+
+        def on_done(req) -> None:
+            if req.error is not None:
+                callback(None, req.error)
+                return
+            self.cache.put_many(missing_pairs, req.answers)
+            for slot, answer in zip(missing, req.answers):
+                cached[slot] = answer
+            callback([bool(a) for a in cached], None)
+
+        if flush is not None:
+            # A buffering callback (TCP front end): the batch flushes
+            # each distinct writer once after scattering every answer.
+            on_done.flush_writer = flush
+        self._batcher.submit_async(missing_pairs, on_done)
+
+    def query_pairs(self, pairs: Sequence[Pair]) -> List[bool]:
+        """Blocking :meth:`query_pairs_async` (HTTP and test path)."""
+        done = threading.Event()
+        box: List[object] = [None, None]
+
+        def callback(answers, error) -> None:
+            box[0], box[1] = answers, error
+            done.set()
+
+        self.query_pairs_async(pairs, callback)
+        done.wait()
+        if box[1] is not None:
+            raise box[1]
+        return box[0]
+
+    def query(self, u: int, v: int) -> bool:
+        """One blocking scalar query through the full service path."""
+        return self.query_pairs([(u, v)])[0]
+
+    # -- stats ---------------------------------------------------------
+    def stats(self) -> dict:
+        with self._stat_lock:
+            requests, pairs_in, singles = self._requests, self._pairs_in, self._singles
+        doc = {
+            "artifact": self.artifact_path,
+            "workers": self.workers,
+            "n": self._bound,
+            "uptime_s": (
+                time.monotonic() - self._started_at if self._started_at else 0.0
+            ),
+            "requests": requests,
+            "pairs": pairs_in,
+            "single_dispatches": singles,
+            "cache": self.cache.stats(),
+            "batcher": self._batcher.stats(),
+        }
+        if self._pool is not None:
+            doc["pool"] = self._pool.stats()
+        if self._oracle is not None and hasattr(self._oracle, "stats"):
+            try:
+                doc["oracle"] = self._oracle.stats()
+            except Exception:  # pragma: no cover - stats must never fail serving
+                pass
+        return doc
+
+
+# ----------------------------------------------------------------------
+# TCP front end
+# ----------------------------------------------------------------------
+def _is_loopback(host: str) -> bool:
+    """Whether a bind host only reaches local clients."""
+    return host in ("127.0.0.1", "localhost", "::1") or host.startswith("127.")
+
+
+class _ConnWriter:
+    """Per-connection response writer that batches frames per flush.
+
+    Query completions *queue* frames; one :meth:`flush` per
+    (batch, connection) concatenates and writes them — one syscall for
+    a whole micro-batch of responses instead of one per request.
+    Control replies (ping, stats, errors) use :meth:`send_now`.
+    """
+
+    __slots__ = ("_conn", "_frames", "_buf_lock", "_send_lock", "_dead")
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+        self._frames: List[bytes] = []
+        self._buf_lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._dead = False
+
+    def queue(self, op: int, request_id: int, payload: bytes = b"") -> None:
+        frame = proto.pack_frame(op, request_id, payload)
+        with self._buf_lock:
+            if not self._dead:
+                self._frames.append(frame)
+
+    def flush(self) -> None:
+        with self._buf_lock:
+            if self._dead or not self._frames:
+                return
+            data = b"".join(self._frames)
+            self._frames.clear()
+        try:
+            with self._send_lock:
+                self._conn.sendall(data)
+        except OSError:
+            # A failed/timed-out sendall may have written PART of a
+            # frame; anything sent afterwards would be parsed mid-frame
+            # by the client.  The stream is unrecoverable: mark the
+            # writer dead and drop the connection (the reader thread
+            # wakes from recv() and cleans up).
+            with self._buf_lock:
+                self._dead = True
+                self._frames.clear()
+            try:
+                self._conn.shutdown(_socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def send_now(self, op: int, request_id: int, payload: bytes = b"") -> None:
+        self.queue(op, request_id, payload)
+        self.flush()
+
+
+class ReachServer:
+    """Threaded TCP server speaking the binary frame protocol.
+
+    One reader thread per connection; responses are written from
+    whichever thread resolves the batch (a per-connection lock keeps
+    frames whole), so a pipelining client gets true request
+    concurrency — which is what feeds the micro-batcher.
+
+    ``port=0`` binds an ephemeral port (see :attr:`address`).
+    ``allow_shutdown`` honours the ``OP_SHUTDOWN`` frame.  The frame is
+    unauthenticated, so the default (``None``) enables it only when
+    ``host`` is loopback; binding other interfaces disables it unless a
+    caller passes ``True`` explicitly.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        allow_shutdown: Optional[bool] = None,
+        backlog: int = 128,
+        owns_service: bool = False,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        if allow_shutdown is None:
+            allow_shutdown = _is_loopback(host)
+        self.allow_shutdown = allow_shutdown
+        self.backlog = backlog
+        self._owns_service = owns_service
+        self._listener = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_lock = threading.Lock()
+        self._conns: List[object] = []
+        self._conn_threads: List[threading.Thread] = []
+        self._done = threading.Event()
+        self._closed = False
+        self._connections_total = 0
+        #: Files the server owns and deletes on close (e.g. the temp
+        #: artifact a build-mode facade saved for its worker pool).
+        self.cleanup_paths: List[str] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ReachServer":
+        # Resolve the bind family from the host ('::1' needs AF_INET6).
+        family, socktype, protocol, _cname, addr = _socket.getaddrinfo(
+            self.host, self.port, type=_socket.SOCK_STREAM
+        )[0]
+        sock = _socket.socket(family, socktype, protocol)
+        sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_REUSEADDR, 1)
+        sock.bind(addr)
+        sock.listen(self.backlog)
+        self._listener = sock
+        self.port = sock.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server closes; True if it did."""
+        return self._done.wait(timeout)
+
+    def close(self) -> None:
+        """Stop accepting, drop connections, join threads."""
+        with self._conn_lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns = list(self._conns)
+            threads = list(self._conn_threads)
+        if self._listener is not None:
+            # shutdown() is what actually wakes a thread blocked in
+            # accept(); close() alone leaves it sleeping on Linux.
+            try:
+                self._listener.shutdown(_socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        for conn in conns:
+            # Same shutdown-then-close dance as the listener: close()
+            # alone leaves a thread blocked in recv() sleeping forever.
+            try:
+                conn.shutdown(_socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        current = threading.current_thread()
+        if self._accept_thread is not None and self._accept_thread is not current:
+            self._accept_thread.join(timeout=5.0)
+        for thread in threads:
+            if thread is not current:
+                thread.join(timeout=5.0)
+        if self._owns_service:
+            self.service.close()
+        for path in self.cleanup_paths:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._done.set()
+
+    def __enter__(self) -> "ReachServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- connection handling -------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:  # listener closed
+                return
+            conn.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+            # A send timeout (send only — recv must keep blocking for
+            # idle keep-alive clients) so one client that stops reading
+            # cannot park the shared resolver thread in sendall()
+            # forever and head-of-line-block every other connection.
+            try:
+                import struct as _struct
+
+                conn.setsockopt(
+                    _socket.SOL_SOCKET,
+                    _socket.SO_SNDTIMEO,
+                    _struct.pack("ll", 30, 0),
+                )
+            except (AttributeError, OSError):  # pragma: no cover
+                pass  # platform without SO_SNDTIMEO: degrade gracefully
+            with self._conn_lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._conns.append(conn)
+                self._connections_total += 1
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    name="repro-server-conn",
+                    daemon=True,
+                )
+                self._conn_threads.append(thread)
+                # Start under the lock: close() must never snapshot a
+                # registered-but-unstarted thread (join would raise and
+                # abort shutdown half-done).
+                thread.start()
+
+    def _serve_connection(self, conn) -> None:
+        reader = proto.FrameReader(conn)
+        writer = _ConnWriter(conn)
+        send = writer.send_now
+        try:
+            while True:
+                try:
+                    frame = reader.read_frame()
+                except proto.ProtocolError as exc:
+                    send(
+                        proto.OP_ERROR,
+                        proto.CONNECTION_ERROR_ID,
+                        repr(exc).encode("utf-8"),
+                    )
+                    return
+                except OSError:
+                    return
+                if frame is None:
+                    return
+                op, request_id, payload = frame
+                if op == proto.OP_QUERY:
+                    self._handle_query(request_id, payload, writer)
+                elif op == proto.OP_PING:
+                    send(proto.OP_PONG, request_id)
+                elif op == proto.OP_STATS:
+                    doc = dict(self.service.stats())
+                    doc["connections_total"] = self._connections_total
+                    send(
+                        proto.OP_STATS_REPLY,
+                        request_id,
+                        json.dumps(doc).encode("utf-8"),
+                    )
+                elif op == proto.OP_SHUTDOWN:
+                    if self.allow_shutdown:
+                        send(proto.OP_PONG, request_id)
+                        self.close()
+                        return
+                    send(
+                        proto.OP_ERROR,
+                        request_id,
+                        b"shutdown disabled on this server",
+                    )
+                else:
+                    send(
+                        proto.OP_ERROR,
+                        request_id,
+                        f"unexpected opcode {op}".encode("utf-8"),
+                    )
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            current = threading.current_thread()
+            with self._conn_lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+                # Drop the finished thread's bookkeeping too, or a
+                # long-lived server grows a list of dead threads (one
+                # per connection ever accepted).
+                if current in self._conn_threads:
+                    self._conn_threads.remove(current)
+
+    def _handle_query(self, request_id: int, payload: bytes, writer) -> None:
+        try:
+            pairs = proto.decode_pairs(payload)
+        except proto.ProtocolError as exc:
+            writer.send_now(proto.OP_ERROR, request_id, repr(exc).encode("utf-8"))
+            return
+
+        def on_answers(answers, error) -> None:
+            if error is not None:
+                writer.queue(
+                    proto.OP_ERROR, request_id, repr(error).encode("utf-8")
+                )
+            else:
+                writer.queue(
+                    proto.OP_ANSWERS, request_id, proto.encode_answers(answers)
+                )
+
+        # Completions only queue; the batch (or the service's
+        # synchronous paths) flushes each connection once per batch.
+        on_answers.flush_writer = writer.flush
+        self.service.query_pairs_async(pairs, on_answers)
+
+
+# ----------------------------------------------------------------------
+# HTTP front end (JSON fallback)
+# ----------------------------------------------------------------------
+class HttpFrontend:
+    """The stdlib JSON/HTTP fallback mounted on the same service.
+
+    ``on_shutdown`` is what a ``POST /shutdown`` actually stops.  It
+    defaults to closing just this frontend; a deployment that mounts
+    HTTP next to a :class:`ReachServer` (the CLI does) passes the whole
+    server's ``close`` so the documented shutdown route takes the
+    entire service down, exactly like the binary ``OP_SHUTDOWN``.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        allow_shutdown: bool = True,
+        on_shutdown: Optional[Callable[[], None]] = None,
+    ) -> None:
+        from http.server import ThreadingHTTPServer
+
+        handler = proto.make_http_handler(service, allow_shutdown=allow_shutdown)
+        family = _socket.getaddrinfo(host, port, type=_socket.SOCK_STREAM)[0][0]
+        server_cls = ThreadingHTTPServer
+        if family != ThreadingHTTPServer.address_family:
+            server_cls = type(
+                "ReachHTTPServer", (ThreadingHTTPServer,), {"address_family": family}
+            )
+        self._httpd = server_cls((host, port), handler)
+        self._on_shutdown = on_shutdown
+        self._httpd.request_shutdown = self.close_async
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    def start(self) -> "HttpFrontend":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-server-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def close_async(self) -> None:
+        """Run the shutdown target without blocking the handler thread."""
+        target = self._on_shutdown or self.close
+        threading.Thread(target=target, daemon=True).start()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+# ----------------------------------------------------------------------
+# Convenience entry point
+# ----------------------------------------------------------------------
+def serve_artifact(
+    artifact_path: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    workers: int = 0,
+    window_s: float = 0.001,
+    max_batch: int = 65536,
+    cache_size: int = 65536,
+    allow_shutdown: Optional[bool] = None,
+) -> ReachServer:
+    """Start a TCP server over a saved artifact; returns the running server.
+
+    The one-call deployment path::
+
+        server = serve_artifact("kegg.rpro", port=7431, workers=4)
+        server.wait()
+
+    The returned server owns its :class:`QueryService` — ``close()``
+    (or a client's ``OP_SHUTDOWN``) tears down the pool as well.
+    ``allow_shutdown=None`` (default) honours the unauthenticated
+    shutdown frame only on loopback hosts.
+    """
+    service = QueryService(
+        artifact_path,
+        workers=workers,
+        window_s=window_s,
+        max_batch=max_batch,
+        cache_size=cache_size,
+    ).start()
+    try:
+        return ReachServer(
+            service,
+            host,
+            port,
+            allow_shutdown=allow_shutdown,
+            owns_service=True,
+        ).start()
+    except BaseException:
+        service.close()
+        raise

@@ -1,0 +1,35 @@
+"""Small shared statistics helpers (no dependencies, no state).
+
+Lives at the package root because both the bench harness (direct-mode
+per-query latency percentiles) and the server's load generator report
+latency shapes — neither layer should import the other for a pure
+function.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+__all__ = ["percentiles"]
+
+
+def percentiles(
+    samples: Sequence[float], pcts: Sequence[float] = (50.0, 95.0, 99.0)
+) -> Dict[str, float]:
+    """Nearest-rank percentiles as ``{"p50": ..., "p95": ..., ...}``.
+
+    Nearest-rank is ``ceil(p/100 * N)`` (1-based) — ``round()`` would
+    ride Python's half-to-even rule and report a p50 one rank below
+    the median on odd counts.  Empty input yields an empty dict
+    (callers render "no data" rather than a fake zero).
+    """
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    out: Dict[str, float] = {}
+    last = len(ordered) - 1
+    for pct in pcts:
+        rank = min(last, max(0, math.ceil(pct / 100.0 * len(ordered)) - 1))
+        out[f"p{pct:g}"] = ordered[rank]
+    return out

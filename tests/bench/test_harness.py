@@ -138,3 +138,66 @@ class TestThroughArtifact:
         g = random_dag(40, 90, seed=11)
         r = run_dataset("adhoc", ["GL"], queries=100, query_repeats=1, graph=g)[0]
         assert r.artifact_bytes is None and r.load_s is None
+
+
+class TestQueryPercentiles:
+    """Every query mode reports p50/p95/p99, not just batch means."""
+
+    def test_direct_mode_reports_scalar_percentiles(self, small_graph):
+        wl = prepare_workloads(small_graph, ["equal", "random"], 50)
+        r = MethodRun("DL").execute("test", small_graph, wl)
+        assert set(r.query_percentiles) == {"equal", "random"}
+        for pct in r.query_percentiles.values():
+            assert set(pct) == {"p50_us", "p95_us", "p99_us"}
+            assert 0 < pct["p50_us"] <= pct["p95_us"] <= pct["p99_us"]
+
+    def test_through_artifact_mode_reports_percentiles(self, small_graph):
+        wl = prepare_workloads(small_graph, ["equal"], 40)
+        r = MethodRun("DL", through_artifact=True).execute(
+            "test", small_graph, wl
+        )
+        assert r.ok
+        assert "p95_us" in r.query_percentiles["equal"]
+
+    def test_empty_workload_has_no_percentiles(self, small_graph):
+        from repro.datasets.workloads import Workload
+
+        r = MethodRun("DL").execute("test", small_graph, [Workload("equal", [])])
+        assert r.query_ms["equal"] == 0.0
+        assert "equal" not in r.query_percentiles
+
+
+class TestThroughServer:
+    def test_through_server_reports_qps_and_latency(self, small_graph):
+        wl = prepare_workloads(small_graph, ["equal"], 60)
+        direct = MethodRun("DL").execute("test", small_graph, wl)
+        r = MethodRun("DL", through_server=True).execute(
+            "test", small_graph, wl
+        )
+        assert r.ok, r.error
+        assert r.server_qps["equal"] > 0
+        assert r.query_ms["equal"] > 0
+        pct = r.query_percentiles["equal"]
+        assert 0 < pct["p50_us"] <= pct["p99_us"]
+        # answers served over TCP match the direct run bit for bit
+        assert r.correct_positive_rate == direct.correct_positive_rate
+
+    def test_through_server_with_worker_processes(self, small_graph):
+        wl = prepare_workloads(small_graph, ["equal"], 60)
+        direct = MethodRun("DL").execute("test", small_graph, wl)
+        r = MethodRun(
+            "DL", through_server=True, server_workers=1
+        ).execute("test", small_graph, wl)
+        assert r.ok, r.error
+        assert r.correct_positive_rate == direct.correct_positive_rate
+
+    def test_run_dataset_through_server(self, small_graph):
+        results = run_dataset(
+            "x",
+            ["DL"],
+            queries=40,
+            graph=small_graph,
+            through_server=True,
+        )
+        assert results[0].ok
+        assert results[0].server_qps["equal"] > 0

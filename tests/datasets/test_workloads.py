@@ -70,6 +70,85 @@ class TestEqualWorkload:
         assert len(wl) > 0  # negatives still generated
 
 
+class TestEqualWorkloadInfeasible:
+    """Tiny / degenerate graphs where a 50/50 split cannot exist.
+
+    The generator must terminate (bounded rejection sampling), never
+    fabricate wrong answers, and degrade by *shrinking* the workload
+    rather than looping or raising.
+    """
+
+    def test_single_vertex_graph_terminates_empty(self):
+        # No u != v pair exists at all: positives unsampleable,
+        # negative rejection sampling exhausts its attempt budget.
+        g = DiGraph(1).freeze()
+        wl = equal_workload(g, 10, seed=1)
+        assert wl.positives == 0
+        assert wl.pairs == []
+
+    def test_two_vertex_single_edge_cannot_reach_half_positives(self):
+        # Only (0, 1) is positive, only (1, 0) negative; both get
+        # sampled with repetition, so the count is met but every pair
+        # is one of the two legal ones.
+        g = DiGraph.from_edges(2, [(0, 1)])
+        wl = equal_workload(g, 20, seed=2)
+        assert set(wl.pairs) <= {(0, 1), (1, 0)}
+        positives = sum(1 for p in wl.pairs if p == (0, 1))
+        assert positives == wl.positives
+
+    def test_odd_count_still_terminates(self):
+        g = random_dag(30, 70, seed=3)
+        wl = equal_workload(g, 7, seed=4)
+        assert 0 < len(wl) <= 7
+
+    def test_all_answers_verified_on_tiny_graphs(self):
+        # Whatever the degenerate shape produced, the positive metadata
+        # must match ground truth exactly.
+        for n, edges in [(1, []), (2, [(0, 1)]), (3, [(0, 1), (1, 2)])]:
+            g = DiGraph.from_edges(n, edges)
+            wl = equal_workload(g, 12, seed=5)
+            truth = OnlineBFS(g)
+            assert sum(1 for u, v in wl if truth.query(u, v)) == wl.positives
+
+
+class TestEqualWorkloadFullyConnected:
+    """Rejection sampling on complete DAGs (every u < v an edge).
+
+    Half the ordered pairs are positive (u before v) and half negative
+    (the reversals), so both samplers must converge quickly — the
+    failure mode being guarded is the rejection loop mistaking "dense"
+    for "impossible" or vice versa.
+    """
+
+    @staticmethod
+    def _complete_dag(n):
+        return DiGraph.from_edges(
+            n, [(u, v) for u in range(n) for v in range(u + 1, n)]
+        )
+
+    def test_complete_dag_yields_balanced_workload(self):
+        g = self._complete_dag(12)
+        wl = equal_workload(g, 60, seed=6)
+        assert len(wl) == 60
+        assert 0.4 <= wl.positives / len(wl) <= 0.6
+
+    def test_complete_dag_negatives_are_reversals(self):
+        g = self._complete_dag(10)
+        wl = equal_workload(g, 40, seed=7)
+        truth = OnlineBFS(g)
+        for u, v in wl.pairs:
+            assert truth.query(u, v) == (u < v)
+
+    def test_complete_dag_above_tc_threshold_uses_bfs_sampler(self):
+        # Force the large-graph path: positives come from bounded BFS,
+        # negatives still from rejection sampling against the oracle.
+        g = self._complete_dag(14)
+        wl = equal_workload(g, 30, seed=8, exact_tc_threshold=4)
+        truth = OnlineBFS(g)
+        assert sum(1 for u, v in wl if truth.query(u, v)) == wl.positives
+        assert wl.positives > 0
+
+
 class TestBfsPositiveSampler:
     def test_cap_limits_exploration(self):
         from repro.datasets.workloads import _bfs_positive_sample

@@ -1,0 +1,178 @@
+"""Tests for the micro-batching front end."""
+
+import threading
+import time
+
+import pytest
+
+from repro.server.batching import Batch, MicroBatcher, QueryRequest
+
+
+class _RecordingDispatch:
+    """A dispatch target that logs every batch and answers True."""
+
+    def __init__(self, delay_s: float = 0.0, fail_with=None):
+        self.batches = []
+        self.delay_s = delay_s
+        self.fail_with = fail_with
+        self.lock = threading.Lock()
+
+    def __call__(self, batch: Batch) -> None:
+        with self.lock:
+            self.batches.append(batch)
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        if self.fail_with is not None:
+            batch.fail(self.fail_with)
+        else:
+            batch.resolve([True] * len(batch.pairs))
+
+
+class TestBatchContainer:
+    def test_concatenation_and_scatter(self):
+        reqs = [
+            QueryRequest([(0, 1), (2, 3)], None),
+            QueryRequest([(4, 5)], None),
+        ]
+        batch = Batch(reqs)
+        assert batch.pairs == [(0, 1), (2, 3), (4, 5)]
+        batch.resolve([True, False, True])
+        assert reqs[0].answers == [True, False]
+        assert reqs[1].answers == [True]
+
+    def test_singleton_flag(self):
+        assert Batch([QueryRequest([(1, 2)], None)]).singleton
+        assert not Batch([QueryRequest([(1, 2), (3, 4)], None)]).singleton
+        assert not Batch(
+            [QueryRequest([(1, 2)], None), QueryRequest([(3, 4)], None)]
+        ).singleton
+
+    def test_answer_count_mismatch_fails_requests(self):
+        req = QueryRequest([(0, 1)], None)
+        Batch([req]).resolve([True, False])
+        assert isinstance(req.error, RuntimeError)
+
+
+class TestCoalescing:
+    def test_concurrent_submits_merge_into_one_batch(self):
+        dispatch = _RecordingDispatch()
+        batcher = MicroBatcher(dispatch, window_s=0.05).start()
+        try:
+            results = {}
+            threads = [
+                threading.Thread(
+                    target=lambda i=i: results.__setitem__(
+                        i, batcher.submit([(i, i + 1)])
+                    )
+                )
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(results[i] == [True] for i in range(8))
+            # All 8 requests arrived within the 50 ms window: they must
+            # have coalesced into very few batches (1 in practice; the
+            # first may dispatch alone if the window opened early).
+            assert len(dispatch.batches) <= 2
+            assert sum(len(b.pairs) for b in dispatch.batches) == 8
+            stats = batcher.stats()
+            assert stats["coalesced_batches"] >= 1
+            assert stats["mean_batch_pairs"] >= 4
+        finally:
+            batcher.close()
+
+    def test_lone_request_is_singleton_batch(self):
+        dispatch = _RecordingDispatch()
+        batcher = MicroBatcher(dispatch, window_s=0.005).start()
+        try:
+            assert batcher.submit([(3, 4)]) == [True]
+            assert len(dispatch.batches) == 1
+            assert dispatch.batches[0].singleton
+        finally:
+            batcher.close()
+
+    def test_max_batch_splits_oversized_windows(self):
+        dispatch = _RecordingDispatch()
+        batcher = MicroBatcher(dispatch, window_s=0.05, max_batch=3).start()
+        try:
+            threads = [
+                threading.Thread(
+                    target=lambda i=i: batcher.submit([(i, 0), (i, 1)])
+                )
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sum(len(b.pairs) for b in dispatch.batches) == 8
+            # 2 pairs per request, cap 3 -> no batch may merge two
+            # requests (4 > 3), so every batch holds exactly one.
+            assert all(len(b.pairs) <= 3 for b in dispatch.batches)
+        finally:
+            batcher.close()
+
+    def test_empty_request_completes_without_dispatch(self):
+        dispatch = _RecordingDispatch()
+        batcher = MicroBatcher(dispatch, window_s=0.005).start()
+        try:
+            assert batcher.submit([]) == []
+            assert dispatch.batches == []
+        finally:
+            batcher.close()
+
+
+class TestPassThrough:
+    def test_zero_window_dispatches_synchronously(self):
+        dispatch = _RecordingDispatch()
+        batcher = MicroBatcher(dispatch, window_s=0.0).start()
+        try:
+            assert batcher.submit([(1, 2)]) == [True]
+            assert batcher.submit([(3, 4), (5, 6)]) == [True, True]
+            # No coalescing: one batch per request, same thread.
+            assert len(dispatch.batches) == 2
+        finally:
+            batcher.close()
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: None, window_s=-0.001)
+
+
+class TestErrors:
+    def test_dispatch_failure_propagates_to_submitter(self):
+        boom = ValueError("oracle exploded")
+        batcher = MicroBatcher(
+            _RecordingDispatch(fail_with=boom), window_s=0.005
+        ).start()
+        try:
+            with pytest.raises(ValueError, match="oracle exploded"):
+                batcher.submit([(1, 2)])
+        finally:
+            batcher.close()
+
+    def test_submit_after_close_fails_cleanly(self):
+        batcher = MicroBatcher(_RecordingDispatch(), window_s=0.005).start()
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit([(1, 2)])
+
+    def test_close_fails_pending_requests(self):
+        slow = _RecordingDispatch(delay_s=0.2)
+        batcher = MicroBatcher(slow, window_s=10.0).start()  # huge window
+        errors = []
+
+        def submitter():
+            try:
+                batcher.submit([(1, 2)])
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=submitter)
+        t.start()
+        time.sleep(0.05)  # request is pending inside the open window
+        batcher.close()
+        t.join(5)
+        assert len(errors) == 1

@@ -1,0 +1,105 @@
+"""Tests for the client and the open/closed-loop load generator."""
+
+import random
+
+import pytest
+
+from repro.facade import Reachability
+from repro.graph.generators import random_dag
+from repro.serialization import load_artifact
+from repro.server import percentiles, run_load, serve_artifact
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    g = random_dag(100, 260, seed=31)
+    reach = Reachability(g, "DL")
+    path = str(tmp_path_factory.mktemp("load") / "g.rpro")
+    reach.save(path)
+    direct = load_artifact(path)
+    rng = random.Random(32)
+    pairs = [(rng.randrange(g.n), rng.randrange(g.n)) for _ in range(240)]
+    expected = [bool(a) for a in direct.query_batch(pairs)]
+    server = serve_artifact(path, cache_size=0)
+    yield server, pairs, expected
+    server.close()
+
+
+class TestPercentiles:
+    def test_known_distribution(self):
+        samples = list(range(1, 101))  # 1..100
+        pct = percentiles(samples)
+        assert pct["p50"] == 50
+        assert pct["p95"] == 95
+        assert pct["p99"] == 99
+
+    def test_empty_and_single(self):
+        assert percentiles([]) == {}
+        pct = percentiles([7.0])
+        assert pct == {"p50": 7.0, "p95": 7.0, "p99": 7.0}
+
+    def test_odd_count_median_is_true_median(self):
+        # nearest-rank, not banker's rounding: p50 of 5 samples is the
+        # 3rd ordered value
+        assert percentiles([5, 4, 3, 2, 1])["p50"] == 3
+
+
+class TestClosedLoop:
+    def test_answers_in_workload_order(self, served):
+        server, pairs, expected = served
+        report = run_load(*server.address, pairs, connections=3, pipeline=8)
+        assert report.errors == 0, report.first_error
+        assert report.answers == expected
+        assert report.total_pairs == len(pairs)
+        assert report.qps > 0
+        assert report.positives == sum(expected)
+
+    def test_latency_percentiles_present_and_ordered(self, served):
+        server, pairs, _expected = served
+        report = run_load(*server.address, pairs, connections=2, pipeline=16)
+        lat = report.latency_ms
+        assert set(lat) == {"p50", "p95", "p99"}
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"]
+        assert "q/s" in report.summary()
+
+    def test_multi_pair_requests(self, served):
+        server, pairs, expected = served
+        report = run_load(
+            *server.address, pairs, connections=2, pairs_per_request=7
+        )
+        assert report.errors == 0
+        assert report.answers == expected
+        assert report.total_requests == (len(pairs) + 6) // 7
+
+
+class TestOpenLoop:
+    def test_fixed_rate_run(self, served):
+        server, pairs, expected = served
+        report = run_load(
+            *server.address,
+            pairs[:100],
+            mode="open",
+            rate=4000,
+            connections=2,
+        )
+        assert report.errors == 0, report.first_error
+        assert report.answers == expected[:100]
+        # 100 requests at 4000/s should take about 25 ms; allow wild
+        # scheduler noise but catch a broken pacing loop (instant or
+        # minutes-long runs).
+        assert 0.01 <= report.wall_s <= 5.0
+
+    def test_open_loop_requires_rate(self, served):
+        server, pairs, _expected = served
+        with pytest.raises(ValueError, match="rate"):
+            run_load(*server.address, pairs, mode="open")
+
+    def test_unknown_mode_rejected(self, served):
+        server, pairs, _expected = served
+        with pytest.raises(ValueError, match="mode"):
+            run_load(*server.address, pairs, mode="sideways")
+
+    def test_empty_workload_rejected(self, served):
+        server, _pairs, _expected = served
+        with pytest.raises(ValueError, match="empty"):
+            run_load(*server.address, [])

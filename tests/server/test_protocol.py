@@ -1,0 +1,149 @@
+"""Tests for the binary wire protocol codec and frame reader."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.server import protocol as proto
+
+
+class TestFrames:
+    def test_pack_unpack_header_round_trip(self):
+        frame = proto.pack_frame(proto.OP_QUERY, 42, b"abc")
+        length, op, request_id = proto.unpack_header(frame)
+        assert (length, op, request_id) == (3, proto.OP_QUERY, 42)
+        assert frame[proto.HEADER.size:] == b"abc"
+
+    def test_request_id_is_u64(self):
+        big = (1 << 64) - 1
+        frame = proto.pack_frame(proto.OP_PING, big)
+        assert proto.unpack_header(frame)[2] == big
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.pack_frame(99, 0)
+        bad = proto.HEADER.pack(0, 99, 0)
+        with pytest.raises(proto.ProtocolError):
+            proto.unpack_header(bad)
+
+    def test_oversized_length_rejected(self):
+        bad = proto.HEADER.pack(proto.MAX_PAYLOAD + 1, proto.OP_QUERY, 0)
+        with pytest.raises(proto.ProtocolError):
+            proto.unpack_header(bad)
+
+
+class TestPairCodec:
+    def test_round_trip(self):
+        pairs = [(0, 1), (5, 5), (2**32 - 1, 7)]
+        assert proto.decode_pairs(proto.encode_pairs(pairs)) == pairs
+
+    def test_empty(self):
+        assert proto.decode_pairs(proto.encode_pairs([])) == []
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.encode_pairs([(2**32, 0)])
+        with pytest.raises(proto.ProtocolError):
+            proto.encode_pairs([(-1, 0)])
+
+    def test_truncated_payload_rejected(self):
+        payload = proto.encode_pairs([(1, 2), (3, 4)])
+        with pytest.raises(proto.ProtocolError):
+            proto.decode_pairs(payload[:-1])
+        with pytest.raises(proto.ProtocolError):
+            proto.decode_pairs(b"\x01")
+
+
+class TestAnswerCodec:
+    @pytest.mark.parametrize("count", [0, 1, 7, 8, 9, 64, 100])
+    def test_round_trip_all_lengths(self, count):
+        answers = [(i * 7) % 3 == 0 for i in range(count)]
+        assert proto.decode_answers(proto.encode_answers(answers)) == answers
+
+    def test_bit_packing_is_lsb_first(self):
+        payload = proto.encode_answers([True, False, False, True])
+        assert payload[4] == 0b1001
+
+    def test_count_mismatch_rejected(self):
+        payload = proto.encode_answers([True] * 9)
+        with pytest.raises(proto.ProtocolError):
+            proto.decode_answers(payload[:-1])
+
+
+class _SocketPair:
+    """A connected socket pair; the test writes raw bytes to one end."""
+
+    def __enter__(self):
+        self.a, self.b = socket.socketpair()
+        return self
+
+    def __exit__(self, *exc):
+        self.a.close()
+        self.b.close()
+
+
+class TestFrameReader:
+    def test_single_frame(self):
+        with _SocketPair() as sp:
+            sp.a.sendall(proto.pack_frame(proto.OP_PING, 3))
+            sp.a.shutdown(socket.SHUT_WR)
+            reader = proto.FrameReader(sp.b)
+            assert reader.read_frame() == (proto.OP_PING, 3, b"")
+            assert reader.read_frame() is None  # clean EOF
+
+    def test_pipelined_frames_in_one_send(self):
+        frames = b"".join(
+            proto.pack_frame(proto.OP_QUERY, i, proto.encode_pairs([(i, i + 1)]))
+            for i in range(5)
+        )
+        with _SocketPair() as sp:
+            sp.a.sendall(frames)
+            sp.a.shutdown(socket.SHUT_WR)
+            reader = proto.FrameReader(sp.b)
+            for i in range(5):
+                op, rid, payload = reader.read_frame()
+                assert (op, rid) == (proto.OP_QUERY, i)
+                assert proto.decode_pairs(payload) == [(i, i + 1)]
+
+    def test_frame_split_across_sends(self):
+        frame = proto.pack_frame(proto.OP_QUERY, 9, proto.encode_pairs([(1, 2)]))
+        with _SocketPair() as sp:
+            done = threading.Event()
+
+            def dribble():
+                for i in range(len(frame)):
+                    sp.a.sendall(frame[i:i + 1])
+                done.set()
+
+            threading.Thread(target=dribble, daemon=True).start()
+            reader = proto.FrameReader(sp.b, recv_size=1)
+            assert reader.read_frame() == (
+                proto.OP_QUERY, 9, proto.encode_pairs([(1, 2)])
+            )
+            assert done.wait(5)
+
+    def test_eof_mid_frame_raises(self):
+        frame = proto.pack_frame(proto.OP_QUERY, 1, proto.encode_pairs([(1, 2)]))
+        with _SocketPair() as sp:
+            sp.a.sendall(frame[:proto.HEADER.size + 2])
+            sp.a.shutdown(socket.SHUT_WR)
+            reader = proto.FrameReader(sp.b)
+            with pytest.raises(proto.ProtocolError):
+                reader.read_frame()
+
+    def test_eof_mid_header_raises(self):
+        with _SocketPair() as sp:
+            sp.a.sendall(b"\x01\x02")
+            sp.a.shutdown(socket.SHUT_WR)
+            reader = proto.FrameReader(sp.b)
+            with pytest.raises(proto.ProtocolError):
+                reader.read_frame()
+
+    def test_garbage_header_raises(self):
+        with _SocketPair() as sp:
+            sp.a.sendall(b"\xff" * 32)
+            sp.a.shutdown(socket.SHUT_WR)
+            reader = proto.FrameReader(sp.b)
+            with pytest.raises(proto.ProtocolError):
+                reader.read_frame()

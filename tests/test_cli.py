@@ -129,3 +129,98 @@ class TestArtifactSubcommands:
         pairs = [(rng.randrange(g.n), rng.randrange(g.n)) for _ in range(400)]
         positives = sum(r.query_batch(pairs))
         assert f"({positives:,} reachable)" in out
+
+
+class TestQueryStdin:
+    def test_pairs_dash_reads_stdin(self, capsys, tmp_path, monkeypatch):
+        import io
+
+        art = str(tmp_path / "kegg.rpro")
+        assert main(["build", "--dataset", "kegg", "--out", art]) == 0
+        capsys.readouterr()
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 1\n5 9\n\n3 3\n"))
+        assert main(["query", "--artifact", art, "--pairs", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "3 queries" in out
+
+
+class TestServeSubcommand:
+    def test_serve_until_remote_shutdown(self, tmp_path):
+        import threading
+
+        from repro.server import ReachClient
+        from repro.serialization import load_artifact
+
+        art = str(tmp_path / "kegg.rpro")
+        assert main(["build", "--dataset", "kegg", "--out", art]) == 0
+        ready = tmp_path / "ready"
+        rc = []
+        thread = threading.Thread(
+            target=lambda: rc.append(
+                main([
+                    "serve", "--artifact", art, "--port", "0",
+                    "--batch-window", "0.5", "--cache-size", "1024",
+                    "--ready-file", str(ready),
+                ])
+            ),
+            daemon=True,
+        )
+        thread.start()
+        for _ in range(200):
+            if ready.exists() and ready.read_text().strip():
+                break
+            import time
+
+            time.sleep(0.05)
+        host, port = ready.read_text().split()[:2]
+
+        import random
+
+        direct = load_artifact(art)
+        n = direct.stats()["original_n"]
+        rng = random.Random(9)
+        pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(200)]
+        expected = [bool(a) for a in direct.query_batch(pairs)]
+        with ReachClient(host, int(port)) as client:
+            assert client.query_batch(pairs) == expected
+            client.shutdown_server()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert rc == [0]
+
+    def test_serve_requires_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_http_shutdown_stops_whole_server(self, tmp_path):
+        import json
+        import threading
+        import time
+        import urllib.request
+
+        art = str(tmp_path / "kegg.rpro")
+        assert main(["build", "--dataset", "kegg", "--out", art]) == 0
+        ready = tmp_path / "ready"
+        rc = []
+        thread = threading.Thread(
+            target=lambda: rc.append(
+                main([
+                    "serve", "--artifact", art, "--port", "0",
+                    "--http-port", "0", "--ready-file", str(ready),
+                ])
+            ),
+            daemon=True,
+        )
+        thread.start()
+        for _ in range(200):
+            if ready.exists() and len(ready.read_text().split()) == 3:
+                break
+            time.sleep(0.05)
+        host, _port, http_port = ready.read_text().split()
+        req = urllib.request.Request(
+            f"http://{host}:{http_port}/shutdown", data=b"", method="POST"
+        )
+        doc = json.loads(urllib.request.urlopen(req).read())
+        assert doc["shutting_down"] is True
+        thread.join(timeout=15)
+        assert not thread.is_alive() and rc == [0]

@@ -116,3 +116,102 @@ class TestAnalytics:
         r = Reachability(g)
         assert r.condensation.dag.n == 4
         assert_facade_matches_bfs(r, g)
+
+
+class TestServeLifecycle:
+    """is_serving, the serve-mode path() error, and Reachability.serve()."""
+
+    @staticmethod
+    def _cyclic_graph():
+        return DiGraph.from_edges(
+            6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]
+        )
+
+    def test_is_serving_false_on_build_side(self):
+        r = Reachability(self._cyclic_graph())
+        assert r.is_serving is False
+        assert r.path(0, 5) is not None  # graph helpers available
+
+    def test_is_serving_true_after_artifact_round_trip(self, tmp_path):
+        path = str(tmp_path / "p.rpro")
+        Reachability(self._cyclic_graph()).save(path)
+        served = Reachability.load(path)
+        assert served.is_serving is True
+
+    def test_serve_mode_path_error_names_the_workflow(self, tmp_path):
+        import pytest
+
+        path = str(tmp_path / "p.rpro")
+        Reachability(self._cyclic_graph()).save(path)
+        served = Reachability.load(path)
+        with pytest.raises(RuntimeError) as exc_info:
+            served.path(0, 5)
+        message = str(exc_info.value)
+        # The error must teach the fix: name the serve mode, the
+        # artifact workflow it came from, and the graph-backed
+        # alternative.
+        assert "is_serving" in message
+        assert "from_artifact" in message
+        assert "build -> compile -> serve" in message
+        assert "Reachability(graph, method)" in message
+
+    def test_serve_in_process_matches_local_answers(self):
+        from repro.server import ReachClient
+
+        g = self._cyclic_graph()
+        r = Reachability(g)
+        server = r.serve()  # workers=0, ephemeral port
+        try:
+            pairs = [(u, v) for u in range(g.n) for v in range(g.n)]
+            expected = [bool(a) for a in r.query_batch(pairs)]
+            with ReachClient(*server.address) as client:
+                assert client.query_batch(pairs) == expected
+        finally:
+            server.close()
+
+    def test_serve_with_workers_saves_and_cleans_temp_artifact(self):
+        import os
+
+        from repro.server import ReachClient
+
+        g = self._cyclic_graph()
+        r = Reachability(g)
+        server = r.serve(workers=1)
+        temp_paths = list(server.cleanup_paths)
+        try:
+            assert len(temp_paths) == 1 and os.path.exists(temp_paths[0])
+            pairs = [(0, 5), (5, 0), (1, 0), (3, 2)]
+            with ReachClient(*server.address) as client:
+                assert client.query_batch(pairs) == [True, False, True, False]
+        finally:
+            server.close()
+        assert not os.path.exists(temp_paths[0])
+
+    def test_serve_mode_facade_reuses_its_artifact(self, tmp_path):
+        from repro.server import ReachClient
+
+        g = self._cyclic_graph()
+        path = str(tmp_path / "p.rpro")
+        r = Reachability(g)
+        r.save(path)
+        served = Reachability.load(path)
+        server = served.serve(workers=1)
+        try:
+            assert server.cleanup_paths == []  # no temp file needed
+            assert server.service.artifact_path == path
+            with ReachClient(*server.address) as client:
+                assert client.query(0, 5) is True
+        finally:
+            server.close()
+
+    def test_serve_mode_with_deleted_artifact_raises_clearly(self, tmp_path):
+        import os
+
+        import pytest
+
+        path = str(tmp_path / "p.rpro")
+        Reachability(self._cyclic_graph()).save(path)
+        served = Reachability.load(path, mmap=False)  # no mapping held
+        os.unlink(path)
+        with pytest.raises(FileNotFoundError, match="no longer exists"):
+            served.serve(workers=1)
