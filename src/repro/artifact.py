@@ -229,6 +229,7 @@ class Artifact:
         self._table = table
         self._buffer = buffer  # mmap object, or raw bytes in copy mode
         self.mapped = mapped
+        self.closed = False
         self._cache: Dict[str, object] = {}
 
     def section_names(self) -> Iterable[str]:
@@ -285,6 +286,34 @@ class Artifact:
             arr = copy
         self._cache[name] = arr
         return arr
+
+    def close(self) -> None:
+        """Release the backing mapping (the live store's drain step).
+
+        Dropping an :class:`Artifact` normally lets the garbage
+        collector unmap the file whenever the last array view dies; a
+        versioned serving process cannot wait for that — a retired
+        epoch's mapping must be returned to the OS as soon as its last
+        in-flight batch drains.  Closing while ndarray/memoryview
+        sections are still referenced elsewhere would invalidate them
+        mid-read, so only a caller that *owns* the artifact's lifetime
+        (e.g. :class:`repro.live.VersionedArtifactStore`, which
+        refcounts leases per batch) may call this.  Idempotent; the
+        copy mode (``mapped=False``) just drops its byte buffer.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._cache.clear()
+        buffer, self._buffer = self._buffer, None
+        if self.mapped and buffer is not None:
+            try:
+                buffer.close()
+            except (BufferError, ValueError):
+                # A section view escaped the owner's control: leave the
+                # mapping to the GC rather than crash a reader.
+                self._buffer = buffer
+                self.closed = False
 
     def __repr__(self) -> str:
         return f"Artifact(kind={self.kind!r}, sections={len(self._table)}, mapped={self.mapped})"

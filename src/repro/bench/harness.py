@@ -31,7 +31,14 @@ from ..core.base import get_method
 from ..datasets.catalog import load
 from ..datasets.workloads import Workload, equal_workload, random_workload
 
-__all__ = ["RunResult", "MethodRun", "run_dataset", "render_table", "BuildBudget"]
+__all__ = [
+    "RunResult",
+    "MethodRun",
+    "run_dataset",
+    "render_table",
+    "BuildBudget",
+    "measure_live_swap",
+]
 
 
 @dataclass
@@ -69,6 +76,15 @@ class RunResult:
     #: Served-throughput per workload (``through_server`` runs only):
     #: client-side queries/second against a live TCP server.
     server_qps: Dict[str, float] = field(default_factory=dict)
+    #: Live-serving measurements (``server_live`` runs only), keyed by
+    #: workload name like the other query metrics (each workload gets
+    #: its own live server and mid-run swap): wall time of the
+    #: update→compile→publish swap, client-observed latency percentiles
+    #: of the requests whose service interval overlapped that swap
+    #: window, and the epoch that server ended on.
+    swap_ms: Dict[str, float] = field(default_factory=dict)
+    during_swap_percentiles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    live_epoch: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -107,6 +123,8 @@ class MethodRun:
         through_server: bool = False,
         server_workers: int = 0,
         server_window_s: float = 0.001,
+        server_live: bool = False,
+        live_updates: int = 32,
     ) -> None:
         self.method = method
         self.budget = budget or BuildBudget()
@@ -114,6 +132,15 @@ class MethodRun:
         self.through_server = through_server
         self.server_workers = server_workers
         self.server_window_s = server_window_s
+        #: ``server_live`` upgrades ``through_server`` to a live server
+        #: (epoch-versioned store + update path): each workload runs
+        #: against its own live server and ``live_updates`` random edge
+        #: insertions are applied *mid-load*, recording swap latency and
+        #: the query-latency percentiles during the swap window.  The
+        #: live pipeline serves DL labels whatever ``method`` says (the
+        #: built index still provides the build/size metrics).
+        self.server_live = server_live
+        self.live_updates = live_updates
 
     def execute(
         self,
@@ -148,6 +175,8 @@ class MethodRun:
         )
         if self.through_server:
             try:
+                if self.server_live:
+                    return self._measure_live_server(graph, result, workloads)
                 return self._measure_through_server(index, result, workloads)
             except Exception as exc:
                 return RunResult(dataset, self.method, "error", error=repr(exc))
@@ -266,6 +295,50 @@ class MethodRun:
             except OSError:
                 pass
 
+    def _measure_live_server(
+        self, graph: DiGraph, result: RunResult, workloads: Sequence[Workload]
+    ) -> RunResult:
+        """Mixed read/update measurement against a live server.
+
+        Every workload gets a fresh live server and the same
+        deterministic update stream applied mid-load (see
+        :func:`measure_live_swap`); ``query_ms``/``server_qps``/
+        ``query_percentiles`` report the whole run, ``swap_ms`` and
+        ``during_swap_percentiles`` the swap window itself.
+        """
+        import random as _random
+
+        rng = _random.Random(131)
+        updates = []
+        while len(updates) < self.live_updates:
+            u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+            if u != v:
+                updates.append((u, v))
+        for wl in workloads:
+            if not len(wl):
+                result.query_ms[wl.name] = 0.0
+                continue
+            doc = measure_live_swap(
+                graph,
+                wl.pairs,
+                updates,
+                workers=self.server_workers,
+                window_s=self.server_window_s,
+            )
+            result.query_ms[wl.name] = (
+                len(wl) / doc["qps"] * 1000.0 if doc["qps"] else 0.0
+            )
+            result.server_qps[wl.name] = doc["qps"]
+            result.query_percentiles[wl.name] = {
+                f"{k}_us": v * 1000.0 for k, v in doc["latency_ms"].items()
+            }
+            result.swap_ms[wl.name] = doc["swap_s"] * 1000.0
+            result.during_swap_percentiles[wl.name] = {
+                f"{k}_us": v * 1000.0 for k, v in doc["during_swap_ms"].items()
+            }
+            result.live_epoch[wl.name] = doc["epoch"]
+        return result
+
     @staticmethod
     def _serve_through_artifact(index, result: RunResult):
         """Round the built index through a temporary binary artifact.
@@ -300,6 +373,160 @@ class MethodRun:
             os.unlink(path)
         except OSError:  # pragma: no cover - e.g. Windows keeps mapped
             pass  # files locked; the temp dir reaper collects it
+
+
+def measure_live_swap(
+    graph: DiGraph,
+    pairs: Sequence[Tuple[int, int]],
+    updates: Sequence[Tuple[int, int]],
+    *,
+    workers: int = 0,
+    window_s: float = 0.001,
+    connections: int = 4,
+    pipeline: int = 32,
+    update_at_frac: float = 0.4,
+    verify: bool = True,
+) -> Dict[str, object]:
+    """Serve ``graph`` live, fire ``pairs`` while applying ``updates``.
+
+    The measuring instrument behind ``benchmarks/bench_live.py`` and the
+    harness's ``server_live`` mode.  One live server (cache off — the
+    raw query path is what a swap can disturb), two load passes of the
+    same pipelined single-pair workload:
+
+    1. a **steady** pass, which is both the baseline and the duration
+       estimate, then
+    2. a **swap** pass during which, ``update_at_frac`` of the steady
+       wall time in, the update stream is applied and the new epoch
+       published while requests are in flight.
+
+    Returns::
+
+        {"steady_qps", "steady_latency_ms",       # pass 1
+         "swap_s", "compile_s", "publish_s",      # the update→flip path
+         "full",                                  # full or incremental
+         "epoch", "changed",
+         "qps", "latency_ms",                     # pass 2, whole run
+         "during_swap_ms",                        # p50/p95/p99 of requests
+                                                  # completing in the window
+         "during_swap_samples", "errors", "connections"}
+
+    With ``verify=True`` the run asserts (a) zero dropped requests in
+    either pass and (b) post-swap answers bit-identical to a fresh
+    direct build on the post-update graph.
+    """
+    import threading
+
+    from ..live import IncrementalCompiler, LiveIndex
+    from ..server.client import run_load
+    from ..server.service import QueryService, ReachServer
+    from ..stats import percentiles
+
+    live = LiveIndex(IncrementalCompiler(graph))
+    service = QueryService(
+        live=live, workers=workers, window_s=window_s, cache_size=0
+    )
+    server = None
+    try:
+        service.start()
+        server = ReachServer(service, owns_service=True).start()
+        host, port = server.address
+
+        steady = run_load(
+            host, port, pairs, connections=connections, pipeline=pipeline
+        )
+        if verify and steady.errors:
+            raise RuntimeError(f"steady load run failed: {steady.first_error}")
+        update_at_s = steady.wall_s * update_at_frac
+
+        swap_info: Dict[str, object] = {}
+        swap_window = [0.0, 0.0]
+        update_error: List[BaseException] = []
+
+        def do_update() -> None:
+            if update_at_s > 0:
+                time.sleep(update_at_s)
+            swap_window[0] = time.perf_counter()
+            try:
+                swap_info.update(live.apply_updates(updates))
+            except BaseException as exc:
+                update_error.append(exc)
+                return
+            swap_window[1] = time.perf_counter()
+
+        updater = threading.Thread(target=do_update, name="repro-live-update")
+        updater.start()
+        report = run_load(
+            host,
+            port,
+            pairs,
+            connections=connections,
+            pipeline=pipeline,
+            keep_samples=True,
+        )
+        updater.join()
+        if update_error:
+            raise update_error[0]
+        if verify and report.errors:
+            raise RuntimeError(
+                f"load run dropped requests during the swap: "
+                f"{report.first_error}"
+            )
+
+        t0, t1 = swap_window
+        # A request "saw" the swap when its service interval
+        # [send, completion] overlapped the swap window — completions
+        # shortly after the flip carry the stall in their latency, so
+        # completion-time filtering alone would miss exactly the
+        # requests the swap affected.
+        during = [
+            lat
+            for stamp, lat in report.samples
+            if stamp >= t0 and stamp - lat <= t1
+        ]
+        doc: Dict[str, object] = {
+            "steady_qps": steady.qps,
+            "steady_latency_ms": dict(steady.latency_ms),
+            "swap_s": t1 - t0,
+            "compile_s": swap_info.get("compile_s"),
+            "publish_s": swap_info.get("publish_s"),
+            "full": swap_info.get("full"),
+            "epoch": swap_info.get("epoch"),
+            "changed": swap_info.get("changed"),
+            "qps": report.qps,
+            "latency_ms": dict(report.latency_ms),
+            "during_swap_samples": len(during),
+            "during_swap_ms": {
+                k: v * 1000.0 for k, v in percentiles(during).items()
+            } if during else {},
+            "errors": steady.errors + report.errors,
+            "connections": connections,
+        }
+        if verify:
+            # The acceptance bar: served answers after the swap must be
+            # bit-identical to a fresh build of the post-update graph.
+            from ..facade import Reachability
+            from ..server.client import ReachClient
+
+            fresh = Reachability(live.compiler.original.copy(), "DL")
+            sample = list(pairs[: min(len(pairs), 4000)])
+            with ReachClient(host, port) as client:
+                served = client.query_batch(sample)
+            expected = fresh.query_batch(sample)
+            if served != expected:
+                bad = sum(1 for a, b in zip(served, expected) if a != b)
+                raise AssertionError(
+                    f"post-swap answers diverge from a fresh build "
+                    f"({bad}/{len(sample)} pairs)"
+                )
+            doc["verified_pairs"] = len(sample)
+        return doc
+    finally:
+        if server is not None:
+            server.close()
+        else:
+            service.close()
+        live.close()
 
 
 def prepare_workloads(
@@ -338,6 +565,8 @@ def run_dataset(
     through_server: bool = False,
     server_workers: int = 0,
     server_window_s: float = 0.001,
+    server_live: bool = False,
+    live_updates: int = 32,
 ) -> List[RunResult]:
     """Run every method on one dataset, sharing workloads.
 
@@ -376,6 +605,8 @@ def run_dataset(
             through_server=through_server,
             server_workers=server_workers,
             server_window_s=server_window_s,
+            server_live=server_live,
+            live_updates=live_updates,
         )
         results.append(runner.execute(dataset, graph, workloads, query_repeats))
     return results

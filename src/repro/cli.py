@@ -15,6 +15,10 @@ Usage::
     python -m repro.cli query --artifact kegg.rpro --pairs -   # stdin
     python -m repro.cli serve --artifact kegg.rpro --port 7431 \
         --workers 4 --batch-window 1.0 --cache-size 65536
+    python -m repro.cli serve --artifact kegg.rpro --watch   # hot swap on
+                                                 # atomic file replace
+    python -m repro.cli serve --live kegg --port 7431        # updatable
+    printf '0 7\n3 9\n' | python -m repro.cli update --port 7431 --edges -
 
 ``build`` runs the full pipeline (SCC condensation + index) and writes
 a compiled artifact; ``query`` serves a workload from the artifact in a
@@ -403,9 +407,18 @@ def _run_serve(argv: List[str]) -> int:
         prog="repro-bench serve",
         description="Serve reachability queries from a saved artifact "
         "over the binary wire protocol (the production half of "
-        "build → compile → serve).",
+        "build → compile → serve).  --watch hot-swaps the served "
+        "version when the artifact file is atomically replaced; "
+        "--live builds a dataset in-process and accepts edge "
+        "insertions over the wire ('update' subcommand).",
     )
-    parser.add_argument("--artifact", required=True, help="artifact path from 'build'")
+    src = parser.add_mutually_exclusive_group(required=True)
+    src.add_argument("--artifact", help="artifact path from 'build'")
+    src.add_argument("--live", metavar="DATASET",
+                     help="build this stand-in dataset in-process and "
+                     "serve it live: edge insertions (the 'update' "
+                     "subcommand / OP_UPDATE op) publish new epochs "
+                     "behind the running server")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7431,
                         help="TCP port for the binary protocol (0 = ephemeral)")
@@ -415,6 +428,16 @@ def _run_serve(argv: List[str]) -> int:
     parser.add_argument("--batch-window", type=float, default=1.0, metavar="MS",
                         help="micro-batching window in milliseconds "
                         "(0 disables coalescing)")
+    parser.add_argument("--adaptive-window", action="store_true",
+                        help="shrink the micro-batch window toward 0 "
+                        "under low arrival rate (the ceiling stays "
+                        "--batch-window)")
+    parser.add_argument("--watch", action="store_true",
+                        help="poll the --artifact file and hot-swap the "
+                        "served version when it is atomically replaced "
+                        "(write new + rename)")
+    parser.add_argument("--watch-interval", type=float, default=0.5, metavar="S",
+                        help="poll interval for --watch, in seconds")
     parser.add_argument("--cache-size", type=int, default=65536,
                         help="LRU result-cache entries (0 disables)")
     parser.add_argument("--max-batch", type=int, default=65536,
@@ -441,17 +464,45 @@ def _run_serve(argv: List[str]) -> int:
         allow_shutdown = True
     else:
         allow_shutdown = None
+    if args.watch and not args.artifact:
+        parser.error("--watch needs --artifact (a --live server updates "
+                     "through the wire protocol instead)")
 
-    server = serve_artifact(
-        args.artifact,
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        window_s=args.batch_window / 1000.0,
-        max_batch=args.max_batch,
-        cache_size=args.cache_size,
-        allow_shutdown=allow_shutdown,
-    )
+    if args.live:
+        if args.live not in DATASETS:
+            parser.error(f"unknown dataset {args.live!r}")
+        from .facade import Reachability
+
+        print(f"building {args.live} (DL) for live serving ...",
+              file=sys.stderr, flush=True)
+        reach = Reachability(load(args.live), "DL")
+        server = reach.serve(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            batch_window_s=args.batch_window / 1000.0,
+            adaptive_window=args.adaptive_window,
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            allow_shutdown=allow_shutdown,
+            live=True,
+        )
+        served = f"{args.live} (live, epoch {reach.live_epoch})"
+    else:
+        server = serve_artifact(
+            args.artifact,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            window_s=args.batch_window / 1000.0,
+            adaptive_window=args.adaptive_window,
+            max_batch=args.max_batch,
+            cache_size=args.cache_size,
+            allow_shutdown=allow_shutdown,
+            watch=args.watch,
+            watch_interval_s=args.watch_interval,
+        )
+        served = args.artifact + (" (watching)" if args.watch else "")
     if allow_shutdown is None and not server.allow_shutdown:
         print(
             f"note: remote shutdown disabled on non-loopback host "
@@ -472,7 +523,7 @@ def _run_serve(argv: List[str]) -> int:
             ).start()
         host, port = server.address
         print(
-            f"serving {args.artifact} on {host}:{port} "
+            f"serving {served} on {host}:{port} "
             f"(workers={args.workers}, batch_window={args.batch_window:g} ms, "
             f"cache={args.cache_size:,})",
             flush=True,
@@ -494,6 +545,43 @@ def _run_serve(argv: List[str]) -> int:
         server.close()
 
 
+def _run_update(argv: List[str]) -> int:
+    """``update``: stream edge insertions into a running live server."""
+    from .server.client import ReachClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench update",
+        description="Insert edges into a running live server "
+        "(serve --live, or Reachability.serve(live=True)); the server "
+        "hot-swaps to the updated artifact epoch before replying.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7431)
+    parser.add_argument("--edges", required=True,
+                        help="file of 'u v' edges (one per line); '-' "
+                        "reads stdin")
+    args = parser.parse_args(argv)
+
+    if args.edges == "-":
+        edges = _parse_pairs(sys.stdin)
+    else:
+        with open(args.edges, "r", encoding="utf-8") as f:
+            edges = _parse_pairs(f)
+    if not edges:
+        parser.error("empty edge stream")
+
+    with ReachClient(args.host, args.port) as client:
+        summary = client.update(edges)
+    print(
+        f"inserted {summary.get('edges', len(edges))} edges "
+        f"({summary.get('changed', '?')} changed reachability) -> "
+        f"epoch {summary.get('epoch')} "
+        f"({'full' if summary.get('full') else 'incremental'} compile, "
+        f"{summary.get('swap_s', 0.0) * 1000.0:.1f} ms swap)"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     # Artifact subcommands take their own option sets; route them before
@@ -504,6 +592,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_query(argv[1:])
     if argv and argv[0] == "serve":
         return _run_serve(argv[1:])
+    if argv and argv[0] == "update":
+        return _run_update(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate tables/figures from 'Simple, Fast, and "
@@ -539,6 +629,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{'build':<22}Build a pipeline and save a binary artifact")
         print(f"{'query':<22}Serve a workload from a saved artifact")
         print(f"{'serve':<22}Run a TCP query server over a saved artifact")
+        print(f"{'update':<22}Insert edges into a running live server")
         return 0
 
     datasets = args.datasets.split(",") if args.datasets else None

@@ -91,12 +91,51 @@ class DynamicDL:
         graph: DiGraph,
         order: str = "degree_product",
         auto_rebuild_factor: float = 4.0,
+        seed_index=None,
     ) -> None:
         self._graph = graph.copy()
         self._order = order
         self.auto_rebuild_factor = auto_rebuild_factor
         self._inserts_since_rebuild = 0
-        self._rebuild_from_graph()
+        if seed_index is None or not self._adopt_seed(seed_index):
+            self._rebuild_from_graph()
+
+    def _adopt_seed(self, index) -> bool:
+        """Adopt a prebuilt DL's labels instead of rebuilding them.
+
+        ``seed_index`` must be a :class:`DistributionLabeling` built on
+        *this same graph* (the caller's contract; only the cheap n/m
+        shape is checked here).  Labels, rank and order are deep-copied
+        — this oracle mutates its labels on every insert, and sharing
+        them would silently corrupt the seed index's answers.  Returns
+        False when the seed does not fit, falling back to a fresh
+        build; either way the resulting labeling is bit-identical to
+        one built directly.
+        """
+        from .labels import LabelSet
+
+        graph = getattr(index, "graph", None)
+        labels = getattr(index, "labels", None)
+        if (
+            graph is None
+            or labels is None
+            or graph.n != self._graph.n
+            or graph.m != self._graph.m
+        ):
+            return False
+        copy = LabelSet(labels.n)
+        copy.lout = [list(lab) for lab in labels.lout]
+        copy.lin = [list(lab) for lab in labels.lin]
+        if labels._out_masks is not None:
+            copy.attach_masks(list(labels._out_masks), list(labels._in_masks))
+        else:
+            copy.seal()
+        self._labels = copy
+        self._rank = list(index.rank)
+        self._order_list = list(index.order_list)
+        self._base_size = max(1, index.index_size_ints())
+        self._inserts_since_rebuild = 0
+        return True
 
     # ------------------------------------------------------------------
     def _rebuild_from_graph(self) -> None:
@@ -120,6 +159,32 @@ class DynamicDL:
     def m(self) -> int:
         """Current number of edges (including inserted ones)."""
         return self._graph.m
+
+    @property
+    def graph(self) -> DiGraph:
+        """The oracle's own (mutable) graph copy, inserted edges included.
+
+        Read-only by contract: mutate it through :meth:`insert_edge`
+        only, or the labels silently go stale.  The incremental
+        compiler reads it to recompute the engine's graph certificates
+        at publish time.
+        """
+        return self._graph
+
+    @property
+    def labels(self):
+        """The live :class:`~repro.core.labels.LabelSet` (rank space)."""
+        return self._labels
+
+    @property
+    def rank(self) -> List[int]:
+        """Vertex -> rank map of the last (re)build."""
+        return self._rank
+
+    @property
+    def order_list(self) -> List[int]:
+        """Rank -> vertex map (the DL hop->vertex witness table)."""
+        return self._order_list
 
     def query(self, u: int, v: int) -> bool:
         """Whether ``u`` currently reaches ``v``."""

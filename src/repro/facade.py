@@ -95,6 +95,7 @@ class Reachability:
         self.index: ReachabilityIndex = factory(self.condensation.dag, **params)
         self._comp_arr = None  # lazy int64 mirror of condensation.comp
         self._serve_meta = None  # artifact header in serve mode
+        self._live = None  # LiveIndex while (or after) serving live
 
     # ------------------------------------------------------------------
     # build → compile → serve
@@ -155,6 +156,7 @@ class Reachability:
         self.index = _oracle_from_artifact(art, "inner")
         self._comp_arr = None
         self._serve_meta = dict(art.meta)
+        self._live = None
         return self
 
     @property
@@ -176,9 +178,12 @@ class Reachability:
         *,
         workers: int = 0,
         batch_window_s: float = 0.001,
+        adaptive_window: bool = False,
+        max_batch: int = 65536,
         cache_size: int = 65536,
         artifact_path=None,
         allow_shutdown=None,
+        live: bool = False,
     ):
         """Start a TCP query server over this pipeline; returns it running.
 
@@ -191,8 +196,22 @@ class Reachability:
         ``artifact_path`` (or a temp file the server deletes on close),
         while a serve-mode facade reuses the artifact it was loaded
         from.  ``batch_window_s`` is the micro-batching window in
-        **seconds** (the CLI's ``--batch-window`` flag is milliseconds);
+        **seconds** (the CLI's ``--batch-window`` flag is milliseconds;
+        ``adaptive_window`` lets it shrink under low arrival rate);
         ``cache_size`` the LRU result-cache budget (0 disables).
+
+        ``live=True`` serves through an epoch-versioned
+        :class:`repro.live.LiveIndex` instead of a frozen snapshot:
+        :meth:`add_edge` / :meth:`add_edges` then update the *running*
+        server (and the wire ``OP_UPDATE`` op works), and
+        :meth:`swap_artifact` hot-swaps a whole new artifact — all
+        without dropping a connection.  A build-mode facade gets the
+        full update path (edges are applied incrementally through a
+        ``DynamicDL``-backed compiler — the serving labels are DL
+        regardless of this facade's ``method``, answers identical); a
+        serve-mode facade gets hot swap only.  The live pipeline
+        survives ``server.close()``: a later ``serve(live=True)``
+        resumes from the updated graph, not the original build.
 
         >>> from repro.graph.digraph import DiGraph
         >>> g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
@@ -205,12 +224,25 @@ class Reachability:
         """
         from .server.service import QueryService, ReachServer
 
+        if live:
+            return self._serve_live(
+                host,
+                port,
+                workers=workers,
+                batch_window_s=batch_window_s,
+                adaptive_window=adaptive_window,
+                max_batch=max_batch,
+                cache_size=cache_size,
+                allow_shutdown=allow_shutdown,
+            )
         cleanup: list = []
         if workers <= 0:
             service = QueryService(
                 oracle=self,
                 workers=0,
                 window_s=batch_window_s,
+                adaptive_window=adaptive_window,
+                max_batch=max_batch,
                 cache_size=cache_size,
             )
         else:
@@ -260,6 +292,8 @@ class Reachability:
                 artifact_path=path,
                 workers=workers,
                 window_s=batch_window_s,
+                adaptive_window=adaptive_window,
+                max_batch=max_batch,
                 cache_size=cache_size,
             )
         try:
@@ -283,6 +317,160 @@ class Reachability:
                 except OSError:
                     pass
             raise
+
+    # ------------------------------------------------------------------
+    # Live serving (hot swap + incremental updates)
+    # ------------------------------------------------------------------
+    def _serve_live(
+        self,
+        host: str,
+        port: int,
+        *,
+        workers: int,
+        batch_window_s: float,
+        adaptive_window: bool,
+        max_batch: int,
+        cache_size: int,
+        allow_shutdown,
+    ):
+        """The ``serve(live=True)`` path: mount (or remount) a LiveIndex."""
+        from .live import IncrementalCompiler, LiveIndex
+        from .server.service import QueryService, ReachServer
+
+        if self._live is not None and not self._live.closed:
+            raise RuntimeError(
+                "this Reachability is already serving live; close() the "
+                "running server before starting another"
+            )
+        if self._live is not None:
+            # Re-serve after a close: the compiler (updated graph
+            # included) survives the dead server's store.  A swap-only
+            # live index restarts from the facade's own artifact file.
+            compiler = self._live.compiler
+            if self._live.swaps > 0:
+                # swap_artifact() replaced the served data with an
+                # external file this facade cannot reproduce; reviving
+                # the pre-swap compiler (build mode) or republishing
+                # this facade's own artifact (serve mode) would silently
+                # roll that back.
+                raise RuntimeError(
+                    "cannot re-serve live: an external artifact was "
+                    "swapped in over this pipeline, and its file is the "
+                    "source of truth now — serve it directly "
+                    "(Reachability.load(path).serve(live=True)) or "
+                    "rebuild from a graph"
+                )
+            if compiler is not None:
+                live = LiveIndex(compiler)
+            else:
+                live = LiveIndex(initial_path=self._live_initial_path())
+        elif self.is_serving:
+            # Serve-mode facade: no graph to compile, so no update path
+            # — but the artifact file can still be hot-swapped.
+            live = LiveIndex(initial_path=self._live_initial_path())
+        else:
+            # Reuse this facade's condensation (and, for DL, its built
+            # labels) rather than building the pipeline a second time.
+            live = LiveIndex(IncrementalCompiler.from_pipeline(self))
+        self._live = live
+        service = QueryService(
+            live=live,
+            workers=workers,
+            window_s=batch_window_s,
+            adaptive_window=adaptive_window,
+            max_batch=max_batch,
+            cache_size=cache_size,
+        )
+        try:
+            service.start()
+            server = ReachServer(
+                service,
+                host,
+                port,
+                allow_shutdown=allow_shutdown,
+                owns_service=True,
+            )
+            # The store dies with the server; the compiler stays on the
+            # facade so a later serve(live=True) resumes the stream.
+            server.cleanup_callbacks.append(live.close)
+            return server.start()
+        except BaseException:
+            service.close()
+            live.close()
+            raise
+
+    def _live_initial_path(self) -> str:
+        """The on-disk artifact behind a serve-mode facade (checked)."""
+        import os
+
+        art = getattr(self.index, "artifact", None)
+        path = getattr(art, "path", None)
+        if path is None or not os.path.exists(path):
+            raise FileNotFoundError(
+                "live serving a serve-mode Reachability needs its artifact "
+                f"file on disk, but {path!r} is gone; restore it or rebuild "
+                "from the graph"
+            )
+        return path
+
+    def add_edge(self, u: int, v: int) -> Dict[str, object]:
+        """Insert original-graph edge ``u -> v`` into the live server.
+
+        Only available while serving live (``serve(live=True)`` from a
+        build-mode facade): the edge flows through the incremental
+        compiler and the resulting artifact epoch is published to the
+        running server before this returns — queries on any connection
+        then see the new edge.  Returns the publish summary (``epoch``,
+        ``changed``, ``swap_s``…).
+
+        The facade's own :meth:`query` keeps answering from its
+        build-time snapshot; the live pipeline (and anything served) is
+        what advances.  Use the returned epoch / server queries to
+        observe updates, and ``serve(live=True)`` after a close to
+        resume from the updated graph.
+        """
+        return self.add_edges([(u, v)])
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> Dict[str, object]:
+        """Insert an edge stream and publish one epoch for all of it."""
+        live = self._require_live(update=True)
+        return live.apply_updates(list(edges))
+
+    def swap_artifact(self, path) -> int:
+        """Hot-swap the live server to the artifact at ``path``.
+
+        The file is loaded side-by-side, published as the next epoch,
+        and the old version drains once its in-flight batches finish —
+        zero dropped connections, batch-atomic answers.  Returns the
+        new epoch.  After swapping an external artifact over a
+        build-mode live pipeline, :meth:`add_edge` is disabled (the
+        compiler no longer describes what is served).
+        """
+        live = self._require_live(update=False)
+        return live.swap_artifact(str(path))
+
+    def _require_live(self, update: bool):
+        live = self._live
+        if live is None or live.closed:
+            raise RuntimeError(
+                "no live server is attached: start one with "
+                "Reachability.serve(live=True) (updates need a build-mode "
+                "facade; hot swap works for serve-mode too)"
+            )
+        if update and (live.compiler is None or live.detached):
+            raise RuntimeError(
+                "this live server has no update path: it serves swapped-in "
+                "artifacts only (updates need serve(live=True) on a "
+                "build-mode Reachability whose compiler is still attached)"
+            )
+        return live
+
+    @property
+    def live_epoch(self) -> Optional[int]:
+        """The serving artifact epoch, or None when not serving live."""
+        if self._live is None or self._live.closed:
+            return None
+        return self._live.current_epoch
 
     # ------------------------------------------------------------------
     def query(self, u: int, v: int) -> bool:

@@ -48,6 +48,7 @@ __all__ = [
     "path_dag",
     "complete_bipartite_dag",
     "star_dag",
+    "novel_acyclic_edges",
 ]
 
 
@@ -280,3 +281,54 @@ def star_dag(n: int, out: bool = True) -> DiGraph:
         else:
             g.add_edge(v, 0)
     return g.freeze()
+
+
+def novel_acyclic_edges(graph, count, seed=0, require_new_reachability=True,
+                        strict=True):
+    """Sample ``count`` insertable edges that keep ``graph`` acyclic.
+
+    The update-stream generator shared by the live-serving bench, the
+    CI hot-swap smoke and the live test suites: rejection-samples
+    ``(u, v)`` pairs that are not self-loops, not existing edges, and
+    do not close a cycle; with ``require_new_reachability`` (default)
+    each edge also connects a previously *unreachable* pair, so every
+    insertion is guaranteed to change the reachability relation (an
+    already-reachable edge is a label no-op the live index will not
+    even publish).  Returns ``(edges, extended)`` where ``extended`` is
+    a copy of ``graph`` with the stream applied — the "v2" shadow the
+    callers verify served answers against.
+
+    With ``strict`` (default) a graph too dense or too transitively
+    closed to yield ``count`` such edges raises instead of silently
+    returning a shorter stream — an update benchmark or acceptance
+    smoke that quietly exercised 3 of its 50 requested updates would
+    report coverage it never had.  ``strict=False`` returns whatever
+    was found.
+    """
+    import random as _random
+
+    from .traversal import bfs_reaches
+
+    rng = _random.Random(seed)
+    shadow = graph.copy()
+    edges = []
+    tries = 0
+    while len(edges) < count and tries < max(100, count * 100):
+        tries += 1
+        u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+        if u == v or shadow.has_edge(u, v):
+            continue
+        if bfs_reaches(shadow.out_adj, v, u):
+            continue  # would close a cycle
+        if require_new_reachability and bfs_reaches(shadow.out_adj, u, v):
+            continue  # a label no-op; callers want real updates
+        shadow.add_edge(u, v)
+        edges.append((u, v))
+    if strict and len(edges) < count:
+        raise ValueError(
+            f"could only sample {len(edges)} of {count} insertable edges "
+            f"from this graph (n={graph.n}, m={graph.m}); it is too dense "
+            "or too transitively closed — ask for fewer or pass "
+            "strict=False"
+        )
+    return edges, shadow

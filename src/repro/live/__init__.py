@@ -1,0 +1,47 @@
+"""Live serving: epoch-versioned hot artifact swap + incremental updates.
+
+The PR 3 artifacts and the PR 4 server froze the index at build time:
+changing one edge meant rebuild, re-save, restart.  This package is the
+update path that shares versioned data with the query path so one
+process serves both without downtime — the HTAP-style split the
+roadmap's "hot artifact swap" and "dynamic graphs behind the server"
+items describe:
+
+* :mod:`repro.live.store` — :class:`VersionedArtifactStore`: artifact
+  versions loaded side-by-side, each under a monotonically increasing
+  **epoch**; an atomic current-epoch flip; refcounted
+  :class:`EpochLease` per in-flight batch so a retired epoch's mmap is
+  drained (closed and, for store-owned files, unlinked) only once its
+  last batch finishes.
+* :mod:`repro.live.compiler` — :class:`IncrementalCompiler`: applies an
+  edge-insertion stream through :class:`~repro.core.dynamic.DynamicDL`
+  and recompiles **only the touched label arenas** into the next
+  artifact (the out side, SCC map and witness table are byte-reused
+  between publishes; ``auto_rebuild_factor`` bloat and SCC merges fall
+  back to a full recompile).
+* :mod:`repro.live.index` — :class:`LiveIndex`: compiler + store glue
+  with one lock around the update path; what a live
+  :class:`~repro.facade.Reachability` server mounts.
+* :mod:`repro.live.watch` — :class:`ArtifactWatcher`: polls an artifact
+  path and publishes into a store when the file is atomically replaced
+  (the ``serve --watch`` deployment shape).
+
+Epoch lifecycle: **load** the new version side-by-side → **flip** the
+current-epoch pointer (new batches lease the new version) → **drain**
+the old one (its mmap closes when the last leased batch resolves).
+Queries are never blocked and no connection is dropped; each batch is
+answered entirely by one epoch.
+"""
+
+from .compiler import IncrementalCompiler
+from .index import LiveIndex
+from .store import EpochLease, VersionedArtifactStore
+from .watch import ArtifactWatcher
+
+__all__ = [
+    "VersionedArtifactStore",
+    "EpochLease",
+    "IncrementalCompiler",
+    "LiveIndex",
+    "ArtifactWatcher",
+]

@@ -1,0 +1,418 @@
+"""Incremental artifact compiler: edge stream in, next pipeline artifact out.
+
+The build side of live serving.  :class:`IncrementalCompiler` keeps a
+mutable original graph, its SCC condensation, and a
+:class:`~repro.core.dynamic.DynamicDL` oracle over the condensation
+DAG; edge insertions flow through ``DynamicDL``'s label flooding (cheap
+— one forward BFS plus sorted merges), and each :meth:`compile_to`
+writes the *same* pipeline-artifact layout as
+:meth:`repro.facade.Reachability.save`, so the serving side cannot tell
+an incremental artifact from a fresh build.
+
+What "incremental" buys at compile time: DL insertions mutate only the
+**in-side** labels, so between publishes the compiler reuses the packed
+bytes of every untouched section — the out-side arena, the hop→vertex
+witness table, and the SCC ``comp`` map — and repacks only the in-side
+arena.  The graph-derived engine certificates are the exception: the
+height filter must track the current graph (a stale height table would
+filter *new* positive pairs as negative), so heights are recomputed on
+every publish (one O(n + m) sweep), while the five interval rounds —
+the expensive certificates — are only rebuilt on **full** compiles and
+dropped from incremental ones exactly like the ``compact`` profile
+drops them: answers are bit-identical either way, negatives just lean
+on the later engine stages.
+
+Full-recompile fallbacks (everything repacked):
+
+* ``auto_rebuild_factor`` — ``DynamicDL`` rebuilt itself because the
+  flooded labels bloated past the configured multiple of the last
+  minimal build (Theorem 4 non-redundancy is restored).
+* **SCC merge** — an insertion closed a cycle at the DAG level; the
+  original graph is recondensed and the oracle rebuilt over the new
+  DAG (``comp`` changes, so every epoch-keyed answer shape can change).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..artifact import pack_section, write_artifact
+from ..core.dynamic import DynamicDL
+from ..graph.digraph import DiGraph
+from ..graph.scc import condense
+
+__all__ = ["IncrementalCompiler"]
+
+Edge = Tuple[int, int]
+
+#: Interval rounds baked into full compiles (mirrors the engine's
+#: ``_IV_ROUNDS`` via :func:`repro.kernels.batchquery.compile_graph_aux`).
+_SECTION_NAMES = (
+    "comp",
+    "inner/out_hops",
+    "inner/out_offs",
+    "inner/hop_vertex",
+    "inner/in_hops",
+    "inner/in_offs",
+)
+
+
+class IncrementalCompiler:
+    """Build-side live pipeline: mutable graph -> versioned artifacts.
+
+    Parameters
+    ----------
+    graph:
+        The original directed graph (cycles allowed); copied, never
+        mutated.
+    order:
+        DL rank strategy for (re)builds.
+    auto_rebuild_factor:
+        Forwarded to :class:`~repro.core.dynamic.DynamicDL`: labels
+        bloated past this multiple of the last minimal build trigger a
+        full rebuild (0 disables).
+
+    Thread safety: :meth:`add_edge` / :meth:`insert_edges` /
+    :meth:`compile_to` serialise on one internal lock, so a server's
+    update handler can call them from connection threads directly.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        order: str = "degree_product",
+        auto_rebuild_factor: float = 4.0,
+    ) -> None:
+        self._init_state(graph, order, auto_rebuild_factor)
+        self._rebuild_pipeline()
+
+    def _init_state(
+        self, graph: DiGraph, order: str, auto_rebuild_factor: float
+    ) -> None:
+        self._lock = threading.RLock()
+        self._order = order
+        self._auto_rebuild_factor = auto_rebuild_factor
+        self._original = graph.copy()
+        self._sections: Dict[str, Tuple[str, bytes]] = {}
+        self._full_pending = True  # first compile packs everything
+        self._in_dirty = True
+        self._inserts = 0
+        self._intra_scc = 0
+        self._noop_inserts = 0
+        self._duplicate_edges = 0
+        self._auto_rebuilds = 0
+        self._scc_merges = 0
+        self._full_compiles = 0
+        self._incremental_compiles = 0
+        self._sections_reused = 0
+        self._sections_repacked = 0
+
+    @classmethod
+    def from_pipeline(cls, reach, *, auto_rebuild_factor: float = 4.0):
+        """Seed a compiler from a built build-mode facade without
+        rebuilding its index.
+
+        ``Reachability.serve(live=True)`` already paid for a
+        condensation and (when ``method`` is DL) a full label build;
+        this adopts both — the condensation is reused as-is and
+        :class:`~repro.core.dynamic.DynamicDL` deep-copies the DL
+        labels — instead of constructing them a second time.  Facades
+        built with any other method fall back to a fresh DL build (the
+        live pipeline always serves DL labels; answers are identical).
+        """
+        from ..core.distribution import DistributionLabeling
+
+        if reach.original is None:
+            raise TypeError(
+                "from_pipeline needs a build-mode Reachability (a "
+                "serve-mode facade has no graph to update)"
+            )
+        index = reach.index
+        if not isinstance(index, DistributionLabeling):
+            return cls(reach.original, auto_rebuild_factor=auto_rebuild_factor)
+        order = (getattr(index, "params", None) or {}).get(
+            "order", "degree_product"
+        )
+        self = cls.__new__(cls)
+        self._init_state(reach.original, order, auto_rebuild_factor)
+        self._cond = reach.condensation
+        self._dyn = DynamicDL(
+            self._cond.dag,
+            order=order,
+            auto_rebuild_factor=auto_rebuild_factor,
+            seed_index=index,
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def _rebuild_pipeline(self) -> None:
+        """(Re)condense the original graph and rebuild the DL oracle."""
+        self._cond = condense(self._original)
+        self._dyn = DynamicDL(
+            self._cond.dag,
+            order=self._order,
+            auto_rebuild_factor=self._auto_rebuild_factor,
+        )
+        self._full_pending = True
+        self._in_dirty = True
+        self._sections.clear()
+
+    # ------------------------------------------------------------------
+    # Properties / queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._original.n
+
+    @property
+    def m(self) -> int:
+        return self._original.m
+
+    @property
+    def original(self) -> DiGraph:
+        """The compiler's graph copy (read-only by contract)."""
+        return self._original
+
+    @property
+    def condensation(self):
+        return self._cond
+
+    def query(self, u: int, v: int) -> bool:
+        """Original-graph reachability on the *current* (updated) state."""
+        with self._lock:
+            cu = self._cond.comp[u]
+            cv = self._cond.comp[v]
+            if cu == cv:
+                return True
+            return self._dyn.query(cu, cv)
+
+    def query_batch(self, pairs) -> List[bool]:
+        return [self.query(u, v) for u, v in pairs]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> Dict[str, object]:
+        """Insert original-graph edge ``u -> v``; returns what happened.
+
+        The result's ``kind`` is one of
+
+        * ``duplicate`` — edge already present, nothing touched;
+        * ``intra-scc`` — both endpoints in one SCC: graph grows, labels
+          untouched (the pair was already reachable both ways);
+        * ``inserted`` — new DAG edge, labels flooded incrementally
+          (``changed`` says whether any new pair became reachable,
+          ``rebuilt`` whether the bloat threshold forced a rebuild);
+        * ``scc-merge`` — the edge closed a cycle: recondensed and fully
+          rebuilt (``rebuilt`` is always True).
+
+        Raises ``ValueError`` on self-loops or out-of-range vertices.
+        """
+        self.validate_edge(u, v)
+        with self._lock:
+            if self._original.has_edge(u, v):
+                self._duplicate_edges += 1
+                return {"kind": "duplicate", "changed": False, "rebuilt": False}
+            self._original.add_edge(u, v)
+            self._inserts += 1
+            cu = self._cond.comp[u]
+            cv = self._cond.comp[v]
+            if cu == cv:
+                self._intra_scc += 1
+                return {"kind": "intra-scc", "changed": False, "rebuilt": False}
+            if self._dyn.query(cv, cu):
+                # The new edge closes a cycle at the DAG level: the two
+                # components (and everything between) merge into one SCC.
+                self._scc_merges += 1
+                self._rebuild_pipeline()
+                return {"kind": "scc-merge", "changed": True, "rebuilt": True}
+            changed = self._dyn.insert_edge(cu, cv)
+            rebuilt = False
+            if changed:
+                self._in_dirty = True
+                if self._dyn.stats()["inserts_since_rebuild"] == 0:
+                    # DynamicDL hit its bloat threshold and rebuilt:
+                    # the out side (and witness order) changed too.
+                    rebuilt = True
+                    self._auto_rebuilds += 1
+                    self._full_pending = True
+            else:
+                self._noop_inserts += 1
+            return {"kind": "inserted", "changed": changed, "rebuilt": rebuilt}
+
+    def validate_edge(self, u: int, v: int) -> None:
+        """Raise ``ValueError`` for edges no insert could ever accept.
+
+        Checked up front by :meth:`add_edge` and — over whole streams —
+        by :meth:`repro.live.LiveIndex.apply_updates`, so a bad edge in
+        the middle of a stream rejects the *entire* stream before any
+        mutation instead of leaving earlier edges half-applied.
+        """
+        n = self._original.n
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+        if u == v:
+            raise ValueError("self-loops cannot change reachability; rejected")
+
+    def insert_edges(self, edges) -> Dict[str, int]:
+        """Apply a stream of edges; returns aggregate counts by kind."""
+        summary = {
+            "edges": 0,
+            "changed": 0,
+            "duplicate": 0,
+            "intra_scc": 0,
+            "scc_merges": 0,
+            "rebuilds": 0,
+        }
+        for u, v in edges:
+            info = self.add_edge(u, v)
+            summary["edges"] += 1
+            if info["changed"]:
+                summary["changed"] += 1
+            if info["kind"] == "duplicate":
+                summary["duplicate"] += 1
+            elif info["kind"] == "intra-scc":
+                summary["intra_scc"] += 1
+            elif info["kind"] == "scc-merge":
+                summary["scc_merges"] += 1
+            if info["rebuilt"]:
+                summary["rebuilds"] += 1
+        return summary
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Decremental updates are out of scope (mirrors ``DynamicDL``)."""
+        raise NotImplementedError(
+            "decremental reachability is not supported; rebuild on a new graph"
+        )
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _pack(self, name: str, data, dtype: Optional[str], dirty: bool) -> None:
+        """Cache-aware :func:`pack_section` into the working section map."""
+        if dirty or name not in self._sections:
+            self._sections[name] = pack_section(data, dtype) if dtype else pack_section(data)
+            self._sections_repacked += 1
+        else:
+            self._sections_reused += 1
+
+    def compile_to(self, path, *, full: Optional[bool] = None) -> Dict[str, object]:
+        """Write the current state as a pipeline artifact at ``path``.
+
+        ``full=None`` (default) compiles fully when the out side is
+        dirty (first compile, auto rebuild, SCC merge) and
+        incrementally otherwise; ``full=True`` forces the full profile
+        (all sections repacked, interval certificates included).
+        Returns ``{"bytes", "full", "sections_reused",
+        "sections_repacked", "compile_s"}``.
+        """
+        t0 = time.perf_counter()
+        with self._lock:
+            do_full = self._full_pending if full is None else (full or self._full_pending)
+            reused0, repacked0 = self._sections_reused, self._sections_repacked
+            dyn = self._dyn
+            labels = dyn.labels
+            oh, oo, ih, io_ = labels.arena()
+
+            self._pack("comp", self._cond.comp, None, do_full)
+            self._pack("inner/out_hops", oh, None, do_full)
+            self._pack("inner/out_offs", oo, "<i8", do_full)
+            self._pack("inner/hop_vertex", dyn.order_list, None, do_full)
+            self._pack("inner/in_hops", ih, None, self._in_dirty or do_full)
+            self._pack("inner/in_offs", io_, "<i8", self._in_dirty or do_full)
+
+            # Graph certificates: the height filter must match the
+            # *current* graph on every publish; the interval rounds are
+            # full-compile-only (see the module docstring).
+            rounds: List[Tuple[object, object]] = []
+            if do_full:
+                from ..kernels.batchquery import compile_graph_aux
+
+                height, rounds = compile_graph_aux(dyn.graph)
+            else:
+                from ..kernels.grail import compute_heights
+
+                height = compute_heights(dyn.graph)
+            stale_rounds = [
+                name for name in self._sections if name.startswith("inner/iv_")
+            ]
+            for name in stale_rounds:
+                del self._sections[name]
+            if height is not None:
+                self._sections["inner/height"] = pack_section(height)
+                self._sections_repacked += 1
+            else:  # pragma: no cover - the condensation DAG is acyclic
+                self._sections.pop("inner/height", None)
+            for i, (low, post) in enumerate(rounds):
+                self._sections[f"inner/iv_low_{i}"] = pack_section(low)
+                self._sections[f"inner/iv_post_{i}"] = pack_section(post)
+                self._sections_repacked += 2
+
+            meta = {
+                "original_n": self._original.n,
+                "original_m": self._original.m,
+                "dag_n": self._cond.dag.n,
+                "dag_m": dyn.m,
+                "method": "DL",
+                "live": {
+                    "inserts": self._inserts,
+                    "full_compile": do_full,
+                },
+                "inner": {
+                    "kind": "labels",
+                    "meta": {
+                        "method": "DL",
+                        "n": dyn.n,
+                        "params": {"order": self._order},
+                        "rank_space": True,
+                        "reflexive": False,
+                        "rounds": len(rounds),
+                    },
+                },
+            }
+            from ..serialization import PIPELINE_KIND
+
+            nbytes = write_artifact(path, PIPELINE_KIND, meta, dict(self._sections))
+            if do_full:
+                self._full_compiles += 1
+            else:
+                self._incremental_compiles += 1
+            self._full_pending = False
+            self._in_dirty = False
+            return {
+                "bytes": nbytes,
+                "full": do_full,
+                "sections_reused": self._sections_reused - reused0,
+                "sections_repacked": self._sections_repacked - repacked0,
+                "compile_s": time.perf_counter() - t0,
+            }
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "n": self._original.n,
+                "m": self._original.m,
+                "dag_n": self._cond.dag.n,
+                "inserts": self._inserts,
+                "intra_scc_edges": self._intra_scc,
+                "noop_inserts": self._noop_inserts,
+                "duplicate_edges": self._duplicate_edges,
+                "auto_rebuilds": self._auto_rebuilds,
+                "scc_merges": self._scc_merges,
+                "full_compiles": self._full_compiles,
+                "incremental_compiles": self._incremental_compiles,
+                "sections_reused": self._sections_reused,
+                "sections_repacked": self._sections_repacked,
+                "index_size_ints": self._dyn.index_size_ints(),
+                "oracle": self._dyn.stats(),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalCompiler(n={self._original.n}, m={self._original.m}, "
+            f"inserts={self._inserts})"
+        )

@@ -1,0 +1,230 @@
+"""LiveIndex: the compiler + store pair a live server mounts.
+
+One object owning the whole update path: edge insertions run through
+the :class:`~repro.live.compiler.IncrementalCompiler` under a single
+update lock, each publish writes the next epoch's artifact file into a
+store-owned directory, and the
+:class:`~repro.live.store.VersionedArtifactStore` flips the serving
+pointer.  Query traffic never takes the update lock — it leases epochs
+from the store — so updates and queries only meet at the atomic epoch
+flip.
+
+``swap_artifact`` publishes an externally-built artifact file.  Doing
+so *detaches* the compiler (its graph no longer describes what is being
+served), after which ``apply_updates`` refuses with a clear error; a
+swap-only ``LiveIndex`` (no compiler, e.g. ``serve --watch``) starts
+detached.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .compiler import IncrementalCompiler
+from .store import VersionedArtifactStore
+
+__all__ = ["LiveIndex"]
+
+Edge = Tuple[int, int]
+
+
+class LiveIndex:
+    """Versioned serving state with (optionally) an attached update path.
+
+    Exactly one of ``compiler`` / ``initial_path`` selects the mode:
+
+    * **compiler mode** — the compiler's current state is compiled and
+      published as epoch 1; :meth:`apply_updates` inserts edges and
+      publishes the next epoch.
+    * **swap-only mode** — ``initial_path`` is published as epoch 1;
+      new versions arrive via :meth:`swap_artifact` (or a watcher).
+
+    ``artifact_dir`` is where compiler-mode epochs are written (a
+    private temp directory by default, removed on :meth:`close`);
+    epoch files are unlinked as soon as their version drains.
+    """
+
+    def __init__(
+        self,
+        compiler: Optional[IncrementalCompiler] = None,
+        *,
+        initial_path: Optional[str] = None,
+        artifact_dir: Optional[str] = None,
+        store: Optional[VersionedArtifactStore] = None,
+    ) -> None:
+        if (compiler is None) == (initial_path is None):
+            raise ValueError("pass exactly one of compiler / initial_path")
+        self.compiler = compiler
+        self._owns_store = store is None
+        self.store = store or VersionedArtifactStore()
+        self._update_lock = threading.Lock()
+        self._detached = compiler is None
+        self._closed = False
+        self._seq = 0
+        self._updates = 0
+        self._swaps = 0
+        self._last_publish: Dict[str, object] = {}
+        self._owns_dir = False
+        self._dir: Optional[str] = None
+        try:
+            if compiler is not None:
+                if artifact_dir is None:
+                    self._dir = tempfile.mkdtemp(prefix="repro-live-")
+                    self._owns_dir = True
+                else:
+                    os.makedirs(artifact_dir, exist_ok=True)
+                    self._dir = artifact_dir
+                self._publish_compiled(full=True)
+            else:
+                # Snapshot even the initial file: the caller may replace
+                # it on disk while epoch 1 still serves (see
+                # VersionedArtifactStore.publish_snapshot).
+                self.store.publish_snapshot(initial_path)
+        except BaseException:
+            # The constructor is the only owner at this point: a failed
+            # first publish must not leak the temp dir / partial file.
+            if self._owns_dir and self._dir is not None:
+                shutil.rmtree(self._dir, ignore_errors=True)
+            if self._owns_store:
+                self.store.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def detached(self) -> bool:
+        """True when the compiler no longer matches the served artifact."""
+        return self._detached
+
+    @property
+    def current_epoch(self) -> Optional[int]:
+        return self.store.current_epoch
+
+    # ------------------------------------------------------------------
+    def _next_path(self) -> str:
+        self._seq += 1
+        return os.path.join(self._dir, f"epoch-{self._seq:06d}.rpro")
+
+    def _publish_compiled(self, full: Optional[bool] = None) -> Dict[str, object]:
+        """Compile the compiler's current state and flip the store to it."""
+        path = self._next_path()
+        info = self.compiler.compile_to(path, full=full)
+        t0 = time.perf_counter()
+        epoch = self.store.publish(path, owns_file=True)
+        info["publish_s"] = time.perf_counter() - t0
+        info["epoch"] = epoch
+        info["path"] = path
+        self._last_publish = info
+        return info
+
+    # ------------------------------------------------------------------
+    # The update path
+    # ------------------------------------------------------------------
+    def apply_updates(self, edges: List[Edge]) -> Dict[str, object]:
+        """Insert edges and publish the resulting epoch in one step.
+
+        Returns the insertion summary merged with the publish record:
+        ``epoch``, ``changed``, ``rebuilds``, ``full`` (whether the
+        compile fell back to the full profile), ``bytes``,
+        ``compile_s``/``publish_s``/``swap_s``, ``published``.  A
+        stream that changed no reachable pair (duplicates, intra-SCC
+        edges, already-reachable insertions) skips the compile and the
+        epoch flip entirely — publishing would only churn artifact
+        files and orphan every epoch-keyed cache entry for answers that
+        are all still identical — and reports ``published: False`` with
+        the current epoch.  Raises ``RuntimeError`` when no compiler is
+        attached (swap-only mode, or after :meth:`swap_artifact`
+        detached it).
+        """
+        if self._closed:
+            raise RuntimeError("live index is closed")
+        if self.compiler is None or self._detached:
+            raise RuntimeError(
+                "no attached compiler: this live index serves swapped-in "
+                "artifact files only (updates need a build-mode "
+                "Reachability.serve(live=True) pipeline)"
+            )
+        edges = [(int(u), int(v)) for u, v in edges]
+        # Validate the whole stream before touching anything: a client
+        # whose mid-stream edge is rejected must be able to assume NONE
+        # of the stream was applied (partially-applied edges would ride
+        # out silently with the next unrelated publish).
+        for u, v in edges:
+            self.compiler.validate_edge(u, v)
+        with self._update_lock:
+            t0 = time.perf_counter()
+            summary = self.compiler.insert_edges(edges)
+            if summary["changed"] or summary["rebuilds"] or summary["scc_merges"]:
+                summary.update(self._publish_compiled())
+                summary["published"] = True
+            else:
+                summary["epoch"] = self.store.current_epoch
+                summary["published"] = False
+            summary["swap_s"] = time.perf_counter() - t0
+            self._updates += 1
+            return summary
+
+    def swap_artifact(self, path: str) -> int:
+        """Publish an externally-built artifact as the next epoch.
+
+        What is published is a store-owned *snapshot* (hard link) of
+        the file, so the caller may freely replace or delete their copy
+        afterwards — the epoch's content stays pinned for every worker
+        that still has to map it.  An attached compiler is detached
+        (see the class docstring).  Returns the new epoch.
+        """
+        if self._closed:
+            raise RuntimeError("live index is closed")
+        with self._update_lock:
+            epoch = self.store.publish_snapshot(str(path))
+            self._detached = self.compiler is not None or self._detached
+            self._swaps += 1
+            return epoch
+
+    @property
+    def swaps(self) -> int:
+        """How many external artifacts were swapped in over this index."""
+        return self._swaps
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "store": self.store.stats(),
+            "updates": self._updates,
+            "swaps": self._swaps,
+            "detached": self._detached,
+            "last_publish": dict(self._last_publish),
+        }
+        if self.compiler is not None:
+            doc["compiler"] = self.compiler.stats()
+        return doc
+
+    def close(self) -> None:
+        """Close the store; the compiler (if any) survives for a re-serve."""
+        if self._closed:
+            return
+        self._closed = True
+        self.store.close()
+        if self._owns_dir and self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+
+    def __enter__(self) -> "LiveIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveIndex(epoch={self.current_epoch}, "
+            f"mode={'swap-only' if self.compiler is None else 'compiler'}, "
+            f"detached={self._detached})"
+        )

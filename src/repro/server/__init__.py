@@ -26,6 +26,12 @@ Answers are bit-identical to a direct
 :class:`~repro.core.compiled.CompiledOracle` on the same artifact —
 batching, caching and worker routing change throughput and latency
 only, never a single answer bit.
+
+Live serving (:mod:`repro.live`) plugs in underneath: a
+:class:`QueryService` built over a versioned artifact store leases one
+epoch per batch (hot swaps are batch-atomic), cache keys carry the
+epoch, and the wire protocol grows ``OP_UPDATE`` (edge insertions into
+a live index) and ``OP_EPOCH`` ops.
 """
 
 from .batching import MicroBatcher

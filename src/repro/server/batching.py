@@ -35,13 +35,16 @@ Pair = Tuple[int, int]
 class QueryRequest:
     """One client request: its pairs and the completion callback."""
 
-    __slots__ = ("pairs", "callback", "answers", "error")
+    __slots__ = ("pairs", "callback", "answers", "error", "epoch")
 
     def __init__(self, pairs: Sequence[Pair], callback) -> None:
         self.pairs = pairs
         self.callback = callback
         self.answers: Optional[List[bool]] = None
         self.error: Optional[BaseException] = None
+        #: Artifact epoch that answered this request (live serving only;
+        #: set by :meth:`Batch.resolve`, None for static oracles).
+        self.epoch: Optional[int] = None
 
     def _complete(self) -> None:
         if self.callback is not None:
@@ -68,8 +71,14 @@ class Batch:
         """True when nothing coalesced: one request carrying one pair."""
         return len(self.requests) == 1 and len(self.pairs) == 1
 
-    def resolve(self, answers: Sequence[bool]) -> None:
-        """Scatter batch answers back to the member requests."""
+    def resolve(self, answers: Sequence[bool], epoch: Optional[int] = None) -> None:
+        """Scatter batch answers back to the member requests.
+
+        ``epoch`` records which artifact version produced the answers
+        (live serving): the whole batch was answered under one epoch
+        lease, so every member request gets the same value — a batch is
+        never a mix of versions.
+        """
         if len(answers) != len(self.pairs):
             self.fail(
                 RuntimeError(
@@ -82,6 +91,7 @@ class Batch:
         for req in self.requests:
             take = len(req.pairs)
             req.answers = list(answers[offset:offset + take])
+            req.epoch = epoch
             offset += take
             req._complete()
         self._flush_writers()
@@ -128,13 +138,37 @@ class MicroBatcher:
         Pair-count ceiling per dispatched batch.  A full window drains
         in several batches; a window whose first requests already
         exceed the cap dispatches without waiting it out.
+    adaptive:
+        Scale the window with the observed arrival rate.  The batcher
+        keeps an EMA of request interarrival gaps (updated at submit
+        time, so it works even while the effective window is 0); the
+        window a collector round actually waits is::
+
+            window_s * min(1, window_s / (ema_gap * ADAPTIVE_TARGET))
+
+        i.e. at least :data:`ADAPTIVE_TARGET` arrivals per full window
+        are needed to justify holding it open at the ceiling, and a
+        low-rate stream (interactive clients) degrades smoothly to
+        dispatch-on-arrival — the latency deposit shrinks toward 0
+        exactly when there is nothing to coalesce.  ``window_s``
+        remains the hard ceiling at saturation.
     """
+
+    #: Arrivals per full window at which the adaptive window saturates
+    #: to its ``window_s`` ceiling (below it, the wait shrinks
+    #: proportionally — one expected companion halves the window, none
+    #: collapses it).
+    ADAPTIVE_TARGET = 2.0
+
+    #: Smoothing factor for the interarrival-gap EMA (per submission).
+    ADAPTIVE_ALPHA = 0.2
 
     def __init__(
         self,
         dispatch: Callable[[Batch], None],
         window_s: float = 0.001,
         max_batch: int = 65536,
+        adaptive: bool = False,
     ) -> None:
         if window_s < 0:
             raise ValueError(f"window_s must be >= 0, got {window_s}")
@@ -143,6 +177,13 @@ class MicroBatcher:
         self._dispatch = dispatch
         self.window_s = window_s
         self.max_batch = max_batch
+        self.adaptive = adaptive and window_s > 0
+        # Interarrival EMA state (under _lock).  Seeded at one full
+        # window between arrivals (= half the ceiling effectively) so a
+        # cold adaptive batcher neither stalls early clients for the
+        # whole window nor needs a warm-up to start coalescing.
+        self._ema_gap = window_s if window_s > 0 else 0.0
+        self._last_arrival: Optional[float] = None
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._pending: List[QueryRequest] = []
@@ -212,6 +253,13 @@ class MicroBatcher:
                 req._complete()
                 return req
             self._submitted += 1
+            if self.adaptive:
+                now = time.perf_counter()
+                if self._last_arrival is not None:
+                    gap = now - self._last_arrival
+                    alpha = self.ADAPTIVE_ALPHA
+                    self._ema_gap += alpha * (gap - self._ema_gap)
+                self._last_arrival = now
             self._pending.append(req)
             self._pending_pairs += len(pairs)
             if len(self._pending) == 1 or self._pending_pairs >= self.max_batch:
@@ -228,6 +276,28 @@ class MicroBatcher:
         assert req.answers is not None
         return req.answers
 
+    # -- the adaptive window -------------------------------------------
+    def effective_window_s(self) -> float:
+        """The window the next collector round will hold open.
+
+        Equal to ``window_s`` for a non-adaptive batcher; with
+        ``adaptive=True`` it scales with the arrival rate (see the
+        class docstring) — 0 when arrivals are far apart, the full
+        ceiling once at least :data:`ADAPTIVE_TARGET` requests are
+        expected per window.
+        """
+        with self._lock:
+            return self._effective_window_locked()
+
+    def _effective_window_locked(self) -> float:
+        if not self.adaptive:
+            return self.window_s
+        gap = self._ema_gap
+        if gap <= 0:
+            return self.window_s
+        expected_arrivals = self.window_s / gap
+        return self.window_s * min(1.0, expected_arrivals / self.ADAPTIVE_TARGET)
+
     # -- collector -----------------------------------------------------
     def _collect_loop(self) -> None:
         while True:
@@ -237,9 +307,10 @@ class MicroBatcher:
                 if self._closed:
                     return
                 first_at = time.perf_counter()
+                window = self._effective_window_locked()
             # Hold the window open for companions (a full cap ends it
             # early via the submit-side notify), then drain.
-            deadline = first_at + self.window_s
+            deadline = first_at + window
             with self._lock:
                 while not self._closed and self._pending_pairs < self.max_batch:
                     remaining = deadline - time.perf_counter()
@@ -288,6 +359,8 @@ class MicroBatcher:
             batches = self._batches
             return {
                 "window_ms": self.window_s * 1000.0,
+                "adaptive": self.adaptive,
+                "effective_window_ms": self._effective_window_locked() * 1000.0,
                 "max_batch": self.max_batch,
                 "requests": self._submitted,
                 "batches": batches,

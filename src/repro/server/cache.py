@@ -13,6 +13,13 @@ workloads are almost entirely negative, so a served deployment's hit
 profile is dominated by negatives — worth seeing directly rather than
 inferring.
 
+**Epoch keying.**  A live server's oracle is immutable only *per
+artifact epoch*: the batch APIs take an optional ``epoch`` that is
+folded into every key as ``(epoch, u, v)``.  When the store flips to a
+new epoch, entries cached under the old one simply become unreachable —
+no global flush, no lock sweep — and age out of the LRU under new
+traffic.  ``epoch=None`` (static serving) keeps the bare pair keys.
+
 A ``capacity`` of 0 disables the cache entirely (every lookup is a
 pass-through miss that is not counted); the service uses that for
 benchmark runs that must measure the raw query path.
@@ -120,30 +127,41 @@ class ShardedLRUCache:
             groups.setdefault(hash(key) & mask, []).append(i)
         return groups
 
+    @staticmethod
+    def _keys_for(
+        pairs: Sequence[Tuple[int, int]], epoch: Optional[int]
+    ) -> Sequence[Hashable]:
+        """Pair keys, prefixed with the artifact epoch when serving live."""
+        if epoch is None:
+            return pairs
+        return [(epoch, u, v) for u, v in pairs]
+
     def get_many(
-        self, pairs: Sequence[Tuple[int, int]]
+        self, pairs: Sequence[Tuple[int, int]], epoch: Optional[int] = None
     ) -> Tuple[List[Optional[bool]], List[int]]:
         """Look up a workload, taking each shard lock once per batch.
 
         Returns ``(answers, missing)``: ``answers[i]`` is the cached
         bool or ``None``, and ``missing`` lists the indices that need
-        the oracle.  With the cache disabled everything is missing and
-        nothing is counted.
+        the oracle.  ``epoch`` scopes the keys to one artifact version
+        (see the module docstring).  With the cache disabled everything
+        is missing and nothing is counted.
         """
         if not self.capacity:
             return [None] * len(pairs), list(range(len(pairs)))
+        keys = self._keys_for(pairs, epoch)
         answers: List[Optional[bool]] = [None] * len(pairs)
-        for shard_idx, positions in self._group_by_shard(pairs).items():
+        for shard_idx, positions in self._group_by_shard(keys).items():
             shard = self._shards[shard_idx]
             with shard.lock:
                 entries = shard.entries
                 for i in positions:
                     try:
-                        value = entries[pairs[i]]
+                        value = entries[keys[i]]
                     except KeyError:
                         shard.misses += 1
                         continue
-                    entries.move_to_end(pairs[i])
+                    entries.move_to_end(keys[i])
                     shard.hits += 1
                     if not value:
                         shard.negative_hits += 1
@@ -152,17 +170,26 @@ class ShardedLRUCache:
         return answers, missing
 
     def put_many(
-        self, pairs: Sequence[Tuple[int, int]], answers: Sequence[bool]
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        answers: Sequence[bool],
+        epoch: Optional[int] = None,
     ) -> None:
-        """Insert a batch of fresh oracle answers (one lock per shard)."""
+        """Insert a batch of fresh oracle answers (one lock per shard).
+
+        ``epoch`` must be the epoch of the oracle that *produced* the
+        answers — the live service passes the resolving batch's lease
+        epoch, not the epoch current at submission time.
+        """
         if not self.capacity:
             return
-        for shard_idx, positions in self._group_by_shard(pairs).items():
+        keys = self._keys_for(pairs, epoch)
+        for shard_idx, positions in self._group_by_shard(keys).items():
             shard = self._shards[shard_idx]
             with shard.lock:
                 entries = shard.entries
                 for i in positions:
-                    key = pairs[i]
+                    key = keys[i]
                     if key in entries:
                         entries[key] = bool(answers[i])
                         entries.move_to_end(key)

@@ -87,6 +87,22 @@ class ReachClient:
         _, payload = self._roundtrip(proto.OP_STATS)
         return json.loads(payload.decode("utf-8"))
 
+    def epoch(self) -> int:
+        """The artifact epoch currently serving (0 = static server)."""
+        _, payload = self._roundtrip(proto.OP_EPOCH)
+        return proto.decode_epoch(payload)
+
+    def update(self, edges: Sequence[Pair]) -> dict:
+        """Insert edges into a live server; returns the publish summary.
+
+        The server applies the whole stream and hot-swaps to the new
+        artifact epoch before replying, so a subsequent query on *any*
+        connection sees the updated graph.  Raises ``RuntimeError``
+        when the server has no live update path.
+        """
+        _, payload = self._roundtrip(proto.OP_UPDATE, proto.encode_pairs(edges))
+        return json.loads(payload.decode("utf-8"))
+
     def shutdown_server(self) -> None:
         """Ask the server to stop (it acks before going down)."""
         self._roundtrip(proto.OP_SHUTDOWN)
@@ -123,6 +139,12 @@ class LoadReport:
     errors: int = 0
     first_error: str = ""
     answers: List[bool] = field(default_factory=list)
+    #: Per-request ``(completion_stamp, latency_s)`` samples, in
+    #: ``time.perf_counter`` coordinates; filled only when
+    #: :func:`run_load` is called with ``keep_samples=True``.  This is
+    #: what lets the live bench slice "latency during the swap window"
+    #: out of a run that straddles a hot swap.
+    samples: List[Tuple[float, float]] = field(default_factory=list)
 
     @property
     def positives(self) -> int:
@@ -160,6 +182,7 @@ class _LoadConnection:
         self.pipeline = pipeline
         self.send_times = send_times  # open loop: offsets from the epoch
         self.latencies: List[float] = []
+        self.stamps: List[float] = []  # completion time per latency entry
         self.answers: Dict[int, List[bool]] = {}
         self.errors = 0
         self.first_error = ""
@@ -267,6 +290,7 @@ class _LoadConnection:
                 sent = self._sent_at.pop(request_id, None)
                 if sent is not None:
                     self.latencies.append(now - sent)
+                    self.stamps.append(now)
                 if op == proto.OP_ANSWERS:
                     self.answers[request_id] = proto.decode_answers(payload)
                 else:
@@ -304,6 +328,7 @@ def run_load(
     pairs_per_request: int = 1,
     rate: Optional[float] = None,
     timeout: float = 120.0,
+    keep_samples: bool = False,
 ) -> LoadReport:
     """Drive a server with a workload; returns throughput + latency.
 
@@ -365,6 +390,7 @@ def run_load(
         conn.join(timeout)
 
     latencies: List[float] = []
+    samples: List[Tuple[float, float]] = []
     answers_by_id: Dict[int, List[bool]] = {}
     errors = 0
     first_error = ""
@@ -372,6 +398,8 @@ def run_load(
     last_recv = None
     for conn in conns:
         latencies.extend(conn.latencies)
+        if keep_samples:
+            samples.extend(zip(conn.stamps, conn.latencies))
         answers_by_id.update(conn.answers)
         errors += conn.errors
         first_error = first_error or conn.first_error
@@ -407,4 +435,5 @@ def run_load(
         errors=errors,
         first_error=first_error,
         answers=answers,
+        samples=sorted(samples) if keep_samples else [],
     )

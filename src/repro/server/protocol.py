@@ -24,6 +24,14 @@ Payloads:
 * ``OP_SHUTDOWN`` — empty; the server acks with ``OP_PONG`` and stops
   (used by tests, CI, and the CLI for clean remote shutdown).
 * ``OP_ERROR``    — UTF-8 message; sent instead of the normal reply.
+* ``OP_UPDATE`` / ``OP_UPDATE_REPLY`` — edge insertions for a live
+  server: the request payload is the ``OP_QUERY`` pair encoding (each
+  pair an edge ``u -> v``), the reply a UTF-8 JSON summary (``epoch``,
+  ``changed``, ``swap_s``…).  Servers without a live index answer
+  ``OP_ERROR``.
+* ``OP_EPOCH`` / ``OP_EPOCH_REPLY`` — empty request; the reply payload
+  is one little-endian ``u64``: the artifact epoch currently serving,
+  or 0 for a static (non-versioned) server.
 
 Responses may arrive out of submission order (micro-batching reorders
 freely); the request id is the only correlation contract.
@@ -50,6 +58,10 @@ __all__ = [
     "OP_PONG",
     "OP_SHUTDOWN",
     "OP_ERROR",
+    "OP_UPDATE",
+    "OP_UPDATE_REPLY",
+    "OP_EPOCH",
+    "OP_EPOCH_REPLY",
     "HEADER",
     "MAX_PAYLOAD",
     "CONNECTION_ERROR_ID",
@@ -59,6 +71,8 @@ __all__ = [
     "decode_pairs",
     "encode_answers",
     "decode_answers",
+    "encode_epoch",
+    "decode_epoch",
     "FrameReader",
     "ProtocolError",
     "make_http_handler",
@@ -72,10 +86,15 @@ OP_PING = 5
 OP_PONG = 6
 OP_SHUTDOWN = 7
 OP_ERROR = 8
+OP_UPDATE = 9
+OP_UPDATE_REPLY = 10
+OP_EPOCH = 11
+OP_EPOCH_REPLY = 12
 
 _OPS = frozenset(
     (OP_QUERY, OP_ANSWERS, OP_STATS, OP_STATS_REPLY, OP_PING, OP_PONG,
-     OP_SHUTDOWN, OP_ERROR)
+     OP_SHUTDOWN, OP_ERROR, OP_UPDATE, OP_UPDATE_REPLY, OP_EPOCH,
+     OP_EPOCH_REPLY)
 )
 
 #: Frame header: payload length, opcode, request id.
@@ -165,6 +184,23 @@ def decode_answers(payload: bytes) -> List[bool]:
             f"{len(bits)} bit bytes"
         )
     return [bool(bits[i >> 3] & (1 << (i & 7))) for i in range(count)]
+
+
+_EPOCH = struct.Struct("<Q")
+
+
+def encode_epoch(epoch: Optional[int]) -> bytes:
+    """``OP_EPOCH_REPLY`` payload: the epoch as u64 (0 = static server)."""
+    return _EPOCH.pack(0 if epoch is None else int(epoch))
+
+
+def decode_epoch(payload: bytes) -> int:
+    """Parse an ``OP_EPOCH_REPLY`` payload (0 means static serving)."""
+    if len(payload) != _EPOCH.size:
+        raise ProtocolError(
+            f"epoch payload is {len(payload)} bytes, expected {_EPOCH.size}"
+        )
+    return _EPOCH.unpack(payload)[0]
 
 
 class FrameReader:

@@ -48,24 +48,52 @@ Pair = Tuple[int, int]
 # ----------------------------------------------------------------------
 # Worker pool
 # ----------------------------------------------------------------------
-def _worker_main(artifact_path: str, tasks, results) -> None:
+def _close_oracle_artifact(oracle) -> None:
+    """Close the mmap behind a worker's retired oracle (best effort)."""
+    from ..live.store import artifact_of
+
+    art = artifact_of(oracle)
+    if art is not None:
+        try:
+            art.close()
+        except Exception:  # pragma: no cover - GC will unmap eventually
+            pass
+
+
+def _worker_main(artifact_path: str, initial_epoch: int, tasks, results) -> None:
     """Worker process: mmap-load the artifact, answer batches forever.
 
-    Messages in: ``(batch_id, payload)`` with the wire pair encoding,
-    or ``None`` to exit.  Messages out: ``("ready", pid)`` once, then
-    ``("ok", batch_id, payload)`` with packed answer bits or
-    ``("err", batch_id, message)``.
+    Messages in: ``(batch_id, epoch, path, payload)`` with the wire
+    pair encoding, or ``None`` to exit.  Messages out:
+    ``("ready", pid)`` once, then ``("ok", batch_id, payload)`` with
+    packed answer bits or ``("err", batch_id, message)``.
+
+    Epoch-aware serving: static pools dispatch epoch 0 forever and the
+    startup artifact serves every batch; a versioned pool dispatches
+    each batch with its leased ``(epoch, path)``, and a task carrying a
+    *different* epoch than the one currently mapped makes the worker
+    load that version's file before answering (the retired mapping is
+    closed) — each worker picks up a hot swap on its first batch of the
+    new epoch, with no coordination message and no idle reload churn.
+    The parent holds the batch's epoch lease until the reply arrives,
+    which is what keeps the file mappable here.
     """
     from ..serialization import load_artifact
 
     oracle = load_artifact(artifact_path, mmap=True)
+    current_epoch = initial_epoch
     results.put(("ready", os.getpid()))
     while True:
         task = tasks.get()
         if task is None:
             break
-        batch_id, payload = task
+        batch_id, epoch, path, payload = task
         try:
+            if epoch != current_epoch:
+                fresh = load_artifact(path, mmap=True)
+                _close_oracle_artifact(oracle)
+                oracle = fresh
+                current_epoch = epoch
             pairs = proto.decode_pairs(payload)
             if len(pairs) == 1:
                 answers = [bool(oracle.query(*pairs[0]))]
@@ -87,13 +115,20 @@ class WorkerPool:
     concurrently.
     """
 
-    def __init__(self, artifact_path: str, workers: int, start_timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        artifact_path: str,
+        workers: int,
+        start_timeout: float = 60.0,
+        initial_epoch: int = 0,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         import multiprocessing as mp
 
         self.artifact_path = str(artifact_path)
         self.workers = workers
+        self.initial_epoch = initial_epoch
         try:
             ctx = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
@@ -110,7 +145,7 @@ class WorkerPool:
         self._procs = [
             ctx.Process(
                 target=_worker_main,
-                args=(self.artifact_path, self._tasks, self._results),
+                args=(self.artifact_path, initial_epoch, self._tasks, self._results),
                 daemon=True,
                 name=f"repro-serve-worker-{i}",
             )
@@ -155,18 +190,31 @@ class WorkerPool:
         self._reader.start()
 
     # -- dispatch ------------------------------------------------------
-    def dispatch(self, batch: Batch) -> None:
-        """Queue a batch; the reader thread resolves it on completion."""
+    def dispatch(self, batch: Batch, lease=None) -> None:
+        """Queue a batch; the reader thread resolves it on completion.
+
+        ``lease`` (live serving) pins one artifact epoch for the whole
+        batch: its ``(epoch, path)`` ride the task so the worker maps
+        the right version, and the lease is released only once the
+        batch resolves — which is what keeps the epoch's file on disk
+        until every worker that needs it has mapped it.
+        """
         payload = proto.encode_pairs(batch.pairs)
+        if lease is None:
+            epoch, path = 0, ""
+        else:
+            epoch, path = lease.epoch, lease.path
         with self._lock:
             if self._closed:
+                if lease is not None:
+                    lease.release()
                 batch.fail(RuntimeError("worker pool closed"))
                 return
             batch_id = self._next_id
             self._next_id += 1
-            self._pending[batch_id] = batch
+            self._pending[batch_id] = (batch, lease)
             self._dispatched += 1
-        self._tasks.put((batch_id, payload))
+        self._tasks.put((batch_id, epoch, path, payload))
 
     def _read_results(self) -> None:
         while True:
@@ -175,15 +223,23 @@ class WorkerPool:
                 return
             kind, batch_id, payload = msg
             with self._lock:
-                batch = self._pending.pop(batch_id, None)
-            if batch is None:  # late reply after close; nothing waits
+                entry = self._pending.pop(batch_id, None)
+            if entry is None:  # late reply after close; nothing waits
                 continue
-            if kind == "ok":
-                batch.resolve(proto.decode_answers(payload))
-            else:
-                with self._lock:
-                    self._errors += 1
-                batch.fail(RuntimeError(f"worker failed: {payload}"))
+            batch, lease = entry
+            try:
+                if kind == "ok":
+                    batch.resolve(
+                        proto.decode_answers(payload),
+                        epoch=None if lease is None else lease.epoch,
+                    )
+                else:
+                    with self._lock:
+                        self._errors += 1
+                    batch.fail(RuntimeError(f"worker failed: {payload}"))
+            finally:
+                if lease is not None:
+                    lease.release()
 
     # -- lifecycle -----------------------------------------------------
     def close(self, timeout: float = 5.0) -> None:
@@ -194,7 +250,9 @@ class WorkerPool:
             self._closed = True
             pending = list(self._pending.values())
             self._pending.clear()
-        for batch in pending:
+        for batch, lease in pending:
+            if lease is not None:
+                lease.release()
             batch.fail(RuntimeError("worker pool closed"))
         for _ in self._procs:
             self._tasks.put(None)
@@ -239,14 +297,26 @@ def _oracle_bound(oracle) -> int:
 class QueryService:
     """Cache → batcher → oracle; the answer path shared by all frontends.
 
-    Exactly one of ``artifact_path`` / ``oracle`` picks the answer
-    source.  With ``workers == 0`` the oracle runs in-process (loading
-    the artifact if only a path was given); with ``workers > 0`` the
-    service needs ``artifact_path`` so every worker process can
-    mmap-load the same file.
+    Exactly one of ``artifact_path`` / ``oracle`` / ``store`` / ``live``
+    picks the answer source:
 
-    ``window_s`` is the micro-batching window (0 disables coalescing),
-    ``cache_size`` the LRU entry budget (0 disables the cache).
+    * ``artifact_path`` — a static artifact file (loaded in-process, or
+      mmap-loaded by each worker when ``workers > 0``).
+    * ``oracle`` — a live in-process oracle (``workers == 0`` only).
+    * ``store`` — a :class:`repro.live.VersionedArtifactStore`: every
+      batch leases the store's current epoch, so hot swaps published
+      into the store take effect batch-atomically.  Works with worker
+      pools (the lease's epoch + path ride each task).
+    * ``live`` — a :class:`repro.live.LiveIndex`: its store serves as
+      above *and* its update path is mounted as :attr:`updater`, which
+      the TCP front end exposes as the ``OP_UPDATE`` wire op.
+
+    ``window_s`` is the micro-batching window (0 disables coalescing)
+    and ``adaptive_window`` lets it shrink under low arrival rate;
+    ``cache_size`` the LRU entry budget (0 disables the cache) — in
+    versioned modes cache keys carry the epoch, so a swap never serves
+    a stale cached answer and never needs a flush.  ``owns_store``
+    makes :meth:`close` close the store/live index too.
     """
 
     def __init__(
@@ -254,15 +324,32 @@ class QueryService:
         artifact_path: Optional[str] = None,
         oracle=None,
         *,
+        store=None,
+        live=None,
         workers: int = 0,
         window_s: float = 0.001,
+        adaptive_window: bool = False,
         max_batch: int = 65536,
         cache_size: int = 65536,
         cache_shards: int = 8,
+        owns_store: bool = False,
     ) -> None:
-        if (artifact_path is None) == (oracle is None):
-            raise ValueError("pass exactly one of artifact_path / oracle")
-        if workers > 0 and artifact_path is None:
+        sources = sum(x is not None for x in (artifact_path, oracle, store, live))
+        if sources != 1:
+            raise ValueError(
+                "pass exactly one of artifact_path / oracle / store / live"
+            )
+        if live is not None:
+            self._live = live
+            self._store = live.store
+            self.updater = live.apply_updates
+        else:
+            self._live = None
+            self._store = store
+            #: ``updater(edges) -> summary`` for the wire ``OP_UPDATE``;
+            #: None on servers without an update path.
+            self.updater = None
+        if workers > 0 and artifact_path is None and self._store is None:
             raise ValueError(
                 "worker processes mmap-load the artifact themselves; "
                 "serving a live oracle requires workers=0 (or save it "
@@ -273,8 +360,14 @@ class QueryService:
         self.window_s = window_s
         self.cache = ShardedLRUCache(cache_size, shards=cache_shards)
         self._oracle = oracle
+        self._owns_store = owns_store
         self._pool: Optional[WorkerPool] = None
-        self._batcher = MicroBatcher(self._route, window_s=window_s, max_batch=max_batch)
+        self._batcher = MicroBatcher(
+            self._route,
+            window_s=window_s,
+            max_batch=max_batch,
+            adaptive=adaptive_window,
+        )
         self._started = False
         self._closed = False
         self._started_at: Optional[float] = None
@@ -283,12 +376,24 @@ class QueryService:
         self._pairs_in = 0
         self._singles = 0
         self._bound: Optional[int] = None
+        self._epoch_bounds: Dict[int, int] = {}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "QueryService":
         if self._started:
             return self
-        if self.workers > 0:
+        if self._store is not None:
+            if self._store.current_epoch is None:
+                raise RuntimeError("the artifact store has no published epoch")
+            if self.workers > 0:
+                # Lease the epoch across pool startup so a concurrent
+                # publish cannot drain (and unlink) the file the
+                # workers are busy mapping.
+                with self._store.acquire() as lease:
+                    self._pool = WorkerPool(
+                        lease.path, self.workers, initial_epoch=lease.epoch
+                    )
+        elif self.workers > 0:
             self._pool = WorkerPool(self.artifact_path, self.workers)
         elif self._oracle is None:
             from ..serialization import load_artifact
@@ -296,7 +401,7 @@ class QueryService:
             self._oracle = load_artifact(self.artifact_path, mmap=True)
         if self._oracle is not None:
             self._bound = _oracle_bound(self._oracle)
-        else:
+        elif self._store is None:
             # Workers own the oracle; read the bound from the header.
             from ..serialization import artifact_info
 
@@ -315,6 +420,11 @@ class QueryService:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._owns_store:
+            if self._live is not None:
+                self._live.close()
+            elif self._store is not None:
+                self._store.close()
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -323,24 +433,109 @@ class QueryService:
         self.close()
 
     # -- the answer path -----------------------------------------------
+    @property
+    def current_epoch(self) -> Optional[int]:
+        """The serving artifact epoch (None for static sources)."""
+        return None if self._store is None else self._store.current_epoch
+
+    def _bound_for(self, lease) -> int:
+        """Memoized vertex-id bound of one leased epoch (the single
+        implementation shared by ingress validation and _route)."""
+        bound = self._epoch_bounds.get(lease.epoch)
+        if bound is None:
+            bound = _oracle_bound(lease.oracle)
+            # Tiny monotone map (one entry per published epoch); prune
+            # so a long-lived server doesn't grow one int per publish.
+            if len(self._epoch_bounds) > 8:
+                self._epoch_bounds.clear()
+            self._epoch_bounds[lease.epoch] = bound
+        return bound
+
+    def _epoch_and_bound(self) -> Tuple[Optional[int], Optional[int]]:
+        """One consistent ``(epoch, bound)`` snapshot for a request.
+
+        Taken under a single lease: epoch and oracle must come from the
+        SAME version (separate current_epoch/current_oracle reads could
+        straddle a publish and cache the new oracle's bound under the
+        old epoch key).  ``(None, None)`` only when a versioned store
+        was closed mid-request — callers turn that into a clean
+        shutdown error, never compare ids against it.
+        """
+        if self._store is None:
+            return None, self._bound
+        try:
+            lease = self._store.acquire()
+        except RuntimeError:  # store closed mid-request
+            return None, None
+        try:
+            return lease.epoch, self._bound_for(lease)
+        finally:
+            lease.release()
+
+    def _current_bound(self) -> Optional[int]:
+        """Vertex-id bound of whatever will answer the next batch."""
+        return self._epoch_and_bound()[1]
+
     def _route(self, batch: Batch) -> None:
-        """Batcher dispatch target: pool when present, else in-process."""
+        """Batcher dispatch target: pool when present, else in-process.
+
+        Versioned sources lease the store's current epoch here — one
+        lease per batch, released when the batch resolves — so every
+        answer in a batch comes from exactly one artifact version.
+        """
         if batch.singleton:
             with self._stat_lock:
                 self._singles += 1
+        lease = None
+        if self._store is not None:
+            try:
+                lease = self._store.acquire()
+            except Exception as exc:
+                batch.fail(exc)
+                return
+            # Ingress validated against the *submission* epoch's bound;
+            # if a swap to a smaller graph flipped in between, catch it
+            # here with a clear error instead of letting the oracle
+            # index out of range (which would surface as an opaque
+            # worker/engine exception).  Only the requests that carry
+            # an out-of-range pair fail — innocent requests coalesced
+            # into the same batch are re-batched and answered normally.
+            bound = self._bound_for(lease)
+            if any(u >= bound or v >= bound for u, v in batch.pairs):
+                bad = [
+                    req
+                    for req in batch.requests
+                    if any(u >= bound or v >= bound for u, v in req.pairs)
+                ]
+                good = [req for req in batch.requests if req not in bad]
+                Batch(bad).fail(
+                    ValueError(
+                        f"request contains a vertex pair out of range for "
+                        f"n={bound}: the served artifact changed to a "
+                        f"smaller graph (epoch {lease.epoch}) after the "
+                        "request was validated"
+                    )
+                )
+                if not good:
+                    lease.release()
+                    return
+                batch = Batch(good)
         if self._pool is not None:
-            self._pool.dispatch(batch)
+            self._pool.dispatch(batch, lease)
             return
         try:
+            oracle = self._oracle if lease is None else lease.oracle
             if batch.singleton:
                 u, v = batch.pairs[0]
-                answers = [bool(self._oracle.query(u, v))]
+                answers = [bool(oracle.query(u, v))]
             else:
-                answers = self._oracle.query_batch(batch.pairs)
+                answers = oracle.query_batch(batch.pairs)
+            batch.resolve(answers, epoch=None if lease is None else lease.epoch)
         except Exception as exc:
             batch.fail(exc)
-            return
-        batch.resolve(answers)
+        finally:
+            if lease is not None:
+                lease.release()
 
     def query_pairs_async(
         self,
@@ -356,7 +551,14 @@ class QueryService:
         if not self._started:
             raise RuntimeError("QueryService.start() has not been called")
         flush = getattr(callback, "flush_writer", None)
-        bound = self._bound
+        # One lease yields the request's consistent (epoch, bound):
+        # the bound validates ingress, the epoch keys the cache reads.
+        epoch, bound = self._epoch_and_bound()
+        if bound is None:
+            callback(None, RuntimeError("the artifact store is closed"))
+            if flush is not None:
+                flush()
+            return
         for u, v in pairs:
             if not (0 <= u < bound and 0 <= v < bound):
                 callback(
@@ -371,19 +573,46 @@ class QueryService:
         with self._stat_lock:
             self._requests += 1
             self._pairs_in += len(pairs)
-        cached, missing = self.cache.get_many(pairs)
+        # Cache reads use the epoch current at submission (from the
+        # snapshot above); writes (in on_done) use the epoch that
+        # actually answered the batch.  Both are correct for their own
+        # version — entries never cross epochs.
+        versioned = self._store is not None
+        cached, missing = self.cache.get_many(pairs, epoch=epoch)
         if not missing:
             callback([bool(a) for a in cached], None)
             if flush is not None:
                 flush()
             return
         missing_pairs = [pairs[i] for i in missing]
+        had_hits = len(missing) < len(pairs)
 
         def on_done(req) -> None:
             if req.error is not None:
                 callback(None, req.error)
                 return
-            self.cache.put_many(missing_pairs, req.answers)
+            self.cache.put_many(
+                missing_pairs,
+                req.answers,
+                epoch=req.epoch if versioned else None,
+            )
+            if versioned and had_hits and req.epoch != epoch:
+                # A publish landed between the cache read (epoch) and
+                # the batch lease (req.epoch): combining them would mix
+                # versions inside one reply.  Re-ask the *whole* request
+                # from the batcher — it rides one batch, hence one
+                # epoch, so the retry cannot mix (and needs no loop).
+                def on_retry(req2) -> None:
+                    if req2.error is not None:
+                        callback(None, req2.error)
+                        return
+                    self.cache.put_many(pairs, req2.answers, epoch=req2.epoch)
+                    callback([bool(a) for a in req2.answers], None)
+
+                if flush is not None:
+                    on_retry.flush_writer = flush
+                self._batcher.submit_async(pairs, on_retry)
+                return
             for slot, answer in zip(missing, req.answers):
                 cached[slot] = answer
             callback([bool(a) for a in cached], None)
@@ -417,10 +646,14 @@ class QueryService:
     def stats(self) -> dict:
         with self._stat_lock:
             requests, pairs_in, singles = self._requests, self._pairs_in, self._singles
+        artifact = self.artifact_path
+        if artifact is None and self._store is not None:
+            artifact = self._store.current_path
         doc = {
-            "artifact": self.artifact_path,
+            "artifact": artifact,
             "workers": self.workers,
-            "n": self._bound,
+            "n": self._current_bound(),
+            "epoch": self.current_epoch,
             "uptime_s": (
                 time.monotonic() - self._started_at if self._started_at else 0.0
             ),
@@ -432,6 +665,13 @@ class QueryService:
         }
         if self._pool is not None:
             doc["pool"] = self._pool.stats()
+        try:
+            if self._live is not None:
+                doc["live"] = self._live.stats()
+            elif self._store is not None:
+                doc["store"] = self._store.stats()
+        except Exception:  # pragma: no cover - stats must never fail serving
+            pass
         if self._oracle is not None and hasattr(self._oracle, "stats"):
             try:
                 doc["oracle"] = self._oracle.stats()
@@ -548,6 +788,11 @@ class ReachServer:
         #: Files the server owns and deletes on close (e.g. the temp
         #: artifact a build-mode facade saved for its worker pool).
         self.cleanup_paths: List[str] = []
+        #: Callables run during close(), after connections drain but
+        #: before the owned service shuts down — watchers, live
+        #: indices, anything whose lifetime is tied to this server.
+        #: Exceptions are swallowed: shutdown must finish.
+        self.cleanup_callbacks: List[Callable[[], None]] = []
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "ReachServer":
@@ -611,6 +856,13 @@ class ReachServer:
         for thread in threads:
             if thread is not current:
                 thread.join(timeout=5.0)
+        # Callbacks first (watchers must stop publishing before the
+        # service closes the store they publish into), then the service.
+        for callback in self.cleanup_callbacks:
+            try:
+                callback()
+            except Exception:  # pragma: no cover - shutdown must finish
+                pass
         if self._owns_service:
             self.service.close()
         for path in self.cleanup_paths:
@@ -690,6 +942,14 @@ class ReachServer:
                     self._handle_query(request_id, payload, writer)
                 elif op == proto.OP_PING:
                     send(proto.OP_PONG, request_id)
+                elif op == proto.OP_EPOCH:
+                    send(
+                        proto.OP_EPOCH_REPLY,
+                        request_id,
+                        proto.encode_epoch(self.service.current_epoch),
+                    )
+                elif op == proto.OP_UPDATE:
+                    self._handle_update(request_id, payload, send)
                 elif op == proto.OP_STATS:
                     doc = dict(self.service.stats())
                     doc["connections_total"] = self._connections_total
@@ -728,6 +988,39 @@ class ReachServer:
                 # per connection ever accepted).
                 if current in self._conn_threads:
                     self._conn_threads.remove(current)
+
+    def _handle_update(self, request_id: int, payload: bytes, send) -> None:
+        """``OP_UPDATE``: apply an edge-insertion stream to a live index.
+
+        Runs on the connection's reader thread — updates serialise on
+        the live index's lock anyway, and a pipelining client can keep
+        querying on other connections while its update compiles.  The
+        reply is the JSON publish summary (new ``epoch``, ``changed``
+        count, ``swap_s``…).
+        """
+        if self.service.updater is None:
+            send(
+                proto.OP_ERROR,
+                request_id,
+                b"this server has no update path (serve a live index: "
+                b"Reachability.serve(live=True))",
+            )
+            return
+        try:
+            edges = proto.decode_pairs(payload)
+        except proto.ProtocolError as exc:
+            send(proto.OP_ERROR, request_id, repr(exc).encode("utf-8"))
+            return
+        try:
+            summary = self.service.updater(edges)
+        except Exception as exc:  # bad edges must not kill the connection
+            send(proto.OP_ERROR, request_id, repr(exc).encode("utf-8"))
+            return
+        send(
+            proto.OP_UPDATE_REPLY,
+            request_id,
+            json.dumps(summary).encode("utf-8"),
+        )
 
     def _handle_query(self, request_id: int, payload: bytes, writer) -> None:
         try:
@@ -830,9 +1123,12 @@ def serve_artifact(
     *,
     workers: int = 0,
     window_s: float = 0.001,
+    adaptive_window: bool = False,
     max_batch: int = 65536,
     cache_size: int = 65536,
     allow_shutdown: Optional[bool] = None,
+    watch: bool = False,
+    watch_interval_s: float = 0.5,
 ) -> ReachServer:
     """Start a TCP server over a saved artifact; returns the running server.
 
@@ -841,26 +1137,66 @@ def serve_artifact(
         server = serve_artifact("kegg.rpro", port=7431, workers=4)
         server.wait()
 
-    The returned server owns its :class:`QueryService` — ``close()``
-    (or a client's ``OP_SHUTDOWN``) tears down the pool as well.
+    ``watch=True`` serves the artifact through an epoch-versioned store
+    and polls the file every ``watch_interval_s``: atomically replacing
+    it on disk (write new + ``os.rename``) hot-swaps the served version
+    without dropping a connection.  The returned server owns its
+    :class:`QueryService` (and, when watching, the store + watcher) —
+    ``close()`` (or a client's ``OP_SHUTDOWN``) tears everything down.
     ``allow_shutdown=None`` (default) honours the unauthenticated
     shutdown frame only on loopback hosts.
     """
-    service = QueryService(
-        artifact_path,
-        workers=workers,
-        window_s=window_s,
-        max_batch=max_batch,
-        cache_size=cache_size,
-    ).start()
+    watcher = None
+    if watch:
+        from ..live import ArtifactWatcher, VersionedArtifactStore
+
+        store = VersionedArtifactStore()
+        # The watcher publishes epoch 1 too: every epoch is a private
+        # snapshot (hard link) of the watched file, so epoch -> content
+        # stays bound however fast the operator replaces the path, and
+        # the pre-load signature capture closes the replace-during-load
+        # race.
+        watcher = ArtifactWatcher(store, artifact_path, interval_s=watch_interval_s)
+        try:
+            watcher.publish_current()
+        except BaseException:
+            watcher.close()
+            store.close()
+            raise
+        service = QueryService(
+            store=store,
+            workers=workers,
+            window_s=window_s,
+            adaptive_window=adaptive_window,
+            max_batch=max_batch,
+            cache_size=cache_size,
+            owns_store=True,
+        )
+    else:
+        service = QueryService(
+            artifact_path,
+            workers=workers,
+            window_s=window_s,
+            adaptive_window=adaptive_window,
+            max_batch=max_batch,
+            cache_size=cache_size,
+        )
     try:
-        return ReachServer(
+        service.start()
+        server = ReachServer(
             service,
             host,
             port,
             allow_shutdown=allow_shutdown,
             owns_service=True,
-        ).start()
+        )
+        if watcher is not None:
+            # Stop polling before the service (and its store) go down.
+            server.cleanup_callbacks.append(watcher.close)
+            watcher.start()
+        return server.start()
     except BaseException:
+        if watcher is not None:
+            watcher.close()
         service.close()
         raise

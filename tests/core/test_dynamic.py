@@ -156,3 +156,71 @@ def test_property_insert_stream_correct(scenario):
     for u, v in stream:
         dyn.insert_edge(u, v)
     assert_matches_bfs(dyn, shadow)
+
+
+class TestEdgeCases:
+    """Satellite coverage: label no-ops, the exact bloat threshold, and
+    the decremental boundary."""
+
+    def test_already_reachable_insert_is_a_label_noop(self):
+        base, stream, _ = random_insert_sequence(20, 30, 6, seed=8)
+        dyn = DynamicDL(base, auto_rebuild_factor=0)
+        for u, v in stream:
+            dyn.insert_edge(u, v)
+        # Find a pair that is reachable but not an edge yet.
+        target = None
+        for u in range(dyn.n):
+            for v in range(dyn.n):
+                if u != v and dyn.query(u, v) and not dyn.graph.has_edge(u, v):
+                    target = (u, v)
+                    break
+            if target:
+                break
+        assert target is not None, "scenario produced no transitive pair"
+        lin_before = [list(lab) for lab in dyn.labels.lin]
+        lout_before = [list(lab) for lab in dyn.labels.lout]
+        size_before = dyn.index_size_ints()
+        assert dyn.insert_edge(*target) is False
+        assert dyn.labels.lin == lin_before
+        assert dyn.labels.lout == lout_before
+        assert dyn.index_size_ints() == size_before
+        assert dyn.m == base.m + len(stream) + 1  # the graph still grew
+
+    def test_auto_rebuild_triggers_exactly_past_the_factor(self):
+        # The documented contract: rebuild fires when
+        # size > factor * size_at_last_rebuild, strictly.  Measure the
+        # exact post-insert size with rebuilds off, then replay at a
+        # factor equal to the ratio (no trigger: equality is not >) and
+        # just below it (trigger).
+        def grown_size(factor):
+            g = DiGraph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+            dyn = DynamicDL(g, auto_rebuild_factor=factor)
+            base_size = dyn.stats()["size_at_last_rebuild"]
+            dyn.insert_edge(1, 2)
+            dyn.insert_edge(3, 4)
+            return dyn, base_size
+
+        probe, base_size = grown_size(0)
+        ratio = probe.index_size_ints() / base_size
+        assert ratio > 1  # the flood genuinely bloats this labeling
+
+        at_threshold, _ = grown_size(ratio)
+        assert at_threshold.stats()["inserts_since_rebuild"] == 2, (
+            "rebuild fired at size == factor * base; the contract is "
+            "strictly greater-than"
+        )
+        just_below, _ = grown_size(ratio - 1e-9)
+        assert just_below.stats()["inserts_since_rebuild"] == 0, (
+            "rebuild did not fire just past the bloat threshold"
+        )
+
+    def test_remove_edge_raises_not_implemented_for_any_edge(self):
+        dyn = DynamicDL(path_dag(4))
+        # Existing edge, absent edge, even nonsense ids: the boundary
+        # is the operation, not the argument.
+        for edge in [(0, 1), (0, 3), (99, 100)]:
+            with pytest.raises(NotImplementedError, match="decremental"):
+                dyn.remove_edge(*edge)
+        # The refusal changed nothing.
+        assert dyn.m == 3
+        assert dyn.query(0, 3)

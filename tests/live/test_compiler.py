@@ -1,0 +1,269 @@
+"""IncrementalCompiler: correctness vs fresh builds, section reuse,
+full-recompile fallbacks."""
+
+import random
+
+import pytest
+
+from repro.facade import Reachability
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_dag, random_dag
+from repro.graph.traversal import bfs_reaches
+from repro.live import IncrementalCompiler
+from repro.serialization import load_artifact
+
+
+def sample_pairs(n, count, seed):
+    rng = random.Random(seed)
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+def acyclic_insert_stream(graph, count, seed):
+    """Edges that are new and keep the graph acyclic (no SCC merges)."""
+    rng = random.Random(seed)
+    shadow = graph.copy()
+    stream = []
+    tries = 0
+    while len(stream) < count and tries < count * 80:
+        tries += 1
+        u, v = rng.randrange(graph.n), rng.randrange(graph.n)
+        if u == v or shadow.has_edge(u, v):
+            continue
+        if bfs_reaches(shadow.out_adj, v, u):
+            continue
+        shadow.add_edge(u, v)
+        stream.append((u, v))
+    return stream, shadow
+
+
+class TestArtifactParity:
+    """A compiled artifact must be indistinguishable from a fresh save."""
+
+    def test_initial_compile_matches_fresh_build(self, tmp_path):
+        g = random_dag(150, 400, seed=1)
+        comp = IncrementalCompiler(g)
+        path = str(tmp_path / "v1.rpro")
+        info = comp.compile_to(path)
+        assert info["full"] is True
+        served = load_artifact(path)
+        fresh = Reachability(g.copy(), "DL")
+        pairs = sample_pairs(150, 4000, seed=2)
+        assert served.query_batch(pairs) == fresh.query_batch(pairs)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_incremental_artifacts_match_fresh_builds(self, tmp_path, seed):
+        g = random_dag(120, 300, seed=seed)
+        comp = IncrementalCompiler(g)
+        comp.compile_to(str(tmp_path / "v1.rpro"))  # first compile: full
+        stream, shadow = acyclic_insert_stream(g, 20, seed=seed + 100)
+        for u, v in stream:
+            comp.add_edge(u, v)
+        path = str(tmp_path / "v2.rpro")
+        info = comp.compile_to(path)
+        assert info["full"] is False  # acyclic inserts stay incremental
+        served = load_artifact(path)
+        fresh = Reachability(shadow.copy(), "DL")
+        pairs = sample_pairs(120, 4000, seed=seed + 200)
+        assert served.query_batch(pairs) == fresh.query_batch(pairs)
+
+    def test_cyclic_inserts_match_fresh_builds(self, tmp_path):
+        # Random edges ignoring acyclicity: exercises the SCC-merge
+        # rebuild fallback, including multi-component collapses.
+        g = random_dag(80, 200, seed=9)
+        comp = IncrementalCompiler(g)
+        shadow = g.copy()
+        rng = random.Random(10)
+        added = 0
+        while added < 25:
+            u, v = rng.randrange(80), rng.randrange(80)
+            if u == v or shadow.has_edge(u, v):
+                continue
+            shadow.add_edge(u, v)
+            comp.add_edge(u, v)
+            added += 1
+        assert comp.stats()["scc_merges"] > 0  # the stream must hit it
+        path = str(tmp_path / "v.rpro")
+        comp.compile_to(path)
+        served = load_artifact(path)
+        fresh = Reachability(shadow.copy(), "DL")
+        pairs = sample_pairs(80, 3000, seed=11)
+        assert served.query_batch(pairs) == fresh.query_batch(pairs)
+        # Same-SCC pairs answer True both ways around.
+        scc_pairs = [
+            (u, v) for u, v in pairs if fresh.same_scc(u, v)
+        ]
+        if scc_pairs:
+            assert all(served.query_batch(scc_pairs))
+
+
+class TestSectionReuse:
+    def test_incremental_compile_reuses_untouched_arenas(self, tmp_path):
+        g = random_dag(200, 500, seed=3)
+        comp = IncrementalCompiler(g)
+        comp.compile_to(str(tmp_path / "v1.rpro"))
+        stream, _ = acyclic_insert_stream(g, 5, seed=7)
+        for u, v in stream:
+            comp.add_edge(u, v)
+        info = comp.compile_to(str(tmp_path / "v2.rpro"))
+        assert info["full"] is False
+        # comp map, out-side arena (2 sections) and hop_vertex reuse
+        # their packed bytes; only the in side (+ height) repack.
+        assert info["sections_reused"] == 4
+        repacked = info["sections_repacked"]
+        assert repacked == 3  # in_hops, in_offs, height
+
+    def test_incremental_compile_is_cheaper_than_full(self, tmp_path):
+        g = random_dag(3000, 9000, seed=5)
+        comp = IncrementalCompiler(g)
+        full = comp.compile_to(str(tmp_path / "v1.rpro"))
+        comp.add_edge(*acyclic_insert_stream(g, 1, seed=6)[0][0])
+        inc = comp.compile_to(str(tmp_path / "v2.rpro"))
+        assert inc["full"] is False
+        assert inc["compile_s"] < full["compile_s"]
+
+    def test_forced_full_compile_repacks_everything(self, tmp_path):
+        g = random_dag(100, 250, seed=8)
+        comp = IncrementalCompiler(g)
+        comp.compile_to(str(tmp_path / "v1.rpro"))
+        info = comp.compile_to(str(tmp_path / "v2.rpro"), full=True)
+        assert info["full"] is True
+        assert info["sections_reused"] == 0
+
+
+class TestFallbacks:
+    def test_auto_rebuild_factor_triggers_full_compile(self, tmp_path):
+        g = random_dag(60, 120, seed=12)
+        comp = IncrementalCompiler(g, auto_rebuild_factor=1.001)
+        comp.compile_to(str(tmp_path / "v1.rpro"))
+        stream, shadow = acyclic_insert_stream(g, 15, seed=13)
+        for u, v in stream:
+            comp.add_edge(u, v)
+        assert comp.stats()["auto_rebuilds"] > 0
+        info = comp.compile_to(str(tmp_path / "v2.rpro"))
+        assert info["full"] is True  # rebuild invalidated the out side
+        served = load_artifact(str(tmp_path / "v2.rpro"))
+        fresh = Reachability(shadow.copy(), "DL")
+        pairs = sample_pairs(60, 2000, seed=14)
+        assert served.query_batch(pairs) == fresh.query_batch(pairs)
+
+    def test_scc_merge_marks_full(self, tmp_path):
+        comp = IncrementalCompiler(DiGraph.from_edges(4, [(0, 1), (1, 2)]))
+        comp.compile_to(str(tmp_path / "v1.rpro"))
+        info = comp.add_edge(2, 0)
+        assert info["kind"] == "scc-merge"
+        out = comp.compile_to(str(tmp_path / "v2.rpro"))
+        assert out["full"] is True
+        served = load_artifact(str(tmp_path / "v2.rpro"))
+        assert served.query(2, 1) and served.same_scc(0, 2)
+
+
+class TestEdgeHandling:
+    def test_duplicate_edge_is_a_noop(self):
+        comp = IncrementalCompiler(path_dag(5))
+        info = comp.add_edge(0, 1)
+        assert info == {"kind": "duplicate", "changed": False, "rebuilt": False}
+        assert comp.stats()["duplicate_edges"] == 1
+        assert comp.m == 4
+
+    def test_intra_scc_and_already_reachable_edges_skip_labels(self):
+        # 0 -> 1 -> 2 -> 0 is one SCC; 3 hangs off it.
+        comp = IncrementalCompiler(
+            DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        )
+        size_before = comp.stats()["index_size_ints"]
+        intra = comp.add_edge(0, 2)  # chord inside the SCC
+        assert intra == {"kind": "intra-scc", "changed": False, "rebuilt": False}
+        already = comp.add_edge(1, 3)  # distinct components, reachable
+        assert already["kind"] == "inserted" and already["changed"] is False
+        assert comp.stats()["index_size_ints"] == size_before
+        assert comp.query(0, 3) and comp.query(1, 3)
+
+    def test_self_loop_rejected(self):
+        comp = IncrementalCompiler(path_dag(3))
+        with pytest.raises(ValueError, match="[Ss]elf-loop"):
+            comp.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        comp = IncrementalCompiler(path_dag(3))
+        with pytest.raises(ValueError, match="out of range"):
+            comp.add_edge(0, 3)
+
+    def test_remove_edge_not_supported(self):
+        comp = IncrementalCompiler(path_dag(3))
+        with pytest.raises(NotImplementedError):
+            comp.remove_edge(0, 1)
+
+    def test_caller_graph_never_mutated(self):
+        g = path_dag(4)
+        comp = IncrementalCompiler(g)
+        comp.add_edge(0, 2)
+        assert not g.has_edge(0, 2)
+
+    def test_query_tracks_updates(self):
+        comp = IncrementalCompiler(DiGraph.from_edges(4, [(0, 1), (2, 3)]))
+        assert not comp.query(0, 3)
+        comp.add_edge(1, 2)
+        assert comp.query(0, 3)
+        assert comp.query_batch([(0, 3), (3, 0)]) == [True, False]
+
+
+class TestFromPipeline:
+    def test_seeded_compiler_matches_fresh_build(self, tmp_path):
+        # serve(live=True) seeds the compiler from the facade's built DL
+        # index; the resulting artifacts must be bit-identical in
+        # answers to a compiler built from scratch — before and after
+        # an insert stream.
+        g = DiGraph.from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (4, 5)])
+        fresh = IncrementalCompiler(g)
+        seeded = IncrementalCompiler.from_pipeline(Reachability(g, "DL"))
+        stream = [(3, 4), (5, 1)]  # the second closes a cycle
+        pairs = [(u, v) for u in range(6) for v in range(6)]
+        assert seeded.query_batch(pairs) == fresh.query_batch(pairs)
+        for u, v in stream[:1]:
+            fresh.add_edge(u, v)
+            seeded.add_edge(u, v)
+        p1 = str(tmp_path / "fresh.rpro")
+        p2 = str(tmp_path / "seeded.rpro")
+        fresh.compile_to(p1)
+        seeded.compile_to(p2)
+        assert (
+            load_artifact(p1).query_batch(pairs)
+            == load_artifact(p2).query_batch(pairs)
+        )
+
+    def test_seeding_does_not_corrupt_the_facade_index(self):
+        g = DiGraph.from_edges(5, [(0, 1), (3, 4)])
+        r = Reachability(g, "DL")
+        comp = IncrementalCompiler.from_pipeline(r)
+        before = r.query_batch([(0, 4), (0, 1)])
+        comp.add_edge(1, 3)  # mutates the compiler's label copy only
+        assert comp.query(0, 4) is True
+        assert r.query_batch([(0, 4), (0, 1)]) == before  # snapshot intact
+
+    def test_non_dl_facade_falls_back_to_fresh_build(self):
+        r = Reachability(path_dag(6), "GL")
+        comp = IncrementalCompiler.from_pipeline(r)
+        assert comp.query(0, 5) is True
+
+    def test_serve_mode_facade_rejected(self, tmp_path):
+        path = str(tmp_path / "p.rpro")
+        Reachability(path_dag(5), "DL").save(path)
+        with pytest.raises(TypeError, match="build-mode"):
+            IncrementalCompiler.from_pipeline(Reachability.load(path))
+
+
+class TestAtomicStreams:
+    def test_bad_edge_mid_stream_applies_nothing(self):
+        from repro.live import LiveIndex
+
+        li = LiveIndex(IncrementalCompiler(DiGraph.from_edges(4, [(0, 1)])))
+        try:
+            with pytest.raises(ValueError, match="out of range"):
+                li.apply_updates([(1, 2), (99, 3)])
+            # The valid prefix must NOT have been applied: a rejected
+            # stream is all-or-nothing.
+            assert li.compiler.m == 1
+            assert li.compiler.query(1, 2) is False
+            assert li.current_epoch == 1
+        finally:
+            li.close()

@@ -1,0 +1,163 @@
+"""VersionedArtifactStore: epochs, leases, drain/unmap semantics."""
+
+import os
+
+import pytest
+
+from repro.facade import Reachability
+from repro.graph.generators import path_dag, random_dag
+from repro.live import VersionedArtifactStore
+
+
+@pytest.fixture()
+def two_artifacts(tmp_path):
+    """Two pipeline artifacts over different graphs, plus the graphs."""
+    g1 = path_dag(50)
+    g2 = random_dag(50, 120, seed=4)
+    p1 = str(tmp_path / "v1.rpro")
+    p2 = str(tmp_path / "v2.rpro")
+    Reachability(g1, "DL").save(p1)
+    Reachability(g2, "DL").save(p2)
+    return g1, g2, p1, p2
+
+
+class TestEpochs:
+    def test_epochs_are_monotone_from_one(self, two_artifacts):
+        _g1, _g2, p1, p2 = two_artifacts
+        with VersionedArtifactStore() as store:
+            assert store.current_epoch is None
+            assert store.publish(p1) == 1
+            assert store.publish(p2) == 2
+            assert store.publish(p1) == 3  # re-publishing never reuses epochs
+            assert store.current_epoch == 3
+            assert store.current_path == p1
+
+    def test_acquire_without_publish_raises(self):
+        store = VersionedArtifactStore()
+        with pytest.raises(RuntimeError, match="no published epoch"):
+            store.acquire()
+
+    def test_failed_load_leaves_store_untouched(self, two_artifacts, tmp_path):
+        _g1, _g2, p1, _p2 = two_artifacts
+        bad = tmp_path / "bad.rpro"
+        bad.write_bytes(b"not an artifact at all")
+        with VersionedArtifactStore() as store:
+            store.publish(p1)
+            with pytest.raises(ValueError):
+                store.publish(str(bad))
+            assert store.current_epoch == 1
+            assert store.current_path == p1
+            with store.acquire() as lease:
+                assert lease.oracle.query(0, 49)
+
+
+class TestLeases:
+    def test_lease_pins_its_epoch_oracle(self, two_artifacts):
+        g1, g2, p1, p2 = two_artifacts
+        with VersionedArtifactStore() as store:
+            store.publish(p1)
+            lease = store.acquire()
+            store.publish(p2)
+            # The lease still answers with v1 semantics even though the
+            # pointer moved: 0 -> 49 holds on the path graph only.
+            assert lease.oracle.query(0, 49) is True
+            assert lease.epoch == 1
+            fresh = store.acquire()
+            assert fresh.epoch == 2
+            fresh.release()
+            lease.release()
+
+    def test_double_release_is_noop(self, two_artifacts):
+        _g1, _g2, p1, _p2 = two_artifacts
+        with VersionedArtifactStore() as store:
+            store.publish(p1)
+            lease = store.acquire()
+            lease.release()
+            lease.release()
+            assert store.stats()["in_flight_leases"] == 0
+
+    def test_context_manager_releases(self, two_artifacts):
+        _g1, _g2, p1, _p2 = two_artifacts
+        with VersionedArtifactStore() as store:
+            store.publish(p1)
+            with store.acquire() as lease:
+                assert store.stats()["in_flight_leases"] == 1
+                assert lease.oracle is not None
+            assert store.stats()["in_flight_leases"] == 0
+
+
+class TestDrain:
+    def test_retired_epoch_drains_once_last_lease_releases(self, two_artifacts):
+        _g1, _g2, p1, p2 = two_artifacts
+        store = VersionedArtifactStore()
+        store.publish(p1)
+        lease = store.acquire()
+        store.publish(p2)
+        stats = store.stats()
+        assert stats["loaded_versions"] == 2
+        assert stats["retired_waiting"] == 1
+        assert stats["drains"] == 0
+        lease.release()
+        stats = store.stats()
+        assert stats["loaded_versions"] == 1
+        assert stats["retired_waiting"] == 0
+        assert stats["drains"] == 1
+        store.close()
+
+    def test_unreferenced_retired_epoch_drains_immediately(self, two_artifacts):
+        _g1, _g2, p1, p2 = two_artifacts
+        store = VersionedArtifactStore()
+        store.publish(p1)
+        store.publish(p2)
+        assert store.stats()["drains"] == 1
+        assert store.loaded_epochs() == [2]
+        store.close()
+
+    def test_drain_closes_the_mmap(self, two_artifacts):
+        _g1, _g2, p1, p2 = two_artifacts
+        store = VersionedArtifactStore()
+        store.publish(p1)
+        first = store.current_oracle()
+        art = first.index.artifact
+        assert art.mapped and not art.closed
+        del first
+        store.publish(p2)
+        assert art.closed, "retired epoch's artifact was not unmapped"
+        store.close()
+
+    def test_owned_files_are_unlinked_on_drain(self, two_artifacts, tmp_path):
+        _g1, _g2, p1, p2 = two_artifacts
+        import shutil
+
+        owned = str(tmp_path / "owned.rpro")
+        shutil.copy(p1, owned)
+        store = VersionedArtifactStore()
+        store.publish(owned, owns_file=True)
+        store.publish(p2)  # retires + drains the owned epoch
+        assert not os.path.exists(owned)
+        assert os.path.exists(p2)  # non-owned files are never touched
+        store.close()
+
+    def test_close_drains_everything_idle(self, two_artifacts):
+        _g1, _g2, p1, p2 = two_artifacts
+        store = VersionedArtifactStore()
+        store.publish(p1)
+        store.publish(p2)
+        store.close()
+        assert store.loaded_epochs() == []
+        with pytest.raises(RuntimeError, match="closed"):
+            store.acquire()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.publish(p1)
+
+    def test_close_with_live_lease_defers_drain(self, two_artifacts):
+        _g1, _g2, p1, _p2 = two_artifacts
+        store = VersionedArtifactStore()
+        store.publish(p1)
+        lease = store.acquire()
+        store.close()
+        # The leased version survives until release...
+        assert store.loaded_epochs() == [1]
+        assert lease.oracle is not None
+        lease.release()
+        assert store.loaded_epochs() == []

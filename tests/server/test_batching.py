@@ -176,3 +176,89 @@ class TestErrors:
         batcher.close()
         t.join(5)
         assert len(errors) == 1
+
+
+class TestAdaptiveWindow:
+    """The window shrinks toward 0 under low arrival rate (satellite)."""
+
+    def test_non_adaptive_effective_window_is_the_ceiling(self):
+        b = MicroBatcher(_RecordingDispatch(), window_s=0.001)
+        assert b.effective_window_s() == 0.001
+
+    def test_zero_window_never_turns_adaptive(self):
+        b = MicroBatcher(_RecordingDispatch(), window_s=0, adaptive=True)
+        assert b.adaptive is False
+        assert b.effective_window_s() == 0
+
+    def test_cold_start_is_half_the_ceiling(self):
+        # Seeded at one full window between arrivals -> half ceiling:
+        # early clients are neither stalled for 1 ms nor unbatchable.
+        b = MicroBatcher(_RecordingDispatch(), window_s=0.001, adaptive=True)
+        assert b.effective_window_s() == pytest.approx(0.0005)
+
+    def test_saturation_keeps_the_ceiling(self):
+        b = MicroBatcher(_RecordingDispatch(), window_s=0.001, adaptive=True)
+        b._ema_gap = 0.001 / 16  # 16 arrivals expected per window
+        assert b.effective_window_s() == pytest.approx(0.001)
+
+    def test_sparse_arrivals_collapse_the_window(self):
+        b = MicroBatcher(_RecordingDispatch(), window_s=0.001, adaptive=True)
+        b._ema_gap = 0.5  # one request every half second
+        assert b.effective_window_s() < 0.001 * 0.002
+        b._ema_gap = 0.001  # exactly one companion expected
+        assert b.effective_window_s() == pytest.approx(0.0005)
+
+    def test_submissions_feed_the_interarrival_ema(self):
+        dispatch = _RecordingDispatch()
+        b = MicroBatcher(dispatch, window_s=0.02, adaptive=True).start()
+        try:
+            for _ in range(4):
+                b.submit([(0, 0)])
+                time.sleep(0.08)  # arrivals 4x sparser than the window
+            # EMA converged toward the real ~80 ms gap, far above the
+            # 20 ms window -> the effective window has collapsed.
+            assert b._ema_gap > 0.04
+            assert b.effective_window_s() < 0.02 / 2
+            stats = b.stats()
+            assert stats["adaptive"] is True
+            assert stats["effective_window_ms"] < 10.0
+        finally:
+            b.close()
+
+    def test_sparse_dispatch_latency_beats_the_ceiling(self):
+        # Behavioral: with a deliberately huge 150 ms ceiling, sparse
+        # lone requests must not pay it once the EMA has seen the gaps.
+        dispatch = _RecordingDispatch()
+        b = MicroBatcher(dispatch, window_s=0.15, adaptive=True).start()
+        try:
+            for _ in range(3):  # teach the EMA the arrival rate
+                b.submit([(1, 2)])
+                time.sleep(0.05)
+            t0 = time.perf_counter()
+            b.submit([(3, 4)])
+            elapsed = time.perf_counter() - t0
+            assert elapsed < 0.1, (
+                f"sparse request waited {elapsed * 1000:.1f} ms under a "
+                f"150 ms ceiling; adaptive window did not shrink"
+            )
+        finally:
+            b.close()
+
+    def test_burst_still_coalesces_at_the_ceiling(self):
+        # Saturation: many threads submitting at once must still merge
+        # into few batches (the ceiling is preserved under load).
+        dispatch = _RecordingDispatch()
+        b = MicroBatcher(dispatch, window_s=0.05, adaptive=True).start()
+        try:
+            b._ema_gap = 0.0005  # pretend the EMA already saw saturation
+            threads = [
+                threading.Thread(target=lambda i=i: b.submit([(i, i)]))
+                for i in range(16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert b.stats()["coalesced_batches"] >= 1
+        finally:
+            b.close()

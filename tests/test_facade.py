@@ -215,3 +215,64 @@ class TestServeLifecycle:
         os.unlink(path)
         with pytest.raises(FileNotFoundError, match="no longer exists"):
             served.serve(workers=1)
+
+
+class TestServeRestartAfterClose:
+    """Regression: Reachability.serve() after close() restarts cleanly
+    in every mode (satellite).  The one deliberate exception — a second
+    *live* serve while the first is still up — raises a clear error
+    (covered in tests/live/test_live_serving.py)."""
+
+    @staticmethod
+    def _graph():
+        return DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+    def _roundtrip(self, server):
+        from repro.server import ReachClient
+
+        try:
+            with ReachClient(*server.address) as client:
+                assert client.query(0, 3) is True
+                assert client.query(3, 0) is False
+        finally:
+            server.close()
+
+    def test_build_mode_in_process_restarts(self):
+        r = Reachability(self._graph(), "DL")
+        self._roundtrip(r.serve())
+        self._roundtrip(r.serve())
+
+    def test_build_mode_worker_pool_restarts(self):
+        # The first close() deletes the temp artifact its pool mapped;
+        # a re-serve must save a fresh one, not trip over the old path.
+        r = Reachability(self._graph(), "DL")
+        self._roundtrip(r.serve(workers=2))
+        self._roundtrip(r.serve(workers=2))
+
+    def test_serve_mode_facade_restarts(self, tmp_path):
+        path = str(tmp_path / "p.rpro")
+        Reachability(self._graph(), "DL").save(path)
+        served = Reachability.load(path)
+        self._roundtrip(served.serve(workers=2))
+        self._roundtrip(served.serve(workers=2))
+
+    def test_live_serve_restarts_and_keeps_updates(self):
+        import pytest
+
+        g = DiGraph.from_edges(4, [(0, 1), (2, 3)])
+        r = Reachability(g, "DL")
+        server = r.serve(live=True)
+        r.add_edge(1, 2)
+        server.close()
+        # Updates applied while live survive into the next serve.
+        server2 = r.serve(live=True)
+        from repro.server import ReachClient
+
+        try:
+            with ReachClient(*server2.address) as client:
+                assert client.query(0, 3) is True
+        finally:
+            server2.close()
+        # ...and a dead live server refuses further updates clearly.
+        with pytest.raises(RuntimeError, match="serve\\(live=True\\)"):
+            r.add_edge(0, 2)
