@@ -1,0 +1,180 @@
+"""Replica-tier bench: steady-state vs failover latency under chaos.
+
+What the ``repro.cluster`` tier costs and guarantees, measured from the
+client side of a real TCP connection against a router fronting N
+replica *processes*:
+
+* **steady** — the baseline pass: the same pipelined single-pair
+  workload the server bench uses, served through the router (slice
+  fan-out over all routable replicas).  The router's overhead relative
+  to a single direct server is visible by comparing with
+  ``BENCH_server.json``.
+* **failover** — the same workload re-run while one replica process is
+  SIGKILLed mid-load and later restarted *blank* (so the epoch shipper
+  must re-fill it from the primary store before probation re-admits
+  it).  Recorded per (family × replicas): steady vs across-failover
+  p50/p95/p99, the percentiles of requests whose service interval
+  overlapped the kill→restart window, and the router's retry / hedge /
+  shed counters for the failover pass — **zero dropped requests is
+  asserted, answers are verified bit-identical to the artifact queried
+  directly, and the killed replica must be re-admitted** before any
+  number is recorded.
+
+The committed ``BENCH_cluster.json`` at the repo root records the
+full-size run; ``--smoke`` shrinks everything for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.bench.harness import measure_failover
+from repro.facade import Reachability
+from repro.graph.generators import citation_dag, random_dag, sparse_dag
+
+FAMILIES = {
+    # The acceptance families (same graphs as BENCH_server.json).
+    "citation-40000": lambda: citation_dag(40000, out_per_vertex=3, seed=17),
+    "random-40000": lambda: random_dag(40000, 120000, seed=11),
+    "sparse-30000": lambda: sparse_dag(30000, 0.00005, seed=5),
+}
+
+SMOKE_FAMILIES = {
+    "citation-1200": lambda: citation_dag(1200, out_per_vertex=3, seed=17),
+    "sparse-1500": lambda: sparse_dag(1500, 0.001, seed=5),
+}
+
+QUERIES = 30_000
+CONNECTIONS = 8
+PIPELINE = 128
+REPLICA_COUNTS = (2, 3)
+
+
+def measure_family(
+    name: str, make_graph, queries: int, tmpdir: Path, replica_counts
+) -> dict:
+    import gc
+
+    graph = make_graph()
+    row = {"n": graph.n, "m": graph.m}
+    artifact = str(tmpdir / f"{name}.rpro")
+    reach = Reachability(graph, "DL")
+    row["artifact_bytes"] = reach.save(artifact)
+    del reach, graph
+    gc.collect()
+
+    rng = random.Random(23)
+    n = row["n"]
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(queries)]
+
+    cells = []
+    for replicas in replica_counts:
+        print(
+            f"  failover replicas={replicas} ...", file=sys.stderr, flush=True
+        )
+        doc = measure_failover(
+            artifact,
+            pairs,
+            replicas=replicas,
+            connections=CONNECTIONS,
+            pipeline=PIPELINE,
+        )
+        cells.append(
+            {
+                "replicas": replicas,
+                "steady_qps": doc["steady_qps"],
+                "steady_latency_ms": doc["steady_latency_ms"],
+                "qps_across_failover": doc["qps"],
+                "latency_ms_across_failover": doc["latency_ms"],
+                "outage_ms": doc["outage_s"] * 1000.0,
+                "during_failover_latency_ms": doc["during_failover_ms"],
+                "during_failover_samples": doc["during_failover_samples"],
+                "retries": doc["retries"],
+                "hedges": doc["hedges"],
+                "hedge_wins": doc["hedge_wins"],
+                "shed": doc["shed"],
+                "failed": doc["failed"],
+                "errors": doc["errors"],
+                "readmitted": doc["readmitted"],
+                "verified_pairs": doc["verified_pairs"],
+            }
+        )
+        gc.collect()
+    os.unlink(artifact)
+    row["failover"] = cells
+    row["p99_steady_ms"] = max(
+        c["steady_latency_ms"].get("p99", 0.0) for c in cells
+    )
+    row["p99_during_failover_ms"] = max(
+        c["during_failover_latency_ms"].get("p99", 0.0) for c in cells
+    )
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args()
+
+    families = SMOKE_FAMILIES if args.smoke else FAMILIES
+    queries = args.queries or (4000 if args.smoke else QUERIES)
+    replica_counts = (2,) if args.smoke else REPLICA_COUNTS
+
+    doc = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "smoke": args.smoke,
+        "queries": queries,
+        "connections": CONNECTIONS,
+        "pipeline": PIPELINE,
+        "note": (
+            "closed-loop pipelined single-pair requests over TCP against a "
+            "ReplicaRouter front end over N replica processes; the failover "
+            "pass SIGKILLs one replica mid-load and restarts it blank — "
+            "during_failover_latency_ms is the percentiles of requests "
+            "whose service interval overlapped the kill->restart window "
+            "(steady_latency_ms is the no-chaos baseline through the same "
+            "router), retries/hedges/shed are router counter deltas for "
+            "the failover pass; zero dropped requests is asserted, answers "
+            "are verified bit-identical to the artifact queried directly, "
+            "and the restarted blank replica must be shipper-re-filled and "
+            "re-admitted before recording"
+        ),
+        "families": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, make_graph in families.items():
+            print(f"[bench_cluster] {name} ...", file=sys.stderr, flush=True)
+            row = measure_family(
+                name, make_graph, queries, Path(tmp), replica_counts
+            )
+            doc["families"][name] = row
+            best = row["failover"][0]
+            print(
+                f"  steady p99 {row['p99_steady_ms']:.2f} ms vs "
+                f"{row['p99_during_failover_ms']:.2f} ms during failover; "
+                f"{best['retries']} retries, {best['hedges']} hedges, "
+                f"0 errors, readmitted={best['readmitted']}",
+                file=sys.stderr,
+            )
+
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        args.out.write_text(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

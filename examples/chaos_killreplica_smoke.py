@@ -1,0 +1,180 @@
+"""CI chaos smoke: SIGKILL a replica under load, drop nothing.
+
+The fault-tolerance acceptance drill, end to end:
+
+1. build a dataset artifact and serve it through the replica tier
+   (``repro.cluster.serve_replicated``: N replica processes, an epoch
+   shipper, a health-checked router front end),
+2. fire a pipelined query load at the router and, mid-load, SIGKILL
+   one replica process with requests in flight,
+3. assert **zero dropped connections / failed requests** — the router
+   must absorb the crash with retries — and that answers stay
+   bit-identical to the artifact queried directly,
+4. publish a new epoch to the primary store mid-load and assert the
+   client-observed epoch only ever moves forward while the shipper
+   flips each replica in turn,
+5. restart the killed replica *blank* and assert the shipper re-fills
+   it and probation re-admits it (the tier is back to full strength).
+
+Run from the repo root (CI runs it on both backends)::
+
+    PYTHONPATH=src python examples/chaos_killreplica_smoke.py --dataset kegg
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.cluster import serve_replicated
+from repro.datasets.catalog import DATASETS, load
+from repro.facade import Reachability
+from repro.graph.generators import novel_acyclic_edges
+from repro.server import ReachClient, run_load
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def wait_for(predicate, timeout_s, message):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    check(False, message)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="kegg", choices=sorted(DATASETS))
+    parser.add_argument("--queries", type=int, default=4000)
+    parser.add_argument("--replicas", type=int, default=2)
+    args = parser.parse_args()
+
+    graph = load(args.dataset)
+    rng = random.Random(7)
+    pairs = [
+        (rng.randrange(graph.n), rng.randrange(graph.n))
+        for _ in range(args.queries)
+    ]
+    reach = Reachability(graph.copy(), "DL")
+    expected = reach.query_batch(pairs)
+    updates, g2 = novel_acyclic_edges(graph, 20, seed=3)
+    expected_v2 = Reachability(g2, "DL").query_batch(pairs)
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    v1 = str(tmp / "v1.rpro")
+    v2 = str(tmp / "v2.rpro")
+    reach.save(v1)
+    Reachability(g2.copy(), "DL").save(v2)
+
+    server = serve_replicated(
+        v1,
+        replicas=args.replicas,
+        sync_interval_s=0.2,
+        health_interval_s=0.1,
+        probation_delay_s=0.3,
+        eject_after=2,
+        backoff_base_s=0.01,
+    )
+    router = server.router
+    try:
+        host, port = server.address
+
+        # -- phase 1: steady load, answers must match the direct build
+        steady = run_load(host, port, pairs, connections=4, pipeline=32)
+        check(steady.errors == 0,
+              f"steady load dropped requests: {steady.first_error}")
+        with ReachClient(host, port) as client:
+            check(client.query_batch(pairs) == expected,
+                  "routed answers diverge from the direct oracle")
+
+        # -- phase 2: SIGKILL a replica mid-load; zero failures allowed
+        victim = server.replicas[0]
+        victim_name = f"{victim.host}:{victim.port}"
+        base_retries = router.stats()["retries"]
+        killed = threading.Event()
+
+        def kill_midway():
+            time.sleep(max(0.05, steady.wall_s * 0.3))
+            victim.kill()
+            killed.set()
+
+        killer = threading.Thread(target=kill_midway)
+        killer.start()
+        report = run_load(host, port, pairs, connections=4, pipeline=32)
+        killer.join()
+        check(killed.is_set(), "the kill never happened")
+        check(report.errors == 0,
+              f"dropped requests during the kill: {report.first_error}")
+        wait_for(
+            lambda: router.health.state_of(victim_name)["state"] != "healthy",
+            10.0,
+            "the dead replica was never ejected",
+        )
+        retries = router.stats()["retries"] - base_retries
+
+        # -- phase 3: epoch flip under load; client epochs only go up
+        epochs = []
+        stop_polling = threading.Event()
+
+        def poll_epochs():
+            with ReachClient(host, port) as poller:
+                while not stop_polling.is_set():
+                    epochs.append(poller.epoch())
+                    time.sleep(0.02)
+
+        poller = threading.Thread(target=poll_epochs)
+        poller.start()
+        server.store.publish_snapshot(v2)
+        flip = run_load(host, port, pairs, connections=4, pipeline=32)
+        wait_for(
+            lambda: router.current_epoch >= 2, 10.0,
+            "the shipped epoch never reached the router",
+        )
+        stop_polling.set()
+        poller.join()
+        check(flip.errors == 0,
+              f"dropped requests during the epoch flip: {flip.first_error}")
+        check(all(a <= b for a, b in zip(epochs, epochs[1:])),
+              f"client-observed epochs went backwards: {epochs}")
+        with ReachClient(host, port) as client:
+            check(client.query_batch(pairs) == expected_v2,
+                  "post-flip answers diverge from the direct v2 oracle")
+
+        # -- phase 4: blank restart; shipper re-fills, probation re-admits
+        victim.restart()
+        wait_for(
+            lambda: len(router.health.routable()) == args.replicas,
+            20.0,
+            "the restarted replica was never re-admitted",
+        )
+        check(
+            router.health.state_of(victim_name)["epoch"]
+            == server.store.current_epoch,
+            "the restarted replica did not bootstrap to the latest epoch",
+        )
+        after = run_load(host, port, pairs, connections=4, pipeline=32)
+        check(after.errors == 0,
+              f"dropped requests after re-admission: {after.first_error}")
+
+        print(
+            f"OK dataset={args.dataset} replicas={args.replicas} "
+            f"queries={args.queries}x4 errors=0 retries={retries} "
+            f"epoch={router.current_epoch} readmitted=True"
+        )
+    finally:
+        server.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ __all__ = [
     "render_table",
     "BuildBudget",
     "measure_live_swap",
+    "measure_failover",
 ]
 
 
@@ -527,6 +528,183 @@ def measure_live_swap(
         else:
             service.close()
         live.close()
+
+
+def measure_failover(
+    artifact_path: str,
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    replicas: int = 2,
+    connections: int = 4,
+    pipeline: int = 32,
+    kill_at_frac: float = 0.3,
+    restart: bool = True,
+    verify: bool = True,
+    router_kwargs: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Serve ``artifact_path`` through a replica tier, SIGKILL one
+    replica mid-load, and measure what the clients felt.
+
+    The measuring instrument behind ``benchmarks/bench_cluster.py`` and
+    the chaos smoke.  One :func:`repro.cluster.serve_replicated` tier
+    (``replicas`` seeded processes behind a :class:`ReplicaRouter`
+    front end), two load passes of the same pipelined workload:
+
+    1. a **steady** pass — the baseline and the duration estimate, then
+    2. a **failover** pass during which, ``kill_at_frac`` of the steady
+       wall time in, one replica process is SIGKILLed with requests in
+       flight (and, with ``restart=True``, later restarted *blank* so
+       the shipper must re-fill it before probation re-admits it).
+
+    Returns::
+
+        {"steady_qps", "steady_latency_ms",       # pass 1
+         "qps", "latency_ms",                     # pass 2, whole run
+         "during_failover_ms",                    # p50/p95/p99 of requests
+                                                  # overlapping the outage
+         "during_failover_samples",
+         "retries", "hedges", "hedge_wins",       # router deltas, pass 2
+         "failed", "shed", "errors",
+         "replicas", "connections", "readmitted"}
+
+    With ``verify=True`` the run asserts (a) zero dropped requests in
+    either pass — the headline zero-failures guarantee — and (b)
+    served answers bit-identical to the artifact queried directly.
+    """
+    import threading
+
+    from ..cluster import serve_replicated
+    from ..server.client import run_load
+    from ..stats import percentiles
+
+    rk: Dict[str, object] = dict(
+        health_interval_s=0.1,
+        probation_delay_s=0.3,
+        eject_after=2,
+        request_timeout_s=2.0,
+        hedge_after_s=0.05,
+        backoff_base_s=0.01,
+    )
+    rk.update(router_kwargs or {})
+    server = serve_replicated(
+        artifact_path, replicas=replicas, sync_interval_s=0.2, **rk
+    )
+    try:
+        host, port = server.address
+        router = server.router
+
+        steady = run_load(
+            host, port, pairs, connections=connections, pipeline=pipeline
+        )
+        if verify and steady.errors:
+            raise RuntimeError(f"steady load run failed: {steady.first_error}")
+        base = router.stats()
+        kill_at_s = steady.wall_s * kill_at_frac
+        victim = server.replicas[0]
+
+        outage_window = [0.0, 0.0]
+        chaos_error: List[BaseException] = []
+
+        def do_chaos() -> None:
+            if kill_at_s > 0:
+                time.sleep(kill_at_s)
+            outage_window[0] = time.perf_counter()
+            try:
+                victim.kill()
+                if restart:
+                    # Long enough for ejection to land; the restarted
+                    # process comes back *blank* and must bootstrap
+                    # from the shipper before it is routable again.
+                    time.sleep(max(0.2, steady.wall_s * 0.2))
+                    victim.restart()
+            except BaseException as exc:  # pragma: no cover - harness bug
+                chaos_error.append(exc)
+                return
+            outage_window[1] = time.perf_counter()
+
+        chaos = threading.Thread(target=do_chaos, name="repro-chaos-kill")
+        chaos.start()
+        report = run_load(
+            host,
+            port,
+            pairs,
+            connections=connections,
+            pipeline=pipeline,
+            keep_samples=True,
+        )
+        chaos.join()
+        if chaos_error:
+            raise chaos_error[0]
+        if verify and report.errors:
+            raise RuntimeError(
+                f"load run dropped requests during failover: "
+                f"{report.first_error}"
+            )
+
+        after = router.stats()
+        t0, t1 = outage_window
+        # Same overlap rule as measure_live_swap: a request "saw" the
+        # outage when [send, completion] overlapped the kill→restart
+        # window — retried slices complete after it but carry the
+        # stall in their latency.
+        during = [
+            lat
+            for stamp, lat in report.samples
+            if stamp >= t0 and stamp - lat <= t1
+        ]
+
+        readmitted: Optional[bool] = None
+        if restart:
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if len(router.health.routable()) == replicas:
+                    break
+                time.sleep(0.05)
+            readmitted = len(router.health.routable()) == replicas
+
+        doc: Dict[str, object] = {
+            "steady_qps": steady.qps,
+            "steady_latency_ms": dict(steady.latency_ms),
+            "qps": report.qps,
+            "latency_ms": dict(report.latency_ms),
+            "outage_s": t1 - t0,
+            "during_failover_samples": len(during),
+            "during_failover_ms": {
+                k: v * 1000.0 for k, v in percentiles(during).items()
+            } if during else {},
+            "retries": after["retries"] - base["retries"],
+            "hedges": after["hedges"] - base["hedges"],
+            "hedge_wins": after["hedge_wins"] - base["hedge_wins"],
+            "failed": after["failed"] - base["failed"],
+            "shed": after["shed"] - base["shed"],
+            "errors": steady.errors + report.errors,
+            "replicas": replicas,
+            "connections": connections,
+            "readmitted": readmitted,
+            "restarts": victim.restarts,
+        }
+        if verify:
+            # The acceptance bar: answers served through the tier —
+            # including any answered by the re-admitted replica — must
+            # be bit-identical to the artifact queried directly.
+            from ..serialization import load_artifact
+            from ..server.client import ReachClient
+
+            direct = load_artifact(artifact_path)
+            sample = list(pairs[: min(len(pairs), 4000)])
+            with ReachClient(host, port) as client:
+                served = client.query_batch(sample)
+            expected = [bool(a) for a in direct.query_batch(sample)]
+            if served != expected:
+                bad = sum(1 for a, b in zip(served, expected) if a != b)
+                raise AssertionError(
+                    f"post-failover answers diverge from the artifact "
+                    f"({bad}/{len(sample)} pairs)"
+                )
+            doc["verified_pairs"] = len(sample)
+        return doc
+    finally:
+        server.close()
 
 
 def prepare_workloads(

@@ -20,6 +20,10 @@ Usage::
     python -m repro.cli serve --live kegg --port 7431        # updatable
     printf '0 7\n3 9\n' | python -m repro.cli update --port 7431 --edges -
 
+    # fault-tolerant tier: replicas + epoch-shipping router
+    python -m repro.cli serve --artifact kegg.rpro --replicas 3
+    python -m repro.cli route --replica h1:7431 --replica h2:7431
+
 ``build`` runs the full pipeline (SCC condensation + index) and writes
 a compiled artifact; ``query`` serves a workload from the artifact in a
 fresh process — no graph, arrays memory-mapped — which is exactly the
@@ -425,6 +429,12 @@ def _run_serve(argv: List[str]) -> int:
     parser.add_argument("--workers", type=int, default=0,
                         help="answer processes, each mmap-loading the "
                         "artifact (0 = answer in-process)")
+    parser.add_argument("--replicas", type=int, default=0, metavar="N",
+                        help="serve through a fault-tolerant tier: N "
+                        "replica processes behind an epoch-shipping "
+                        "router with retries, health checks and hedged "
+                        "dispatch (needs --artifact; see also the "
+                        "'route' subcommand for external replicas)")
     parser.add_argument("--batch-window", type=float, default=1.0, metavar="MS",
                         help="micro-batching window in milliseconds "
                         "(0 disables coalescing)")
@@ -467,8 +477,30 @@ def _run_serve(argv: List[str]) -> int:
     if args.watch and not args.artifact:
         parser.error("--watch needs --artifact (a --live server updates "
                      "through the wire protocol instead)")
+    if args.replicas:
+        if not args.artifact:
+            parser.error("--replicas needs --artifact (replication ships "
+                         "frozen artifact epochs)")
+        if args.watch:
+            parser.error("--replicas and --watch are mutually exclusive")
+        if args.workers:
+            parser.error("--replicas spawns its own replica processes; "
+                         "drop --workers")
 
-    if args.live:
+    if args.replicas:
+        from .cluster import serve_replicated
+
+        server = serve_replicated(
+            args.artifact,
+            host=args.host,
+            port=args.port,
+            replicas=args.replicas,
+            allow_shutdown=allow_shutdown,
+        )
+        ports = ", ".join(str(proc.port) for proc in server.replicas)
+        served = f"{args.artifact} (router over {args.replicas} replicas " \
+                 f"on ports {ports})"
+    elif args.live:
         if args.live not in DATASETS:
             parser.error(f"unknown dataset {args.live!r}")
         from .facade import Reachability
@@ -545,6 +577,87 @@ def _run_serve(argv: List[str]) -> int:
         server.close()
 
 
+def _parse_address(text: str) -> tuple:
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def _run_route(argv: List[str]) -> int:
+    """``route``: a fault-tolerant router over already-running replicas."""
+    from .cluster import ReplicaRouter
+    from .server.service import ReachServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench route",
+        description="Front a set of running reachability servers with "
+        "the fault-tolerant router: batches fan out over healthy "
+        "replicas, failed or slow sub-batches are retried on another "
+        "replica with jittered backoff, tail requests are hedged, and "
+        "overload is shed explicitly (OP_OVERLOADED) instead of "
+        "queueing unboundedly.  Replicas are health-checked via "
+        "OP_EPOCH heartbeats with ejection and half-open re-admission.",
+    )
+    parser.add_argument("--replica", action="append", required=True,
+                        metavar="HOST:PORT", dest="replicas",
+                        help="a replica address (repeat per replica)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7430,
+                        help="router's TCP port (0 = ephemeral)")
+    parser.add_argument("--max-attempts", type=int, default=4,
+                        help="dispatches per sub-batch before giving up")
+    parser.add_argument("--request-timeout", type=float, default=5.0,
+                        metavar="S", help="per-replica request deadline")
+    parser.add_argument("--hedge-after", type=float, default=100.0,
+                        metavar="MS", help="duplicate a quiet dispatch to "
+                        "a second replica after this long (0 disables)")
+    parser.add_argument("--max-inflight", type=int, default=1024,
+                        help="admission cap; beyond it requests are shed "
+                        "with OP_OVERLOADED")
+    parser.add_argument("--eject-after", type=int, default=3,
+                        help="consecutive failures before ejection")
+    parser.add_argument("--probation-delay", type=float, default=1.0,
+                        metavar="S", help="cool-off before a half-open "
+                        "re-admission probe")
+    parser.add_argument("--ready-file", default=None, metavar="PATH",
+                        help="write 'host port' here once listening")
+    args = parser.parse_args(argv)
+
+    try:
+        addresses = [_parse_address(a) for a in args.replicas]
+    except ValueError as exc:
+        parser.error(str(exc))
+    router = ReplicaRouter(
+        addresses,
+        max_attempts=args.max_attempts,
+        request_timeout_s=args.request_timeout,
+        hedge_after_s=(args.hedge_after / 1000.0) or None,
+        max_inflight=args.max_inflight,
+        eject_after=args.eject_after,
+        probation_delay_s=args.probation_delay,
+    ).start()
+    server = ReachServer(router, args.host, args.port, owns_service=True)
+    try:
+        server.start()
+        host, port = server.address
+        names = ", ".join(f"{h}:{p}" for h, p in addresses)
+        print(f"routing {host}:{port} -> [{names}] "
+              f"(epoch {router.current_epoch}, "
+              f"routable {len(router.health.routable())}/{len(addresses)})",
+              flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as f:
+                f.write(f"{host} {port}\n")
+        try:
+            server.wait()
+        except KeyboardInterrupt:
+            print("interrupted; shutting down", file=sys.stderr)
+        return 0
+    finally:
+        server.close()
+
+
 def _run_update(argv: List[str]) -> int:
     """``update``: stream edge insertions into a running live server."""
     from .server.client import ReachClient
@@ -592,6 +705,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_query(argv[1:])
     if argv and argv[0] == "serve":
         return _run_serve(argv[1:])
+    if argv and argv[0] == "route":
+        return _run_route(argv[1:])
     if argv and argv[0] == "update":
         return _run_update(argv[1:])
     parser = argparse.ArgumentParser(
@@ -629,6 +744,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{'build':<22}Build a pipeline and save a binary artifact")
         print(f"{'query':<22}Serve a workload from a saved artifact")
         print(f"{'serve':<22}Run a TCP query server over a saved artifact")
+        print(f"{'route':<22}Fault-tolerant router over running replicas")
         print(f"{'update':<22}Insert edges into a running live server")
         return 0
 

@@ -1,0 +1,117 @@
+"""Fault-tolerant replica tier: router, health, replication, chaos.
+
+A single reachability server (:mod:`repro.server`) dies with its host.
+This package turns N of them into a tier that survives any one of them:
+
+* :mod:`repro.cluster.router` — :class:`ReplicaRouter` fans query
+  batches over replicas with per-replica timeouts, retries on another
+  replica (jittered exponential backoff), hedged dispatch for tail
+  requests, and explicit overload shedding.  It duck-types
+  :class:`~repro.server.service.QueryService`, so a plain
+  :class:`~repro.server.service.ReachServer` is the tier's front end.
+* :mod:`repro.cluster.health` — :class:`HealthMonitor` heartbeats
+  every replica (``OP_EPOCH``), ejects after consecutive failures,
+  re-admits through half-open probation, and flags epoch-lagging
+  replicas stale (still serving, visibly degraded).
+* :mod:`repro.cluster.replicate` — :class:`EpochShipper` pushes each
+  published epoch from the primary's
+  :class:`~repro.live.VersionedArtifactStore` to every replica over
+  the wire (``OP_SHIP``); replicas apply via ``publish_snapshot`` with
+  the primary's epoch number, so epochs stay monotone and comparable
+  cluster-wide, and a blank or rejoining replica bootstraps from the
+  newest epoch automatically.
+* :mod:`repro.cluster.chaos` — :class:`ChaosProxy` (delay, blackhole,
+  reset, half-write) plus :class:`ReplicaProcess` kill/restart: the
+  harness that proves the above under fire.
+
+The headline guarantee, enforced by the chaos tests: SIGKILL a replica
+under mixed read/update load and **zero client requests fail** — the
+router retries the dead replica's slices elsewhere, the health monitor
+ejects it, and when it comes back blank the shipper re-fills it and
+probation re-admits it.
+"""
+
+from .chaos import ChaosProxy
+from .health import HealthMonitor
+from .replicate import EpochShipper, ReplicaProcess, install_ship_handler
+from .router import ReplicaLink, ReplicaRouter, ReplicaUnavailable
+
+__all__ = [
+    "ChaosProxy",
+    "HealthMonitor",
+    "EpochShipper",
+    "ReplicaProcess",
+    "install_ship_handler",
+    "ReplicaLink",
+    "ReplicaRouter",
+    "ReplicaUnavailable",
+    "serve_replicated",
+]
+
+
+def serve_replicated(
+    artifact_path: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    replicas: int = 2,
+    allow_shutdown=None,
+    sync_interval_s: float = 0.5,
+    **router_kwargs,
+):
+    """One-call replica tier over a saved artifact; returns the front end.
+
+    Spawns ``replicas`` seeded :class:`ReplicaProcess`es, a primary
+    :class:`~repro.live.VersionedArtifactStore` + :class:`EpochShipper`
+    (which re-fills any replica that restarts blank), a
+    :class:`ReplicaRouter` over them, and a
+    :class:`~repro.server.service.ReachServer` front end speaking the
+    ordinary wire protocol.  ``server.close()`` tears the whole tier
+    down.  The running pieces hang off the returned server as
+    ``server.router``, ``server.replicas`` and ``server.shipper`` —
+    which is exactly what a chaos harness needs to reach in and kill
+    things.
+
+    Extra keyword arguments go to :class:`ReplicaRouter` (timeouts,
+    hedging, health knobs).
+    """
+    from ..live.store import VersionedArtifactStore
+    from ..server.service import ReachServer
+
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    store = VersionedArtifactStore()
+    procs = []
+    shipper = None
+    router = None
+    try:
+        store.publish_snapshot(artifact_path)
+        addresses = []
+        for _ in range(replicas):
+            proc = ReplicaProcess(seed_path=artifact_path)
+            procs.append(proc)
+            addresses.append(("127.0.0.1", proc.start()))
+        shipper = EpochShipper(
+            store, addresses, sync_interval_s=sync_interval_s
+        ).start()
+        router = ReplicaRouter(addresses, **router_kwargs).start()
+        server = ReachServer(
+            router, host, port, allow_shutdown=allow_shutdown, owns_service=True
+        )
+        server.cleanup_callbacks.append(shipper.close)
+        server.cleanup_callbacks.extend(proc.stop for proc in procs)
+        server.cleanup_callbacks.append(store.close)
+        server.router = router
+        server.replicas = procs
+        server.shipper = shipper
+        server.store = store
+        return server.start()
+    except BaseException:
+        if shipper is not None:
+            shipper.close()
+        if router is not None:
+            router.close()
+        for proc in procs:
+            proc.stop()
+        store.close()
+        raise

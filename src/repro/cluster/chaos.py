@@ -1,0 +1,272 @@
+"""Chaos harness: a TCP proxy that misbehaves on command.
+
+:class:`ChaosProxy` sits between a client (router, shipper, bench) and
+a real server, forwarding byte streams — until told not to.  Modes,
+switchable at runtime with :meth:`set_mode`:
+
+* ``pass`` — faithful forwarding (the control condition).
+* ``delay`` — every forwarded chunk sleeps ``delay_s`` first: a slow
+  link / overloaded peer.  This is what exercises the router's hedged
+  dispatch (the primary copy is *alive but late*).
+* ``blackhole`` — bytes are read and silently dropped in both
+  directions; connections stay open.  The cruellest failure: no error,
+  no EOF, just silence — only a deadline can detect it.
+* ``reset`` — every existing and future connection dies with an RST
+  (``SO_LINGER`` zero-timeout close), the "server crashed" signature.
+* ``half_write`` — forward exactly ``half_write_bytes`` of the next
+  server→client chunk, then RST: a reply cut mid-frame, which clients
+  must surface as a retryable stream error (``ProtocolError``), never
+  parse garbage.
+
+The proxy listens on an ephemeral port (see :attr:`address`); point
+the client at the proxy and the real server stays unmodified.  Used
+with :class:`~repro.cluster.replicate.ReplicaProcess.kill` /
+``restart()`` — the process-level chaos primitives — this covers the
+failure matrix the README documents.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import List, Optional, Tuple
+
+__all__ = ["ChaosProxy", "MODES"]
+
+MODES = ("pass", "delay", "blackhole", "reset", "half_write")
+
+_LINGER_RST = struct.pack("ii", 1, 0)  # close() becomes RST, not FIN
+
+
+def _rst_close(sock) -> None:
+    """Close with an RST so the peer sees ECONNRESET, not clean EOF.
+
+    The ``shutdown(SHUT_RD)`` in the middle matters: a pump thread
+    blocked in ``recv()`` on this socket holds a kernel reference to
+    the open file description, so a bare ``close()`` would neither
+    wake it nor send anything on the wire until that ``recv`` returned
+    on its own (i.e. never, for an idle peer).  ``SHUT_RD`` wakes the
+    reader without emitting a FIN, and once it releases its reference
+    the lingering zero-timeout ``close()`` delivers the RST.
+    """
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, _LINGER_RST)
+    except OSError:  # pragma: no cover
+        pass
+    try:
+        sock.shutdown(socket.SHUT_RD)
+    except OSError:
+        pass  # never connected, or already shut down
+    try:
+        sock.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+class ChaosProxy:
+    """A misbehaving-on-command TCP proxy in front of one server."""
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        *,
+        listen_host: str = "127.0.0.1",
+        mode: str = "pass",
+        delay_s: float = 0.05,
+        half_write_bytes: int = 7,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.target_host = target_host
+        self.target_port = target_port
+        self.delay_s = delay_s
+        self.half_write_bytes = half_write_bytes
+        self._mode = mode
+        self._mode_lock = threading.Lock()
+        self._conn_lock = threading.Lock()
+        self._socket_pairs: List[Tuple[socket.socket, socket.socket]] = []
+        self._closed = False
+        self._connections_total = 0
+        self._bytes_forwarded = 0
+        self._resets = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((listen_host, 0))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- control -------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def mode(self) -> str:
+        with self._mode_lock:
+            return self._mode
+
+    def set_mode(
+        self,
+        mode: str,
+        *,
+        delay_s: Optional[float] = None,
+        half_write_bytes: Optional[int] = None,
+    ) -> None:
+        """Switch failure modes at runtime (takes effect immediately —
+        ``reset`` also kills every connection already open)."""
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        with self._mode_lock:
+            self._mode = mode
+            if delay_s is not None:
+                self.delay_s = delay_s
+            if half_write_bytes is not None:
+                self.half_write_bytes = half_write_bytes
+        if mode == "reset":
+            self._reset_all()
+
+    def _reset_all(self) -> None:
+        with self._conn_lock:
+            pairs, self._socket_pairs = self._socket_pairs, []
+        for a, b in pairs:
+            self._resets += 1
+            _rst_close(a)
+            _rst_close(b)
+
+    # -- data path -----------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                downstream, _addr = self._listener.accept()
+            except OSError:  # listener closed
+                return
+            with self._mode_lock:
+                mode = self._mode
+            if mode == "reset":
+                self._resets += 1
+                _rst_close(downstream)
+                continue
+            try:
+                upstream = socket.create_connection(
+                    (self.target_host, self.target_port), timeout=5.0
+                )
+            except OSError:
+                _rst_close(downstream)
+                continue
+            with self._conn_lock:
+                if self._closed:
+                    _rst_close(downstream)
+                    _rst_close(upstream)
+                    return
+                self._socket_pairs.append((downstream, upstream))
+                self._connections_total += 1
+            for src, dst, tag in (
+                (downstream, upstream, "c2s"),
+                (upstream, downstream, "s2c"),
+            ):
+                threading.Thread(
+                    target=self._pump,
+                    args=(src, dst, tag),
+                    name=f"repro-chaos-{tag}",
+                    daemon=True,
+                ).start()
+
+    def _pump(self, src, dst, tag: str) -> None:
+        try:
+            while True:
+                try:
+                    chunk = src.recv(1 << 16)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                with self._mode_lock:
+                    mode = self._mode
+                    delay = self.delay_s
+                    half = self.half_write_bytes
+                if mode == "blackhole":
+                    continue  # keep reading; the bytes just vanish
+                if mode == "reset":
+                    break
+                if mode == "half_write" and tag == "s2c":
+                    # Leak a frame fragment, then cut the stream: the
+                    # client's parser must flag it, not misparse it.
+                    try:
+                        dst.sendall(chunk[:half])
+                    except OSError:
+                        pass
+                    break
+                if mode == "delay":
+                    import time
+
+                    time.sleep(delay)
+                try:
+                    dst.sendall(chunk)
+                    self._bytes_forwarded += len(chunk)
+                except OSError:
+                    break
+        finally:
+            self._drop_pair(src, dst)
+
+    def _drop_pair(self, src, dst) -> None:
+        with self._conn_lock:
+            self._socket_pairs = [
+                pair
+                for pair in self._socket_pairs
+                if src not in pair and dst not in pair
+            ]
+        self._resets += 1
+        _rst_close(src)
+        _rst_close(dst)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        with self._conn_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pairs, self._socket_pairs = self._socket_pairs, []
+        try:
+            # Wake the accept() the thread is blocked in; closing the
+            # fd alone leaves it blocked (the syscall pins the open
+            # file description).
+            self._listener.shutdown(socket.SHUT_RD)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        for a, b in pairs:
+            _rst_close(a)
+            _rst_close(b)
+        self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        with self._conn_lock:
+            open_pairs = len(self._socket_pairs)
+        return {
+            "mode": self.mode,
+            "address": f"{self.host}:{self.port}",
+            "target": f"{self.target_host}:{self.target_port}",
+            "connections_total": self._connections_total,
+            "open_connections": open_pairs,
+            "bytes_forwarded": self._bytes_forwarded,
+            "resets": self._resets,
+        }
+
+    def __repr__(self) -> str:
+        return f"ChaosProxy({self.host}:{self.port} -> " \
+               f"{self.target_host}:{self.target_port}, mode={self.mode})"

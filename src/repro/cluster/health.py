@@ -1,0 +1,294 @@
+"""Replica health: probe, eject, half-open probation, re-admit.
+
+The state machine every replica record walks::
+
+    HEALTHY ──(eject_after consecutive failures)──▶ EJECTED
+    EJECTED ──(probation_delay_s elapsed)─────────▶ PROBATION
+    PROBATION ──(one probe succeeds)──────────────▶ HEALTHY
+    PROBATION ──(that probe fails)────────────────▶ EJECTED (timer resets)
+
+Probes are ``OP_EPOCH`` round-trips (the cheapest op that proves the
+whole serve path is up *and* reports how fresh the replica is), but the
+data path feeds the same records: a query that fails on a replica
+counts exactly like a failed probe, so a replica that dies between
+heartbeats is ejected by the traffic it drops, not ``interval_s``
+later.  ``PROBATION`` is half-open in the circuit-breaker sense — one
+probe is allowed through, real traffic is not, so a still-sick replica
+costs one heartbeat instead of a burst of retries.
+
+Degradation is graceful and explicit:
+
+* A replica whose epoch lags the cluster maximum is **stale** — still
+  routable (reads are served from its older artifact), but flagged in
+  every stats document so operators and the router's preference order
+  can see it.
+* A replica with no epoch at all (a blank just-joined node waiting for
+  its first shipped snapshot) is healthy but **not routable**: it has
+  nothing to answer queries with.
+
+The monitor never sleeps holding its lock and exposes
+:meth:`poll_once` so tests drive the clock deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["HEALTHY", "EJECTED", "PROBATION", "ReplicaHealth", "HealthMonitor"]
+
+HEALTHY = "healthy"
+EJECTED = "ejected"
+PROBATION = "probation"
+
+
+class ReplicaHealth:
+    """One replica's health record (mutated only under the monitor's lock)."""
+
+    __slots__ = (
+        "name",
+        "state",
+        "consecutive_failures",
+        "epoch",
+        "ejected_at",
+        "probes",
+        "failures",
+        "ejections",
+        "readmissions",
+        "last_error",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+        self.epoch = 0  # 0 = nothing published/observed yet
+        self.ejected_at = 0.0
+        self.probes = 0
+        self.failures = 0
+        self.ejections = 0
+        self.readmissions = 0
+        self.last_error = ""
+
+    def snapshot(self, cluster_epoch: int) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "epoch": self.epoch,
+            "stale": self.state == HEALTHY and 0 < self.epoch < cluster_epoch,
+            "consecutive_failures": self.consecutive_failures,
+            "probes": self.probes,
+            "failures": self.failures,
+            "ejections": self.ejections,
+            "readmissions": self.readmissions,
+            "last_error": self.last_error,
+        }
+
+
+class HealthMonitor:
+    """Heartbeats + ejection/probation over a set of named replicas.
+
+    ``probes`` maps replica name → a zero-argument callable that runs
+    one ``OP_EPOCH`` round-trip and returns the replica's epoch (any
+    exception is a failed probe).  The router passes bound
+    ``ReplicaLink.probe_epoch`` methods; tests pass plain lambdas.
+
+    ``eject_after`` consecutive failures (probe or data-path, they
+    share the counter) eject a replica; after ``probation_delay_s`` it
+    becomes half-open and the next heartbeat decides: success re-admits
+    (and resets the failure streak), failure re-ejects and restarts the
+    probation timer.  ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        probes: Dict[str, Callable[[], int]],
+        *,
+        interval_s: float = 0.25,
+        eject_after: int = 3,
+        probation_delay_s: float = 1.0,
+        on_change: Optional[Callable[[str, str, str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if eject_after < 1:
+            raise ValueError(f"eject_after must be >= 1, got {eject_after}")
+        self._probes = dict(probes)
+        self.interval_s = interval_s
+        self.eject_after = eject_after
+        self.probation_delay_s = probation_delay_s
+        self._on_change = on_change
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._replicas: Dict[str, ReplicaHealth] = {
+            name: ReplicaHealth(name) for name in self._probes
+        }
+        self._cluster_epoch = 0  # running max; never decreases
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "HealthMonitor":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-cluster-health", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.poll_once()
+            except Exception:  # pragma: no cover - probes must not kill us
+                pass
+
+    # -- probing -------------------------------------------------------
+    def poll_once(self) -> None:
+        """One heartbeat round across every replica (tests call this
+        directly to step the state machine without a thread)."""
+        now = self._clock()
+        for name, probe in self._probes.items():
+            with self._lock:
+                rec = self._replicas[name]
+                if rec.state == EJECTED:
+                    if now - rec.ejected_at < self.probation_delay_s:
+                        continue  # still cooling off
+                    self._transition(rec, PROBATION)
+                rec.probes += 1
+            try:
+                epoch = int(probe())
+            except Exception as exc:
+                self.record_failure(name, exc)
+            else:
+                self.record_success(name, epoch)
+
+    def record_success(self, name: str, epoch: Optional[int] = None) -> None:
+        """A probe (or data-path request) on ``name`` succeeded.
+
+        ``epoch`` is the replica's *authoritatively observed* epoch (a
+        probe reply); it **sets** the record, even downward — a replica
+        that crashed and restarted blank reports epoch 0 and must lose
+        its routability until the shipper re-fills it.  Pass ``None``
+        for data-path successes, which prove liveness but say nothing
+        about freshness.  The cluster epoch is a separate running max
+        and never decreases.
+        """
+        change = None
+        with self._lock:
+            rec = self._replicas.get(name)
+            if rec is None:
+                return
+            rec.consecutive_failures = 0
+            rec.last_error = ""
+            if epoch is not None:
+                rec.epoch = epoch
+                if epoch > self._cluster_epoch:
+                    self._cluster_epoch = epoch
+            if rec.state in (PROBATION, EJECTED):
+                # EJECTED here means a *data-path* success on a replica
+                # the prober hadn't re-tried yet — alive is alive.
+                rec.readmissions += 1
+                change = (rec.state, HEALTHY)
+                rec.state = HEALTHY
+        if change and self._on_change:
+            self._notify(name, *change)
+
+    def record_failure(self, name: str, error: BaseException) -> None:
+        """A probe (or data-path request) on ``name`` failed."""
+        change = None
+        with self._lock:
+            rec = self._replicas.get(name)
+            if rec is None:
+                return
+            rec.failures += 1
+            rec.consecutive_failures += 1
+            rec.last_error = repr(error)
+            if rec.state == PROBATION:
+                # The half-open probe failed: straight back out.
+                rec.ejections += 1
+                rec.ejected_at = self._clock()
+                change = (PROBATION, EJECTED)
+                rec.state = EJECTED
+            elif (
+                rec.state == HEALTHY
+                and rec.consecutive_failures >= self.eject_after
+            ):
+                rec.ejections += 1
+                rec.ejected_at = self._clock()
+                change = (HEALTHY, EJECTED)
+                rec.state = EJECTED
+        if change and self._on_change:
+            self._notify(name, *change)
+
+    def _transition(self, rec: ReplicaHealth, state: str) -> None:
+        old, rec.state = rec.state, state
+        if self._on_change:
+            self._notify(rec.name, old, state)
+
+    def _notify(self, name: str, old: str, new: str) -> None:
+        try:
+            self._on_change(name, old, new)
+        except Exception:  # pragma: no cover - observer must not kill us
+            pass
+
+    # -- queries -------------------------------------------------------
+    def routable(self) -> List[str]:
+        """Replica names fit to serve queries, freshest epochs first.
+
+        Healthy with at least one epoch; stale replicas are included
+        (degraded reads beat no reads) but sort after fresh ones, so
+        the router only reaches them when it has to.  Probation nodes
+        are excluded: the heartbeat earns re-admission, traffic doesn't.
+
+        The epoch requirement only bites once the cluster *has* epochs:
+        a tier of plain static servers (every ``OP_EPOCH`` answers 0)
+        has no epoch concept and every healthy member is routable,
+        while in an epoch-versioned tier a replica reporting 0 is blank
+        — restarted empty, waiting for its first shipped snapshot — and
+        must not receive traffic it cannot answer.
+        """
+        with self._lock:
+            fit = [
+                rec
+                for rec in self._replicas.values()
+                if rec.state == HEALTHY
+                and (rec.epoch >= 1 or self._cluster_epoch == 0)
+            ]
+            fit.sort(key=lambda rec: -rec.epoch)
+            return [rec.name for rec in fit]
+
+    def state_of(self, name: str) -> Dict[str, object]:
+        with self._lock:
+            return self._replicas[name].snapshot(self._cluster_epoch)
+
+    @property
+    def cluster_epoch(self) -> int:
+        """Running max epoch observed anywhere (monotone)."""
+        with self._lock:
+            return self._cluster_epoch
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            cluster = self._cluster_epoch
+            replicas = [
+                rec.snapshot(cluster) for rec in self._replicas.values()
+            ]
+        return {
+            "cluster_epoch": cluster,
+            "eject_after": self.eject_after,
+            "probation_delay_s": self.probation_delay_s,
+            "replicas": replicas,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"HealthMonitor(replicas={len(self._replicas)}, "
+            f"routable={len(self.routable())})"
+        )

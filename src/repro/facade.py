@@ -184,6 +184,7 @@ class Reachability:
         artifact_path=None,
         allow_shutdown=None,
         live: bool = False,
+        replicas: int = 0,
     ):
         """Start a TCP query server over this pipeline; returns it running.
 
@@ -213,6 +214,15 @@ class Reachability:
         survives ``server.close()``: a later ``serve(live=True)``
         resumes from the updated graph, not the original build.
 
+        ``replicas=N`` (N ≥ 1) serves through a fault-tolerant tier
+        instead of a single process: N replica processes each hold the
+        artifact, an epoch-shipping
+        :class:`~repro.cluster.ReplicaRouter` fronts them with
+        retries, health checks and hedging, and losing any one replica
+        costs retried requests, not failed ones.  See
+        :func:`repro.cluster.serve_replicated` (which this delegates
+        to) for the moving parts; mutually exclusive with ``live``.
+
         >>> from repro.graph.digraph import DiGraph
         >>> g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
         >>> server = Reachability(g).serve()          # ephemeral port
@@ -223,6 +233,52 @@ class Reachability:
         >>> server.close()
         """
         from .server.service import QueryService, ReachServer
+
+        if replicas > 0:
+            if live:
+                raise ValueError(
+                    "live=True and replicas are mutually exclusive: "
+                    "replication ships frozen artifact epochs"
+                )
+            import os
+
+            from .cluster import serve_replicated
+
+            path = artifact_path
+            temp_paths: list = []
+            if path is None and self.is_serving:
+                art = getattr(self.index, "artifact", None)
+                path = getattr(art, "path", None)
+            if path is None:
+                import tempfile
+
+                fd, path = tempfile.mkstemp(
+                    suffix=".rpro", prefix="repro-serve-"
+                )
+                os.close(fd)
+                self.save(path)
+                temp_paths.append(path)
+            elif not self.is_serving:
+                # Build mode with an explicit path: (re)save, so the
+                # replicas serve THIS pipeline.
+                self.save(path)
+            try:
+                server = serve_replicated(
+                    path,
+                    host,
+                    port,
+                    replicas=replicas,
+                    allow_shutdown=allow_shutdown,
+                )
+            except BaseException:
+                for tmp in temp_paths:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                raise
+            server.cleanup_paths.extend(temp_paths)
+            return server
 
         if live:
             return self._serve_live(

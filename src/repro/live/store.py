@@ -131,35 +131,94 @@ class VersionedArtifactStore:
         self._drains = 0
         self._snap_dir: Optional[str] = None
         self._snap_seq = 0
+        self._publish_hooks: List[Callable[[int, str], None]] = []
 
     # -- publishing ----------------------------------------------------
-    def publish(self, path, *, owns_file: bool = False) -> int:
+    def add_publish_hook(self, hook: Callable[[int, str], None]) -> None:
+        """Register ``hook(epoch, path)`` to fire after every flip.
+
+        Hooks run on the publishing thread, after the pointer moved and
+        outside the store lock; exceptions are swallowed (an observer —
+        a replication shipper, a log line — must never fail a publish).
+        Anything that needs the epoch's *content* must ``acquire()`` a
+        lease inside the hook (or later): the path alone may be
+        unlinked once the epoch drains.
+        """
+        with self._lock:
+            self._publish_hooks.append(hook)
+
+    def publish(self, path, *, owns_file: bool = False,
+                epoch: Optional[int] = None) -> int:
         """Load ``path`` as the next epoch and flip the pointer to it.
 
         The load happens *outside* the store lock (readers keep leasing
         the live epoch throughout), the flip inside it.  Returns the
         new epoch.  A load failure leaves the store exactly as it was.
+
+        ``epoch`` pins the new version's number instead of taking the
+        next local one — the replication path, where a replica must
+        mirror the primary's epoch so clients see one monotone epoch
+        sequence whichever replica answers.  An explicit epoch that is
+        not strictly greater than the current one raises ``ValueError``
+        and changes nothing: epoch numbers never repeat or go
+        backwards, on replicas exactly as on the primary.
         """
         path = str(path)
+        if epoch is not None:
+            epoch = int(epoch)
+            with self._lock:
+                current = None if self._current is None else self._current.epoch
+                if epoch <= (current or 0):
+                    raise ValueError(
+                        f"explicit epoch {epoch} is not ahead of the "
+                        f"current epoch {current} (epochs are monotone)"
+                    )
         oracle = self._loader(path)  # may raise: store state untouched
         drain: List[_Epoch] = []
+        stale: Optional[str] = None
         with self._lock:
             if self._closed:
                 raise RuntimeError("artifact store is closed")
-            entry = _Epoch(self._next_epoch, path, oracle, owns_file)
-            self._next_epoch += 1
-            self._entries[entry.epoch] = entry
-            previous, self._current = self._current, entry
-            self._publishes += 1
-            if previous is not None:
-                previous.retired = True
-                if previous.refs == 0:
-                    drain.append(self._entries.pop(previous.epoch))
+            if epoch is not None:
+                current = None if self._current is None else self._current.epoch
+                if epoch <= (current or 0):  # re-check: publishes raced
+                    stale = (
+                        f"explicit epoch {epoch} is not ahead of the "
+                        f"current epoch {current} (epochs are monotone)"
+                    )
+                else:
+                    number = epoch
+                    self._next_epoch = max(self._next_epoch, epoch + 1)
+            else:
+                number = self._next_epoch
+                self._next_epoch += 1
+            if stale is None:
+                entry = _Epoch(number, path, oracle, owns_file)
+                self._entries[entry.epoch] = entry
+                previous, self._current = self._current, entry
+                self._publishes += 1
+                hooks = list(self._publish_hooks)
+                if previous is not None:
+                    previous.retired = True
+                    if previous.refs == 0:
+                        drain.append(self._entries.pop(previous.epoch))
+        if stale is not None:
+            # Unmap the version we just loaded but will never serve.
+            art = artifact_of(oracle)
+            del oracle
+            if art is not None:
+                art.close()
+            raise ValueError(stale)
         for old in drain:
             self._drain(old)
+        for hook in hooks:
+            try:
+                hook(entry.epoch, path)
+            except Exception:  # pragma: no cover - observers must not fail us
+                pass
         return entry.epoch
 
-    def publish_snapshot(self, path) -> int:
+    def publish_snapshot(self, path, *, epoch: Optional[int] = None) -> int:
         """Publish a *pinned* copy of ``path`` as the next epoch.
 
         The file at ``path`` is hard-linked (byte-copied where linking
@@ -172,6 +231,9 @@ class VersionedArtifactStore:
         path would alias whatever content is there *by then*.  The
         snapshot pins the exact inode published, so epoch → content
         holds however the original file churns.
+
+        ``epoch`` pins the published epoch number (replication; see
+        :meth:`publish`).
         """
         path = str(path)
         with self._lock:
@@ -186,7 +248,7 @@ class VersionedArtifactStore:
         except OSError:  # cross-device or FS without hard links
             shutil.copy2(path, snap)
         try:
-            return self.publish(snap, owns_file=True)
+            return self.publish(snap, owns_file=True, epoch=epoch)
         except BaseException:
             try:
                 os.unlink(snap)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from typing import Callable, Dict, Optional, Tuple
 
 from .store import VersionedArtifactStore
@@ -55,6 +56,16 @@ class ArtifactWatcher:
     successful publish — the CLI uses it to log swaps.
     """
 
+    #: Consecutive publish failures after which the watcher surfaces a
+    #: ``RuntimeWarning`` (once per losing streak): a file that stays
+    #: unloadable this long is not a half-written replace racing the
+    #: poll — it is a broken publisher, and silent retrying would hide
+    #: it forever.
+    WARN_AFTER = 5
+
+    #: Retry backoff ceiling, as a multiple of ``interval_s``.
+    MAX_BACKOFF_TICKS = 8
+
     def __init__(
         self,
         store: VersionedArtifactStore,
@@ -62,6 +73,7 @@ class ArtifactWatcher:
         *,
         interval_s: float = 0.5,
         on_swap: Optional[Callable[[int, str], None]] = None,
+        warn_after: Optional[int] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
@@ -75,6 +87,9 @@ class ArtifactWatcher:
         self._swaps = 0
         self._failures = 0
         self._last_error = ""
+        self.warn_after = self.WARN_AFTER if warn_after is None else warn_after
+        self._consecutive_failures = 0
+        self._warned = False
 
     # ------------------------------------------------------------------
     def publish_current(self) -> int:
@@ -117,18 +132,43 @@ class ArtifactWatcher:
 
         Exposed for tests and for callers that schedule their own
         ticks; the background thread just calls this on its interval.
+
+        A publish failure (typically a half-written file caught between
+        the publisher's write and its atomic rename) is retried — but
+        not silently forever: consecutive failures back the poll
+        interval off exponentially (up to :data:`MAX_BACKOFF_TICKS` ×
+        ``interval_s``) and, after :attr:`warn_after` in a row, surface
+        one ``RuntimeWarning`` naming the path and the last error.  Any
+        success (or an untouched file) resets the streak and the
+        backoff.
         """
         sig = _signature(self.path)
         if sig is None or sig == self._published_sig:
+            self._consecutive_failures = 0
+            self._warned = False
             return None
         try:
             epoch = self.store.publish_snapshot(self.path)
-        except Exception as exc:  # half-written file: retry next tick
+        except Exception as exc:  # half-written file: retry with backoff
             self._failures += 1
+            self._consecutive_failures += 1
             self._last_error = repr(exc)
+            if self._consecutive_failures >= self.warn_after and not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"ArtifactWatcher: {self.path!r} has failed to load "
+                    f"{self._consecutive_failures} times in a row "
+                    f"(last error: {exc!r}); still serving the previous "
+                    "epoch — check the publisher writes a complete file "
+                    "and renames it atomically",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return None
         self._published_sig = sig
         self._swaps += 1
+        self._consecutive_failures = 0
+        self._warned = False
         if self._on_swap is not None:
             try:
                 self._on_swap(epoch, self.path)
@@ -136,8 +176,15 @@ class ArtifactWatcher:
                 pass
         return epoch
 
+    def backoff_interval_s(self) -> float:
+        """The wait before the next poll, grown by the failure streak."""
+        ticks = min(
+            self.MAX_BACKOFF_TICKS, 1 << min(self._consecutive_failures, 30)
+        ) if self._consecutive_failures else 1
+        return self.interval_s * ticks
+
     def _poll_loop(self) -> None:
-        while not self._stop.wait(self.interval_s):
+        while not self._stop.wait(self.backoff_interval_s()):
             try:
                 self.poll_once()
             except Exception as exc:  # pragma: no cover - stat races
@@ -151,6 +198,8 @@ class ArtifactWatcher:
             "interval_s": self.interval_s,
             "swaps": self._swaps,
             "failures": self._failures,
+            "consecutive_failures": self._consecutive_failures,
+            "backoff_interval_s": self.backoff_interval_s(),
             "last_error": self._last_error,
         }
 

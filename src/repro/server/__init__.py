@@ -37,7 +37,8 @@ a live index) and ``OP_EPOCH`` ops.
 from .batching import MicroBatcher
 from .cache import ShardedLRUCache
 from .client import LoadReport, ReachClient, percentiles, run_load
-from .service import QueryService, ReachServer, serve_artifact
+from .protocol import OverloadedError
+from .service import QueryService, ReachServer, WorkerPool, serve_artifact
 
 __all__ = [
     "MicroBatcher",
@@ -46,7 +47,9 @@ __all__ = [
     "LoadReport",
     "run_load",
     "percentiles",
+    "OverloadedError",
     "QueryService",
     "ReachServer",
+    "WorkerPool",
     "serve_artifact",
 ]

@@ -31,40 +31,131 @@ __all__ = ["ReachClient", "LoadReport", "run_load", "percentiles"]
 Pair = Tuple[int, int]
 
 
-class ReachClient:
-    """Blocking binary-protocol client: one request in flight at a time."""
+#: Transport-level failures a client may transparently retry for
+#: idempotent requests: socket errors (``ConnectionError`` and
+#: ``socket.timeout`` are ``OSError`` subclasses) and a stream cut
+#: mid-frame (``ProtocolError`` from the reader).  Server-*reported*
+#: errors are ``RuntimeError`` and are never retried — the request
+#: itself is wrong, and a new connection won't change that.
+TRANSPORT_ERRORS = (OSError, proto.ProtocolError)
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._reader = proto.FrameReader(self._sock)
+
+class ReachClient:
+    """Blocking binary-protocol client: one request in flight at a time.
+
+    Deadlines: ``connect_timeout`` bounds connection establishment,
+    ``timeout`` bounds each request round-trip (both default 30 s; a
+    hung server raises ``socket.timeout`` instead of blocking forever).
+
+    Transient socket failures — a RST from a restarting server, an
+    idle-connection drop, a frame cut mid-stream — do not surface for
+    *idempotent* requests (query/ping/stats/epoch/ship): the client
+    reconnects with bounded exponential backoff and re-sends, up to
+    ``reconnect_attempts`` times, before raising ``ConnectionError``.
+    Non-idempotent requests (``update``; a replay could apply the edge
+    stream twice) and ``shutdown_server`` fail immediately, and the
+    *caller* decides whether re-sending is safe.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 30.0,
+        *,
+        connect_timeout: Optional[float] = None,
+        reconnect_attempts: int = 2,
+        reconnect_backoff_s: float = 0.05,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_timeout = timeout if connect_timeout is None else connect_timeout
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff_s = reconnect_backoff_s
         self._next_id = 0
         self._lock = threading.Lock()
+        self._reconnects = 0
+        self._sock: Optional[socket.socket] = None
+        self._reader: Optional[proto.FrameReader] = None
+        self._connect()
 
-    def _roundtrip(self, op: int, payload: bytes = b"") -> Tuple[int, bytes]:
-        """Send one frame and wait for its (id-matched) response."""
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._reader = proto.FrameReader(sock)
+
+    @property
+    def reconnects(self) -> int:
+        """How many times the client has re-established its connection."""
+        return self._reconnects
+
+    def _roundtrip(
+        self, op: int, payload: bytes = b"", *, retryable: bool = True
+    ) -> Tuple[int, bytes]:
+        """Send one frame and wait for its (id-matched) response.
+
+        ``retryable`` marks the request idempotent: a transport failure
+        reconnects (bounded backoff) and re-sends the same frame rather
+        than raising mid-load.
+        """
         with self._lock:
             request_id = self._next_id
             self._next_id += 1
-            self._sock.sendall(proto.pack_frame(op, request_id, payload))
-            while True:
-                frame = self._reader.read_frame()
-                if frame is None:
-                    raise ConnectionError("server closed the connection")
-                rop, rid, rpayload = frame
-                if rop == proto.OP_ERROR and rid == proto.CONNECTION_ERROR_ID:
-                    raise ConnectionError(
-                        f"server reported a connection-level error: "
-                        f"{rpayload.decode('utf-8', 'replace')}"
+            frame = proto.pack_frame(op, request_id, payload)
+            attempts = self.reconnect_attempts if retryable else 0
+            last_exc: Optional[BaseException] = None
+            for attempt in range(attempts + 1):
+                if attempt:
+                    time.sleep(self.reconnect_backoff_s * (1 << (attempt - 1)))
+                    self._reconnects += 1
+                    try:
+                        if self._sock is not None:
+                            self._sock.close()
+                        self._connect()
+                    except OSError as exc:
+                        last_exc = exc
+                        continue
+                try:
+                    return self._exchange(frame, request_id)
+                except TRANSPORT_ERRORS as exc:
+                    last_exc = exc
+                    if not retryable:
+                        raise
+            raise ConnectionError(
+                f"request failed after {attempts} reconnect attempt(s): "
+                f"{last_exc!r}"
+            ) from last_exc
+
+    def _exchange(self, frame: bytes, request_id: int) -> Tuple[int, bytes]:
+        self._sock.sendall(frame)
+        while True:
+            reply = self._reader.read_frame()
+            if reply is None:
+                raise ConnectionError("server closed the connection")
+            rop, rid, rpayload = reply
+            if rop == proto.OP_ERROR and rid == proto.CONNECTION_ERROR_ID:
+                raise ConnectionError(
+                    f"server reported a connection-level error: "
+                    f"{rpayload.decode('utf-8', 'replace')}"
+                )
+            if rid == request_id:
+                if rop == proto.OP_ERROR:
+                    raise RuntimeError(
+                        f"server error: {rpayload.decode('utf-8', 'replace')}"
                     )
-                if rid == request_id:
-                    if rop == proto.OP_ERROR:
-                        raise RuntimeError(
-                            f"server error: {rpayload.decode('utf-8', 'replace')}"
-                        )
-                    return rop, rpayload
-                # A stale frame (e.g. reply to an abandoned request):
-                # skip — ids only move forward on this connection.
+                if rop == proto.OP_OVERLOADED:
+                    raise proto.OverloadedError(
+                        rpayload.decode("utf-8", "replace")
+                        or "server overloaded"
+                    )
+                return rop, rpayload
+            # A stale frame (e.g. reply to an abandoned request):
+            # skip — ids only move forward on this connection.
 
     # -- public API ----------------------------------------------------
     def query(self, u: int, v: int) -> bool:
@@ -100,14 +191,28 @@ class ReachClient:
         connection sees the updated graph.  Raises ``RuntimeError``
         when the server has no live update path.
         """
-        _, payload = self._roundtrip(proto.OP_UPDATE, proto.encode_pairs(edges))
+        _, payload = self._roundtrip(
+            proto.OP_UPDATE, proto.encode_pairs(edges), retryable=False
+        )
+        return json.loads(payload.decode("utf-8"))
+
+    def ship(self, epoch: int, data: bytes) -> dict:
+        """Ship one artifact epoch to a replica; returns its JSON verdict.
+
+        Idempotent (and safe to retry): a replica that already holds
+        ``epoch`` or newer answers ``{"applied": false}`` instead of
+        regressing — the monotone-epoch invariant lives server-side.
+        """
+        _, payload = self._roundtrip(proto.OP_SHIP, proto.encode_ship(epoch, data))
         return json.loads(payload.decode("utf-8"))
 
     def shutdown_server(self) -> None:
         """Ask the server to stop (it acks before going down)."""
-        self._roundtrip(proto.OP_SHUTDOWN)
+        self._roundtrip(proto.OP_SHUTDOWN, retryable=False)
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:  # pragma: no cover

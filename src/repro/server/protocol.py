@@ -32,6 +32,19 @@ Payloads:
 * ``OP_EPOCH`` / ``OP_EPOCH_REPLY`` — empty request; the reply payload
   is one little-endian ``u64``: the artifact epoch currently serving,
   or 0 for a static (non-versioned) server.
+* ``OP_OVERLOADED`` — UTF-8 message; sent instead of ``OP_ANSWERS``
+  when the server (or the replica router) sheds the request rather
+  than queueing it unboundedly.  Clients see
+  :class:`OverloadedError`; a router treats it as "try another
+  replica", never as a replica fault.
+* ``OP_SHIP`` / ``OP_SHIP_REPLY`` — the replication channel: the
+  request payload is ``u64 epoch`` followed by the raw artifact bytes
+  of that epoch's file; the reply is UTF-8 JSON
+  (``{"applied": bool, "epoch": int, "reason": str}``).  Replicas
+  apply shipped epochs through
+  :meth:`repro.live.VersionedArtifactStore.publish_snapshot` with the
+  explicit epoch number, so replica epochs mirror the primary's and
+  stay monotone.  Servers without a ship handler answer ``OP_ERROR``.
 
 Responses may arrive out of submission order (micro-batching reorders
 freely); the request id is the only correlation contract.
@@ -62,6 +75,9 @@ __all__ = [
     "OP_UPDATE_REPLY",
     "OP_EPOCH",
     "OP_EPOCH_REPLY",
+    "OP_OVERLOADED",
+    "OP_SHIP",
+    "OP_SHIP_REPLY",
     "HEADER",
     "MAX_PAYLOAD",
     "CONNECTION_ERROR_ID",
@@ -73,8 +89,11 @@ __all__ = [
     "decode_answers",
     "encode_epoch",
     "decode_epoch",
+    "encode_ship",
+    "decode_ship",
     "FrameReader",
     "ProtocolError",
+    "OverloadedError",
     "make_http_handler",
 ]
 
@@ -90,11 +109,14 @@ OP_UPDATE = 9
 OP_UPDATE_REPLY = 10
 OP_EPOCH = 11
 OP_EPOCH_REPLY = 12
+OP_OVERLOADED = 13
+OP_SHIP = 14
+OP_SHIP_REPLY = 15
 
 _OPS = frozenset(
     (OP_QUERY, OP_ANSWERS, OP_STATS, OP_STATS_REPLY, OP_PING, OP_PONG,
      OP_SHUTDOWN, OP_ERROR, OP_UPDATE, OP_UPDATE_REPLY, OP_EPOCH,
-     OP_EPOCH_REPLY)
+     OP_EPOCH_REPLY, OP_OVERLOADED, OP_SHIP, OP_SHIP_REPLY)
 )
 
 #: Frame header: payload length, opcode, request id.
@@ -116,6 +138,19 @@ _PAIR = struct.Struct("<II")
 
 class ProtocolError(ValueError):
     """A malformed frame or payload (bad opcode, length, or body)."""
+
+
+class OverloadedError(RuntimeError):
+    """The server shed the request instead of queueing it unboundedly.
+
+    Raised client-side on an ``OP_OVERLOADED`` reply, and raised (or
+    passed to completion callbacks) server-side by admission control.
+    A :class:`ReachServer` answering a query whose error is an
+    ``OverloadedError`` sends ``OP_OVERLOADED`` rather than
+    ``OP_ERROR`` — the two must stay distinguishable, because overload
+    means "back off / try elsewhere" while an error means "this request
+    can never succeed here".
+    """
 
 
 def pack_frame(op: int, request_id: int, payload: bytes = b"") -> bytes:
@@ -201,6 +236,27 @@ def decode_epoch(payload: bytes) -> int:
             f"epoch payload is {len(payload)} bytes, expected {_EPOCH.size}"
         )
     return _EPOCH.unpack(payload)[0]
+
+
+def encode_ship(epoch: int, data: bytes) -> bytes:
+    """``OP_SHIP`` payload: the epoch number + the artifact file bytes."""
+    if epoch < 1:
+        raise ProtocolError(f"shipped epochs start at 1, got {epoch}")
+    if _EPOCH.size + len(data) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"artifact of {len(data)} bytes exceeds the frame payload cap"
+        )
+    return _EPOCH.pack(epoch) + data
+
+
+def decode_ship(payload: bytes) -> Tuple[int, bytes]:
+    """Parse an ``OP_SHIP`` payload into ``(epoch, artifact_bytes)``."""
+    if len(payload) < _EPOCH.size:
+        raise ProtocolError("ship payload shorter than its epoch field")
+    epoch = _EPOCH.unpack_from(payload, 0)[0]
+    if epoch < 1:
+        raise ProtocolError(f"shipped epochs start at 1, got {epoch}")
+    return epoch, bytes(memoryview(payload)[_EPOCH.size:])
 
 
 class FrameReader:

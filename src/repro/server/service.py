@@ -60,13 +60,24 @@ def _close_oracle_artifact(oracle) -> None:
             pass
 
 
-def _worker_main(artifact_path: str, initial_epoch: int, tasks, results) -> None:
+def _worker_main(
+    artifact_path: str,
+    initial_epoch: int,
+    tasks,
+    results,
+    task_sem,
+    lazy: bool = False,
+) -> None:
     """Worker process: mmap-load the artifact, answer batches forever.
 
     Messages in: ``(batch_id, epoch, path, payload)`` with the wire
     pair encoding, or ``None`` to exit.  Messages out:
-    ``("ready", pid)`` once, then ``("ok", batch_id, payload)`` with
-    packed answer bits or ``("err", batch_id, message)``.
+    ``("ready", pid)`` once, then per task ``("start", batch_id, pid)``
+    followed by ``("ok", batch_id, payload)`` with packed answer bits
+    or ``("err", batch_id, message)``.  The ``start`` message is the
+    pool's death ledger: it tells the parent *which* batch a worker was
+    holding, so a SIGKILLed worker fails exactly that batch instead of
+    hanging it forever.
 
     Epoch-aware serving: static pools dispatch epoch 0 forever and the
     startup artifact serves every batch; a versioned pool dispatches
@@ -77,21 +88,48 @@ def _worker_main(artifact_path: str, initial_epoch: int, tasks, results) -> None
     new epoch, with no coordination message and no idle reload churn.
     The parent holds the batch's epoch lease until the reply arrives,
     which is what keeps the file mappable here.
+
+    ``lazy=True`` (respawned workers) skips the startup load: the
+    startup path may already have drained from a versioned store, so
+    the replacement maps whichever file its first task leases instead
+    (falling back to ``artifact_path`` for static pools, whose file the
+    store never owns).
     """
     from ..serialization import load_artifact
 
-    oracle = load_artifact(artifact_path, mmap=True)
-    current_epoch = initial_epoch
+    if lazy:
+        oracle = None
+        current_epoch: Optional[int] = None
+    else:
+        oracle = load_artifact(artifact_path, mmap=True)
+        current_epoch = initial_epoch
+    import queue as _queue
+
     results.put(("ready", os.getpid()))
+    pid = os.getpid()
     while True:
-        task = tasks.get()
+        # Block on the semaphore, not inside ``tasks.get()``: a queue
+        # read holds the queue's shared reader lock for the whole wait,
+        # and a worker SIGKILLed there would take the lock to its grave
+        # and poison the queue for every replacement.  Blocked semaphore
+        # waiters hold nothing, so idle kills are survivable; the get()
+        # below finds its item already buffered and returns at once.
+        task_sem.acquire()
+        try:
+            task = tasks.get(timeout=1.0)
+        except _queue.Empty:
+            # A compensating token from the reaper (see
+            # ``_reap_dead_workers``) with no task behind it.
+            continue
         if task is None:
             break
         batch_id, epoch, path, payload = task
+        results.put(("start", batch_id, pid))
         try:
-            if epoch != current_epoch:
-                fresh = load_artifact(path, mmap=True)
-                _close_oracle_artifact(oracle)
+            if oracle is None or epoch != current_epoch:
+                fresh = load_artifact(path or artifact_path, mmap=True)
+                if oracle is not None:
+                    _close_oracle_artifact(oracle)
                 oracle = fresh
                 current_epoch = epoch
             pairs = proto.decode_pairs(payload)
@@ -113,7 +151,20 @@ class WorkerPool:
     asynchronous: batches queue to whichever worker frees up first,
     and a reader thread resolves them, so up to N batches execute
     concurrently.
+
+    The reader doubles as the pool's supervisor: workers announce each
+    batch they pick up (``("start", batch_id, pid)``), and the reader
+    polls liveness whenever the result queue goes quiet — a worker
+    killed mid-batch (OOM killer, operator SIGKILL) fails exactly its
+    announced batch with a clear error instead of hanging it forever,
+    and a replacement worker is respawned to keep the pool at full
+    strength.  Respawned workers load lazily from their first task's
+    leased path (the original startup file may have drained).
     """
+
+    #: Result-queue poll slice; also the upper bound on how long a dead
+    #: worker can go unnoticed once the queue is quiet.
+    POLL_INTERVAL_S = 0.2
 
     def __init__(
         self,
@@ -133,19 +184,33 @@ class WorkerPool:
             ctx = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX hosts
             ctx = mp.get_context("spawn")
+        self._ctx = ctx
         self._tasks = ctx.Queue()
+        #: One token per queued task.  Workers block here instead of
+        #: inside ``tasks.get()`` so an idle SIGKILL cannot die holding
+        #: the queue's reader lock (which would wedge every survivor).
+        self._task_sem = ctx.Semaphore(0)
         self._results = ctx.Queue()
         self._lock = threading.Lock()
         self._pending: Dict[int, Batch] = {}
+        self._active: Dict[int, int] = {}  # worker pid -> batch_id it holds
         self._next_id = 0
         self._dispatched = 0
         self._errors = 0
+        self._respawns = 0
+        self._spawn_seq = workers
         self._closed = False
         self._reader: Optional[threading.Thread] = None
         self._procs = [
             ctx.Process(
                 target=_worker_main,
-                args=(self.artifact_path, initial_epoch, self._tasks, self._results),
+                args=(
+                    self.artifact_path,
+                    initial_epoch,
+                    self._tasks,
+                    self._results,
+                    self._task_sem,
+                ),
                 daemon=True,
                 name=f"repro-serve-worker-{i}",
             )
@@ -215,15 +280,38 @@ class WorkerPool:
             self._pending[batch_id] = (batch, lease)
             self._dispatched += 1
         self._tasks.put((batch_id, epoch, path, payload))
+        self._task_sem.release()
 
     def _read_results(self) -> None:
+        import queue as _queue
+
         while True:
-            msg = self._results.get()
+            try:
+                msg = self._results.get(timeout=self.POLL_INTERVAL_S)
+            except _queue.Empty:
+                # Quiet queue: every message a dead worker managed to
+                # send has been drained, so is_alive() is now a truthful
+                # verdict on its announced batch.
+                if self._closed:
+                    return
+                self._reap_dead_workers()
+                continue
             if msg is None:
                 return
+            kind = msg[0]
+            if kind == "ready":  # a respawned replacement came up
+                continue
+            if kind == "start":
+                _kind, batch_id, pid = msg
+                with self._lock:
+                    self._active[pid] = batch_id
+                continue
             kind, batch_id, payload = msg
             with self._lock:
                 entry = self._pending.pop(batch_id, None)
+                for pid, held in list(self._active.items()):
+                    if held == batch_id:
+                        del self._active[pid]
             if entry is None:  # late reply after close; nothing waits
                 continue
             batch, lease = entry
@@ -241,6 +329,72 @@ class WorkerPool:
                 if lease is not None:
                     lease.release()
 
+    def _reap_dead_workers(self) -> None:
+        """Fail dead workers' announced batches; respawn replacements.
+
+        Called from the reader thread only, and only when the result
+        queue is drained — so an announced-but-unanswered batch held by
+        a dead process really is lost, not merely queued.  The one
+        unclosable window is a worker dying between ``tasks.get()`` and
+        its ``start`` announcement: that batch's task vanished with the
+        process and times out at the client instead of failing fast —
+        the window is a few instructions wide and requires the kill to
+        land inside it.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            dead = [p for p in self._procs if not p.is_alive()]
+        for proc in dead:
+            pid = proc.pid
+            with self._lock:
+                if self._closed:
+                    return
+                self._procs.remove(proc)
+                batch_id = self._active.pop(pid, None)
+                entry = (
+                    self._pending.pop(batch_id, None)
+                    if batch_id is not None
+                    else None
+                )
+                self._respawns += 1
+                if entry is not None:
+                    self._errors += 1
+                name = f"repro-serve-worker-r{self._spawn_seq}"
+                self._spawn_seq += 1
+                replacement = self._ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        self.artifact_path,
+                        self.initial_epoch,
+                        self._tasks,
+                        self._results,
+                        self._task_sem,
+                        True,  # lazy: the startup file may have drained
+                    ),
+                    daemon=True,
+                    name=name,
+                )
+                self._procs.append(replacement)
+            replacement.start()
+            # The dead worker may have consumed a task token without
+            # finishing the task (killed between acquire and get, or
+            # mid-batch).  A compensating token keeps tokens >= queued
+            # tasks; at worst a spurious token costs one Empty poll.
+            self._task_sem.release()
+            if entry is not None:
+                batch, lease = entry
+                if lease is not None:
+                    lease.release()
+                batch.fail(
+                    RuntimeError(
+                        f"worker process (pid {pid}, exit code "
+                        f"{proc.exitcode}) died while answering this "
+                        "batch; a replacement worker was respawned — "
+                        "the request is safe to retry"
+                    )
+                )
+
     # -- lifecycle -----------------------------------------------------
     def close(self, timeout: float = 5.0) -> None:
         """Stop workers and the reader; fail anything still pending."""
@@ -250,17 +404,22 @@ class WorkerPool:
             self._closed = True
             pending = list(self._pending.values())
             self._pending.clear()
+            self._active.clear()
         for batch, lease in pending:
             if lease is not None:
                 lease.release()
             batch.fail(RuntimeError("worker pool closed"))
         for _ in self._procs:
             self._tasks.put(None)
+            self._task_sem.release()
         for proc in self._procs:
-            proc.join(timeout=timeout)
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
-                proc.join(timeout=1.0)
+            try:
+                proc.join(timeout=timeout)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            except (AssertionError, ValueError):  # pragma: no cover
+                pass  # a respawned replacement raced close() before start()
         if self._reader is not None:
             self._results.put(None)
             self._reader.join(timeout=timeout)
@@ -274,6 +433,7 @@ class WorkerPool:
                 "dispatched_batches": self._dispatched,
                 "in_flight": len(self._pending),
                 "worker_errors": self._errors,
+                "respawns": self._respawns,
             }
 
 
@@ -317,6 +477,13 @@ class QueryService:
     versioned modes cache keys carry the epoch, so a swap never serves
     a stale cached answer and never needs a flush.  ``owns_store``
     makes :meth:`close` close the store/live index too.
+
+    ``allow_empty_store`` lets :meth:`start` succeed on a store with no
+    published epoch — the shape of a blank replica waiting for its
+    first shipped snapshot.  Queries before the first publish fail with
+    a clear "no published epoch" error (never a crash), and serving
+    begins the moment an epoch lands.  Requires ``workers == 0``: a
+    pool has no file to map until something is published.
     """
 
     def __init__(
@@ -333,6 +500,7 @@ class QueryService:
         cache_size: int = 65536,
         cache_shards: int = 8,
         owns_store: bool = False,
+        allow_empty_store: bool = False,
     ) -> None:
         sources = sum(x is not None for x in (artifact_path, oracle, store, live))
         if sources != 1:
@@ -355,6 +523,15 @@ class QueryService:
                 "serving a live oracle requires workers=0 (or save it "
                 "to an artifact first)"
             )
+        if allow_empty_store:
+            if self._store is None:
+                raise ValueError("allow_empty_store requires a store/live source")
+            if workers > 0:
+                raise ValueError(
+                    "allow_empty_store requires workers=0: a pool has "
+                    "no artifact to map until an epoch is published"
+                )
+        self.allow_empty_store = allow_empty_store
         self.artifact_path = None if artifact_path is None else str(artifact_path)
         self.workers = workers
         self.window_s = window_s
@@ -377,13 +554,14 @@ class QueryService:
         self._singles = 0
         self._bound: Optional[int] = None
         self._epoch_bounds: Dict[int, int] = {}
+        self._store_error = ""
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "QueryService":
         if self._started:
             return self
         if self._store is not None:
-            if self._store.current_epoch is None:
+            if self._store.current_epoch is None and not self.allow_empty_store:
                 raise RuntimeError("the artifact store has no published epoch")
             if self.workers > 0:
                 # Lease the epoch across pool startup so a concurrent
@@ -458,14 +636,17 @@ class QueryService:
         SAME version (separate current_epoch/current_oracle reads could
         straddle a publish and cache the new oracle's bound under the
         old epoch key).  ``(None, None)`` only when a versioned store
-        was closed mid-request — callers turn that into a clean
-        shutdown error, never compare ids against it.
+        is unavailable — closed mid-request, or nothing published yet
+        on a blank replica; the store's own message lands in
+        ``_store_error`` and callers turn it into a clean error, never
+        compare ids against it.
         """
         if self._store is None:
             return None, self._bound
         try:
             lease = self._store.acquire()
-        except RuntimeError:  # store closed mid-request
+        except RuntimeError as exc:  # closed, or no epoch yet (blank replica)
+            self._store_error = str(exc)
             return None, None
         try:
             return lease.epoch, self._bound_for(lease)
@@ -555,7 +736,10 @@ class QueryService:
         # the bound validates ingress, the epoch keys the cache reads.
         epoch, bound = self._epoch_and_bound()
         if bound is None:
-            callback(None, RuntimeError("the artifact store is closed"))
+            callback(
+                None,
+                RuntimeError(self._store_error or "the artifact store is closed"),
+            )
             if flush is not None:
                 flush()
             return
@@ -793,6 +977,12 @@ class ReachServer:
         #: indices, anything whose lifetime is tied to this server.
         #: Exceptions are swallowed: shutdown must finish.
         self.cleanup_callbacks: List[Callable[[], None]] = []
+        #: Extension opcodes: ``{op: fn(request_id, payload, writer)}``,
+        #: consulted before the "unexpected opcode" error.  This is how
+        #: a replica mounts ``OP_SHIP`` (epoch replication) on a plain
+        #: ReachServer without subclassing; handlers run on the
+        #: connection's reader thread and reply through ``writer``.
+        self.handlers: Dict[int, Callable[[int, bytes, _ConnWriter], None]] = {}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "ReachServer":
@@ -801,9 +991,15 @@ class ReachServer:
             self.host, self.port, type=_socket.SOCK_STREAM
         )[0]
         sock = _socket.socket(family, socktype, protocol)
-        sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_REUSEADDR, 1)
-        sock.bind(addr)
-        sock.listen(self.backlog)
+        try:
+            sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_REUSEADDR, 1)
+            sock.bind(addr)
+            sock.listen(self.backlog)
+        except BaseException:
+            # A failed start leaves no socket behind, and close() on
+            # the unstarted server stays a clean no-op.
+            sock.close()
+            raise
         self._listener = sock
         self.port = sock.getsockname()[1]
         self._accept_thread = threading.Thread(
@@ -885,21 +1081,34 @@ class ReachServer:
                 conn, _addr = self._listener.accept()
             except OSError:  # listener closed
                 return
-            conn.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
-            # A send timeout (send only — recv must keep blocking for
-            # idle keep-alive clients) so one client that stops reading
-            # cannot park the shared resolver thread in sendall()
-            # forever and head-of-line-block every other connection.
+            # Per-connection setup must not be able to kill the accept
+            # loop: a client that connects and immediately resets can
+            # make setsockopt raise on some platforms (the socket is
+            # already dead), and losing the accept thread to one broken
+            # peer would refuse every future connection.
             try:
-                import struct as _struct
+                conn.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+                # A send timeout (send only — recv must keep blocking
+                # for idle keep-alive clients) so one client that stops
+                # reading cannot park the shared resolver thread in
+                # sendall() forever and head-of-line-block every other
+                # connection.
+                try:
+                    import struct as _struct
 
-                conn.setsockopt(
-                    _socket.SOL_SOCKET,
-                    _socket.SO_SNDTIMEO,
-                    _struct.pack("ll", 30, 0),
-                )
-            except (AttributeError, OSError):  # pragma: no cover
-                pass  # platform without SO_SNDTIMEO: degrade gracefully
+                    conn.setsockopt(
+                        _socket.SOL_SOCKET,
+                        _socket.SO_SNDTIMEO,
+                        _struct.pack("ll", 30, 0),
+                    )
+                except (AttributeError, OSError):  # pragma: no cover
+                    pass  # platform without SO_SNDTIMEO: degrade
+            except OSError:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                continue
             with self._conn_lock:
                 if self._closed:
                     conn.close()
@@ -938,42 +1147,52 @@ class ReachServer:
                 if frame is None:
                     return
                 op, request_id, payload = frame
-                if op == proto.OP_QUERY:
-                    self._handle_query(request_id, payload, writer)
-                elif op == proto.OP_PING:
-                    send(proto.OP_PONG, request_id)
-                elif op == proto.OP_EPOCH:
-                    send(
-                        proto.OP_EPOCH_REPLY,
-                        request_id,
-                        proto.encode_epoch(self.service.current_epoch),
-                    )
-                elif op == proto.OP_UPDATE:
-                    self._handle_update(request_id, payload, send)
-                elif op == proto.OP_STATS:
-                    doc = dict(self.service.stats())
-                    doc["connections_total"] = self._connections_total
-                    send(
-                        proto.OP_STATS_REPLY,
-                        request_id,
-                        json.dumps(doc).encode("utf-8"),
-                    )
-                elif op == proto.OP_SHUTDOWN:
-                    if self.allow_shutdown:
+                try:
+                    if op == proto.OP_QUERY:
+                        self._handle_query(request_id, payload, writer)
+                    elif op == proto.OP_PING:
                         send(proto.OP_PONG, request_id)
-                        self.close()
-                        return
-                    send(
-                        proto.OP_ERROR,
-                        request_id,
-                        b"shutdown disabled on this server",
-                    )
-                else:
-                    send(
-                        proto.OP_ERROR,
-                        request_id,
-                        f"unexpected opcode {op}".encode("utf-8"),
-                    )
+                    elif op == proto.OP_EPOCH:
+                        send(
+                            proto.OP_EPOCH_REPLY,
+                            request_id,
+                            proto.encode_epoch(self.service.current_epoch),
+                        )
+                    elif op == proto.OP_UPDATE:
+                        self._handle_update(request_id, payload, send)
+                    elif op == proto.OP_STATS:
+                        doc = dict(self.service.stats())
+                        doc["connections_total"] = self._connections_total
+                        send(
+                            proto.OP_STATS_REPLY,
+                            request_id,
+                            json.dumps(doc).encode("utf-8"),
+                        )
+                    elif op == proto.OP_SHUTDOWN:
+                        if self.allow_shutdown:
+                            send(proto.OP_PONG, request_id)
+                            self.close()
+                            return
+                        send(
+                            proto.OP_ERROR,
+                            request_id,
+                            b"shutdown disabled on this server",
+                        )
+                    elif op in self.handlers:
+                        self.handlers[op](request_id, payload, writer)
+                    else:
+                        send(
+                            proto.OP_ERROR,
+                            request_id,
+                            f"unexpected opcode {op}".encode("utf-8"),
+                        )
+                except Exception as exc:
+                    # A handler bug (or a malformed payload it did not
+                    # expect) costs the one request that triggered it,
+                    # never the connection — and the accept loop is a
+                    # different thread entirely, so the server keeps
+                    # serving either way.
+                    send(proto.OP_ERROR, request_id, repr(exc).encode("utf-8"))
         finally:
             try:
                 conn.close()
@@ -1030,13 +1249,20 @@ class ReachServer:
             return
 
         def on_answers(answers, error) -> None:
-            if error is not None:
+            if error is None:
                 writer.queue(
-                    proto.OP_ERROR, request_id, repr(error).encode("utf-8")
+                    proto.OP_ANSWERS, request_id, proto.encode_answers(answers)
+                )
+            elif isinstance(error, proto.OverloadedError):
+                # Distinct wire op: a shed request failed *because of
+                # pressure*, not because it was wrong — a router retries
+                # it on another replica, a client backs off.
+                writer.queue(
+                    proto.OP_OVERLOADED, request_id, str(error).encode("utf-8")
                 )
             else:
                 writer.queue(
-                    proto.OP_ANSWERS, request_id, proto.encode_answers(answers)
+                    proto.OP_ERROR, request_id, repr(error).encode("utf-8")
                 )
 
         # Completions only queue; the batch (or the service's

@@ -1,0 +1,220 @@
+"""HealthMonitor: the eject/probation/re-admit state machine.
+
+Everything here is deterministic: a fake clock, hand-rolled probe
+callables, and :meth:`poll_once` instead of the heartbeat thread.
+"""
+
+import pytest
+
+from repro.cluster.health import EJECTED, HEALTHY, PROBATION, HealthMonitor
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class FlakyProbe:
+    """A probe whose outcome the test scripts, call by call."""
+
+    def __init__(self, epoch=1):
+        self.epoch = epoch
+        self.fail = False
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.fail:
+            raise ConnectionError("probe refused")
+        return self.epoch
+
+
+@pytest.fixture()
+def tier():
+    clock = FakeClock()
+    probes = {"a": FlakyProbe(epoch=3), "b": FlakyProbe(epoch=2)}
+    monitor = HealthMonitor(
+        probes,
+        eject_after=3,
+        probation_delay_s=1.0,
+        clock=clock,
+    )
+    return monitor, probes, clock
+
+
+class TestStateMachine:
+    def test_healthy_replicas_are_routable_freshest_first(self, tier):
+        monitor, _probes, _clock = tier
+        monitor.poll_once()
+        assert monitor.routable() == ["a", "b"]  # epoch 3 before epoch 2
+        assert monitor.cluster_epoch == 3
+
+    def test_ejection_needs_consecutive_failures(self, tier):
+        monitor, probes, _clock = tier
+        monitor.poll_once()
+        probes["a"].fail = True
+        monitor.poll_once()
+        monitor.poll_once()
+        assert monitor.state_of("a")["state"] == HEALTHY  # 2 strikes < 3
+        probes["a"].fail = False
+        monitor.poll_once()  # success resets the streak
+        probes["a"].fail = True
+        monitor.poll_once()
+        monitor.poll_once()
+        assert monitor.state_of("a")["state"] == HEALTHY
+        monitor.poll_once()  # third consecutive failure
+        assert monitor.state_of("a")["state"] == EJECTED
+        assert monitor.routable() == ["b"]
+
+    def test_probation_after_cooloff_then_readmission(self, tier):
+        monitor, probes, clock = tier
+        probes["a"].fail = True
+        for _ in range(3):
+            monitor.poll_once()
+        assert monitor.state_of("a")["state"] == EJECTED
+        monitor.poll_once()  # still cooling off: no probe reaches it
+        calls_during_cooloff = probes["a"].calls
+        monitor.poll_once()
+        assert probes["a"].calls == calls_during_cooloff
+        clock.advance(1.5)  # past probation_delay_s
+        probes["a"].fail = False
+        monitor.poll_once()  # half-open probe succeeds
+        assert monitor.state_of("a")["state"] == HEALTHY
+        assert "a" in monitor.routable()
+        assert monitor.state_of("a")["readmissions"] == 1
+
+    def test_failed_probation_probe_reejects_and_resets_timer(self, tier):
+        monitor, probes, clock = tier
+        probes["a"].fail = True
+        for _ in range(3):
+            monitor.poll_once()
+        clock.advance(1.5)
+        monitor.poll_once()  # probation probe, still failing
+        assert monitor.state_of("a")["state"] == EJECTED
+        clock.advance(0.5)  # timer restarted: not cool yet
+        calls = probes["a"].calls
+        monitor.poll_once()
+        assert probes["a"].calls == calls
+
+    def test_data_path_failures_share_the_counter(self, tier):
+        monitor, _probes, _clock = tier
+        monitor.poll_once()
+        for _ in range(3):
+            monitor.record_failure("a", ConnectionResetError("mid-batch"))
+        assert monitor.state_of("a")["state"] == EJECTED
+
+    def test_data_path_success_readmits_an_ejected_replica(self, tier):
+        monitor, _probes, _clock = tier
+        monitor.poll_once()
+        for _ in range(3):
+            monitor.record_failure("a", OSError("x"))
+        monitor.record_success("a")  # alive is alive
+        assert monitor.state_of("a")["state"] == HEALTHY
+
+
+class TestEpochs:
+    def test_blank_replica_is_healthy_but_not_routable(self):
+        """Once the cluster has epochs, a replica reporting 0 is blank
+        (restarted empty) and must not receive traffic."""
+        monitor = HealthMonitor({"blank": lambda: 0, "full": lambda: 1})
+        monitor.poll_once()
+        assert monitor.state_of("blank")["state"] == HEALTHY
+        assert monitor.routable() == ["full"]
+
+    def test_static_tier_without_epochs_is_fully_routable(self):
+        """A tier of plain static servers (every probe answers 0) has
+        no epoch concept; healthy means routable."""
+        monitor = HealthMonitor({"a": lambda: 0, "b": lambda: 0})
+        monitor.poll_once()
+        assert sorted(monitor.routable()) == ["a", "b"]
+
+    def test_stale_replica_flagged_and_deprioritized(self, tier):
+        monitor, probes, _clock = tier
+        monitor.poll_once()
+        probes["b"].epoch = 5
+        monitor.poll_once()
+        assert monitor.routable() == ["b", "a"]  # b is freshest now
+        assert monitor.state_of("a")["stale"] is True
+        assert monitor.state_of("b")["stale"] is False
+
+    def test_probe_epoch_regression_revokes_routability(self, tier):
+        """A replica that restarts blank must lose its old epoch: the
+        probe's report is authoritative, even downward."""
+        monitor, probes, _clock = tier
+        monitor.poll_once()
+        assert "a" in monitor.routable()
+        probes["a"].epoch = 0  # crashed, restarted blank
+        monitor.poll_once()
+        assert monitor.state_of("a")["epoch"] == 0
+        assert "a" not in monitor.routable()
+        assert monitor.cluster_epoch == 3  # cluster max never decreases
+
+    def test_data_path_success_does_not_touch_the_epoch(self, tier):
+        monitor, _probes, _clock = tier
+        monitor.poll_once()
+        monitor.record_success("a")  # liveness only, no epoch claim
+        assert monitor.state_of("a")["epoch"] == 3
+
+    def test_unknown_replica_records_are_ignored(self, tier):
+        monitor, _probes, _clock = tier
+        monitor.record_success("nobody", 9)
+        monitor.record_failure("nobody", OSError("x"))
+        assert monitor.cluster_epoch == 0
+
+
+class TestObservability:
+    def test_on_change_sees_every_transition(self):
+        clock = FakeClock()
+        probe = FlakyProbe()
+        events = []
+        monitor = HealthMonitor(
+            {"a": probe},
+            eject_after=1,
+            probation_delay_s=1.0,
+            on_change=lambda name, old, new: events.append((name, old, new)),
+            clock=clock,
+        )
+        monitor.poll_once()
+        probe.fail = True
+        monitor.poll_once()
+        clock.advance(2.0)
+        probe.fail = False
+        monitor.poll_once()
+        assert events == [
+            ("a", HEALTHY, EJECTED),
+            ("a", EJECTED, PROBATION),
+            ("a", PROBATION, HEALTHY),
+        ]
+
+    def test_stats_document_shape(self, tier):
+        monitor, _probes, _clock = tier
+        monitor.poll_once()
+        doc = monitor.stats()
+        assert doc["cluster_epoch"] == 3
+        by_name = {row["name"]: row for row in doc["replicas"]}
+        assert by_name["a"]["probes"] == 1
+        assert by_name["b"]["epoch"] == 2
+
+    def test_eject_after_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HealthMonitor({}, eject_after=0)
+
+    def test_thread_lifecycle(self):
+        monitor = HealthMonitor({"a": lambda: 1}, interval_s=0.01)
+        monitor.start()
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if monitor.state_of("a")["probes"] >= 2:
+                break
+            time.sleep(0.01)
+        monitor.close()
+        assert monitor.state_of("a")["probes"] >= 2
+        monitor.close()  # idempotent

@@ -251,6 +251,58 @@ class TestArtifactWatcher:
             watcher.close()
             store.close()
 
+    def test_watcher_warns_after_a_losing_streak(self, tmp_path):
+        path = str(tmp_path / "watched.rpro")
+        Reachability(path_dag(10), "DL").save(path)
+        store = VersionedArtifactStore()
+        watcher = ArtifactWatcher(store, path, interval_s=0.05, warn_after=3)
+        try:
+            watcher.publish_current()
+            with open(path, "wb") as f:  # a publisher stuck broken
+                f.write(b"garbage")
+            with pytest.warns(RuntimeWarning, match="failed to load"):
+                for _ in range(3):
+                    assert watcher.poll_once() is None
+            # One warning per streak, not one per tick.
+            import warnings as _warnings
+
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                assert watcher.poll_once() is None
+            assert watcher.stats()["consecutive_failures"] == 4
+            assert store.current_epoch == 1  # still serving v1
+        finally:
+            watcher.close()
+            store.close()
+
+    def test_watcher_backoff_grows_and_resets(self, tmp_path):
+        path = str(tmp_path / "watched.rpro")
+        Reachability(path_dag(10), "DL").save(path)
+        store = VersionedArtifactStore()
+        watcher = ArtifactWatcher(
+            store, path, interval_s=0.05, warn_after=100
+        )
+        try:
+            watcher.publish_current()
+            assert watcher.backoff_interval_s() == pytest.approx(0.05)
+            with open(path, "wb") as f:
+                f.write(b"garbage")
+            waits = []
+            for _ in range(5):
+                watcher.poll_once()
+                waits.append(watcher.backoff_interval_s())
+            # Exponential up to the cap (8 ticks of interval_s).
+            assert waits == pytest.approx([0.1, 0.2, 0.4, 0.4, 0.4])
+            tmp = str(tmp_path / "good.rpro")
+            Reachability(path_dag(12), "DL").save(tmp)
+            os.replace(tmp, path)
+            assert watcher.poll_once() == 2  # success resets everything
+            assert watcher.backoff_interval_s() == pytest.approx(0.05)
+            assert watcher.stats()["consecutive_failures"] == 0
+        finally:
+            watcher.close()
+            store.close()
+
     def test_watcher_retries_past_garbage_files(self, tmp_path):
         path = str(tmp_path / "watched.rpro")
         Reachability(path_dag(10), "DL").save(path)

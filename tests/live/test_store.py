@@ -37,6 +37,29 @@ class TestEpochs:
         with pytest.raises(RuntimeError, match="no published epoch"):
             store.acquire()
 
+    def test_explicit_epochs_pin_the_number(self, two_artifacts):
+        """The replication path: a replica mirrors the primary's epoch
+        numbers instead of taking the next local one."""
+        _g1, _g2, p1, p2 = two_artifacts
+        with VersionedArtifactStore() as store:
+            assert store.publish(p1, epoch=7) == 7
+            assert store.current_epoch == 7
+            assert store.publish(p2) == 8  # auto-numbering follows along
+            assert store.publish_snapshot(p1, epoch=12) == 12
+
+    def test_explicit_epoch_must_be_ahead(self, two_artifacts):
+        _g1, _g2, p1, p2 = two_artifacts
+        with VersionedArtifactStore() as store:
+            store.publish(p1, epoch=5)
+            for stale in (5, 3):  # equal and older both refuse
+                with pytest.raises(ValueError, match="monotone"):
+                    store.publish(p2, epoch=stale)
+                with pytest.raises(ValueError, match="monotone"):
+                    store.publish_snapshot(p2, epoch=stale)
+            # The refusal changes nothing: same epoch, same content.
+            assert store.current_epoch == 5
+            assert store.current_path == p1
+
     def test_failed_load_leaves_store_untouched(self, two_artifacts, tmp_path):
         _g1, _g2, p1, _p2 = two_artifacts
         bad = tmp_path / "bad.rpro"

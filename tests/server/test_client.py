@@ -103,3 +103,108 @@ class TestOpenLoop:
         server, _pairs, _expected = served
         with pytest.raises(ValueError, match="empty"):
             run_load(*server.address, [])
+
+
+class TestReconnect:
+    """Satellite hardening: connect/request deadlines and bounded
+    reconnect-with-backoff on transport failures."""
+
+    def _fresh_server(self, served):
+        # A second server over the same artifact, for restart drills.
+        server, _pairs, _expected = served
+        return server
+
+    def test_client_rides_out_a_server_restart(self, tmp_path):
+        from repro.server import ReachClient, serve_artifact
+
+        g = random_dag(60, 150, seed=41)
+        path = str(tmp_path / "g.rpro")
+        Reachability(g, "DL").save(path)
+        direct = load_artifact(path)
+        rng = random.Random(42)
+        pairs = [(rng.randrange(g.n), rng.randrange(g.n)) for _ in range(50)]
+        expected = [bool(a) for a in direct.query_batch(pairs)]
+
+        server = serve_artifact(path)
+        host, port = server.address
+        client = ReachClient(
+            host, port, reconnect_attempts=3, reconnect_backoff_s=0.05
+        )
+        try:
+            assert client.query_batch(pairs) == expected
+            server.close()  # the established connection dies
+            server = serve_artifact(path, host=host, port=port)  # same port
+            assert client.query_batch(pairs) == expected
+            assert client.reconnects >= 1
+        finally:
+            client.close()
+            server.close()
+
+    def test_retries_exhausted_is_a_clear_connection_error(self, tmp_path):
+        from repro.server import ReachClient, serve_artifact
+
+        g = random_dag(40, 90, seed=43)
+        path = str(tmp_path / "g.rpro")
+        Reachability(g, "DL").save(path)
+        server = serve_artifact(path)
+        client = ReachClient(
+            *server.address, reconnect_attempts=2, reconnect_backoff_s=0.01,
+            connect_timeout=0.3,
+        )
+        try:
+            assert client.ping()
+            server.close()  # gone for good: every reconnect is refused
+            with pytest.raises(ConnectionError, match="2 reconnect attempt"):
+                client.ping()
+        finally:
+            client.close()
+
+    def test_refused_dial_surfaces_at_construction(self):
+        # The client connects eagerly: a dead port fails the constructor
+        # with a ConnectionError, not a later request.
+        from repro.server import ReachClient
+
+        with pytest.raises(ConnectionError):
+            ReachClient("127.0.0.1", 1, connect_timeout=0.3,
+                        reconnect_attempts=0)
+
+    def test_connect_timeout_bounds_the_first_dial(self):
+        import time
+
+        from repro.server import ReachClient
+
+        # RFC 5737 TEST-NET: packets go nowhere, the dial must time out.
+        client = ReachClient(
+            "192.0.2.1", 7430, connect_timeout=0.3, reconnect_attempts=0
+        )
+        t0 = time.monotonic()
+        with pytest.raises(ConnectionError):
+            client.ping()
+        assert time.monotonic() - t0 < 5.0
+        client.close()
+
+    def test_updates_are_never_retried_across_reconnects(self, served):
+        # OP_UPDATE is not idempotent: a transport error mid-update must
+        # surface, not silently re-apply on a fresh connection.
+        from repro.server import ReachClient
+
+        server, _pairs, _expected = served
+        client = ReachClient(
+            *server.address, reconnect_attempts=3, reconnect_backoff_s=0.01
+        )
+        try:
+            client._sock.close()  # sabotage the established connection
+            with pytest.raises((OSError, ConnectionError)) as excinfo:
+                client.update([(0, 1)])
+            # and it failed without burning reconnect attempts
+            assert "reconnect attempt" not in str(excinfo.value)
+        finally:
+            client.close()
+
+    def test_close_is_idempotent(self, served):
+        from repro.server import ReachClient
+
+        server, _pairs, _expected = served
+        client = ReachClient(*server.address)
+        client.close()
+        client.close()

@@ -135,6 +135,89 @@ class TestWorkerPool:
         service.close()
 
 
+class TestWorkerCrashRecovery:
+    """SIGKILLed workers fail fast and the pool heals to full strength."""
+
+    def test_sigkill_mid_batch_fails_fast_and_respawns(
+        self, pipeline_artifact, monkeypatch
+    ):
+        import concurrent.futures
+        import os
+        import signal
+        import time
+
+        from repro.server import protocol as proto
+
+        path, pairs, expected = pipeline_artifact
+        # The pool forks its workers, so a decode hook patched *before*
+        # start() rides into the child: a sentinel-sized batch freezes
+        # mid-execution, giving the kill a deterministic window.
+        real_decode = proto.decode_pairs
+
+        def gated_decode(payload):
+            decoded = real_decode(payload)
+            if len(decoded) == 1337:
+                time.sleep(30.0)
+            return decoded
+
+        monkeypatch.setattr(proto, "decode_pairs", gated_decode)
+        service = QueryService(path, workers=1, cache_size=0, window_s=0.0)
+        service.start()
+        try:
+            pool = service._pool
+            marked = (pairs * 6)[:1337]
+            with concurrent.futures.ThreadPoolExecutor(1) as executor:
+                future = executor.submit(service.query_pairs, marked)
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline and not pool._active:
+                    time.sleep(0.005)
+                assert pool._active, "worker never announced the batch"
+                (victim_pid,) = pool._active
+                os.kill(victim_pid, signal.SIGKILL)
+                # Fail-fast: the announced batch dies with the worker —
+                # well inside the 30 s the batch would otherwise take.
+                t0 = time.monotonic()
+                with pytest.raises(RuntimeError, match="safe to retry"):
+                    future.result(timeout=20.0)
+                assert time.monotonic() - t0 < 10.0
+            # ...and the respawned (lazily loading) replacement answers.
+            assert service.query_pairs(pairs[:40]) == expected[:40]
+            stats = service.stats()["pool"]
+            assert stats["respawns"] == 1
+            assert stats["worker_errors"] == 1
+        finally:
+            service.close()
+
+    def test_killing_every_idle_worker_heals_the_pool(self, pipeline_artifact):
+        import os
+        import signal
+        import time
+
+        path, pairs, expected = pipeline_artifact
+        service = QueryService(path, workers=2, cache_size=0).start()
+        try:
+            assert service.query_pairs(pairs) == expected
+            pool = service._pool
+            for proc in list(pool._procs):
+                os.kill(proc.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if pool.stats()["respawns"] >= 2 and all(
+                    p.is_alive() for p in pool._procs
+                ):
+                    break
+                time.sleep(0.05)
+            stats = pool.stats()
+            assert stats["respawns"] == 2
+            # Idle kills lose no batch: errors stay at zero...
+            assert stats["worker_errors"] == 0
+            # ...and the healed pool still serves bit-identical answers.
+            assert service.query_pairs(pairs) == expected
+            assert len(pool._procs) == 2
+        finally:
+            service.close()
+
+
 class TestReachServer:
     def test_tcp_round_trip_and_stats(self, pipeline_artifact):
         path, pairs, expected = pipeline_artifact
@@ -185,6 +268,44 @@ class TestReachServer:
                 assert client.query_batch(pairs[:10]) == expected[:10]
         finally:
             server.close()
+
+
+class TestCloseSemantics:
+    """close() is idempotent everywhere, including after a failed start."""
+
+    def test_server_close_is_idempotent(self, pipeline_artifact):
+        path, pairs, expected = pipeline_artifact
+        server = serve_artifact(path)
+        with ReachClient(*server.address) as client:
+            assert client.query_batch(pairs[:10]) == expected[:10]
+        server.close()
+        server.close()
+
+    def test_failed_start_leaves_a_closeable_server(self, pipeline_artifact):
+        path, pairs, expected = pipeline_artifact
+        occupied = serve_artifact(path)
+        try:
+            service = QueryService(path).start()
+            clashing = ReachServer(service, port=occupied.port)
+            with pytest.raises(OSError):
+                clashing.start()
+            clashing.close()  # failed start: close stays a clean no-op
+            clashing.close()
+            # the service is untouched and can back a working server
+            server = ReachServer(service, owns_service=True).start()
+            try:
+                with ReachClient(*server.address) as client:
+                    assert client.query_batch(pairs[:10]) == expected[:10]
+            finally:
+                server.close()
+        finally:
+            occupied.close()
+
+    def test_unstarted_service_close_is_safe(self, pipeline_artifact):
+        path, _pairs, _expected = pipeline_artifact
+        service = QueryService(path, workers=1)  # never start()ed
+        service.close()
+        service.close()
 
 
 class TestHttpFallback:
