@@ -155,13 +155,20 @@ class HealthMonitor:
         directly to step the state machine without a thread)."""
         now = self._clock()
         for name, probe in self._probes.items():
+            change = None
             with self._lock:
                 rec = self._replicas[name]
                 if rec.state == EJECTED:
                     if now - rec.ejected_at < self.probation_delay_s:
                         continue  # still cooling off
-                    self._transition(rec, PROBATION)
+                    change = (EJECTED, PROBATION)
+                    rec.state = PROBATION
                 rec.probes += 1
+            # Notify after releasing the lock (like record_success /
+            # record_failure): a callback that re-enters the monitor
+            # must not deadlock.
+            if change and self._on_change:
+                self._notify(name, *change)
             try:
                 epoch = int(probe())
             except Exception as exc:
@@ -227,11 +234,6 @@ class HealthMonitor:
         if change and self._on_change:
             self._notify(name, *change)
 
-    def _transition(self, rec: ReplicaHealth, state: str) -> None:
-        old, rec.state = rec.state, state
-        if self._on_change:
-            self._notify(rec.name, old, state)
-
     def _notify(self, name: str, old: str, new: str) -> None:
         try:
             self._on_change(name, old, new)
@@ -263,6 +265,13 @@ class HealthMonitor:
             ]
             fit.sort(key=lambda rec: -rec.epoch)
             return [rec.name for rec in fit]
+
+    def epochs(self) -> Dict[str, int]:
+        """Last observed epoch per replica (0 = none yet), one
+        consistent snapshot — the router keys its freshest-first pick
+        on this without taking the lock once per candidate."""
+        with self._lock:
+            return {name: rec.epoch for name, rec in self._replicas.items()}
 
     def state_of(self, name: str) -> Dict[str, object]:
         with self._lock:

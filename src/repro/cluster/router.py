@@ -82,13 +82,14 @@ class ReplicaUnavailable(ConnectionError):
 class _Reply:
     """One in-flight request on a link; resolved by the reader thread."""
 
-    __slots__ = ("event", "op", "payload", "error")
+    __slots__ = ("event", "op", "payload", "error", "request_id")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.op = 0
         self.payload = b""
         self.error: Optional[BaseException] = None
+        self.request_id: Optional[int] = None
 
     def fail(self, error: BaseException) -> None:
         self.error = error
@@ -107,6 +108,12 @@ class ReplicaLink:
     out-of-order responses); a broken connection fails every in-flight
     request as :class:`ReplicaUnavailable` — retryable, because the
     replica never answered — and the next :meth:`submit` reconnects.
+
+    Writes are serialized by a dedicated send lock: many router
+    threads (parallel slices, hedges, health probes) submit on the
+    same socket, and ``sendall`` is not atomic — a partial write under
+    a full send buffer would let two threads interleave frame bytes
+    and corrupt the stream for every request after.
     """
 
     def __init__(
@@ -122,6 +129,7 @@ class ReplicaLink:
         self.name = name or f"{host}:{port}"
         self.connect_timeout_s = connect_timeout_s
         self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
         self._sock = None
         self._next_id = 0
         self._pending: Dict[int, _Reply] = {}
@@ -205,13 +213,35 @@ class ReplicaLink:
                 return reply
             request_id = self._next_id
             self._next_id += 1
+            reply.request_id = request_id
             self._pending[request_id] = reply
             sock = self._sock
         try:
-            sock.sendall(proto.pack_frame(op, request_id, payload))
+            # One frame at a time on the wire: sendall can partially
+            # write under backpressure, so concurrent senders would
+            # interleave bytes mid-frame without this lock.
+            with self._send_lock:
+                sock.sendall(proto.pack_frame(op, request_id, payload))
         except OSError as exc:
             self._drop_connection(sock, exc)
         return reply
+
+    def forget(self, reply: _Reply) -> None:
+        """Abandon a submitted request that will never be waited on.
+
+        Timeout paths must call this: against a blackholed replica the
+        reply never arrives and the connection never drops, so without
+        an explicit pop the pending entry would leak forever — growing
+        memory and inflating :meth:`inflight`, which feeds the router's
+        least-loaded pick.  A late reply for a forgotten id is dropped
+        by the reader as unknown.
+        """
+        rid = reply.request_id
+        if rid is None:
+            return
+        with self._lock:
+            if self._pending.get(rid) is reply:
+                del self._pending[rid]
 
     def request(
         self, op: int, payload: bytes = b"", timeout: Optional[float] = 5.0
@@ -219,6 +249,7 @@ class ReplicaLink:
         """Blocking submit + wait; raises instead of returning errors."""
         reply = self.submit(op, payload)
         if not reply.event.wait(timeout):
+            self.forget(reply)
             raise ReplicaUnavailable(
                 f"replica {self.name} did not answer within {timeout}s"
             )
@@ -495,11 +526,36 @@ class ReplicaRouter:
         if not routable:
             return None
         candidates = [n for n in routable if n not in exclude] or routable
+        # Freshness outranks load: a stale replica with a shorter queue
+        # must not beat a fresh one, or clients get answers from an old
+        # artifact while the front end advertises the cluster max epoch.
+        # Load (then a random tiebreak) only splits equally-fresh peers.
+        epochs = self.health.epochs()
         best = min(
             candidates,
-            key=lambda n: (self._links[n].inflight(), self._rng.random()),
+            key=lambda n: (
+                -epochs.get(n, 0),
+                self._links[n].inflight(),
+                self._rng.random(),
+            ),
         )
         return best
+
+    def _abandon(
+        self,
+        waiters: Sequence[Tuple[str, _Reply]],
+        keep: Optional[_Reply] = None,
+    ) -> None:
+        """Forget every still-unanswered waiter except ``keep``.
+
+        Called when a dispatch settles (a winner answered, or the
+        request is non-retryably dead) while hedge copies are still
+        outstanding on other replicas: their replies — which may never
+        come — must not pin pending entries.
+        """
+        for wname, wreply in waiters:
+            if wreply is not keep and not wreply.event.is_set():
+                self._links[wname].forget(wreply)
 
     def _backoff(self, attempt: int) -> float:
         raw = self.backoff_base_s * (1 << (attempt - 1))
@@ -552,9 +608,13 @@ class ReplicaRouter:
                     f"{self.request_timeout_s}s"
                 )
                 # A replica too slow for the deadline is suspect: feed
-                # the health monitor so repeated stalls eject it.
-                for wname, _ in waiters:
+                # the health monitor so repeated stalls eject it.  The
+                # abandoned replies are forgotten so a blackholed
+                # replica (open connection, no answers) cannot leak a
+                # pending entry per attempt.
+                for wname, wreply in waiters:
                     self.health.record_failure(wname, timeout_exc)
+                    self._links[wname].forget(wreply)
                 raise timeout_exc
             if hedge_at is not None and now >= hedge_at:
                 hedge_at = None
@@ -587,6 +647,7 @@ class ReplicaRouter:
                     if wname != primary:
                         with self._stat_lock:
                             self._hedge_wins += 1
+                    self._abandon(waiters, keep=reply)
                     return proto.decode_answers(reply.payload)
                 if reply.op == proto.OP_OVERLOADED:
                     last_exc = proto.OverloadedError(
@@ -597,6 +658,7 @@ class ReplicaRouter:
                 if reply.op == proto.OP_ERROR:
                     # The replica understood the request and rejected
                     # it: not retryable anywhere.
+                    self._abandon(waiters, keep=reply)
                     raise RuntimeError(
                         f"replica {wname} error: "
                         f"{reply.payload.decode('utf-8', 'replace')}"

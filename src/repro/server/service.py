@@ -114,12 +114,18 @@ def _worker_main(
         # and poison the queue for every replacement.  Blocked semaphore
         # waiters hold nothing, so idle kills are survivable; the get()
         # below finds its item already buffered and returns at once.
+        #
+        # The get timeout exists only for compensating tokens from the
+        # reaper (see ``_reap_dead_workers``) that have no task behind
+        # them, so it is kept very short: the rlock is held for at most
+        # this long per spurious wakeup, shrinking (not eliminating —
+        # see the reaper docstring) the window where a SIGKILL lands on
+        # a worker holding the rlock and wedges the queue.
         task_sem.acquire()
         try:
-            task = tasks.get(timeout=1.0)
+            task = tasks.get(timeout=0.05)
         except _queue.Empty:
-            # A compensating token from the reaper (see
-            # ``_reap_dead_workers``) with no task behind it.
+            # A compensating token with no task behind it.
             continue
         if task is None:
             break
@@ -334,12 +340,19 @@ class WorkerPool:
 
         Called from the reader thread only, and only when the result
         queue is drained — so an announced-but-unanswered batch held by
-        a dead process really is lost, not merely queued.  The one
-        unclosable window is a worker dying between ``tasks.get()`` and
-        its ``start`` announcement: that batch's task vanished with the
-        process and times out at the client instead of failing fast —
-        the window is a few instructions wide and requires the kill to
-        land inside it.
+        a dead process really is lost, not merely queued.  Two residual
+        windows remain:
+
+        * A worker dying between ``tasks.get()`` and its ``start``
+          announcement: that batch's task vanished with the process and
+          times out at the client instead of failing fast.  The window
+          is a few instructions wide.
+        * A worker dying *inside* ``tasks.get()`` — reachable when a
+          compensating token from this reaper wakes it with no task
+          behind it — dies holding the queue's shared reader lock and
+          wedges the queue for every survivor.  The get timeout is kept
+          very short (0.05s) precisely to shrink this window; it cannot
+          be closed entirely without replacing ``mp.Queue``.
         """
         with self._lock:
             if self._closed:
