@@ -1,0 +1,219 @@
+"""Durability bench: what an fsync policy costs, and what recovery costs.
+
+Three measurements, all on real disk (``tempfile`` on whatever
+filesystem the runner has — the absolute numbers are fs-dependent, the
+*ratios* are the point):
+
+* **journal append throughput** — raw ``UpdateJournal.append`` rate
+  per sync policy, single-threaded and with 4 concurrent appenders.
+  ``interval`` is group commit: one fsync covers every append that
+  piled in behind it, so its gain over ``always`` only appears under
+  concurrency; a single serialized appender pays a full wait per
+  record either way.
+* **primary update throughput** — end-to-end
+  ``JournaledPrimary.apply_update`` rate per sync policy (journal
+  append + incremental compile + epoch publish per batch).  The
+  primary serializes updates, so this is the single-appender regime:
+  expect ``interval`` ≈ ``always``, and both within a small factor of
+  ``off`` once compile cost dominates the fsync.
+* **recovery wall time vs journal length** — ``checkpoint_every=0``
+  primaries killed with N updates in the journal, then timed through
+  ``JournaledPrimary(data_dir)`` (manifest load + replay + compile +
+  publish).  Linear in N is the contract; the committed numbers
+  quantify the slope, i.e. what a checkpoint interval buys.
+
+The committed ``BENCH_durability.json`` at the repo root records the
+full-size run; ``--smoke`` shrinks everything for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.durability import JournaledPrimary, UpdateJournal
+from repro.graph.generators import novel_acyclic_edges, sparse_dag
+
+SYNCS = ("always", "interval", "off")
+
+
+def bench_journal(tmp: Path, appends: int, threads: int) -> dict:
+    """Raw append rate per policy, 1 and `threads` concurrent writers."""
+    out = {}
+    for sync in SYNCS:
+        row = {}
+        for nthreads in (1, threads):
+            d = tmp / f"wal-{sync}-{nthreads}"
+            per_thread = appends // nthreads
+            with UpdateJournal(
+                str(d), sync=sync, sync_interval_s=0.002
+            ) as j:
+                barrier = threading.Barrier(nthreads + 1)
+
+                def worker(k):
+                    barrier.wait()
+                    for i in range(per_thread):
+                        j.append([(k, i + 1)], client=f"w{k}", seq=i + 1)
+
+                workers = [
+                    threading.Thread(target=worker, args=(k,))
+                    for k in range(nthreads)
+                ]
+                for t in workers:
+                    t.start()
+                barrier.wait()
+                t0 = time.perf_counter()
+                for t in workers:
+                    t.join()
+                wall = time.perf_counter() - t0
+                fsyncs = j.stats()["fsyncs"]
+            shutil.rmtree(d)
+            row[f"threads_{nthreads}"] = {
+                "appends": per_thread * nthreads,
+                "appends_per_s": per_thread * nthreads / wall,
+                "fsyncs": fsyncs,
+            }
+        out[sync] = row
+    return out
+
+
+def bench_primary(tmp: Path, graph, batches, pairs_per_batch) -> dict:
+    """End-to-end apply_update rate per policy."""
+    edges, _ = novel_acyclic_edges(graph, batches * pairs_per_batch, seed=3)
+    out = {}
+    for sync in SYNCS:
+        d = str(tmp / f"primary-{sync}")
+        p = JournaledPrimary(d, graph, sync=sync, sync_interval_s=0.002)
+        try:
+            t0 = time.perf_counter()
+            for b in range(batches):
+                batch = edges[b * pairs_per_batch:(b + 1) * pairs_per_batch]
+                p.apply_update(batch, client="bench", seq=b + 1)
+            wall = time.perf_counter() - t0
+        finally:
+            p.close()
+        shutil.rmtree(d)
+        out[sync] = {
+            "batches": batches,
+            "edges_per_batch": pairs_per_batch,
+            "updates_per_s": batches / wall,
+            "mean_ack_ms": wall / batches * 1000.0,
+        }
+    return out
+
+
+def bench_recovery(tmp: Path, graph, journal_lengths) -> list:
+    """Restart wall time as a function of un-checkpointed records."""
+    rows = []
+    biggest = max(journal_lengths)
+    edges, _ = novel_acyclic_edges(graph, biggest, seed=5)
+    for length in journal_lengths:
+        d = str(tmp / f"recover-{length}")
+        p = JournaledPrimary(d, graph, sync="off", checkpoint_every=0)
+        for i in range(length):
+            p.apply_update([edges[i]], client="bench", seq=i + 1)
+        # kill -9 equivalent: drop handles, no checkpoint
+        p.live.store.close()
+        p._journal.close()
+        p._closed = True
+        t0 = time.perf_counter()
+        p2 = JournaledPrimary(d)
+        recover_s = time.perf_counter() - t0
+        info = dict(p2.recovery_info)
+        p2.close()
+        shutil.rmtree(d)
+        assert info["records_replayed"] == length, info
+        rows.append(
+            {
+                "journal_records": length,
+                "recover_ms": recover_s * 1000.0,
+                "replayed": info["records_replayed"],
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes for CI")
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args()
+
+    if args.smoke:
+        appends, threads = 200, 4
+        n, batches, per_batch = 400, 30, 2
+        lengths = (10, 40)
+    else:
+        appends, threads = 2000, 4
+        n, batches, per_batch = 5000, 200, 3
+        lengths = (50, 200, 800)
+
+    graph = sparse_dag(n, seed=19)
+    doc = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "smoke": args.smoke,
+        "graph": {"n": graph.n, "m": graph.m},
+        "note": (
+            "journal_append is raw UpdateJournal.append on real disk "
+            "(tempfile fs): interval is group commit, so it only beats "
+            "always under concurrent appenders — watch the fsync counts, "
+            "not just the rates; primary_updates is end-to-end "
+            "apply_update (journal + incremental compile + publish), "
+            "serialized, so interval ≈ always there by design and the "
+            "compile typically dominates the fsync; recovery is the "
+            "restart wall time with N un-checkpointed journal records "
+            "(checkpoint_every=0), linear in N — the slope is what a "
+            "checkpoint interval buys; 'off' survives kill -9 but NOT "
+            "power loss (see README Durability)"
+        ),
+        "journal_append": {},
+        "primary_updates": {},
+        "recovery": [],
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-benchdur-") as tmpdir:
+        tmp = Path(tmpdir)
+        print("[bench_durability] journal append ...", file=sys.stderr, flush=True)
+        doc["journal_append"] = bench_journal(tmp, appends, threads)
+        print("[bench_durability] primary updates ...", file=sys.stderr, flush=True)
+        doc["primary_updates"] = bench_primary(tmp, graph, batches, per_batch)
+        print("[bench_durability] recovery ...", file=sys.stderr, flush=True)
+        doc["recovery"] = bench_recovery(tmp, graph, lengths)
+
+    for sync in SYNCS:
+        j1 = doc["journal_append"][sync][f"threads_1"]
+        jn = doc["journal_append"][sync][f"threads_{threads}"]
+        p = doc["primary_updates"][sync]
+        print(
+            f"  {sync:8s} journal {j1['appends_per_s']:9.0f}/s (1 thr, "
+            f"{j1['fsyncs']} fsyncs) {jn['appends_per_s']:9.0f}/s "
+            f"({threads} thr, {jn['fsyncs']} fsyncs); primary "
+            f"{p['updates_per_s']:7.1f} upd/s ack {p['mean_ack_ms']:.2f} ms",
+            file=sys.stderr,
+        )
+    for row in doc["recovery"]:
+        print(
+            f"  recovery {row['journal_records']:5d} records -> "
+            f"{row['recover_ms']:8.1f} ms",
+            file=sys.stderr,
+        )
+
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        args.out.write_text(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

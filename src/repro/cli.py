@@ -435,6 +435,17 @@ def _run_serve(argv: List[str]) -> int:
                         "router with retries, health checks and hedged "
                         "dispatch (needs --artifact; see also the "
                         "'route' subcommand for external replicas)")
+    parser.add_argument("--data-dir", default=None, metavar="DIR",
+                        help="with --live: journal updates in DIR (WAL + "
+                        "epoch manifest) so every acked update survives "
+                        "kill -9; re-serving the same DIR recovers the "
+                        "journaled state instead of rebuilding the dataset")
+    parser.add_argument("--sync", default="interval",
+                        choices=("always", "interval", "off"),
+                        help="journal fsync policy for --data-dir: 'always' "
+                        "fsyncs per update (survives power loss), "
+                        "'interval' group-commits (default), 'off' trusts "
+                        "the OS page cache (survives kill -9 only)")
     parser.add_argument("--batch-window", type=float, default=1.0, metavar="MS",
                         help="micro-batching window in milliseconds "
                         "(0 disables coalescing)")
@@ -477,6 +488,9 @@ def _run_serve(argv: List[str]) -> int:
     if args.watch and not args.artifact:
         parser.error("--watch needs --artifact (a --live server updates "
                      "through the wire protocol instead)")
+    if args.data_dir and not args.live:
+        parser.error("--data-dir needs --live (a static artifact server "
+                     "has nothing to journal)")
     if args.replicas:
         if not args.artifact:
             parser.error("--replicas needs --artifact (replication ships "
@@ -518,8 +532,21 @@ def _run_serve(argv: List[str]) -> int:
             cache_size=args.cache_size,
             allow_shutdown=allow_shutdown,
             live=True,
+            data_dir=args.data_dir,
+            sync=args.sync,
         )
         served = f"{args.live} (live, epoch {reach.live_epoch})"
+        if args.data_dir:
+            info = reach._primary.recovery_info
+            mode = "recovered" if info.get("recovered") else "initialised"
+            served += (
+                f" [durable: {mode} {args.data_dir}, sync={args.sync}"
+                + (
+                    f", replayed {info['records_replayed']} journal records"
+                    if info.get("recovered") else ""
+                )
+                + "]"
+            )
     else:
         server = serve_artifact(
             args.artifact,

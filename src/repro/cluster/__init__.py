@@ -33,13 +33,19 @@ probation re-admits it.
 
 from .chaos import ChaosProxy
 from .health import HealthMonitor
-from .replicate import EpochShipper, ReplicaProcess, install_ship_handler
+from .replicate import (
+    EpochShipper,
+    PrimaryProcess,
+    ReplicaProcess,
+    install_ship_handler,
+)
 from .router import ReplicaLink, ReplicaRouter, ReplicaUnavailable
 
 __all__ = [
     "ChaosProxy",
     "HealthMonitor",
     "EpochShipper",
+    "PrimaryProcess",
     "ReplicaProcess",
     "install_ship_handler",
     "ReplicaLink",
@@ -50,27 +56,45 @@ __all__ = [
 
 
 def serve_replicated(
-    artifact_path: str,
+    artifact_path: str = None,
     host: str = "127.0.0.1",
     port: int = 0,
     *,
     replicas: int = 2,
     allow_shutdown=None,
     sync_interval_s: float = 0.5,
+    data_dir: str = None,
+    graph=None,
+    sync: str = "interval",
+    bootstrap_timeout_s: float = 60.0,
     **router_kwargs,
 ):
-    """One-call replica tier over a saved artifact; returns the front end.
+    """One-call replica tier; returns the front-end server.
 
-    Spawns ``replicas`` seeded :class:`ReplicaProcess`es, a primary
-    :class:`~repro.live.VersionedArtifactStore` + :class:`EpochShipper`
-    (which re-fills any replica that restarts blank), a
-    :class:`ReplicaRouter` over them, and a
-    :class:`~repro.server.service.ReachServer` front end speaking the
-    ordinary wire protocol.  ``server.close()`` tears the whole tier
-    down.  The running pieces hang off the returned server as
-    ``server.router``, ``server.replicas`` and ``server.shipper`` —
-    which is exactly what a chaos harness needs to reach in and kill
-    things.
+    Two modes, selected by which source argument is given:
+
+    * ``artifact_path`` — the static tier: ``replicas`` seeded
+      :class:`ReplicaProcess`es, an in-process
+      :class:`~repro.live.VersionedArtifactStore` + :class:`EpochShipper`
+      (which re-fills any replica that restarts blank), a
+      :class:`ReplicaRouter` over them, and a
+      :class:`~repro.server.service.ReachServer` front end speaking the
+      ordinary wire protocol.
+    * ``data_dir`` (+ ``graph`` for the first boot, ``sync`` for the
+      journal's fsync policy) — the **durable** tier: a killable
+      :class:`PrimaryProcess` (journaled primary, recovered from
+      ``data_dir`` when it already has a manifest) ships epochs to
+      ``replicas`` *blank* replicas, the router serves reads over the
+      replicas, and sequenced updates through the front end are
+      forwarded to the primary — whose ack means the batch is on disk.
+      The call returns once every replica has bootstrapped to the
+      primary's epoch (bounded by ``bootstrap_timeout_s``).
+
+    ``server.close()`` tears the whole tier down.  The running pieces
+    hang off the returned server as ``server.router``,
+    ``server.replicas`` and ``server.shipper`` (static mode) or
+    ``server.primary`` (durable mode) — which is exactly what a chaos
+    harness needs to reach in and kill things.
 
     Extra keyword arguments go to :class:`ReplicaRouter` (timeouts,
     hedging, health knobs).
@@ -80,6 +104,20 @@ def serve_replicated(
 
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if (artifact_path is None) == (data_dir is None):
+        raise ValueError("pass exactly one of artifact_path / data_dir")
+    if data_dir is not None:
+        return _serve_replicated_durable(
+            data_dir,
+            graph,
+            host,
+            port,
+            replicas=replicas,
+            allow_shutdown=allow_shutdown,
+            sync=sync,
+            bootstrap_timeout_s=bootstrap_timeout_s,
+            **router_kwargs,
+        )
     store = VersionedArtifactStore()
     procs = []
     shipper = None
@@ -114,4 +152,112 @@ def serve_replicated(
         for proc in procs:
             proc.stop()
         store.close()
+        raise
+
+
+def _serve_replicated_durable(
+    data_dir,
+    graph,
+    host,
+    port,
+    *,
+    replicas,
+    allow_shutdown,
+    sync,
+    bootstrap_timeout_s,
+    **router_kwargs,
+):
+    """The durable tier: journaled PrimaryProcess + blank replicas.
+
+    Reads fan over the replicas through the router; updates forward to
+    the primary over a sequenced :class:`~repro.server.ReachClient`
+    connection (the caller's ``(client, seq)`` ride through verbatim,
+    so end-to-end idempotency is the primary's dedupe window, not
+    anything this layer invents).
+    """
+    import threading
+    import time
+
+    from ..server.client import ReachClient
+    from ..server.service import ReachServer
+    from .replicate import PrimaryProcess, ReplicaProcess
+
+    procs = []
+    primary = None
+    router = None
+    try:
+        addresses = []
+        for _ in range(replicas):
+            proc = ReplicaProcess()  # blank: bootstrapped by the shipper
+            procs.append(proc)
+            addresses.append(("127.0.0.1", proc.start()))
+        primary = PrimaryProcess(
+            data_dir, graph, replicas=addresses, sync=sync
+        )
+        primary.start()
+        with ReachClient("127.0.0.1", primary.port) as pc:
+            target_epoch = pc.epoch()
+        # Block until every replica holds the primary's epoch: fronting
+        # blank replicas would serve "no published epoch" errors for
+        # the first shipper pass.
+        deadline = time.monotonic() + bootstrap_timeout_s
+        for rhost, rport in addresses:
+            with ReachClient(rhost, rport) as rc:
+                while rc.epoch() < target_epoch:
+                    if time.monotonic() > deadline:
+                        raise RuntimeError(
+                            f"replica {rhost}:{rport} did not bootstrap to "
+                            f"epoch {target_epoch} in {bootstrap_timeout_s}s"
+                        )
+                    time.sleep(0.05)
+        router = ReplicaRouter(addresses, **router_kwargs).start()
+
+        # One cached forwarding connection, rebuilt after any failure
+        # (e.g. across a primary restart — the port survives, the TCP
+        # connection does not).
+        fwd_lock = threading.Lock()
+        fwd = {"client": None}
+
+        def _forward_client():
+            with fwd_lock:
+                if fwd["client"] is None:
+                    fwd["client"] = ReachClient(primary.host, primary.port)
+                return fwd["client"]
+
+        def _drop_forward_client():
+            with fwd_lock:
+                client, fwd["client"] = fwd["client"], None
+            if client is not None:
+                client.close()
+
+        def updater(edges, *, client=None, seq=None):
+            conn = _forward_client()
+            try:
+                if client is None:
+                    # Legacy un-sequenced update: not safe to retry, so
+                    # it forwards exactly once.
+                    return conn.update(edges, idempotent=False)
+                return conn.update(edges, client=client, seq=seq)
+            except Exception:
+                _drop_forward_client()
+                raise
+
+        router.updater = updater
+        server = ReachServer(
+            router, host, port, allow_shutdown=allow_shutdown, owns_service=True
+        )
+        server.cleanup_callbacks.append(_drop_forward_client)
+        server.cleanup_callbacks.append(primary.stop)
+        server.cleanup_callbacks.extend(proc.stop for proc in procs)
+        server.router = router
+        server.replicas = procs
+        server.primary = primary
+        return server.start()
+    except BaseException:
+        if router is not None:
+            router.close()
+        if primary is not None:
+            primary.stop()
+        for proc in procs:
+            proc.stop()
         raise

@@ -45,6 +45,7 @@ __all__ = [
     "install_ship_handler",
     "EpochShipper",
     "ReplicaProcess",
+    "PrimaryProcess",
 ]
 
 
@@ -439,3 +440,191 @@ class ReplicaProcess:
     def __repr__(self) -> str:
         state = "alive" if self.is_alive() else "down"
         return f"ReplicaProcess({self.host}:{self.port}, {state})"
+
+
+# ----------------------------------------------------------------------
+# A journaled primary as a child process
+# ----------------------------------------------------------------------
+def _primary_main(
+    host: str,
+    port: int,
+    data_dir: str,
+    graph_spec: Optional[Tuple[int, List[Tuple[int, int]]]],
+    sync: str,
+    replica_addrs: Sequence[Tuple[str, int]],
+    ready,
+) -> None:
+    """Child entry point: a JournaledPrimary behind a ReachServer.
+
+    The primary recovers from ``data_dir`` when a manifest exists (the
+    restart-after-kill path) and builds fresh from ``graph_spec``
+    otherwise; either way it serves queries, journals sequenced
+    updates, and (when replicas are given) ships each published epoch
+    to them.
+    """
+    from ..durability import JournaledPrimary
+    from ..graph.digraph import DiGraph
+    from ..server.service import QueryService, ReachServer
+
+    graph = (
+        DiGraph.from_edges(graph_spec[0], graph_spec[1])
+        if graph_spec is not None
+        else None
+    )
+    shipper = None
+    try:
+        primary = JournaledPrimary(data_dir, graph, sync=sync)
+        service = QueryService(primary=primary, workers=0, owns_store=True)
+        service.start()
+        server = ReachServer(
+            service, host, port, allow_shutdown=True, owns_service=True
+        )
+        install_ship_handler(server, primary.store)
+        if replica_addrs:
+            shipper = EpochShipper(primary.store, replica_addrs)
+            shipper.start()
+        server.start()
+    except BaseException as exc:
+        ready.put(("error", repr(exc)))
+        return
+    ready.put(("ok", (server.port, dict(primary.recovery_info))))
+    server.wait()
+    if shipper is not None:
+        shipper.close()
+
+
+class PrimaryProcess:
+    """A journaled primary in a child process — the killable kind.
+
+    The durable sibling of :class:`ReplicaProcess`: ``start()`` forks a
+    child that mounts a :class:`~repro.durability.JournaledPrimary`
+    over ``data_dir`` behind a :class:`~repro.server.ReachServer`
+    (queries + sequenced updates + ``OP_SHIP`` source via an
+    :class:`EpochShipper` when ``replicas`` are given), ``kill()`` is
+    SIGKILL mid-whatever, and ``restart()`` brings it back *on the same
+    data dir* — recovery (manifest + journal replay) is the child's
+    startup path, and ``recovery_info`` from the latest start reports
+    what it found.  The initial ``graph`` is only consulted when
+    ``data_dir`` has no manifest yet; after that the disk is the truth.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        graph=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        replicas: Sequence[Tuple[str, int]] = (),
+        sync: str = "interval",
+    ) -> None:
+        import multiprocessing as mp
+
+        try:
+            self._ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            self._ctx = mp.get_context("spawn")
+        self.data_dir = str(data_dir)
+        # (n, edges) survives a spawn-context pickle; the child rebuilds.
+        self._graph_spec = (
+            None if graph is None else (graph.n, list(graph.edges()))
+        )
+        self.host = host
+        self.port = port
+        self.replicas = [(h, int(p)) for h, p in replicas]
+        self.sync = sync
+        self.recovery_info: dict = {}
+        self._proc = None
+        self.restarts = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, timeout: float = 60.0) -> int:
+        if self._proc is not None and self._proc.is_alive():
+            return self.port
+        ready = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_primary_main,
+            args=(
+                self.host,
+                self.port,
+                self.data_dir,
+                self._graph_spec,
+                self.sync,
+                self.replicas,
+                ready,
+            ),
+            daemon=True,
+            name=f"repro-primary-{self.host}:{self.port or 'ephemeral'}",
+        )
+        proc.start()
+        import queue as _queue
+
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                proc.terminate()
+                raise RuntimeError("primary did not come up in time")
+            try:
+                status, value = ready.get(timeout=min(0.25, remaining))
+                break
+            except _queue.Empty:
+                if not proc.is_alive():
+                    raise RuntimeError(
+                        "primary process died during startup"
+                    ) from None
+        if status == "error":
+            proc.join(timeout=5.0)
+            raise RuntimeError(f"primary failed to start: {value}")
+        self.port, self.recovery_info = int(value[0]), dict(value[1])
+        self._proc = proc
+        return self.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def pid(self) -> Optional[int]:
+        return None if self._proc is None else self._proc.pid
+
+    def is_alive(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL — no flush, no checkpoint, no goodbye."""
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc.join(timeout=10.0)
+
+    def stop(self) -> None:
+        """SIGTERM + join (test-cleanup teardown)."""
+        if self._proc is not None:
+            if self._proc.is_alive():
+                self._proc.terminate()
+            self._proc.join(timeout=10.0)
+            self._proc = None
+
+    def restart(self, timeout: float = 60.0) -> int:
+        """Bring the primary back up on the same port and data dir.
+
+        Unlike a replica restart this is *not* blank: the child finds
+        the manifest in ``data_dir`` and runs crash recovery — every
+        acked update is back before the port opens.
+        """
+        if self.is_alive():
+            self.stop()
+        self._proc = None
+        self.restarts += 1
+        return self.start(timeout=timeout)
+
+    def __enter__(self) -> "PrimaryProcess":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive() else "down"
+        return f"PrimaryProcess({self.host}:{self.port}, {state}, dir={self.data_dir})"

@@ -1,0 +1,39 @@
+"""Durability: the write-ahead journal + crash recovery layer.
+
+PRs 5–6 made the reachability service *available* (live updates, a
+replica tier that survives a replica SIGKILL); this package makes it
+*durable* — an acknowledged update survives killing the primary.
+
+* :mod:`repro.durability.journal` — :class:`UpdateJournal`: a
+  checksummed, segment-rotated write-ahead log with ``always`` /
+  ``interval`` (group commit) / ``off`` fsync policies and torn-tail
+  truncation on reopen.
+* :mod:`repro.durability.manifest` — :class:`EpochManifest`: the
+  atomically-committed (temp + fsync + rename) binding of epoch →
+  artifact file → journal watermark.
+* :mod:`repro.durability.dedupe` — :class:`DedupeWindow`: the
+  per-client sequence window behind ``OP_UPDATE_SEQ`` idempotency.
+* :mod:`repro.durability.primary` — :class:`JournaledPrimary`: the
+  assembly.  Ack ⇒ durable (journal append is the ack barrier),
+  restart ⇒ recover (newest manifest epoch + journal replay past its
+  watermark), checkpoint ⇒ compact.
+
+The acceptance drill for all of it lives in
+:func:`repro.cluster.chaos.primary_crash_drill`.
+"""
+
+from .dedupe import DedupeWindow, StaleSequenceError
+from .journal import JournalError, JournalRecord, SYNC_POLICIES, UpdateJournal
+from .manifest import EpochManifest
+from .primary import JournaledPrimary
+
+__all__ = [
+    "DedupeWindow",
+    "StaleSequenceError",
+    "JournalError",
+    "JournalRecord",
+    "SYNC_POLICIES",
+    "UpdateJournal",
+    "EpochManifest",
+    "JournaledPrimary",
+]

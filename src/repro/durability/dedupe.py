@@ -1,0 +1,91 @@
+"""Per-client update idempotency window.
+
+The wire contract (``OP_UPDATE_SEQ``): a client stamps each update
+batch with its client id and a monotonically increasing sequence
+number.  A re-send of an already-applied ``(client, seq)`` — the
+reconnect-after-lost-ack case — must return the original summary with
+``deduped: true`` instead of applying the edges twice.
+
+The window keeps the *latest* sequence per client (plus its cached
+reply), which is exactly enough for a client that keeps one update in
+flight — the only shape :class:`~repro.server.client.ReachClient`
+produces.  A sequence *below* the recorded one is a protocol violation
+(the client went backwards) and is rejected loudly rather than guessed
+at.  Clients are capped LRU-style so an open server cannot be grown
+without bound by throwaway client ids.
+
+A journaled primary persists the window (snapshot in the manifest,
+per-record ids in the journal), so dedupe survives the same crashes
+the data does; a plain live server holds it in memory only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+__all__ = ["DedupeWindow", "StaleSequenceError"]
+
+
+class StaleSequenceError(ValueError):
+    """A client re-used a sequence number below its latest one."""
+
+
+class DedupeWindow:
+    """Latest ``(seq, cached summary)`` per client, LRU-capped."""
+
+    def __init__(self, max_clients: int = 4096) -> None:
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.max_clients = max_clients
+        self._entries: "OrderedDict[str, Tuple[int, dict]]" = OrderedDict()
+
+    def check(self, client: str, seq: int) -> Optional[dict]:
+        """The cached summary for a duplicate, None for a fresh seq.
+
+        Raises :class:`StaleSequenceError` when ``seq`` is below the
+        client's recorded latest — re-applying it could double-apply
+        and re-acking it would ack the wrong batch.
+        """
+        entry = self._entries.get(client)
+        if entry is None:
+            return None
+        last_seq, summary = entry
+        if seq == last_seq:
+            self._entries.move_to_end(client)
+            return summary
+        if seq < last_seq:
+            raise StaleSequenceError(
+                f"client {client!r} sent seq {seq} after {last_seq}: "
+                "sequence numbers must not go backwards"
+            )
+        return None
+
+    def record(self, client: str, seq: int, summary: dict) -> None:
+        self._entries[client] = (int(seq), dict(summary))
+        self._entries.move_to_end(client)
+        while len(self._entries) > self.max_clients:
+            self._entries.popitem(last=False)
+
+    # -- persistence ---------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe state for the manifest."""
+        return {
+            client: {"seq": seq, "summary": summary}
+            for client, (seq, summary) in self._entries.items()
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, doc: Optional[Dict[str, object]], max_clients: int = 4096
+    ) -> "DedupeWindow":
+        window = cls(max_clients=max_clients)
+        for client, entry in (doc or {}).items():
+            window.record(client, int(entry["seq"]), dict(entry["summary"]))
+        return window
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"DedupeWindow(clients={len(self._entries)}/{self.max_clients})"

@@ -1,0 +1,518 @@
+"""The write-ahead update journal: what makes an ack mean something.
+
+A live primary that acknowledges ``OP_UPDATE`` from memory is lying
+the moment anyone believes it — a SIGKILL loses every update since the
+original build.  :class:`UpdateJournal` is the durability barrier the
+ack waits behind: each update batch is appended as one checksummed
+record, and :meth:`append` returns only once the record is durable
+under the configured fsync policy.
+
+On-disk layout (``<dir>/journal-NNNNNNNN.seg``, rotated by size)::
+
+    segment  := header record*
+    header   := magic "RPROWAL1" (8 bytes) | base_lsn u64 LE
+    record   := payload_len u32 LE | crc32(payload) u32 LE | payload
+    payload  := kind u8 | lsn u64 | client_len u16 | client utf-8
+              | client_seq u64 | edge_count u32 | edge_count x (u32, u32)
+
+LSNs (log sequence numbers) are assigned per record, start at 1, and
+are strictly sequential across segments — each segment header carries
+the LSN its first record will have, which is what lets replay order
+segments and :meth:`compact` delete whole files below a watermark
+without reading them.
+
+Fsync policies (see the README's durability matrix for the honest
+version):
+
+* ``always``   — fsync per append.  Survives power loss.
+* ``interval`` — group commit: appends block until a background
+  syncer's next fsync covers their bytes (many appends share one
+  fsync).  Bounded loss on power failure, none on SIGKILL.
+* ``off``      — write + flush only.  Survives SIGKILL (the OS page
+  cache outlives the process) but not power loss.
+
+Torn-tail rule, applied when a journal directory is reopened: a record
+in the **last** segment that is incomplete or fails its CRC is the
+signature of a crash mid-append — a record whose ack never happened —
+and everything from its offset on is truncated away.  The same damage
+in any *earlier* segment means acked records are gone, which is never
+silently repairable: :class:`JournalError`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "UpdateJournal",
+    "JournalRecord",
+    "JournalError",
+    "SYNC_POLICIES",
+    "SEGMENT_MAGIC",
+]
+
+Edge = Tuple[int, int]
+
+SYNC_POLICIES = ("always", "interval", "off")
+
+SEGMENT_MAGIC = b"RPROWAL1"
+_SEG_HEADER = struct.Struct("<8sQ")   # magic, base_lsn
+_REC_HEADER = struct.Struct("<II")    # payload_len, crc32
+_REC_PREFIX = struct.Struct("<BQ")    # kind, lsn
+_CLIENT_LEN = struct.Struct("<H")
+_SEQ = struct.Struct("<Q")
+_COUNT = struct.Struct("<I")
+_PAIR = struct.Struct("<II")
+
+_KIND_UPDATE = 1
+
+#: Hard cap on one record's payload — mirrors the wire frame cap, so a
+#: garbage length field fails fast instead of allocating gigabytes.
+MAX_RECORD = 64 * 1024 * 1024
+
+_SEGMENT_RE = re.compile(r"^journal-(\d{8})\.seg$")
+
+
+class JournalError(RuntimeError):
+    """Unrecoverable journal damage (mid-stream corruption, bad use)."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One replayable update batch, exactly as it was acked."""
+
+    lsn: int
+    edges: Tuple[Edge, ...]
+    client: Optional[str] = None
+    seq: Optional[int] = None
+
+
+def _fsync_path(path: str) -> None:
+    """fsync a file (or directory) by path — directory entries need it
+    too, or a crash can lose the *name* of a perfectly synced file."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _encode_payload(
+    lsn: int, edges: Sequence[Edge], client: Optional[str], seq: Optional[int]
+) -> bytes:
+    cb = (client or "").encode("utf-8")
+    if len(cb) > 0xFFFF:
+        raise JournalError(f"client id of {len(cb)} bytes exceeds u16 cap")
+    out = bytearray(_REC_PREFIX.pack(_KIND_UPDATE, lsn))
+    out += _CLIENT_LEN.pack(len(cb))
+    out += cb
+    out += _SEQ.pack(0 if seq is None else int(seq))
+    out += _COUNT.pack(len(edges))
+    pack = _PAIR.pack
+    try:
+        for u, v in edges:
+            out += pack(u, v)
+    except struct.error as exc:
+        raise JournalError(f"vertex id out of u32 range: {exc}") from None
+    return bytes(out)
+
+
+def _decode_payload(payload: bytes) -> JournalRecord:
+    """Parse one record payload; raises ``ValueError`` on any mismatch
+    (callers decide whether that means *torn* or *corrupt*)."""
+    view = memoryview(payload)
+    kind, lsn = _REC_PREFIX.unpack_from(view, 0)
+    if kind != _KIND_UPDATE:
+        raise ValueError(f"unknown record kind {kind}")
+    off = _REC_PREFIX.size
+    (client_len,) = _CLIENT_LEN.unpack_from(view, off)
+    off += _CLIENT_LEN.size
+    client = bytes(view[off:off + client_len]).decode("utf-8") or None
+    off += client_len
+    (seq,) = _SEQ.unpack_from(view, off)
+    off += _SEQ.size
+    (count,) = _COUNT.unpack_from(view, off)
+    off += _COUNT.size
+    if len(view) - off != count * _PAIR.size:
+        raise ValueError(
+            f"record announces {count} edges but carries {len(view) - off} bytes"
+        )
+    edges = tuple(_PAIR.iter_unpack(view[off:]))
+    return JournalRecord(
+        lsn=lsn,
+        edges=edges,
+        client=client,
+        seq=seq if client is not None else None,
+    )
+
+
+def _scan_segment(path: str) -> Tuple[Optional[int], List[JournalRecord], int, str]:
+    """Scan one segment file.
+
+    Returns ``(base_lsn, records, valid_end, reason)`` where
+    ``valid_end`` is the byte offset after the last intact record and
+    ``reason`` is non-empty when the scan stopped before EOF (the torn
+    suffix starts at ``valid_end``).  ``base_lsn`` is None when even
+    the segment header is damaged (``valid_end`` is then 0).
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if len(data) < _SEG_HEADER.size:
+        return None, [], 0, "incomplete segment header"
+    magic, base_lsn = _SEG_HEADER.unpack_from(data, 0)
+    if magic != SEGMENT_MAGIC:
+        return None, [], 0, f"bad segment magic {magic!r}"
+    records: List[JournalRecord] = []
+    off = _SEG_HEADER.size
+    while off < len(data):
+        if len(data) - off < _REC_HEADER.size:
+            return base_lsn, records, off, "incomplete record header"
+        length, crc = _REC_HEADER.unpack_from(data, off)
+        if length > MAX_RECORD:
+            return base_lsn, records, off, f"record length {length} exceeds cap"
+        body_start = off + _REC_HEADER.size
+        if len(data) - body_start < length:
+            return base_lsn, records, off, "incomplete record body"
+        payload = data[body_start:body_start + length]
+        if zlib.crc32(payload) != crc:
+            return base_lsn, records, off, "record CRC mismatch"
+        try:
+            records.append(_decode_payload(payload))
+        except (ValueError, struct.error) as exc:
+            return base_lsn, records, off, f"undecodable record: {exc}"
+        off = body_start + length
+    return base_lsn, records, off, ""
+
+
+class _Segment:
+    __slots__ = ("index", "path", "base_lsn")
+
+    def __init__(self, index: int, path: str, base_lsn: int) -> None:
+        self.index = index
+        self.path = path
+        self.base_lsn = base_lsn
+
+
+class UpdateJournal:
+    """Checksummed, segment-rotated write-ahead log of update batches.
+
+    ``append`` is the durability barrier: it returns the record's LSN
+    only once the record is durable under ``sync`` (see the module
+    docstring for the policy matrix).  Reopening a directory replays
+    the torn-tail rule — a partial record at the very end (the crash
+    signature) is truncated away and reported in :attr:`recovery`;
+    damage anywhere else raises :class:`JournalError`.
+
+    Thread safety: appends serialise on an internal lock; group-commit
+    waiting happens outside it, so concurrent appenders share fsyncs
+    instead of queueing behind them.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        sync: str = "interval",
+        sync_interval_s: float = 0.005,
+        segment_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        if sync not in SYNC_POLICIES:
+            raise ValueError(f"sync must be one of {SYNC_POLICIES}, got {sync!r}")
+        if segment_bytes < 1024:
+            raise ValueError(f"segment_bytes must be >= 1024, got {segment_bytes}")
+        self.directory = str(directory)
+        self.sync = sync
+        self.sync_interval_s = sync_interval_s
+        self.segment_bytes = segment_bytes
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+        self._appended = 0
+        self._fsyncs = 0
+        self._written = 0   # bytes appended under the interval policy
+        self._synced = 0    # bytes covered by a completed fsync
+        self._wake = threading.Event()
+        self._syncer: Optional[threading.Thread] = None
+        self._segments: List[_Segment] = []
+        self._file = None
+        self.recovery: Dict[str, object] = {
+            "segments": 0,
+            "records": 0,
+            "truncated_bytes": 0,
+            "truncated_reason": "",
+        }
+        self._open_or_recover()
+        if self.sync == "interval":
+            self._syncer = threading.Thread(
+                target=self._sync_loop, name="repro-journal-sync", daemon=True
+            )
+            self._syncer.start()
+
+    # -- recovery ------------------------------------------------------
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.directory, f"journal-{index:08d}.seg")
+
+    def _open_or_recover(self) -> None:
+        found = []
+        for name in os.listdir(self.directory):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                found.append((int(match.group(1)), os.path.join(self.directory, name)))
+        found.sort()
+        if not found:
+            self._next_lsn = 1
+            self._create_segment(1, base_lsn=1)
+            return
+        next_lsn: Optional[int] = None
+        total_records = 0
+        for pos, (index, path) in enumerate(found):
+            last = pos == len(found) - 1
+            base_lsn, records, valid_end, reason = _scan_segment(path)
+            if reason and not last:
+                raise JournalError(
+                    f"journal segment {path} is damaged mid-stream "
+                    f"({reason}): acked records may be lost; refusing "
+                    "to repair silently"
+                )
+            if base_lsn is None:
+                # Last segment, header never made it to disk whole: the
+                # file carries no acked record.  Drop it and continue
+                # appending to the previous segment.
+                self.recovery["truncated_bytes"] = os.path.getsize(path)
+                self.recovery["truncated_reason"] = reason
+                os.unlink(path)
+                _fsync_path(self.directory)
+                break
+            if next_lsn is not None and base_lsn != next_lsn:
+                raise JournalError(
+                    f"journal segment {path} starts at LSN {base_lsn}, "
+                    f"expected {next_lsn}: a segment is missing or reordered"
+                )
+            for i, rec in enumerate(records):
+                if rec.lsn != base_lsn + i:
+                    raise JournalError(
+                        f"non-sequential LSN {rec.lsn} at position {i} of "
+                        f"{path} (expected {base_lsn + i})"
+                    )
+            if reason:  # torn tail of the last segment: truncate it away
+                torn = os.path.getsize(path) - valid_end
+                with open(path, "r+b") as fh:
+                    fh.truncate(valid_end)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                self.recovery["truncated_bytes"] = torn
+                self.recovery["truncated_reason"] = reason
+            self._segments.append(_Segment(index, path, base_lsn))
+            next_lsn = base_lsn + len(records)
+            total_records += len(records)
+        self.recovery["segments"] = len(self._segments)
+        self.recovery["records"] = total_records
+        if not self._segments:
+            # The only segment on disk had a damaged header.
+            self._next_lsn = 1
+            self._create_segment(1, base_lsn=1)
+            return
+        self._next_lsn = next_lsn
+        self._file = open(self._segments[-1].path, "ab")
+
+    def _create_segment(self, index: int, base_lsn: int) -> None:
+        path = self._segment_path(index)
+        fh = open(path, "wb")
+        fh.write(_SEG_HEADER.pack(SEGMENT_MAGIC, base_lsn))
+        fh.flush()
+        if self.sync != "off":
+            os.fsync(fh.fileno())
+            _fsync_path(self.directory)
+        self._file = fh
+        self._segments.append(_Segment(index, path, base_lsn))
+
+    # -- append (the ack barrier) --------------------------------------
+    def append(
+        self,
+        edges: Sequence[Edge],
+        *,
+        client: Optional[str] = None,
+        seq: Optional[int] = None,
+    ) -> int:
+        """Durably append one update batch; returns its LSN.
+
+        Blocks until the record is durable per the sync policy —
+        ``always`` fsyncs inline, ``interval`` waits for the group
+        commit that covers it, ``off`` returns after the buffered
+        write reaches the kernel.
+        """
+        with self._lock:
+            if self._closed:
+                raise JournalError("journal is closed")
+            lsn = self._next_lsn
+            payload = _encode_payload(lsn, edges, client, seq)
+            record = _REC_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            if (
+                self._file.tell() + len(record) > self.segment_bytes
+                and self._file.tell() > _SEG_HEADER.size
+            ):
+                self._rotate(next_base=lsn)
+            self._file.write(record)
+            self._file.flush()
+            self._next_lsn += 1
+            self._appended += 1
+            if self.sync == "always":
+                os.fsync(self._file.fileno())
+                self._fsyncs += 1
+                return lsn
+            if self.sync == "off":
+                return lsn
+            self._written += len(record)
+            target = self._written
+        # Group commit: wait outside the append lock so concurrent
+        # appends pile in behind one fsync instead of serialising.
+        self._wake.set()
+        with self._cond:
+            while self._synced < target and not self._closed:
+                self._cond.wait(timeout=1.0)
+            if self._synced < target:
+                raise JournalError("journal closed before the record synced")
+        return lsn
+
+    def _rotate(self, next_base: int) -> None:
+        """Seal the active segment and open the next (lock held)."""
+        if self.sync != "off":
+            os.fsync(self._file.fileno())
+            self._fsyncs += 1
+        # Everything in the sealed file is now durable; release any
+        # group-commit waiters parked on those bytes.
+        self._synced = self._written
+        self._cond.notify_all()
+        self._file.close()
+        self._create_segment(self._segments[-1].index + 1, base_lsn=next_base)
+
+    def _sync_loop(self) -> None:
+        while True:
+            self._wake.wait(self.sync_interval_s)
+            self._wake.clear()
+            with self._lock:
+                if self._closed:
+                    return
+                if self._written == self._synced:
+                    continue
+                fh = self._file
+                target = self._written
+            try:
+                os.fsync(fh.fileno())
+                self._fsyncs += 1
+            except (OSError, ValueError):
+                # The file rotated (and was fsynced) under us; those
+                # bytes are already durable.
+                pass
+            with self._cond:
+                if target > self._synced:
+                    self._synced = target
+                self._cond.notify_all()
+
+    # -- replay / compaction -------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest record (0 when the journal is empty)."""
+        with self._lock:
+            return self._next_lsn - 1
+
+    def replay(self, after: int = 0) -> Iterator[JournalRecord]:
+        """Yield records with ``lsn > after`` in LSN order.
+
+        Reads the segment files back; call before serving traffic (the
+        recovery path does) or accept that records appended during the
+        iteration may be missed.
+        """
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+            segments = list(self._segments)
+        for seg in segments:
+            _base, records, _end, reason = _scan_segment(seg.path)
+            if reason:
+                raise JournalError(
+                    f"segment {seg.path} damaged during replay: {reason}"
+                )
+            for rec in records:
+                if rec.lsn > after:
+                    yield rec
+
+    def compact(self, watermark: int) -> int:
+        """Delete whole segments whose records are all ``<= watermark``.
+
+        The active segment always survives, as does any segment whose
+        range straddles the watermark (records are never rewritten —
+        compaction is unlink-only, which is what makes it safe to run
+        right after a manifest commit).  Returns segments deleted.
+        """
+        deleted = 0
+        with self._lock:
+            while len(self._segments) > 1:
+                # Segment i's records end where segment i+1's begin.
+                if self._segments[1].base_lsn - 1 > watermark:
+                    break
+                seg = self._segments.pop(0)
+                try:
+                    os.unlink(seg.path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+                deleted += 1
+            if deleted:
+                _fsync_path(self.directory)
+        return deleted
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._file is not None:
+                self._file.flush()
+                if self.sync != "off":
+                    try:
+                        os.fsync(self._file.fileno())
+                        self._fsyncs += 1
+                    except OSError:  # pragma: no cover
+                        pass
+                self._synced = self._written
+                self._file.close()
+                self._file = None
+            self._cond.notify_all()
+        self._wake.set()
+        if self._syncer is not None:
+            self._syncer.join(timeout=5.0)
+            self._syncer = None
+
+    def __enter__(self) -> "UpdateJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "sync": self.sync,
+                "segments": len(self._segments),
+                "appended": self._appended,
+                "fsyncs": self._fsyncs,
+                "next_lsn": self._next_lsn,
+                "active_segment_bytes": (
+                    0 if self._file is None else self._file.tell()
+                ),
+                "recovery": dict(self.recovery),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateJournal({self.directory!r}, sync={self.sync}, "
+            f"next_lsn={self._next_lsn}, segments={len(self._segments)})"
+        )

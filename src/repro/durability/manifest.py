@@ -1,0 +1,86 @@
+"""Crash-safe epoch manifest: epoch -> artifact, atomically.
+
+The manifest is the single small file that binds a durable primary's
+state together: which epoch is current, which artifact file in the
+data dir holds it, the journal watermark (highest LSN whose effects
+that artifact already contains), and the idempotency window snapshot.
+Recovery trusts exactly one thing — the manifest it finds — so the
+commit protocol must never leave a half-written one behind:
+
+1. write the JSON to ``manifest.json.tmp`` and fsync it,
+2. ``os.replace`` it over ``manifest.json`` (atomic on POSIX),
+3. fsync the directory so the rename itself survives power loss.
+
+A crash before step 2 leaves the old manifest intact (the ``.tmp`` is
+garbage, ignored and overwritten next commit); a crash after leaves
+the new one.  There is no in-between, which is the whole point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+__all__ = ["EpochManifest", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = 1
+
+
+class EpochManifest:
+    """Atomic read/commit of the manifest file in one data dir."""
+
+    def __init__(self, data_dir: str) -> None:
+        self.data_dir = str(data_dir)
+        self.path = os.path.join(self.data_dir, MANIFEST_NAME)
+        self._tmp = self.path + ".tmp"
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> Optional[Dict[str, object]]:
+        """The committed manifest, or None when none was ever committed.
+
+        A corrupt manifest (impossible under the commit protocol short
+        of disk damage) raises rather than silently starting fresh —
+        starting fresh would orphan a journal full of acked records.
+        """
+        if not os.path.exists(self.path):
+            return None
+        with open(self.path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            raise RuntimeError(
+                f"manifest {self.path} is corrupt ({exc}); refusing to "
+                "start fresh over a data dir that has acked state"
+            ) from exc
+        if doc.get("format") != MANIFEST_FORMAT:
+            raise RuntimeError(
+                f"manifest {self.path} has format {doc.get('format')!r}, "
+                f"this build reads format {MANIFEST_FORMAT}"
+            )
+        return doc
+
+    def commit(self, doc: Dict[str, object]) -> None:
+        """Durably replace the manifest (temp + fsync + rename + fsync)."""
+        payload = dict(doc)
+        payload["format"] = MANIFEST_FORMAT
+        data = json.dumps(payload, indent=2, sort_keys=True)
+        fd = os.open(self._tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(self._tmp, self.path)
+        dirfd = os.open(self.data_dir, os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
+
+    def __repr__(self) -> str:
+        return f"EpochManifest({self.path!r}, exists={self.exists()})"

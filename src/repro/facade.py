@@ -96,6 +96,7 @@ class Reachability:
         self._comp_arr = None  # lazy int64 mirror of condensation.comp
         self._serve_meta = None  # artifact header in serve mode
         self._live = None  # LiveIndex while (or after) serving live
+        self._primary = None  # JournaledPrimary when serving durably
 
     # ------------------------------------------------------------------
     # build → compile → serve
@@ -157,6 +158,7 @@ class Reachability:
         self._comp_arr = None
         self._serve_meta = dict(art.meta)
         self._live = None
+        self._primary = None
         return self
 
     @property
@@ -185,6 +187,8 @@ class Reachability:
         allow_shutdown=None,
         live: bool = False,
         replicas: int = 0,
+        data_dir=None,
+        sync: str = "interval",
     ):
         """Start a TCP query server over this pipeline; returns it running.
 
@@ -223,6 +227,17 @@ class Reachability:
         :func:`repro.cluster.serve_replicated` (which this delegates
         to) for the moving parts; mutually exclusive with ``live``.
 
+        ``data_dir`` (with ``live=True``) makes the live server
+        **durable**: updates run through a
+        :class:`repro.durability.JournaledPrimary` in that directory —
+        the ack means the batch hit the write-ahead journal (fsync
+        policy ``sync``: ``always`` / ``interval`` / ``off``), and a
+        process that dies mid-anything recovers every acked update on
+        the next ``serve(live=True, data_dir=...)`` over the same
+        directory.  When the directory already holds a manifest the
+        recovered state wins and this pipeline's graph is ignored — the
+        disk is the truth.
+
         >>> from repro.graph.digraph import DiGraph
         >>> g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
         >>> server = Reachability(g).serve()          # ephemeral port
@@ -234,6 +249,11 @@ class Reachability:
         """
         from .server.service import QueryService, ReachServer
 
+        if data_dir is not None and not live:
+            raise ValueError(
+                "data_dir is the durable *live* mode: pass live=True "
+                "(a static artifact server has nothing to journal)"
+            )
         if replicas > 0:
             if live:
                 raise ValueError(
@@ -290,6 +310,8 @@ class Reachability:
                 max_batch=max_batch,
                 cache_size=cache_size,
                 allow_shutdown=allow_shutdown,
+                data_dir=data_dir,
+                sync=sync,
             )
         cleanup: list = []
         if workers <= 0:
@@ -388,6 +410,8 @@ class Reachability:
         max_batch: int,
         cache_size: int,
         allow_shutdown,
+        data_dir=None,
+        sync: str = "interval",
     ):
         """The ``serve(live=True)`` path: mount (or remount) a LiveIndex."""
         from .live import IncrementalCompiler, LiveIndex
@@ -397,6 +421,19 @@ class Reachability:
             raise RuntimeError(
                 "this Reachability is already serving live; close() the "
                 "running server before starting another"
+            )
+        if data_dir is not None:
+            return self._serve_durable(
+                host,
+                port,
+                data_dir=data_dir,
+                sync=sync,
+                workers=workers,
+                batch_window_s=batch_window_s,
+                adaptive_window=adaptive_window,
+                max_batch=max_batch,
+                cache_size=cache_size,
+                allow_shutdown=allow_shutdown,
             )
         if self._live is not None:
             # Re-serve after a close: the compiler (updated graph
@@ -455,6 +492,75 @@ class Reachability:
             live.close()
             raise
 
+    def _serve_durable(
+        self,
+        host: str,
+        port: int,
+        *,
+        data_dir,
+        sync: str,
+        workers: int,
+        batch_window_s: float,
+        adaptive_window: bool,
+        max_batch: int,
+        cache_size: int,
+        allow_shutdown,
+    ):
+        """``serve(live=True, data_dir=...)``: a journaled live server.
+
+        First boot over an empty directory seeds it from this pipeline
+        (build mode only — a serve-mode facade holds labels, not the
+        graph the journal's recovery path needs).  Every later boot
+        recovers from the directory and ignores the in-memory pipeline:
+        acked updates from the previous life are already in the served
+        state before the port opens.
+        """
+        from .durability import JournaledPrimary
+        from .durability.manifest import EpochManifest
+        from .live import IncrementalCompiler
+        from .server.service import QueryService, ReachServer
+
+        compiler = None
+        if EpochManifest(data_dir).load() is None:
+            if self.is_serving:
+                raise RuntimeError(
+                    "a serve-mode Reachability cannot initialise a durable "
+                    f"data dir ({str(data_dir)!r} has no manifest): the "
+                    "journal's recovery path needs the original graph, "
+                    "which artifacts do not carry — boot the directory "
+                    "once from a build-mode pipeline"
+                )
+            compiler = IncrementalCompiler.from_pipeline(self)
+        primary = JournaledPrimary(data_dir, compiler=compiler, sync=sync)
+        self._primary = primary
+        self._live = primary.live
+        service = QueryService(
+            primary=primary,
+            workers=workers,
+            window_s=batch_window_s,
+            adaptive_window=adaptive_window,
+            max_batch=max_batch,
+            cache_size=cache_size,
+        )
+        try:
+            service.start()
+            server = ReachServer(
+                service,
+                host,
+                port,
+                allow_shutdown=allow_shutdown,
+                owns_service=True,
+            )
+            # Unlike the in-memory live path, everything that matters
+            # survives in data_dir — closing the server checkpoints and
+            # releases the journal so another process can recover it.
+            server.cleanup_callbacks.append(primary.close)
+            return server.start()
+        except BaseException:
+            service.close()
+            primary.close()
+            raise
+
     def _live_initial_path(self) -> str:
         """The on-disk artifact behind a serve-mode facade (checked)."""
         import os
@@ -488,8 +594,15 @@ class Reachability:
         return self.add_edges([(u, v)])
 
     def add_edges(self, edges: Iterable[Tuple[int, int]]) -> Dict[str, object]:
-        """Insert an edge stream and publish one epoch for all of it."""
+        """Insert an edge stream and publish one epoch for all of it.
+
+        On a durable server (``serve(live=True, data_dir=...)``) the
+        stream goes through the journal first — when this returns, the
+        batch survives a crash.
+        """
         live = self._require_live(update=True)
+        if self._primary is not None and self._primary.live is live:
+            return self._primary.apply_update(list(edges))
         return live.apply_updates(list(edges))
 
     def swap_artifact(self, path) -> int:

@@ -44,9 +44,22 @@ class LiveIndex:
     * **swap-only mode** — ``initial_path`` is published as epoch 1;
       new versions arrive via :meth:`swap_artifact` (or a watcher).
 
-    ``artifact_dir`` is where compiler-mode epochs are written (a
-    private temp directory by default, removed on :meth:`close`);
-    epoch files are unlinked as soon as their version drains.
+    ``artifact_dir`` is where compiler-mode epochs are written.  The
+    default is a **private temp directory whose lifetime is this
+    process**: it is removed on :meth:`close` (and by the OS's tmp
+    reaper eventually), so nothing served from it survives a crash or
+    restart — pass a persistent ``artifact_dir`` when epoch files must
+    outlive the process.  With the default ``own_files=True`` the
+    store unlinks each epoch file as soon as its version drains (the
+    right economics for a throwaway dir); ``own_files=False`` leaves
+    every published file on disk for the *caller* to manage — the mode
+    a durable primary uses, where the crash-recovery manifest decides
+    which artifact files may be deleted, not the drain order.
+
+    ``seq_start`` offsets the epoch file numbering (files are named
+    ``epoch-NNNNNN.rpro`` from ``seq_start + 1``), so a recovery path
+    that pre-publishes epoch N into ``store`` can continue file names
+    (and store epochs) from N+1 without colliding with the survivor.
     """
 
     def __init__(
@@ -56,6 +69,8 @@ class LiveIndex:
         initial_path: Optional[str] = None,
         artifact_dir: Optional[str] = None,
         store: Optional[VersionedArtifactStore] = None,
+        own_files: bool = True,
+        seq_start: int = 0,
     ) -> None:
         if (compiler is None) == (initial_path is None):
             raise ValueError("pass exactly one of compiler / initial_path")
@@ -65,7 +80,8 @@ class LiveIndex:
         self._update_lock = threading.Lock()
         self._detached = compiler is None
         self._closed = False
-        self._seq = 0
+        self._own_files = own_files
+        self._seq = int(seq_start)
         self._updates = 0
         self._swaps = 0
         self._last_publish: Dict[str, object] = {}
@@ -118,7 +134,7 @@ class LiveIndex:
         path = self._next_path()
         info = self.compiler.compile_to(path, full=full)
         t0 = time.perf_counter()
-        epoch = self.store.publish(path, owns_file=True)
+        epoch = self.store.publish(path, owns_file=self._own_files)
         info["publish_s"] = time.perf_counter() - t0
         info["epoch"] = epoch
         info["path"] = path

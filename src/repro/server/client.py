@@ -20,6 +20,7 @@ import json
 import socket
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -49,12 +50,17 @@ class ReachClient:
 
     Transient socket failures — a RST from a restarting server, an
     idle-connection drop, a frame cut mid-stream — do not surface for
-    *idempotent* requests (query/ping/stats/epoch/ship): the client
-    reconnects with bounded exponential backoff and re-sends, up to
-    ``reconnect_attempts`` times, before raising ``ConnectionError``.
-    Non-idempotent requests (``update``; a replay could apply the edge
-    stream twice) and ``shutdown_server`` fail immediately, and the
-    *caller* decides whether re-sending is safe.
+    *idempotent* requests: the client reconnects with bounded
+    exponential backoff and re-sends, up to ``reconnect_attempts``
+    times, before raising ``ConnectionError``.  That covers
+    query/ping/stats/epoch/ship *and* the default ``update`` path: each
+    client carries a ``client_id`` and stamps every update batch with a
+    monotonically increasing sequence number (``OP_UPDATE_SEQ``), so a
+    re-send after a lost ack dedupes server-side instead of applying
+    the edges twice.  Only ``update(..., idempotent=False)`` (the
+    legacy un-sequenced ``OP_UPDATE``, for pre-PR-7 servers) and
+    ``shutdown_server`` fail immediately on a transport error, leaving
+    the re-send decision to the caller.
     """
 
     def __init__(
@@ -66,6 +72,7 @@ class ReachClient:
         connect_timeout: Optional[float] = None,
         reconnect_attempts: int = 2,
         reconnect_backoff_s: float = 0.05,
+        client_id: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -73,7 +80,15 @@ class ReachClient:
         self.connect_timeout = timeout if connect_timeout is None else connect_timeout
         self.reconnect_attempts = reconnect_attempts
         self.reconnect_backoff_s = reconnect_backoff_s
+        #: Stamped on sequenced updates; a client that reconnects under
+        #: the *same* id (pass one explicitly) keeps its dedupe window.
+        self.client_id = client_id or uuid.uuid4().hex
         self._next_id = 0
+        self._update_seq = 0
+        # update() draws its sequence number before _roundtrip takes
+        # self._lock (which is not reentrant), so the counter gets its
+        # own lock.
+        self._seq_lock = threading.Lock()
         self._lock = threading.Lock()
         self._reconnects = 0
         self._sock: Optional[socket.socket] = None
@@ -183,16 +198,50 @@ class ReachClient:
         _, payload = self._roundtrip(proto.OP_EPOCH)
         return proto.decode_epoch(payload)
 
-    def update(self, edges: Sequence[Pair]) -> dict:
+    def update(
+        self,
+        edges: Sequence[Pair],
+        *,
+        seq: Optional[int] = None,
+        client: Optional[str] = None,
+        idempotent: bool = True,
+    ) -> dict:
         """Insert edges into a live server; returns the publish summary.
 
         The server applies the whole stream and hot-swaps to the new
         artifact epoch before replying, so a subsequent query on *any*
         connection sees the updated graph.  Raises ``RuntimeError``
         when the server has no live update path.
+
+        By default the batch is *sequenced* (``OP_UPDATE_SEQ``): it
+        carries ``client`` (default: this client's ``client_id``) and
+        ``seq`` (default: the next value of this client's counter), the
+        server echoes both in the summary, and a transport failure is
+        transparently retried — a re-send of an already-applied batch
+        returns the original summary with ``deduped: true`` instead of
+        applying twice.  Pass an explicit ``seq`` to re-send a specific
+        unacked batch after building a fresh client.
+
+        ``idempotent=False`` sends the legacy un-sequenced
+        ``OP_UPDATE`` (for pre-sequencing servers), which is **never**
+        retried: a replay could apply the edge stream twice, so a
+        transport error surfaces and the caller decides.
         """
+        if not idempotent:
+            if seq is not None or client is not None:
+                raise ValueError("seq/client require idempotent=True")
+            _, payload = self._roundtrip(
+                proto.OP_UPDATE, proto.encode_pairs(edges), retryable=False
+            )
+            return json.loads(payload.decode("utf-8"))
+        if seq is None:
+            with self._seq_lock:
+                self._update_seq += 1
+                seq = self._update_seq
         _, payload = self._roundtrip(
-            proto.OP_UPDATE, proto.encode_pairs(edges), retryable=False
+            proto.OP_UPDATE_SEQ,
+            proto.encode_update_seq(client or self.client_id, seq, edges),
+            retryable=True,
         )
         return json.loads(payload.decode("utf-8"))
 

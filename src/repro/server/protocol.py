@@ -29,6 +29,14 @@ Payloads:
   pair an edge ``u -> v``), the reply a UTF-8 JSON summary (``epoch``,
   ``changed``, ``swap_s``…).  Servers without a live index answer
   ``OP_ERROR``.
+* ``OP_UPDATE_SEQ`` — the idempotent update: the payload prefixes the
+  pair encoding with a client id (``u16`` length + UTF-8 bytes) and a
+  client-assigned ``u64`` sequence number, echoed back in the
+  ``OP_UPDATE_REPLY`` JSON (``client``, ``seq``, ``deduped``).  A
+  server that already applied this ``(client, seq)`` replies with the
+  original summary and ``deduped: true`` instead of applying twice —
+  which is what makes re-sending an unacked update after a reconnect
+  safe (plain ``OP_UPDATE`` must never be retried).
 * ``OP_EPOCH`` / ``OP_EPOCH_REPLY`` — empty request; the reply payload
   is one little-endian ``u64``: the artifact epoch currently serving,
   or 0 for a static (non-versioned) server.
@@ -73,6 +81,7 @@ __all__ = [
     "OP_ERROR",
     "OP_UPDATE",
     "OP_UPDATE_REPLY",
+    "OP_UPDATE_SEQ",
     "OP_EPOCH",
     "OP_EPOCH_REPLY",
     "OP_OVERLOADED",
@@ -91,6 +100,8 @@ __all__ = [
     "decode_epoch",
     "encode_ship",
     "decode_ship",
+    "encode_update_seq",
+    "decode_update_seq",
     "FrameReader",
     "ProtocolError",
     "OverloadedError",
@@ -112,11 +123,12 @@ OP_EPOCH_REPLY = 12
 OP_OVERLOADED = 13
 OP_SHIP = 14
 OP_SHIP_REPLY = 15
+OP_UPDATE_SEQ = 16
 
 _OPS = frozenset(
     (OP_QUERY, OP_ANSWERS, OP_STATS, OP_STATS_REPLY, OP_PING, OP_PONG,
      OP_SHUTDOWN, OP_ERROR, OP_UPDATE, OP_UPDATE_REPLY, OP_EPOCH,
-     OP_EPOCH_REPLY, OP_OVERLOADED, OP_SHIP, OP_SHIP_REPLY)
+     OP_EPOCH_REPLY, OP_OVERLOADED, OP_SHIP, OP_SHIP_REPLY, OP_UPDATE_SEQ)
 )
 
 #: Frame header: payload length, opcode, request id.
@@ -257,6 +269,43 @@ def decode_ship(payload: bytes) -> Tuple[int, bytes]:
     if epoch < 1:
         raise ProtocolError(f"shipped epochs start at 1, got {epoch}")
     return epoch, bytes(memoryview(payload)[_EPOCH.size:])
+
+
+_CLIENT_LEN = struct.Struct("<H")
+
+
+def encode_update_seq(
+    client: str, seq: int, pairs: Sequence[Tuple[int, int]]
+) -> bytes:
+    """``OP_UPDATE_SEQ`` payload: client id + sequence + edge pairs."""
+    cb = client.encode("utf-8")
+    if not cb:
+        raise ProtocolError("sequenced updates need a non-empty client id")
+    if len(cb) > 0xFFFF:
+        raise ProtocolError(f"client id of {len(cb)} bytes exceeds u16 cap")
+    if seq < 0:
+        raise ProtocolError(f"sequence numbers are unsigned, got {seq}")
+    return (
+        _CLIENT_LEN.pack(len(cb)) + cb + _EPOCH.pack(seq) + encode_pairs(pairs)
+    )
+
+
+def decode_update_seq(payload: bytes) -> Tuple[str, int, List[Tuple[int, int]]]:
+    """Parse an ``OP_UPDATE_SEQ`` payload into ``(client, seq, edges)``."""
+    view = memoryview(payload)
+    if len(view) < _CLIENT_LEN.size:
+        raise ProtocolError("sequenced update shorter than its client length")
+    (client_len,) = _CLIENT_LEN.unpack_from(view, 0)
+    off = _CLIENT_LEN.size
+    if client_len == 0:
+        raise ProtocolError("sequenced updates need a non-empty client id")
+    if len(view) < off + client_len + _EPOCH.size:
+        raise ProtocolError("sequenced update truncated before its sequence")
+    client = bytes(view[off:off + client_len]).decode("utf-8")
+    off += client_len
+    (seq,) = _EPOCH.unpack_from(view, off)
+    off += _EPOCH.size
+    return client, seq, decode_pairs(bytes(view[off:]))
 
 
 class FrameReader:

@@ -467,6 +467,38 @@ def _oracle_bound(oracle) -> int:
     raise TypeError(f"cannot infer vertex bound of {type(oracle).__name__}")
 
 
+def _memory_dedupe_updater(apply_updates):
+    """Wrap a live index's update path with an in-memory dedupe window.
+
+    Gives a plain (non-journaled) live server the same
+    ``updater(edges, *, client=None, seq=None)`` shape as a
+    :class:`~repro.durability.JournaledPrimary`, so ``OP_UPDATE_SEQ``
+    re-sends after a lost ack dedupe instead of double-applying.  The
+    window lives in memory only: idempotency holds for this server
+    process's lifetime, not across a restart — durable dedupe is the
+    journaled primary's job.  Un-sequenced calls (``client=None``)
+    pass straight through.
+    """
+    from ..durability import DedupeWindow
+
+    window = DedupeWindow()
+    lock = threading.Lock()
+
+    def updater(edges, *, client=None, seq=None):
+        if client is None:
+            return apply_updates(edges)
+        with lock:
+            cached = window.check(client, int(seq))
+            if cached is not None:
+                return dict(cached, deduped=True)
+            summary = dict(apply_updates(edges))
+            summary.update(client=client, seq=int(seq), deduped=False)
+            window.record(client, int(seq), summary)
+            return dict(summary)
+
+    return updater
+
+
 class QueryService:
     """Cache → batcher → oracle; the answer path shared by all frontends.
 
@@ -482,7 +514,15 @@ class QueryService:
       pools (the lease's epoch + path ride each task).
     * ``live`` — a :class:`repro.live.LiveIndex`: its store serves as
       above *and* its update path is mounted as :attr:`updater`, which
-      the TCP front end exposes as the ``OP_UPDATE`` wire op.
+      the TCP front end exposes as the ``OP_UPDATE`` /
+      ``OP_UPDATE_SEQ`` wire ops (sequenced updates dedupe through an
+      in-memory window — idempotency holds for the server's lifetime
+      but not across a restart).
+    * ``primary`` — a :class:`repro.durability.JournaledPrimary`: its
+      live index serves, and :attr:`updater` is the *journaled* update
+      path — the ack implies the batch is on disk, and the dedupe
+      window itself is persisted, so sequenced re-sends stay idempotent
+      across a crash + recovery.
 
     ``window_s`` is the micro-batching window (0 disables coalescing)
     and ``adaptive_window`` lets it shrink under low arrival rate;
@@ -506,6 +546,7 @@ class QueryService:
         *,
         store=None,
         live=None,
+        primary=None,
         workers: int = 0,
         window_s: float = 0.001,
         adaptive_window: bool = False,
@@ -515,20 +556,29 @@ class QueryService:
         owns_store: bool = False,
         allow_empty_store: bool = False,
     ) -> None:
-        sources = sum(x is not None for x in (artifact_path, oracle, store, live))
+        sources = sum(
+            x is not None for x in (artifact_path, oracle, store, live, primary)
+        )
         if sources != 1:
             raise ValueError(
-                "pass exactly one of artifact_path / oracle / store / live"
+                "pass exactly one of artifact_path / oracle / store / live "
+                "/ primary"
             )
-        if live is not None:
+        self._primary = primary
+        if primary is not None:
+            self._live = primary.live
+            self._store = primary.live.store
+            self.updater = primary.apply_update
+        elif live is not None:
             self._live = live
             self._store = live.store
-            self.updater = live.apply_updates
+            self.updater = _memory_dedupe_updater(live.apply_updates)
         else:
             self._live = None
             self._store = store
-            #: ``updater(edges) -> summary`` for the wire ``OP_UPDATE``;
-            #: None on servers without an update path.
+            #: ``updater(edges, *, client=None, seq=None) -> summary``
+            #: for the wire ``OP_UPDATE`` / ``OP_UPDATE_SEQ``; None on
+            #: servers without an update path.
             self.updater = None
         if workers > 0 and artifact_path is None and self._store is None:
             raise ValueError(
@@ -612,7 +662,9 @@ class QueryService:
             self._pool.close()
             self._pool = None
         if self._owns_store:
-            if self._live is not None:
+            if self._primary is not None:
+                self._primary.close()
+            elif self._live is not None:
                 self._live.close()
             elif self._store is not None:
                 self._store.close()
@@ -863,6 +915,8 @@ class QueryService:
         if self._pool is not None:
             doc["pool"] = self._pool.stats()
         try:
+            if self._primary is not None:
+                doc["durability"] = self._primary.stats()
             if self._live is not None:
                 doc["live"] = self._live.stats()
             elif self._store is not None:
@@ -1173,6 +1227,10 @@ class ReachServer:
                         )
                     elif op == proto.OP_UPDATE:
                         self._handle_update(request_id, payload, send)
+                    elif op == proto.OP_UPDATE_SEQ:
+                        self._handle_update(
+                            request_id, payload, send, sequenced=True
+                        )
                     elif op == proto.OP_STATS:
                         doc = dict(self.service.stats())
                         doc["connections_total"] = self._connections_total
@@ -1221,14 +1279,18 @@ class ReachServer:
                 if current in self._conn_threads:
                     self._conn_threads.remove(current)
 
-    def _handle_update(self, request_id: int, payload: bytes, send) -> None:
-        """``OP_UPDATE``: apply an edge-insertion stream to a live index.
+    def _handle_update(
+        self, request_id: int, payload: bytes, send, *, sequenced: bool = False
+    ) -> None:
+        """``OP_UPDATE``(+``_SEQ``): apply an edge stream to a live index.
 
         Runs on the connection's reader thread — updates serialise on
         the live index's lock anyway, and a pipelining client can keep
         querying on other connections while its update compiles.  The
         reply is the JSON publish summary (new ``epoch``, ``changed``
-        count, ``swap_s``…).
+        count, ``swap_s``…).  A sequenced request carries
+        ``(client, seq)`` and its summary echoes them plus ``deduped``;
+        a duplicate returns the original summary unapplied.
         """
         if self.service.updater is None:
             send(
@@ -1239,12 +1301,19 @@ class ReachServer:
             )
             return
         try:
-            edges = proto.decode_pairs(payload)
+            if sequenced:
+                client, seq, edges = proto.decode_update_seq(payload)
+            else:
+                client, seq = None, None
+                edges = proto.decode_pairs(payload)
         except proto.ProtocolError as exc:
             send(proto.OP_ERROR, request_id, repr(exc).encode("utf-8"))
             return
         try:
-            summary = self.service.updater(edges)
+            if sequenced:
+                summary = self.service.updater(edges, client=client, seq=seq)
+            else:
+                summary = self.service.updater(edges)
         except Exception as exc:  # bad edges must not kill the connection
             send(proto.OP_ERROR, request_id, repr(exc).encode("utf-8"))
             return

@@ -1,0 +1,35 @@
+"""DedupeWindow: the (client, seq) idempotency contract."""
+
+import pytest
+
+from repro.durability import DedupeWindow, StaleSequenceError
+
+
+def test_fresh_duplicate_and_stale():
+    w = DedupeWindow()
+    assert w.check("a", 1) is None
+    w.record("a", 1, {"lsn": 9})
+    assert w.check("a", 1) == {"lsn": 9}
+    assert w.check("a", 2) is None  # next seq is fresh
+    w.record("a", 2, {"lsn": 10})
+    with pytest.raises(StaleSequenceError):
+        w.check("a", 1)  # going backwards is a protocol violation
+
+
+def test_lru_cap_evicts_oldest_client():
+    w = DedupeWindow(max_clients=2)
+    w.record("a", 1, {})
+    w.record("b", 1, {})
+    w.record("c", 1, {})
+    assert len(w) == 2
+    assert w.check("a", 1) is None  # evicted: unknown again
+
+
+def test_snapshot_roundtrip():
+    w = DedupeWindow()
+    w.record("a", 3, {"lsn": 1})
+    w.record("b", 7, {"lsn": 2, "deduped": False})
+    w2 = DedupeWindow.from_snapshot(w.snapshot())
+    assert w2.check("b", 7) == {"lsn": 2, "deduped": False}
+    with pytest.raises(StaleSequenceError):
+        w2.check("a", 2)

@@ -1,0 +1,177 @@
+"""UpdateJournal: append/replay/compact, fsync policies, damage rules.
+
+The headline property test (`test_torn_tail_every_byte_offset`) is the
+crash-safety contract in miniature: cut the journal at EVERY byte
+offset inside the tail record and reopening must recover exactly the
+complete prefix — never crash, never invent a record, never lose an
+earlier one.
+"""
+
+import os
+import shutil
+import threading
+
+import pytest
+
+from repro.durability import JournalError, UpdateJournal
+from repro.durability.journal import SYNC_POLICIES
+
+
+def _segments(directory):
+    return sorted(
+        f for f in os.listdir(directory) if f.startswith("journal-")
+    )
+
+
+def _append_n(journal, count, *, start=0, client="c"):
+    lsns = []
+    for i in range(start, start + count):
+        lsns.append(
+            journal.append([(i, i + 1), (i, i + 2)], client=client, seq=i + 1)
+        )
+    return lsns
+
+
+# ----------------------------------------------------------------------
+# Roundtrip + policies
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("sync", SYNC_POLICIES)
+def test_append_replay_roundtrip(tmp_path, sync):
+    d = str(tmp_path / "wal")
+    with UpdateJournal(d, sync=sync, sync_interval_s=0.002) as j:
+        lsns = _append_n(j, 10)
+    assert lsns == list(range(1, 11))
+    with UpdateJournal(d, sync="off") as j:
+        records = list(j.replay())
+        assert [r.lsn for r in records] == lsns
+        assert records[0].edges == ((0, 1), (0, 2))
+        assert records[3].client == "c"
+        assert records[3].seq == 4
+        # replay(after=) yields strictly past the watermark
+        assert [r.lsn for r in j.replay(after=7)] == [8, 9, 10]
+        # and appends continue the LSN sequence
+        assert j.append([(99, 100)]) == 11
+
+
+def test_anonymous_records_have_no_dedupe_identity(tmp_path):
+    with UpdateJournal(str(tmp_path / "wal"), sync="off") as j:
+        j.append([(1, 2)])
+        (rec,) = j.replay()
+        assert rec.client is None and rec.seq is None
+
+
+def test_rotation_and_compaction(tmp_path):
+    d = str(tmp_path / "wal")
+    with UpdateJournal(d, sync="off", segment_bytes=1024) as j:
+        _append_n(j, 100)
+        assert len(_segments(d)) > 3
+        all_lsns = [r.lsn for r in j.replay()]
+        assert all_lsns == list(range(1, 101))
+        # Compaction only unlinks segments entirely <= the watermark,
+        # and never the active one.
+        before = len(_segments(d))
+        deleted = j.compact(50)
+        assert 0 < deleted < before
+        assert [r.lsn for r in j.replay()][-1] == 100
+        # Everything still replayable is > the newest fully-compacted
+        # prefix; no record <= watermark is *required* to survive.
+        assert min(r.lsn for r in j.replay()) <= 51
+        # Active segment survives even a watermark past the end.
+        j.compact(10_000)
+        assert len(_segments(d)) >= 1
+        assert j.append([(0, 1)]) == 101
+
+
+def test_interval_group_commit_under_concurrency(tmp_path):
+    d = str(tmp_path / "wal")
+    j = UpdateJournal(d, sync="interval", sync_interval_s=0.001)
+    lsns = []
+    lock = threading.Lock()
+
+    def worker(k):
+        for i in range(25):
+            lsn = j.append([(k, 1000 + i)], client=f"w{k}", seq=i + 1)
+            with lock:
+                lsns.append(lsn)
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    j.close()
+    assert sorted(lsns) == list(range(1, 101))
+    with UpdateJournal(d, sync="off") as j2:
+        assert [r.lsn for r in j2.replay()] == list(range(1, 101))
+
+
+# ----------------------------------------------------------------------
+# Damage
+# ----------------------------------------------------------------------
+def test_torn_tail_every_byte_offset(tmp_path):
+    """Truncate at every offset inside the tail record; replay must
+    recover exactly the complete prefix."""
+    master = str(tmp_path / "master")
+    with UpdateJournal(master, sync="always") as j:
+        _append_n(j, 5)
+        seg = os.path.join(master, _segments(master)[-1])
+        tail_start = os.path.getsize(seg)
+        j.append([(7, 8), (7, 9), (7, 10)], client="tail", seq=6)
+    tail_end = os.path.getsize(seg)
+    assert tail_end > tail_start
+
+    for cut in range(tail_start, tail_end):
+        trial = str(tmp_path / f"cut-{cut}")
+        shutil.copytree(master, trial)
+        tseg = os.path.join(trial, os.path.basename(seg))
+        with open(tseg, "r+b") as fh:
+            fh.truncate(cut)
+        with UpdateJournal(trial, sync="off") as j:
+            # exactly the complete prefix: all five full records, the
+            # torn tail dropped, nothing invented
+            assert [r.lsn for r in j.replay()] == [1, 2, 3, 4, 5]
+            if cut > tail_start:
+                assert j.recovery["truncated_bytes"] == cut - tail_start
+            # the journal is writable again and re-issues the torn LSN
+            assert j.append([(7, 8)]) == 6
+        shutil.rmtree(trial)
+
+
+def test_crc_corruption_in_last_segment_truncates(tmp_path):
+    d = str(tmp_path / "wal")
+    with UpdateJournal(d, sync="always") as j:
+        _append_n(j, 4)
+        seg = os.path.join(d, _segments(d)[-1])
+        keep = os.path.getsize(seg)
+        j.append([(50, 51)], client="c", seq=5)
+    # flip one payload byte of the final record
+    with open(seg, "r+b") as fh:
+        fh.seek(keep + 9)
+        byte = fh.read(1)
+        fh.seek(keep + 9)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+    with UpdateJournal(d, sync="off") as j:
+        assert [r.lsn for r in j.replay()] == [1, 2, 3, 4]
+        assert j.recovery["truncated_bytes"] > 0
+        assert "crc" in j.recovery["truncated_reason"].lower()
+
+
+def test_damage_in_earlier_segment_refuses(tmp_path):
+    """A non-tail segment is all acked history: damage there must raise,
+    never silently repair."""
+    d = str(tmp_path / "wal")
+    with UpdateJournal(d, sync="always", segment_bytes=1024) as j:
+        _append_n(j, 100)
+    segs = _segments(d)
+    assert len(segs) > 2
+    victim = os.path.join(d, segs[0])
+    with open(victim, "r+b") as fh:
+        fh.seek(os.path.getsize(victim) - 3)
+        fh.write(b"\xde\xad")
+    with pytest.raises(JournalError):
+        UpdateJournal(d, sync="off")
+
+
+def test_bad_sync_policy_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        UpdateJournal(str(tmp_path / "wal"), sync="fsync-sometimes")

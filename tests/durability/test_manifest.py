@@ -1,0 +1,48 @@
+"""EpochManifest: atomic commit, load, corruption refusal."""
+
+import json
+import os
+
+import pytest
+
+from repro.durability import EpochManifest
+from repro.durability.manifest import MANIFEST_NAME
+
+
+def test_missing_manifest_loads_none(tmp_path):
+    m = EpochManifest(str(tmp_path))
+    assert not m.exists()
+    assert m.load() is None
+
+
+def test_commit_load_roundtrip(tmp_path):
+    m = EpochManifest(str(tmp_path))
+    m.commit({"epoch": 3, "watermark": 17, "artifact": "epoch-000003.rpro"})
+    doc = m.load()
+    assert doc["epoch"] == 3 and doc["watermark"] == 17
+    assert doc["format"] == 1
+    # commit is replace, not append: a re-commit fully supersedes
+    m.commit({"epoch": 4, "watermark": 20, "artifact": "epoch-000004.rpro"})
+    assert m.load()["epoch"] == 4
+    # no stray temp file survives the protocol
+    assert os.listdir(str(tmp_path)) == [MANIFEST_NAME]
+
+
+def test_corrupt_manifest_raises_not_fresh(tmp_path):
+    """A mangled manifest must be a loud error: silently starting fresh
+    would betray every acked update in the data dir."""
+    m = EpochManifest(str(tmp_path))
+    m.commit({"epoch": 1, "watermark": 0, "artifact": "a.rpro"})
+    with open(m.path, "r+b") as fh:
+        fh.seek(0)
+        fh.write(b"\x00garbage")
+    with pytest.raises(RuntimeError):
+        m.load()
+
+
+def test_wrong_format_version_raises(tmp_path):
+    m = EpochManifest(str(tmp_path))
+    with open(m.path, "w", encoding="utf-8") as fh:
+        json.dump({"format": 99, "epoch": 1}, fh)
+    with pytest.raises(RuntimeError):
+        m.load()

@@ -1,0 +1,154 @@
+"""JournaledPrimary: ack ⇒ durable, recovery, dedupe, housekeeping.
+
+The "crash" here is in-process: drop the store and the journal handles
+without checkpointing — exactly the state kill -9 leaves on disk (the
+process-level drill lives in tests/cluster/test_primary_process.py).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.cluster.chaos import _bfs_answers
+from repro.durability import JournaledPrimary, StaleSequenceError
+from repro.durability.primary import EPOCHS_DIR_NAME, JOURNAL_DIR_NAME
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import novel_acyclic_edges, sparse_dag
+from repro.server.service import QueryService
+
+
+def _crash(p):
+    """Simulate kill -9: no checkpoint, no manifest commit, no pruning."""
+    p.live.store.close()
+    p._journal.close()
+    p._closed = True
+
+
+def _answers(p, pairs):
+    svc = QueryService(primary=p, workers=0).start()
+    try:
+        return [bool(a) for a in svc.query_pairs(pairs)]
+    finally:
+        svc.close()
+
+
+@pytest.fixture()
+def setup(tmp_path):
+    g = sparse_dag(90, seed=4)
+    edges, _ = novel_acyclic_edges(g, 9, seed=4)
+    rng = random.Random(5)
+    pairs = [(rng.randrange(g.n), rng.randrange(g.n)) for _ in range(200)]
+    return str(tmp_path / "data"), g, edges, pairs
+
+
+def _truth(g, extra, pairs):
+    full = DiGraph.from_edges(g.n, list(g.edges()) + list(extra))
+    return _bfs_answers(full, pairs)
+
+
+def test_ack_implies_durable_without_checkpoint(setup):
+    d, g, edges, pairs = setup
+    p = JournaledPrimary(d, g, sync="always", checkpoint_every=0)
+    for i, e in enumerate(edges[:3]):
+        summary = p.apply_update([e], client="t", seq=i + 1)
+        assert summary["lsn"] == i + 1
+    _crash(p)
+
+    p2 = JournaledPrimary(d)
+    try:
+        info = p2.recovery_info
+        assert info["recovered"] is True
+        assert info["records_replayed"] == 3
+        assert info["records_in_artifact"] == 0
+        assert _answers(p2, pairs) == _truth(g, edges[:3], pairs)
+    finally:
+        p2.close()
+
+
+def test_all_or_nothing_on_invalid_stream(setup):
+    d, g, edges, pairs = setup
+    p = JournaledPrimary(d, g, sync="off")
+    before = _answers(p, pairs)
+    with pytest.raises(ValueError):
+        p.apply_update([edges[0], (0, 10**9)])  # second edge out of range
+    # nothing journaled, nothing applied — the whole stream vanished
+    assert p.journal.last_lsn == 0
+    assert _answers(p, pairs) == before
+    _crash(p)
+    p2 = JournaledPrimary(d)
+    try:
+        assert _answers(p2, pairs) == before
+        assert p2.recovery_info["records_replayed"] == 0
+    finally:
+        p2.close()
+
+
+def test_dedupe_survives_crash_and_recovery(setup):
+    d, g, edges, pairs = setup
+    p = JournaledPrimary(d, g, sync="off", checkpoint_every=0)
+    first = p.apply_update([edges[0]], client="cli", seq=1)
+    assert first["deduped"] is False
+    _crash(p)
+
+    p2 = JournaledPrimary(d)
+    try:
+        # the replayed journal record rebuilt the window entry
+        again = p2.apply_update([edges[0]], client="cli", seq=1)
+        assert again["deduped"] is True
+        assert again["lsn"] == first["lsn"]
+        # and the edge applied exactly once
+        assert _answers(p2, pairs) == _truth(g, edges[:1], pairs)
+        with pytest.raises(StaleSequenceError):
+            p2.apply_update([edges[1]], client="cli", seq=0)
+    finally:
+        p2.close()
+
+
+def test_checkpoint_compacts_journal_and_prunes_artifacts(setup):
+    d, g, edges, pairs = setup
+    p = JournaledPrimary(
+        d, g, sync="off", checkpoint_every=1, segment_bytes=1024
+    )
+    try:
+        for i, e in enumerate(edges):
+            p.apply_update([e], client="t", seq=i + 1)
+        epoch_files = os.listdir(os.path.join(d, EPOCHS_DIR_NAME))
+        assert len(epoch_files) <= 2  # current + draining predecessor
+        segs = os.listdir(os.path.join(d, JOURNAL_DIR_NAME))
+        # per-update checkpoints keep the journal near-empty: every
+        # full segment at or below the watermark is gone
+        assert len(segs) <= 2
+    finally:
+        p.close()
+
+
+def test_recovery_prefers_disk_over_given_graph(setup):
+    d, g, edges, pairs = setup
+    p = JournaledPrimary(d, g, sync="off")
+    p.apply_update([edges[0]])
+    p.close()
+    # a different graph argument must be ignored: the data dir wins
+    other = sparse_dag(10, seed=99)
+    p2 = JournaledPrimary(d, other)
+    try:
+        assert p2.recovery_info["recovered"] is True
+        assert _answers(p2, pairs) == _truth(g, edges[:1], pairs)
+    finally:
+        p2.close()
+
+
+def test_clean_close_then_reopen_replays_nothing(setup):
+    d, g, edges, pairs = setup
+    p = JournaledPrimary(d, g, sync="interval")
+    for i, e in enumerate(edges[:4]):
+        p.apply_update([e], client="t", seq=i + 1)
+    p.close()
+    p2 = JournaledPrimary(d)
+    try:
+        info = p2.recovery_info
+        assert info["recovered"] is True
+        assert info["records_replayed"] == 0  # close() checkpointed
+        assert _answers(p2, pairs) == _truth(g, edges[:4], pairs)
+    finally:
+        p2.close()

@@ -183,9 +183,12 @@ class TestReconnect:
         assert time.monotonic() - t0 < 5.0
         client.close()
 
-    def test_updates_are_never_retried_across_reconnects(self, served):
-        # OP_UPDATE is not idempotent: a transport error mid-update must
-        # surface, not silently re-apply on a fresh connection.
+    def test_unsequenced_updates_are_never_retried_across_reconnects(
+        self, served
+    ):
+        # Legacy OP_UPDATE carries no dedupe identity, so a transport
+        # error mid-update must surface, not silently re-apply on a
+        # fresh connection.
         from repro.server import ReachClient
 
         server, _pairs, _expected = served
@@ -195,9 +198,28 @@ class TestReconnect:
         try:
             client._sock.close()  # sabotage the established connection
             with pytest.raises((OSError, ConnectionError)) as excinfo:
-                client.update([(0, 1)])
+                client.update([(0, 1)], idempotent=False)
             # and it failed without burning reconnect attempts
             assert "reconnect attempt" not in str(excinfo.value)
+        finally:
+            client.close()
+
+    def test_sequenced_updates_retry_across_reconnects(self, served):
+        # The default path carries (client, seq), so the client IS
+        # allowed to re-send it on a fresh connection.  This artifact
+        # server has no update path at all, so reaching its application
+        # error proves the retry crossed the reconnect.
+        from repro.server import ReachClient
+
+        server, _pairs, _expected = served
+        client = ReachClient(
+            *server.address, reconnect_attempts=3, reconnect_backoff_s=0.01
+        )
+        try:
+            client._sock.close()  # sabotage the established connection
+            with pytest.raises(RuntimeError, match="update"):
+                client.update([(0, 1)])
+            assert client.reconnects >= 1
         finally:
             client.close()
 

@@ -1,0 +1,124 @@
+"""Wire-level idempotent updates: OP_UPDATE_SEQ end to end.
+
+The contract: a (client, seq) pair names ONE logical update.  The
+server applies it at most once no matter how many times the bytes
+arrive — which is what makes the client's retry-after-reconnect safe,
+including the nasty case where the reply (not the request) is lost.
+"""
+
+import pytest
+
+from repro.cluster import ChaosProxy
+from repro.facade import Reachability
+from repro.graph.digraph import DiGraph
+from repro.server import ReachClient
+from repro.server import protocol as proto
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_roundtrip(self):
+        payload = proto.encode_update_seq("cli-1", 42, [(1, 2), (3, 4)])
+        client, seq, edges = proto.decode_update_seq(payload)
+        assert client == "cli-1"
+        assert seq == 42
+        assert edges == [(1, 2), (3, 4)]
+
+    def test_unicode_client_and_empty_edges(self):
+        payload = proto.encode_update_seq("ué", 0, [])
+        assert proto.decode_update_seq(payload) == ("ué", 0, [])
+
+    def test_empty_client_rejected(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.encode_update_seq("", 1, [(0, 1)])
+
+    def test_oversized_client_rejected(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.encode_update_seq("x" * 70_000, 1, [(0, 1)])
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(proto.ProtocolError):
+            proto.encode_update_seq("c", -1, [(0, 1)])
+
+    def test_truncated_payloads_rejected(self):
+        payload = proto.encode_update_seq("client", 9, [(1, 2)])
+        for cut in (0, 1, 3, len(payload) - 9):
+            with pytest.raises(proto.ProtocolError):
+                proto.decode_update_seq(payload[:cut])
+
+
+# ----------------------------------------------------------------------
+# Live server semantics
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def live_server():
+    g = DiGraph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+    r = Reachability(g, "DL")
+    server = r.serve(live=True)
+    yield server
+    server.close()
+
+
+class TestSequencedUpdates:
+    def test_update_applies_and_echoes_identity(self, live_server):
+        with ReachClient(*live_server.address) as c:
+            assert c.query(0, 3) is False
+            reply = c.update([(1, 2)])
+            assert reply["client"] == c.client_id
+            assert reply["seq"] == 1
+            assert reply["deduped"] is False
+            assert c.query(0, 3) is True
+
+    def test_resend_is_deduped_and_changes_nothing(self, live_server):
+        with ReachClient(*live_server.address) as c:
+            first = c.update([(1, 2)], client="alice", seq=7)
+            again = c.update([(1, 2)], client="alice", seq=7)
+            assert first["deduped"] is False
+            assert again["deduped"] is True
+            # identical summary apart from the dedup flag
+            assert {k: v for k, v in again.items() if k != "deduped"} == {
+                k: v for k, v in first.items() if k != "deduped"
+            }
+
+    def test_seq_regression_is_an_error_not_a_replay(self, live_server):
+        with ReachClient(*live_server.address) as c:
+            c.update([(1, 2)], client="bob", seq=5)
+            with pytest.raises(RuntimeError, match="[Ss]tale|sequence"):
+                c.update([(3, 4)], client="bob", seq=4)
+
+    def test_distinct_clients_do_not_share_windows(self, live_server):
+        with ReachClient(*live_server.address) as a, ReachClient(
+            *live_server.address
+        ) as b:
+            ra = a.update([(1, 2)])
+            rb = b.update([(3, 4)])
+            assert ra["seq"] == rb["seq"] == 1
+            assert ra["client"] != rb["client"]
+            assert rb["deduped"] is False
+
+    def test_legacy_unsequenced_path_still_works(self, live_server):
+        with ReachClient(*live_server.address) as c:
+            reply = c.update([(1, 2)], idempotent=False)
+            assert "client" not in reply
+            assert c.query(0, 3) is True
+            with pytest.raises(ValueError):
+                c.update([(3, 4)], idempotent=False, seq=1)
+
+    def test_lost_reply_then_resend_applies_exactly_once(self, live_server):
+        """The reply — not the request — is cut mid-flight.  The server
+        HAS applied the update; the resend must dedupe, not double-apply."""
+        with ChaosProxy(*live_server.address) as chaos:
+            lossy = ReachClient(
+                chaos.host, chaos.port, reconnect_attempts=0
+            )
+            chaos.set_mode("half_write", half_write_bytes=5)
+            with pytest.raises(ConnectionError):
+                lossy.update([(1, 2)], client="carol", seq=3)
+            lossy.close()
+        # reconnect "after the outage", straight to the server this time
+        with ReachClient(*live_server.address) as c:
+            reply = c.update([(1, 2)], client="carol", seq=3)
+            assert reply["deduped"] is True  # proof the first send landed
+            assert c.query(0, 3) is True
