@@ -15,6 +15,9 @@ families:
   requests is asserted, and post-swap answers are verified
   bit-identical to a fresh direct build of the post-update graph**
   before any number is recorded.
+* **update batch sweep** — the direct (no TCP) ``apply_ops`` wall time
+  per update batch size (5/50/500 full-size), insert-only and mixed
+  half-removal batches, charting how the batched kernels amortize.
 * **artifact swap** — hot-swapping a prebuilt v2 artifact file through
   a :class:`~repro.live.VersionedArtifactStore` (load side-by-side +
   epoch flip): the publish wall time is the whole service interruption
@@ -63,6 +66,8 @@ CONNECTIONS = 8
 PIPELINE = 128
 WORKER_COUNTS = (0, 2)
 UPDATE_EDGES = 50
+BATCH_SIZES = (5, 50, 500)
+SMOKE_BATCH_SIZES = (5, 20)
 
 
 def artifact_swap_cell(graph, g2, tmpdir: Path) -> dict:
@@ -92,7 +97,65 @@ def artifact_swap_cell(graph, g2, tmpdir: Path) -> dict:
     }
 
 
-def measure_family(name, make_graph, queries, tmpdir: Path, edges_n: int) -> dict:
+def _sample_live_edges(graph, count, rng):
+    """``count`` distinct existing edges, degree-biased but good enough."""
+    picked = set()
+    while len(picked) < count:
+        u = rng.randrange(graph.n)
+        row = graph.out_adj[u]
+        if row:
+            picked.add((u, rng.choice(row)))
+    return sorted(picked)
+
+
+def update_batch_sweep(graph, sizes) -> list:
+    """Direct ``apply_ops`` wall time by batch size, insert-only and mixed.
+
+    One compiler per family; cells apply cumulatively, so each carries
+    the previous cells' churn — a few hundred edges on a 100k+-edge
+    graph, noise for latency purposes.  ``mixed`` batches are half
+    removals of existing edges, half novel inserts, which exercises the
+    tombstone/structural-resolution ladder alongside the insert kernel.
+    """
+    from repro.live import IncrementalCompiler
+
+    comp = IncrementalCompiler(graph.copy())
+    live = comp.original
+    rng = random.Random(41)
+    cells = []
+    for size in sizes:
+        for mode in ("insert", "mixed"):
+            if mode == "insert":
+                stream, _ = novel_acyclic_edges(
+                    live, size, seed=rng.randrange(1 << 30)
+                )
+                ops = [("+", u, v) for u, v in stream]
+            else:
+                n_rm = size // 2
+                stream, _ = novel_acyclic_edges(
+                    live, size - n_rm, seed=rng.randrange(1 << 30)
+                )
+                ops = [("-", u, v) for u, v in _sample_live_edges(live, n_rm, rng)]
+                ops += [("+", u, v) for u, v in stream]
+            t0 = time.perf_counter()
+            summary = comp.apply_ops(ops)
+            dt = (time.perf_counter() - t0) * 1000.0
+            cells.append(
+                {
+                    "batch": size,
+                    "mode": mode,
+                    "ops": len(ops),
+                    "apply_ms": dt,
+                    "changed": summary["changed"],
+                    "tombstoned": summary["tombstoned"],
+                    "dirt_ratio": summary["dirt_ratio"],
+                }
+            )
+    return cells
+
+
+def measure_family(name, make_graph, queries, tmpdir: Path, edges_n: int,
+                   batch_sizes=BATCH_SIZES) -> dict:
     import gc
 
     graph = make_graph()
@@ -104,20 +167,43 @@ def measure_family(name, make_graph, queries, tmpdir: Path, edges_n: int) -> dic
     row["artifact_swap"] = artifact_swap_cell(graph, g2, tmpdir)
     gc.collect()
 
+    print("  update-batch sweep ...", file=sys.stderr, flush=True)
+    row["update_batch_sweep"] = update_batch_sweep(graph, batch_sizes)
+    gc.collect()
+
     cells = []
     for workers in WORKER_COUNTS:
         print(f"  update-swap workers={workers} ...", file=sys.stderr, flush=True)
-        doc = measure_live_swap(
-            graph,
-            pairs,
-            updates,
-            workers=workers,
-            connections=CONNECTIONS,
-            pipeline=PIPELINE,
-        )
+        # The 1-core bench host occasionally stalls a worker-pool
+        # connection outright (a pre-existing serving flake unrelated
+        # to the swap path); retry the whole cell rather than commit a
+        # poisoned measurement, and record how many tries it took.
+        retries = 0
+        while True:
+            try:
+                doc = measure_live_swap(
+                    graph,
+                    pairs,
+                    updates,
+                    workers=workers,
+                    connections=CONNECTIONS,
+                    pipeline=PIPELINE,
+                )
+                break
+            except RuntimeError as exc:
+                retries += 1
+                if retries > 3:
+                    raise
+                print(
+                    f"  retry {retries}/3 (workers={workers}): {exc}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                gc.collect()
         cells.append(
             {
                 "workers": workers,
+                "retries": retries,
                 "updates": len(updates),
                 "steady_qps": doc["steady_qps"],
                 "steady_latency_ms": doc["steady_latency_ms"],
@@ -153,6 +239,7 @@ def main() -> None:
     families = SMOKE_FAMILIES if args.smoke else FAMILIES
     queries = args.queries or (3000 if args.smoke else QUERIES)
     edges_n = 10 if args.smoke else UPDATE_EDGES
+    batch_sizes = SMOKE_BATCH_SIZES if args.smoke else BATCH_SIZES
 
     doc = {
         "python": platform.python_version(),
@@ -173,14 +260,19 @@ def main() -> None:
             "is the no-swap baseline); zero dropped requests is asserted "
             "and post-swap answers are verified bit-identical to a fresh "
             "direct build before recording; artifact_swap.publish_ms is "
-            "the load+flip cost of hot-swapping a prebuilt artifact file"
+            "the load+flip cost of hot-swapping a prebuilt artifact file; "
+            "update_batch_sweep is the direct (no TCP) apply_ops wall "
+            "time per batch size, insert-only and half-removal mixed"
         ),
+        "batch_sizes": list(batch_sizes),
         "families": {},
     }
     with tempfile.TemporaryDirectory() as tmp:
         for name, make_graph in families.items():
             print(f"[bench_live] {name} ...", file=sys.stderr, flush=True)
-            row = measure_family(name, make_graph, queries, Path(tmp), edges_n)
+            row = measure_family(
+                name, make_graph, queries, Path(tmp), edges_n, batch_sizes
+            )
             doc["families"][name] = row
             best = min(row["update_swap"], key=lambda c: c["swap_ms"])
             print(

@@ -19,6 +19,8 @@ Usage::
                                                  # atomic file replace
     python -m repro.cli serve --live kegg --port 7431        # updatable
     printf '0 7\n3 9\n' | python -m repro.cli update --port 7431 --edges -
+    printf -- '- 0 7\n+ 2 5\n' | python -m repro.cli update --port 7431 \
+        --edges -                                # mixed insert/remove batch
 
     # fault-tolerant tier: replicas + epoch-shipping router
     python -m repro.cli serve --artifact kegg.rpro --replicas 3
@@ -337,6 +339,25 @@ def _parse_pairs(lines) -> List[tuple]:
     return pairs
 
 
+def _parse_ops(lines) -> List[tuple]:
+    """Update ops from 'u v' / '+ u v' / '- u v' lines (blanks skipped).
+
+    A bare ``u v`` line inserts; a leading ``+`` or ``-`` token makes
+    the op explicit (``-`` removes the edge from the live graph).
+    """
+    ops = []
+    for line in lines:
+        parts = line.split()
+        if not parts:
+            continue
+        if parts[0] in ("+", "-"):
+            if len(parts) >= 3:
+                ops.append((parts[0], int(parts[1]), int(parts[2])))
+        elif len(parts) >= 2:
+            ops.append(("+", int(parts[0]), int(parts[1])))
+    return ops
+
+
 def _run_query(argv: List[str]) -> int:
     """``query``: serve a workload from an artifact, no graph in memory."""
     import random as _random
@@ -446,6 +467,12 @@ def _run_serve(argv: List[str]) -> int:
                         "fsyncs per update (survives power loss), "
                         "'interval' group-commits (default), 'off' trusts "
                         "the OS page cache (survives kill -9 only)")
+    parser.add_argument("--dirt-threshold", type=float, default=0.25,
+                        metavar="R",
+                        help="with --live: background-recompile once "
+                        "removed-edge tombstones reach this fraction of "
+                        "the graph's edges (0 disables automatic "
+                        "compaction)")
     parser.add_argument("--batch-window", type=float, default=1.0, metavar="MS",
                         help="micro-batching window in milliseconds "
                         "(0 disables coalescing)")
@@ -534,6 +561,7 @@ def _run_serve(argv: List[str]) -> int:
             live=True,
             data_dir=args.data_dir,
             sync=args.sync,
+            dirt_threshold=args.dirt_threshold,
         )
         served = f"{args.live} (live, epoch {reach.live_epoch})"
         if args.data_dir:
@@ -686,34 +714,42 @@ def _run_route(argv: List[str]) -> int:
 
 
 def _run_update(argv: List[str]) -> int:
-    """``update``: stream edge insertions into a running live server."""
+    """``update``: stream edge inserts/removes into a running live server."""
     from .server.client import ReachClient
 
     parser = argparse.ArgumentParser(
         prog="repro-bench update",
-        description="Insert edges into a running live server "
+        description="Apply edge updates to a running live server "
         "(serve --live, or Reachability.serve(live=True)); the server "
-        "hot-swaps to the updated artifact epoch before replying.",
+        "hot-swaps to the updated artifact epoch before replying.  "
+        "Each line is 'u v' (insert) or '+ u v' / '- u v' (explicit "
+        "insert / remove); the whole stream applies as one atomic "
+        "batch.",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7431)
     parser.add_argument("--edges", required=True,
-                        help="file of 'u v' edges (one per line); '-' "
-                        "reads stdin")
+                        help="file of 'u v' / '+ u v' / '- u v' update "
+                        "lines; '-' reads stdin")
     args = parser.parse_args(argv)
 
     if args.edges == "-":
-        edges = _parse_pairs(sys.stdin)
+        ops = _parse_ops(sys.stdin)
     else:
         with open(args.edges, "r", encoding="utf-8") as f:
-            edges = _parse_pairs(f)
-    if not edges:
-        parser.error("empty edge stream")
+            ops = _parse_ops(f)
+    if not ops:
+        parser.error("empty update stream")
 
     with ReachClient(args.host, args.port) as client:
-        summary = client.update(edges)
+        summary = client.update(ops)
+    inserts = summary.get("inserts", sum(1 for op, _, _ in ops if op == "+"))
+    removals = summary.get("removals", sum(1 for op, _, _ in ops if op == "-"))
+    applied = f"inserted {inserts} edges"
+    if removals:
+        applied += f", removed {removals}"
     print(
-        f"inserted {summary.get('edges', len(edges))} edges "
+        f"{applied} "
         f"({summary.get('changed', '?')} changed reachability) -> "
         f"epoch {summary.get('epoch')} "
         f"({'full' if summary.get('full') else 'incremental'} compile, "

@@ -191,6 +191,14 @@ class CompiledLabelOracle(CompiledOracle):
     the height/interval certificate arrays baked in at compile time.
     ``reflexive`` marks labelings (2HOP) whose live query short-circuits
     ``u == v`` before the label test.
+
+    ``tombstones`` / ``live_csr`` are present only in artifacts
+    published by the live pipeline mid-churn: the labels stay exact for
+    the *ghost* graph (removed edges included), so a positive label
+    answer is demoted to an exact live check through a
+    :class:`~repro.kernels.dynamic.TombstoneFilter` over the live
+    (tombstone-free) CSR.  Negative answers are always final — removing
+    edges never creates reachability.
     """
 
     kind = "labels"
@@ -205,6 +213,8 @@ class CompiledLabelOracle(CompiledOracle):
         height=None,
         rounds=(),
         hop_vertex=None,
+        tombstones=None,
+        live_csr=None,
         params: Optional[dict] = None,
     ) -> None:
         super().__init__(method, labels.n, params)
@@ -217,6 +227,9 @@ class CompiledLabelOracle(CompiledOracle):
         #: rank-space labelings (DL): hop id -> original vertex id, so
         #: witnesses keep naming real vertices after the graph is gone.
         self.hop_vertex = hop_vertex
+        self.tombstones = [(int(a), int(b)) for a, b in (tombstones or [])]
+        self._live_csr = live_csr
+        self._tomb_filter = None
 
     @classmethod
     def from_index(cls, index, *, rank_space: bool = False, reflexive: bool = False):
@@ -236,10 +249,40 @@ class CompiledLabelOracle(CompiledOracle):
         )
 
     # -- queries -------------------------------------------------------
+    def _filter(self):
+        """The (cached) tombstone corrector for this artifact."""
+        f = self._tomb_filter
+        if f is None:
+            from ..kernels.dynamic import TombstoneFilter
+
+            if self._live_csr is None:
+                raise RuntimeError(
+                    "artifact has tombstones but no live CSR sections"
+                )
+            labels = self.labels
+            offs, tgts = self._live_csr
+
+            def reach(a, b, _q=labels.query):
+                return a == b or _q(a, b)
+
+            def neighbors(w, _offs=offs, _tgts=tgts):
+                for j in range(int(_offs[w]), int(_offs[w + 1])):
+                    yield int(_tgts[j])
+
+            f = TombstoneFilter(self.tombstones, reach, neighbors)
+            self._tomb_filter = f
+        return f
+
     def query(self, u: int, v: int) -> bool:
         if self.reflexive and u == v:
             return True
-        return self.labels.query(u, v)
+        if not self.labels.query(u, v):
+            return False
+        if self.tombstones and u != v:
+            # Labels are exact for the ghost graph; a tombstone on every
+            # ghost path demotes this positive to an exact live check.
+            return self._filter().check(u, v)
+        return True
 
     def query_batch(self, pairs) -> List[bool]:
         from ..kernels.batchquery import engine_query_batch
@@ -249,6 +292,11 @@ class CompiledLabelOracle(CompiledOracle):
         res = engine_query_batch(
             self, self.labels, None, pairs, aux=(self.height, self.rounds)
         )
+        if self.tombstones:
+            check = self._filter().check
+            for i, (u, v) in enumerate(pairs):
+                if res[i] and u != v:
+                    res[i] = check(int(u), int(v))
         if self.reflexive:
             for i, (u, v) in enumerate(pairs):
                 if u == v:
@@ -264,9 +312,28 @@ class CompiledLabelOracle(CompiledOracle):
         was stripped (v1-migrated oracles never had it; the compact
         profile drops it) — rank ids are indistinguishable from vertex
         ids, so returning them raw would silently name the wrong hub.
+
+        With tombstones, a *suspect* positive re-derives its hop with
+        both legs checked against the live graph (a non-suspect
+        positive's label hop is already live-valid: none of its ghost
+        paths can contain a tombstone).  Raises when the pair is live-
+        reachable but no common hop lies on a live path — an exact
+        witness there needs a compact + full recompile.
         """
         hop = self.labels.witness(u, v)
-        if hop is None or not self.rank_space:
+        if hop is None:
+            return None
+        if self.tombstones and u != v and self._filter().suspect(u, v):
+            if not self.query(u, v):
+                return None
+            hop = self._live_witness_hop(u, v)
+            if hop is None:
+                raise RuntimeError(
+                    "pair is reachable but every common-hop witness "
+                    "routes through a tombstoned edge; witnesses here "
+                    "need a compacted (full) recompile"
+                )
+        if not self.rank_space:
             return hop
         if self.hop_vertex is None:
             raise RuntimeError(
@@ -275,6 +342,31 @@ class CompiledLabelOracle(CompiledOracle):
                 "witnesses in original ids need a full-profile compile"
             )
         return int(self.hop_vertex[hop])
+
+    def _live_witness_hop(self, u: int, v: int) -> Optional[int]:
+        """First common hop whose two legs both hold in the live graph."""
+        if self.rank_space and self.hop_vertex is None:
+            raise RuntimeError(
+                "this compiled oracle stores rank-space hops without a "
+                "hop -> vertex map (v1-migrated or compact artifact); "
+                "witnesses in original ids need a full-profile compile"
+            )
+        lo = self.labels.lout[u]
+        li = self.labels.lin[v]
+        i = j = 0
+        while i < len(lo) and j < len(li):
+            a, b = lo[i], li[j]
+            if a == b:
+                w = int(self.hop_vertex[a]) if self.rank_space else int(a)
+                if (w == u or self.query(u, w)) and (w == v or self.query(w, v)):
+                    return int(a)
+                i += 1
+                j += 1
+            elif a < b:
+                i += 1
+            else:
+                j += 1
+        return None
 
     # -- metrics -------------------------------------------------------
     def index_size_ints(self) -> int:
@@ -286,6 +378,7 @@ class CompiledLabelOracle(CompiledOracle):
             {
                 "max_label_len": self.labels.max_label_len(),
                 "avg_label_len": round(self.labels.average_label_len(), 2),
+                "tombstones": len(self.tombstones),
             }
         )
         return base
@@ -314,6 +407,12 @@ class CompiledLabelOracle(CompiledOracle):
             sections["height"] = pack_section(self.height)
         if self.hop_vertex is not None:
             sections["hop_vertex"] = pack_section(self.hop_vertex)
+        if self.tombstones:
+            offs, tgts = self._live_csr
+            sections["tomb_u"] = pack_section([e[0] for e in self.tombstones])
+            sections["tomb_v"] = pack_section([e[1] for e in self.tombstones])
+            sections["live_offs"] = pack_section(offs, "<i8")
+            sections["live_tgts"] = pack_section(tgts)
         for i, (low, post) in enumerate(self.rounds):
             sections[f"iv_low_{i}"] = pack_section(low)
             sections[f"iv_post_{i}"] = pack_section(post)
@@ -333,6 +432,11 @@ class CompiledLabelOracle(CompiledOracle):
         )
         height = sections("height") if _has(sections, "height") else None
         hop_vertex = sections("hop_vertex") if _has(sections, "hop_vertex") else None
+        tombstones = None
+        live_csr = None
+        if _has(sections, "tomb_u"):
+            tombstones = list(zip(sections("tomb_u"), sections("tomb_v")))
+            live_csr = (sections("live_offs"), sections("live_tgts"))
         rounds = [
             (sections(f"iv_low_{i}"), sections(f"iv_post_{i}"))
             for i in range(int(meta.get("rounds", 0)))
@@ -345,6 +449,8 @@ class CompiledLabelOracle(CompiledOracle):
             height=height,
             rounds=rounds,
             hop_vertex=hop_vertex,
+            tombstones=tombstones,
+            live_csr=live_csr,
             params=meta.get("params"),
         )
 

@@ -14,6 +14,16 @@ On-disk layout (``<dir>/journal-NNNNNNNN.seg``, rotated by size)::
     record   := payload_len u32 LE | crc32(payload) u32 LE | payload
     payload  := kind u8 | lsn u64 | client_len u16 | client utf-8
               | client_seq u64 | edge_count u32 | edge_count x (u32, u32)
+              | [removal bitmap, kind 2 only]
+
+Record kinds: ``1`` is an insert-only batch (the original format,
+byte-identical to pre-churn journals); ``2`` is a mixed churn batch —
+the same payload plus a trailing LSB-first removal bitmap of
+``ceil(edge_count / 8)`` bytes (bit *i* set = edge *i* is a removal),
+mirroring the ``OP_UPDATE`` wire encoding.  Old journals replay
+unchanged; a journal holding kind-2 records simply refuses to open
+under a build that predates removals (unknown-kind error) instead of
+silently dropping deletes.
 
 LSNs (log sequence numbers) are assigned per record, start at 1, and
 are strictly sequential across segments — each segment header carries
@@ -71,6 +81,7 @@ _COUNT = struct.Struct("<I")
 _PAIR = struct.Struct("<II")
 
 _KIND_UPDATE = 1
+_KIND_CHURN = 2
 
 #: Hard cap on one record's payload — mirrors the wire frame cap, so a
 #: garbage length field fails fast instead of allocating gigabytes.
@@ -85,12 +96,29 @@ class JournalError(RuntimeError):
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """One replayable update batch, exactly as it was acked."""
+    """One replayable update batch, exactly as it was acked.
+
+    ``edges`` are the batch's ``(u, v)`` pairs in stream order;
+    ``removed`` marks which of them are removals (empty = insert-only,
+    the shape of every pre-churn record).  :attr:`ops` is the canonical
+    ``('+'|'-', u, v)`` view the apply/replay paths consume.
+    """
 
     lsn: int
     edges: Tuple[Edge, ...]
     client: Optional[str] = None
     seq: Optional[int] = None
+    removed: Tuple[bool, ...] = ()
+
+    @property
+    def ops(self) -> Tuple[Tuple[str, int, int], ...]:
+        """The batch as canonical ``('+'|'-', u, v)`` triples."""
+        if not self.removed:
+            return tuple(("+", u, v) for u, v in self.edges)
+        return tuple(
+            ("-" if r else "+", u, v)
+            for (u, v), r in zip(self.edges, self.removed)
+        )
 
 
 def _fsync_path(path: str) -> None:
@@ -103,23 +131,57 @@ def _fsync_path(path: str) -> None:
         os.close(fd)
 
 
+def _normalize_items(items: Sequence) -> Tuple[List[Edge], List[bool]]:
+    """Split ``(u, v)`` pairs / ``('+'|'-', u, v)`` triples into
+    ``(pairs, removal_flags)``."""
+    pairs: List[Edge] = []
+    flags: List[bool] = []
+    for item in items:
+        fields = tuple(item)
+        if len(fields) == 2:
+            pairs.append((fields[0], fields[1]))
+            flags.append(False)
+        elif len(fields) == 3:
+            op, u, v = fields
+            if op == "+":
+                flags.append(False)
+            elif op == "-":
+                flags.append(True)
+            else:
+                raise JournalError(f"unknown update op {op!r}")
+            pairs.append((u, v))
+        else:
+            raise JournalError(f"malformed update item {item!r}")
+    return pairs, flags
+
+
 def _encode_payload(
-    lsn: int, edges: Sequence[Edge], client: Optional[str], seq: Optional[int]
+    lsn: int, edges: Sequence, client: Optional[str], seq: Optional[int]
 ) -> bytes:
     cb = (client or "").encode("utf-8")
     if len(cb) > 0xFFFF:
         raise JournalError(f"client id of {len(cb)} bytes exceeds u16 cap")
-    out = bytearray(_REC_PREFIX.pack(_KIND_UPDATE, lsn))
+    pairs, flags = _normalize_items(edges)
+    churn = any(flags)
+    out = bytearray(
+        _REC_PREFIX.pack(_KIND_CHURN if churn else _KIND_UPDATE, lsn)
+    )
     out += _CLIENT_LEN.pack(len(cb))
     out += cb
     out += _SEQ.pack(0 if seq is None else int(seq))
-    out += _COUNT.pack(len(edges))
+    out += _COUNT.pack(len(pairs))
     pack = _PAIR.pack
     try:
-        for u, v in edges:
+        for u, v in pairs:
             out += pack(u, v)
     except struct.error as exc:
         raise JournalError(f"vertex id out of u32 range: {exc}") from None
+    if churn:
+        bitmap = bytearray((len(flags) + 7) // 8)
+        for i, removal in enumerate(flags):
+            if removal:
+                bitmap[i >> 3] |= 1 << (i & 7)
+        out += bitmap
     return bytes(out)
 
 
@@ -128,7 +190,7 @@ def _decode_payload(payload: bytes) -> JournalRecord:
     (callers decide whether that means *torn* or *corrupt*)."""
     view = memoryview(payload)
     kind, lsn = _REC_PREFIX.unpack_from(view, 0)
-    if kind != _KIND_UPDATE:
+    if kind not in (_KIND_UPDATE, _KIND_CHURN):
         raise ValueError(f"unknown record kind {kind}")
     off = _REC_PREFIX.size
     (client_len,) = _CLIENT_LEN.unpack_from(view, off)
@@ -139,16 +201,27 @@ def _decode_payload(payload: bytes) -> JournalRecord:
     off += _SEQ.size
     (count,) = _COUNT.unpack_from(view, off)
     off += _COUNT.size
-    if len(view) - off != count * _PAIR.size:
+    bitmap_len = (count + 7) // 8 if kind == _KIND_CHURN else 0
+    if len(view) - off != count * _PAIR.size + bitmap_len:
         raise ValueError(
             f"record announces {count} edges but carries {len(view) - off} bytes"
         )
-    edges = tuple(_PAIR.iter_unpack(view[off:]))
+    pairs_end = off + count * _PAIR.size
+    edges = tuple(_PAIR.iter_unpack(view[off:pairs_end]))
+    removed: Tuple[bool, ...] = ()
+    if kind == _KIND_CHURN:
+        bitmap = view[pairs_end:]
+        removed = tuple(
+            bool(bitmap[i >> 3] & (1 << (i & 7))) for i in range(count)
+        )
+        if not any(removed):
+            raise ValueError("churn record carries no removal")
     return JournalRecord(
         lsn=lsn,
         edges=edges,
         client=client,
         seq=seq if client is not None else None,
+        removed=removed,
     )
 
 
@@ -336,17 +409,19 @@ class UpdateJournal:
     # -- append (the ack barrier) --------------------------------------
     def append(
         self,
-        edges: Sequence[Edge],
+        edges: Sequence,
         *,
         client: Optional[str] = None,
         seq: Optional[int] = None,
     ) -> int:
         """Durably append one update batch; returns its LSN.
 
-        Blocks until the record is durable per the sync policy —
-        ``always`` fsyncs inline, ``interval`` waits for the group
-        commit that covers it, ``off`` returns after the buffered
-        write reaches the kernel.
+        ``edges`` takes plain ``(u, v)`` pairs (insertions) and/or
+        ``('+'|'-', u, v)`` triples — any removal switches the record
+        to the kind-2 churn encoding.  Blocks until the record is
+        durable per the sync policy — ``always`` fsyncs inline,
+        ``interval`` waits for the group commit that covers it, ``off``
+        returns after the buffered write reaches the kernel.
         """
         with self._lock:
             if self._closed:
@@ -443,6 +518,22 @@ class UpdateJournal:
             for rec in records:
                 if rec.lsn > after:
                     yield rec
+
+    def compactable(self, watermark: int) -> int:
+        """How many segments :meth:`compact` would delete, without deleting.
+
+        The durable primary asks this before committing a checkpoint:
+        deleting a segment loses records the base-graph rebuild folds
+        in, so the base snapshot must be rewritten first — but only
+        when something is actually about to be deleted.
+        """
+        with self._lock:
+            count = 0
+            while count + 1 < len(self._segments):
+                if self._segments[count + 1].base_lsn - 1 > watermark:
+                    break
+                count += 1
+            return count
 
     def compact(self, watermark: int) -> int:
         """Delete whole segments whose records are all ``<= watermark``.

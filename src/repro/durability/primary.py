@@ -29,9 +29,11 @@ Recovery (``__init__`` on a dir with a manifest):
 1. reopen the journal (torn tail truncated — a torn record is one
    whose append never returned, so nothing acked is lost),
 2. rebuild the base graph from ``base.edges`` plus every journal
-   record ``lsn <= watermark`` (those edges are already *in* the
+   record ``lsn <= watermark`` (those ops are already *in* the
    manifest's artifact; the graph needs them because artifacts carry
-   labels, not edges),
+   labels, not edges).  Removals fold in physically — recovery's
+   graph is the *compacted* view, which answers identically to the
+   tombstoned artifact it resumes serving from,
 3. publish the manifest's artifact at its recorded epoch — serving
    resumes immediately, before any recompilation,
 4. replay records ``lsn > watermark`` into the compiler, compile once,
@@ -53,7 +55,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.digraph import DiGraph
 from ..graph.io import read_edge_list, write_edge_list
-from ..live.compiler import IncrementalCompiler
+from ..live.compiler import IncrementalCompiler, normalize_ops
 from ..live.index import LiveIndex
 from ..live.store import VersionedArtifactStore
 from .dedupe import DedupeWindow
@@ -98,6 +100,7 @@ class JournaledPrimary:
         order: str = "degree_product",
         dedupe_clients: int = 4096,
         keep_artifacts: int = 2,
+        dirt_threshold: float = 0.25,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
@@ -148,7 +151,10 @@ class JournaledPrimary:
             self._dedupe = DedupeWindow(max_clients=dedupe_clients)
             try:
                 self.live = LiveIndex(
-                    compiler, artifact_dir=self._epochs_dir, own_files=False
+                    compiler,
+                    artifact_dir=self._epochs_dir,
+                    own_files=False,
+                    dirt_threshold=dirt_threshold,
                 )
                 self._checkpoint_locked(watermark=0)
             except BaseException:
@@ -180,8 +186,11 @@ class JournaledPrimary:
             replayed: List = []
             for rec in self._journal.replay():
                 if rec.lsn <= watermark:
-                    for u, v in rec.edges:
-                        base.add_edge(u, v)
+                    for op, u, v in rec.ops:
+                        if op == "-":
+                            base.remove_edge(u, v)
+                        else:
+                            base.add_edge(u, v)
                     applied_below += 1
                 else:
                     replayed.append(rec)
@@ -196,7 +205,7 @@ class JournaledPrimary:
                 store.publish(artifact, owns_file=False, epoch=epoch)
                 last = watermark
                 for rec in replayed:
-                    compiler.insert_edges(list(rec.edges))
+                    compiler.apply_ops(list(rec.ops))
                     if rec.client is not None:
                         self._dedupe.record(
                             rec.client,
@@ -218,6 +227,7 @@ class JournaledPrimary:
                     store=store,
                     own_files=False,
                     seq_start=epoch,
+                    dirt_threshold=dirt_threshold,
                 )
             except BaseException:
                 store.close()
@@ -263,14 +273,18 @@ class JournaledPrimary:
     ) -> Dict[str, object]:
         """Durably apply one update batch; the returned summary is the ack.
 
+        ``edges`` is an op stream: ``(u, v)`` pairs insert, and
+        ``('+', u, v)`` / ``('-', u, v)`` triples insert or remove.
+        Mixed batches journal as churn records (kind 2).
+
         Ordering is the contract: the summary is returned only after
         the batch's journal record is durable under the sync policy,
         so an acked update survives SIGKILL.  A duplicate
         ``(client, seq)`` returns its original summary with
-        ``deduped: true``.  A stream with any invalid edge raises
+        ``deduped: true``.  A stream with any invalid op raises
         before journaling — nothing of it is applied (all-or-nothing).
         """
-        edges = [(int(u), int(v)) for u, v in edges]
+        ops = normalize_ops(edges)
         sequenced = client is not None and seq is not None
         with self._lock:
             if self._closed:
@@ -280,13 +294,13 @@ class JournaledPrimary:
                 if cached is not None:
                     self._deduped += 1
                     return dict(cached, deduped=True)
-            for u, v in edges:
+            for _, u, v in ops:
                 self.live.compiler.validate_edge(u, v)
             lsn = self._journal.append(
-                edges, client=client if sequenced else None,
+                ops, client=client if sequenced else None,
                 seq=int(seq) if sequenced else None,
             )
-            summary = self.live.apply_updates(edges)
+            summary = self.live.apply_ops(ops)
             summary["lsn"] = lsn
             summary["sync"] = self._sync
             summary["deduped"] = False
@@ -320,6 +334,16 @@ class JournaledPrimary:
             "dedupe": self._dedupe.snapshot(),
             "sync": self._sync,
         }
+        # Compaction below is unlink-only, and the base-graph rebuild
+        # on recovery folds journal records <= watermark on top of
+        # base.edges — so before a checkpoint may delete any of those
+        # records, the base snapshot must absorb them.  Rewriting is
+        # atomic (tmp + rename) and happens *before* the commit: a
+        # crash in between leaves base.edges ahead of the manifest's
+        # watermark, which recovery tolerates (re-replaying an op onto
+        # a graph that already reflects it is a no-op per edge).
+        if self._journal.compactable(watermark):
+            self._rewrite_base_locked()
         self._manifest.commit(doc)
         # Only after the commit is anything below it garbage: journal
         # records <= watermark are folded into the manifest's artifact,
@@ -330,6 +354,14 @@ class JournaledPrimary:
         self._checkpoints += 1
         self._since_checkpoint = 0
         return doc
+
+    def _rewrite_base_locked(self) -> None:
+        """Atomically replace ``base.edges`` with the current live graph."""
+        tmp = self._base_path + ".tmp"
+        write_edge_list(self.live.compiler.original, tmp)
+        _fsync_path(tmp)
+        os.replace(tmp, self._base_path)
+        _fsync_path(self.data_dir)
 
     def _prune_artifacts(self, keep_from: str) -> None:
         """Unlink epoch files older than the retention window.

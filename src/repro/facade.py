@@ -189,6 +189,7 @@ class Reachability:
         replicas: int = 0,
         data_dir=None,
         sync: str = "interval",
+        dirt_threshold: float = 0.25,
     ):
         """Start a TCP query server over this pipeline; returns it running.
 
@@ -237,6 +238,12 @@ class Reachability:
         directory.  When the directory already holds a manifest the
         recovered state wins and this pipeline's graph is ignored — the
         disk is the truth.
+
+        ``dirt_threshold`` (with ``live=True``) bounds removal debt:
+        deleted edges are served through query-time tombstones, and
+        once ``tombstones / edges`` reaches the threshold a background
+        full recompile compacts them away.  ``0`` disables automatic
+        compaction (tombstones accumulate until an explicit rebuild).
 
         >>> from repro.graph.digraph import DiGraph
         >>> g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
@@ -312,6 +319,7 @@ class Reachability:
                 allow_shutdown=allow_shutdown,
                 data_dir=data_dir,
                 sync=sync,
+                dirt_threshold=dirt_threshold,
             )
         cleanup: list = []
         if workers <= 0:
@@ -412,6 +420,7 @@ class Reachability:
         allow_shutdown,
         data_dir=None,
         sync: str = "interval",
+        dirt_threshold: float = 0.25,
     ):
         """The ``serve(live=True)`` path: mount (or remount) a LiveIndex."""
         from .live import IncrementalCompiler, LiveIndex
@@ -428,6 +437,7 @@ class Reachability:
                 port,
                 data_dir=data_dir,
                 sync=sync,
+                dirt_threshold=dirt_threshold,
                 workers=workers,
                 batch_window_s=batch_window_s,
                 adaptive_window=adaptive_window,
@@ -454,7 +464,7 @@ class Reachability:
                     "rebuild from a graph"
                 )
             if compiler is not None:
-                live = LiveIndex(compiler)
+                live = LiveIndex(compiler, dirt_threshold=dirt_threshold)
             else:
                 live = LiveIndex(initial_path=self._live_initial_path())
         elif self.is_serving:
@@ -464,7 +474,10 @@ class Reachability:
         else:
             # Reuse this facade's condensation (and, for DL, its built
             # labels) rather than building the pipeline a second time.
-            live = LiveIndex(IncrementalCompiler.from_pipeline(self))
+            live = LiveIndex(
+                IncrementalCompiler.from_pipeline(self),
+                dirt_threshold=dirt_threshold,
+            )
         self._live = live
         service = QueryService(
             live=live,
@@ -499,6 +512,7 @@ class Reachability:
         *,
         data_dir,
         sync: str,
+        dirt_threshold: float,
         workers: int,
         batch_window_s: float,
         adaptive_window: bool,
@@ -531,7 +545,10 @@ class Reachability:
                     "once from a build-mode pipeline"
                 )
             compiler = IncrementalCompiler.from_pipeline(self)
-        primary = JournaledPrimary(data_dir, compiler=compiler, sync=sync)
+        primary = JournaledPrimary(
+            data_dir, compiler=compiler, sync=sync,
+            dirt_threshold=dirt_threshold,
+        )
         self._primary = primary
         self._live = primary.live
         service = QueryService(
@@ -600,10 +617,37 @@ class Reachability:
         stream goes through the journal first — when this returns, the
         batch survives a crash.
         """
+        return self.apply_ops(list(edges))
+
+    def remove_edge(self, u: int, v: int) -> Dict[str, object]:
+        """Delete original-graph edge ``u -> v`` from the live server.
+
+        The edge stops contributing to reachability immediately (via a
+        query-time tombstone); the label structure is compacted in the
+        background once the configured ``dirt_threshold`` is reached.
+        Removing an edge that is not in the live graph raises
+        ``ValueError`` and applies nothing.
+        """
+        return self.apply_ops([("-", u, v)])
+
+    def remove_edges(
+        self, edges: Iterable[Tuple[int, int]]
+    ) -> Dict[str, object]:
+        """Delete an edge stream and publish one epoch for all of it."""
+        return self.apply_ops([("-", u, v) for u, v in edges])
+
+    def apply_ops(self, ops: Iterable) -> Dict[str, object]:
+        """Apply a mixed insert/remove stream as one atomic batch.
+
+        ``ops`` mixes ``(u, v)`` pairs (inserts) with ``('+', u, v)`` /
+        ``('-', u, v)`` triples; the whole stream is validated first
+        and applied all-or-nothing, then one epoch is published.  On a
+        durable server the batch is journaled before it is applied.
+        """
         live = self._require_live(update=True)
         if self._primary is not None and self._primary.live is live:
-            return self._primary.apply_update(list(edges))
-        return live.apply_updates(list(edges))
+            return self._primary.apply_update(list(ops))
+        return live.apply_ops(list(ops))
 
     def swap_artifact(self, path) -> int:
         """Hot-swap the live server to the artifact at ``path``.

@@ -96,6 +96,20 @@ class DiGraph:
         self._m += 1
         return True
 
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove edge ``u -> v``.  Returns ``True`` if the edge existed."""
+        if self._frozen:
+            raise RuntimeError("graph is frozen; copy() it to modify")
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if (u, v) not in self._edge_set:
+            return False
+        self._edge_set.discard((u, v))
+        self._out[u].remove(v)
+        self._in[v].remove(u)
+        self._m -= 1
+        return True
+
     def freeze(self) -> "DiGraph":
         """Sort adjacency lists and mark the graph immutable.
 

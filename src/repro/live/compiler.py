@@ -30,22 +30,65 @@ Full-recompile fallbacks (everything repacked):
 * **SCC merge** — an insertion closed a cycle at the DAG level; the
   original graph is recondensed and the oracle rebuilt over the new
   DAG (``comp`` changes, so every epoch-keyed answer shape can change).
+* **SCC split** — a removal disconnected a strongly connected
+  component; same recondense-and-rebuild.
+* **compact** — the tombstone dirt ratio crossed the live tier's
+  threshold and the ghost edges were dropped for a minimal rebuild.
+
+Removals classify cheaply before they ever touch the oracle: an edge
+that is absent, intra-SCC with the component still strongly connected,
+or one of several parallel original edges mapping to the same DAG edge
+(tracked by a lazy multiplicity map) changes no answer and costs no
+label work.  Only the last original edge behind a live DAG edge becomes
+a :meth:`DynamicDL.remove_edge` tombstone, published to artifacts as
+the ``inner/tomb_*`` + ``inner/live_*`` optional sections.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..artifact import pack_section, write_artifact
-from ..core.dynamic import DynamicDL
+from ..core.dynamic import CycleInBatch, DynamicDL
 from ..graph.digraph import DiGraph
 from ..graph.scc import condense
 
-__all__ = ["IncrementalCompiler"]
+__all__ = ["IncrementalCompiler", "normalize_ops"]
 
 Edge = Tuple[int, int]
+
+#: The canonical mixed-update item: ``(op, u, v)`` with op ``+``/``-``.
+Op = Tuple[str, int, int]
+
+
+def normalize_ops(items: Iterable) -> List[Op]:
+    """Canonicalise a mixed update stream to ``('+'|'-', u, v)`` triples.
+
+    Accepts plain ``(u, v)`` pairs (inserts) and ``(op, u, v)`` triples
+    where ``op`` is ``"+"``/``"insert"``/``"add"`` or
+    ``"-"``/``"remove"``/``"delete"``.  Shared by every update entry
+    point (live index, journaled primary, server, facade, CLI) so the
+    whole write path speaks one ops dialect.
+    """
+    out: List[Op] = []
+    for item in items:
+        fields = tuple(item)
+        if len(fields) == 2:
+            u, v = fields
+            out.append(("+", int(u), int(v)))
+        elif len(fields) == 3:
+            op, u, v = fields
+            if op in ("+", "insert", "add"):
+                out.append(("+", int(u), int(v)))
+            elif op in ("-", "remove", "delete", "del"):
+                out.append(("-", int(u), int(v)))
+            else:
+                raise ValueError(f"unknown update op {op!r}")
+        else:
+            raise ValueError(f"malformed update item {item!r}")
+    return out
 
 #: Interval rounds baked into full compiles (mirrors the engine's
 #: ``_IV_ROUNDS`` via :func:`repro.kernels.batchquery.compile_graph_aux`).
@@ -99,12 +142,24 @@ class IncrementalCompiler:
         self._sections: Dict[str, Tuple[str, bytes]] = {}
         self._full_pending = True  # first compile packs everything
         self._in_dirty = True
+        self._tomb_dirty = False
+        #: Lazy ``(cu, cv) -> count`` of original cross-component edges
+        #: behind each DAG edge; None until a removal needs it, cleared
+        #: by every pipeline rebuild.
+        self._dag_mult: Optional[Dict[Edge, int]] = None
         self._inserts = 0
         self._intra_scc = 0
         self._noop_inserts = 0
         self._duplicate_edges = 0
         self._auto_rebuilds = 0
         self._scc_merges = 0
+        self._removals = 0
+        self._absent_removals = 0
+        self._intra_scc_removals = 0
+        self._multi_edge_removals = 0
+        self._tombstoned_removals = 0
+        self._scc_splits = 0
+        self._compacts = 0
         self._full_compiles = 0
         self._incremental_compiles = 0
         self._sections_reused = 0
@@ -158,6 +213,8 @@ class IncrementalCompiler:
         )
         self._full_pending = True
         self._in_dirty = True
+        self._tomb_dirty = True  # a fresh oracle has no tombstones
+        self._dag_mult = None
         self._sections.clear()
 
     # ------------------------------------------------------------------
@@ -229,9 +286,25 @@ class IncrementalCompiler:
                 self._scc_merges += 1
                 self._rebuild_pipeline()
                 return {"kind": "scc-merge", "changed": True, "rebuilt": True}
+            resurrect = self._dyn.is_tombstoned(cu, cv)
+            compacts0 = self._dyn.stats()["updates"]["compacts"]
             changed = self._dyn.insert_edge(cu, cv)
+            if self._dag_mult is not None:
+                self._dag_mult[(cu, cv)] = self._dag_mult.get((cu, cv), 0) + 1
             rebuilt = False
-            if changed:
+            if resurrect:
+                # The DAG edge came back from a tombstone: labels are
+                # untouched but the published tombstone set shrinks.
+                self._tomb_dirty = True
+            elif self._dyn.stats()["updates"]["compacts"] != compacts0:
+                # A ghost-only cycle forced a compact: the tombstones
+                # were dropped and the labels rebuilt minimal.
+                self._compacts += 1
+                self._full_pending = True
+                self._in_dirty = True
+                self._tomb_dirty = True
+                rebuilt = True
+            elif changed:
                 self._in_dirty = True
                 if self._dyn.stats()["inserts_since_rebuild"] == 0:
                     # DynamicDL hit its bloat threshold and rebuilt:
@@ -258,35 +331,265 @@ class IncrementalCompiler:
             raise ValueError("self-loops cannot change reachability; rejected")
 
     def insert_edges(self, edges) -> Dict[str, int]:
-        """Apply a stream of edges; returns aggregate counts by kind."""
-        summary = {
-            "edges": 0,
+        """Apply a stream of edges (batched); aggregate counts by kind."""
+        summary = self.apply_ops([("+", u, v) for u, v in edges])
+        summary["edges"] = summary["ops"]
+        return summary
+
+    def remove_edge(self, u: int, v: int) -> Dict[str, object]:
+        """Remove original-graph edge ``u -> v``; returns what happened.
+
+        The result's ``kind`` is one of
+
+        * ``absent`` — the edge is not in the graph, nothing touched;
+        * ``intra-scc`` — both endpoints in one SCC and the component
+          stays strongly connected without the edge: no answer changes;
+        * ``scc-split`` — the removal disconnected its SCC: recondensed
+          and fully rebuilt (``rebuilt`` is always True);
+        * ``multi-edge`` — other original edges still map to the same
+          DAG edge: graph shrinks, oracle untouched;
+        * ``tombstoned`` — the last original copy of a live DAG edge:
+          :meth:`DynamicDL.remove_edge` tombstone (``changed`` says
+          whether any live answer flipped).
+
+        Raises ``ValueError`` on self-loops or out-of-range vertices.
+        """
+        self.validate_edge(u, v)
+        with self._lock:
+            return self._remove_edge_locked(u, v)
+
+    def _remove_edge_locked(self, u: int, v: int) -> Dict[str, object]:
+        if not self._original.has_edge(u, v):
+            self._absent_removals += 1
+            return {"kind": "absent", "changed": False, "rebuilt": False}
+        self._removals += 1
+        cu = self._cond.comp[u]
+        cv = self._cond.comp[v]
+        if cu == cv:
+            self._original.remove_edge(u, v)
+            if self._scc_intact(u, v):
+                self._intra_scc_removals += 1
+                return {"kind": "intra-scc", "changed": False, "rebuilt": False}
+            # The component is no longer strongly connected: every
+            # epoch-keyed answer shape can change, so recondense.
+            self._scc_splits += 1
+            self._rebuild_pipeline()
+            return {"kind": "scc-split", "changed": True, "rebuilt": True}
+        # Build the multiplicity map BEFORE the physical removal so the
+        # edge being removed is still counted.
+        mult = self._dag_multiplicity()
+        self._original.remove_edge(u, v)
+        left = mult.get((cu, cv), 0) - 1
+        if left > 0:
+            mult[(cu, cv)] = left
+            self._multi_edge_removals += 1
+            return {"kind": "multi-edge", "changed": False, "rebuilt": False}
+        mult.pop((cu, cv), None)
+        changed = self._dyn.remove_edge(cu, cv)
+        self._tombstoned_removals += 1
+        self._tomb_dirty = True
+        return {"kind": "tombstoned", "changed": changed, "rebuilt": False}
+
+    def _scc_intact(self, u: int, v: int) -> bool:
+        """Whether ``u``'s SCC survives losing edge ``u -> v``.
+
+        The component stays strongly connected iff ``u`` still reaches
+        ``v`` after the removal.  Any such path stays *inside* the
+        component (``v`` still reaches ``u``, so every vertex on a
+        ``u``-to-``v`` path is mutually reachable with both), which
+        makes this a local DFS over the component's vertices instead
+        of a recondensation of the whole graph.
+        """
+        comp = self._cond.comp
+        cid = comp[u]
+        out = self._original.out_adj
+        stack = [u]
+        seen = {u}
+        while stack:
+            x = stack.pop()
+            for y in out[x]:
+                if comp[y] != cid or y in seen:
+                    continue
+                if y == v:
+                    return True
+                seen.add(y)
+                stack.append(y)
+        return False
+
+    def _dag_multiplicity(self) -> Dict[Edge, int]:
+        """Lazy ``(cu, cv) -> count`` of original edges per DAG edge."""
+        if self._dag_mult is None:
+            comp = self._cond.comp
+            mult: Dict[Edge, int] = {}
+            for x, y in self._original.edges():
+                cx, cy = comp[x], comp[y]
+                if cx != cy:
+                    key = (cx, cy)
+                    mult[key] = mult.get(key, 0) + 1
+            self._dag_mult = mult
+        return self._dag_mult
+
+    def apply_ops(self, ops: Iterable) -> Dict[str, object]:
+        """Apply a mixed insert/remove stream in order; batched inserts.
+
+        ``ops`` is anything :func:`normalize_ops` accepts.  Maximal
+        runs of consecutive inserts go through the batched
+        :meth:`DynamicDL.insert_edges` kernel; removals flush the run
+        first so stream order is preserved.  The whole stream is
+        validated before any mutation (stream-atomic rejection of bad
+        vertices / self-loops).
+        """
+        ops = normalize_ops(ops)
+        for _, u, v in ops:
+            self.validate_edge(u, v)
+        summary: Dict[str, object] = {
+            "ops": len(ops),
+            "inserts": 0,
+            "removals": 0,
             "changed": 0,
             "duplicate": 0,
+            "noop": 0,
             "intra_scc": 0,
             "scc_merges": 0,
             "rebuilds": 0,
+            "absent": 0,
+            "multi_edge": 0,
+            "intra_scc_removals": 0,
+            "scc_splits": 0,
+            "tombstoned": 0,
         }
-        for u, v in edges:
-            info = self.add_edge(u, v)
-            summary["edges"] += 1
-            if info["changed"]:
-                summary["changed"] += 1
-            if info["kind"] == "duplicate":
-                summary["duplicate"] += 1
-            elif info["kind"] == "intra-scc":
-                summary["intra_scc"] += 1
-            elif info["kind"] == "scc-merge":
-                summary["scc_merges"] += 1
-            if info["rebuilt"]:
-                summary["rebuilds"] += 1
+        with self._lock:
+            run: List[Edge] = []
+            for op, u, v in ops:
+                if op == "+":
+                    run.append((u, v))
+                    continue
+                if run:
+                    self._apply_insert_run(run, summary)
+                    run = []
+                info = self._remove_edge_locked(u, v)
+                summary["removals"] += 1
+                kind = info["kind"]
+                if kind == "absent":
+                    summary["absent"] += 1
+                elif kind == "intra-scc":
+                    summary["intra_scc_removals"] += 1
+                elif kind == "multi-edge":
+                    summary["multi_edge"] += 1
+                elif kind == "scc-split":
+                    summary["scc_splits"] += 1
+                    summary["rebuilds"] += 1
+                elif kind == "tombstoned":
+                    summary["tombstoned"] += 1
+                if info["changed"]:
+                    summary["changed"] += 1
+            if run:
+                self._apply_insert_run(run, summary)
+            summary["tombstones"] = self._dyn.stats()["tombstones"]
+            summary["dirt_ratio"] = self._dyn.dirt_ratio
         return summary
 
-    def remove_edge(self, u: int, v: int) -> None:
-        """Decremental updates are out of scope (mirrors ``DynamicDL``)."""
-        raise NotImplementedError(
-            "decremental reachability is not supported; rebuild on a new graph"
-        )
+    def _apply_insert_run(self, run: Sequence[Edge], summary: Dict) -> None:
+        """Apply a run of inserts through the batched oracle kernel.
+
+        All original edges are added up front; the DAG-level remainder
+        goes through :meth:`DynamicDL.insert_edges` in one sweep.  A
+        :class:`CycleInBatch` means some edge merges SCCs: the
+        cycle-free prefix is applied batched, then one recondense of
+        the original graph (which already holds the *entire* run)
+        absorbs the merge edge and everything after it.
+        """
+        pending: List[Edge] = []
+        for u, v in run:
+            summary["inserts"] += 1
+            if self._original.has_edge(u, v):
+                self._duplicate_edges += 1
+                summary["duplicate"] += 1
+                continue
+            self._original.add_edge(u, v)
+            self._inserts += 1
+            pending.append((u, v))
+        if not pending:
+            return
+        comp = self._cond.comp
+        mapped: List[Edge] = []
+        for u, v in pending:
+            cu, cv = comp[u], comp[v]
+            if cu == cv:
+                self._intra_scc += 1
+                summary["intra_scc"] += 1
+                continue
+            mapped.append((cu, cv))
+        if not mapped:
+            return
+        mult = self._dag_mult
+        compacts0 = self._dyn.stats()["updates"]["compacts"]
+        try:
+            s = self._dyn.insert_edges(mapped)
+        except CycleInBatch as exc:
+            prefix = mapped[: exc.index]
+            if prefix:
+                s = self._dyn.insert_edges(prefix)
+                if mult is not None:
+                    for e in prefix:
+                        mult[e] = mult.get(e, 0) + 1
+                self._absorb_dyn_summary(s, summary)
+            # mapped[exc.index] closes a cycle at the DAG level; the
+            # recondense also absorbs every edge after it (they are
+            # already in the original graph).
+            self._scc_merges += 1
+            summary["scc_merges"] += 1
+            summary["rebuilds"] += 1
+            summary["changed"] += 1
+            self._rebuild_pipeline()
+            return
+        if mult is not None:
+            for e in mapped:
+                mult[e] = mult.get(e, 0) + 1
+        if self._dyn.stats()["updates"]["compacts"] != compacts0:
+            # A ghost-only cycle forced a compact mid-batch.
+            self._compacts += 1
+            self._full_pending = True
+            self._in_dirty = True
+            self._tomb_dirty = True
+            summary["rebuilds"] += 1
+        self._absorb_dyn_summary(s, summary)
+
+    def _absorb_dyn_summary(self, s: Dict, summary: Dict) -> None:
+        """Fold a :meth:`DynamicDL.insert_edges` summary into ours."""
+        summary["changed"] += s["changed"]
+        noop = s["noop"] + s["duplicate"]
+        self._noop_inserts += noop
+        summary["noop"] += noop
+        if s["novel"]:
+            self._in_dirty = True
+        if s["resurrected"]:
+            self._tomb_dirty = True
+        if s["auto_rebuilt"]:
+            self._auto_rebuilds += 1
+            self._full_pending = True
+            summary["rebuilds"] += 1
+
+    def compact(self) -> Dict[str, object]:
+        """Physically drop the oracle's tombstones (minimal rebuild).
+
+        Returns ``{"dropped", "rebuilt"}``.  A no-op when there are no
+        tombstones.  The live tier calls this before a full recompile
+        once ``dirt_ratio`` crosses its threshold.
+        """
+        with self._lock:
+            dropped = self._dyn.compact()
+            if dropped:
+                self._compacts += 1
+                self._full_pending = True
+                self._in_dirty = True
+                self._tomb_dirty = True
+            return {"dropped": dropped, "rebuilt": bool(dropped)}
+
+    @property
+    def dirt_ratio(self) -> float:
+        """Tombstoned fraction of the oracle's ghost edge set."""
+        return self._dyn.dirt_ratio
 
     # ------------------------------------------------------------------
     # Compilation
@@ -324,6 +627,38 @@ class IncrementalCompiler:
             self._pack("inner/in_hops", ih, None, self._in_dirty or do_full)
             self._pack("inner/in_offs", io_, "<i8", self._in_dirty or do_full)
 
+            # Tombstone sections (optional): the serving side needs the
+            # removed DAG edges plus a live (tombstone-free) forward CSR
+            # to demote suspect label positives to exact live answers.
+            tombs = dyn.tombstones
+            tomb_names = (
+                "inner/tomb_u",
+                "inner/tomb_v",
+                "inner/live_offs",
+                "inner/live_tgts",
+            )
+            if tombs:
+                if self._tomb_dirty or do_full or tomb_names[0] not in self._sections:
+                    from ..graph.csr import build_csr_arrays
+
+                    live_offs, live_tgts = build_csr_arrays(dyn.live_out_adj())
+                    self._sections["inner/tomb_u"] = pack_section(
+                        [e[0] for e in tombs]
+                    )
+                    self._sections["inner/tomb_v"] = pack_section(
+                        [e[1] for e in tombs]
+                    )
+                    self._sections["inner/live_offs"] = pack_section(
+                        live_offs, "<i8"
+                    )
+                    self._sections["inner/live_tgts"] = pack_section(live_tgts)
+                    self._sections_repacked += 4
+                else:
+                    self._sections_reused += 4
+            else:
+                for name in tomb_names:
+                    self._sections.pop(name, None)
+
             # Graph certificates: the height filter must match the
             # *current* graph on every publish; the interval rounds are
             # full-compile-only (see the module docstring).
@@ -359,6 +694,8 @@ class IncrementalCompiler:
                 "method": "DL",
                 "live": {
                     "inserts": self._inserts,
+                    "removals": self._removals,
+                    "tombstones": len(tombs),
                     "full_compile": do_full,
                 },
                 "inner": {
@@ -382,6 +719,7 @@ class IncrementalCompiler:
                 self._incremental_compiles += 1
             self._full_pending = False
             self._in_dirty = False
+            self._tomb_dirty = False
             return {
                 "bytes": nbytes,
                 "full": do_full,
@@ -403,6 +741,15 @@ class IncrementalCompiler:
                 "duplicate_edges": self._duplicate_edges,
                 "auto_rebuilds": self._auto_rebuilds,
                 "scc_merges": self._scc_merges,
+                "removals": self._removals,
+                "absent_removals": self._absent_removals,
+                "intra_scc_removals": self._intra_scc_removals,
+                "multi_edge_removals": self._multi_edge_removals,
+                "tombstoned_removals": self._tombstoned_removals,
+                "scc_splits": self._scc_splits,
+                "compacts": self._compacts,
+                "tombstones": self._dyn.stats()["tombstones"],
+                "dirt_ratio": self._dyn.dirt_ratio,
                 "full_compiles": self._full_compiles,
                 "incremental_compiles": self._incremental_compiles,
                 "sections_reused": self._sections_reused,

@@ -200,18 +200,22 @@ class ReachClient:
 
     def update(
         self,
-        edges: Sequence[Pair],
+        edges: Sequence,
         *,
         seq: Optional[int] = None,
         client: Optional[str] = None,
         idempotent: bool = True,
     ) -> dict:
-        """Insert edges into a live server; returns the publish summary.
+        """Apply edge churn to a live server; returns the publish summary.
 
-        The server applies the whole stream and hot-swaps to the new
-        artifact epoch before replying, so a subsequent query on *any*
-        connection sees the updated graph.  Raises ``RuntimeError``
-        when the server has no live update path.
+        ``edges`` takes plain ``(u, v)`` pairs (insertions) and/or
+        ``('+'|'-', u, v)`` triples — removals ride the same frame as
+        a trailing bitmap, and an insert-only stream is byte-identical
+        to the pre-removal wire format.  The server applies the whole
+        stream in order and hot-swaps to the new artifact epoch before
+        replying, so a subsequent query on *any* connection sees the
+        updated graph.  Raises ``RuntimeError`` when the server has no
+        live update path.
 
         By default the batch is *sequenced* (``OP_UPDATE_SEQ``): it
         carries ``client`` (default: this client's ``client_id``) and
@@ -231,7 +235,7 @@ class ReachClient:
             if seq is not None or client is not None:
                 raise ValueError("seq/client require idempotent=True")
             _, payload = self._roundtrip(
-                proto.OP_UPDATE, proto.encode_pairs(edges), retryable=False
+                proto.OP_UPDATE, proto.encode_ops(edges), retryable=False
             )
             return json.loads(payload.decode("utf-8"))
         if seq is None:

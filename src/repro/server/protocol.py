@@ -24,13 +24,18 @@ Payloads:
 * ``OP_SHUTDOWN`` — empty; the server acks with ``OP_PONG`` and stops
   (used by tests, CI, and the CLI for clean remote shutdown).
 * ``OP_ERROR``    — UTF-8 message; sent instead of the normal reply.
-* ``OP_UPDATE`` / ``OP_UPDATE_REPLY`` — edge insertions for a live
-  server: the request payload is the ``OP_QUERY`` pair encoding (each
-  pair an edge ``u -> v``), the reply a UTF-8 JSON summary (``epoch``,
-  ``changed``, ``swap_s``…).  Servers without a live index answer
-  ``OP_ERROR``.
+* ``OP_UPDATE`` / ``OP_UPDATE_REPLY`` — edge churn for a live server:
+  the request payload is the ``OP_QUERY`` pair encoding (each pair an
+  edge ``u -> v``), optionally followed by a **removal bitmap** of
+  ``ceil(count / 8)`` LSB-first bytes (bit *i* set = edge *i* is a
+  removal, clear = insertion).  A payload of exactly
+  ``4 + count * 8`` bytes is an insert-only stream — the pre-removal
+  wire format, still emitted for insert-only batches, so old servers
+  and new clients interoperate until a delete is actually sent.  The
+  reply is a UTF-8 JSON summary (``epoch``, ``changed``,
+  ``swap_s``…).  Servers without a live index answer ``OP_ERROR``.
 * ``OP_UPDATE_SEQ`` — the idempotent update: the payload prefixes the
-  pair encoding with a client id (``u16`` length + UTF-8 bytes) and a
+  ops encoding with a client id (``u16`` length + UTF-8 bytes) and a
   client-assigned ``u64`` sequence number, echoed back in the
   ``OP_UPDATE_REPLY`` JSON (``client``, ``seq``, ``deduped``).  A
   server that already applied this ``(client, seq)`` replies with the
@@ -94,6 +99,8 @@ __all__ = [
     "unpack_header",
     "encode_pairs",
     "decode_pairs",
+    "encode_ops",
+    "decode_ops",
     "encode_answers",
     "decode_answers",
     "encode_epoch",
@@ -209,6 +216,69 @@ def decode_pairs(payload: bytes) -> List[Tuple[int, int]]:
     return list(_PAIR.iter_unpack(body))
 
 
+def encode_ops(ops: Sequence[Tuple[str, int, int]]) -> bytes:
+    """``OP_UPDATE`` payload for a mixed ``('+'|'-', u, v)`` op stream.
+
+    Insert-only streams use the bare pair encoding (identical bytes to
+    the pre-removal protocol); any removal appends the LSB-first
+    removal bitmap.  Accepts plain ``(u, v)`` pairs too (inserts).
+    """
+    kinds: List[bool] = []
+    pairs: List[Tuple[int, int]] = []
+    for item in ops:
+        fields = tuple(item)
+        if len(fields) == 2:
+            kinds.append(False)
+            pairs.append((fields[0], fields[1]))
+        else:
+            op, u, v = fields
+            if op == "+":
+                kinds.append(False)
+            elif op == "-":
+                kinds.append(True)
+            else:
+                raise ProtocolError(f"unknown update op {op!r}")
+            pairs.append((u, v))
+    body = encode_pairs(pairs)
+    if not any(kinds):
+        return body
+    bitmap = bytearray((len(kinds) + 7) // 8)
+    for i, is_removal in enumerate(kinds):
+        if is_removal:
+            bitmap[i >> 3] |= 1 << (i & 7)
+    return body + bytes(bitmap)
+
+
+def decode_ops(payload: bytes) -> List[Tuple[str, int, int]]:
+    """Parse an ``OP_UPDATE`` payload into ``('+'|'-', u, v)`` triples.
+
+    A payload without the trailing removal bitmap (the pre-removal
+    format) is an insert-only stream.
+    """
+    if len(payload) < _COUNT.size:
+        raise ProtocolError("update payload shorter than its count field")
+    (count,) = _COUNT.unpack_from(payload, 0)
+    body = memoryview(payload)[_COUNT.size:]
+    pairs_len = count * _PAIR.size
+    bitmap_len = (count + 7) // 8
+    if len(body) == pairs_len:
+        bitmap = None
+    elif len(body) == pairs_len + bitmap_len:
+        bitmap = body[pairs_len:]
+        body = body[:pairs_len]
+    else:
+        raise ProtocolError(
+            f"update payload announces {count} ops but carries "
+            f"{len(body)} bytes (expected {pairs_len} or "
+            f"{pairs_len + bitmap_len})"
+        )
+    ops: List[Tuple[str, int, int]] = []
+    for i, (u, v) in enumerate(_PAIR.iter_unpack(body)):
+        removal = bitmap is not None and bool(bitmap[i >> 3] & (1 << (i & 7)))
+        ops.append(("-" if removal else "+", u, v))
+    return ops
+
+
 def encode_answers(answers: Sequence[bool]) -> bytes:
     """``OP_ANSWERS`` payload: count + LSB-first packed answer bits."""
     count = len(answers)
@@ -275,9 +345,13 @@ _CLIENT_LEN = struct.Struct("<H")
 
 
 def encode_update_seq(
-    client: str, seq: int, pairs: Sequence[Tuple[int, int]]
+    client: str, seq: int, ops: Sequence
 ) -> bytes:
-    """``OP_UPDATE_SEQ`` payload: client id + sequence + edge pairs."""
+    """``OP_UPDATE_SEQ`` payload: client id + sequence + ops stream.
+
+    ``ops`` takes anything :func:`encode_ops` accepts — plain ``(u, v)``
+    pairs and/or ``('+'|'-', u, v)`` triples.
+    """
     cb = client.encode("utf-8")
     if not cb:
         raise ProtocolError("sequenced updates need a non-empty client id")
@@ -286,12 +360,16 @@ def encode_update_seq(
     if seq < 0:
         raise ProtocolError(f"sequence numbers are unsigned, got {seq}")
     return (
-        _CLIENT_LEN.pack(len(cb)) + cb + _EPOCH.pack(seq) + encode_pairs(pairs)
+        _CLIENT_LEN.pack(len(cb)) + cb + _EPOCH.pack(seq) + encode_ops(ops)
     )
 
 
-def decode_update_seq(payload: bytes) -> Tuple[str, int, List[Tuple[int, int]]]:
-    """Parse an ``OP_UPDATE_SEQ`` payload into ``(client, seq, edges)``."""
+def decode_update_seq(payload: bytes) -> Tuple[str, int, List[Tuple[str, int, int]]]:
+    """Parse an ``OP_UPDATE_SEQ`` payload into ``(client, seq, ops)``.
+
+    ``ops`` are canonical ``('+'|'-', u, v)`` triples (insert-only
+    payloads in the pre-removal format decode to all-``'+'``).
+    """
     view = memoryview(payload)
     if len(view) < _CLIENT_LEN.size:
         raise ProtocolError("sequenced update shorter than its client length")
@@ -305,7 +383,7 @@ def decode_update_seq(payload: bytes) -> Tuple[str, int, List[Tuple[int, int]]]:
     off += client_len
     (seq,) = _EPOCH.unpack_from(view, off)
     off += _EPOCH.size
-    return client, seq, decode_pairs(bytes(view[off:]))
+    return client, seq, decode_ops(bytes(view[off:]))
 
 
 class FrameReader:

@@ -115,17 +115,30 @@ def _worker_main(
         # waiters hold nothing, so idle kills are survivable; the get()
         # below finds its item already buffered and returns at once.
         #
-        # The get timeout exists only for compensating tokens from the
-        # reaper (see ``_reap_dead_workers``) that have no task behind
-        # them, so it is kept very short: the rlock is held for at most
-        # this long per spurious wakeup, shrinking (not eliminating —
-        # see the reaper docstring) the window where a SIGKILL lands on
-        # a worker holding the rlock and wedges the queue.
+        # The get timeout is kept very short so the rlock is held for
+        # at most 0.05s per wait (shrinking — not eliminating, see the
+        # reaper docstring — the window where a SIGKILL lands on a
+        # worker holding the rlock and wedges the queue).  But an Empty
+        # poll does NOT yet prove the token was a compensating one from
+        # the reaper: ``mp.Queue.put`` hands the item to a feeder
+        # thread, and on a loaded single-core host the feeder can lag
+        # the semaphore release by far more than one poll.  Swallowing
+        # the token on first Empty would strand its task in the queue
+        # with no token forever — in steady state that is always the
+        # run's *last* batch, a client-visible hang.  So keep polling
+        # for a generous deadline before concluding the token had no
+        # task behind it.
         task_sem.acquire()
-        try:
-            task = tasks.get(timeout=0.05)
-        except _queue.Empty:
-            # A compensating token with no task behind it.
+        task = None
+        deadline = time.monotonic() + 1.0
+        while True:
+            try:
+                task = tasks.get(timeout=0.05)
+                break
+            except _queue.Empty:
+                if time.monotonic() >= deadline:
+                    break  # a compensating token with no task behind it
+        if task is None:
             continue
         if task is None:
             break
@@ -1302,18 +1315,18 @@ class ReachServer:
             return
         try:
             if sequenced:
-                client, seq, edges = proto.decode_update_seq(payload)
+                client, seq, ops = proto.decode_update_seq(payload)
             else:
                 client, seq = None, None
-                edges = proto.decode_pairs(payload)
+                ops = proto.decode_ops(payload)
         except proto.ProtocolError as exc:
             send(proto.OP_ERROR, request_id, repr(exc).encode("utf-8"))
             return
         try:
             if sequenced:
-                summary = self.service.updater(edges, client=client, seq=seq)
+                summary = self.service.updater(ops, client=client, seq=seq)
             else:
-                summary = self.service.updater(edges)
+                summary = self.service.updater(ops)
         except Exception as exc:  # bad edges must not kill the connection
             send(proto.OP_ERROR, request_id, repr(exc).encode("utf-8"))
             return

@@ -95,8 +95,23 @@ class TestInsertions:
     def test_insert_edges_counts_changes(self):
         g = DiGraph.from_edges(5, [(0, 1), (1, 2)])
         dyn = DynamicDL(g)
-        changed = dyn.insert_edges([(0, 2), (2, 3), (3, 4)])
-        assert changed == 2  # (0,2) was already reachable
+        summary = dyn.insert_edges([(0, 2), (2, 3), (3, 4)])
+        assert summary["changed"] == 2  # (0,2) was already reachable
+        assert summary["edges"] == 3
+        assert summary["noop"] == 1
+        assert summary["novel"] == 2
+        assert summary["duplicate"] == 0
+
+    def test_noop_batch_keeps_label_generation(self):
+        g = DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 3)])
+        dyn = DynamicDL(g)
+        gen = dyn.labels.generation
+        summary = dyn.insert_edges([(0, 2), (0, 1), (1, 3)])
+        assert summary["novel"] == 0
+        assert summary["changed"] == 0
+        assert dyn.labels.generation == gen, (
+            "a fully no-op batch must not invalidate label snapshots"
+        )
 
 
 class TestRebuild:
@@ -119,10 +134,53 @@ class TestRebuild:
         assert dyn.stats()["inserts_since_rebuild"] < len(stream)
         assert_matches_bfs(dyn, shadow)
 
-    def test_remove_edge_not_supported(self):
+class TestRemovals:
+    def test_remove_edge_breaks_reachability(self):
+        dyn = DynamicDL(path_dag(4))
+        assert dyn.query(0, 3)
+        assert dyn.remove_edge(1, 2) is True
+        assert not dyn.query(0, 3)
+        assert not dyn.query(1, 2)
+        assert dyn.query(0, 1)
+        assert dyn.query(2, 3)
+
+    def test_redundant_removal_changes_nothing(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        dyn = DynamicDL(g)
+        assert dyn.remove_edge(0, 2) is False  # 0->1->2 still live
+        assert dyn.query(0, 2)
+        assert dyn.stats()["updates"]["removals_redundant"] == 1
+
+    def test_remove_absent_edge_raises(self):
         dyn = DynamicDL(path_dag(3))
-        with pytest.raises(NotImplementedError):
+        with pytest.raises(ValueError, match="not in the live graph"):
+            dyn.remove_edge(0, 2)
+
+    def test_double_remove_raises(self):
+        dyn = DynamicDL(path_dag(3))
+        dyn.remove_edge(0, 1)
+        with pytest.raises(ValueError, match="not in the live graph"):
             dyn.remove_edge(0, 1)
+
+    def test_resurrection_restores_reachability(self):
+        dyn = DynamicDL(path_dag(4))
+        dyn.remove_edge(1, 2)
+        assert not dyn.query(0, 3)
+        assert dyn.insert_edge(1, 2) is True
+        assert dyn.query(0, 3)
+        assert dyn.stats()["tombstones"] == 0
+        assert dyn.stats()["updates"]["resurrected"] == 1
+
+    def test_compact_drops_tombstones_and_rebuilds(self):
+        dyn = DynamicDL(path_dag(4))
+        dyn.remove_edge(1, 2)
+        assert dyn.dirt_ratio > 0
+        assert dyn.compact() == 1
+        assert dyn.dirt_ratio == 0
+        assert dyn.m == 2
+        assert not dyn.query(0, 3)
+        assert dyn.query(0, 1)
+        assert dyn.compact() == 0  # idempotent when clean
 
 
 class TestAccessors:
@@ -214,13 +272,15 @@ class TestEdgeCases:
             "rebuild did not fire just past the bloat threshold"
         )
 
-    def test_remove_edge_raises_not_implemented_for_any_edge(self):
-        dyn = DynamicDL(path_dag(4))
-        # Existing edge, absent edge, even nonsense ids: the boundary
-        # is the operation, not the argument.
-        for edge in [(0, 1), (0, 3), (99, 100)]:
-            with pytest.raises(NotImplementedError, match="decremental"):
-                dyn.remove_edge(*edge)
-        # The refusal changed nothing.
-        assert dyn.m == 3
-        assert dyn.query(0, 3)
+    def test_ghost_cycle_escape_via_compact(self):
+        # Removing 1->2 then inserting 2->0 is acyclic in the LIVE
+        # graph even though the ghost labels still think 0 reaches 2.
+        dyn = DynamicDL(path_dag(3))
+        dyn.remove_edge(1, 2)
+        assert dyn.insert_edge(2, 0) is True
+        assert dyn.query(2, 1)
+        assert not dyn.query(0, 2)
+        assert dyn.stats()["tombstones"] == 0  # the escape compacted
+        # A genuinely live cycle still raises.
+        with pytest.raises(ValueError, match="cycle"):
+            dyn.insert_edge(1, 0)

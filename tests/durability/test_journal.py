@@ -175,3 +175,40 @@ def test_damage_in_earlier_segment_refuses(tmp_path):
 def test_bad_sync_policy_rejected(tmp_path):
     with pytest.raises(ValueError):
         UpdateJournal(str(tmp_path / "wal"), sync="fsync-sometimes")
+
+
+# ----------------------------------------------------------------------
+# Churn records (kind 2): removals in the WAL
+# ----------------------------------------------------------------------
+def test_churn_record_roundtrip(tmp_path):
+    with UpdateJournal(str(tmp_path / "wal"), sync="always") as j:
+        j.append([(1, 2), ("-", 3, 4), ("+", 5, 6)], client="c", seq=1)
+        j.append([(7, 8)])  # insert-only stays a kind-1 record
+    with UpdateJournal(str(tmp_path / "wal"), sync="off") as j:
+        churn, plain = j.replay()
+        assert churn.ops == (("+", 1, 2), ("-", 3, 4), ("+", 5, 6))
+        assert churn.removed == (False, True, False)
+        assert churn.edges == ((1, 2), (3, 4), (5, 6))
+        assert plain.ops == (("+", 7, 8),)
+        assert plain.removed == ()
+
+
+def test_churn_record_survives_torn_tail(tmp_path):
+    d = str(tmp_path / "wal")
+    with UpdateJournal(d, sync="always") as j:
+        j.append([("-", 1, 2), (3, 4)])
+        j.append([("-", 5, 6)])
+    seg = os.path.join(d, _segments(d)[0])
+    with open(seg, "r+b") as fh:
+        fh.truncate(os.path.getsize(seg) - 4)  # tear the tail record
+    with UpdateJournal(d, sync="off") as j:
+        (rec,) = j.replay()
+        assert rec.ops == (("-", 1, 2), ("+", 3, 4))
+        assert j.recovery["truncated_bytes"] > 0
+
+
+def test_unknown_op_token_rejected_before_append(tmp_path):
+    with UpdateJournal(str(tmp_path / "wal"), sync="off") as j:
+        with pytest.raises(JournalError):
+            j.append([("~", 1, 2)])
+        assert j.last_lsn == 0

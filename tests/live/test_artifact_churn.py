@@ -1,0 +1,100 @@
+"""Artifacts with removals: tombstones survive the serialization trip.
+
+A removal that cannot be resolved structurally (last original copy of
+a live DAG edge) rides the artifact as a tombstone section plus the
+live adjacency CSR; the loaded engine must demote label-positive pairs
+through it.  Compaction drops the sections again.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.traversal import bfs_reaches
+from repro.live import IncrementalCompiler
+from repro.serialization import artifact_info, load_artifact
+
+
+def _bfs_truth(graph, pairs):
+    return [u == v or bfs_reaches(graph.out_adj, u, v) for u, v in pairs]
+
+
+def _churn(comp, shadow, rng, steps):
+    ops = []
+    for _ in range(steps):
+        if rng.random() < 0.45 and shadow.m:
+            u, v = rng.choice(sorted(shadow.edges()))
+            shadow.remove_edge(u, v)
+            ops.append(("-", u, v))
+        else:
+            u, v = rng.randrange(shadow.n), rng.randrange(shadow.n)
+            if u == v or shadow.has_edge(u, v):
+                continue
+            shadow.add_edge(u, v)
+            ops.append(("+", u, v))
+    comp.apply_ops(ops)
+    return ops
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_churned_artifact_matches_bfs(tmp_path, seed):
+    rng = random.Random(seed)
+    g = random_dag(60, 150, seed=seed)
+    comp = IncrementalCompiler(g)
+    shadow = g.copy()
+    _churn(comp, shadow, rng, 40)
+
+    path = str(tmp_path / "churn.rpro")
+    comp.compile_to(path)
+    served = load_artifact(path)
+    pairs = [(rng.randrange(60), rng.randrange(60)) for _ in range(2000)]
+    truth = _bfs_truth(shadow, pairs)
+    assert served.query_batch(pairs) == truth
+    assert [served.query(u, v) for u, v in pairs[:200]] == truth[:200]
+    # compiler answers agree with its own artifact
+    assert comp.query_batch(pairs[:200]) == truth[:200]
+
+
+def test_tombstone_sections_come_and_go(tmp_path):
+    g = DiGraph(6)
+    for u, v in [(0, 1), (1, 2), (3, 4)]:
+        g.add_edge(u, v)
+    comp = IncrementalCompiler(g)
+    comp.remove_edge(1, 2)
+
+    dirty = str(tmp_path / "dirty.rpro")
+    comp.compile_to(dirty)
+    assert artifact_info(dirty)["meta"]["live"]["tombstones"] == 1
+    served = load_artifact(dirty)
+    assert served.query(0, 2) is False
+    assert served.query(0, 1) is True
+
+    comp.compact()
+    clean = str(tmp_path / "clean.rpro")
+    comp.compile_to(clean)
+    assert artifact_info(clean)["meta"]["live"]["tombstones"] == 0
+    served = load_artifact(clean)
+    assert served.query(0, 2) is False
+    assert served.query(3, 4) is True
+
+
+def test_witness_skips_tombstoned_hops(tmp_path):
+    # 0 -> 1 -> 2 with the only path through the removed edge: a
+    # positive-label pair must demote, and witnesses on surviving
+    # pairs must name a live hop.
+    g = DiGraph(5)
+    for u, v in [(0, 1), (1, 2), (0, 3), (3, 2), (2, 4)]:
+        g.add_edge(u, v)
+    comp = IncrementalCompiler(g)
+    comp.remove_edge(3, 2)  # 0 still reaches 2 via 1
+    path = str(tmp_path / "w.rpro")
+    comp.compile_to(path)
+    served = load_artifact(path)
+    assert served.query(0, 2) is True
+    assert served.query(3, 2) is False
+    assert served.query(3, 4) is False
+    comp_ids = served.condensation.comp
+    w = served.index.witness(comp_ids[0], comp_ids[2])
+    assert w is not None

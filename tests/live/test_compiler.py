@@ -188,10 +188,49 @@ class TestEdgeHandling:
         with pytest.raises(ValueError, match="out of range"):
             comp.add_edge(0, 3)
 
-    def test_remove_edge_not_supported(self):
+    def test_remove_edge_tombstones_and_flips_answers(self):
+        comp = IncrementalCompiler(path_dag(4))
+        assert comp.query(0, 3)
+        info = comp.remove_edge(1, 2)
+        assert info["kind"] == "tombstoned" and info["changed"] is True
+        assert not comp.query(0, 3)
+        assert comp.query(0, 1) and comp.query(2, 3)
+        assert comp.stats()["tombstones"] == 1
+
+    def test_remove_absent_edge_is_a_noop(self):
         comp = IncrementalCompiler(path_dag(3))
-        with pytest.raises(NotImplementedError):
-            comp.remove_edge(0, 1)
+        info = comp.remove_edge(0, 2)
+        assert info == {"kind": "absent", "changed": False, "rebuilt": False}
+        assert comp.stats()["absent_removals"] == 1
+
+    def test_remove_intra_scc_edge_keeps_component_when_intact(self):
+        # 0 -> 1 -> 2 -> 0 plus chord 0 -> 2: dropping the chord keeps
+        # the SCC strongly connected.
+        comp = IncrementalCompiler(
+            DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0), (0, 2)])
+        )
+        info = comp.remove_edge(0, 2)
+        assert info["kind"] == "intra-scc" and info["changed"] is False
+        assert comp.query(2, 1) and comp.query(1, 0)
+
+    def test_remove_intra_scc_edge_splits_component(self):
+        comp = IncrementalCompiler(DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)]))
+        info = comp.remove_edge(2, 0)
+        assert info["kind"] == "scc-split" and info["rebuilt"] is True
+        assert comp.query(0, 2)
+        assert not comp.query(2, 0)
+
+    def test_remove_multi_edge_keeps_dag_edge(self):
+        # Two original edges cross between the SCC {0,1} and vertex 2.
+        comp = IncrementalCompiler(
+            DiGraph.from_edges(3, [(0, 1), (1, 0), (0, 2), (1, 2)])
+        )
+        info = comp.remove_edge(0, 2)
+        assert info["kind"] == "multi-edge" and info["changed"] is False
+        assert comp.query(0, 2)  # still via 1 -> 2
+        info = comp.remove_edge(1, 2)
+        assert info["kind"] == "tombstoned" and info["changed"] is True
+        assert not comp.query(0, 2)
 
     def test_caller_graph_never_mutated(self):
         g = path_dag(4)

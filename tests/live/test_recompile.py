@@ -1,0 +1,92 @@
+"""Dirt-triggered background recompiles: the tombstone debt ceiling.
+
+Removals serve through query-time tombstones; once the tombstoned
+fraction of the graph's edges reaches ``dirt_threshold`` the LiveIndex
+schedules a compact + full publish in the background.  The trigger is
+boundary-exact (``>=``), one recompile thread runs at a time, and
+answers must be identical before, during and after the epoch flip.
+"""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.live import IncrementalCompiler, LiveIndex
+
+
+def _pairs_graph(pairs=8):
+    """``pairs`` disjoint edges: removing one never reroutes another."""
+    g = DiGraph(2 * pairs)
+    for i in range(pairs):
+        g.add_edge(2 * i, 2 * i + 1)
+    return g
+
+
+def test_threshold_is_boundary_exact():
+    # 8 ghost edges, threshold 0.25: the 2nd tombstone lands exactly on
+    # the boundary and must fire; the 1st (ratio 0.125) must not.
+    live = LiveIndex(
+        IncrementalCompiler(_pairs_graph(8)), dirt_threshold=0.25
+    )
+    try:
+        live.apply_ops([("-", 0, 1)])
+        assert live.recompile_wait(timeout=5.0)
+        assert live.recompiles == 0
+        assert live.compiler.dirt_ratio == pytest.approx(0.125)
+
+        live.apply_ops([("-", 2, 3)])
+        assert live.recompile_wait(timeout=5.0)
+        assert live.recompiles == 1
+        # Compacted: tombstones gone, labels exact for the live graph.
+        assert live.compiler.dirt_ratio == 0.0
+        assert live.compiler.stats()["tombstones"] == 0
+    finally:
+        live.close()
+
+
+def test_answers_survive_the_recompile_flip():
+    live = LiveIndex(
+        IncrementalCompiler(_pairs_graph(8)), dirt_threshold=0.25
+    )
+    try:
+        live.apply_ops([("-", 0, 1), ("-", 2, 3)])
+        assert live.recompile_wait(timeout=5.0)
+        assert live.recompiles == 1
+        epoch = live.current_epoch
+        oracle = live.store.current_oracle()
+        assert oracle.query(0, 1) is False
+        assert oracle.query(2, 3) is False
+        assert oracle.query(4, 5) is True
+        # The recompile itself published a fresh (full) epoch.
+        assert live.stats()["last_publish"]["full"] is True
+        assert epoch >= 2
+    finally:
+        live.close()
+
+
+def test_zero_threshold_disables_auto_compaction():
+    live = LiveIndex(IncrementalCompiler(_pairs_graph(4)), dirt_threshold=0)
+    try:
+        for i in range(4):
+            live.apply_ops([("-", 2 * i, 2 * i + 1)])
+        assert live.recompile_wait(timeout=5.0)
+        assert live.recompiles == 0
+        assert live.compiler.dirt_ratio == 1.0
+        oracle = live.store.current_oracle()
+        assert all(
+            oracle.query(2 * i, 2 * i + 1) is False for i in range(4)
+        )
+    finally:
+        live.close()
+
+
+def test_insert_churn_below_threshold_never_recompiles():
+    live = LiveIndex(
+        IncrementalCompiler(_pairs_graph(16)), dirt_threshold=0.5
+    )
+    try:
+        live.apply_ops([("-", 0, 1), (1, 2), (3, 4), ("-", 2, 3)])
+        assert live.recompile_wait(timeout=5.0)
+        assert live.recompiles == 0
+        assert 0 < live.compiler.dirt_ratio < 0.5
+    finally:
+        live.close()

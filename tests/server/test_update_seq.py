@@ -21,10 +21,18 @@ from repro.server import protocol as proto
 class TestCodec:
     def test_roundtrip(self):
         payload = proto.encode_update_seq("cli-1", 42, [(1, 2), (3, 4)])
-        client, seq, edges = proto.decode_update_seq(payload)
+        client, seq, ops = proto.decode_update_seq(payload)
         assert client == "cli-1"
         assert seq == 42
-        assert edges == [(1, 2), (3, 4)]
+        assert ops == [("+", 1, 2), ("+", 3, 4)]
+
+    def test_roundtrip_with_removals(self):
+        payload = proto.encode_update_seq(
+            "cli-1", 7, [(1, 2), ("-", 3, 4), ("+", 5, 6)]
+        )
+        client, seq, ops = proto.decode_update_seq(payload)
+        assert (client, seq) == ("cli-1", 7)
+        assert ops == [("+", 1, 2), ("-", 3, 4), ("+", 5, 6)]
 
     def test_unicode_client_and_empty_edges(self):
         payload = proto.encode_update_seq("ué", 0, [])
@@ -105,6 +113,18 @@ class TestSequencedUpdates:
             assert c.query(0, 3) is True
             with pytest.raises(ValueError):
                 c.update([(3, 4)], idempotent=False, seq=1)
+
+    def test_mixed_ops_apply_atomically_over_the_wire(self, live_server):
+        with ReachClient(*live_server.address) as c:
+            reply = c.update([("+", 1, 2), ("-", 2, 3), (3, 4)])
+            assert reply["inserts"] == 2 and reply["removals"] == 1
+            assert c.query(0, 2) is True    # via the new 1->2
+            assert c.query(0, 3) is False   # 2->3 was removed
+            assert c.query(3, 5) is True    # via the new 3->4
+            # removing an absent edge journals/applies nothing and the
+            # server answers with a normal summary (kind: absent noop)
+            reply = c.update([("-", 0, 5)])
+            assert reply["absent"] == 1 and reply["changed"] == 0
 
     def test_lost_reply_then_resend_applies_exactly_once(self, live_server):
         """The reply — not the request — is cut mid-flight.  The server
