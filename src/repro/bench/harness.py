@@ -63,7 +63,7 @@ class RunResult:
     correct_positive_rate: Optional[float] = None
     error: str = ""
     #: Per-query latency percentiles, workload name ->
-    #: ``{"p50_us", "p95_us", "p99_us"}`` (microseconds).  Every query
+    #: ``{"p50_us", "p95_us", "p99_us", "p99.9_us"}`` (microseconds).  Every query
     #: mode fills these: direct and ``through_artifact`` runs time a
     #: sample of scalar queries; ``through_server`` runs report the
     #: client-observed request latencies.

@@ -21,6 +21,7 @@ Usage::
     printf '0 7\n3 9\n' | python -m repro.cli update --port 7431 --edges -
     printf -- '- 0 7\n+ 2 5\n' | python -m repro.cli update --port 7431 \
         --edges -                                # mixed insert/remove batch
+    python -m repro.cli top --port 7431          # live qps/latency/health
 
     # fault-tolerant tier: replicas + epoch-shipping router
     python -m repro.cli serve --artifact kegg.rpro --replicas 3
@@ -758,6 +759,126 @@ def _run_update(argv: List[str]) -> int:
     return 0
 
 
+def _hist_delta(curr: dict, prev: Optional[dict]) -> dict:
+    """Bucket-wise ``curr - prev`` of two telemetry histogram snapshots.
+
+    Counters and histograms are cumulative; ``top`` wants "what
+    happened since the last poll", so each refresh subtracts the
+    previous snapshot.  ``prev=None`` (first poll) returns ``curr``
+    unchanged — the first line of output covers the server's lifetime.
+    """
+    if not curr or not prev:
+        return curr or {}
+    pb = prev.get("buckets", {})
+    buckets = {
+        k: c - pb.get(k, 0)
+        for k, c in curr.get("buckets", {}).items()
+        if c - pb.get(k, 0) > 0
+    }
+    return {
+        "count": curr.get("count", 0) - prev.get("count", 0),
+        "sum": curr.get("sum", 0) - prev.get("sum", 0),
+        "unit": curr.get("unit", "ns"),
+        "buckets": buckets,
+    }
+
+
+def _top_line(doc: dict, prev: Optional[dict], elapsed: float) -> str:
+    """One ``top`` refresh rendered from a stats document (+ previous)."""
+    from .stats import histogram_percentiles
+
+    tel = doc.get("telemetry") or {}
+    hists = tel.get("histograms") or {}
+    gauges = tel.get("gauges") or {}
+    req_hist = hists.get("repro_request_seconds") or {}
+    prev_hist = (
+        ((prev or {}).get("telemetry") or {}).get("histograms") or {}
+    ).get("repro_request_seconds")
+    window = _hist_delta(req_hist, prev_hist)
+    n_req = window.get("count", 0)
+    qps = n_req / elapsed if elapsed > 0 else 0.0
+    pct = histogram_percentiles(window)  # ns upper bounds
+    lat = " ".join(
+        f"{name}={pct.get('p' + name[1:], 0.0) / 1e6:.2f}"
+        for name in ("p50", "p95", "p99", "p99.9")
+    ) if pct else "p50=- p95=- p99=- p99.9=-"
+
+    cache = doc.get("cache") or {}
+    hit = cache.get("hit_rate")
+    hit_s = f"{hit * 100.0:5.1f}%" if isinstance(hit, (int, float)) else "    -"
+    epoch = doc.get("epoch")
+    age = gauges.get("repro_epoch_age_seconds")
+    age_s = f"{age:.1f}s" if isinstance(age, (int, float)) else "-"
+    lag = gauges.get("repro_journal_fsync_lag_bytes")
+    lag_s = f"{int(lag)}B" if isinstance(lag, (int, float)) else "-"
+    line = (
+        f"{qps:>9,.0f} q/s | {lat} ms | cache {hit_s} | "
+        f"epoch {epoch if epoch is not None else '-'} (age {age_s}) | "
+        f"fsync lag {lag_s}"
+    )
+    replicas = (doc.get("health") or {}).get("replicas")
+    if replicas:
+        states = " ".join(
+            f"{r['name']}={r['state']}{'*' if r.get('stale') else ''}"
+            f"@{r.get('epoch', 0)}"
+            for r in replicas
+        )
+        line += f" | replicas: {states}"
+    degraded = doc.get("degraded")
+    if degraded:
+        line += f" | DEGRADED: {','.join(degraded)}"
+    return line
+
+
+def _run_top(argv: List[str]) -> int:
+    """``top``: live operational dashboard for a running server."""
+    from .server.client import ReachClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench top",
+        description="Poll a running server's OP_STATS and render a "
+        "top-style line per refresh: request rate and latency "
+        "percentiles over the refresh window (from the server's "
+        "mergeable log2 latency histogram), cache hit rate, serving "
+        "epoch and its age, journal fsync lag, and — when pointed at "
+        "a router — per-replica health states.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7431)
+    parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="seconds between refreshes")
+    parser.add_argument("--iterations", type=int, default=0,
+                        help="stop after N refreshes (0 = until ^C)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit "
+                        "(same as --iterations 1)")
+    args = parser.parse_args(argv)
+    iterations = 1 if args.once else args.iterations
+
+    with ReachClient(args.host, args.port) as client:
+        prev = None
+        prev_t = None
+        done = 0
+        try:
+            while True:
+                doc = client.stats()
+                now = time.perf_counter()
+                # First poll rates over the server's uptime (the
+                # histogram is cumulative); later polls over the window.
+                elapsed = (
+                    now - prev_t if prev_t is not None
+                    else float(doc.get("uptime_s") or 0.0)
+                )
+                print(_top_line(doc, prev, elapsed), flush=True)
+                prev, prev_t = doc, now
+                done += 1
+                if iterations and done >= iterations:
+                    return 0
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     # Artifact subcommands take their own option sets; route them before
@@ -772,6 +893,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_route(argv[1:])
     if argv and argv[0] == "update":
         return _run_update(argv[1:])
+    if argv and argv[0] == "top":
+        return _run_top(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate tables/figures from 'Simple, Fast, and "
@@ -809,6 +932,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{'serve':<22}Run a TCP query server over a saved artifact")
         print(f"{'route':<22}Fault-tolerant router over running replicas")
         print(f"{'update':<22}Insert edges into a running live server")
+        print(f"{'top':<22}Live qps/latency/health dashboard for a server")
         return 0
 
     datasets = args.datasets.split(",") if args.datasets else None

@@ -42,6 +42,7 @@ backwards.
 
 from __future__ import annotations
 
+import json
 import random
 import threading
 import time
@@ -49,6 +50,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..server import protocol as proto
+from ..stats import merge_histograms
+from ..telemetry import Telemetry
 from .health import HealthMonitor
 
 __all__ = ["ReplicaUnavailable", "ReplicaLink", "ReplicaRouter"]
@@ -345,11 +348,37 @@ class ReplicaRouter:
             if link.name in self._links:
                 raise ValueError(f"duplicate replica address {link.name}")
             self._links[link.name] = link
+        self.telemetry = Telemetry()
+        registry = self.telemetry.registry
+        self._attempt_hist = registry.histogram(
+            "repro_router_attempt_seconds",
+            "wall time of one slice dispatch (its hedge included)",
+        )
+        self._attempts_hist = registry.histogram(
+            "repro_router_attempts_per_slice",
+            "dispatch attempts one answered slice needed",
+            unit="attempts",
+        )
+        self._retry_counter = registry.counter(
+            "repro_router_retries_total", "slice re-dispatches after a failure"
+        )
+        self._hedge_counter = registry.counter(
+            "repro_router_hedges_total", "duplicate dispatches for tail latency"
+        )
+        self._ejection_counter = registry.counter(
+            "repro_router_ejections_total",
+            "replica transitions into the ejected state",
+        )
+        self._readmission_counter = registry.counter(
+            "repro_router_readmissions_total",
+            "replica transitions back to healthy",
+        )
         self.health = HealthMonitor(
             {name: link.probe_epoch for name, link in self._links.items()},
             interval_s=health_interval_s,
             eject_after=eject_after,
             probation_delay_s=probation_delay_s,
+            on_change=self._on_health_change,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=executor_workers, thread_name_prefix="repro-router"
@@ -394,6 +423,13 @@ class ReplicaRouter:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _on_health_change(self, name: str, old: str, new: str) -> None:
+        """Mirror health transitions into scrapeable counters."""
+        if new == "ejected":
+            self._ejection_counter.inc()
+        elif new == "healthy":
+            self._readmission_counter.inc()
+
     # -- QueryService surface ------------------------------------------
     @property
     def current_epoch(self) -> int:
@@ -404,15 +440,23 @@ class ReplicaRouter:
         self,
         pairs: Sequence[Pair],
         callback: Callable[[Optional[List[bool]], Optional[BaseException]], None],
+        trace=None,
     ) -> None:
         if not self._started:
             raise RuntimeError("ReplicaRouter.start() has not been called")
         flush = getattr(callback, "flush_writer", None)
+        if trace is None and self.telemetry.should_sample():
+            trace = self.telemetry.new_trace(origin="router")
+        if trace is not None:
+            trace.meta["pairs"] = len(pairs)
 
         def finish(answers, error) -> None:
             callback(answers, error)
             if flush is not None:
                 flush()
+            if trace is not None:
+                trace.finish()
+                self.telemetry.offer(trace)
 
         pairs = list(pairs)
         if not pairs:
@@ -446,10 +490,13 @@ class ReplicaRouter:
         def run(idx: int, chunk: List[Pair]) -> None:
             answers: Optional[List[bool]] = None
             error: Optional[BaseException] = None
+            t0 = time.perf_counter_ns()
             try:
-                answers = self._run_slice(chunk)
+                answers = self._run_slice(chunk, trace=trace, slice_idx=idx)
             except BaseException as exc:
                 error = exc
+            if trace is not None:
+                trace.add_span(f"slice{idx}", t0, time.perf_counter_ns())
             fire = None
             with state_lock:
                 state["remaining"] -= 1
@@ -561,7 +608,9 @@ class ReplicaRouter:
         raw = self.backoff_base_s * (1 << (attempt - 1))
         return min(self.backoff_cap_s, raw) * self._rng.uniform(0.5, 1.5)
 
-    def _run_slice(self, chunk: List[Pair]) -> List[bool]:
+    def _run_slice(
+        self, chunk: List[Pair], trace=None, slice_idx: int = 0
+    ) -> List[bool]:
         payload = proto.encode_pairs(chunk)
         tried: List[str] = []
         last_exc: Optional[BaseException] = None
@@ -569,15 +618,32 @@ class ReplicaRouter:
             if attempt > 1:
                 with self._stat_lock:
                     self._retries += 1
+                self._retry_counter.inc()
                 time.sleep(self._backoff(attempt - 1))
             name = self._pick(tried)
             if name is None:
                 break  # nothing routable right now; maybe after backoff
             tried.append(name)
+            t0 = time.perf_counter_ns()
             try:
-                return self._dispatch(name, payload)
+                answers = self._dispatch(name, payload)
             except (ReplicaUnavailable, proto.OverloadedError) as exc:
                 last_exc = exc
+                end = time.perf_counter_ns()
+                self._attempt_hist.observe_ns(end - t0)
+                if trace is not None:
+                    trace.add_span(
+                        f"slice{slice_idx}:attempt{attempt}:{name}", t0, end
+                    )
+                continue
+            end = time.perf_counter_ns()
+            self._attempt_hist.observe_ns(end - t0)
+            self._attempts_hist.observe_ns(attempt)
+            if trace is not None:
+                trace.add_span(
+                    f"slice{slice_idx}:attempt{attempt}:{name}", t0, end
+                )
+            return answers
         if last_exc is not None:
             raise last_exc
         raise proto.OverloadedError(
@@ -622,6 +688,7 @@ class ReplicaRouter:
                 if alt is not None and all(alt != n for n, _ in waiters):
                     with self._stat_lock:
                         self._hedges += 1
+                    self._hedge_counter.inc()
                     waiters.append(
                         (alt, self._links[alt].submit(proto.OP_QUERY, payload))
                     )
@@ -688,7 +755,59 @@ class ReplicaRouter:
         doc["links"] = {
             name: link.inflight() for name, link in self._links.items()
         }
+        doc["telemetry"] = self.telemetry.snapshot()
         return doc
+
+    # -- cluster scrape ------------------------------------------------
+    def scrape(self, timeout: float = 2.0) -> dict:
+        """Poll every replica's ``OP_STATS`` and merge into one view.
+
+        Returns ``{"replicas", "cluster", "router"}``: ``replicas``
+        maps each name to its raw stats document (or ``{"error": ...}``
+        for members that failed the poll — a dead replica degrades the
+        scrape, it does not fail it), ``cluster`` sums the replicas'
+        telemetry counters and **exactly** merges their latency
+        histograms bucket-wise (see
+        :func:`repro.stats.merge_histograms`), so cluster-wide
+        percentiles come from the true combined distribution, not an
+        average of per-replica summaries.  Ejected replicas are polled
+        too: scraping is diagnostics, not traffic.
+        """
+        per: Dict[str, dict] = {}
+        hists: Dict[str, dict] = {}
+        counters: Dict[str, int] = {}
+        polled = failed = 0
+        for name, link in self._links.items():
+            polled += 1
+            try:
+                _, payload = link.request(proto.OP_STATS, timeout=timeout)
+                doc = json.loads(payload.decode("utf-8"))
+            except Exception as exc:
+                failed += 1
+                per[name] = {"error": repr(exc)}
+                continue
+            per[name] = doc
+            tel = doc.get("telemetry") or {}
+            for hname, snap in (tel.get("histograms") or {}).items():
+                if hname in hists:
+                    try:
+                        hists[hname] = merge_histograms(hists[hname], snap)
+                    except ValueError:
+                        pass  # unit clash across versions: keep the first
+                else:
+                    hists[hname] = merge_histograms(snap)
+            for cname, value in (tel.get("counters") or {}).items():
+                counters[cname] = counters.get(cname, 0) + int(value)
+        return {
+            "replicas": per,
+            "cluster": {
+                "polled": polled,
+                "failed": failed,
+                "counters": counters,
+                "histograms": hists,
+            },
+            "router": self.stats(),
+        }
 
     def __repr__(self) -> str:
         return (

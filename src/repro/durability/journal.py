@@ -55,6 +55,7 @@ import os
 import re
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -315,6 +316,8 @@ class UpdateJournal:
         self._syncer: Optional[threading.Thread] = None
         self._segments: List[_Segment] = []
         self._file = None
+        self._append_hist = None
+        self._fsync_hist = None
         self.recovery: Dict[str, object] = {
             "segments": 0,
             "records": 0,
@@ -406,6 +409,42 @@ class UpdateJournal:
         self._file = fh
         self._segments.append(_Segment(index, path, base_lsn))
 
+    # -- telemetry -----------------------------------------------------
+    def bind_metrics(self, registry) -> None:
+        """Record append/fsync latency and fsync lag into a registry.
+
+        ``repro_journal_append_seconds`` times the full ack barrier
+        (encode + write + whatever the sync policy waits on), so its
+        tail *is* the durability cost an update client observes.
+        ``repro_journal_fsync_seconds`` times the fsync syscalls
+        themselves, and the lag gauge is the group-commit backlog —
+        bytes written but not yet covered by a completed fsync.
+        """
+        self._append_hist = registry.histogram(
+            "repro_journal_append_seconds",
+            "durable append latency (returns only once the record is "
+            "durable under the sync policy)",
+        )
+        self._fsync_hist = registry.histogram(
+            "repro_journal_fsync_seconds", "fsync syscall latency"
+        )
+        registry.gauge(
+            "repro_journal_fsync_lag_bytes",
+            "bytes appended but not yet covered by a completed fsync",
+            fn=lambda: max(0, self._written - self._synced),
+        )
+
+    def _fsync_file(self, fh) -> None:
+        """fsync with optional latency recording (hot on ``always``)."""
+        hist = self._fsync_hist
+        if hist is None:
+            os.fsync(fh.fileno())
+        else:
+            t0 = time.perf_counter_ns()
+            os.fsync(fh.fileno())
+            hist.observe_ns(time.perf_counter_ns() - t0)
+        self._fsyncs += 1
+
     # -- append (the ack barrier) --------------------------------------
     def append(
         self,
@@ -423,6 +462,8 @@ class UpdateJournal:
         ``interval`` waits for the group commit that covers it, ``off``
         returns after the buffered write reaches the kernel.
         """
+        hist = self._append_hist
+        t0 = time.perf_counter_ns() if hist is not None else 0
         with self._lock:
             if self._closed:
                 raise JournalError("journal is closed")
@@ -439,10 +480,13 @@ class UpdateJournal:
             self._next_lsn += 1
             self._appended += 1
             if self.sync == "always":
-                os.fsync(self._file.fileno())
-                self._fsyncs += 1
+                self._fsync_file(self._file)
+                if hist is not None:
+                    hist.observe_ns(time.perf_counter_ns() - t0)
                 return lsn
             if self.sync == "off":
+                if hist is not None:
+                    hist.observe_ns(time.perf_counter_ns() - t0)
                 return lsn
             self._written += len(record)
             target = self._written
@@ -454,13 +498,14 @@ class UpdateJournal:
                 self._cond.wait(timeout=1.0)
             if self._synced < target:
                 raise JournalError("journal closed before the record synced")
+        if hist is not None:
+            hist.observe_ns(time.perf_counter_ns() - t0)
         return lsn
 
     def _rotate(self, next_base: int) -> None:
         """Seal the active segment and open the next (lock held)."""
         if self.sync != "off":
-            os.fsync(self._file.fileno())
-            self._fsyncs += 1
+            self._fsync_file(self._file)
         # Everything in the sealed file is now durable; release any
         # group-commit waiters parked on those bytes.
         self._synced = self._written
@@ -480,8 +525,7 @@ class UpdateJournal:
                 fh = self._file
                 target = self._written
             try:
-                os.fsync(fh.fileno())
-                self._fsyncs += 1
+                self._fsync_file(fh)
             except (OSError, ValueError):
                 # The file rotated (and was fsynced) under us; those
                 # bytes are already durable.

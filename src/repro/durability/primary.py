@@ -121,6 +121,7 @@ class JournaledPrimary:
         self._closed = False
         self._updates = 0
         self._deduped = 0
+        self._update_hist = None
         self._checkpoints = 0
         self._since_checkpoint = 0
         self.recovery_info: Dict[str, object] = {"recovered": False}
@@ -263,6 +264,24 @@ class JournaledPrimary:
     def dedupe(self) -> DedupeWindow:
         return self._dedupe
 
+    # -- telemetry -----------------------------------------------------
+    def bind_metrics(self, registry) -> None:
+        """Instrument the durable update path end to end.
+
+        One histogram covers the whole ``apply_update`` (validate +
+        journal + compile + publish + checkpoint); the journal and the
+        live index each bind their own finer-grained instruments so a
+        slow update can be attributed to fsync vs. recompilation.
+        """
+        self._update_hist = registry.histogram(
+            "repro_update_apply_seconds",
+            "wall time of one durable apply_update (ack latency)",
+        )
+        self._journal.bind_metrics(registry)
+        bind_live = getattr(self.live, "bind_metrics", None)
+        if bind_live is not None:
+            bind_live(registry)
+
     # -- the durable update path ---------------------------------------
     def apply_update(
         self,
@@ -286,6 +305,8 @@ class JournaledPrimary:
         """
         ops = normalize_ops(edges)
         sequenced = client is not None and seq is not None
+        hist = self._update_hist
+        t0 = time.perf_counter_ns() if hist is not None else 0
         with self._lock:
             if self._closed:
                 raise RuntimeError("journaled primary is closed")
@@ -315,6 +336,8 @@ class JournaledPrimary:
                 and self._since_checkpoint >= self._checkpoint_every
             ):
                 self._checkpoint_locked(watermark=lsn)
+            if hist is not None:
+                hist.observe_ns(time.perf_counter_ns() - t0)
             return dict(summary)
 
     # -- checkpointing -------------------------------------------------

@@ -164,6 +164,9 @@ class IncrementalCompiler:
         self._incremental_compiles = 0
         self._sections_reused = 0
         self._sections_repacked = 0
+        self._compile_hist = None
+        self._pack_hist = None
+        self._cert_hist = None
 
     @classmethod
     def from_pipeline(cls, reach, *, auto_rebuild_factor: float = 4.0):
@@ -591,6 +594,28 @@ class IncrementalCompiler:
         """Tombstoned fraction of the oracle's ghost edge set."""
         return self._dyn.dirt_ratio
 
+    # -- telemetry -----------------------------------------------------
+    def bind_metrics(self, registry) -> None:
+        """Time the compile stages into a telemetry registry.
+
+        ``compile`` is the whole :meth:`compile_to`; ``pack`` and
+        ``certs`` split it into section (re)packing vs. graph
+        certificate recomputation, the two stages whose relative cost
+        flips between incremental and full profiles.
+        """
+        self._compile_hist = registry.histogram(
+            "repro_compile_seconds",
+            "wall time of one compile_to (any profile)",
+        )
+        self._pack_hist = registry.histogram(
+            "repro_compile_pack_seconds",
+            "compile stage: label/tombstone section packing",
+        )
+        self._cert_hist = registry.histogram(
+            "repro_compile_certs_seconds",
+            "compile stage: height/interval certificate recomputation",
+        )
+
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
@@ -616,6 +641,7 @@ class IncrementalCompiler:
         with self._lock:
             do_full = self._full_pending if full is None else (full or self._full_pending)
             reused0, repacked0 = self._sections_reused, self._sections_repacked
+            t_pack0 = time.perf_counter()
             dyn = self._dyn
             labels = dyn.labels
             oh, oo, ih, io_ = labels.arena()
@@ -662,6 +688,7 @@ class IncrementalCompiler:
             # Graph certificates: the height filter must match the
             # *current* graph on every publish; the interval rounds are
             # full-compile-only (see the module docstring).
+            t_cert0 = time.perf_counter()
             rounds: List[Tuple[object, object]] = []
             if do_full:
                 from ..kernels.batchquery import compile_graph_aux
@@ -685,6 +712,7 @@ class IncrementalCompiler:
                 self._sections[f"inner/iv_low_{i}"] = pack_section(low)
                 self._sections[f"inner/iv_post_{i}"] = pack_section(post)
                 self._sections_repacked += 2
+            t_cert1 = time.perf_counter()
 
             meta = {
                 "original_n": self._original.n,
@@ -720,12 +748,17 @@ class IncrementalCompiler:
             self._full_pending = False
             self._in_dirty = False
             self._tomb_dirty = False
+            compile_s = time.perf_counter() - t0
+            if self._compile_hist is not None:
+                self._compile_hist.observe_s(compile_s)
+                self._pack_hist.observe_s(t_cert0 - t_pack0)
+                self._cert_hist.observe_s(t_cert1 - t_cert0)
             return {
                 "bytes": nbytes,
                 "full": do_full,
                 "sections_reused": self._sections_reused - reused0,
                 "sections_repacked": self._sections_repacked - repacked0,
-                "compile_s": time.perf_counter() - t0,
+                "compile_s": compile_s,
             }
 
     # ------------------------------------------------------------------

@@ -132,6 +132,9 @@ class LiveIndex:
         self._recompiles = 0
         self._recompile_error: Optional[str] = None
         self._last_publish: Dict[str, object] = {}
+        self._last_publish_ts = time.time()
+        self._apply_hist = None
+        self._publish_hist = None
         self._owns_dir = False
         self._dir: Optional[str] = None
         try:
@@ -171,6 +174,33 @@ class LiveIndex:
     def current_epoch(self) -> Optional[int]:
         return self.store.current_epoch
 
+    # -- telemetry -----------------------------------------------------
+    def bind_metrics(self, registry) -> None:
+        """Instrument the update/publish path into a telemetry registry.
+
+        Two histograms split a slow update between compute
+        (``apply_ops`` wall time, compile included) and the epoch flip
+        itself; the epoch-age gauge answers "how stale is what we are
+        serving" — it resets on every publish or swap, so a live tier
+        that stopped publishing shows up as unbounded age.
+        """
+        self._apply_hist = registry.histogram(
+            "repro_live_apply_seconds",
+            "wall time of one apply_ops (compile + publish included)",
+        )
+        self._publish_hist = registry.histogram(
+            "repro_epoch_publish_seconds",
+            "wall time of one store epoch flip",
+        )
+        registry.gauge(
+            "repro_epoch_age_seconds",
+            "seconds since the serving epoch last changed",
+            fn=lambda: time.time() - self._last_publish_ts,
+        )
+        bind_compiler = getattr(self.compiler, "bind_metrics", None)
+        if bind_compiler is not None:
+            bind_compiler(registry)
+
     # ------------------------------------------------------------------
     def _next_path(self) -> str:
         self._seq += 1
@@ -186,6 +216,9 @@ class LiveIndex:
         info["epoch"] = epoch
         info["path"] = path
         self._last_publish = info
+        self._last_publish_ts = time.time()
+        if self._publish_hist is not None:
+            self._publish_hist.observe_s(info["publish_s"])
         return info
 
     # ------------------------------------------------------------------
@@ -237,6 +270,8 @@ class LiveIndex:
                 summary["epoch"] = self.store.current_epoch
                 summary["published"] = False
             summary["swap_s"] = time.perf_counter() - t0
+            if self._apply_hist is not None:
+                self._apply_hist.observe_s(summary["swap_s"])
             self._updates += 1
             self._maybe_schedule_recompile()
             return summary
@@ -316,6 +351,7 @@ class LiveIndex:
             epoch = self.store.publish_snapshot(str(path))
             self._detached = self.compiler is not None or self._detached
             self._swaps += 1
+            self._last_publish_ts = time.time()
             return epoch
 
     @property

@@ -35,9 +35,10 @@ Pair = Tuple[int, int]
 class QueryRequest:
     """One client request: its pairs and the completion callback."""
 
-    __slots__ = ("pairs", "callback", "answers", "error", "epoch")
+    __slots__ = ("pairs", "callback", "answers", "error", "epoch", "trace",
+                 "t_submit_ns")
 
-    def __init__(self, pairs: Sequence[Pair], callback) -> None:
+    def __init__(self, pairs: Sequence[Pair], callback, trace=None) -> None:
         self.pairs = pairs
         self.callback = callback
         self.answers: Optional[List[bool]] = None
@@ -45,6 +46,12 @@ class QueryRequest:
         #: Artifact epoch that answered this request (live serving only;
         #: set by :meth:`Batch.resolve`, None for static oracles).
         self.epoch: Optional[int] = None
+        #: Optional :class:`repro.telemetry.TraceContext` riding the
+        #: request; stages append spans as the request flows through.
+        self.trace = trace
+        #: ``perf_counter_ns`` at submission (0 = telemetry disabled or
+        #: not sampled); the batch-wait span/histogram measures from here.
+        self.t_submit_ns = 0
 
     def _complete(self) -> None:
         if self.callback is not None:
@@ -54,7 +61,7 @@ class QueryRequest:
 class Batch:
     """A dispatch unit: one or more requests, pairs concatenated."""
 
-    __slots__ = ("requests", "pairs")
+    __slots__ = ("requests", "pairs", "t_created_ns")
 
     def __init__(self, requests: List[QueryRequest]) -> None:
         self.requests = requests
@@ -65,6 +72,10 @@ class Batch:
             for req in requests:
                 pairs.extend(req.pairs)
             self.pairs = pairs
+        # Batches are built at dispatch time (window drain, window=0
+        # pass-through, or a re-batch), so creation marks the start of
+        # the "dispatch" span for every traced member request.
+        self.t_created_ns = time.perf_counter_ns()
 
     @property
     def singleton(self) -> bool:
@@ -88,18 +99,28 @@ class Batch:
             )
             return
         offset = 0
+        now = 0
         for req in self.requests:
             take = len(req.pairs)
             req.answers = list(answers[offset:offset + take])
             req.epoch = epoch
             offset += take
+            if req.trace is not None:
+                if not now:
+                    now = time.perf_counter_ns()
+                req.trace.add_span("dispatch", self.t_created_ns, now)
             req._complete()
         self._flush_writers()
 
     def fail(self, error: BaseException) -> None:
         """Propagate one executor failure to every member request."""
+        now = 0
         for req in self.requests:
             req.error = error
+            if req.trace is not None:
+                if not now:
+                    now = time.perf_counter_ns()
+                req.trace.add_span("dispatch", self.t_created_ns, now)
             req._complete()
         self._flush_writers()
 
@@ -196,6 +217,39 @@ class MicroBatcher:
         self._batched_pairs = 0
         self._coalesced_batches = 0
         self._largest_batch = 0
+        # telemetry (optional; see bind_metrics)
+        self._wait_hist = None
+        self._wait_weight = 1
+        self._stamped = False
+
+    def bind_metrics(self, registry, sample_weight: int = 1) -> None:
+        """Record batch-wait latency into a telemetry registry.
+
+        Only *traced* requests are stamped at submission — they are
+        already the service's uniform 1-in-K sample, so their waits
+        observed with ``weight=sample_weight`` (= that K) estimate
+        every request's wait without the untraced hot path ever
+        touching a clock.  Never binding keeps the batcher
+        telemetry-free: the drain skips the observation loop entirely.
+        """
+        self._wait_weight = max(1, sample_weight)
+        self._wait_hist = registry.histogram(
+            "repro_batch_wait_seconds",
+            "time a request spent waiting for its micro-batch window, "
+            "1-in-%d sampled" % self._wait_weight,
+        )
+
+    def _observe_batch(self, batch: Batch) -> None:
+        """Batch-wait histogram + span for each stamped member request."""
+        hist = self._wait_hist
+        now = batch.t_created_ns
+        for req in batch.requests:
+            t = req.t_submit_ns
+            if t:
+                if req.trace is not None:
+                    req.trace.add_span("batch_wait", t, now)
+                if hist is not None:
+                    hist.observe_ns(now - t, self._wait_weight)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "MicroBatcher":
@@ -225,18 +279,24 @@ class MicroBatcher:
             self._thread = None
 
     # -- submission ----------------------------------------------------
-    def submit_async(self, pairs: Sequence[Pair], callback) -> QueryRequest:
+    def submit_async(
+        self, pairs: Sequence[Pair], callback, trace=None
+    ) -> QueryRequest:
         """Queue a request; ``callback(request)`` fires on completion.
 
         Empty requests complete immediately (no dispatch).  When the
         window is 0 the request is dispatched synchronously from this
-        thread as its own batch.
+        thread as its own batch.  ``trace`` (a telemetry
+        :class:`~repro.telemetry.TraceContext`) rides the request and
+        collects ``batch_wait`` / ``dispatch`` spans.
         """
-        req = QueryRequest(pairs, callback)
+        req = QueryRequest(pairs, callback, trace)
         if not pairs:
             req.answers = []
             req._complete()
             return req
+        if trace is not None:
+            req.t_submit_ns = time.perf_counter_ns()
         if self.window_s == 0:
             with self._lock:
                 if self._closed:
@@ -245,7 +305,10 @@ class MicroBatcher:
                     return req
                 self._submitted += 1
                 self._note_batch(1, len(pairs))
-            self._dispatch(Batch([req]))
+            batch = Batch([req])
+            if req.t_submit_ns:
+                self._observe_batch(batch)
+            self._dispatch(batch)
             return req
         with self._lock:
             if self._closed:
@@ -261,6 +324,8 @@ class MicroBatcher:
                     self._ema_gap += alpha * (gap - self._ema_gap)
                 self._last_arrival = now
             self._pending.append(req)
+            if req.t_submit_ns:
+                self._stamped = True
             self._pending_pairs += len(pairs)
             if len(self._pending) == 1 or self._pending_pairs >= self.max_batch:
                 self._wakeup.notify()
@@ -328,6 +393,8 @@ class MicroBatcher:
             pending = self._pending
             self._pending = []
             self._pending_pairs = 0
+            stamped = self._stamped
+            self._stamped = False
         batches: List[Batch] = []
         group: List[QueryRequest] = []
         group_pairs = 0
@@ -342,6 +409,12 @@ class MicroBatcher:
         with self._lock:
             for batch in batches:
                 self._note_batch(len(batch.requests), len(batch.pairs))
+        if stamped:
+            # Only drains that actually hold a stamped (traced) request
+            # walk the observation loop — at the default 1-in-K trace
+            # rate almost every drain skips it.
+            for batch in batches:
+                self._observe_batch(batch)
         return batches
 
     def _note_batch(self, n_requests: int, n_pairs: int) -> None:

@@ -28,6 +28,7 @@ benchmark runs that must measure the raw query path.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -76,6 +77,28 @@ class ShardedLRUCache:
         per_shard = (capacity + n_shards - 1) // n_shards
         self._shards = [_Shard(per_shard) for _ in range(n_shards)]
         self.capacity = per_shard * n_shards if capacity else 0
+        self._lookup_hist = None
+        self._lookup_tick = 0
+
+    #: Only every K-th bound lookup is clocked (observed with weight K)
+    #: — lookups are the densest path in the server, and two extra
+    #: ``perf_counter_ns`` calls per request would cost more than the
+    #: lookups themselves on small batches.
+    LOOKUP_SAMPLE_EVERY = 8
+
+    def bind_metrics(self, registry) -> None:
+        """Record batch-lookup latency into a telemetry registry.
+
+        Hit/miss/eviction counters stay in the shards (they are already
+        cheap and exact); the histogram adds the one thing counters
+        cannot show — how long ``get_many`` actually takes as shard
+        contention grows.  Unbound caches skip even the sampling tick.
+        """
+        self._lookup_hist = registry.histogram(
+            "repro_cache_lookup_seconds",
+            "wall time of one batched cache lookup (get_many), "
+            "1-in-%d sampled" % self.LOOKUP_SAMPLE_EVERY,
+        )
 
     @property
     def enabled(self) -> bool:
@@ -149,6 +172,12 @@ class ShardedLRUCache:
         """
         if not self.capacity:
             return [None] * len(pairs), list(range(len(pairs)))
+        hist = self._lookup_hist
+        if hist is not None:
+            self._lookup_tick = n = self._lookup_tick + 1  # unlocked: see Telemetry
+            if n % self.LOOKUP_SAMPLE_EVERY:
+                hist = None
+        t0 = time.perf_counter_ns() if hist is not None else 0
         keys = self._keys_for(pairs, epoch)
         answers: List[Optional[bool]] = [None] * len(pairs)
         for shard_idx, positions in self._group_by_shard(keys).items():
@@ -167,6 +196,10 @@ class ShardedLRUCache:
                         shard.negative_hits += 1
                     answers[i] = value
         missing = [i for i, a in enumerate(answers) if a is None]
+        if hist is not None:
+            hist.observe_ns(
+                time.perf_counter_ns() - t0, self.LOOKUP_SAMPLE_EVERY
+            )
         return answers, missing
 
     def put_many(

@@ -182,6 +182,38 @@ class ReachClient:
         _, payload = self._roundtrip(proto.OP_QUERY, proto.encode_pairs(pairs))
         return proto.decode_answers(payload)
 
+    def query_batch_traced(
+        self, pairs: Sequence[Pair], trace_id: Optional[int] = None
+    ) -> Tuple[List[bool], int]:
+        """Like :meth:`query_batch`, but the request carries a trace id.
+
+        The id (allocated client-side unless given) rides the
+        ``OP_QUERY_TRACED`` frame; the server records a span breakdown
+        for this exact request and keeps it if it lands among the
+        slowest exemplars — retrieve with :meth:`traces` and match on
+        the returned id.  Answers are identical to the untraced path.
+        """
+        if trace_id is None:
+            from ..telemetry import new_trace_id
+
+            trace_id = new_trace_id()
+        _, payload = self._roundtrip(
+            proto.OP_QUERY_TRACED,
+            proto.encode_traced_query(trace_id, pairs),
+        )
+        return proto.decode_answers(payload), trace_id
+
+    def traces(self) -> List[dict]:
+        """The server's slowest-trace exemplars (``OP_TRACE``).
+
+        Each entry is a :meth:`repro.telemetry.TraceContext.to_doc`
+        document: ``trace_id``, ``origin``, ``duration_ns``, and named
+        ``spans`` with offsets relative to the trace start.  Slowest
+        first; empty when the server runs with telemetry disabled.
+        """
+        _, payload = self._roundtrip(proto.OP_TRACE)
+        return json.loads(payload.decode("utf-8"))
+
     def ping(self) -> float:
         """Round-trip time of an empty frame, in seconds."""
         t0 = time.perf_counter()

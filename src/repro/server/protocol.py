@@ -58,6 +58,21 @@ Payloads:
   :meth:`repro.live.VersionedArtifactStore.publish_snapshot` with the
   explicit epoch number, so replica epochs mirror the primary's and
   stay monotone.  Servers without a ship handler answer ``OP_ERROR``.
+* ``OP_QUERY_TRACED`` — ``OP_QUERY`` with observability: the payload
+  prefixes the pair encoding with a client-allocated non-zero ``u64``
+  **trace id** (:func:`repro.telemetry.new_trace_id`).  The server
+  answers with a normal ``OP_ANSWERS`` frame and records per-stage
+  spans (decode → cache → batch wait → dispatch → flush) for the
+  request into its slowest-trace tail sampler, keyed by that id.
+  Servers running with telemetry disabled still answer — the trace id
+  is simply dropped (tracing changes what is *recorded*, never what
+  is answered).
+* ``OP_TRACE`` / ``OP_TRACE_REPLY`` — the ``OP_STATS`` sibling for
+  exemplars: empty request; the reply is UTF-8 JSON — a list of the
+  slowest trace documents the server has retained (tail sampling),
+  slowest first, each with its ``trace_id``, total ``duration_ns``
+  and named spans with start offsets.  This is how a slow
+  ``OP_QUERY_TRACED`` request is retrieved after the fact.
 
 Responses may arrive out of submission order (micro-batching reorders
 freely); the request id is the only correlation contract.
@@ -65,8 +80,11 @@ freely); the request id is the only correlation contract.
 The **JSON/HTTP fallback** (:func:`make_http_handler`) serves the same
 service to stdlib-only or shell clients: ``POST /query`` with
 ``{"pairs": [[u, v], ...]}`` returns ``{"answers": [...]}``;
-``GET /stats`` returns the service stats document.  It exists for
-debuggability, not throughput — the binary protocol is the fast path.
+``GET /stats`` returns the service stats document (v2: includes a
+``telemetry`` section with mergeable histogram snapshots);
+``GET /metrics`` returns the same telemetry in Prometheus text
+exposition format (v0.0.4) for scrapers.  It exists for debuggability
+and scraping, not throughput — the binary protocol is the fast path.
 """
 
 from __future__ import annotations
@@ -92,6 +110,9 @@ __all__ = [
     "OP_OVERLOADED",
     "OP_SHIP",
     "OP_SHIP_REPLY",
+    "OP_TRACE",
+    "OP_TRACE_REPLY",
+    "OP_QUERY_TRACED",
     "HEADER",
     "MAX_PAYLOAD",
     "CONNECTION_ERROR_ID",
@@ -109,6 +130,8 @@ __all__ = [
     "decode_ship",
     "encode_update_seq",
     "decode_update_seq",
+    "encode_traced_query",
+    "decode_traced_query",
     "FrameReader",
     "ProtocolError",
     "OverloadedError",
@@ -131,11 +154,15 @@ OP_OVERLOADED = 13
 OP_SHIP = 14
 OP_SHIP_REPLY = 15
 OP_UPDATE_SEQ = 16
+OP_TRACE = 17
+OP_TRACE_REPLY = 18
+OP_QUERY_TRACED = 19
 
 _OPS = frozenset(
     (OP_QUERY, OP_ANSWERS, OP_STATS, OP_STATS_REPLY, OP_PING, OP_PONG,
      OP_SHUTDOWN, OP_ERROR, OP_UPDATE, OP_UPDATE_REPLY, OP_EPOCH,
-     OP_EPOCH_REPLY, OP_OVERLOADED, OP_SHIP, OP_SHIP_REPLY, OP_UPDATE_SEQ)
+     OP_EPOCH_REPLY, OP_OVERLOADED, OP_SHIP, OP_SHIP_REPLY, OP_UPDATE_SEQ,
+     OP_TRACE, OP_TRACE_REPLY, OP_QUERY_TRACED)
 )
 
 #: Frame header: payload length, opcode, request id.
@@ -386,6 +413,26 @@ def decode_update_seq(payload: bytes) -> Tuple[str, int, List[Tuple[str, int, in
     return client, seq, decode_ops(bytes(view[off:]))
 
 
+_TRACE_ID = struct.Struct("<Q")
+
+
+def encode_traced_query(trace_id: int, pairs: Sequence[Tuple[int, int]]) -> bytes:
+    """``OP_QUERY_TRACED`` payload: non-zero u64 trace id + pair stream."""
+    if not (0 < trace_id < (1 << 64)):
+        raise ProtocolError(f"trace ids are non-zero u64, got {trace_id}")
+    return _TRACE_ID.pack(trace_id) + encode_pairs(pairs)
+
+
+def decode_traced_query(payload: bytes) -> Tuple[int, List[Tuple[int, int]]]:
+    """Parse an ``OP_QUERY_TRACED`` payload into ``(trace_id, pairs)``."""
+    if len(payload) < _TRACE_ID.size:
+        raise ProtocolError("traced query shorter than its trace id")
+    (trace_id,) = _TRACE_ID.unpack_from(payload, 0)
+    if trace_id == 0:
+        raise ProtocolError("trace ids are non-zero (0 means untraced)")
+    return trace_id, decode_pairs(bytes(memoryview(payload)[_TRACE_ID.size:]))
+
+
 class FrameReader:
     """Buffered frame parser over a socket (or any ``recv``-alike).
 
@@ -434,7 +481,10 @@ def make_http_handler(service, allow_shutdown: bool = True):
     """An ``http.server`` handler class bound to a query service.
 
     Routes: ``POST /query`` (JSON pairs in, JSON answers out),
-    ``GET /stats``, ``GET /healthz``, and — when ``allow_shutdown`` —
+    ``GET /stats``, ``GET /metrics`` (Prometheus text exposition of
+    the service's telemetry registry plus every numeric stats leaf),
+    ``GET /traces`` (the tail-sampled slow-trace exemplars),
+    ``GET /healthz``, and — when ``allow_shutdown`` —
     ``POST /shutdown``.  The handler calls the *blocking* service API,
     so each HTTP connection rides the same cache → batcher → oracle
     path as a binary client.
@@ -453,9 +503,29 @@ def make_http_handler(service, allow_shutdown: bool = True):
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_metrics(self) -> None:
+            from ..telemetry import render_prometheus
+
+            telemetry = getattr(service, "telemetry", None)
+            registry = None if telemetry is None else telemetry.registry
+            body = render_prometheus(registry, service.stats()).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
             if self.path == "/stats":
                 self._send_json(service.stats())
+            elif self.path == "/metrics":
+                self._send_metrics()
+            elif self.path == "/traces":
+                telemetry = getattr(service, "telemetry", None)
+                traces = (
+                    [] if telemetry is None else telemetry.sampler.snapshot()
+                )
+                self._send_json({"traces": traces})
             elif self.path == "/healthz":
                 self._send_json({"ok": True})
             else:

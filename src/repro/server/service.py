@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from .batching import Batch, MicroBatcher
 from .cache import ShardedLRUCache
 from . import protocol as proto
+from ..telemetry import Telemetry
 
 __all__ = ["QueryService", "WorkerPool", "ReachServer", "HttpFrontend", "serve_artifact"]
 
@@ -568,6 +569,7 @@ class QueryService:
         cache_shards: int = 8,
         owns_store: bool = False,
         allow_empty_store: bool = False,
+        telemetry=True,
     ) -> None:
         sources = sum(
             x is not None for x in (artifact_path, oracle, store, live, primary)
@@ -631,6 +633,82 @@ class QueryService:
         self._bound: Optional[int] = None
         self._epoch_bounds: Dict[int, int] = {}
         self._store_error = ""
+        #: The service's observability bundle (``telemetry=True`` builds
+        #: a fresh :class:`repro.telemetry.Telemetry`; ``False`` turns
+        #: every instrument off; passing an instance shares one registry
+        #: across co-hosted components).  Instrument handles are cached
+        #: as attributes so the hot path never does a registry lookup.
+        if isinstance(telemetry, bool):
+            self.telemetry = Telemetry() if telemetry else None
+        else:
+            self.telemetry = telemetry
+        self._req_hist = None
+        self._req_errors = None
+        self._stats_errors = None
+        self._cache_hist = None
+        self._lat_every = 1
+        # -1 disables the sampling gate outright: ``n & -1`` is never 0
+        # for a positive tick, so the hot path needs no separate
+        # "telemetry off?" test.
+        self._lat_mask = -1
+        self._trace_mask = -1
+        if self.telemetry is not None:
+            registry = self.telemetry.registry
+            # Sampling gates, pre-flattened into masks: the request
+            # counter (already bumped under the stat lock) doubles as
+            # the sampling tick, so an unsampled request pays exactly
+            # one bitmask test for all of telemetry.
+            self._lat_every = self.telemetry.latency_every
+            self._lat_mask = self._lat_every - 1
+            self._trace_mask = self.telemetry.sample_every - 1
+            self._req_hist = registry.histogram(
+                "repro_request_seconds",
+                "service-side query latency, 1-in-%d sampled"
+                % self._lat_every,
+            )
+            self._req_errors = registry.counter(
+                "repro_request_errors_total", "requests completed with an error"
+            )
+            self._stats_errors = registry.counter(
+                "repro_stats_errors_total",
+                "stats() subsections that raised and were reported degraded",
+            )
+            registry.gauge(
+                "repro_epoch",
+                "artifact epoch currently serving (0 = static)",
+                fn=lambda: self.current_epoch or 0,
+            )
+            registry.gauge(
+                "repro_uptime_seconds",
+                "seconds since the service started",
+                fn=lambda: (
+                    time.monotonic() - self._started_at if self._started_at else 0.0
+                ),
+            )
+            # The cache-lookup histogram is observed *here* rather
+            # than via ``cache.bind_metrics`` so the lookup is only
+            # clocked on sampled requests and the cache's own hot path
+            # stays identical with telemetry on or off.
+            self._cache_hist = registry.histogram(
+                "repro_cache_lookup_seconds",
+                "wall time of one batched cache lookup (get_many), "
+                "1-in-%d sampled" % self._lat_every,
+            )
+            self._batcher.bind_metrics(
+                registry, sample_weight=self.telemetry.sample_every
+            )
+            # Versioned sources carry their own instrumentation points
+            # (journal fsync, swap timing, compile stages): hand every
+            # distinct component the same registry so one scrape sees
+            # the whole pipeline.
+            bound_components = []
+            for component in (self._primary, self._live, self._store):
+                if component is None or component in bound_components:
+                    continue
+                bound_components.append(component)
+                bind = getattr(component, "bind_metrics", None)
+                if bind is not None:
+                    bind(registry)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "QueryService":
@@ -800,20 +878,28 @@ class QueryService:
         self,
         pairs: Sequence[Pair],
         callback: Callable[[Optional[List[bool]], Optional[BaseException]], None],
+        trace=None,
     ) -> None:
         """Answer a request without blocking the calling thread.
 
         ``callback(answers, error)`` fires exactly once — synchronously
         when the cache covers everything, otherwise from whichever
-        thread resolves the batch.
+        thread resolves the batch.  ``trace`` (a telemetry
+        :class:`~repro.telemetry.TraceContext`, usually decoded from an
+        ``OP_QUERY_TRACED`` frame) collects per-stage spans; with
+        telemetry enabled and no client trace, every K-th request is
+        auto-traced so the tail sampler fills with organic exemplars.
         """
         if not self._started:
             raise RuntimeError("QueryService.start() has not been called")
         flush = getattr(callback, "flush_writer", None)
+        req_errors = self._req_errors
         # One lease yields the request's consistent (epoch, bound):
         # the bound validates ingress, the epoch keys the cache reads.
         epoch, bound = self._epoch_and_bound()
         if bound is None:
+            if req_errors is not None:
+                req_errors.inc()
             callback(
                 None,
                 RuntimeError(self._store_error or "the artifact store is closed"),
@@ -823,6 +909,8 @@ class QueryService:
             return
         for u, v in pairs:
             if not (0 <= u < bound and 0 <= v < bound):
+                if req_errors is not None:
+                    req_errors.inc()
                 callback(
                     None,
                     ValueError(
@@ -833,14 +921,81 @@ class QueryService:
                     flush()
                 return
         with self._stat_lock:
-            self._requests += 1
+            self._requests = n_req = self._requests + 1
             self._pairs_in += len(pairs)
+        # Telemetry gate.  The request counter just bumped under the
+        # stat lock doubles as the sampling tick, so an unsampled,
+        # untraced request pays exactly one bitmask test for the whole
+        # observability layer (``_lat_mask`` is -1 when telemetry is
+        # off, which no positive tick can mask to 0); clocks, closures,
+        # and histogram locks only run for the sampled 1-in-K, whose
+        # observations carry ``weight=K`` to keep the histograms
+        # population-accurate.
+        lat_weight = 0
+        if trace is not None or not n_req & self._lat_mask:
+            telemetry = self.telemetry
+            if not n_req & self._lat_mask:
+                lat_weight = self._lat_every
+                if trace is None and not n_req & self._trace_mask:
+                    trace = telemetry.new_trace(origin="server")
+            t_start_ns = time.perf_counter_ns()
+            if trace is not None:
+                trace.meta["pairs"] = len(pairs)
+            inner_callback = callback
+            req_hist = self._req_hist
+
+            def callback(answers, error):
+                if lat_weight:
+                    req_hist.observe_ns(
+                        time.perf_counter_ns() - t_start_ns, lat_weight
+                    )
+                inner_callback(answers, error)
+
+            if trace is not None:
+                # The trace closes after the last work done on the
+                # request's behalf: the writer flush when one exists
+                # (timed as the "flush" span), else the callback.
+                finished = [False]
+
+                def _finish_trace(end_ns=None):
+                    if not finished[0]:
+                        finished[0] = True
+                        trace.finish(end_ns)
+                        if telemetry is not None:  # explicit trace, telemetry off
+                            telemetry.offer(trace)
+
+                if flush is not None:
+                    inner_flush = flush
+
+                    def flush():
+                        f0 = time.perf_counter_ns()
+                        inner_flush()
+                        end = time.perf_counter_ns()
+                        if not finished[0]:
+                            trace.add_span("flush", f0, end)
+                        _finish_trace(end)
+                else:
+                    inner_traced = callback
+
+                    def callback(answers, error):
+                        inner_traced(answers, error)
+                        _finish_trace()
+
         # Cache reads use the epoch current at submission (from the
         # snapshot above); writes (in on_done) use the epoch that
         # actually answered the batch.  Both are correct for their own
         # version — entries never cross epochs.
         versioned = self._store is not None
-        cached, missing = self.cache.get_many(pairs, epoch=epoch)
+        if lat_weight or trace is not None:
+            c0 = time.perf_counter_ns()
+            cached, missing = self.cache.get_many(pairs, epoch=epoch)
+            c1 = time.perf_counter_ns()
+            if trace is not None:
+                trace.add_span("cache_lookup", c0, c1)
+            if lat_weight:
+                self._cache_hist.observe_ns(c1 - c0, lat_weight)
+        else:
+            cached, missing = self.cache.get_many(pairs, epoch=epoch)
         if not missing:
             callback([bool(a) for a in cached], None)
             if flush is not None:
@@ -851,6 +1006,8 @@ class QueryService:
 
         def on_done(req) -> None:
             if req.error is not None:
+                if req_errors is not None:
+                    req_errors.inc()
                 callback(None, req.error)
                 return
             self.cache.put_many(
@@ -866,6 +1023,8 @@ class QueryService:
                 # epoch, so the retry cannot mix (and needs no loop).
                 def on_retry(req2) -> None:
                     if req2.error is not None:
+                        if req_errors is not None:
+                            req_errors.inc()
                         callback(None, req2.error)
                         return
                     self.cache.put_many(pairs, req2.answers, epoch=req2.epoch)
@@ -873,7 +1032,7 @@ class QueryService:
 
                 if flush is not None:
                     on_retry.flush_writer = flush
-                self._batcher.submit_async(pairs, on_retry)
+                self._batcher.submit_async(pairs, on_retry, trace)
                 return
             for slot, answer in zip(missing, req.answers):
                 cached[slot] = answer
@@ -883,7 +1042,7 @@ class QueryService:
             # A buffering callback (TCP front end): the batch flushes
             # each distinct writer once after scattering every answer.
             on_done.flush_writer = flush
-        self._batcher.submit_async(missing_pairs, on_done)
+        self._batcher.submit_async(missing_pairs, on_done, trace)
 
     def query_pairs(self, pairs: Sequence[Pair]) -> List[bool]:
         """Blocking :meth:`query_pairs_async` (HTTP and test path)."""
@@ -906,12 +1065,23 @@ class QueryService:
 
     # -- stats ---------------------------------------------------------
     def stats(self) -> dict:
+        """The structured stats document (v2).
+
+        Version 2 adds ``stats_version``, a ``telemetry`` section
+        (mergeable histogram snapshots + counters/gauges — what the
+        cluster scrape aggregates), and honest failure reporting: a
+        subsection whose provider raises is *named* in ``degraded``
+        and counted in ``repro_stats_errors_total`` instead of being
+        silently dropped.  Stats still never fail serving — a broken
+        subsection costs that subsection, not the document.
+        """
         with self._stat_lock:
             requests, pairs_in, singles = self._requests, self._pairs_in, self._singles
         artifact = self.artifact_path
         if artifact is None and self._store is not None:
             artifact = self._store.current_path
         doc = {
+            "stats_version": 2,
             "artifact": artifact,
             "workers": self.workers,
             "n": self._current_bound(),
@@ -927,20 +1097,28 @@ class QueryService:
         }
         if self._pool is not None:
             doc["pool"] = self._pool.stats()
-        try:
-            if self._primary is not None:
-                doc["durability"] = self._primary.stats()
-            if self._live is not None:
-                doc["live"] = self._live.stats()
-            elif self._store is not None:
-                doc["store"] = self._store.stats()
-        except Exception:  # pragma: no cover - stats must never fail serving
-            pass
-        if self._oracle is not None and hasattr(self._oracle, "stats"):
+        degraded: List[str] = []
+
+        def subsection(name: str, provider) -> None:
             try:
-                doc["oracle"] = self._oracle.stats()
-            except Exception:  # pragma: no cover - stats must never fail serving
-                pass
+                doc[name] = provider()
+            except Exception:  # a failed provider must not fail serving
+                degraded.append(name)
+                if self._stats_errors is not None:
+                    self._stats_errors.inc()
+
+        if self._primary is not None:
+            subsection("durability", self._primary.stats)
+        if self._live is not None:
+            subsection("live", self._live.stats)
+        elif self._store is not None:
+            subsection("store", self._store.stats)
+        if self._oracle is not None and hasattr(self._oracle, "stats"):
+            subsection("oracle", self._oracle.stats)
+        if degraded:
+            doc["degraded"] = degraded
+        if self.telemetry is not None:
+            doc["telemetry"] = self.telemetry.snapshot()
         return doc
 
 
@@ -1230,6 +1408,22 @@ class ReachServer:
                 try:
                     if op == proto.OP_QUERY:
                         self._handle_query(request_id, payload, writer)
+                    elif op == proto.OP_QUERY_TRACED:
+                        self._handle_query(
+                            request_id, payload, writer, traced=True
+                        )
+                    elif op == proto.OP_TRACE:
+                        telemetry = getattr(self.service, "telemetry", None)
+                        traces = (
+                            []
+                            if telemetry is None
+                            else telemetry.sampler.snapshot()
+                        )
+                        send(
+                            proto.OP_TRACE_REPLY,
+                            request_id,
+                            json.dumps(traces).encode("utf-8"),
+                        )
                     elif op == proto.OP_PING:
                         send(proto.OP_PONG, request_id)
                     elif op == proto.OP_EPOCH:
@@ -1336,9 +1530,24 @@ class ReachServer:
             json.dumps(summary).encode("utf-8"),
         )
 
-    def _handle_query(self, request_id: int, payload: bytes, writer) -> None:
+    def _handle_query(
+        self, request_id: int, payload: bytes, writer, *, traced: bool = False
+    ) -> None:
+        trace = None
         try:
-            pairs = proto.decode_pairs(payload)
+            if traced:
+                t0 = time.perf_counter_ns()
+                trace_id, pairs = proto.decode_traced_query(payload)
+                telemetry = getattr(self.service, "telemetry", None)
+                if telemetry is not None:
+                    # The client allocated the id; the span clock is
+                    # this server's.  A telemetry-off server answers
+                    # normally and just drops the id.
+                    trace = telemetry.new_trace(trace_id)
+                    trace.start_ns = t0  # the request began at decode
+                    trace.add_span("decode", t0, time.perf_counter_ns())
+            else:
+                pairs = proto.decode_pairs(payload)
         except proto.ProtocolError as exc:
             writer.send_now(proto.OP_ERROR, request_id, repr(exc).encode("utf-8"))
             return
@@ -1363,7 +1572,7 @@ class ReachServer:
         # Completions only queue; the batch (or the service's
         # synchronous paths) flushes each connection once per batch.
         on_answers.flush_writer = writer.flush
-        self.service.query_pairs_async(pairs, on_answers)
+        self.service.query_pairs_async(pairs, on_answers, trace=trace)
 
 
 # ----------------------------------------------------------------------
@@ -1450,6 +1659,7 @@ def serve_artifact(
     allow_shutdown: Optional[bool] = None,
     watch: bool = False,
     watch_interval_s: float = 0.5,
+    telemetry=True,
 ) -> ReachServer:
     """Start a TCP server over a saved artifact; returns the running server.
 
@@ -1492,6 +1702,7 @@ def serve_artifact(
             max_batch=max_batch,
             cache_size=cache_size,
             owns_store=True,
+            telemetry=telemetry,
         )
     else:
         service = QueryService(
@@ -1501,6 +1712,7 @@ def serve_artifact(
             adaptive_window=adaptive_window,
             max_batch=max_batch,
             cache_size=cache_size,
+            telemetry=telemetry,
         )
     try:
         service.start()

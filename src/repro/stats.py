@@ -3,19 +3,32 @@
 Lives at the package root because both the bench harness (direct-mode
 per-query latency percentiles) and the server's load generator report
 latency shapes — neither layer should import the other for a pure
-function.
+function.  The histogram helpers operate on the mergeable snapshot
+format of :class:`repro.telemetry.Histogram` (sparse
+``{bucket_index: count}`` over log2 buckets), which is what the
+cluster scrape adds up across replicas.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Union
 
-__all__ = ["percentiles"]
+__all__ = [
+    "DEFAULT_PCTS",
+    "percentiles",
+    "merge_histograms",
+    "histogram_percentiles",
+]
+
+#: The default percentile set everything reports.  p99.9 is the tail
+#: that matters at production rates: at 10k q/s it is still ten
+#: requests per second.
+DEFAULT_PCTS = (50.0, 95.0, 99.0, 99.9)
 
 
 def percentiles(
-    samples: Sequence[float], pcts: Sequence[float] = (50.0, 95.0, 99.0)
+    samples: Sequence[float], pcts: Sequence[float] = DEFAULT_PCTS
 ) -> Dict[str, float]:
     """Nearest-rank percentiles as ``{"p50": ..., "p95": ..., ...}``.
 
@@ -32,4 +45,77 @@ def percentiles(
     for pct in pcts:
         rank = min(last, max(0, math.ceil(pct / 100.0 * len(ordered)) - 1))
         out[f"p{pct:g}"] = ordered[rank]
+    return out
+
+
+def merge_histograms(*snapshots: dict) -> dict:
+    """Exactly merge telemetry histogram snapshots (bucket-wise sums).
+
+    Accepts any number of ``{"count", "sum", "unit", "buckets"}``
+    snapshots (e.g. the same latency histogram scraped from N
+    replicas) and returns one snapshot of the combined distribution.
+    The merge is *exact*, not an approximation: log-bucket counts are
+    plain integers, so addition loses nothing — this is the whole
+    reason the histograms are bucketed rather than sampled.  Units
+    must agree (mixing ns with raw-value histograms would produce a
+    nonsense distribution); empty input merges to an empty snapshot.
+    """
+    buckets: Dict[str, int] = {}
+    count = 0
+    total: Union[int, float] = 0
+    unit = None
+    for snap in snapshots:
+        if not snap:
+            continue
+        snap_unit = snap.get("unit", "ns")
+        if unit is None:
+            unit = snap_unit
+        elif snap_unit != unit:
+            raise ValueError(
+                f"cannot merge histograms of unit {unit!r} and {snap_unit!r}"
+            )
+        count += snap.get("count", 0)
+        total += snap.get("sum", 0)
+        for idx, c in snap.get("buckets", {}).items():
+            key = str(int(idx))
+            buckets[key] = buckets.get(key, 0) + int(c)
+    return {
+        "count": count,
+        "sum": total,
+        "unit": unit or "ns",
+        "buckets": buckets,
+    }
+
+
+def histogram_percentiles(
+    snapshot: dict, pcts: Sequence[float] = DEFAULT_PCTS
+) -> Dict[str, float]:
+    """Nearest-rank percentiles estimated from a histogram snapshot.
+
+    Same rank rule as :func:`percentiles` — the rank-th observation
+    ordered ascending, 1-based ``ceil(p/100 * N)`` — walked over the
+    cumulative bucket counts.  The reported value is the **upper edge**
+    of the bucket holding that rank (``2^index``, in the snapshot's
+    unit), so the estimate is an upper bound within one log2 bucket
+    width of the exact sample percentile: for merged multi-replica
+    histograms that is the tightest claim possible, and it never
+    *understates* a latency tail.  Empty snapshots yield ``{}``.
+    """
+    if not snapshot or not snapshot.get("count"):
+        return {}
+    items = sorted((int(k), int(v)) for k, v in snapshot["buckets"].items())
+    n = snapshot["count"]
+    out: Dict[str, float] = {}
+    for pct in pcts:
+        rank = min(n, max(1, math.ceil(pct / 100.0 * n)))
+        cumulative = 0
+        value = 0.0
+        for idx, c in items:
+            cumulative += c
+            if cumulative >= rank:
+                # Bucket 0 holds exactly the value 0; bucket i >= 1
+                # holds [2^(i-1), 2^i), reported by its upper edge.
+                value = 0.0 if idx == 0 else float(1 << idx)
+                break
+        out[f"p{pct:g}"] = value
     return out

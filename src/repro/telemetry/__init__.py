@@ -1,0 +1,114 @@
+"""`repro.telemetry`: dependency-free metrics + request tracing.
+
+The observability layer for the whole serving stack, in three pieces:
+
+* :mod:`repro.telemetry.metrics` — :class:`Counter`, :class:`Gauge`,
+  log2-bucketed :class:`Histogram` (mergeable snapshots: a router adds
+  every replica's buckets into one exact cluster distribution), a
+  :class:`MetricsRegistry`, and the Prometheus text renderer behind
+  ``GET /metrics``.
+* :mod:`repro.telemetry.tracing` — wire-propagated trace IDs, span
+  records for each pipeline stage (decode → cache → batch wait →
+  dispatch → flush; journal append → fsync; compile stages; router
+  attempts), and a :class:`TraceTailSampler` that keeps the slowest N
+  exemplar traces for ``OP_TRACE`` to return.
+* :class:`Telemetry` (here) — the per-service bundle: one registry,
+  one tail sampler, and the 1-in-K auto-sampling policy that keeps
+  exemplars flowing even when no client asks for a trace.
+
+Everything is built to be *left on*: the per-request cost is one
+unlocked counter tick — clocks, histogram locks, and trace allocation
+only run for the sampled 1-in-K requests, whose observations carry
+``weight=K`` so the recorded histograms still estimate the full
+population (``BENCH_obs.json`` holds the measured overhead, budgeted
+under 2%).  Components accept a registry via ``bind_metrics`` and
+no-op when never bound, so library users who build a
+:class:`QueryService` with ``telemetry=False`` pay nothing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import (
+    HIST_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from .tracing import TraceContext, TraceTailSampler, new_trace_id
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+    "HIST_BUCKETS",
+    "TraceContext",
+    "TraceTailSampler",
+    "new_trace_id",
+    "Telemetry",
+]
+
+
+def _pow2(k: int) -> int:
+    """Round up to a power of two (minimum 1)."""
+    k = max(1, k)
+    return 1 << (k - 1).bit_length()
+
+
+class Telemetry:
+    """One service's observability bundle: registry + tail sampler.
+
+    Two sampling rates hang off one shared tick:
+
+    * ``sample_every`` — the auto-trace rate: every K-th request that
+      arrives *without* a client trace id gets traced anyway, so the
+      tail sampler fills with organic exemplars under any workload.
+    * ``latency_every`` — the timing rate: only every J-th request
+      pays for clocks and histogram observations; those observations
+      carry ``weight=J`` (see :meth:`Histogram.observe_ns`) so the
+      histograms still estimate every request.
+
+    Both rates are rounded up to powers of two (and ``sample_every``
+    to at least ``latency_every``), so a consumer can gate with a
+    single ``n & (rate - 1)`` bitmask and nest the rarer trace check
+    inside the latency check.  The tick is a plain unlocked increment
+    — a raced bump skews *which* request is sampled, never
+    correctness.
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 256,
+        keep_traces: int = 32,
+        latency_every: int = 32,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.sampler = TraceTailSampler(keep=keep_traces)
+        self.latency_every = _pow2(latency_every)
+        self.sample_every = max(_pow2(sample_every), self.latency_every)
+        self._auto_n = 0
+
+    def tick(self) -> int:
+        """Advance the shared sampling counter (unlocked; see above)."""
+        n = self._auto_n = self._auto_n + 1
+        return n
+
+    def should_sample(self) -> bool:
+        return self.tick() % self.sample_every == 0
+
+    def new_trace(self, trace_id: Optional[int] = None, origin: str = "client") -> TraceContext:
+        return TraceContext(trace_id or new_trace_id(), origin=origin)
+
+    def offer(self, trace: TraceContext) -> None:
+        self.sampler.offer(trace)
+
+    def snapshot(self) -> dict:
+        """The ``telemetry`` section of the ``OP_STATS`` v2 document."""
+        doc = self.registry.snapshot()
+        doc["traces"] = self.sampler.stats()
+        return doc

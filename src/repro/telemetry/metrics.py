@@ -1,0 +1,368 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+Everything here is designed to sit on a serving hot path, so the cost
+model is explicit:
+
+* a :class:`Counter` increment is one lock acquire + one int add;
+* a :class:`Histogram` observation is one ``int.bit_length()`` (the
+  log-bucket index — no ``math.log``, no float) + one lock acquire +
+  two int adds;
+* a :class:`Gauge` can be *pull-based* (a callable sampled only at
+  snapshot/render time), so steady-state serving pays nothing for it.
+
+Histograms are **log-bucketed over integer nanoseconds**: an
+observation ``v`` lands in bucket ``v.bit_length()``, i.e. bucket *i*
+covers ``[2^(i-1), 2^i)`` ns (bucket 0 is exactly 0).  Sixty-four
+buckets span the whole u64 range — from sub-nanosecond to five
+centuries — so there is no clamping policy to tune and no dynamic
+resizing.  The payoff is the snapshot algebra: a snapshot is a sparse
+``{bucket_index: count}`` dict, and merging two snapshots is exact
+integer addition per bucket (see :func:`repro.stats.merge_histograms`)
+— which is what lets a router add up every replica's latency histogram
+into one *lossless* cluster-wide distribution, something percentile
+summaries can never do.
+
+:class:`MetricsRegistry` is the per-process (or per-component) bag of
+instruments with stable creation semantics (``counter(name)`` twice
+returns the same object) plus the two export paths: a JSON-able
+:meth:`~MetricsRegistry.snapshot` for the binary ``OP_STATS`` document
+and :func:`render_prometheus` for the HTTP ``GET /metrics`` text
+exposition.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+    "HIST_BUCKETS",
+]
+
+#: Number of log2 buckets a histogram carries (covers the u64 range).
+HIST_BUCKETS = 65  # bucket 0 = value 0; bucket i = [2^(i-1), 2^i) for i >= 1
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value: either pushed via :meth:`set` or pulled.
+
+    A pull gauge wraps a callable sampled only when a snapshot or a
+    scrape asks — the natural shape for derived values like "journal
+    bytes not yet fsynced" or "seconds since the last epoch publish"
+    that already live in some component's state.  A sampling error
+    yields ``None`` (rendered as absent), never an exception: a broken
+    gauge must not break the scrape.
+    """
+
+    __slots__ = ("name", "help", "_value", "_fn")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], Union[int, float]]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self._value: Union[int, float] = 0
+        self._fn = fn
+
+    def set(self, value: Union[int, float]) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> Optional[Union[int, float]]:
+        if self._fn is not None:
+            try:
+                return self._fn()
+            except Exception:
+                return None
+        return self._value
+
+    def snapshot(self) -> Optional[Union[int, float]]:
+        return self.value
+
+
+class Histogram:
+    """Log2-bucketed histogram over non-negative integers (usually ns).
+
+    ``observe_ns(v)`` buckets by ``v.bit_length()`` — bucket *i* holds
+    values in ``[2^(i-1), 2^i)``, bucket 0 holds exactly 0 — and keeps
+    a running count and sum.  ``unit`` declares how the integer is to
+    be read at render time: ``"ns"`` histograms render as Prometheus
+    *seconds* histograms (the convention scrapers expect), anything
+    else renders in its raw unit.
+    """
+
+    __slots__ = ("name", "help", "unit", "_lock", "_counts", "_count", "_sum")
+
+    def __init__(self, name: str, help: str = "", unit: str = "ns") -> None:
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self._lock = threading.Lock()
+        self._counts = [0] * HIST_BUCKETS
+        self._count = 0
+        self._sum = 0
+
+    def observe_ns(self, value: int, weight: int = 1) -> None:
+        """Record one observation (non-negative int; negatives clamp to 0).
+
+        ``weight`` supports *sampled* instrumentation on hot paths: a
+        call site that only times every K-th event observes with
+        ``weight=K``, so counts and sums still estimate the full
+        population (unbiased under uniform sampling) and downstream
+        consumers — percentiles, merges, rate math — need no special
+        casing.
+        """
+        if value < 0:
+            value = 0
+        idx = value.bit_length()
+        if idx >= HIST_BUCKETS:  # pragma: no cover - > 5 centuries in ns
+            idx = HIST_BUCKETS - 1
+        with self._lock:
+            self._counts[idx] += weight
+            self._count += weight
+            self._sum += value * weight
+
+    def observe_s(self, seconds: float, weight: int = 1) -> None:
+        """Record a duration given in (float) seconds."""
+        self.observe_ns(int(seconds * 1e9), weight)
+
+    def time(self):
+        """``with hist.time():`` — observe the block's wall duration."""
+        return _HistTimer(self)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def snapshot(self) -> dict:
+        """``{"count", "sum", "unit", "buckets": {index: count}}``.
+
+        Buckets are sparse (only non-empty indices), keyed by *string*
+        indices so the dict survives a JSON round-trip unchanged.
+        Merging two snapshots bucket-wise is exact — see
+        :func:`repro.stats.merge_histograms`.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            count, total = self._count, self._sum
+        return {
+            "count": count,
+            "sum": total,
+            "unit": self.unit,
+            "buckets": {str(i): c for i, c in enumerate(counts) if c},
+        }
+
+
+class _HistTimer:
+    __slots__ = ("_hist", "_t0")
+
+    def __init__(self, hist: Histogram) -> None:
+        self._hist = hist
+        self._t0 = 0
+
+    def __enter__(self) -> "_HistTimer":
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe_ns(time.perf_counter_ns() - self._t0)
+
+
+class MetricsRegistry:
+    """A named bag of instruments with get-or-create semantics.
+
+    Creation is idempotent: ``counter("x")`` twice returns the same
+    :class:`Counter`, so components can bind lazily without
+    coordinating.  Asking for an existing name with a *different*
+    instrument kind raises — silently returning the wrong type would
+    corrupt whichever caller loses the race.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, cls, name: str, *args, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            metric = cls(name, *args, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        fn: Optional[Callable[[], Union[int, float]]] = None,
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, fn)
+
+    def histogram(self, name: str, help: str = "", unit: str = "ns") -> Histogram:
+        return self._get_or_create(Histogram, name, help, unit)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict:
+        """JSON-able ``{"counters", "gauges", "histograms"}`` document.
+
+        This is the ``telemetry`` section of the ``OP_STATS`` v2 reply;
+        histogram values are the mergeable sparse-bucket snapshots.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, Union[int, float]] = {}
+        histograms: Dict[str, dict] = {}
+        for m in metrics:
+            if isinstance(m, Counter):
+                counters[m.name] = m.snapshot()
+            elif isinstance(m, Histogram):
+                histograms[m.name] = m.snapshot()
+            elif isinstance(m, Gauge):
+                value = m.snapshot()
+                if value is not None:
+                    gauges[m.name] = value
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _sanitize(name: str) -> str:
+    """Coerce an arbitrary key into a legal Prometheus metric name."""
+    out = []
+    for ch in name:
+        if ch.isalnum() or ch == "_" or ch == ":":
+            out.append(ch)
+        else:
+            out.append("_")
+    s = "".join(out)
+    if not s or not (s[0].isalpha() or s[0] in "_:"):
+        s = "_" + s
+    return s
+
+
+def _fmt(value: Union[int, float]) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _flatten_numeric(doc, prefix: str, out: List) -> None:
+    """Collect ``(name, value)`` for every numeric leaf of a stats dict."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            _flatten_numeric(value, f"{prefix}_{key}" if prefix else str(key), out)
+    elif isinstance(doc, bool):
+        out.append((prefix, 1 if doc else 0))
+    elif isinstance(doc, (int, float)):
+        out.append((prefix, doc))
+    # strings / lists / None: not scrapeable scalars; skip.
+
+
+def render_prometheus(
+    registry: Optional[MetricsRegistry] = None,
+    stats_doc: Optional[dict] = None,
+    prefix: str = "repro",
+) -> str:
+    """The ``GET /metrics`` body: Prometheus text exposition v0.0.4.
+
+    Registry counters/gauges render with their proper ``# TYPE``;
+    ``ns``-unit histograms render as cumulative-bucket Prometheus
+    histograms **in seconds** (``le`` edges are the log2 bucket upper
+    bounds divided by 1e9), other units render with raw ``le`` edges.
+    ``stats_doc`` — a service's legacy ``stats()`` dict — is flattened
+    so every numeric leaf becomes a ``<prefix>_stats_*`` gauge: the
+    whole pile of ad-hoc per-component stats becomes scrapeable without
+    each component re-registering its counters.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, mtype: str, help_text: str) -> None:
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {mtype}")
+
+    if registry is not None:
+        snap_metrics = registry.snapshot()
+        for name, value in sorted(snap_metrics["counters"].items()):
+            name = _sanitize(name)
+            emit(name, "counter", "")
+            lines.append(f"{name} {_fmt(value)}")
+        for name, value in sorted(snap_metrics["gauges"].items()):
+            name = _sanitize(name)
+            emit(name, "gauge", "")
+            lines.append(f"{name} {_fmt(value)}")
+        for name, snap in sorted(snap_metrics["histograms"].items()):
+            name = _sanitize(name)
+            in_seconds = snap.get("unit") == "ns"
+            emit(name, "histogram", "")
+            cumulative = 0
+            buckets = {int(k): v for k, v in snap["buckets"].items()}
+            for idx in sorted(buckets):
+                cumulative += buckets[idx]
+                edge = float(1 << idx)
+                if in_seconds:
+                    edge /= 1e9
+                lines.append(f'{name}_bucket{{le="{edge!r}"}} {cumulative}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {snap["count"]}')
+            total = snap["sum"] / 1e9 if in_seconds else snap["sum"]
+            lines.append(f"{name}_sum {_fmt(total)}")
+            lines.append(f"{name}_count {snap['count']}")
+    if stats_doc is not None:
+        leaves: List = []
+        _flatten_numeric(stats_doc, "", leaves)
+        seen = set()
+        for key, value in sorted(leaves):
+            name = _sanitize(f"{prefix}_stats_{key}")
+            if name in seen:  # two keys sanitized to the same name
+                continue
+            seen.add(name)
+            emit(name, "gauge", "")
+            lines.append(f"{name} {_fmt(value)}")
+    return "\n".join(lines) + "\n"

@@ -148,7 +148,7 @@ class TestQueryPercentiles:
         r = MethodRun("DL").execute("test", small_graph, wl)
         assert set(r.query_percentiles) == {"equal", "random"}
         for pct in r.query_percentiles.values():
-            assert set(pct) == {"p50_us", "p95_us", "p99_us"}
+            assert set(pct) == {"p50_us", "p95_us", "p99_us", "p99.9_us"}
             assert 0 < pct["p50_us"] <= pct["p95_us"] <= pct["p99_us"]
 
     def test_through_artifact_mode_reports_percentiles(self, small_graph):

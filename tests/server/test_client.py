@@ -32,11 +32,12 @@ class TestPercentiles:
         assert pct["p50"] == 50
         assert pct["p95"] == 95
         assert pct["p99"] == 99
+        assert pct["p99.9"] == 100  # nearest-rank: ceil(.999 * 100) = 100
 
     def test_empty_and_single(self):
         assert percentiles([]) == {}
         pct = percentiles([7.0])
-        assert pct == {"p50": 7.0, "p95": 7.0, "p99": 7.0}
+        assert pct == {"p50": 7.0, "p95": 7.0, "p99": 7.0, "p99.9": 7.0}
 
     def test_odd_count_median_is_true_median(self):
         # nearest-rank, not banker's rounding: p50 of 5 samples is the
@@ -58,8 +59,8 @@ class TestClosedLoop:
         server, pairs, _expected = served
         report = run_load(*server.address, pairs, connections=2, pipeline=16)
         lat = report.latency_ms
-        assert set(lat) == {"p50", "p95", "p99"}
-        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"]
+        assert set(lat) == {"p50", "p95", "p99", "p99.9"}
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["p99.9"]
         assert "q/s" in report.summary()
 
     def test_multi_pair_requests(self, served):

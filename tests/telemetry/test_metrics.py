@@ -1,0 +1,281 @@
+"""Unit tests for the telemetry core: instruments, registry, renderer.
+
+The merge property test at the bottom is the satellite-2 contract:
+percentiles computed from ``merge_histograms(snap(A), snap(B))`` must
+agree with exact nearest-rank percentiles over ``A + B`` to within one
+log2 bucket width, for arbitrary observation sets.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import histogram_percentiles, merge_histograms, percentiles
+from repro.telemetry import (
+    HIST_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert c.snapshot() == 42
+
+
+class TestGauge:
+    def test_push_gauge(self):
+        g = Gauge("x")
+        g.set(3.5)
+        assert g.value == 3.5
+
+    def test_pull_gauge_samples_lazily(self):
+        box = [0]
+        g = Gauge("x", fn=lambda: box[0])
+        box[0] = 7
+        assert g.value == 7
+
+    def test_broken_pull_gauge_yields_none_not_raise(self):
+        def boom():
+            raise RuntimeError("gauge source gone")
+
+        g = Gauge("x", fn=boom)
+        assert g.value is None
+        assert g.snapshot() is None
+
+
+class TestHistogram:
+    def test_bucket_semantics(self):
+        h = Histogram("x")
+        h.observe_ns(0)      # bucket 0: exactly zero
+        h.observe_ns(1)      # bucket 1: [1, 2)
+        h.observe_ns(2)      # bucket 2: [2, 4)
+        h.observe_ns(3)      # bucket 2
+        h.observe_ns(1024)   # bucket 11: [1024, 2048)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"0": 1, "1": 1, "2": 2, "11": 1}
+        assert snap["count"] == 5
+        assert snap["sum"] == 0 + 1 + 2 + 3 + 1024
+
+    def test_negative_clamps_to_zero(self):
+        h = Histogram("x")
+        h.observe_ns(-5)
+        assert h.snapshot()["buckets"] == {"0": 1}
+
+    def test_weighted_observation(self):
+        h = Histogram("x")
+        h.observe_ns(3, weight=8)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"2": 8}
+        assert snap["count"] == 8
+        assert snap["sum"] == 24
+
+    def test_observe_seconds(self):
+        h = Histogram("x")
+        h.observe_s(1.0)  # 1e9 ns -> bucket 30 ([2^29, 2^30))
+        (idx,) = (int(k) for k in h.snapshot()["buckets"])
+        assert 1 << (idx - 1) <= 10**9 < 1 << idx
+
+    def test_huge_value_clamps_to_last_bucket(self):
+        h = Histogram("x")
+        h.observe_ns(1 << 200)
+        assert h.snapshot()["buckets"] == {str(HIST_BUCKETS - 1): 1}
+
+    def test_timer_context_manager(self):
+        h = Histogram("x")
+        with h.time():
+            pass
+        assert h.count == 1
+
+    def test_snapshot_survives_json_roundtrip(self):
+        h = Histogram("x")
+        h.observe_ns(100)
+        snap = json.loads(json.dumps(h.snapshot()))
+        assert snap == h.snapshot()
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.histogram("h") is r.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_snapshot_sections(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(2)
+        r.gauge("g").set(1.5)
+        r.histogram("h").observe_ns(10)
+        snap = r.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_broken_gauge_absent_from_snapshot(self):
+        r = MetricsRegistry()
+
+        def boom():
+            raise ValueError
+
+        r.gauge("bad", fn=boom)
+        assert "bad" not in r.snapshot()["gauges"]
+
+
+def _parse_prometheus(text):
+    """Minimal text-exposition v0.0.4 grammar check; returns samples."""
+    samples = {}
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            assert parts[0] == "#" and parts[1] in ("HELP", "TYPE"), line
+            continue
+        name_part, _, value = line.rpartition(" ")
+        assert name_part, f"sample line missing value: {line!r}"
+        float(value)  # must parse
+        name = name_part.split("{", 1)[0]
+        assert name[0].isalpha() or name[0] in "_:", line
+        assert all(ch.isalnum() or ch in "_:" for ch in name), line
+        samples.setdefault(name, []).append((name_part, float(value)))
+    return samples
+
+
+class TestRenderPrometheus:
+    def test_counter_gauge_histogram_render(self):
+        r = MetricsRegistry()
+        r.counter("repro_requests_total").inc(3)
+        r.gauge("repro_epoch").set(4)
+        h = r.histogram("repro_request_seconds")
+        h.observe_ns(1000)
+        h.observe_ns(3000)
+        text = render_prometheus(r)
+        samples = _parse_prometheus(text)
+        assert samples["repro_requests_total"][0][1] == 3
+        assert samples["repro_epoch"][0][1] == 4
+        # histogram renders cumulative le-buckets in SECONDS plus
+        # +Inf, _sum, _count
+        buckets = samples["repro_request_seconds_bucket"]
+        assert buckets[-1][0].endswith('le="+Inf"}')
+        assert buckets[-1][1] == 2
+        cum = [v for _, v in buckets]
+        assert cum == sorted(cum)
+        assert samples["repro_request_seconds_count"][0][1] == 2
+        assert samples["repro_request_seconds_sum"][0][1] == pytest.approx(
+            4000 / 1e9
+        )
+
+    def test_stats_doc_flattens_to_gauges(self):
+        text = render_prometheus(
+            None, {"cache": {"hits": 10, "rate": 0.5}, "name": "skipme"}
+        )
+        samples = _parse_prometheus(text)
+        assert samples["repro_stats_cache_hits"][0][1] == 10
+        assert samples["repro_stats_cache_rate"][0][1] == 0.5
+        assert not any("skipme" in k for k in samples)
+
+    def test_hostile_keys_sanitized(self):
+        text = render_prometheus(None, {"a b-c!": 1, "0lead": 2})
+        _parse_prometheus(text)  # grammar must hold regardless of input
+
+
+class TestTelemetryBundle:
+    def test_rates_round_to_powers_of_two(self):
+        t = Telemetry(sample_every=100, latency_every=5)
+        assert t.sample_every == 128
+        assert t.latency_every == 8
+
+    def test_sample_rate_never_below_latency_rate(self):
+        t = Telemetry(sample_every=2, latency_every=32)
+        assert t.sample_every == 32
+
+    def test_should_sample_fires_once_per_period(self):
+        t = Telemetry(sample_every=4, latency_every=1)
+        fired = sum(t.should_sample() for _ in range(64))
+        assert fired == 16
+
+    def test_snapshot_includes_traces_section(self):
+        t = Telemetry()
+        snap = t.snapshot()
+        assert "traces" in snap
+        assert "histograms" in snap
+
+
+# -- satellite 2: merge(A, B) vs percentiles(A + B) --------------------
+
+observations = st.lists(
+    st.integers(min_value=0, max_value=1 << 40), min_size=0, max_size=200
+)
+
+
+@given(a=observations, b=observations)
+@settings(max_examples=200, deadline=None)
+def test_merged_histogram_percentiles_match_exact_within_one_bucket(a, b):
+    ha, hb = Histogram("a"), Histogram("b")
+    for v in a:
+        ha.observe_ns(v)
+    for v in b:
+        hb.observe_ns(v)
+    merged = merge_histograms(ha.snapshot(), hb.snapshot())
+    assert merged["count"] == len(a) + len(b)
+    assert merged["sum"] == sum(a) + sum(b)
+
+    exact = percentiles(a + b)
+    approx = histogram_percentiles(merged)
+    assert set(exact) == set(approx)
+    for key, true_value in exact.items():
+        estimate = approx[key]
+        if true_value == 0:
+            assert estimate == 0
+        else:
+            # The estimate is the upper edge of the log2 bucket that
+            # holds the true nearest-rank value: never below it, and
+            # at most one bucket width (2x) above it — equality when
+            # the true value sits exactly on a bucket's lower edge.
+            assert true_value <= estimate <= 2 * true_value
+
+
+@given(a=observations, b=observations, c=observations)
+@settings(max_examples=50, deadline=None)
+def test_merge_is_associative_and_order_free(a, b, c):
+    snaps = []
+    for obs in (a, b, c):
+        h = Histogram("x")
+        for v in obs:
+            h.observe_ns(v)
+        snaps.append(h.snapshot())
+    one_shot = merge_histograms(*snaps)
+    nested = merge_histograms(merge_histograms(snaps[2], snaps[0]), snaps[1])
+    assert one_shot == nested
+
+
+def test_merge_rejects_unit_mismatch():
+    h_ns = Histogram("a", unit="ns")
+    h_raw = Histogram("b", unit="attempts")
+    h_ns.observe_ns(1)
+    h_raw.observe_ns(1)
+    with pytest.raises(ValueError):
+        merge_histograms(h_ns.snapshot(), h_raw.snapshot())
+
+
+def test_merge_of_nothing_is_empty():
+    merged = merge_histograms()
+    assert merged["count"] == 0
+    assert histogram_percentiles(merged) == {}

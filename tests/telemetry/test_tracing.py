@@ -1,0 +1,91 @@
+"""Unit tests for trace contexts and the tail sampler."""
+
+import threading
+
+from repro.telemetry import TraceContext, TraceTailSampler, new_trace_id
+
+
+class TestTraceId:
+    def test_nonzero_and_unique(self):
+        ids = {new_trace_id() for _ in range(10_000)}
+        assert len(ids) == 10_000
+        assert 0 not in ids
+        assert all(0 < i < 1 << 64 for i in ids)
+
+
+class TestTraceContext:
+    def test_spans_and_relative_offsets(self):
+        t = TraceContext(7, origin="server")
+        t.start_ns = 1000
+        t.add_span("decode", 1000, 1400)
+        t.add_span("dispatch", 1500, 2500)
+        t.finish(3000)
+        doc = t.to_doc()
+        assert doc["trace_id"] == 7
+        assert doc["origin"] == "server"
+        assert doc["duration_ns"] == 2000
+        assert doc["spans"] == [
+            {"name": "decode", "offset_ns": 0, "duration_ns": 400},
+            {"name": "dispatch", "offset_ns": 500, "duration_ns": 1000},
+        ]
+
+    def test_finish_is_idempotent(self):
+        t = TraceContext(1)
+        t.start_ns = 0
+        assert t.finish(100) == 100
+        assert t.finish(999_999) == 100  # first finish wins
+
+    def test_clock_skew_clamps_not_negative(self):
+        t = TraceContext(1)
+        t.add_span("x", 500, 400)
+        t.start_ns = 1000
+        t.finish(500)
+        doc = t.to_doc()
+        assert doc["duration_ns"] == 0
+        assert doc["spans"][0]["duration_ns"] == 0
+
+
+def _finished(duration_ns, trace_id=None):
+    t = TraceContext(trace_id or new_trace_id())
+    t.start_ns = 0
+    t.finish(duration_ns)
+    return t
+
+
+class TestTailSampler:
+    def test_keeps_slowest_n(self):
+        s = TraceTailSampler(keep=3)
+        for d in (10, 50, 20, 90, 30, 70):
+            s.offer(_finished(d))
+        kept = [doc["duration_ns"] for doc in s.snapshot()]
+        assert kept == [90, 70, 50]  # slowest-first
+
+    def test_stats(self):
+        s = TraceTailSampler(keep=2)
+        for d in (5, 15, 25):
+            s.offer(_finished(d))
+        st = s.stats()
+        assert st == {"kept": 2, "keep": 2, "offered": 3, "slowest_ns": 25}
+
+    def test_snapshot_limit(self):
+        s = TraceTailSampler(keep=8)
+        for d in range(10, 60, 10):
+            s.offer(_finished(d))
+        assert len(s.snapshot(limit=2)) == 2
+
+    def test_concurrent_offers_keep_invariant(self):
+        s = TraceTailSampler(keep=16)
+
+        def worker(base):
+            for d in range(base, base + 500):
+                s.offer(_finished(d))
+
+        threads = [threading.Thread(target=worker, args=(i * 500,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        kept = [doc["duration_ns"] for doc in s.snapshot()]
+        # the 16 slowest of 2000 offered are 1984..1999
+        assert kept == list(range(1999, 1983, -1))
+        assert s.stats()["offered"] == 2000
